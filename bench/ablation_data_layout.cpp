@@ -1,0 +1,149 @@
+// Ablation A6 — §III-B "Data Organization": AOS vs SOA.
+//
+// The paper: "Typically in application code data is packed in an Array of
+// Structures (AOS) ... Although this representation is the most natural,
+// it typically executes poorly in vector register ... A more efficient
+// data-packing approach is Structure Of Arrays (SOA) ... that would
+// facilitate the application of vector instructions increasing the code
+// performance." It also explains why nbody's optimized version gained
+// little: the AOS layout was kept.
+//
+// This bench computes per-point magnitudes of 3D vectors under three
+// treatments: scalar AOS, vectorized AOS (vload4 + lane transpose — the
+// gather tax), and vectorized SOA (three clean vload4s).
+//
+// Usage: ablation_data_layout [--csv]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "kir/builder.h"
+#include "ocl/runtime.h"
+
+namespace {
+
+using namespace malisim;
+
+/// out[i] = rsqrt(x_i^2 + y_i^2 + z_i^2 + eps), points in AOS [x,y,z,w].
+kir::Program AosScalar() {
+  kir::KernelBuilder kb("aos_scalar");
+  auto pts = kb.ArgBuffer("pts", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                          true, true);
+  auto out = kb.ArgBuffer("out", kir::ScalarType::kF32, kir::ArgKind::kBufferWO,
+                          true, false);
+  kir::Val gid = kb.GlobalId(0);
+  kir::Val base = kb.Binary(kir::Opcode::kMul, gid, kb.ConstI(kir::I32(), 4));
+  kir::Val x = kb.Load(pts, base, 0);
+  kir::Val y = kb.Load(pts, base, 1);
+  kir::Val z = kb.Load(pts, base, 2);
+  kir::Val eps = kb.ConstF(kir::F32(), 1e-3);
+  kir::Val r2 = kb.Fma(x, x, kb.Fma(y, y, kb.Fma(z, z, eps)));
+  kb.Store(out, gid, kb.Rsqrt(r2));
+  return *kb.Build();
+}
+
+/// Four points per work-item from AOS data: four vload4 of whole points
+/// plus a 4x4 lane transpose (extract/insert) before the vector math.
+kir::Program AosVector() {
+  kir::KernelBuilder kb("aos_vector");
+  auto pts = kb.ArgBuffer("pts", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                          true, true);
+  auto out = kb.ArgBuffer("out", kir::ScalarType::kF32, kir::ArgKind::kBufferWO,
+                          true, false);
+  kir::Val gid = kb.GlobalId(0);
+  kir::Val base = kb.Binary(kir::Opcode::kMul, gid, kb.ConstI(kir::I32(), 16));
+  kir::Val p0 = kb.Load(pts, base, 0, 4);
+  kir::Val p1 = kb.Load(pts, base, 4, 4);
+  kir::Val p2 = kb.Load(pts, base, 8, 4);
+  kir::Val p3 = kb.Load(pts, base, 12, 4);
+  kir::Val zero4 = kb.ConstF(kir::F32(4), 0.0);
+  auto gather = [&](int lane) {
+    kir::Val g = zero4;
+    g = kb.Insert(g, 0, kb.Extract(p0, lane));
+    g = kb.Insert(g, 1, kb.Extract(p1, lane));
+    g = kb.Insert(g, 2, kb.Extract(p2, lane));
+    g = kb.Insert(g, 3, kb.Extract(p3, lane));
+    return g;
+  };
+  kir::Val x = gather(0), y = gather(1), z = gather(2);
+  kir::Val eps = kb.ConstF(kir::F32(4), 1e-3);
+  kir::Val r2 = kb.Fma(x, x, kb.Fma(y, y, kb.Fma(z, z, eps)));
+  kir::Val out_base = kb.Binary(kir::Opcode::kMul, gid, kb.ConstI(kir::I32(), 4));
+  kb.Store(out, out_base, kb.Rsqrt(r2));
+  return *kb.Build();
+}
+
+/// Four points per work-item from SOA data: three contiguous vload4s.
+kir::Program SoaVector() {
+  kir::KernelBuilder kb("soa_vector");
+  auto xs = kb.ArgBuffer("xs", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                         true, true);
+  auto ys = kb.ArgBuffer("ys", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                         true, true);
+  auto zs = kb.ArgBuffer("zs", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                         true, true);
+  auto out = kb.ArgBuffer("out", kir::ScalarType::kF32, kir::ArgKind::kBufferWO,
+                          true, false);
+  kir::Val gid = kb.GlobalId(0);
+  kir::Val base = kb.Binary(kir::Opcode::kMul, gid, kb.ConstI(kir::I32(), 4));
+  kir::Val x = kb.Load(xs, base, 0, 4);
+  kir::Val y = kb.Load(ys, base, 0, 4);
+  kir::Val z = kb.Load(zs, base, 0, 4);
+  kir::Val eps = kb.ConstF(kir::F32(4), 1e-3);
+  kir::Val r2 = kb.Fma(x, x, kb.Fma(y, y, kb.Fma(z, z, eps)));
+  kb.Store(out, base, kb.Rsqrt(r2));
+  return *kb.Build();
+}
+
+double Run(const kir::Program& source, std::uint64_t items, int num_buffers,
+           std::uint64_t elems_per_buffer) {
+  ocl::Context ctx;
+  std::vector<std::shared_ptr<ocl::Buffer>> bufs;
+  for (int i = 0; i < num_buffers; ++i) {
+    bufs.push_back(*ctx.CreateBuffer(ocl::kMemReadWrite | ocl::kMemAllocHostPtr,
+                                     elems_per_buffer * 4));
+  }
+  std::vector<kir::Program> kernels;
+  kernels.push_back(source);
+  auto prog = ctx.CreateProgram(std::move(kernels));
+  MALI_CHECK(prog->Build().ok());
+  auto kernel = ctx.CreateKernel(prog, source.name);
+  MALI_CHECK(kernel.ok());
+  for (int i = 0; i < num_buffers; ++i) {
+    MALI_CHECK((*kernel)
+                   ->SetArgBuffer(static_cast<std::uint32_t>(i),
+                                  bufs[static_cast<std::size_t>(i)])
+                   .ok());
+  }
+  const std::uint64_t global[1] = {items};
+  const std::uint64_t local[1] = {128};
+  auto event = ctx.queue().EnqueueNDRange(**kernel, 1, global, local);
+  MALI_CHECK(event.ok());
+  return event->seconds * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  const std::uint64_t n = 1 << 20;  // points
+  std::printf("== Ablation A6: §III-B data organization, %llu 3D points ==\n",
+              static_cast<unsigned long long>(n));
+  const double aos_s = Run(AosScalar(), n, 2, n * 4);
+  const double aos_v = Run(AosVector(), n / 4, 2, n * 4);
+  const double soa_v = Run(SoaVector(), n / 4, 4, n);
+  malisim::Table table({"layout / code", "time (ms)", "speedup"});
+  table.AddRow({"AOS, scalar", malisim::FormatDouble(aos_s, 3), "1.000"});
+  table.AddRow({"AOS, vectorized (transpose)", malisim::FormatDouble(aos_v, 3),
+                malisim::FormatDouble(aos_s / aos_v, 3)});
+  table.AddRow({"SOA, vectorized", malisim::FormatDouble(soa_v, 3),
+                malisim::FormatDouble(aos_s / soa_v, 3)});
+  std::printf("%s\n", csv ? table.ToCsv().c_str() : table.ToAscii().c_str());
+  std::printf(
+      "paper expectation: AOS 'executes poorly in vector register and\n"
+      "requires significant loop unrolling'; SOA 'facilitates the\n"
+      "application of vector instructions' — and explains nbody's small\n"
+      "Opt gain (its AOS layout was kept).\n");
+  return 0;
+}

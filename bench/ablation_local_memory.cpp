@@ -1,0 +1,188 @@
+// Ablation A8 — §III-B "Memory Spaces": local-memory tiling on Mali.
+//
+// The paper: "dedicated GPUs from AMD and NVIDIA present an on-chip memory
+// ... The OpenCL implementations map the local memory space to the on-chip
+// memory, making the exploitation of memory locality at code level one of
+// the most important factors ... Differently, Mali GPUs have a unified
+// memory system where local memory is physically mapped to the global
+// memory. For this reason traditional code locality optimizations are not
+// required".
+//
+// This bench runs a matrix multiply three ways: the naive direct kernel,
+// the desktop-GPU idiom (stage tiles of A and B into __local arrays behind
+// barriers), and the Mali idiom the paper actually recommends instead —
+// register blocking with float4 vectors, no __local at all (§III-B
+// "Vectorization"). The comparison to make is desktop-idiom vs Mali-idiom:
+// __local staging recovers some of the naive kernel's cache misses, but
+// the register/vector version beats it while being simpler — locality
+// tricks through __local are "not required".
+//
+// Usage: ablation_local_memory [--csv]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "kir/builder.h"
+#include "ocl/runtime.h"
+
+namespace {
+
+using namespace malisim;
+
+constexpr int kTile = 16;  // work-group is kTile x kTile
+
+/// Direct: C[i,j] accumulated straight from global A and B.
+kir::Program DirectKernel() {
+  kir::KernelBuilder kb("mm_direct");
+  auto a = kb.ArgBuffer("a", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                        true, true);
+  auto b = kb.ArgBuffer("b", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                        true, true);
+  auto c = kb.ArgBuffer("c", kir::ScalarType::kF32, kir::ArgKind::kBufferWO,
+                        true, false);
+  kir::Val n = kb.ArgScalar("n", kir::ScalarType::kI32);
+  kir::Val i = kb.GlobalId(1);
+  kir::Val j = kb.GlobalId(0);
+  kir::Val row = kb.Binary(kir::Opcode::kMul, i, n);
+  kir::Val acc = kb.Var(kir::F32(), "acc");
+  kb.Assign(acc, kb.ConstF(kir::F32(), 0.0));
+  kb.For("k", kb.ConstI(kir::I32(), 0), n, 1, [&](kir::Val k) {
+    kir::Val av = kb.Load(a, kb.Binary(kir::Opcode::kAdd, row, k));
+    kir::Val bv = kb.Load(
+        b, kb.Binary(kir::Opcode::kAdd, kb.Binary(kir::Opcode::kMul, k, n), j));
+    kb.Assign(acc, kb.Fma(av, bv, acc));
+  });
+  kb.Store(c, kb.Binary(kir::Opcode::kAdd, row, j), acc);
+  return *kb.Build();
+}
+
+/// Staged: the canonical CUDA/desktop-OpenCL tiled kernel, with __local
+/// tiles for A and B refreshed every kTile steps behind barriers.
+kir::Program TiledKernel() {
+  kir::KernelBuilder kb("mm_local_tiled");
+  auto a = kb.ArgBuffer("a", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                        true, true);
+  auto b = kb.ArgBuffer("b", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                        true, true);
+  auto c = kb.ArgBuffer("c", kir::ScalarType::kF32, kir::ArgKind::kBufferWO,
+                        true, false);
+  kir::Val n = kb.ArgScalar("n", kir::ScalarType::kI32);
+  auto tile_a = kb.LocalArray("tile_a", kir::ScalarType::kF32, kTile * kTile);
+  auto tile_b = kb.LocalArray("tile_b", kir::ScalarType::kF32, kTile * kTile);
+
+  kir::Val li = kb.LocalId(1);
+  kir::Val lj = kb.LocalId(0);
+  kir::Val gi = kb.GlobalId(1);
+  kir::Val gj = kb.GlobalId(0);
+  kir::Val tiles = kb.Binary(kir::Opcode::kIDiv, n, kb.ConstI(kir::I32(), kTile));
+  kir::Val tile_c = kb.ConstI(kir::I32(), kTile);
+  kir::Val acc = kb.Var(kir::F32(), "acc");
+  kb.Assign(acc, kb.ConstF(kir::F32(), 0.0));
+  kir::Val local_idx =
+      kb.Binary(kir::Opcode::kAdd, kb.Binary(kir::Opcode::kMul, li, tile_c), lj);
+
+  kb.For("t", kb.ConstI(kir::I32(), 0), tiles, 1, [&](kir::Val t) {
+    // Stage one kTile x kTile tile of A and of B.
+    kir::Val kbase = kb.Binary(kir::Opcode::kMul, t, tile_c);
+    kir::Val a_idx = kb.Binary(
+        kir::Opcode::kAdd, kb.Binary(kir::Opcode::kMul, gi, n),
+        kb.Binary(kir::Opcode::kAdd, kbase, lj));
+    kir::Val b_idx = kb.Binary(
+        kir::Opcode::kAdd,
+        kb.Binary(kir::Opcode::kMul, kb.Binary(kir::Opcode::kAdd, kbase, li), n),
+        gj);
+    kb.Store(tile_a, local_idx, kb.Load(a, a_idx));
+    kb.Store(tile_b, local_idx, kb.Load(b, b_idx));
+    kb.Barrier();
+    kb.For("k", kb.ConstI(kir::I32(), 0), tile_c, 1, [&](kir::Val k) {
+      kir::Val av = kb.Load(
+          tile_a, kb.Binary(kir::Opcode::kAdd,
+                            kb.Binary(kir::Opcode::kMul, li, tile_c), k));
+      kir::Val bv = kb.Load(
+          tile_b, kb.Binary(kir::Opcode::kAdd,
+                            kb.Binary(kir::Opcode::kMul, k, tile_c), lj));
+      kb.Assign(acc, kb.Fma(av, bv, acc));
+    });
+    kb.Barrier();
+  });
+  kb.Store(c, kb.Binary(kir::Opcode::kAdd, kb.Binary(kir::Opcode::kMul, gi, n), gj),
+           acc);
+  return *kb.Build();
+}
+
+/// The Mali idiom (the paper's dmmm Opt shape): four outputs per work-item
+/// with a float4 accumulator, straight from global memory.
+kir::Program RegisterKernel() {
+  kir::KernelBuilder kb("mm_register_vec4");
+  auto a = kb.ArgBuffer("a", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                        true, true);
+  auto b = kb.ArgBuffer("b", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                        true, true);
+  auto c = kb.ArgBuffer("c", kir::ScalarType::kF32, kir::ArgKind::kBufferWO,
+                        true, false);
+  kir::Val n = kb.ArgScalar("n", kir::ScalarType::kI32);
+  kir::Val i = kb.GlobalId(1);
+  kir::Val j4 = kb.Binary(kir::Opcode::kMul, kb.GlobalId(0),
+                          kb.ConstI(kir::I32(), 4));
+  kir::Val row = kb.Binary(kir::Opcode::kMul, i, n);
+  kir::Val acc = kb.Var(kir::F32(4), "acc");
+  kb.Assign(acc, kb.ConstF(kir::F32(4), 0.0));
+  kb.For("k", kb.ConstI(kir::I32(), 0), n, 1, [&](kir::Val k) {
+    kir::Val av = kb.Splat(kb.Load(a, kb.Binary(kir::Opcode::kAdd, row, k)), 4);
+    kir::Val bv = kb.Load(
+        b, kb.Binary(kir::Opcode::kAdd, kb.Binary(kir::Opcode::kMul, k, n), j4),
+        0, 4);
+    kb.Assign(acc, kb.Fma(av, bv, acc));
+  });
+  kb.Store(c, kb.Binary(kir::Opcode::kAdd, row, j4), acc);
+  return *kb.Build();
+}
+
+double Run(const kir::Program& source, std::uint64_t n, bool quarter_dim0) {
+  ocl::Context ctx;
+  auto a = *ctx.CreateBuffer(ocl::kMemReadWrite | ocl::kMemAllocHostPtr, n * n * 4);
+  auto b = *ctx.CreateBuffer(ocl::kMemReadWrite | ocl::kMemAllocHostPtr, n * n * 4);
+  auto c = *ctx.CreateBuffer(ocl::kMemReadWrite | ocl::kMemAllocHostPtr, n * n * 4);
+  std::vector<kir::Program> kernels;
+  kernels.push_back(source);
+  auto prog = ctx.CreateProgram(std::move(kernels));
+  MALI_CHECK(prog->Build().ok());
+  auto kernel = *ctx.CreateKernel(prog, source.name);
+  MALI_CHECK(kernel->SetArgBuffer(0, a).ok());
+  MALI_CHECK(kernel->SetArgBuffer(1, b).ok());
+  MALI_CHECK(kernel->SetArgBuffer(2, c).ok());
+  MALI_CHECK(kernel->SetArgI32(3, static_cast<std::int32_t>(n)).ok());
+  const std::uint64_t global[2] = {quarter_dim0 ? n / 4 : n, n};
+  const std::uint64_t local[2] = {kTile, kTile};
+  auto event = ctx.queue().EnqueueNDRange(*kernel, 2, global, local);
+  MALI_CHECK(event.ok());
+  return event->seconds * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  std::printf("== Ablation A8: §III-B local-memory tiling on unified memory ==\n");
+  malisim::Table table({"n", "naive direct (ms)", "__local tiled (ms)",
+                        "register/vec4 (ms)", "best idiom"});
+  for (std::uint64_t n : {64u, 128u, 192u}) {
+    const double direct = Run(DirectKernel(), n, false);
+    const double tiled = Run(TiledKernel(), n, false);
+    const double reg = Run(RegisterKernel(), n, true);
+    table.BeginRow();
+    table.AddCell(std::to_string(n));
+    table.AddNumber(direct, 3);
+    table.AddNumber(tiled, 3);
+    table.AddNumber(reg, 3);
+    table.AddCell(reg < tiled ? "register (no __local)" : "__local");
+  }
+  std::printf("%s\n", csv ? table.ToCsv().c_str() : table.ToAscii().c_str());
+  std::printf(
+      "paper expectation: on Mali, __local staging is not the lever it is\n"
+      "on desktop GPUs (local memory IS global memory); the recommended\n"
+      "register/vector idiom wins without any locality machinery —\n"
+      "\"traditional code locality optimizations are not required\".\n");
+  return 0;
+}

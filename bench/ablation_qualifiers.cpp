@@ -1,0 +1,102 @@
+// Ablation A5 — §III-B "Directives and Type Qualifiers".
+//
+// The paper: "the use of the const keyword allows the compiler to make more
+// assumptions", and "the restrict qualifier ... enables the compiler to
+// assume that pointers point to different locations helping to limit the
+// effects of pointer aliasing". The model grants the kernel compiler a
+// scheduling bonus when the aliasing/constness guarantees are present.
+//
+// Usage: ablation_qualifiers [--csv]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "kir/builder.h"
+#include "ocl/runtime.h"
+
+namespace {
+
+using namespace malisim;
+
+kir::Program MatMulKernel(bool use_restrict, bool use_const) {
+  std::string name = "dmmm";
+  if (use_restrict) name += "_restrict";
+  if (use_const) name += "_const";
+  kir::KernelBuilder kb(name);
+  auto a = kb.ArgBuffer("a", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                        use_restrict, use_const);
+  auto b = kb.ArgBuffer("b", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                        use_restrict, use_const);
+  auto c = kb.ArgBuffer("c", kir::ScalarType::kF32, kir::ArgKind::kBufferWO,
+                        use_restrict, false);
+  kir::Val n = kb.ArgScalar("n", kir::ScalarType::kI32);
+  kir::Val i = kb.GlobalId(1);
+  kir::Val j4 = kb.Binary(kir::Opcode::kMul, kb.GlobalId(0),
+                          kb.ConstI(kir::I32(), 4));
+  kir::Val row = kb.Binary(kir::Opcode::kMul, i, n);
+  kir::Val acc = kb.Var(kir::F32(4), "acc");
+  kb.Assign(acc, kb.ConstF(kir::F32(4), 0.0));
+  kb.For("k", kb.ConstI(kir::I32(), 0), n, 1, [&](kir::Val k) {
+    kir::Val av = kb.Splat(kb.Load(a, kb.Binary(kir::Opcode::kAdd, row, k)), 4);
+    kir::Val bv = kb.Load(
+        b, kb.Binary(kir::Opcode::kAdd, kb.Binary(kir::Opcode::kMul, k, n), j4),
+        0, 4);
+    kb.Assign(acc, kb.Fma(av, bv, acc));
+  });
+  kb.Store(c, kb.Binary(kir::Opcode::kAdd, row, j4), acc);
+  return *kb.Build();
+}
+
+double Run(const kir::Program& source, std::uint64_t n) {
+  ocl::Context ctx;
+  auto a = ctx.CreateBuffer(ocl::kMemReadWrite | ocl::kMemAllocHostPtr, n * n * 4);
+  auto b = ctx.CreateBuffer(ocl::kMemReadWrite | ocl::kMemAllocHostPtr, n * n * 4);
+  auto c = ctx.CreateBuffer(ocl::kMemReadWrite | ocl::kMemAllocHostPtr, n * n * 4);
+  MALI_CHECK(a.ok() && b.ok() && c.ok());
+  std::vector<kir::Program> kernels;
+  kernels.push_back(source);
+  auto prog = ctx.CreateProgram(std::move(kernels));
+  MALI_CHECK(prog->Build().ok());
+  auto kernel = ctx.CreateKernel(prog, source.name);
+  MALI_CHECK(kernel.ok());
+  MALI_CHECK((*kernel)->SetArgBuffer(0, *a).ok());
+  MALI_CHECK((*kernel)->SetArgBuffer(1, *b).ok());
+  MALI_CHECK((*kernel)->SetArgBuffer(2, *c).ok());
+  MALI_CHECK((*kernel)->SetArgI32(3, static_cast<std::int32_t>(n)).ok());
+  const std::uint64_t global[2] = {n / 4, n};
+  const std::uint64_t local[2] = {16, 16};
+  auto event = ctx.queue().EnqueueNDRange(**kernel, 2, global, local);
+  MALI_CHECK(event.ok());
+  return event->seconds * 1e3;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  const std::uint64_t n = 192;
+  std::printf("== Ablation A5: §III-B const/restrict qualifiers (dmmm %llux%llu) ==\n",
+              static_cast<unsigned long long>(n), static_cast<unsigned long long>(n));
+  const double base = Run(MatMulKernel(false, false), n);
+  malisim::Table table({"qualifiers", "time (ms)", "speedup"});
+  struct Case {
+    const char* label;
+    bool restrict_q, const_q;
+  };
+  for (const Case c : {Case{"none", false, false},
+                       Case{"const", false, true},
+                       Case{"restrict", true, false},
+                       Case{"const + restrict", true, true}}) {
+    const double ms = Run(MatMulKernel(c.restrict_q, c.const_q), n);
+    table.BeginRow();
+    table.AddCell(c.label);
+    table.AddNumber(ms, 3);
+    table.AddNumber(base / ms, 3);
+  }
+  std::printf("%s\n", csv ? table.ToCsv().c_str() : table.ToAscii().c_str());
+  std::printf(
+      "paper expectation: a modest but real gain once the compiler may\n"
+      "assume no aliasing (restrict) and read-only inputs (const).\n");
+  return 0;
+}

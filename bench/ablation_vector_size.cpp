@@ -1,0 +1,138 @@
+// Ablation A3 — §III-B "Vectorization" and "Vector Sizes".
+//
+// The paper: convert scalar code to vector types, reducing the number of
+// work-items; then "experiment with different vector sizes (e.g. size of 4,
+// 8, 16)" because "the best achievable performance is not bound to a
+// particular vector size" — wider types can improve scheduling but raise
+// register pressure (lower occupancy).
+//
+// This bench runs an element-wise multiply-add at widths 1/2/4/8/16 and a
+// dot-product-style reduction at the same widths, reporting modelled time
+// and the occupancy the register allocator achieved.
+//
+// Usage: ablation_vector_size [--csv]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "kir/builder.h"
+#include "ocl/runtime.h"
+
+namespace {
+
+using namespace malisim;
+
+kir::Program AxpyKernel(std::uint8_t lanes) {
+  kir::KernelBuilder kb("axpy_v" + std::to_string(lanes));
+  auto x = kb.ArgBuffer("x", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                        true, true);
+  auto y = kb.ArgBuffer("y", kir::ScalarType::kF32, kir::ArgKind::kBufferRW,
+                        true, false);
+  kir::Val gid = kb.GlobalId(0);
+  kir::Val base =
+      kb.Binary(kir::Opcode::kMul, gid, kb.ConstI(kir::I32(), lanes));
+  kir::Val a = kb.ConstF(kir::F32(lanes), 1.5);
+  kir::Val xv = kb.Load(x, base, 0, lanes);
+  kir::Val yv = kb.Load(y, base, 0, lanes);
+  kb.Store(y, base, kb.Fma(a, xv, yv));
+  return *kb.Build();
+}
+
+/// Wide-accumulator dot-product chunk per work-item: register pressure
+/// grows with the width (several live vectors).
+kir::Program DotKernel(std::uint8_t lanes) {
+  kir::KernelBuilder kb("dot_v" + std::to_string(lanes));
+  auto x = kb.ArgBuffer("x", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                        true, true);
+  auto y = kb.ArgBuffer("y", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                        true, true);
+  auto out = kb.ArgBuffer("out", kir::ScalarType::kF32, kir::ArgKind::kBufferWO,
+                          true, false);
+  kir::Val n = kb.ArgScalar("n", kir::ScalarType::kI32);
+  kir::Val gid = kb.GlobalId(0);
+  kir::Val threads = kb.GlobalSize(0);
+  kir::Val chunk = kb.Binary(kir::Opcode::kIDiv, n, threads);
+  kir::Val start = kb.Binary(kir::Opcode::kMul, gid, chunk);
+  kir::Val end = kb.Binary(kir::Opcode::kAdd, start, chunk);
+  // Two accumulators of the sweep width, software-pipelined by 2.
+  kir::Val acc0 = kb.Var(kir::F32(lanes), "acc0");
+  kir::Val acc1 = kb.Var(kir::F32(lanes), "acc1");
+  kb.Assign(acc0, kb.ConstF(kir::F32(lanes), 0.0));
+  kb.Assign(acc1, kb.ConstF(kir::F32(lanes), 0.0));
+  kb.For("i", start, end, 2 * lanes, [&](kir::Val i) {
+    kir::Val i2 = kb.Binary(kir::Opcode::kAdd, i, kb.ConstI(kir::I32(), lanes));
+    kb.Assign(acc0, kb.Fma(kb.Load(x, i, 0, lanes), kb.Load(y, i, 0, lanes), acc0));
+    kb.Assign(acc1, kb.Fma(kb.Load(x, i2, 0, lanes), kb.Load(y, i2, 0, lanes), acc1));
+  });
+  kb.Store(out, gid, kb.VSum(acc0 + acc1));
+  return *kb.Build();
+}
+
+struct RunResult {
+  double ms = 0;
+  double threads_per_core = 0;
+};
+
+RunResult Run(const kir::Program& source, std::uint64_t items,
+              std::uint64_t buf_elems, bool has_n, std::uint64_t n_value) {
+  ocl::Context ctx;
+  auto x = ctx.CreateBuffer(ocl::kMemReadWrite | ocl::kMemAllocHostPtr,
+                            buf_elems * 4);
+  auto y = ctx.CreateBuffer(ocl::kMemReadWrite | ocl::kMemAllocHostPtr,
+                            buf_elems * 4);
+  auto out = ctx.CreateBuffer(ocl::kMemReadWrite | ocl::kMemAllocHostPtr,
+                              items * 4 + 64);
+  MALI_CHECK(x.ok() && y.ok() && out.ok());
+  std::vector<kir::Program> kernels;
+  kernels.push_back(source);
+  auto prog = ctx.CreateProgram(std::move(kernels));
+  MALI_CHECK(prog->Build().ok());
+  auto kernel = ctx.CreateKernel(prog, source.name);
+  MALI_CHECK(kernel.ok());
+  MALI_CHECK((*kernel)->SetArgBuffer(0, *x).ok());
+  MALI_CHECK((*kernel)->SetArgBuffer(1, *y).ok());
+  std::uint32_t next = 2;
+  if (source.num_buffer_args() == 3) {
+    MALI_CHECK((*kernel)->SetArgBuffer(next++, *out).ok());
+  }
+  if (has_n) {
+    MALI_CHECK(
+        (*kernel)->SetArgI32(next, static_cast<std::int32_t>(n_value)).ok());
+  }
+  const std::uint64_t global[1] = {items};
+  const std::uint64_t local[1] = {128};
+  auto event = ctx.queue().EnqueueNDRange(**kernel, 1, global, local);
+  MALI_CHECK(event.ok());
+  RunResult r;
+  r.ms = event->seconds * 1e3;
+  r.threads_per_core = event->stats.Get("mali.threads_per_core");
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool csv = argc > 1 && std::string(argv[1]) == "--csv";
+  const std::uint64_t n = 1 << 20;
+  std::printf("== Ablation A3: §III-B vector size sweep (n = %llu) ==\n",
+              static_cast<unsigned long long>(n));
+  malisim::Table table({"width", "axpy (ms)", "axpy threads/core",
+                        "dot (ms)", "dot threads/core"});
+  for (std::uint8_t lanes : {1, 2, 4, 8, 16}) {
+    const RunResult axpy = Run(AxpyKernel(lanes), n / lanes, n, false, 0);
+    const RunResult dot =
+        Run(DotKernel(lanes), 1024, n, true, n);
+    table.BeginRow();
+    table.AddCell(lanes == 1 ? "scalar" : "float" + std::to_string(lanes));
+    table.AddNumber(axpy.ms, 3);
+    table.AddNumber(axpy.threads_per_core, 0);
+    table.AddNumber(dot.ms, 3);
+    table.AddNumber(dot.threads_per_core, 0);
+  }
+  std::printf("%s\n", csv ? table.ToCsv().c_str() : table.ToAscii().c_str());
+  std::printf(
+      "paper expectation: float4 matches the 128-bit pipes; wider types can\n"
+      "win or lose depending on register pressure (threads/core drops).\n");
+  return 0;
+}

@@ -1,0 +1,85 @@
+#include "bench/bench_common.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/table.h"
+
+namespace malisim::bench {
+
+BenchOptions ParseOptions(int argc, char** argv) {
+  BenchOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fp32") {
+      options.run_fp64 = false;
+    } else if (arg == "--fp64") {
+      options.run_fp32 = false;
+    } else if (arg == "--csv") {
+      options.csv = true;
+    } else if (arg.rfind("--trace=", 0) == 0) {
+      options.trace_path = arg.substr(8);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg == "--quick") {
+      // Shrunken sizes: same code paths, seconds-scale total runtime.
+      options.sizes.spmv_rows = 2048;
+      options.sizes.vecop_n = 1u << 17;
+      options.sizes.hist_n = 1u << 17;
+      options.sizes.stencil_dim = 32;
+      options.sizes.red_n = 1u << 17;
+      options.sizes.amcd_chains = 128;
+      options.sizes.amcd_atoms = 24;
+      options.sizes.amcd_steps = 32;
+      options.sizes.nbody_n = 512;
+      options.sizes.conv_dim = 128;
+      options.sizes.dmmm_n = 96;
+    }
+  }
+  return options;
+}
+
+StatusOr<std::vector<harness::BenchmarkResults>> RunSweep(
+    const BenchOptions& options, bool fp64) {
+  harness::ExperimentConfig config;
+  config.sizes = options.sizes;
+  config.fp64 = fp64;
+  config.seed = options.seed;
+  harness::ExperimentRunner runner(config);
+  return runner.RunAll();
+}
+
+std::string CompareWithPaper(
+    const std::vector<harness::BenchmarkResults>& results,
+    const std::map<std::string, PaperRow>& paper,
+    double (harness::BenchmarkResults::*metric)(hpc::Variant) const,
+    int precision) {
+  Table table({"benchmark", "paper OpenMP", "model OpenMP", "paper OpenCL",
+               "model OpenCL", "paper Opt", "model Opt"});
+  for (const harness::BenchmarkResults& r : results) {
+    auto it = paper.find(r.name);
+    if (it == paper.end()) continue;
+    const PaperRow& row = it->second;
+    table.BeginRow();
+    table.AddCell(r.name);
+    auto add_pair = [&](double paper_v, hpc::Variant v) {
+      if (std::isnan(paper_v)) {
+        table.AddMissing();
+      } else {
+        table.AddNumber(paper_v, precision);
+      }
+      const double model_v = (r.*metric)(v);
+      if (model_v <= 0.0) {
+        table.AddMissing();
+      } else {
+        table.AddNumber(model_v, precision);
+      }
+    };
+    add_pair(row.openmp, hpc::Variant::kOpenMP);
+    add_pair(row.opencl, hpc::Variant::kOpenCL);
+    add_pair(row.opencl_opt, hpc::Variant::kOpenCLOpt);
+  }
+  return table.ToAscii();
+}
+
+}  // namespace malisim::bench

@@ -1,0 +1,40 @@
+// Shared plumbing for the figure-reproduction binaries: flag parsing,
+// running both precisions, and the paper-vs-model comparison rendering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bench/paper_reference.h"
+#include "harness/experiment.h"
+#include "harness/figures.h"
+
+namespace malisim::bench {
+
+struct BenchOptions {
+  bool run_fp32 = true;
+  bool run_fp64 = true;
+  bool csv = false;
+  std::uint64_t seed = 42;
+  hpc::ProblemSizes sizes;
+  /// When non-empty, a Chrome trace of the runs is written here.
+  std::string trace_path;
+};
+
+/// Parses --fp32 / --fp64 (run only that precision), --csv, --seed=N,
+/// --quick (shrunken problem sizes for CI smoke runs), --trace=PATH
+/// (Chrome trace of the runs).
+BenchOptions ParseOptions(int argc, char** argv);
+
+/// Runs all nine benchmarks at one precision.
+StatusOr<std::vector<harness::BenchmarkResults>> RunSweep(
+    const BenchOptions& options, bool fp64);
+
+/// Appends a paper-vs-model comparison table for the given metric.
+std::string CompareWithPaper(
+    const std::vector<harness::BenchmarkResults>& results,
+    const std::map<std::string, PaperRow>& paper,
+    double (harness::BenchmarkResults::*metric)(hpc::Variant) const,
+    int precision);
+
+}  // namespace malisim::bench

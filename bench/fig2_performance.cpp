@@ -1,0 +1,60 @@
+// Regenerates Fig. 2 of the paper: speedup of OpenMP / OpenCL / OpenCL Opt
+// over the Serial version, for all nine benchmarks, in single precision
+// (Fig. 2a) and double precision (Fig. 2b). Prints the model's tables and
+// a side-by-side comparison with the paper's reported values.
+//
+// Usage: fig2_performance [--fp32|--fp64] [--csv] [--quick] [--seed=N]
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "harness/trace.h"
+
+namespace mb = malisim::bench;
+namespace mh = malisim::harness;
+
+namespace {
+
+int RunPrecision(const mb::BenchOptions& options, bool fp64) {
+  auto results = mb::RunSweep(options, fp64);
+  if (!results.ok()) {
+    std::fprintf(stderr, "error: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  const char* sub = fp64 ? "Fig. 2(b) double-precision" : "Fig. 2(a) single-precision";
+  if (!options.trace_path.empty()) {
+    mh::TraceBuilder trace;
+    for (const mh::BenchmarkResults& r : *results) trace.AddBenchmark(r);
+    const std::string path =
+        options.trace_path + (fp64 ? ".fp64.json" : ".fp32.json");
+    const malisim::Status written = trace.WriteTo(path);
+    if (written.ok()) {
+      std::fprintf(stderr, "trace written to %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "trace error: %s\n", written.ToString().c_str());
+    }
+  }
+  const malisim::Table table = mh::Fig2Speedup(*results);
+  if (options.csv) {
+    std::printf("# %s speedup over Serial\n%s\n", sub, table.ToCsv().c_str());
+    return 0;
+  }
+  std::printf("%s\n", mh::RenderFigure(std::string(sub) + ": speedup over Serial",
+                                       table, *results)
+                          .c_str());
+  std::printf("paper vs model:\n%s\n",
+              mb::CompareWithPaper(*results,
+                                   fp64 ? mb::Fig2bSpeedup() : mb::Fig2aSpeedup(),
+                                   &mh::BenchmarkResults::SpeedupVsSerial, 2)
+                  .c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mb::BenchOptions options = mb::ParseOptions(argc, argv);
+  int rc = 0;
+  if (options.run_fp32) rc |= RunPrecision(options, false);
+  if (options.run_fp64) rc |= RunPrecision(options, true);
+  return rc;
+}

@@ -1,0 +1,51 @@
+// Regenerates Fig. 3 of the paper: board power consumption of each version
+// normalized to the Serial version, per benchmark, in single (3a) and
+// double (3b) precision, from the component power model driven by the
+// modelled utilizations and sampled by the virtual Yokogawa WT230.
+//
+// Usage: fig3_power [--fp32|--fp64] [--csv] [--quick] [--seed=N]
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace mb = malisim::bench;
+namespace mh = malisim::harness;
+
+namespace {
+
+int RunPrecision(const mb::BenchOptions& options, bool fp64) {
+  auto results = mb::RunSweep(options, fp64);
+  if (!results.ok()) {
+    std::fprintf(stderr, "error: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  const char* sub =
+      fp64 ? "Fig. 3(b) double-precision" : "Fig. 3(a) single-precision";
+  const malisim::Table table = mh::Fig3Power(*results);
+  if (options.csv) {
+    std::printf("# %s power normalized to Serial\n%s\n", sub,
+                table.ToCsv().c_str());
+    return 0;
+  }
+  std::printf("%s\n",
+              mh::RenderFigure(std::string(sub) + ": power normalized to Serial",
+                               table, *results)
+                  .c_str());
+  if (!fp64) {
+    std::printf("paper vs model:\n%s\n",
+                mb::CompareWithPaper(*results, mb::Fig3aPower(),
+                                     &mh::BenchmarkResults::PowerVsSerial, 2)
+                    .c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mb::BenchOptions options = mb::ParseOptions(argc, argv);
+  int rc = 0;
+  if (options.run_fp32) rc |= RunPrecision(options, false);
+  if (options.run_fp64) rc |= RunPrecision(options, true);
+  return rc;
+}

@@ -1,0 +1,59 @@
+// Regenerates Fig. 4 of the paper: energy-to-solution of each version
+// normalized to the Serial version, per benchmark, in single (4a) and
+// double (4b) precision.
+//
+// Usage: fig4_energy [--fp32|--fp64] [--csv] [--quick] [--seed=N]
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace mb = malisim::bench;
+namespace mh = malisim::harness;
+
+namespace {
+
+int RunPrecision(const mb::BenchOptions& options, bool fp64) {
+  auto results = mb::RunSweep(options, fp64);
+  if (!results.ok()) {
+    std::fprintf(stderr, "error: %s\n", results.status().ToString().c_str());
+    return 1;
+  }
+  const char* sub =
+      fp64 ? "Fig. 4(b) double-precision" : "Fig. 4(a) single-precision";
+  const malisim::Table table = mh::Fig4Energy(*results);
+  if (options.csv) {
+    std::printf("# %s energy-to-solution normalized to Serial\n%s\n", sub,
+                table.ToCsv().c_str());
+    return 0;
+  }
+  std::printf("%s\n",
+              mh::RenderFigure(
+                  std::string(sub) + ": energy-to-solution normalized to Serial",
+                  table, *results)
+                  .c_str());
+  if (!fp64) {
+    std::printf("paper vs model:\n%s\n",
+                mb::CompareWithPaper(*results, mb::Fig4aEnergy(),
+                                     &mh::BenchmarkResults::EnergyVsSerial, 2)
+                    .c_str());
+  }
+  const mh::Summary summary = mh::ComputeSummary(*results);
+  std::printf(
+      "summary (%s): OpenMP speedup %.2fx (paper ~1.7x SP), OpenMP power "
+      "%.2fx (paper ~1.31x SP), OpenCL energy %.2f (paper ~0.56), Opt "
+      "speedup %.2fx, Opt energy %.2f (paper 0.28 SP / 0.36 DP)\n\n",
+      fp64 ? "fp64" : "fp32", summary.openmp_avg_speedup,
+      summary.openmp_avg_power, summary.opencl_avg_energy,
+      summary.openclopt_avg_speedup, summary.openclopt_avg_energy);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const mb::BenchOptions options = mb::ParseOptions(argc, argv);
+  int rc = 0;
+  if (options.run_fp32) rc |= RunPrecision(options, false);
+  if (options.run_fp64) rc |= RunPrecision(options, true);
+  return rc;
+}

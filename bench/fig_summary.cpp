@@ -1,0 +1,41 @@
+// Regenerates the paper's §V-D headline: "single-precision and
+// double-precision OpenCL Opt benchmarks achieve a speedup of 8.7x over the
+// corresponding Serial benchmarks running on the Cortex-A15 core, while
+// consuming only 32% of the energy."
+//
+// Usage: fig_summary [--quick] [--seed=N]
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+namespace mb = malisim::bench;
+namespace mh = malisim::harness;
+
+int main(int argc, char** argv) {
+  const mb::BenchOptions options = mb::ParseOptions(argc, argv);
+  auto sp = mb::RunSweep(options, false);
+  if (!sp.ok()) {
+    std::fprintf(stderr, "error: %s\n", sp.status().ToString().c_str());
+    return 1;
+  }
+  auto dp = mb::RunSweep(options, true);
+  if (!dp.ok()) {
+    std::fprintf(stderr, "error: %s\n", dp.status().ToString().c_str());
+    return 1;
+  }
+  const mh::Summary ssp = mh::ComputeSummary(*sp);
+  const mh::Summary sdp = mh::ComputeSummary(*dp);
+  const mh::Headline headline = mh::ComputeHeadline(*sp, *dp);
+
+  std::printf("== Paper §V-D summary, paper vs model ==\n");
+  std::printf("%-46s %8s %8s\n", "statistic", "paper", "model");
+  std::printf("%-46s %8s %8.2f\n", "OpenMP avg speedup (SP)", "1.70", ssp.openmp_avg_speedup);
+  std::printf("%-46s %8s %8.2f\n", "OpenMP avg power vs Serial (SP)", "1.31", ssp.openmp_avg_power);
+  std::printf("%-46s %8s %8.2f\n", "OpenCL avg energy vs Serial (SP)", "0.56", ssp.opencl_avg_energy);
+  std::printf("%-46s %8s %8.2f\n", "OpenCL avg energy vs Serial (DP)", "0.56", sdp.opencl_avg_energy);
+  std::printf("%-46s %8s %8.2f\n", "OpenCL Opt avg energy vs Serial (SP)", "0.28", ssp.openclopt_avg_energy);
+  std::printf("%-46s %8s %8.2f\n", "OpenCL Opt avg energy vs Serial (DP)", "0.36", sdp.openclopt_avg_energy);
+  std::printf("%-46s %8s %8.2f\n", "OpenCL Opt avg speedup (SP+DP, headline)", "8.70", headline.avg_speedup);
+  std::printf("%-46s %8s %8.2f\n", "OpenCL Opt avg energy (SP+DP, headline)", "0.32", headline.avg_energy);
+  return 0;
+}

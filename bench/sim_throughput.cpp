@@ -1,0 +1,107 @@
+// google-benchmark microbenchmarks of the simulator itself: interpreter
+// instruction throughput, cache-model probe rate, and end-to-end device
+// simulation rate. These guard the tool's own performance (a full figure
+// sweep interprets ~10^9 instructions), not the modelled hardware.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "cpu/a15_device.h"
+#include "kir/builder.h"
+#include "kir/interp.h"
+#include "mali/compiler.h"
+#include "mali/t604_device.h"
+#include "sim/cache.h"
+
+namespace {
+
+using namespace malisim;
+
+kir::Program ArithLoopKernel() {
+  kir::KernelBuilder kb("arith_loop");
+  auto out = kb.ArgBuffer("out", kir::ScalarType::kF32, kir::ArgKind::kBufferWO);
+  kir::Val n = kb.ArgScalar("n", kir::ScalarType::kI32);
+  kir::Val x = kb.Var(kir::F32(), "x");
+  kb.Assign(x, kb.ConstF(kir::F32(), 1.0));
+  kb.For("i", kb.ConstI(kir::I32(), 0), n, 1, [&](kir::Val) {
+    kb.Assign(x, kb.Fma(x, kb.ConstF(kir::F32(), 0.5), kb.ConstF(kir::F32(), 0.25)));
+  });
+  kb.Store(out, kb.ConstI(kir::I32(), 0), x);
+  return *kb.Build();
+}
+
+void BM_InterpreterArithLoop(benchmark::State& state) {
+  const kir::Program p = ArithLoopKernel();
+  const std::int32_t trips = static_cast<std::int32_t>(state.range(0));
+  float out = 0;
+  for (auto _ : state) {
+    kir::Bindings b;
+    b.buffers = {{reinterpret_cast<std::byte*>(&out), 0x1000, 4}};
+    b.scalars = {kir::ScalarValue::I32V(trips)};
+    auto run = kir::RunProgram(p, kir::LaunchConfig{}, std::move(b));
+    benchmark::DoNotOptimize(run->ops.Total());
+  }
+  // ~3 instructions per trip (fma + loop bookkeeping).
+  state.SetItemsProcessed(state.iterations() * trips * 3);
+}
+BENCHMARK(BM_InterpreterArithLoop)->Arg(1000)->Arg(100000);
+
+void BM_CacheProbe(benchmark::State& state) {
+  sim::CacheModel cache(sim::CacheConfig{1 << 20, 64, 16, true});
+  std::uint64_t addr = 0;
+  for (auto _ : state) {
+    addr = (addr + 64) & ((1 << 26) - 1);
+    benchmark::DoNotOptimize(cache.Access(addr, 4, false).misses);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheProbe);
+
+void BM_MaliDeviceVecAdd(benchmark::State& state) {
+  kir::KernelBuilder kb("vecadd4");
+  auto a = kb.ArgBuffer("a", kir::ScalarType::kF32, kir::ArgKind::kBufferRO);
+  auto c = kb.ArgBuffer("c", kir::ScalarType::kF32, kir::ArgKind::kBufferWO);
+  kir::Val base = kb.Binary(kir::Opcode::kMul, kb.GlobalId(0),
+                            kb.ConstI(kir::I32(), 4));
+  kb.Store(c, base, kb.Load(a, base, 0, 4) + 1.0);
+  const kir::Program p = *kb.Build();
+  auto compiled =
+      mali::CompileForMali(p, mali::MaliTimingParams(), mali::MaliCompilerParams());
+
+  const std::uint64_t n = static_cast<std::uint64_t>(state.range(0));
+  std::vector<float> in(n, 1.0f), out_data(n, 0.0f);
+  mali::MaliT604Device device;
+  kir::LaunchConfig config;
+  config.global_size = {n / 4, 1, 1};
+  config.local_size = {128, 1, 1};
+  for (auto _ : state) {
+    kir::Bindings b;
+    b.buffers = {
+        {reinterpret_cast<std::byte*>(in.data()), 0x100000, n * 4},
+        {reinterpret_cast<std::byte*>(out_data.data()), 0x900000, n * 4}};
+    auto run = device.Run(*compiled, config, std::move(b));
+    benchmark::DoNotOptimize(run->seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MaliDeviceVecAdd)->Arg(1 << 14)->Arg(1 << 18);
+
+void BM_A15DeviceLoop(benchmark::State& state) {
+  const kir::Program p = ArithLoopKernel();
+  cpu::CortexA15Device device;
+  float out = 0;
+  for (auto _ : state) {
+    kir::Bindings b;
+    b.buffers = {{reinterpret_cast<std::byte*>(&out), 0x1000, 4}};
+    b.scalars = {kir::ScalarValue::I32V(static_cast<std::int32_t>(state.range(0)))};
+    kir::LaunchConfig config;
+    auto run = device.Run(p, config, std::move(b), 1);
+    benchmark::DoNotOptimize(run->seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 3);
+}
+BENCHMARK(BM_A15DeviceLoop)->Arg(100000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+// Benchmark explorer: runs one paper benchmark in any of its four versions
+// and dumps the full model breakdown — modelled time, per-core pipe cycles,
+// cache misses, imbalance, occupancy, power components. This is the tool to
+// reach for when asking "why is this variant this fast?".
+//
+//   $ ./benchmark_explorer                 # list benchmarks
+//   $ ./benchmark_explorer dmmm            # all four versions
+//   $ ./benchmark_explorer dmmm openclopt --fp64
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.h"
+
+using namespace malisim;
+
+namespace {
+
+void PrintVariant(const std::string& bench,
+                  const harness::VariantResult& result, hpc::Variant v) {
+  std::printf("---- %s / %s ----\n", bench.c_str(),
+              std::string(hpc::VariantName(v)).c_str());
+  if (!result.available) {
+    std::printf("  unavailable: %s\n\n", result.unavailable_reason.c_str());
+    return;
+  }
+  std::printf("  time        : %.4f ms (modelled)\n", result.seconds * 1e3);
+  std::printf("  power       : %.3f W  (sigma %.4f W over repetitions)\n",
+              result.power_mean_w, result.power_stddev_w);
+  std::printf("  energy      : %.3f mJ\n", result.energy_j * 1e3);
+  std::printf("  validated   : %s (max rel err %.2e)\n",
+              result.validated ? "yes" : "NO", result.max_rel_error);
+  if (!result.note.empty()) std::printf("  note        : %s\n", result.note.c_str());
+  std::printf("  model breakdown:\n");
+  for (const auto& entry : result.stats.Entries()) {
+    std::printf("    %-34s %.6g\n", entry.name.c_str(), entry.value);
+  }
+  std::printf("\n");
+}
+
+int Usage() {
+  std::printf("usage: benchmark_explorer <benchmark> [variant] [--fp64] [--seed=N]\n");
+  std::printf("benchmarks:");
+  for (const std::string& name : hpc::RegisteredBenchmarks()) {
+    std::printf(" %s", name.c_str());
+  }
+  std::printf("\nvariants: serial openmp opencl openclopt (default: all)\n");
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string bench = argv[1];
+  std::string variant_filter;
+  harness::ExperimentConfig config;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fp64") {
+      config.fp64 = true;
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      config.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else {
+      variant_filter = arg;
+    }
+  }
+
+  harness::ExperimentRunner runner(config);
+  auto results = runner.RunBenchmark(bench);
+  if (!results.ok()) {
+    std::fprintf(stderr, "error: %s\n", results.status().ToString().c_str());
+    return Usage();
+  }
+
+  for (hpc::Variant v : hpc::kAllVariants) {
+    std::string vname(hpc::VariantName(v));
+    for (char& ch : vname) ch = static_cast<char>(std::tolower(ch));
+    vname.erase(std::remove(vname.begin(), vname.end(), ' '), vname.end());
+    if (!variant_filter.empty() && vname != variant_filter) continue;
+    PrintVariant(bench, results->Get(v), v);
+  }
+
+  const auto& serial = results->Get(hpc::Variant::kSerial);
+  if (variant_filter.empty() && serial.available) {
+    std::printf("== normalized to Serial ==\n");
+    for (hpc::Variant v : hpc::kAllVariants) {
+      if (!results->Get(v).available) continue;
+      std::printf("  %-11s speedup %6.2fx   power %5.2fx   energy %5.3f\n",
+                  std::string(hpc::VariantName(v)).c_str(),
+                  results->SpeedupVsSerial(v), results->PowerVsSerial(v),
+                  results->EnergyVsSerial(v));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,242 @@
+// Image-blur demo: applies a 5x5 Gaussian-ish blur to a synthetic image
+// with a naive kernel and with the full §III-B optimization stack
+// (vectorization via sliding windows, register blocking, tuned work-group
+// size, restrict/const), printing the optimization walk the paper's 2dcon
+// benchmark takes — each step's modelled time and the cumulative speedup.
+//
+//   $ ./convolution_filter [dim]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/prng.h"
+#include "kir/builder.h"
+#include "ocl/runtime.h"
+
+using namespace malisim;
+
+namespace {
+
+constexpr int kTaps = 5;
+constexpr int kHalo = kTaps / 2;
+
+enum class Style {
+  kNaive,           // scalar, driver-picked work-group size
+  kTunedWg,         // scalar + tuned work-group size
+  kRowVector,       // + float4 row loads with vsum
+  kRegisterBlocked, // + 4x4 output tiles with slide-window reuse
+};
+
+kir::Program BuildKernel(Style style, bool qualified) {
+  kir::KernelBuilder kb("blur_" + std::to_string(static_cast<int>(style)));
+  auto in = kb.ArgBuffer("in", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                         qualified, qualified);
+  auto filt = kb.ArgBuffer("filt", kir::ScalarType::kF32,
+                           kir::ArgKind::kBufferRO, qualified, qualified);
+  auto out = kb.ArgBuffer("out", kir::ScalarType::kF32,
+                          kir::ArgKind::kBufferWO, qualified, false);
+  kir::Val d = kb.ArgScalar("d", kir::ScalarType::kI32);
+  kir::Val halo = kb.ConstI(kir::I32(), kHalo);
+  kir::Val hi = kb.Binary(kir::Opcode::kSub, d, halo);
+
+  auto scalar_point = [&](kir::Val x, kir::Val y) {
+    kir::Val acc = kb.Var(kir::F32(), "acc");
+    kb.Assign(acc, kb.ConstF(kir::F32(), 0.0));
+    for (int r = 0; r < kTaps; ++r) {
+      kir::Val row = kb.Binary(kir::Opcode::kAdd, y,
+                               kb.ConstI(kir::I32(), r - kHalo));
+      kir::Val idx0 = kb.Binary(kir::Opcode::kAdd,
+                                kb.Binary(kir::Opcode::kMul, row, d), x);
+      for (int t = 0; t < kTaps; ++t) {
+        kb.Assign(acc, kb.Fma(kb.Load(filt, kb.ConstI(kir::I32(), r * kTaps + t)),
+                              kb.Load(in, idx0, t - kHalo), acc));
+      }
+    }
+    kb.Store(out, kb.Binary(kir::Opcode::kAdd,
+                            kb.Binary(kir::Opcode::kMul, y, d), x),
+             acc);
+  };
+
+  auto rowvec_point = [&](kir::Val x, kir::Val y) {
+    kir::Val acc4 = kb.Var(kir::F32(4), "acc4");
+    kir::Val accs = kb.Var(kir::F32(), "accs");
+    kb.Assign(acc4, kb.ConstF(kir::F32(4), 0.0));
+    kb.Assign(accs, kb.ConstF(kir::F32(), 0.0));
+    for (int r = 0; r < kTaps; ++r) {
+      kir::Val row = kb.Binary(kir::Opcode::kAdd, y,
+                               kb.ConstI(kir::I32(), r - kHalo));
+      kir::Val idx0 = kb.Binary(kir::Opcode::kAdd,
+                                kb.Binary(kir::Opcode::kMul, row, d), x);
+      kb.Assign(acc4,
+                kb.Fma(kb.Load(filt, kb.ConstI(kir::I32(), r * kTaps), 0, 4),
+                       kb.Load(in, idx0, -kHalo, 4), acc4));
+      kb.Assign(accs,
+                kb.Fma(kb.Load(filt, kb.ConstI(kir::I32(), r * kTaps + 4)),
+                       kb.Load(in, idx0, kHalo), accs));
+    }
+    kb.Store(out, kb.Binary(kir::Opcode::kAdd,
+                            kb.Binary(kir::Opcode::kMul, y, d), x),
+             kb.VSum(acc4) + accs);
+  };
+
+  if (style == Style::kRegisterBlocked) {
+    kir::Val x4 = kb.Binary(kir::Opcode::kMul, kb.GlobalId(0),
+                            kb.ConstI(kir::I32(), 4));
+    kir::Val y4 = kb.Binary(kir::Opcode::kMul, kb.GlobalId(1),
+                            kb.ConstI(kir::I32(), 4));
+    kir::Val tile_hi = kb.Binary(kir::Opcode::kSub, d,
+                                 kb.ConstI(kir::I32(), kHalo + 4 + 1));
+    kir::Val inside = kb.CmpGe(x4, halo) & kb.CmpLe(x4, tile_hi) &
+                      kb.CmpGe(y4, halo) & kb.CmpLe(y4, tile_hi);
+    kb.If(inside, [&] {
+      std::vector<kir::Val> wtap(kTaps * kTaps);
+      for (int i = 0; i < kTaps * kTaps; ++i) {
+        wtap[static_cast<std::size_t>(i)] =
+            kb.Load(filt, kb.ConstI(kir::I32(), i));
+      }
+      std::vector<kir::Val> acc(4);
+      for (int o = 0; o < 4; ++o) {
+        acc[static_cast<std::size_t>(o)] = kb.Var(kir::F32(4), "acc");
+        kb.Assign(acc[static_cast<std::size_t>(o)], kb.ConstF(kir::F32(4), 0.0));
+      }
+      for (int ir = -kHalo; ir < 4 + kHalo; ++ir) {
+        kir::Val row = kb.Binary(kir::Opcode::kAdd, y4,
+                                 kb.ConstI(kir::I32(), ir));
+        kir::Val idx0 = kb.Binary(kir::Opcode::kAdd,
+                                  kb.Binary(kir::Opcode::kMul, row, d), x4);
+        kir::Val lo = kb.Load(in, idx0, -kHalo, 4);
+        kir::Val hi4 = kb.Load(in, idx0, -kHalo + 4, 4);
+        for (int t = 0; t < kTaps; ++t) {
+          kir::Val window = t == 0 ? lo : kb.Slide(lo, hi4, t);
+          for (int o = 0; o < 4; ++o) {
+            const int r = ir - o + kHalo;
+            if (r < 0 || r >= kTaps) continue;
+            kb.Assign(acc[static_cast<std::size_t>(o)],
+                      kb.Fma(kb.Splat(wtap[static_cast<std::size_t>(r * kTaps + t)], 4),
+                             window, acc[static_cast<std::size_t>(o)]));
+          }
+        }
+      }
+      for (int o = 0; o < 4; ++o) {
+        kir::Val row = kb.Binary(kir::Opcode::kAdd, y4, kb.ConstI(kir::I32(), o));
+        kb.Store(out, kb.Binary(kir::Opcode::kAdd,
+                                kb.Binary(kir::Opcode::kMul, row, d), x4),
+                 acc[static_cast<std::size_t>(o)]);
+      }
+    });
+  } else {
+    kir::Val x = kb.GlobalId(0);
+    kir::Val y = kb.GlobalId(1);
+    kir::Val inside = kb.CmpGe(x, halo) & kb.CmpLt(x, hi) & kb.CmpGe(y, halo) &
+                      kb.CmpLt(y, hi);
+    kb.If(inside, [&] {
+      if (style == Style::kRowVector) {
+        rowvec_point(x, y);
+      } else {
+        scalar_point(x, y);
+      }
+    });
+  }
+  return *kb.Build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t dim =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 512;
+  std::printf("5x5 blur of a %llux%llu image on the modelled Mali-T604\n\n",
+              static_cast<unsigned long long>(dim),
+              static_cast<unsigned long long>(dim));
+
+  // Synthetic image and normalized blur filter.
+  Xoshiro256 rng(7);
+  std::vector<float> image(dim * dim);
+  for (auto& p : image) p = static_cast<float>(rng.NextDouble());
+  std::vector<float> filter(kTaps * kTaps);
+  float fsum = 0;
+  for (int i = 0; i < kTaps * kTaps; ++i) {
+    const int r = i / kTaps - kHalo, c = i % kTaps - kHalo;
+    filter[static_cast<std::size_t>(i)] =
+        std::exp(-0.4f * static_cast<float>(r * r + c * c));
+    fsum += filter[static_cast<std::size_t>(i)];
+  }
+  for (auto& w : filter) w /= fsum;
+
+  struct Step {
+    const char* label;
+    Style style;
+    bool qualified;
+    bool tuned_wg;
+  };
+  const Step steps[] = {
+      {"naive scalar, driver wg", Style::kNaive, false, false},
+      {"+ tuned work-group", Style::kTunedWg, false, true},
+      {"+ float4 row vectors", Style::kRowVector, false, true},
+      {"+ 4x4 register blocking", Style::kRegisterBlocked, false, true},
+      {"+ const/restrict", Style::kRegisterBlocked, true, true},
+  };
+
+  double baseline = 0;
+  std::vector<float> reference;
+  for (const Step& step : steps) {
+    ocl::Context ctx;
+    auto in = *ctx.CreateBuffer(ocl::kMemReadOnly | ocl::kMemAllocHostPtr,
+                                image.size() * 4);
+    auto filt = *ctx.CreateBuffer(ocl::kMemReadOnly | ocl::kMemAllocHostPtr,
+                                  filter.size() * 4);
+    auto out = *ctx.CreateBuffer(ocl::kMemWriteOnly | ocl::kMemAllocHostPtr,
+                                 image.size() * 4);
+    std::memcpy(in->device_storage(), image.data(), image.size() * 4);
+    std::memcpy(filt->device_storage(), filter.data(), filter.size() * 4);
+
+    std::vector<kir::Program> kernels;
+    kernels.push_back(BuildKernel(step.style, step.qualified));
+    const std::string name = kernels.front().name;
+    auto prog = ctx.CreateProgram(std::move(kernels));
+    MALI_CHECK(prog->Build().ok());
+    auto kernel = *ctx.CreateKernel(prog, name);
+    MALI_CHECK(kernel->SetArgBuffer(0, in).ok());
+    MALI_CHECK(kernel->SetArgBuffer(1, filt).ok());
+    MALI_CHECK(kernel->SetArgBuffer(2, out).ok());
+    MALI_CHECK(kernel->SetArgI32(3, static_cast<std::int32_t>(dim)).ok());
+
+    std::uint64_t global[2] = {dim, dim};
+    const std::uint64_t tuned[2] = {32, 8};
+    const std::uint64_t tuned_tile[2] = {16, 16};
+    const std::uint64_t* local = nullptr;
+    if (step.style == Style::kRegisterBlocked) {
+      global[0] = dim / 4;
+      global[1] = dim / 4;
+      local = tuned_tile;
+    } else if (step.tuned_wg) {
+      local = tuned;
+    }
+    auto event = ctx.queue().EnqueueNDRange(*kernel, 2, global, local);
+    MALI_CHECK(event.ok());
+
+    // Verify interior pixels against the first (naive) run.
+    std::vector<float> result(image.size());
+    std::memcpy(result.data(), out->device_storage(), result.size() * 4);
+    if (reference.empty()) {
+      reference = result;
+      baseline = event->seconds;
+    } else {
+      // The register-blocked kernel skips partial edge tiles (kept simple
+      // here; the benchmark library's version has an edge fallback), so
+      // compare the deep interior that every version computes.
+      for (std::size_t y = 8; y + 8 < dim; ++y) {
+        for (std::size_t x = 8; x + 8 < dim; ++x) {
+          const float a = result[y * dim + x], b = reference[y * dim + x];
+          MALI_CHECK(std::fabs(a - b) < 1e-4f);
+        }
+      }
+    }
+    std::printf("%-26s %8.3f ms   %5.2fx\n", step.label, event->seconds * 1e3,
+                baseline / event->seconds);
+  }
+  std::printf("\nall versions produce the same blurred image (checked).\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Kernel inspector: the moral equivalent of ARM's `malisc` offline shader
+// compiler for this model. Feeds a selection of kernels through the driver
+// pass pipeline and the Mali kernel compiler, then prints for each:
+// disassembly, static features, register allocation, occupancy, the
+// static pipe-slot balance (is it arithmetic- or load/store-bound?), and
+// any build diagnostics — including the FP64 erratum and
+// CL_OUT_OF_RESOURCES verdicts.
+//
+//   $ ./kernel_inspector [--disasm]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "kir/builder.h"
+#include "kir/passes.h"
+#include "kir/program.h"
+#include "mali/compiler.h"
+#include "mali/t604_params.h"
+
+using namespace malisim;
+
+namespace {
+
+kir::Program VecAdd() {
+  kir::KernelBuilder kb("vec_add_f32x4");
+  auto a = kb.ArgBuffer("a", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                        true, true);
+  auto b = kb.ArgBuffer("b", kir::ScalarType::kF32, kir::ArgKind::kBufferRO,
+                        true, true);
+  auto c = kb.ArgBuffer("c", kir::ScalarType::kF32, kir::ArgKind::kBufferWO,
+                        true, false);
+  kir::Val base =
+      kb.Binary(kir::Opcode::kMul, kb.GlobalId(0), kb.ConstI(kir::I32(), 4));
+  kb.Store(c, base, kb.Load(a, base, 0, 4) + kb.Load(b, base, 0, 4));
+  return *kb.Build();
+}
+
+kir::Program WideAccumulators(bool fp64) {
+  kir::KernelBuilder kb(fp64 ? "wide_acc_f64" : "wide_acc_f32");
+  const kir::ScalarType ft = fp64 ? kir::ScalarType::kF64 : kir::ScalarType::kF32;
+  auto in = kb.ArgBuffer("in", ft, kir::ArgKind::kBufferRO);
+  auto out = kb.ArgBuffer("out", ft, kir::ArgKind::kBufferWO);
+  kir::Val zero = kb.ConstI(kir::I32(), 0);
+  std::vector<kir::Val> accs;
+  for (int i = 0; i < 10; ++i) accs.push_back(kb.Load(in, zero, i * 8, 8));
+  kir::Val sum = accs[0];
+  for (int i = 1; i < 10; ++i) sum = sum + accs[static_cast<std::size_t>(i)];
+  kb.Store(out, zero, sum);
+  return *kb.Build();
+}
+
+kir::Program MetropolisShape(bool fp64) {
+  kir::KernelBuilder kb(fp64 ? "metropolis_f64" : "metropolis_f32");
+  const kir::ScalarType ft = fp64 ? kir::ScalarType::kF64 : kir::ScalarType::kF32;
+  auto buf = kb.ArgBuffer("state", ft, kir::ArgKind::kBufferRW);
+  kir::Val n = kb.ConstI(kir::I32(), 64);
+  kb.For("t", kb.ConstI(kir::I32(), 0), n, 1, [&](kir::Val t) {
+    kir::Val p = kb.Exp(kb.Load(buf, t));
+    kb.If(kb.CmpLt(t, kb.ConstI(kir::I32(), 32)),
+          [&] { kb.Store(buf, t, p); });
+  });
+  return *kb.Build();
+}
+
+kir::Program FoldableConstants() {
+  kir::KernelBuilder kb("foldable");
+  auto out = kb.ArgBuffer("out", kir::ScalarType::kF32, kir::ArgKind::kBufferWO);
+  kir::Val a = kb.ConstF(kir::F32(), 3.0);
+  kir::Val b = kb.ConstF(kir::F32(), 4.0);
+  kir::Val unused = a * a;  // dead
+  (void)unused;
+  kb.Store(out, kb.ConstI(kir::I32(), 0), (a + b) * b);
+  return *kb.Build();
+}
+
+void Inspect(kir::Program program, bool disasm) {
+  std::printf("================================================================\n");
+  std::printf("kernel '%s'\n", program.name.c_str());
+  const std::size_t before = program.code.size();
+  const int folded = *kir::ConstantFold(&program);
+  const int removed = *kir::DeadCodeElim(&program);
+  std::printf("  driver passes  : %zu -> %zu instructions (%d folded, %d dead)\n",
+              before, program.code.size(), folded, removed);
+
+  const kir::ProgramFeatures features = kir::AnalyzeFeatures(program);
+  std::printf("  static features: loop depth %u, widest register %u B%s%s%s\n",
+              features.max_loop_depth, features.max_vector_bytes,
+              features.has_atomics ? ", atomics" : "",
+              features.has_barrier ? ", barrier" : "",
+              features.has_f64 ? ", fp64" : "");
+
+  const mali::MaliTimingParams timing;
+  auto compiled =
+      mali::CompileForMali(program, timing, mali::MaliCompilerParams());
+  if (!compiled.ok()) {
+    std::printf("  BUILD FAILED   : %s\n", compiled.status().ToString().c_str());
+    return;
+  }
+  std::printf("  registers      : %u B live/work-item (budget %u B)%s\n",
+              compiled->live_reg_bytes, timing.max_thread_reg_bytes,
+              compiled->exceeds_resources
+                  ? "  ** CL_OUT_OF_RESOURCES at enqueue **"
+                  : "");
+  std::printf("  occupancy      : %u threads/core (max %u)\n",
+              compiled->threads_per_core, timing.max_threads_per_core);
+  if (compiled->sched_factor < 1.0) {
+    std::printf("  qualifiers     : restrict/const scheduling bonus x%.2f\n",
+                compiled->sched_factor);
+  }
+
+  // Static pipe balance from the instruction mix (per work-item, assuming
+  // every loop body executes once — a static estimate, like malisc's).
+  double arith_slots = 0, ls_slots = 0;
+  for (const kir::Instr& in : program.code) {
+    const kir::OpClass c = kir::ClassifyOpcode(in.op);
+    const double bytes = in.type.bytes();
+    const double chunks = std::max(1.0, bytes / timing.pipe_width_bytes);
+    switch (c) {
+      case kir::OpClass::kArithSimple:
+        arith_slots += chunks * timing.slots_arith;
+        break;
+      case kir::OpClass::kArithMul:
+        arith_slots += chunks * timing.slots_mul;
+        break;
+      case kir::OpClass::kArithSpecial:
+        arith_slots += chunks * timing.slots_special_f32;
+        break;
+      case kir::OpClass::kBroadcast:
+        arith_slots += timing.slots_broadcast;
+        break;
+      case kir::OpClass::kControl:
+        arith_slots += timing.slots_control;
+        break;
+      case kir::OpClass::kLoad:
+      case kir::OpClass::kStore:
+        ls_slots += std::max(timing.slots_ls_min, bytes / timing.ls_bytes_per_slot);
+        break;
+      case kir::OpClass::kAtomic:
+        ls_slots += timing.slots_atomic;
+        break;
+      default:
+        break;
+    }
+  }
+  const double arith_cycles = arith_slots / timing.arith_pipes_per_core;
+  std::printf("  pipe balance   : %.1f arith cycles vs %.1f LS cycles -> %s-bound\n",
+              arith_cycles, ls_slots,
+              arith_cycles > ls_slots ? "arithmetic" : "load/store");
+
+  if (disasm) {
+    std::printf("  disassembly:\n%s", kir::ToText(program).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool disasm = argc > 1 && std::string(argv[1]) == "--disasm";
+  Inspect(VecAdd(), disasm);
+  Inspect(FoldableConstants(), disasm);
+  Inspect(WideAccumulators(false), disasm);
+  Inspect(WideAccumulators(true), disasm);
+  Inspect(MetropolisShape(false), disasm);
+  Inspect(MetropolisShape(true), disasm);
+  return 0;
+}

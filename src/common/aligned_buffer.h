@@ -1,0 +1,93 @@
+// Cache-line-aligned, type-erased host memory. tinycl buffers and the device
+// models share these so that the simulated address of an element is stable
+// for the lifetime of the buffer (the cache models key on addresses).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <span>
+
+#include "common/status.h"
+
+namespace malisim {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+/// Owning, 64-byte-aligned byte buffer. Move-only.
+class AlignedBuffer {
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(std::size_t size_bytes) { Allocate(size_bytes); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(other.data_), size_(other.size_) {
+    other.data_ = nullptr;
+    other.size_ = 0;
+  }
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = other.data_;
+      size_ = other.size_;
+      other.data_ = nullptr;
+      other.size_ = 0;
+    }
+    return *this;
+  }
+
+  ~AlignedBuffer() { Free(); }
+
+  std::byte* data() { return data_; }
+  const std::byte* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  std::span<std::byte> bytes() { return {data_, size_}; }
+  std::span<const std::byte> bytes() const { return {data_, size_}; }
+
+  /// Typed view. The requested element count must fit.
+  template <typename T>
+  std::span<T> as(std::size_t count) {
+    MALI_CHECK(count * sizeof(T) <= size_);
+    return {reinterpret_cast<T*>(data_), count};
+  }
+  template <typename T>
+  std::span<const T> as(std::size_t count) const {
+    MALI_CHECK(count * sizeof(T) <= size_);
+    return {reinterpret_cast<const T*>(data_), count};
+  }
+
+  void ZeroFill() {
+    if (size_ > 0) std::memset(data_, 0, size_);
+  }
+
+ private:
+  void Allocate(std::size_t size_bytes) {
+    size_ = size_bytes;
+    if (size_bytes == 0) return;
+    // Round up so the allocation size is a multiple of the alignment, as
+    // required by aligned allocation.
+    const std::size_t rounded =
+        (size_bytes + kCacheLineBytes - 1) / kCacheLineBytes * kCacheLineBytes;
+    data_ = static_cast<std::byte*>(
+        ::operator new(rounded, std::align_val_t(kCacheLineBytes)));
+  }
+  void Free() {
+    if (data_ != nullptr) {
+      ::operator delete(data_, std::align_val_t(kCacheLineBytes));
+      data_ = nullptr;
+    }
+    size_ = 0;
+  }
+
+  std::byte* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace malisim

@@ -1,0 +1,42 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <cstdio>
+
+namespace malisim {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
+
+const char* LevelPrefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "[debug] ";
+    case LogLevel::kInfo:
+      return "[info ] ";
+    case LogLevel::kWarning:
+      return "[warn ] ";
+    case LogLevel::kError:
+      return "[error] ";
+    case LogLevel::kOff:
+      return "";
+  }
+  return "";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void Logf(LogLevel level, const char* fmt, ...) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::fputs(LevelPrefix(level), stderr);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace malisim

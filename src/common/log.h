@@ -1,0 +1,26 @@
+// Minimal leveled logger. Simulation libraries stay quiet by default;
+// harness binaries raise the level for progress reporting.
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <string_view>
+
+namespace malisim {
+
+enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarning, kError, kOff };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style logging to stderr with a level prefix.
+void Logf(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace malisim
+
+#define MALI_LOG_DEBUG(...) ::malisim::Logf(::malisim::LogLevel::kDebug, __VA_ARGS__)
+#define MALI_LOG_INFO(...) ::malisim::Logf(::malisim::LogLevel::kInfo, __VA_ARGS__)
+#define MALI_LOG_WARN(...) ::malisim::Logf(::malisim::LogLevel::kWarning, __VA_ARGS__)
+#define MALI_LOG_ERROR(...) ::malisim::Logf(::malisim::LogLevel::kError, __VA_ARGS__)

@@ -1,0 +1,115 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace malisim {
+
+void RunningStat::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStat::Reset() { *this = RunningStat(); }
+
+double RunningStat::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double Mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - m) * (x - m);
+  return std::sqrt(m2 / static_cast<double>(xs.size() - 1));
+}
+
+double GeoMean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double log_sum = 0.0;
+  for (double x : xs) {
+    MALI_CHECK_MSG(x > 0.0, "GeoMean requires positive values");
+    log_sum += std::log(x);
+  }
+  return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double Median(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  if (n % 2 == 1) return sorted[n / 2];
+  return 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+double RelativeDifference(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1e-300});
+  return std::fabs(a - b) / scale;
+}
+
+void StatRegistry::Increment(const std::string& name, double amount) {
+  const std::size_t i = IndexOf(name);
+  if (i == static_cast<std::size_t>(-1)) {
+    entries_.push_back({name, amount});
+  } else {
+    entries_[i].value += amount;
+  }
+}
+
+void StatRegistry::Set(const std::string& name, double value) {
+  const std::size_t i = IndexOf(name);
+  if (i == static_cast<std::size_t>(-1)) {
+    entries_.push_back({name, value});
+  } else {
+    entries_[i].value = value;
+  }
+}
+
+double StatRegistry::Get(const std::string& name) const {
+  const std::size_t i = IndexOf(name);
+  return i == static_cast<std::size_t>(-1) ? 0.0 : entries_[i].value;
+}
+
+bool StatRegistry::Has(const std::string& name) const {
+  return IndexOf(name) != static_cast<std::size_t>(-1);
+}
+
+void StatRegistry::Clear() { entries_.clear(); }
+
+std::vector<StatRegistry::Entry> StatRegistry::Entries() const {
+  return entries_;
+}
+
+void StatRegistry::MergeFrom(const StatRegistry& other) {
+  for (const Entry& e : other.entries_) Increment(e.name, e.value);
+}
+
+std::size_t StatRegistry::IndexOf(const std::string& name) const {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return i;
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace malisim

@@ -1,0 +1,78 @@
+// Descriptive statistics helpers used by the experiment harness
+// (paper §IV-D: 20 repetitions, mean and standard deviation reported)
+// and by the simulator's internal stat registries.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace malisim {
+
+/// Online mean / variance accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void Add(double x);
+  void Reset();
+
+  std::size_t count() const { return count_; }
+  double mean() const { return count_ > 0 ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(count_); }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of a sample; 0 for an empty span.
+double Mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two values.
+double StdDev(std::span<const double> xs);
+
+/// Geometric mean; requires all values > 0. Used for figure summary rows
+/// ("on average 8.7x speedup") as is conventional for speedup ratios.
+double GeoMean(std::span<const double> xs);
+
+/// Median (averages the middle pair for even sizes); 0 for empty.
+double Median(std::span<const double> xs);
+
+/// Relative difference |a-b| / max(|a|,|b|, eps).
+double RelativeDifference(double a, double b);
+
+/// A named counter bag for simulator statistics. Counters are created on
+/// first use; iteration order is insertion order for stable report output.
+class StatRegistry {
+ public:
+  void Increment(const std::string& name, double amount = 1.0);
+  void Set(const std::string& name, double value);
+  double Get(const std::string& name) const;  // 0 if absent
+  bool Has(const std::string& name) const;
+  void Clear();
+
+  struct Entry {
+    std::string name;
+    double value;
+  };
+  /// Entries in insertion order.
+  std::vector<Entry> Entries() const;
+
+  /// Merge another registry into this one (summing shared counters).
+  void MergeFrom(const StatRegistry& other);
+
+ private:
+  std::size_t IndexOf(const std::string& name) const;  // npos if absent
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace malisim

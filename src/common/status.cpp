@@ -1,0 +1,77 @@
+#include "common/status.h"
+
+namespace malisim {
+
+std::string_view ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk:
+      return "Ok";
+    case ErrorCode::kInvalidArgument:
+      return "InvalidArgument";
+    case ErrorCode::kOutOfRange:
+      return "OutOfRange";
+    case ErrorCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case ErrorCode::kNotFound:
+      return "NotFound";
+    case ErrorCode::kAlreadyExists:
+      return "AlreadyExists";
+    case ErrorCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case ErrorCode::kUnimplemented:
+      return "Unimplemented";
+    case ErrorCode::kInternal:
+      return "Internal";
+    case ErrorCode::kBuildFailure:
+      return "BuildFailure";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "Ok";
+  std::string out(ErrorCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status InvalidArgumentError(std::string message) {
+  return Status(ErrorCode::kInvalidArgument, std::move(message));
+}
+Status OutOfRangeError(std::string message) {
+  return Status(ErrorCode::kOutOfRange, std::move(message));
+}
+Status FailedPreconditionError(std::string message) {
+  return Status(ErrorCode::kFailedPrecondition, std::move(message));
+}
+Status NotFoundError(std::string message) {
+  return Status(ErrorCode::kNotFound, std::move(message));
+}
+Status AlreadyExistsError(std::string message) {
+  return Status(ErrorCode::kAlreadyExists, std::move(message));
+}
+Status ResourceExhaustedError(std::string message) {
+  return Status(ErrorCode::kResourceExhausted, std::move(message));
+}
+Status UnimplementedError(std::string message) {
+  return Status(ErrorCode::kUnimplemented, std::move(message));
+}
+Status InternalError(std::string message) {
+  return Status(ErrorCode::kInternal, std::move(message));
+}
+Status BuildFailureError(std::string message) {
+  return Status(ErrorCode::kBuildFailure, std::move(message));
+}
+
+namespace internal {
+
+void CheckFailed(const char* file, int line, const char* expr,
+                 const std::string& message) {
+  std::fprintf(stderr, "MALI_CHECK failed at %s:%d: %s%s%s\n", file, line,
+               expr, message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace malisim

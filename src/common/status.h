@@ -1,0 +1,139 @@
+// Lightweight status / error-propagation types used across the library.
+//
+// The library avoids exceptions on hot simulation paths; fallible operations
+// return `Status` or `StatusOr<T>`. Construction-time programming errors
+// (verifier violations, bad indices) abort via MALI_CHECK, matching the
+// fail-fast style of the rest of the codebase.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace malisim {
+
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kFailedPrecondition,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,  // maps to CL_OUT_OF_RESOURCES at the tinycl boundary
+  kUnimplemented,
+  kInternal,
+  kBuildFailure,  // maps to CL_BUILD_PROGRAM_FAILURE (compiler erratum)
+};
+
+/// Human-readable name of an ErrorCode ("Ok", "InvalidArgument", ...).
+std::string_view ErrorCodeName(ErrorCode code);
+
+/// Value-semantic status: either OK or an error code plus message.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // OK
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == ErrorCode::kOk; }
+  ErrorCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+Status InvalidArgumentError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status UnimplementedError(std::string message);
+Status InternalError(std::string message);
+Status BuildFailureError(std::string message);
+
+/// Either a value or an error Status. Minimal absl::StatusOr analogue.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = InternalError("StatusOr constructed from OK status");
+    }
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckHasValue();
+    return *value_;
+  }
+  T& value() & {
+    CheckHasValue();
+    return *value_;
+  }
+  T&& value() && {
+    CheckHasValue();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckHasValue() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+}  // namespace internal
+
+}  // namespace malisim
+
+/// Fail-fast invariant check, active in all build types.
+#define MALI_CHECK(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::malisim::internal::CheckFailed(__FILE__, __LINE__, #expr, "");    \
+    }                                                                     \
+  } while (0)
+
+#define MALI_CHECK_MSG(expr, msg)                                         \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      ::malisim::internal::CheckFailed(__FILE__, __LINE__, #expr, (msg)); \
+    }                                                                     \
+  } while (0)
+
+/// Propagate a non-OK Status to the caller.
+#define MALI_RETURN_IF_ERROR(expr)            \
+  do {                                        \
+    ::malisim::Status _status = (expr);       \
+    if (!_status.ok()) return _status;        \
+  } while (0)

@@ -1,0 +1,47 @@
+// ASCII table and CSV rendering for figure reproduction output.
+//
+// The bench harness prints each paper figure both as an aligned ASCII table
+// (human inspection) and as CSV (plotting). Cells are strings; numeric
+// convenience setters format with a fixed precision.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace malisim {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  std::size_t num_columns() const { return headers_.size(); }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Starts a new row; subsequent Add* calls fill it left to right.
+  void BeginRow();
+  void AddCell(std::string value);
+  void AddNumber(double value, int precision = 2);
+  /// "n/a" cell (paper figures have missing bars, e.g. amcd FP64 on GPU).
+  void AddMissing();
+
+  /// Complete row added at once; must match the header width.
+  void AddRow(std::vector<std::string> cells);
+
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Aligned, boxed ASCII rendering.
+  std::string ToAscii() const;
+  /// RFC-4180-ish CSV (quotes cells containing comma/quote/newline).
+  std::string ToCsv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `precision` digits after the decimal point.
+std::string FormatDouble(double value, int precision);
+
+}  // namespace malisim

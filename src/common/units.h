@@ -1,0 +1,33 @@
+// Unit conversion helpers and physical constants shared by the timing and
+// power models. Frequencies/time are kept in double precision seconds/Hz;
+// cycle counts in std::uint64_t.
+#pragma once
+
+#include <cstdint>
+
+namespace malisim {
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+inline constexpr std::uint64_t KiB(std::uint64_t n) { return n << 10; }
+inline constexpr std::uint64_t MiB(std::uint64_t n) { return n << 20; }
+inline constexpr std::uint64_t GiB(std::uint64_t n) { return n << 30; }
+
+/// Seconds taken by `cycles` at clock `hz`.
+inline constexpr double CyclesToSeconds(double cycles, double hz) {
+  return cycles / hz;
+}
+
+/// Cycles elapsed in `seconds` at clock `hz` (not rounded).
+inline constexpr double SecondsToCycles(double seconds, double hz) {
+  return seconds * hz;
+}
+
+/// Joules from average watts over seconds.
+inline constexpr double Energy(double watts, double seconds) {
+  return watts * seconds;
+}
+
+}  // namespace malisim

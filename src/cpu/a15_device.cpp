@@ -1,0 +1,221 @@
+#include "cpu/a15_device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/aligned_buffer.h"
+
+namespace malisim::cpu {
+namespace {
+
+/// Simulated address range reserved for per-core __local scratch. Real
+/// hardware has no CPU-side local memory; this simply keeps scratch
+/// addresses disjoint from buffer addresses in the unified address space.
+constexpr std::uint64_t kScratchSimBase = 0x7f00'0000'0000ULL;
+constexpr std::uint64_t kScratchStride = 16ULL << 20;  // 16 MiB per core
+
+/// Memory sink binding one core's accesses to the shared hierarchy.
+class CoreSink final : public kir::MemorySink {
+ public:
+  CoreSink(sim::MemoryHierarchy* hierarchy, std::uint32_t core)
+      : hierarchy_(hierarchy), core_(core) {}
+
+  void OnAccess(std::uint64_t addr, std::uint32_t bytes, bool is_write) override {
+    const sim::AccessOutcome out = hierarchy_->Access(core_, addr, bytes, is_write);
+    l1_misses += out.l1_misses;
+    l2_misses += out.l2_misses;
+    lines += out.lines_touched;
+  }
+
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  std::uint64_t lines = 0;
+
+ private:
+  sim::MemoryHierarchy* hierarchy_;
+  std::uint32_t core_;
+};
+
+double ClassCycles(const A15TimingParams& t, const kir::OpHistogram& ops) {
+  double cycles = 0.0;
+  ops.ForEach([&](kir::OpClass c, kir::ScalarType st, std::uint8_t lanes,
+                  std::uint64_t n) {
+    // Scalar pipeline: vector-typed ops decompose into `lanes` scalar ops
+    // (no usable FP SIMD — paper §IV-B).
+    const double scalar_ops = static_cast<double>(n) * lanes;
+    switch (c) {
+      case kir::OpClass::kArithSimple:
+      case kir::OpClass::kBroadcast:  // a plain register copy on the CPU
+        cycles += scalar_ops * t.cycles_arith;
+        break;
+      case kir::OpClass::kArithMul:
+        cycles += scalar_ops * t.cycles_mul;
+        break;
+      case kir::OpClass::kArithSpecial:
+        if (st == kir::ScalarType::kF64) {
+          cycles += scalar_ops * t.cycles_special_f64;
+        } else if (st == kir::ScalarType::kF32) {
+          cycles += scalar_ops * t.cycles_special_f32;
+        } else {
+          cycles += scalar_ops * t.cycles_special_int;
+        }
+        break;
+      case kir::OpClass::kLoad:
+        // A vector load is one instruction but `lanes` elements; the LSU
+        // moves up to one 64-bit chunk per cycle.
+        cycles += static_cast<double>(n) *
+                  std::max(1.0, lanes * kir::ScalarBytes(st) / 8.0) *
+                  t.cycles_load;
+        break;
+      case kir::OpClass::kStore:
+        cycles += static_cast<double>(n) *
+                  std::max(1.0, lanes * kir::ScalarBytes(st) / 8.0) *
+                  t.cycles_store;
+        break;
+      case kir::OpClass::kAtomic:
+        cycles += static_cast<double>(n) * t.cycles_atomic;
+        break;
+      case kir::OpClass::kControl:
+        cycles += static_cast<double>(n) * t.cycles_control;
+        break;
+      case kir::OpClass::kBarrier:
+        cycles += static_cast<double>(n) * 40.0;  // pthread-style sync
+        break;
+      case kir::OpClass::kNumClasses:
+        break;
+    }
+  });
+  return cycles;
+}
+
+}  // namespace
+
+CortexA15Device::CortexA15Device(const A15TimingParams& timing,
+                                 const A15MemoryConfig& memory)
+    : timing_(timing),
+      hierarchy_(sim::HierarchyConfig{/*has_l1=*/true,
+                                      /*num_cores=*/kMaxCores, memory.l1,
+                                      memory.l2}),
+      dram_(memory.dram) {}
+
+StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
+                                            const kir::LaunchConfig& config,
+                                            kir::Bindings bindings,
+                                            int num_threads) {
+  if (num_threads < 1 || num_threads > kMaxCores) {
+    return InvalidArgumentError("A15 device supports 1.." +
+                                std::to_string(kMaxCores) + " threads");
+  }
+  hierarchy_.ResetStats();
+  dram_.ResetStats();
+
+  // Size per-core __local scratch if the kernel declares local arrays.
+  std::uint64_t local_bytes = 0;
+  for (const kir::LocalArrayDecl& local : program.locals) {
+    local_bytes += static_cast<std::uint64_t>(local.elems) *
+                   kir::ScalarBytes(local.elem);
+  }
+  if (local_bytes > scratch_bytes_ || scratch_.empty()) {
+    scratch_.clear();
+    for (int c = 0; c < kMaxCores; ++c) {
+      scratch_.push_back(std::make_unique<std::byte[]>(local_bytes + 64));
+    }
+    scratch_bytes_ = local_bytes;
+  }
+
+  const std::uint64_t total_groups = config.total_groups();
+  const auto group_dims = config.num_groups();
+
+  CpuRunResult result;
+  double max_core_sec = 0.0;
+  double busy_cycles_total[kMaxCores] = {};
+  double core_sec[kMaxCores] = {};
+
+  for (int t = 0; t < num_threads; ++t) {
+    // Contiguous block of groups, row-major order (OpenMP static schedule).
+    const std::uint64_t begin = total_groups * t / num_threads;
+    const std::uint64_t end = total_groups * (t + 1) / num_threads;
+
+    kir::Bindings core_bindings = bindings;
+    core_bindings.local_scratch = {
+        scratch_[t].get(), kScratchSimBase + t * kScratchStride,
+        local_bytes + 64};
+
+    StatusOr<kir::Executor> executor =
+        kir::Executor::Create(&program, config, std::move(core_bindings));
+    if (!executor.ok()) return executor.status();
+
+    CoreSink sink(&hierarchy_, static_cast<std::uint32_t>(t));
+    kir::WorkGroupRun core_run;
+    for (std::uint64_t g = begin; g < end; ++g) {
+      const std::uint64_t gx = g % group_dims[0];
+      const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
+      const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
+      MALI_RETURN_IF_ERROR(executor->RunGroup({gx, gy, gz}, &sink, &core_run));
+    }
+
+    // --- timing for this core ---
+    const double issue_cycles = ClassCycles(timing_, core_run.ops);
+    const double l2_hit_stall =
+        static_cast<double>(sink.l1_misses - sink.l2_misses) *
+        timing_.l2_hit_cycles;
+    // DRAM stall: sequential misses are mostly prefetched away; scattered
+    // ones overlap only up to the core's miss-level parallelism.
+    const double seqf = hierarchy_.sequential_fraction();
+    const double exposed_latency_per_miss =
+        timing_.dram_latency_sec *
+        (seqf * (1.0 - timing_.prefetch_seq_hiding) +
+         (1.0 - seqf) / timing_.scattered_mlp);
+    const double dram_stall_sec =
+        static_cast<double>(sink.l2_misses) * exposed_latency_per_miss;
+
+    const double cycles = issue_cycles + l2_hit_stall;
+    // A single A15 cannot pull more than per_core_stream_bw from DRAM
+    // (limited outstanding misses / prefetch depth).
+    const double core_dram_bytes = static_cast<double>(sink.l2_misses) *
+                                   hierarchy_.l2().config().line_bytes;
+    const double core_bw_floor_sec =
+        core_dram_bytes / timing_.per_core_stream_bw;
+    core_sec[t] = std::max(cycles / timing_.clock_hz + dram_stall_sec,
+                           core_bw_floor_sec);
+    busy_cycles_total[t] = issue_cycles;
+    max_core_sec = std::max(max_core_sec, core_sec[t]);
+
+    result.run.MergeFrom(core_run);
+    result.stats.Increment("cpu.core" + std::to_string(t) + ".issue_cycles",
+                           issue_cycles);
+    result.stats.Increment("cpu.core" + std::to_string(t) + ".l1_misses",
+                           static_cast<double>(sink.l1_misses));
+    result.stats.Increment("cpu.core" + std::to_string(t) + ".l2_misses",
+                           static_cast<double>(sink.l2_misses));
+  }
+
+  // DRAM bandwidth floor across all cores' traffic.
+  const double dram_sec = dram_.TransferTime(hierarchy_.dram_fill_lines(),
+                                             hierarchy_.dram_writeback_lines(),
+                                             hierarchy_.sequential_fraction());
+  double seconds = std::max(max_core_sec, dram_sec);
+  if (num_threads > 1) {
+    seconds = seconds / timing_.omp_parallel_efficiency +
+              timing_.omp_region_overhead_sec;
+  }
+  if (seconds <= 0.0) seconds = 1.0 / timing_.clock_hz;
+
+  result.seconds = seconds;
+  result.profile.seconds = seconds;
+  for (int t = 0; t < num_threads; ++t) {
+    result.profile.cpu_busy[t] =
+        std::clamp(busy_cycles_total[t] / timing_.clock_hz / seconds, 0.0, 1.0);
+  }
+  result.profile.gpu_on = false;
+  result.profile.dram_bytes = hierarchy_.dram_bytes();
+
+  result.stats.Set("cpu.seconds", seconds);
+  result.stats.Set("cpu.dram_bytes",
+                   static_cast<double>(hierarchy_.dram_bytes()));
+  result.stats.Set("cpu.dram_bw_floor_sec", dram_sec);
+  result.stats.Set("cpu.seq_fraction", hierarchy_.sequential_fraction());
+  return result;
+}
+
+}  // namespace malisim::cpu

@@ -1,0 +1,59 @@
+// Cortex-A15 device model: executes KIR programs on 1..2 modelled cores and
+// produces modelled time, utilization and DRAM traffic.
+//
+// The paper's Serial version corresponds to Run(..., num_threads=1) and the
+// OpenMP version to num_threads=2: work-groups are distributed in contiguous
+// blocks (OpenMP schedule(static)) and a fork/join overhead is charged per
+// parallel region.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/stats.h"
+#include "cpu/a15_params.h"
+#include "kir/exec_types.h"
+#include "kir/interp.h"
+#include "kir/program.h"
+#include "power/profile.h"
+#include "sim/memory_system.h"
+
+namespace malisim::cpu {
+
+struct CpuRunResult {
+  /// Modelled wall time of the parallel region.
+  double seconds = 0.0;
+  /// Activity profile for the power model (covers `seconds`).
+  power::ActivityProfile profile;
+  /// Functional execution counts aggregated over all cores.
+  kir::WorkGroupRun run;
+  /// Detailed breakdown (cycles per class, miss counts, ...).
+  StatRegistry stats;
+};
+
+class CortexA15Device {
+ public:
+  explicit CortexA15Device(const A15TimingParams& timing = A15TimingParams(),
+                           const A15MemoryConfig& memory = A15MemoryConfig());
+
+  /// Executes the NDRange on `num_threads` cores (1 or 2 on the Exynos 5250)
+  /// and models the elapsed time. Caches stay warm across calls; use
+  /// FlushCaches() to model a cold start.
+  StatusOr<CpuRunResult> Run(const kir::Program& program,
+                             const kir::LaunchConfig& config,
+                             kir::Bindings bindings, int num_threads);
+
+  void FlushCaches() { hierarchy_.Flush(); }
+
+  static constexpr int kMaxCores = power::kNumA15Cores;
+
+ private:
+  A15TimingParams timing_;
+  sim::MemoryHierarchy hierarchy_;
+  sim::DramModel dram_;
+  // Scratch backing for kernels with __local arrays (one region per core).
+  std::vector<std::unique_ptr<std::byte[]>> scratch_;
+  std::uint64_t scratch_bytes_ = 0;
+};
+
+}  // namespace malisim::cpu

@@ -1,0 +1,113 @@
+#include "harness/experiment.h"
+
+#include "common/log.h"
+#include "common/stats.h"
+
+namespace malisim::harness {
+
+namespace {
+
+double Ratio(double num, double den) {
+  if (num <= 0.0 || den <= 0.0) return 0.0;
+  return num / den;
+}
+
+}  // namespace
+
+double BenchmarkResults::SpeedupVsSerial(hpc::Variant v) const {
+  const VariantResult& serial = Get(hpc::Variant::kSerial);
+  const VariantResult& other = Get(v);
+  if (!serial.available || !other.available) return 0.0;
+  return Ratio(serial.seconds, other.seconds);
+}
+
+double BenchmarkResults::PowerVsSerial(hpc::Variant v) const {
+  const VariantResult& serial = Get(hpc::Variant::kSerial);
+  const VariantResult& other = Get(v);
+  if (!serial.available || !other.available) return 0.0;
+  return Ratio(other.power_mean_w, serial.power_mean_w);
+}
+
+double BenchmarkResults::EnergyVsSerial(hpc::Variant v) const {
+  const VariantResult& serial = Get(hpc::Variant::kSerial);
+  const VariantResult& other = Get(v);
+  if (!serial.available || !other.available) return 0.0;
+  return Ratio(other.energy_j, serial.energy_j);
+}
+
+ExperimentRunner::ExperimentRunner(const ExperimentConfig& config)
+    : config_(config),
+      power_model_(config.power),
+      meter_(config.meter, config.seed ^ 0x57230ULL) {}
+
+StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmark(
+    const std::string& name) {
+  std::unique_ptr<hpc::Benchmark> bench =
+      hpc::CreateBenchmark(name, config_.sizes);
+  if (bench == nullptr) {
+    return NotFoundError("unknown benchmark '" + name + "'");
+  }
+  MALI_RETURN_IF_ERROR(bench->Setup(config_.fp64, config_.seed));
+
+  BenchmarkResults results;
+  results.name = name;
+
+  // One board for all versions: single CPU and GPU model instances.
+  cpu::CortexA15Device cpu_device;
+  ocl::Context gpu_context;
+  hpc::Devices devices{&cpu_device, &gpu_context};
+
+  for (hpc::Variant v : hpc::kAllVariants) {
+    VariantResult& out = results.variants[static_cast<int>(v)];
+    MALI_LOG_INFO("running %s / %s (%s)", name.c_str(),
+                  std::string(hpc::VariantName(v)).c_str(),
+                  config_.fp64 ? "fp64" : "fp32");
+    StatusOr<hpc::RunOutcome> run = bench->Run(v, devices);
+    if (!run.ok()) {
+      // Unavailable results (the paper's missing bars): build failures and
+      // unrecovered resource exhaustion. Anything else is a harness bug.
+      out.available = false;
+      out.unavailable_reason = run.status().ToString();
+      MALI_LOG_WARN("%s / %s unavailable: %s", name.c_str(),
+                    std::string(hpc::VariantName(v)).c_str(),
+                    out.unavailable_reason.c_str());
+      continue;
+    }
+    out.available = true;
+    out.seconds = run->seconds;
+    out.validated = run->validated;
+    out.max_rel_error = run->max_rel_error;
+    out.note = run->note;
+    out.stats = std::move(run->stats);
+
+    // Power: the model gives the true average board power over the region;
+    // the meter samples it for `repetitions` windows, per §IV-D.
+    const double true_watts = power_model_.AveragePower(run->profile);
+    RunningStat rep_means;
+    for (int rep = 0; rep < config_.repetitions; ++rep) {
+      const power::PowerMeter::Measurement m =
+          meter_.Measure(true_watts, config_.meter_window_sec);
+      rep_means.Add(m.mean_watts);
+    }
+    out.power_mean_w = rep_means.mean();
+    out.power_stddev_w = rep_means.stddev();
+    out.energy_j = out.power_mean_w * out.seconds;
+    out.stats.Set("power.true_watts", true_watts);
+    out.stats.Set("power.cpu_watts", power_model_.CpuPower(run->profile));
+    out.stats.Set("power.gpu_watts", power_model_.GpuPower(run->profile));
+    out.stats.Set("power.dram_watts", power_model_.DramPower(run->profile));
+  }
+  return results;
+}
+
+StatusOr<std::vector<BenchmarkResults>> ExperimentRunner::RunAll() {
+  std::vector<BenchmarkResults> all;
+  for (const std::string& name : hpc::RegisteredBenchmarks()) {
+    StatusOr<BenchmarkResults> results = RunBenchmark(name);
+    if (!results.ok()) return results.status();
+    all.push_back(*std::move(results));
+  }
+  return all;
+}
+
+}  // namespace malisim::harness

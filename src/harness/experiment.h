@@ -1,0 +1,78 @@
+// Experiment runner: executes benchmark variants, applies the power model
+// and the virtual WT230 meter, and collects per-variant results following
+// the paper's methodology (§IV-D): constant problem size across versions,
+// measurements over the parallel region only, 20 repetitions with mean and
+// standard deviation (our timing model is deterministic; the repetitions
+// exercise the meter's 0.1% accuracy noise, and the observed deviations are
+// as negligible as the paper reports).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "hpc/benchmark.h"
+#include "hpc/problem_sizes.h"
+#include "power/power_meter.h"
+#include "power/power_model.h"
+
+namespace malisim::harness {
+
+struct ExperimentConfig {
+  hpc::ProblemSizes sizes;
+  bool fp64 = false;
+  std::uint64_t seed = 42;
+  int repetitions = 20;             // paper §IV-D
+  double meter_window_sec = 2.0;    // modelled steady-state window per rep
+  power::PowerParams power;
+  power::PowerMeterParams meter;
+};
+
+struct VariantResult {
+  bool available = false;
+  std::string unavailable_reason;   // e.g. the amcd FP64 build failure
+  double seconds = 0.0;
+  double power_mean_w = 0.0;
+  double power_stddev_w = 0.0;
+  double energy_j = 0.0;            // power * modelled region time
+  bool validated = false;
+  double max_rel_error = 0.0;
+  std::string note;
+  StatRegistry stats;
+};
+
+struct BenchmarkResults {
+  std::string name;
+  VariantResult variants[4];  // indexed by hpc::Variant
+
+  const VariantResult& Get(hpc::Variant v) const {
+    return variants[static_cast<int>(v)];
+  }
+  /// Speedup of `v` over Serial; 0 when either side is unavailable.
+  double SpeedupVsSerial(hpc::Variant v) const;
+  /// Power of `v` normalized to Serial; 0 when unavailable.
+  double PowerVsSerial(hpc::Variant v) const;
+  /// Energy-to-solution of `v` normalized to Serial; 0 when unavailable.
+  double EnergyVsSerial(hpc::Variant v) const;
+};
+
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(const ExperimentConfig& config);
+
+  /// Runs one benchmark through all four versions.
+  StatusOr<BenchmarkResults> RunBenchmark(const std::string& name);
+
+  /// Runs every registered benchmark in paper order.
+  StatusOr<std::vector<BenchmarkResults>> RunAll();
+
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  ExperimentConfig config_;
+  power::PowerModel power_model_;
+  power::PowerMeter meter_;
+};
+
+}  // namespace malisim::harness

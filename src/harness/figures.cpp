@@ -1,0 +1,139 @@
+#include "harness/figures.h"
+
+#include <vector>
+
+#include "common/stats.h"
+
+namespace malisim::harness {
+namespace {
+
+using Metric = double (BenchmarkResults::*)(hpc::Variant) const;
+
+Table MetricTable(const std::vector<BenchmarkResults>& results, Metric metric,
+                  int precision) {
+  Table table({"benchmark", "Serial", "OpenMP", "OpenCL", "OpenCL Opt"});
+  for (const BenchmarkResults& r : results) {
+    table.BeginRow();
+    table.AddCell(r.name);
+    for (hpc::Variant v : hpc::kAllVariants) {
+      if (!r.Get(v).available) {
+        table.AddMissing();
+      } else {
+        table.AddNumber((r.*metric)(v), precision);
+      }
+    }
+  }
+  // Averages over available entries: the arithmetic mean is what the paper
+  // reports ("on average 8.7x"); the geometric mean is the statistically
+  // conventional choice for ratios, shown for reference.
+  for (const bool geometric : {false, true}) {
+    table.BeginRow();
+    table.AddCell(geometric ? "geomean" : "average (paper's)");
+    for (hpc::Variant v : hpc::kAllVariants) {
+      std::vector<double> vals;
+      for (const BenchmarkResults& r : results) {
+        const double x = (r.*metric)(v);
+        if (x > 0.0) vals.push_back(x);
+      }
+      if (vals.empty()) {
+        table.AddMissing();
+      } else {
+        table.AddNumber(geometric ? GeoMean(vals) : Mean(vals), precision);
+      }
+    }
+  }
+  return table;
+}
+
+std::vector<double> Collect(const std::vector<BenchmarkResults>& results,
+                            Metric metric, hpc::Variant v) {
+  std::vector<double> vals;
+  for (const BenchmarkResults& r : results) {
+    const double x = (r.*metric)(v);
+    if (x > 0.0) vals.push_back(x);
+  }
+  return vals;
+}
+
+}  // namespace
+
+Table Fig2Speedup(const std::vector<BenchmarkResults>& results) {
+  return MetricTable(results, &BenchmarkResults::SpeedupVsSerial, 2);
+}
+
+Table Fig3Power(const std::vector<BenchmarkResults>& results) {
+  return MetricTable(results, &BenchmarkResults::PowerVsSerial, 3);
+}
+
+Table Fig4Energy(const std::vector<BenchmarkResults>& results) {
+  return MetricTable(results, &BenchmarkResults::EnergyVsSerial, 3);
+}
+
+Summary ComputeSummary(const std::vector<BenchmarkResults>& results) {
+  Summary s;
+  // Arithmetic means, matching the paper's "on average" statements.
+  auto avg = [&](Metric m, hpc::Variant v) {
+    const std::vector<double> vals = Collect(results, m, v);
+    return vals.empty() ? 0.0 : Mean(vals);
+  };
+  s.openmp_avg_speedup =
+      avg(&BenchmarkResults::SpeedupVsSerial, hpc::Variant::kOpenMP);
+  s.openmp_avg_power =
+      avg(&BenchmarkResults::PowerVsSerial, hpc::Variant::kOpenMP);
+  s.opencl_avg_energy =
+      avg(&BenchmarkResults::EnergyVsSerial, hpc::Variant::kOpenCL);
+  s.openclopt_avg_speedup =
+      avg(&BenchmarkResults::SpeedupVsSerial, hpc::Variant::kOpenCLOpt);
+  s.openclopt_avg_energy =
+      avg(&BenchmarkResults::EnergyVsSerial, hpc::Variant::kOpenCLOpt);
+  return s;
+}
+
+Headline ComputeHeadline(const std::vector<BenchmarkResults>& sp,
+                         const std::vector<BenchmarkResults>& dp) {
+  std::vector<double> speedups;
+  std::vector<double> energies;
+  for (const auto* results : {&sp, &dp}) {
+    for (const BenchmarkResults& r : *results) {
+      const double s = r.SpeedupVsSerial(hpc::Variant::kOpenCLOpt);
+      const double e = r.EnergyVsSerial(hpc::Variant::kOpenCLOpt);
+      if (s > 0.0) speedups.push_back(s);
+      if (e > 0.0) energies.push_back(e);
+    }
+  }
+  Headline h;
+  // Arithmetic means over SP+DP, the paper's §V-D averaging.
+  if (!speedups.empty()) h.avg_speedup = Mean(speedups);
+  if (!energies.empty()) h.avg_energy = Mean(energies);
+  return h;
+}
+
+std::string RenderFigure(const std::string& title, const Table& table,
+                         const std::vector<BenchmarkResults>& results) {
+  std::string out = "== " + title + " ==\n";
+  out += table.ToAscii();
+  for (const BenchmarkResults& r : results) {
+    for (hpc::Variant v : hpc::kAllVariants) {
+      const VariantResult& vr = r.Get(v);
+      if (!vr.available) {
+        out += "  note: " + r.name + " / " +
+               std::string(hpc::VariantName(v)) +
+               " unavailable: " + vr.unavailable_reason + "\n";
+      } else {
+        if (!vr.note.empty()) {
+          out += "  note: " + r.name + " / " +
+                 std::string(hpc::VariantName(v)) + ": " + vr.note + "\n";
+        }
+        if (!vr.validated) {
+          out += "  WARNING: " + r.name + " / " +
+                 std::string(hpc::VariantName(v)) +
+                 " failed validation (max rel err " +
+                 FormatDouble(vr.max_rel_error, 6) + ")\n";
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace malisim::harness

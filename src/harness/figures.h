@@ -1,0 +1,49 @@
+// Figure reproduction: renders experiment results as the tables behind the
+// paper's Figs. 2-4 and computes the §V-D summary statistics.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "harness/experiment.h"
+
+namespace malisim::harness {
+
+/// Fig. 2 (a/b): speedup over the Serial version, per benchmark x version.
+Table Fig2Speedup(const std::vector<BenchmarkResults>& results);
+
+/// Fig. 3 (a/b): board power normalized to the Serial version.
+Table Fig3Power(const std::vector<BenchmarkResults>& results);
+
+/// Fig. 4 (a/b): energy-to-solution normalized to the Serial version.
+Table Fig4Energy(const std::vector<BenchmarkResults>& results);
+
+/// §V-D summary statistics. Averages are arithmetic means over the
+/// benchmarks where the variant is available, matching the paper's "on
+/// average" convention (its 8.7x headline is the arithmetic mean of the
+/// per-benchmark speedups); the figure tables also print geometric means.
+struct Summary {
+  double openmp_avg_speedup = 0.0;        // paper SP: 1.7x
+  double openmp_avg_power = 0.0;          // paper SP: 1.31x
+  double opencl_avg_energy = 0.0;         // paper: 0.56
+  double openclopt_avg_speedup = 0.0;     // paper SP+DP: 8.7x
+  double openclopt_avg_energy = 0.0;      // paper SP: 0.28, DP: 0.36
+};
+
+Summary ComputeSummary(const std::vector<BenchmarkResults>& results);
+
+/// Combined SP+DP headline pair (8.7x speedup at 32% energy in the paper).
+struct Headline {
+  double avg_speedup = 0.0;
+  double avg_energy = 0.0;
+};
+Headline ComputeHeadline(const std::vector<BenchmarkResults>& sp,
+                         const std::vector<BenchmarkResults>& dp);
+
+/// Renders a figure table plus annotations (validation failures, fallback
+/// notes, unavailable variants) as printable text.
+std::string RenderFigure(const std::string& title, const Table& table,
+                         const std::vector<BenchmarkResults>& results);
+
+}  // namespace malisim::harness

@@ -1,0 +1,52 @@
+// Chrome-tracing export: renders experiment timelines as a trace JSON
+// loadable in chrome://tracing / Perfetto. Each benchmark variant becomes a
+// span on its device's track, so a whole figure run can be inspected as a
+// timeline (who ran where, for how long, at what power).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "harness/experiment.h"
+
+namespace malisim::harness {
+
+/// One complete event ("ph":"X") in the Chrome trace event format.
+struct TraceEvent {
+  std::string name;
+  std::string category;
+  double timestamp_us = 0;   // "ts"
+  double duration_us = 0;    // "dur"
+  int pid = 1;
+  int tid = 1;
+  /// Extra key/value args shown in the inspector ("args").
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceBuilder {
+ public:
+  /// Appends a span and advances the track cursor.
+  void AddSpan(const std::string& name, const std::string& category, int tid,
+               double duration_sec,
+               std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Lays out a benchmark's four variants back-to-back: CPU variants on the
+  /// A15 track (tid 1), GPU variants on the Mali track (tid 2).
+  void AddBenchmark(const BenchmarkResults& results);
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Serializes to the Chrome trace event JSON array format.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to a file.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  double cursor_us_ = 0;
+};
+
+}  // namespace malisim::harness

@@ -1,0 +1,82 @@
+// Benchmark framework: the nine paper benchmarks, each in the four versions
+// of §IV-B (Serial / OpenMP on the A15 model, OpenCL / OpenCL Opt on the
+// Mali model), with functional validation against host references.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/stats.h"
+#include "cpu/a15_device.h"
+#include "kir/exec_types.h"
+#include "hpc/problem_sizes.h"
+#include "ocl/runtime.h"
+#include "power/profile.h"
+
+namespace malisim::hpc {
+
+enum class Variant : std::uint8_t { kSerial, kOpenMP, kOpenCL, kOpenCLOpt };
+inline constexpr Variant kAllVariants[] = {Variant::kSerial, Variant::kOpenMP,
+                                           Variant::kOpenCL,
+                                           Variant::kOpenCLOpt};
+
+std::string_view VariantName(Variant v);
+
+/// Devices a benchmark runs against. The harness owns them; reusing one
+/// CPU/GPU pair across variants matches the single-board methodology.
+struct Devices {
+  cpu::CortexA15Device* cpu = nullptr;
+  ocl::Context* gpu = nullptr;
+};
+
+/// Result of running one variant once.
+struct RunOutcome {
+  /// Modelled time of the measured region (parallel/kernel region only,
+  /// §IV-D: initialization and finalization are excluded).
+  double seconds = 0.0;
+  /// Activity over the measured region, for the power model.
+  power::ActivityProfile profile;
+  /// Functional execution counts (dynamic op histogram, memory traffic,
+  /// atomics, imbalance) aggregated over the region's kernel launches.
+  kir::WorkGroupRun run;
+  /// Functional validation against the host reference.
+  bool validated = false;
+  double max_rel_error = 0.0;
+  /// Free-form annotation (e.g. "CL_OUT_OF_RESOURCES: fell back to vec2").
+  std::string note;
+  StatRegistry stats;
+};
+
+class Benchmark {
+ public:
+  virtual ~Benchmark() = default;
+
+  virtual std::string name() const = 0;
+  virtual std::string description() const = 0;
+
+  /// Generates inputs and the double-precision host reference for the given
+  /// arithmetic precision. Deterministic in `seed`.
+  virtual Status Setup(bool fp64, std::uint64_t seed) = 0;
+
+  /// Runs one variant. Requires Setup. GPU variants may fail with
+  /// BuildFailure (amcd FP64 erratum) — the harness reports those as the
+  /// paper does (missing bars in Fig. 2b).
+  virtual StatusOr<RunOutcome> Run(Variant variant, Devices& devices) = 0;
+
+ protected:
+  bool fp64_ = false;
+  std::uint64_t seed_ = 0;
+};
+
+/// Benchmark names in the paper's figure order.
+std::vector<std::string> RegisteredBenchmarks();
+
+/// Factory; returns nullptr for unknown names.
+std::unique_ptr<Benchmark> CreateBenchmark(const std::string& name,
+                                           const ProblemSizes& sizes = {});
+
+}  // namespace malisim::hpc

@@ -1,0 +1,41 @@
+#include "hpc/benchmark.h"
+
+#include "hpc/kernels.h"
+
+namespace malisim::hpc {
+
+std::string_view VariantName(Variant v) {
+  switch (v) {
+    case Variant::kSerial:
+      return "Serial";
+    case Variant::kOpenMP:
+      return "OpenMP";
+    case Variant::kOpenCL:
+      return "OpenCL";
+    case Variant::kOpenCLOpt:
+      return "OpenCL Opt";
+  }
+  return "<bad>";
+}
+
+std::vector<std::string> RegisteredBenchmarks() {
+  // Paper figure order (Fig. 2-4 X axes).
+  return {"spmv", "vecop", "hist", "3dstc", "red",
+          "amcd", "nbody", "2dcon", "dmmm"};
+}
+
+std::unique_ptr<Benchmark> CreateBenchmark(const std::string& name,
+                                           const ProblemSizes& sizes) {
+  if (name == "spmv") return MakeSpmv(sizes);
+  if (name == "vecop") return MakeVecop(sizes);
+  if (name == "hist") return MakeHist(sizes);
+  if (name == "3dstc") return MakeStencil3D(sizes);
+  if (name == "red") return MakeReduction(sizes);
+  if (name == "amcd") return MakeAmcd(sizes);
+  if (name == "nbody") return MakeNbody(sizes);
+  if (name == "2dcon") return MakeConv2D(sizes);
+  if (name == "dmmm") return MakeDmmm(sizes);
+  return nullptr;
+}
+
+}  // namespace malisim::hpc

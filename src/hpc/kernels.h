@@ -1,0 +1,21 @@
+// Internal factory declarations for the nine benchmark implementations.
+#pragma once
+
+#include <memory>
+
+#include "hpc/benchmark.h"
+#include "hpc/problem_sizes.h"
+
+namespace malisim::hpc {
+
+std::unique_ptr<Benchmark> MakeSpmv(const ProblemSizes& sizes);
+std::unique_ptr<Benchmark> MakeVecop(const ProblemSizes& sizes);
+std::unique_ptr<Benchmark> MakeHist(const ProblemSizes& sizes);
+std::unique_ptr<Benchmark> MakeStencil3D(const ProblemSizes& sizes);
+std::unique_ptr<Benchmark> MakeReduction(const ProblemSizes& sizes);
+std::unique_ptr<Benchmark> MakeAmcd(const ProblemSizes& sizes);
+std::unique_ptr<Benchmark> MakeNbody(const ProblemSizes& sizes);
+std::unique_ptr<Benchmark> MakeConv2D(const ProblemSizes& sizes);
+std::unique_ptr<Benchmark> MakeDmmm(const ProblemSizes& sizes);
+
+}  // namespace malisim::hpc

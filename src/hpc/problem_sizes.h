@@ -1,0 +1,40 @@
+// Default problem sizes for the nine paper benchmarks (§IV-A).
+//
+// The paper keeps the problem size constant across the four versions of a
+// benchmark (§IV-D) but does not publish the exact sizes; these defaults are
+// chosen so that (a) working sets sit in the regime the paper describes
+// (vecop/spmv stream far beyond the 1 MB L2; dmmm/2dcon have exploitable
+// reuse), and (b) a full figure sweep simulates in minutes of host time.
+// Every size can be overridden for quick tests or bigger studies.
+#pragma once
+
+#include <cstdint>
+
+namespace malisim::hpc {
+
+struct ProblemSizes {
+  // Sparse vector-matrix multiplication (CSR).
+  std::uint32_t spmv_rows = 12288;
+  std::uint32_t spmv_avg_nnz_per_row = 24;   // skewed: some rows much heavier
+  // Vector operation c = a + b.
+  std::uint32_t vecop_n = 1u << 20;
+  // Histogram.
+  std::uint32_t hist_n = 1u << 20;
+  std::uint32_t hist_bins = 256;
+  // 3D stencil (7-point) on a dim^3 volume.
+  std::uint32_t stencil_dim = 64;
+  // Reduction.
+  std::uint32_t red_n = 1u << 20;
+  // Atomic Monte-Carlo dynamics.
+  std::uint32_t amcd_chains = 512;
+  std::uint32_t amcd_atoms = 48;
+  std::uint32_t amcd_steps = 96;
+  // N-body.
+  std::uint32_t nbody_n = 2048;
+  // 2D convolution (5x5 filter).
+  std::uint32_t conv_dim = 448;
+  // Dense matrix-matrix multiplication (square).
+  std::uint32_t dmmm_n = 192;
+};
+
+}  // namespace malisim::hpc

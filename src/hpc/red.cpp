@@ -1,0 +1,217 @@
+// Reduction (red): sum of a vector.
+//
+// Paper §IV-A: "allows to measure the capability of the compute accelerator
+// to adapt from massively parallel computation stages to almost sequential
+// execution". §V-A: the GPU versions use a two-stage reduction — a parallel
+// stage producing per-work-item partials, then a near-sequential stage —
+// and "the main difference between OpenCL and OpenCL Opt is due to the
+// vectorization and the use of a tuned work-group size".
+#include <cmath>
+#include <vector>
+
+#include "common/prng.h"
+#include "hpc/detail.h"
+#include "hpc/kernels.h"
+
+namespace malisim::hpc {
+namespace {
+
+using detail::FpBuffer;
+using kir::ArgKind;
+using kir::KernelBuilder;
+using kir::Opcode;
+using kir::Val;
+
+class ReductionBenchmark final : public Benchmark {
+ public:
+  explicit ReductionBenchmark(const ProblemSizes& sizes) : n_(sizes.red_n) {}
+
+  std::string name() const override { return "red"; }
+  std::string description() const override {
+    return "two-stage sum reduction (parallel-to-sequential adaptation)";
+  }
+
+  Status Setup(bool fp64, std::uint64_t seed) override {
+    fp64_ = fp64;
+    seed_ = seed;
+    a_ = FpBuffer(fp64, n_);
+    Xoshiro256 rng(seed);
+    ref_sum_ = 0.0;
+    for (std::uint32_t i = 0; i < n_; ++i) {
+      const double v = rng.NextDouble(0.0, 1.0);
+      a_.Set(i, v);
+      ref_sum_ += a_.Get(i);
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<RunOutcome> Run(Variant variant, Devices& devices) override {
+    switch (variant) {
+      case Variant::kSerial:
+        return RunCpuVariant(devices, 1);
+      case Variant::kOpenMP:
+        return RunCpuVariant(devices, 2);
+      case Variant::kOpenCL:
+        return RunGpuVariant(devices, false);
+      case Variant::kOpenCLOpt:
+        return RunGpuVariant(devices, true);
+    }
+    return InvalidArgumentError("bad variant");
+  }
+
+ private:
+  kir::ScalarType ft() const {
+    return fp64_ ? kir::ScalarType::kF64 : kir::ScalarType::kF32;
+  }
+  double tol() const { return fp64_ ? 1e-9 : 5e-2; }
+
+  // partial[gid] = sum of this thread's contiguous chunk.
+  StatusOr<kir::Program> BuildCpuKernel() const {
+    KernelBuilder kb("red_cpu");
+    auto a = kb.ArgBuffer("a", ft(), ArgKind::kBufferRO);
+    auto partial = kb.ArgBuffer("partial", ft(), ArgKind::kBufferWO);
+    Val n = kb.ArgScalar("n", kir::ScalarType::kI32);
+    detail::Chunk chunk = detail::ThreadChunk(kb, n);
+    Val acc = kb.Var(kir::FloatType(fp64_), "acc");
+    kb.Assign(acc, detail::FConst(kb, fp64_, 0.0));
+    kb.For("i", chunk.start, chunk.end, 1,
+           [&](Val i) { kb.Assign(acc, acc + kb.Load(a, i)); });
+    kb.Store(partial, kb.GlobalId(0), acc);
+    return kb.Build();
+  }
+
+  StatusOr<RunOutcome> RunCpuVariant(Devices& devices, int threads) {
+    StatusOr<kir::Program> program = BuildCpuKernel();
+    if (!program.ok()) return program.status();
+    FpBuffer partial(fp64_, static_cast<std::size_t>(threads));
+    kir::LaunchConfig config;
+    config.global_size = {static_cast<std::uint64_t>(threads), 1, 1};
+    StatusOr<RunOutcome> outcome = detail::RunCpu(
+        devices, *program, config,
+        {{a_.data(), a_.bytes()}, {partial.data(), partial.bytes()}},
+        {kir::ScalarValue::I32V(static_cast<std::int32_t>(n_))}, threads);
+    if (!outcome.ok()) return outcome;
+    double sum = 0.0;
+    for (int t = 0; t < threads; ++t) sum += partial.Get(t);
+    detail::FinishValidation(
+        &*outcome, std::abs(sum - ref_sum_) / std::abs(ref_sum_), tol());
+    return outcome;
+  }
+
+  // Stage 1 (naive): kItems1 work-items, each sums a contiguous chunk with
+  // scalar loads. Stage 2: one work-item folds the partials.
+  StatusOr<kir::Program> BuildGpuStage1(bool optimized) const {
+    KernelBuilder kb(optimized ? "red_stage1_opt" : "red_stage1");
+    auto a = kb.ArgBuffer("a", ft(), ArgKind::kBufferRO, optimized, optimized);
+    auto partial =
+        kb.ArgBuffer("partial", ft(), ArgKind::kBufferWO, optimized, false);
+    Val n = kb.ArgScalar("n", kir::ScalarType::kI32);
+    detail::Chunk chunk = detail::ThreadChunk(kb, n);
+    if (!optimized) {
+      Val acc = kb.Var(kir::FloatType(fp64_), "acc");
+      kb.Assign(acc, detail::FConst(kb, fp64_, 0.0));
+      kb.For("i", chunk.start, chunk.end, 1,
+             [&](Val i) { kb.Assign(acc, acc + kb.Load(a, i)); });
+      kb.Store(partial, kb.GlobalId(0), acc);
+    } else {
+      // §III-B vectorization: float4 accumulator + vload4 (chunk sizes are
+      // multiples of 4 by construction), folded once at the end.
+      Val acc4 = kb.Var(kir::FloatType(fp64_, 4), "acc4");
+      kb.Assign(acc4, detail::FConst(kb, fp64_, 0.0, 4));
+      kb.For("i", chunk.start, chunk.end, 4,
+             [&](Val i) { kb.Assign(acc4, acc4 + kb.Load(a, i, 0, 4)); });
+      kb.Store(partial, kb.GlobalId(0), kb.VSum(acc4));
+    }
+    return kb.Build();
+  }
+
+  StatusOr<kir::Program> BuildGpuStage2(bool optimized) const {
+    KernelBuilder kb(optimized ? "red_stage2_opt" : "red_stage2");
+    auto partial =
+        kb.ArgBuffer("partial", ft(), ArgKind::kBufferRO, optimized, optimized);
+    auto out = kb.ArgBuffer("out", ft(), ArgKind::kBufferWO, optimized, false);
+    Val m = kb.ArgScalar("m", kir::ScalarType::kI32);
+    if (!optimized) {
+      Val acc = kb.Var(kir::FloatType(fp64_), "acc");
+      kb.Assign(acc, detail::FConst(kb, fp64_, 0.0));
+      kb.For("i", 0, m, 1, [&](Val i) { kb.Assign(acc, acc + kb.Load(partial, i)); });
+      kb.Store(out, kb.ConstI(kir::I32(), 0), acc);
+    } else {
+      Val acc4 = kb.Var(kir::FloatType(fp64_, 4), "acc4");
+      kb.Assign(acc4, detail::FConst(kb, fp64_, 0.0, 4));
+      kb.For("i", 0, m, 4,
+             [&](Val i) { kb.Assign(acc4, acc4 + kb.Load(partial, i, 0, 4)); });
+      kb.Store(out, kb.ConstI(kir::I32(), 0), kb.VSum(acc4));
+    }
+    return kb.Build();
+  }
+
+  StatusOr<RunOutcome> RunGpuVariant(Devices& devices, bool optimized) {
+    // Naive: many tiny work-groups (driver heuristic); Opt: tuned 128-item
+    // groups, 1024 work-items total.
+    const std::uint64_t items1 = optimized ? 1024 : 2048;
+    StatusOr<kir::Program> s1 = BuildGpuStage1(optimized);
+    if (!s1.ok()) return s1.status();
+    StatusOr<kir::Program> s2 = BuildGpuStage2(optimized);
+    if (!s2.ok()) return s2.status();
+
+    ocl::Context& ctx = *devices.gpu;
+    auto a = detail::MakeGpuBuffer(ctx, a_.data(), a_.bytes());
+    if (!a.ok()) return a.status();
+    auto partial =
+        detail::MakeGpuBuffer(ctx, nullptr, items1 * a_.elem_bytes());
+    if (!partial.ok()) return partial.status();
+    auto out = detail::MakeGpuBuffer(ctx, nullptr, a_.elem_bytes());
+    if (!out.ok()) return out.status();
+
+    std::vector<kir::Program> kernels;
+    const std::string n1 = s1->name, n2 = s2->name;
+    kernels.push_back(*std::move(s1));
+    kernels.push_back(*std::move(s2));
+    std::shared_ptr<ocl::Program> prog = ctx.CreateProgram(std::move(kernels));
+    MALI_RETURN_IF_ERROR(prog->Build());
+    auto k1 = ctx.CreateKernel(prog, n1);
+    if (!k1.ok()) return k1.status();
+    auto k2 = ctx.CreateKernel(prog, n2);
+    if (!k2.ok()) return k2.status();
+    MALI_RETURN_IF_ERROR((*k1)->SetArgBuffer(0, *a));
+    MALI_RETURN_IF_ERROR((*k1)->SetArgBuffer(1, *partial));
+    MALI_RETURN_IF_ERROR((*k1)->SetArgI32(2, static_cast<std::int32_t>(n_)));
+    MALI_RETURN_IF_ERROR((*k2)->SetArgBuffer(0, *partial));
+    MALI_RETURN_IF_ERROR((*k2)->SetArgBuffer(1, *out));
+    MALI_RETURN_IF_ERROR((*k2)->SetArgI32(2, static_cast<std::int32_t>(items1)));
+
+    devices.gpu->device().FlushCaches();
+    const std::uint64_t tuned_local[3] = {
+        detail::TunedLocalSize(items1, 128), 1, 1};
+    detail::GpuLaunch launches[2];
+    launches[0].kernel = k1->get();
+    launches[0].global[0] = items1;
+    launches[0].local = optimized ? tuned_local : nullptr;
+    launches[1].kernel = k2->get();
+    launches[1].global[0] = 1;
+    launches[1].local = nullptr;
+    StatusOr<RunOutcome> outcome = detail::RunGpuLaunches(devices, launches);
+    if (!outcome.ok()) return outcome;
+
+    FpBuffer result(fp64_, 1);
+    MALI_RETURN_IF_ERROR(
+        detail::ReadGpuBuffer(ctx, **out, result.data(), result.bytes()));
+    detail::FinishValidation(
+        &*outcome, std::abs(result.Get(0) - ref_sum_) / std::abs(ref_sum_),
+        tol());
+    return outcome;
+  }
+
+  std::uint32_t n_;
+  FpBuffer a_;
+  double ref_sum_ = 0.0;
+};
+
+}  // namespace
+
+std::unique_ptr<Benchmark> MakeReduction(const ProblemSizes& sizes) {
+  return std::make_unique<ReductionBenchmark>(sizes);
+}
+
+}  // namespace malisim::hpc

@@ -1,0 +1,92 @@
+// KIR interpreter.
+//
+// Executes a kernel functionally (real data, full OpenCL NDRange semantics
+// including work-group barriers) while streaming simulated memory addresses
+// into a MemorySink and tallying executed operations into an OpHistogram.
+// Device models wrap it: Mali runs whole work-groups per shader core, the
+// A15 model runs contiguous slices of the index space per CPU core.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "kir/exec_types.h"
+#include "kir/program.h"
+
+namespace malisim::kir {
+
+class Executor {
+ public:
+  /// Validates geometry and bindings against the program's declarations.
+  /// The program must outlive the executor and must be finalized.
+  static StatusOr<Executor> Create(const Program* program, LaunchConfig config,
+                                   Bindings bindings);
+
+  /// Executes one work-group identified by its group coordinates.
+  /// Results are *merged* into `out` (callers aggregate across groups).
+  Status RunGroup(const std::array<std::uint64_t, 3>& group_id,
+                  MemorySink* sink, WorkGroupRun* out);
+
+  /// Executes every work-group in row-major group order.
+  Status RunAllGroups(MemorySink* sink, WorkGroupRun* out);
+
+  const LaunchConfig& config() const { return config_; }
+
+ private:
+  struct Slot {
+    std::byte* host = nullptr;
+    std::uint64_t sim_addr = 0;
+    std::uint64_t size_bytes = 0;
+    std::uint32_t elem_bytes = 0;
+  };
+
+  /// Pre-decoded per-instruction execution metadata.
+  struct Decoded {
+    int hist_idx = 0;
+    std::uint8_t lanes = 1;
+    std::uint32_t access_bytes = 0;  // lanes * elem bytes for memory ops
+  };
+
+  struct ThreadCtx {
+    std::int32_t global_id[3];
+    std::int32_t local_id[3];
+    std::int32_t group_id[3];
+  };
+
+  enum class StopReason { kDone, kBarrier };
+
+  Executor(const Program* program, LaunchConfig config, Bindings bindings);
+
+  Status RunStraight(const ThreadCtx& ctx, RegValue* regs, MemorySink* sink,
+                     WorkGroupRun* out);
+  /// Runs from *pc until completion or the next barrier.
+  StatusOr<StopReason> RunToBarrier(const ThreadCtx& ctx, RegValue* regs,
+                                    std::uint32_t* pc, MemorySink* sink,
+                                    WorkGroupRun* out);
+  /// Executes the single instruction at pc; advances pc. Returns non-OK on
+  /// runtime faults (out-of-bounds access, division by zero on integers).
+  Status Step(const ThreadCtx& ctx, RegValue* regs, std::uint32_t* pc,
+              MemorySink* sink, WorkGroupRun* out);
+
+  const Program* p_;
+  // Incremented once per executed instruction; RunGroup snapshots it around
+  // each work-item to derive per-item weights for imbalance accounting.
+  std::uint64_t steps_executed_ = 0;
+  LaunchConfig config_;
+  Bindings bindings_;
+  std::vector<Slot> slots_;
+  std::vector<Decoded> decoded_;
+  std::uint32_t num_regs_ = 0;
+  // Register arena reused across work-groups (wg_size * num_regs for the
+  // barrier path, num_regs otherwise).
+  std::vector<RegValue> reg_arena_;
+};
+
+/// Convenience for tests and examples: run the whole NDRange with no memory
+/// sink, returning the aggregate operation counts.
+StatusOr<WorkGroupRun> RunProgram(const Program& program, LaunchConfig config,
+                                  Bindings bindings);
+
+}  // namespace malisim::kir

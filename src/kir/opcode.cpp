@@ -1,0 +1,153 @@
+#include "kir/opcode.h"
+
+namespace malisim::kir {
+
+std::string_view OpcodeName(Opcode op) {
+  switch (op) {
+    case Opcode::kConstI: return "const.i";
+    case Opcode::kConstF: return "const.f";
+    case Opcode::kArg: return "arg";
+    case Opcode::kGlobalId: return "global_id";
+    case Opcode::kLocalId: return "local_id";
+    case Opcode::kGroupId: return "group_id";
+    case Opcode::kGlobalSize: return "global_size";
+    case Opcode::kLocalSize: return "local_size";
+    case Opcode::kNumGroups: return "num_groups";
+    case Opcode::kMov: return "mov";
+    case Opcode::kSplat: return "splat";
+    case Opcode::kExtract: return "extract";
+    case Opcode::kInsert: return "insert";
+    case Opcode::kVSum: return "vsum";
+    case Opcode::kSlide: return "slide";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kDiv: return "div";
+    case Opcode::kIDiv: return "idiv";
+    case Opcode::kIRem: return "irem";
+    case Opcode::kMin: return "min";
+    case Opcode::kMax: return "max";
+    case Opcode::kFma: return "fma";
+    case Opcode::kNeg: return "neg";
+    case Opcode::kAbs: return "abs";
+    case Opcode::kFloor: return "floor";
+    case Opcode::kSqrt: return "sqrt";
+    case Opcode::kRsqrt: return "rsqrt";
+    case Opcode::kExp: return "exp";
+    case Opcode::kLog: return "log";
+    case Opcode::kSin: return "sin";
+    case Opcode::kCos: return "cos";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kNot: return "not";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kCmpLt: return "cmp.lt";
+    case Opcode::kCmpLe: return "cmp.le";
+    case Opcode::kCmpEq: return "cmp.eq";
+    case Opcode::kCmpNe: return "cmp.ne";
+    case Opcode::kSelect: return "select";
+    case Opcode::kConvert: return "convert";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kAtomicAddI32: return "atomic_add.i32";
+    case Opcode::kBarrier: return "barrier";
+    case Opcode::kLoopBegin: return "loop";
+    case Opcode::kLoopEnd: return "endloop";
+    case Opcode::kIfBegin: return "if";
+    case Opcode::kElse: return "else";
+    case Opcode::kIfEnd: return "endif";
+    case Opcode::kNumOpcodes: break;
+  }
+  return "<bad>";
+}
+
+std::string_view OpClassName(OpClass c) {
+  switch (c) {
+    case OpClass::kArithSimple: return "arith";
+    case OpClass::kArithMul: return "mul";
+    case OpClass::kArithSpecial: return "special";
+    case OpClass::kBroadcast: return "broadcast";
+    case OpClass::kLoad: return "load";
+    case OpClass::kStore: return "store";
+    case OpClass::kAtomic: return "atomic";
+    case OpClass::kControl: return "control";
+    case OpClass::kBarrier: return "barrier";
+    case OpClass::kNumClasses: break;
+  }
+  return "<bad>";
+}
+
+OpClass ClassifyOpcode(Opcode op) {
+  switch (op) {
+    case Opcode::kMul:
+    case Opcode::kFma:
+      return OpClass::kArithMul;
+    case Opcode::kDiv:
+    case Opcode::kIDiv:
+    case Opcode::kIRem:
+    case Opcode::kSqrt:
+    case Opcode::kRsqrt:
+    case Opcode::kExp:
+    case Opcode::kLog:
+    case Opcode::kSin:
+    case Opcode::kCos:
+      return OpClass::kArithSpecial;
+    case Opcode::kLoad:
+      return OpClass::kLoad;
+    case Opcode::kStore:
+      return OpClass::kStore;
+    case Opcode::kAtomicAddI32:
+      return OpClass::kAtomic;
+    case Opcode::kSplat:
+      return OpClass::kBroadcast;
+    case Opcode::kBarrier:
+      return OpClass::kBarrier;
+    case Opcode::kConstI:
+    case Opcode::kConstF:
+    case Opcode::kArg:
+    case Opcode::kGlobalId:
+    case Opcode::kLocalId:
+    case Opcode::kGroupId:
+    case Opcode::kGlobalSize:
+    case Opcode::kLocalSize:
+    case Opcode::kNumGroups:
+    case Opcode::kLoopBegin:
+    case Opcode::kLoopEnd:
+    case Opcode::kIfBegin:
+    case Opcode::kElse:
+    case Opcode::kIfEnd:
+      return OpClass::kControl;
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMin:
+    case Opcode::kMax:
+    case Opcode::kNeg:
+    case Opcode::kAbs:
+    case Opcode::kFloor:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kNot:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kCmpLt:
+    case Opcode::kCmpLe:
+    case Opcode::kCmpEq:
+    case Opcode::kCmpNe:
+    case Opcode::kSelect:
+    case Opcode::kConvert:
+    case Opcode::kMov:
+    case Opcode::kExtract:
+    case Opcode::kInsert:
+    case Opcode::kVSum:
+    case Opcode::kSlide:
+      return OpClass::kArithSimple;
+    case Opcode::kNumOpcodes:
+      break;
+  }
+  return OpClass::kControl;
+}
+
+}  // namespace malisim::kir

@@ -1,0 +1,102 @@
+// KIR opcodes and their classification for the device timing models.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace malisim::kir {
+
+enum class Opcode : std::uint8_t {
+  // Immediates and launch parameters.
+  kConstI,      // dst <- integer immediate, broadcast to all lanes
+  kConstF,      // dst <- float immediate, broadcast
+  kArg,         // dst <- scalar launch argument [imm = arg slot]
+  // Work-item built-ins (OpenCL get_global_id etc.); imm = dimension.
+  kGlobalId,
+  kLocalId,
+  kGroupId,
+  kGlobalSize,
+  kLocalSize,
+  kNumGroups,
+  // Data movement.
+  kMov,         // dst <- a
+  kSplat,       // vector dst <- scalar a broadcast
+  kExtract,     // scalar dst <- a.lane[imm]
+  kInsert,      // dst <- a with lane[imm] := scalar b
+  kVSum,        // scalar dst <- horizontal sum of a's lanes
+  kSlide,       // dst[l] <- concat(a,b)[l + imm] (NEON vext-style window)
+  // Arithmetic (per-lane).
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kIDiv,        // integer division (C semantics, truncating)
+  kIRem,        // integer remainder
+  kMin,
+  kMax,
+  kFma,         // dst <- a * b + c
+  kNeg,
+  kAbs,
+  kFloor,
+  // Special functions (per-lane, float only).
+  kSqrt,
+  kRsqrt,
+  kExp,
+  kLog,
+  kSin,
+  kCos,
+  // Bitwise / shifts (integer types).
+  kAnd,
+  kOr,
+  kXor,
+  kNot,
+  kShl,         // shift amount = imm
+  kShr,         // logical shift right, amount = imm
+  // Comparisons: produce an i32 mask register (per-lane 0 / 1).
+  kCmpLt,
+  kCmpLe,
+  kCmpEq,
+  kCmpNe,
+  kSelect,      // dst <- cond(a, per-lane) ? b : c
+  kConvert,     // dst <- static_cast of a, lane-wise
+  // Memory. imm = element offset added to the index register.
+  kLoad,        // dst <- slot[ index + imm ... + lanes )
+  kStore,       // slot[ index + imm ... ) <- a
+  kAtomicAddI32,  // atomic int add into slot[index + imm]; no result
+  kBarrier,     // work-group barrier
+  // Structured control flow.
+  kLoopBegin,   // var := a (start); loop while var < b (end); step = imm
+  kLoopEnd,
+  kIfBegin,     // enter if a.lane0 != 0
+  kElse,
+  kIfEnd,
+  kNumOpcodes,
+};
+
+inline constexpr int kNumOpcodeValues = static_cast<int>(Opcode::kNumOpcodes);
+
+std::string_view OpcodeName(Opcode op);
+
+/// Buckets the timing models charge for. The split mirrors the Mali tri-pipe:
+/// arithmetic-pipe work (simple / multiply / special-function), load-store
+/// pipe work (load / store / atomic) and sequencing overhead (control).
+enum class OpClass : std::uint8_t {
+  kArithSimple = 0,  // add/sub/min/max/mov/logic/cmp/select/convert/lane ops
+  kArithMul,         // mul, fma
+  kArithSpecial,     // div, sqrt, rsqrt, exp, log, sin, cos
+  kBroadcast,        // splat: scalar-operand broadcast (free-ish on Mali)
+  kLoad,
+  kStore,
+  kAtomic,
+  kControl,          // loop/if bookkeeping, builtins, immediates
+  kBarrier,
+  kNumClasses,
+};
+
+inline constexpr int kNumOpClasses = static_cast<int>(OpClass::kNumClasses);
+
+std::string_view OpClassName(OpClass c);
+
+OpClass ClassifyOpcode(Opcode op);
+
+}  // namespace malisim::kir

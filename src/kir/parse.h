@@ -1,0 +1,28 @@
+// Parser for the textual KIR form produced by ToText() — the assembler half
+// of the disassembler. Enables kernels as standalone text assets and exact
+// round-trip testing of the IR surface:
+//
+//   kernel scale(in const f32* restrict src, out f32* dst, i32 n)
+//     local f32 tile[64]
+//     0: arg %n:i32 0
+//     1: global_id r3:i32 0
+//     2: load r4:f32x4, r3:i32 slot=0 off=0
+//     ...
+//
+// Instruction indices at line starts are accepted and ignored (they are
+// regenerated); control-flow matches are re-resolved by Finalize(). The
+// parsed program is finalized and verified before being returned.
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+#include "kir/program.h"
+
+namespace malisim::kir {
+
+/// Parses one kernel. Returns InvalidArgument with a line-numbered message
+/// on malformed input; the result always passes Verify().
+StatusOr<Program> ParseProgram(std::string_view text);
+
+}  // namespace malisim::kir

@@ -1,0 +1,54 @@
+// Driver-side IR passes and analyses.
+//
+// The ARM OpenCL driver compiles kernels at runtime (paper §II-B); tinycl
+// models that step with a small pass pipeline (constant folding, dead-code
+// elimination) plus the analyses the Mali kernel compiler needs for its
+// resource checks (register pressure, feature detection for the documented
+// FP64 compiler erratum).
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "kir/program.h"
+
+namespace malisim::kir {
+
+/// Folds arithmetic on compile-time constants. Only registers that are
+/// written exactly once are treated as constants (the IR is not SSA).
+/// Returns the number of instructions rewritten. Re-finalizes the program.
+StatusOr<int> ConstantFold(Program* program);
+
+/// Removes side-effect-free instructions whose results are never read.
+/// Returns the number of instructions removed. Re-finalizes the program.
+StatusOr<int> DeadCodeElim(Program* program);
+
+/// Static program features consumed by the Mali kernel compiler model.
+struct ProgramFeatures {
+  std::uint32_t static_instructions = 0;
+  std::uint32_t max_loop_depth = 0;
+  std::uint32_t max_vector_bytes = 0;    // widest register in bytes
+  bool has_atomics = false;
+  bool has_barrier = false;
+  bool has_f64 = false;
+  bool has_f64_special = false;          // f64 div/sqrt/exp/log/sin/cos
+  /// FP64 special function lexically inside a loop that also contains
+  /// data-dependent control flow — the code shape of the amcd benchmark's
+  /// Metropolis loop, which the 2013 ARM kernel compiler failed to compile
+  /// (paper §V-A: "a compiler issue that does not allow the correct
+  /// termination of the compilation phase ... in double precision").
+  bool has_f64_special_in_divergent_loop = false;
+};
+
+ProgramFeatures AnalyzeFeatures(const Program& program);
+
+/// Peak live register footprint in bytes, from a linear-scan liveness over
+/// [first-def, last-use] intervals (intervals are widened to the end of any
+/// loop they are live across, approximating loop-carried lifetimes). This is
+/// the register-allocation result the Mali kernel compiler model uses for
+/// thread occupancy and CL_OUT_OF_RESOURCES decisions: wide-vector FP64
+/// kernels (the paper's optimized nbody/2dcon in double precision) blow the
+/// per-thread budget here.
+std::uint32_t MaxLiveRegisterBytes(const Program& program);
+
+}  // namespace malisim::kir

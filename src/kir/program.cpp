@@ -1,0 +1,88 @@
+#include "kir/program.h"
+
+#include <vector>
+
+namespace malisim::kir {
+
+std::uint32_t Program::num_buffer_args() const {
+  std::uint32_t n = 0;
+  for (const ArgDecl& arg : args) {
+    if (arg.kind != ArgKind::kScalar) ++n;
+  }
+  return n;
+}
+
+Status Program::Finalize() {
+  has_barrier_ = false;
+  register_bytes_ = 0;
+  for (std::size_t r = 1; r < regs.size(); ++r) {
+    register_bytes_ += regs[r].type.bytes();
+  }
+
+  // Match structured control flow with a stack of open constructs.
+  struct Open {
+    Opcode op;
+    std::uint32_t index;
+    std::uint32_t else_index;  // for if constructs; 0 = none
+  };
+  std::vector<Open> stack;
+  for (std::uint32_t i = 0; i < code.size(); ++i) {
+    Instr& instr = code[i];
+    switch (instr.op) {
+      case Opcode::kBarrier:
+        has_barrier_ = true;
+        break;
+      case Opcode::kLoopBegin:
+      case Opcode::kIfBegin:
+        stack.push_back({instr.op, i, 0});
+        break;
+      case Opcode::kElse: {
+        if (stack.empty() || stack.back().op != Opcode::kIfBegin) {
+          return InvalidArgumentError("else without open if at instruction " +
+                                      std::to_string(i));
+        }
+        if (stack.back().else_index != 0) {
+          return InvalidArgumentError("duplicate else at instruction " +
+                                      std::to_string(i));
+        }
+        stack.back().else_index = i;
+        break;
+      }
+      case Opcode::kLoopEnd: {
+        if (stack.empty() || stack.back().op != Opcode::kLoopBegin) {
+          return InvalidArgumentError("endloop without open loop at " +
+                                      std::to_string(i));
+        }
+        const Open open = stack.back();
+        stack.pop_back();
+        code[open.index].match = i;
+        instr.match = open.index;
+        break;
+      }
+      case Opcode::kIfEnd: {
+        if (stack.empty() || stack.back().op != Opcode::kIfBegin) {
+          return InvalidArgumentError("endif without open if at " +
+                                      std::to_string(i));
+        }
+        const Open open = stack.back();
+        stack.pop_back();
+        // if jumps to else+1 (when false) or endif+1; else jumps to endif.
+        code[open.index].match =
+            open.else_index != 0 ? open.else_index : i;
+        if (open.else_index != 0) code[open.else_index].match = i;
+        instr.match = open.index;
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  if (!stack.empty()) {
+    return InvalidArgumentError("unterminated control construct opened at " +
+                                std::to_string(stack.back().index));
+  }
+  finalized_ = true;
+  return Status::Ok();
+}
+
+}  // namespace malisim::kir

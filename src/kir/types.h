@@ -1,0 +1,101 @@
+// Type system of the KIR kernel IR.
+//
+// KIR mirrors the OpenCL C type universe the paper's kernels use: the four
+// scalar types the Mali-T604 supports natively (fp32, fp64, int32, int64 —
+// the T604 is the first embedded GPU with hardware fp64 and 64-bit integers)
+// and their vector forms of 2/4/8/16 lanes, matching OpenCL's floatN/doubleN.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace malisim::kir {
+
+enum class ScalarType : std::uint8_t { kF32 = 0, kF64, kI32, kI64 };
+inline constexpr int kNumScalarTypes = 4;
+
+inline constexpr bool IsFloat(ScalarType t) {
+  return t == ScalarType::kF32 || t == ScalarType::kF64;
+}
+inline constexpr bool IsInt(ScalarType t) { return !IsFloat(t); }
+
+inline constexpr std::uint32_t ScalarBytes(ScalarType t) {
+  switch (t) {
+    case ScalarType::kF32:
+    case ScalarType::kI32:
+      return 4;
+    case ScalarType::kF64:
+    case ScalarType::kI64:
+      return 8;
+  }
+  return 0;
+}
+
+std::string ScalarTypeName(ScalarType t);
+
+/// Maximum vector width (OpenCL float16 / double16).
+inline constexpr std::uint8_t kMaxLanes = 16;
+
+/// Index 0..4 for lane counts 1,2,4,8,16 (used by histogram tables).
+inline constexpr int LaneIndex(std::uint8_t lanes) {
+  switch (lanes) {
+    case 1:
+      return 0;
+    case 2:
+      return 1;
+    case 4:
+      return 2;
+    case 8:
+      return 3;
+    case 16:
+      return 4;
+  }
+  return -1;
+}
+inline constexpr int kNumLaneClasses = 5;
+
+inline constexpr bool IsValidLanes(std::uint8_t lanes) {
+  return LaneIndex(lanes) >= 0;
+}
+
+/// A (scalar, lanes) pair: f32x4 is OpenCL float4, and so on.
+struct Type {
+  ScalarType scalar = ScalarType::kF32;
+  std::uint8_t lanes = 1;
+
+  constexpr Type() = default;
+  constexpr Type(ScalarType s, std::uint8_t l) : scalar(s), lanes(l) {}
+
+  constexpr bool operator==(const Type&) const = default;
+
+  constexpr bool is_scalar() const { return lanes == 1; }
+  constexpr std::uint32_t bytes() const { return ScalarBytes(scalar) * lanes; }
+
+  std::string ToString() const;
+};
+
+inline constexpr Type F32(std::uint8_t lanes = 1) { return {ScalarType::kF32, lanes}; }
+inline constexpr Type F64(std::uint8_t lanes = 1) { return {ScalarType::kF64, lanes}; }
+inline constexpr Type I32(std::uint8_t lanes = 1) { return {ScalarType::kI32, lanes}; }
+inline constexpr Type I64(std::uint8_t lanes = 1) { return {ScalarType::kI64, lanes}; }
+
+/// Floating type of the requested precision: Float(false)=f32, Float(true)=f64.
+/// Benchmarks use this to build SP and DP kernel variants from one source.
+inline constexpr Type FloatType(bool fp64, std::uint8_t lanes = 1) {
+  return {fp64 ? ScalarType::kF64 : ScalarType::kF32, lanes};
+}
+
+/// Storage for one virtual register value: the widest case is 16 x 8-byte
+/// lanes. Lanes beyond the register's type are kept zeroed.
+union RegValue {
+  float f32[kMaxLanes];
+  double f64[kMaxLanes];
+  std::int32_t i32[kMaxLanes];
+  std::int64_t i64[kMaxLanes];
+  std::uint8_t raw[kMaxLanes * 8];
+};
+static_assert(sizeof(RegValue) == 128);
+
+}  // namespace malisim::kir

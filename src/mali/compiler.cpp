@@ -1,0 +1,55 @@
+#include "mali/compiler.h"
+
+#include <algorithm>
+
+namespace malisim::mali {
+
+StatusOr<CompiledKernel> CompileForMali(const kir::Program& program,
+                                        const MaliTimingParams& timing,
+                                        const MaliCompilerParams& params) {
+  if (!program.finalized()) {
+    return FailedPreconditionError("program not finalized: " + program.name);
+  }
+  MALI_RETURN_IF_ERROR(kir::Verify(program));
+
+  CompiledKernel k;
+  k.program = &program;
+  k.features = kir::AnalyzeFeatures(program);
+
+  if (params.emulate_fp64_erratum &&
+      k.features.has_f64_special_in_divergent_loop) {
+    return BuildFailureError(
+        "mali kernel compiler erratum: double-precision special function "
+        "inside data-dependent control flow in a loop does not terminate "
+        "compilation (kernel '" +
+        program.name + "'); see DESIGN.md and paper §V-A");
+  }
+
+  k.live_reg_bytes = std::max(16u, kir::MaxLiveRegisterBytes(program));
+  k.exceeds_resources = k.live_reg_bytes > timing.max_thread_reg_bytes;
+
+  std::uint32_t threads = timing.reg_file_bytes_per_core / k.live_reg_bytes;
+  threads = threads / 4 * 4;  // thread groups of 4 in the tripipe frontend
+  k.threads_per_core =
+      std::clamp<std::uint32_t>(threads, 4, timing.max_threads_per_core);
+
+  bool all_restrict = true;
+  bool all_ro_const = true;
+  bool any_buffer = false;
+  bool any_ro_buffer = false;
+  for (const kir::ArgDecl& arg : program.args) {
+    if (arg.kind == kir::ArgKind::kScalar) continue;
+    any_buffer = true;
+    if (!arg.is_restrict) all_restrict = false;
+    if (arg.kind == kir::ArgKind::kBufferRO) {
+      any_ro_buffer = true;
+      if (!arg.is_const) all_ro_const = false;
+    }
+  }
+  k.sched_factor = 1.0;
+  if (any_buffer && all_restrict) k.sched_factor *= timing.restrict_sched_factor;
+  if (any_ro_buffer && all_ro_const) k.sched_factor *= timing.const_sched_factor;
+  return k;
+}
+
+}  // namespace malisim::mali

@@ -1,0 +1,40 @@
+// Mali kernel compiler model: the device-side half of the runtime kernel
+// compilation the ARM driver performs (paper §II-B). Runs the generic IR
+// passes, register-allocates (liveness-based footprint), derives thread
+// occupancy, applies the qualifier scheduling bonuses, and reproduces the
+// documented FP64 erratum and CL_OUT_OF_RESOURCES behaviours.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "kir/passes.h"
+#include "kir/program.h"
+#include "mali/t604_params.h"
+
+namespace malisim::mali {
+
+struct CompiledKernel {
+  const kir::Program* program = nullptr;
+  kir::ProgramFeatures features;
+  /// Register allocation result (peak live bytes per work-item).
+  std::uint32_t live_reg_bytes = 0;
+  /// Resident work-items per shader core at this register footprint.
+  std::uint32_t threads_per_core = 0;
+  /// True when the kernel exceeds the per-thread register budget; build
+  /// succeeds (matching the ARM driver) but any enqueue fails with
+  /// CL_OUT_OF_RESOURCES.
+  bool exceeds_resources = false;
+  /// Arithmetic-issue scale from aliasing/const guarantees (§III-B
+  /// "Directives and Type Qualifiers"); 1.0 = no bonus.
+  double sched_factor = 1.0;
+};
+
+/// Compiles `program` for the T604. Fails with BuildFailure when the FP64
+/// erratum triggers (emulate_fp64_erratum). The program must outlive the
+/// compiled kernel.
+StatusOr<CompiledKernel> CompileForMali(const kir::Program& program,
+                                        const MaliTimingParams& timing,
+                                        const MaliCompilerParams& params);
+
+}  // namespace malisim::mali

@@ -1,0 +1,270 @@
+#include "mali/t604_device.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace malisim::mali {
+namespace {
+
+constexpr std::uint64_t kScratchSimBase = 0x7e00'0000'0000ULL;
+constexpr std::uint64_t kScratchStride = 16ULL << 20;
+
+/// Per-shader-core memory sink; also feeds the device-wide atomic
+/// contention tracker.
+class ShaderCoreSink final : public kir::MemorySink {
+ public:
+  ShaderCoreSink(sim::MemoryHierarchy* hierarchy, std::uint32_t core,
+                 std::unordered_map<std::uint64_t, std::uint64_t>* atomic_lines)
+      : hierarchy_(hierarchy), core_(core), atomic_lines_(atomic_lines) {}
+
+  void OnAccess(std::uint64_t addr, std::uint32_t bytes, bool is_write) override {
+    const sim::AccessOutcome out = hierarchy_->Access(core_, addr, bytes, is_write);
+    l1_misses += out.l1_misses;
+    l2_misses += out.l2_misses;
+  }
+
+  void OnAtomic(std::uint64_t addr, std::uint32_t bytes) override {
+    OnAccess(addr, bytes, false);
+    OnAccess(addr, bytes, true);
+    // Contention is only meaningful for addresses shared across work-groups;
+    // __local privatized bins (scratch range) never contend between the
+    // groups that reuse the same per-core scratch over time.
+    if (addr < kScratchSimBase) ++(*atomic_lines_)[addr / 64];
+  }
+
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+
+ private:
+  sim::MemoryHierarchy* hierarchy_;
+  std::uint32_t core_;
+  std::unordered_map<std::uint64_t, std::uint64_t>* atomic_lines_;
+};
+
+struct PipeSlots {
+  double arith = 0.0;
+  double ls = 0.0;
+};
+
+PipeSlots CountSlots(const MaliTimingParams& t, const kir::OpHistogram& ops) {
+  PipeSlots slots;
+  ops.ForEach([&](kir::OpClass c, kir::ScalarType st, std::uint8_t lanes,
+                  std::uint64_t n) {
+    const double bytes = static_cast<double>(lanes) * kir::ScalarBytes(st);
+    const double chunks = std::max(1.0, std::ceil(bytes / t.pipe_width_bytes));
+    const bool f64 = st == kir::ScalarType::kF64;
+    const double dn = static_cast<double>(n);
+    switch (c) {
+      case kir::OpClass::kArithSimple:
+        slots.arith += dn * chunks * t.slots_arith * (f64 ? t.f64_chunk_factor : 1.0);
+        break;
+      case kir::OpClass::kArithMul:
+        slots.arith += dn * chunks * t.slots_mul * (f64 ? t.f64_chunk_factor : 1.0);
+        break;
+      case kir::OpClass::kArithSpecial: {
+        double mult = t.slots_special_int;
+        if (st == kir::ScalarType::kF32) mult = t.slots_special_f32;
+        if (f64) mult = t.slots_special_f64;
+        slots.arith += dn * chunks * mult;
+        break;
+      }
+      case kir::OpClass::kBroadcast:
+        slots.arith += dn * t.slots_broadcast;
+        break;
+      case kir::OpClass::kControl:
+        slots.arith += dn * t.slots_control;
+        break;
+      case kir::OpClass::kLoad:
+      case kir::OpClass::kStore:
+        slots.ls += dn * std::max(t.slots_ls_min,
+                                  std::ceil(bytes / t.ls_bytes_per_slot));
+        break;
+      case kir::OpClass::kAtomic:
+        slots.ls += dn * t.slots_atomic;
+        break;
+      case kir::OpClass::kBarrier:
+        // Charged separately per work-group crossing.
+        break;
+      case kir::OpClass::kNumClasses:
+        break;
+    }
+  });
+  return slots;
+}
+
+}  // namespace
+
+MaliT604Device::MaliT604Device(const MaliTimingParams& timing,
+                               const MaliMemoryConfig& memory)
+    : timing_(timing),
+      hierarchy_(sim::HierarchyConfig{/*has_l1=*/true, timing.num_cores,
+                                      memory.l1, memory.l2}),
+      dram_(memory.dram) {}
+
+std::uint64_t MaliT604Device::DriverPickLocalSize(std::uint64_t global_size,
+                                                  std::uint64_t budget) {
+  // Largest power-of-two divisor of the global size within the budget.
+  std::uint64_t pick = 1;
+  while (pick * 2 <= budget && global_size % (pick * 2) == 0) pick *= 2;
+  return pick;
+}
+
+StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
+                                           const kir::LaunchConfig& config,
+                                           kir::Bindings bindings) {
+  MALI_CHECK(kernel.program != nullptr);
+  if (kernel.exceeds_resources) {
+    return ResourceExhaustedError(
+        "CL_OUT_OF_RESOURCES: kernel '" + kernel.program->name + "' needs " +
+        std::to_string(kernel.live_reg_bytes) +
+        " bytes of registers per work-item (budget " +
+        std::to_string(timing_.max_thread_reg_bytes) + ")");
+  }
+  hierarchy_.ResetStats();
+  dram_.ResetStats();
+
+  const kir::Program& program = *kernel.program;
+  std::uint64_t local_bytes = 0;
+  for (const kir::LocalArrayDecl& local : program.locals) {
+    local_bytes += static_cast<std::uint64_t>(local.elems) *
+                   kir::ScalarBytes(local.elem);
+  }
+  const std::uint32_t cores = timing_.num_cores;
+  if (local_bytes > scratch_bytes_ || scratch_.empty()) {
+    scratch_.clear();
+    for (std::uint32_t c = 0; c < cores; ++c) {
+      scratch_.push_back(std::make_unique<std::byte[]>(local_bytes + 64));
+    }
+    scratch_bytes_ = local_bytes;
+  }
+
+  const std::uint64_t total_groups = config.total_groups();
+  const auto group_dims = config.num_groups();
+
+  GpuRunResult result;
+  std::unordered_map<std::uint64_t, std::uint64_t> atomic_lines;
+
+  double core_sec_max = 0.0;
+  double busy_sec[power::kNumMaliCores] = {};
+  double core_secs[power::kNumMaliCores] = {};
+
+  // Latency hiding from occupancy: resident threads overlap misses. The
+  // resident count is limited by the register file (compiler) AND by how
+  // many work-items the launch actually puts on a core (§III-A: "the
+  // global work size must be in the order of several thousands").
+  const double items_per_core =
+      static_cast<double>(config.total_work_items()) / cores;
+  const double resident =
+      std::min(static_cast<double>(kernel.threads_per_core), items_per_core);
+  const double hiding = std::max(
+      1.0, std::min(timing_.latency_hiding_cap,
+                    resident / timing_.threads_per_mlp));
+
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    kir::Bindings core_bindings = bindings;
+    core_bindings.local_scratch = {scratch_[c].get(),
+                                   kScratchSimBase + c * kScratchStride,
+                                   local_bytes + 64};
+    StatusOr<kir::Executor> executor =
+        kir::Executor::Create(&program, config, std::move(core_bindings));
+    if (!executor.ok()) return executor.status();
+
+    ShaderCoreSink sink(&hierarchy_, c, &atomic_lines);
+    kir::WorkGroupRun core_run;
+    std::uint64_t groups_on_core = 0;
+    // Job Manager: round-robin distribution across shader cores.
+    for (std::uint64_t g = c; g < total_groups; g += cores) {
+      const std::uint64_t gx = g % group_dims[0];
+      const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
+      const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
+      MALI_RETURN_IF_ERROR(executor->RunGroup({gx, gy, gz}, &sink, &core_run));
+      ++groups_on_core;
+    }
+
+    const PipeSlots slots = CountSlots(timing_, core_run.ops);
+    // Intra-group load imbalance stretches issue time: the Job Manager
+    // retires a work-group only when its heaviest work-item finishes.
+    const double imbalance = core_run.imbalance_factor();
+    // The qualifier scheduling bonus applies to both pipes: aliasing
+    // guarantees (restrict) are what let the compiler reorder across
+    // memory operations.
+    const double arith_cycles = slots.arith * kernel.sched_factor *
+                                imbalance / timing_.arith_pipes_per_core;
+    const double ls_cycles =
+        (slots.ls + static_cast<double>(sink.l1_misses) *
+                        timing_.ls_l1_miss_replay_slots) *
+        kernel.sched_factor * imbalance;
+    const double issue_cycles = std::max(arith_cycles, ls_cycles);
+    const double dispatch_cycles =
+        static_cast<double>(groups_on_core) * timing_.wg_dispatch_cycles;
+    const double barrier_cycles =
+        static_cast<double>(core_run.barriers_crossed) * timing_.barrier_cycles;
+
+    const double l2_hits = static_cast<double>(sink.l1_misses - sink.l2_misses);
+    const double stall_sec =
+        (l2_hits * timing_.l2_hit_latency_sec +
+         static_cast<double>(sink.l2_misses) * timing_.dram_latency_sec) /
+        hiding;
+
+    const double cycles = issue_cycles + dispatch_cycles + barrier_cycles;
+    const double core_sec = cycles / timing_.clock_hz + stall_sec;
+    core_secs[c] = core_sec;
+    // Power-relevant utilization: raw pipe activity. Imbalance waits,
+    // dispatch gaps and memory stalls clock-gate the pipes.
+    busy_sec[c] = std::max(slots.arith * kernel.sched_factor /
+                               timing_.arith_pipes_per_core,
+                           slots.ls) /
+                  timing_.clock_hz;
+    core_sec_max = std::max(core_sec_max, core_sec);
+
+    result.run.MergeFrom(core_run);
+    const std::string prefix = "mali.core" + std::to_string(c);
+    result.stats.Set(prefix + ".arith_cycles", arith_cycles);
+    result.stats.Set(prefix + ".ls_cycles", ls_cycles);
+    result.stats.Set(prefix + ".dispatch_cycles", dispatch_cycles);
+    result.stats.Set(prefix + ".stall_sec", stall_sec);
+    result.stats.Set(prefix + ".l1_misses", static_cast<double>(sink.l1_misses));
+    result.stats.Set(prefix + ".l2_misses", static_cast<double>(sink.l2_misses));
+    result.stats.Set(prefix + ".imbalance", imbalance);
+  }
+
+  // Device-wide floors: DRAM bandwidth and atomic serialization on the
+  // hottest line.
+  const double dram_sec = dram_.TransferTime(hierarchy_.dram_fill_lines(),
+                                             hierarchy_.dram_writeback_lines(),
+                                             hierarchy_.sequential_fraction());
+  std::uint64_t hottest_line = 0;
+  for (const auto& [line, count] : atomic_lines) {
+    hottest_line = std::max(hottest_line, count);
+  }
+  const double atomic_sec = static_cast<double>(hottest_line) *
+                            timing_.atomic_serialize_cycles / timing_.clock_hz;
+
+  double seconds = std::max({core_sec_max, dram_sec, atomic_sec});
+  seconds += timing_.kernel_launch_overhead_sec;
+
+  result.seconds = seconds;
+  result.profile.seconds = seconds;
+  result.profile.gpu_on = true;
+  for (std::uint32_t c = 0; c < cores && c < power::kNumMaliCores; ++c) {
+    result.profile.gpu_core_busy[c] = std::clamp(busy_sec[c] / seconds, 0.0, 1.0);
+  }
+  // Host core 0 babysits the queue (blocking clFinish, mostly WFI).
+  result.profile.cpu_busy[0] = 0.02;
+  result.profile.dram_bytes = hierarchy_.dram_bytes();
+
+  result.stats.Set("mali.seconds", seconds);
+  result.stats.Set("mali.dram_bw_floor_sec", dram_sec);
+  result.stats.Set("mali.atomic_floor_sec", atomic_sec);
+  result.stats.Set("mali.seq_fraction", hierarchy_.sequential_fraction());
+  result.stats.Set("mali.dram_bytes", static_cast<double>(hierarchy_.dram_bytes()));
+  result.stats.Set("mali.threads_per_core",
+                   static_cast<double>(kernel.threads_per_core));
+  result.stats.Set("mali.live_reg_bytes",
+                   static_cast<double>(kernel.live_reg_bytes));
+  (void)core_secs;
+  return result;
+}
+
+}  // namespace malisim::mali

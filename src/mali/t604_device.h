@@ -1,0 +1,68 @@
+// Mali-T604 device model: executes compiled KIR kernels over an NDRange,
+// models elapsed time from tri-pipe occupancy, job-manager dispatch, cache
+// behaviour, occupancy-dependent latency hiding and atomic serialization,
+// and reports the activity profile for the power model.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/stats.h"
+#include "kir/exec_types.h"
+#include "kir/interp.h"
+#include "kir/program.h"
+#include "mali/compiler.h"
+#include "mali/t604_params.h"
+#include "power/profile.h"
+#include "sim/memory_system.h"
+
+namespace malisim::mali {
+
+struct GpuRunResult {
+  /// Modelled kernel execution time, including driver launch overhead.
+  double seconds = 0.0;
+  /// Activity profile for the power model (CPU cores idle, GPU on).
+  power::ActivityProfile profile;
+  /// Functional execution counts aggregated over all shader cores.
+  kir::WorkGroupRun run;
+  /// Breakdown: per-core cycles, miss counts, bottleneck identification.
+  StatRegistry stats;
+};
+
+class MaliT604Device {
+ public:
+  explicit MaliT604Device(const MaliTimingParams& timing = MaliTimingParams(),
+                          const MaliMemoryConfig& memory = MaliMemoryConfig());
+
+  /// Executes the kernel. Work-groups are distributed round-robin across
+  /// shader cores by the Job Manager model. Fails with ResourceExhausted
+  /// (CL_OUT_OF_RESOURCES) when the compiled kernel exceeded the per-thread
+  /// register budget.
+  StatusOr<GpuRunResult> Run(const CompiledKernel& kernel,
+                             const kir::LaunchConfig& config,
+                             kir::Bindings bindings);
+
+  void FlushCaches() { hierarchy_.Flush(); }
+
+  const MaliTimingParams& timing() const { return timing_; }
+
+  /// The §III-A work-group-size heuristic the driver applies when the host
+  /// passes local_size = NULL: a modest power-of-two divisor of the global
+  /// size, bounded by `budget` (callers shrink the budget per dimension so
+  /// the product never exceeds it). It deliberately mirrors the paper's
+  /// observation that "the driver is not always capable of doing a good
+  /// selection" — it never picks more than 64 work-items total and so
+  /// over-fragments large launches.
+  static std::uint64_t DriverPickLocalSize(std::uint64_t global_size,
+                                           std::uint64_t budget = 64);
+
+ private:
+  MaliTimingParams timing_;
+  sim::MemoryHierarchy hierarchy_;
+  sim::DramModel dram_;
+  std::vector<std::unique_ptr<std::byte[]>> scratch_;
+  std::uint64_t scratch_bytes_ = 0;
+};
+
+}  // namespace malisim::mali

@@ -1,0 +1,119 @@
+// Timing parameters of the Mali-T604 GPU model (4 shader cores @ 533 MHz,
+// tri-pipe: 2x arithmetic + 1x load/store + 1x texturing, 128-bit vector
+// ALUs, hardware atomics, 16 KB per-core L1, shared SCU-coherent L2).
+//
+// Modelling choices tied to paper §II-A / §III:
+//  * Arithmetic work is counted in 128-bit pipe slots: a f32x4 op is one
+//    slot, a scalar f32 op is *also* one slot — un-vectorized code wastes
+//    3/4 of the ALU, which is the §III-B vectorization payoff.
+//  * The LS pipe moves up to 128 bits per slot, so vloadN/vstoreN amortize
+//    issue slots ("more efficient use of the available bandwidth").
+//  * There is no warp divergence penalty anywhere: work-items are
+//    independent hardware threads (§III-B "Thread Divergence").
+//  * The Job Manager charges a fixed dispatch cost per work-group; fewer,
+//    larger work-groups (vectorization, tuned local sizes) amortize it
+//    ("reduction of the run-time scheduling overheads").
+//  * Occupancy comes from register pressure: threads per core =
+//    register-file bytes / live register bytes, capped at 256. Fewer
+//    resident threads hide less memory latency.
+//
+// Values were calibrated jointly with the A15 parameters against the
+// paper's Fig. 2-4 ratios; see EXPERIMENTS.md for paper-vs-model tables.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/cache.h"
+#include "sim/dram.h"
+
+namespace malisim::mali {
+
+struct MaliTimingParams {
+  double clock_hz = 533e6;
+  std::uint32_t num_cores = 4;
+  std::uint32_t arith_pipes_per_core = 2;
+  double pipe_width_bytes = 16.0;  // 128-bit vector registers/ALUs
+
+  // Arithmetic-pipe slot multipliers per 128-bit chunk.
+  double slots_arith = 0.5;   // VLIW bundles ~2 simple ops per slot
+  double slots_mul = 0.5;
+  double slots_special_f32 = 1.3;   // rsqrt/div/exp on the SFU path
+  double slots_special_f64 = 3.5;   // fp64 special functions iterate
+  double slots_special_int = 2.0;
+  /// Splat (scalar -> vector broadcast): Midgard encodes scalar operands
+  /// with a broadcast modifier, so it is nearly free.
+  double slots_broadcast = 0.15;
+  double slots_control = 1.5;       // loop/branch bookkeeping per op (scalar
+                                    // loops starve the VLIW packer)
+  double f64_chunk_factor = 1.6;    // fp64 ALU chunks run below f32 rate
+
+  // Load/store pipe.
+  double ls_bytes_per_slot = 16.0;  // 128 bits per LS slot
+  double slots_ls_min = 1.0;        // every access costs at least one slot
+  /// Extra LS-pipe occupancy per L1 miss: the access is replayed when the
+  /// line returns. This is what makes scattered scalar gathers (spmv's
+  /// x[col[k]], amcd's interleaved atom arrays) expensive on the T604 even
+  /// though the L2 absorbs them.
+  double ls_l1_miss_replay_slots = 1.2;
+  double slots_atomic = 2.5;        // LS-pipe cost of an atomic
+  /// Serialization cost per atomic on the hottest cache line (the L2
+  /// atomic unit processes same-line atomics one at a time).
+  double atomic_serialize_cycles = 10.0;
+
+  // Barrier cost per work-group crossing.
+  double barrier_cycles = 96.0;
+
+  // Occupancy / latency hiding.
+  std::uint32_t max_threads_per_core = 256;
+  std::uint32_t reg_file_bytes_per_core = 64 * 1024;
+  /// Hard per-thread budget; kernels above it fail with CL_OUT_OF_RESOURCES.
+  /// 384 bytes separates the kernel population exactly as the paper reports:
+  /// every single-precision kernel fits (heaviest: the nbody vector-gather
+  /// kernel at ~304 B), the FP64 dmmm float4 kernel fits (~148 B), while the
+  /// FP64 nbody (~592 B) and 2dcon (~472 B) optimized kernels exceed it and
+  /// fail at enqueue (paper §V-A, Fig. 2(b)).
+  std::uint32_t max_thread_reg_bytes = 384;
+  double l2_hit_latency_sec = 50e-9;   // L1 miss, L2 hit
+  double dram_latency_sec = 120e-9;    // L2 miss
+  /// Misses overlapped = min(cap, resident_threads / threads_per_mlp).
+  double latency_hiding_cap = 24.0;
+  double threads_per_mlp = 8.0;
+
+  // Job manager.
+  double wg_dispatch_cycles = 600.0;    // per work-group, on its core
+  double kernel_launch_overhead_sec = 45e-6;  // driver + job-chain setup
+
+  // Modelled benefit of §III-B "Directives and Type Qualifiers": aliasing
+  // guarantees (restrict on every buffer) let the compiler schedule across
+  // memory operations; const adds a smaller gain.
+  double restrict_sched_factor = 0.93;
+  double const_sched_factor = 0.97;
+};
+
+/// GPU-side cache geometry (per-core L1, shared coherent L2) and the DRAM
+/// view of the GPU. The T604's memory path is less prefetch-friendly than
+/// the A15's, hence the lower streaming efficiency.
+struct MaliMemoryConfig {
+  // 8 KiB effective: half the physical 16 KiB, a proxy for the dilution
+  // caused by up to 256 interleaved threads sharing it (the sequential
+  // interpreter otherwise overstates per-thread locality; see DESIGN.md).
+  sim::CacheConfig l1{/*size_bytes=*/8 * 1024, /*line_bytes=*/64,
+                      /*associativity=*/4, /*write_allocate=*/true};
+  sim::CacheConfig l2{/*size_bytes=*/1024 * 1024, /*line_bytes=*/64,
+                      /*associativity=*/16, /*write_allocate=*/true};
+  sim::DramConfig dram{/*peak_bandwidth_bytes_per_sec=*/12.8e9,
+                       /*streaming_efficiency=*/0.65,
+                       /*scattered_efficiency=*/0.22,
+                       /*first_word_latency_sec=*/120e-9,
+                       /*line_bytes=*/64};
+};
+
+/// Kernel-compiler behaviour switches.
+struct MaliCompilerParams {
+  /// Reproduce the documented 2013 driver erratum: FP64 special functions
+  /// inside a data-dependent loop (the amcd Metropolis shape) fail to
+  /// compile (paper §V-A). Disable to see what the fixed compiler would do.
+  bool emulate_fp64_erratum = true;
+};
+
+}  // namespace malisim::mali

@@ -1,0 +1,55 @@
+#include "ocl/cl_error.h"
+
+namespace malisim::ocl {
+
+std::string_view ClErrorName(ClError err) {
+  switch (err) {
+    case ClError::kSuccess:
+      return "CL_SUCCESS";
+    case ClError::kDeviceNotFound:
+      return "CL_DEVICE_NOT_FOUND";
+    case ClError::kOutOfResources:
+      return "CL_OUT_OF_RESOURCES";
+    case ClError::kMemObjectAllocationFailure:
+      return "CL_MEM_OBJECT_ALLOCATION_FAILURE";
+    case ClError::kBuildProgramFailure:
+      return "CL_BUILD_PROGRAM_FAILURE";
+    case ClError::kMapFailure:
+      return "CL_MAP_FAILURE";
+    case ClError::kInvalidValue:
+      return "CL_INVALID_VALUE";
+    case ClError::kInvalidBufferSize:
+      return "CL_INVALID_BUFFER_SIZE";
+    case ClError::kInvalidKernelArgs:
+      return "CL_INVALID_KERNEL_ARGS";
+    case ClError::kInvalidWorkGroupSize:
+      return "CL_INVALID_WORK_GROUP_SIZE";
+    case ClError::kInvalidWorkItemSize:
+      return "CL_INVALID_WORK_ITEM_SIZE";
+    case ClError::kInvalidOperation:
+      return "CL_INVALID_OPERATION";
+  }
+  return "CL_UNKNOWN_ERROR";
+}
+
+ClError ClErrorFromStatus(const Status& status) {
+  switch (status.code()) {
+    case ErrorCode::kOk:
+      return ClError::kSuccess;
+    case ErrorCode::kResourceExhausted:
+      return ClError::kOutOfResources;
+    case ErrorCode::kBuildFailure:
+      return ClError::kBuildProgramFailure;
+    case ErrorCode::kInvalidArgument:
+    case ErrorCode::kOutOfRange:
+      return ClError::kInvalidValue;
+    case ErrorCode::kNotFound:
+      return ClError::kDeviceNotFound;
+    case ErrorCode::kFailedPrecondition:
+      return ClError::kInvalidOperation;
+    default:
+      return ClError::kInvalidValue;
+  }
+}
+
+}  // namespace malisim::ocl

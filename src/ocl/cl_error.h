@@ -1,0 +1,36 @@
+// OpenCL-style error codes for the tinycl host API.
+//
+// tinycl reports failures as Status (library idiom) but tags them with the
+// OpenCL error the real driver would return — the paper's narrative hinges
+// on two of them: CL_BUILD_PROGRAM_FAILURE (amcd FP64 compiler erratum) and
+// CL_OUT_OF_RESOURCES (optimized FP64 nbody/2dcon register pressure).
+#pragma once
+
+#include <string_view>
+
+#include "common/status.h"
+
+namespace malisim::ocl {
+
+enum class ClError : int {
+  kSuccess = 0,
+  kDeviceNotFound = -1,
+  kOutOfResources = -5,
+  kMemObjectAllocationFailure = -4,
+  kBuildProgramFailure = -11,
+  kMapFailure = -12,
+  kInvalidValue = -30,
+  kInvalidBufferSize = -61,
+  kInvalidKernelArgs = -52,
+  kInvalidWorkGroupSize = -54,
+  kInvalidWorkItemSize = -55,
+  kInvalidOperation = -59,
+};
+
+/// "CL_SUCCESS", "CL_OUT_OF_RESOURCES", ...
+std::string_view ClErrorName(ClError err);
+
+/// Maps a library Status to the OpenCL error a driver would surface.
+ClError ClErrorFromStatus(const Status& status);
+
+}  // namespace malisim::ocl

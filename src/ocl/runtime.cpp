@@ -1,0 +1,446 @@
+#include "ocl/runtime.h"
+
+#include <cstring>
+#include <utility>
+
+#include "kir/passes.h"
+
+namespace malisim::ocl {
+
+// ---------------------------------------------------------------- Context
+
+Context::Context(const mali::MaliTimingParams& timing,
+                 const mali::MaliMemoryConfig& memory,
+                 const mali::MaliCompilerParams& compiler,
+                 const HostParams& host)
+    : timing_(timing),
+      compiler_(compiler),
+      host_(host),
+      device_(timing, memory),
+      queue_(this) {}
+
+Context::Context(DeviceType type)
+    : type_(type), device_(timing_, mali::MaliMemoryConfig()), queue_(this) {
+  if (type_ == DeviceType::kCpu) {
+    // The CPU path compiles with the generic pipeline only: no Mali
+    // erratum, no shader-core register budget.
+    compiler_.emulate_fp64_erratum = false;
+    timing_.max_thread_reg_bytes = 0xFFFFFFFFu;
+  }
+}
+
+Context::DeviceInfo Context::device_info() const {
+  DeviceInfo info;
+  if (type_ == DeviceType::kGpu) {
+    info.name = kDeviceName;
+    info.type = DeviceType::kGpu;
+    info.compute_units = timing_.num_cores;
+    info.max_work_group_size = kMaxWorkGroupSize;
+    info.clock_hz = timing_.clock_hz;
+  } else {
+    info.name = kCpuDeviceName;
+    info.type = DeviceType::kCpu;
+    info.compute_units = cpu::CortexA15Device::kMaxCores;
+    info.max_work_group_size = kMaxWorkGroupSize;
+    info.clock_hz = cpu::A15TimingParams().clock_hz;
+  }
+  info.fp64 = true;  // OpenCL Full Profile on both (the paper's premise)
+  return info;
+}
+
+StatusOr<std::shared_ptr<Buffer>> Context::CreateBuffer(std::uint32_t flags,
+                                                        std::uint64_t bytes,
+                                                        void* host_ptr) {
+  if (bytes == 0) {
+    return InvalidArgumentError("CL_INVALID_BUFFER_SIZE: zero-sized buffer");
+  }
+  const bool use_host = (flags & kMemUseHostPtr) != 0;
+  const bool copy_host = (flags & kMemCopyHostPtr) != 0;
+  const bool alloc_host = (flags & kMemAllocHostPtr) != 0;
+  if ((use_host || copy_host) && host_ptr == nullptr) {
+    return InvalidArgumentError(
+        "CL_INVALID_VALUE: kMemUseHostPtr/kMemCopyHostPtr need a host_ptr");
+  }
+  if (use_host && alloc_host) {
+    return InvalidArgumentError(
+        "CL_INVALID_VALUE: kMemUseHostPtr and kMemAllocHostPtr are exclusive");
+  }
+
+  auto buffer = std::shared_ptr<Buffer>(new Buffer());
+  buffer->flags_ = flags;
+  buffer->size_ = bytes;
+  buffer->storage_ = AlignedBuffer(bytes);
+  buffer->storage_.ZeroFill();
+  buffer->user_ptr_ = use_host ? host_ptr : nullptr;
+  // Unified simulated address space, 4 KiB-aligned allocations.
+  buffer->sim_addr_ = next_sim_addr_;
+  next_sim_addr_ += (bytes + 4095) / 4096 * 4096 + 4096;
+
+  if (copy_host || use_host) {
+    // kCopyHostPtr initializes the driver allocation; for kUseHostPtr the
+    // shadow starts in sync with the app memory (creation-time snapshot).
+    std::memcpy(buffer->storage_.data(), host_ptr, bytes);
+  }
+  return buffer;
+}
+
+std::shared_ptr<Program> Context::CreateProgram(
+    std::vector<kir::Program> kernels) {
+  return std::shared_ptr<Program>(
+      new Program(std::move(kernels), timing_, compiler_));
+}
+
+StatusOr<std::shared_ptr<Kernel>> Context::CreateKernel(
+    const std::shared_ptr<Program>& program, const std::string& name) {
+  MALI_CHECK(program != nullptr);
+  if (!program->built()) {
+    return FailedPreconditionError(
+        "CL_INVALID_PROGRAM_EXECUTABLE: program not built");
+  }
+  StatusOr<const mali::CompiledKernel*> compiled = program->GetCompiled(name);
+  if (!compiled.ok()) return compiled.status();
+  const kir::Program* source = program->GetSource(name);
+  return std::shared_ptr<Kernel>(new Kernel(name, source, *compiled));
+}
+
+// ---------------------------------------------------------------- Program
+
+Program::Program(std::vector<kir::Program> kernels,
+                 mali::MaliTimingParams timing,
+                 mali::MaliCompilerParams compiler)
+    : kernels_(std::move(kernels)), timing_(timing), compiler_(compiler) {}
+
+Status Program::Build() {
+  if (built_) return Status::Ok();
+  build_log_.clear();
+  Status first_error;
+  for (kir::Program& kernel : kernels_) {
+    // Driver-side optimization pipeline (-cl-opt level of the real driver).
+    StatusOr<int> folded = kir::ConstantFold(&kernel);
+    if (!folded.ok()) return folded.status();
+    StatusOr<int> removed = kir::DeadCodeElim(&kernel);
+    if (!removed.ok()) return removed.status();
+
+    StatusOr<mali::CompiledKernel> compiled =
+        mali::CompileForMali(kernel, timing_, compiler_);
+    if (!compiled.ok()) {
+      build_log_ += "error: kernel '" + kernel.name +
+                    "': " + compiled.status().ToString() + "\n";
+      if (first_error.ok()) first_error = compiled.status();
+      continue;
+    }
+    build_log_ += "kernel '" + kernel.name + "': " +
+                  std::to_string(compiled->live_reg_bytes) +
+                  " reg bytes/work-item, " +
+                  std::to_string(compiled->threads_per_core) +
+                  " threads/core" +
+                  (compiled->exceeds_resources
+                       ? " (exceeds per-thread budget: enqueue will fail)"
+                       : "") +
+                  "\n";
+    compiled_.emplace(kernel.name, *compiled);
+  }
+  if (!first_error.ok()) return first_error;
+  built_ = true;
+  return Status::Ok();
+}
+
+StatusOr<const mali::CompiledKernel*> Program::GetCompiled(
+    const std::string& name) const {
+  if (!built_) {
+    return FailedPreconditionError("program not built");
+  }
+  auto it = compiled_.find(name);
+  if (it == compiled_.end()) {
+    return NotFoundError("no kernel named '" + name + "'");
+  }
+  return &it->second;
+}
+
+const kir::Program* Program::GetSource(const std::string& name) const {
+  for (const kir::Program& kernel : kernels_) {
+    if (kernel.name == name) return &kernel;
+  }
+  return nullptr;
+}
+
+// ----------------------------------------------------------------- Kernel
+
+Kernel::Kernel(std::string name, const kir::Program* source,
+               const mali::CompiledKernel* compiled)
+    : name_(std::move(name)), source_(source), compiled_(compiled) {
+  MALI_CHECK(source_ != nullptr && compiled_ != nullptr);
+  args_.resize(source_->args.size());
+  for (std::size_t i = 0; i < source_->args.size(); ++i) {
+    args_[i].is_buffer = source_->args[i].kind != kir::ArgKind::kScalar;
+  }
+}
+
+Status Kernel::SetArgBuffer(std::uint32_t index,
+                            std::shared_ptr<Buffer> buffer) {
+  if (index >= args_.size() || !args_[index].is_buffer) {
+    return InvalidArgumentError("CL_INVALID_KERNEL_ARGS: arg " +
+                                std::to_string(index) + " is not a buffer");
+  }
+  if (buffer == nullptr) {
+    return InvalidArgumentError("CL_INVALID_KERNEL_ARGS: null buffer");
+  }
+  args_[index].buffer = std::move(buffer);
+  args_[index].set = true;
+  return Status::Ok();
+}
+
+Status Kernel::SetArgScalar(std::uint32_t index, kir::ScalarValue value) {
+  if (index >= args_.size() || args_[index].is_buffer) {
+    return InvalidArgumentError("CL_INVALID_KERNEL_ARGS: arg " +
+                                std::to_string(index) + " is not a scalar");
+  }
+  if (source_->args[index].elem != value.type) {
+    return InvalidArgumentError("CL_INVALID_KERNEL_ARGS: scalar type "
+                                "mismatch for arg " +
+                                std::to_string(index));
+  }
+  args_[index].scalar = value;
+  args_[index].set = true;
+  return Status::Ok();
+}
+
+StatusOr<kir::Bindings> Kernel::MakeBindings() const {
+  kir::Bindings bindings;
+  for (std::size_t i = 0; i < args_.size(); ++i) {
+    const ArgSlot& slot = args_[i];
+    if (!slot.set) {
+      return InvalidArgumentError("CL_INVALID_KERNEL_ARGS: arg " +
+                                  std::to_string(i) + " ('" +
+                                  source_->args[i].name + "') is unset");
+    }
+    if (slot.is_buffer) {
+      bindings.buffers.push_back({slot.buffer->device_storage(),
+                                  slot.buffer->sim_addr(),
+                                  slot.buffer->size()});
+    } else {
+      bindings.scalars.push_back(slot.scalar);
+    }
+  }
+  return bindings;
+}
+
+// ----------------------------------------------------------- CommandQueue
+
+Event CommandQueue::HostCopyEvent(Event::Kind kind, std::uint64_t bytes,
+                                  double overhead) {
+  Event event;
+  event.kind = kind;
+  event.seconds =
+      overhead + static_cast<double>(bytes) / context_->host_.memcpy_bytes_per_sec;
+  event.profile.seconds = event.seconds;
+  event.profile.cpu_busy[0] = 1.0;  // the A15 performs the copy
+  event.profile.gpu_on = true;      // context holds the GPU powered
+  event.profile.dram_bytes = 2 * bytes;  // read source + write destination
+  total_seconds_ += event.seconds;
+  return event;
+}
+
+StatusOr<Event> CommandQueue::EnqueueWriteBuffer(Buffer& buffer,
+                                                 const void* src,
+                                                 std::uint64_t bytes,
+                                                 std::uint64_t offset) {
+  if (src == nullptr || offset + bytes > buffer.size()) {
+    return InvalidArgumentError("CL_INVALID_VALUE: bad write range");
+  }
+  std::memcpy(buffer.storage_.data() + offset, src, bytes);
+  return HostCopyEvent(Event::Kind::kWrite, bytes,
+                       context_->host_.enqueue_overhead_sec);
+}
+
+StatusOr<Event> CommandQueue::EnqueueReadBuffer(Buffer& buffer, void* dst,
+                                                std::uint64_t bytes,
+                                                std::uint64_t offset) {
+  if (dst == nullptr || offset + bytes > buffer.size()) {
+    return InvalidArgumentError("CL_INVALID_VALUE: bad read range");
+  }
+  std::memcpy(dst, buffer.storage_.data() + offset, bytes);
+  return HostCopyEvent(Event::Kind::kRead, bytes,
+                       context_->host_.enqueue_overhead_sec);
+}
+
+StatusOr<Event> CommandQueue::EnqueueCopyBuffer(Buffer& src, Buffer& dst,
+                                                std::uint64_t bytes,
+                                                std::uint64_t src_offset,
+                                                std::uint64_t dst_offset) {
+  if (src_offset + bytes > src.size() || dst_offset + bytes > dst.size()) {
+    return InvalidArgumentError("CL_INVALID_VALUE: bad copy range");
+  }
+  std::memcpy(dst.storage_.data() + dst_offset,
+              src.storage_.data() + src_offset, bytes);
+  // Device-side copy: the GPU streams it at (roughly) DRAM read+write
+  // bandwidth without occupying the host CPU.
+  const mali::MaliMemoryConfig mem;
+  const double bw = mem.dram.peak_bandwidth_bytes_per_sec *
+                    mem.dram.streaming_efficiency / 2.0;  // read + write
+  Event event;
+  event.kind = Event::Kind::kWrite;
+  event.seconds =
+      context_->host_.enqueue_overhead_sec + static_cast<double>(bytes) / bw;
+  event.profile.seconds = event.seconds;
+  event.profile.gpu_on = true;
+  event.profile.gpu_core_busy[0] = 0.5;  // one core's LS pipe streams it
+  event.profile.dram_bytes = 2 * bytes;
+  total_seconds_ += event.seconds;
+  return event;
+}
+
+StatusOr<Event> CommandQueue::EnqueueFillBuffer(Buffer& buffer,
+                                                const void* pattern,
+                                                std::uint64_t pattern_bytes,
+                                                std::uint64_t bytes,
+                                                std::uint64_t offset) {
+  if (pattern == nullptr || pattern_bytes == 0 ||
+      bytes % pattern_bytes != 0 || offset + bytes > buffer.size()) {
+    return InvalidArgumentError("CL_INVALID_VALUE: bad fill");
+  }
+  for (std::uint64_t pos = 0; pos < bytes; pos += pattern_bytes) {
+    std::memcpy(buffer.storage_.data() + offset + pos, pattern, pattern_bytes);
+  }
+  const mali::MaliMemoryConfig mem;
+  const double bw =
+      mem.dram.peak_bandwidth_bytes_per_sec * mem.dram.streaming_efficiency;
+  Event event;
+  event.kind = Event::Kind::kWrite;
+  event.seconds =
+      context_->host_.enqueue_overhead_sec + static_cast<double>(bytes) / bw;
+  event.profile.seconds = event.seconds;
+  event.profile.gpu_on = true;
+  event.profile.gpu_core_busy[0] = 0.5;
+  event.profile.dram_bytes = bytes;
+  total_seconds_ += event.seconds;
+  return event;
+}
+
+StatusOr<void*> CommandQueue::MapBuffer(Buffer& buffer, Event* event) {
+  if (buffer.mapped_) {
+    return FailedPreconditionError("CL_INVALID_OPERATION: already mapped");
+  }
+  buffer.mapped_ = true;
+  if ((buffer.flags_ & kMemUseHostPtr) != 0) {
+    // The app mapped a malloc-backed buffer: the driver must copy the
+    // device shadow out to the app allocation (§III-A: this path does not
+    // solve "the additional copy issue").
+    std::memcpy(buffer.user_ptr_, buffer.storage_.data(), buffer.size_);
+    Event e = HostCopyEvent(Event::Kind::kMap, buffer.size_,
+                            context_->host_.map_overhead_sec);
+    if (event != nullptr) *event = e;
+    return buffer.user_ptr_;
+  }
+  // Unified memory: cache maintenance only, no copy.
+  Event e;
+  e.kind = Event::Kind::kMap;
+  e.seconds = context_->host_.map_overhead_sec;
+  e.profile.seconds = e.seconds;
+  e.profile.cpu_busy[0] = 1.0;
+  e.profile.gpu_on = true;
+  total_seconds_ += e.seconds;
+  if (event != nullptr) *event = e;
+  return buffer.storage_.data();
+}
+
+Status CommandQueue::UnmapBuffer(Buffer& buffer, void* mapped, Event* event) {
+  if (!buffer.mapped_) {
+    return FailedPreconditionError("CL_INVALID_OPERATION: not mapped");
+  }
+  if ((buffer.flags_ & kMemUseHostPtr) != 0) {
+    if (mapped != buffer.user_ptr_) {
+      return InvalidArgumentError("CL_INVALID_VALUE: wrong mapped pointer");
+    }
+    buffer.mapped_ = false;
+    // Propagate app writes back into the device shadow.
+    std::memcpy(buffer.storage_.data(), buffer.user_ptr_, buffer.size_);
+    Event e = HostCopyEvent(Event::Kind::kUnmap, buffer.size_,
+                            context_->host_.unmap_overhead_sec);
+    if (event != nullptr) *event = e;
+    return Status::Ok();
+  }
+  if (mapped != static_cast<void*>(buffer.storage_.data())) {
+    return InvalidArgumentError("CL_INVALID_VALUE: wrong mapped pointer");
+  }
+  buffer.mapped_ = false;
+  Event e;
+  e.kind = Event::Kind::kUnmap;
+  e.seconds = context_->host_.unmap_overhead_sec;
+  e.profile.seconds = e.seconds;
+  e.profile.cpu_busy[0] = 1.0;
+  e.profile.gpu_on = true;
+  total_seconds_ += e.seconds;
+  if (event != nullptr) *event = e;
+  return Status::Ok();
+}
+
+StatusOr<Event> CommandQueue::EnqueueNDRange(Kernel& kernel,
+                                             std::uint32_t work_dim,
+                                             const std::uint64_t* global,
+                                             const std::uint64_t* local) {
+  if (work_dim < 1 || work_dim > 3 || global == nullptr) {
+    return InvalidArgumentError("CL_INVALID_VALUE: bad work dimensions");
+  }
+  kir::LaunchConfig config;
+  config.work_dim = work_dim;
+  std::uint64_t driver_budget = 64;  // the heuristic's total group size cap
+  for (std::uint32_t d = 0; d < work_dim; ++d) {
+    if (global[d] == 0) {
+      return InvalidArgumentError("CL_INVALID_VALUE: zero global size");
+    }
+    config.global_size[d] = global[d];
+    if (local != nullptr) {
+      config.local_size[d] = local[d];
+    } else {
+      config.local_size[d] =
+          mali::MaliT604Device::DriverPickLocalSize(global[d], driver_budget);
+      driver_budget /= config.local_size[d];
+    }
+  }
+  if (config.work_group_size() > Context::kMaxWorkGroupSize) {
+    return InvalidArgumentError(
+        "CL_INVALID_WORK_GROUP_SIZE: work-group size exceeds device maximum");
+  }
+  if (!config.IsValid()) {
+    return InvalidArgumentError(
+        "CL_INVALID_WORK_GROUP_SIZE: global size is not a multiple of the "
+        "local size");
+  }
+
+  StatusOr<kir::Bindings> bindings = kernel.MakeBindings();
+  if (!bindings.ok()) return bindings.status();
+
+  Event event;
+  event.kind = Event::Kind::kKernel;
+  if (context_->type_ == DeviceType::kCpu) {
+    // CPU device: the NDRange runs across both A15 cores.
+    StatusOr<cpu::CpuRunResult> run = context_->cpu_device_.Run(
+        *kernel.source_, config, *std::move(bindings),
+        cpu::CortexA15Device::kMaxCores);
+    if (!run.ok()) return run.status();
+    event.seconds = run->seconds + context_->host_.enqueue_overhead_sec;
+    event.profile = run->profile;
+    event.profile.seconds = event.seconds;
+    event.run = run->run;
+    event.stats = std::move(run->stats);
+  } else {
+    StatusOr<mali::GpuRunResult> run = context_->device_.Run(
+        *kernel.compiled_, config, *std::move(bindings));
+    if (!run.ok()) return run.status();
+    event.seconds = run->seconds + context_->host_.enqueue_overhead_sec;
+    event.profile = run->profile;
+    event.profile.seconds = event.seconds;
+    event.run = run->run;
+    event.stats = std::move(run->stats);
+  }
+  event.stats.Set("ocl.local_size0", static_cast<double>(config.local_size[0]));
+  event.stats.Set("ocl.groups", static_cast<double>(config.total_groups()));
+  // Counts 1 per kernel event so that ratio-type stats (seq fraction,
+  // occupancy) can be re-averaged after a MergeFrom across launches.
+  event.stats.Set("ocl.launches", 1.0);
+  total_seconds_ += event.seconds;
+  return event;
+}
+
+}  // namespace malisim::ocl

@@ -1,0 +1,35 @@
+#include "power/power_meter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/status.h"
+
+namespace malisim::power {
+
+PowerMeter::PowerMeter(const PowerMeterParams& params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  MALI_CHECK(params.sampling_hz > 0);
+  MALI_CHECK(params.relative_accuracy >= 0);
+}
+
+PowerMeter::Measurement PowerMeter::Measure(double true_watts, double seconds) {
+  MALI_CHECK(seconds >= 0);
+  const std::size_t n = std::max<std::size_t>(
+      1, static_cast<std::size_t>(seconds * params_.sampling_hz));
+  RunningStat stat;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double noise =
+        rng_.NextGaussian() * params_.relative_accuracy * true_watts;
+    stat.Add(true_watts + noise);
+  }
+  Measurement m;
+  m.mean_watts = stat.mean();
+  m.stddev_watts = stat.stddev();
+  m.samples = n;
+  m.duration_sec = seconds;
+  m.energy_joules = m.mean_watts * seconds;
+  return m;
+}
+
+}  // namespace malisim::power

@@ -1,0 +1,60 @@
+#include "power/power_model.h"
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace malisim::power {
+
+PowerModel::PowerModel(const PowerParams& params) : params_(params) {
+  MALI_CHECK(params.board_static_w >= 0);
+  MALI_CHECK(params.a15_core_active_w >= params.a15_core_idle_w);
+  MALI_CHECK(params.mali_core_active_w >= params.mali_core_idle_w);
+}
+
+double PowerModel::Scale(double util, double floor) const {
+  const double u = std::clamp(util, 0.0, 1.0);
+  if (u == 0.0) return 0.0;  // fully idle: no dynamic power at all
+  const double knee = std::max(params_.stall_floor_knee, 1e-9);
+  const double effective_floor = floor * std::min(u / knee, 1.0);
+  return effective_floor + (1.0 - effective_floor) * u;
+}
+
+double PowerModel::CpuPower(const ActivityProfile& profile) const {
+  double watts = 0.0;
+  for (double busy : profile.cpu_busy) {
+    watts += params_.a15_core_idle_w;
+    watts += (params_.a15_core_active_w - params_.a15_core_idle_w) *
+             Scale(busy, params_.a15_stall_floor);
+  }
+  return watts;
+}
+
+double PowerModel::GpuPower(const ActivityProfile& profile) const {
+  if (!profile.gpu_on) return 0.0;
+  double watts = params_.mali_shared_w;
+  for (double busy : profile.gpu_core_busy) {
+    watts += params_.mali_core_idle_w;
+    watts += (params_.mali_core_active_w - params_.mali_core_idle_w) *
+             Scale(busy, params_.mali_stall_floor);
+  }
+  return watts;
+}
+
+double PowerModel::DramPower(const ActivityProfile& profile) const {
+  if (profile.seconds <= 0.0) return 0.0;
+  const double bytes_per_sec =
+      static_cast<double>(profile.dram_bytes) / profile.seconds;
+  return params_.dram_energy_per_byte * bytes_per_sec;
+}
+
+double PowerModel::AveragePower(const ActivityProfile& profile) const {
+  return params_.board_static_w + CpuPower(profile) + GpuPower(profile) +
+         DramPower(profile);
+}
+
+double PowerModel::Energy(const ActivityProfile& profile) const {
+  return AveragePower(profile) * profile.seconds;
+}
+
+}  // namespace malisim::power

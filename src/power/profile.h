@@ -1,0 +1,26 @@
+// Activity profile: what the SoC was doing during a modelled interval.
+// Produced by the device models, consumed by the power model. All "busy"
+// values are time-average utilizations in [0, 1] over the interval.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace malisim::power {
+
+inline constexpr int kNumA15Cores = 2;   // Exynos 5250: dual Cortex-A15
+inline constexpr int kNumMaliCores = 4;  // quad-core Mali-T604
+
+struct ActivityProfile {
+  double seconds = 0.0;
+  /// Issue-slot utilization per A15 core (0 = power-gated idle).
+  std::array<double, kNumA15Cores> cpu_busy = {0.0, 0.0};
+  /// Whether the GPU block is powered at all during the interval.
+  bool gpu_on = false;
+  /// Pipe utilization per Mali shader core.
+  std::array<double, kNumMaliCores> gpu_core_busy = {0.0, 0.0, 0.0, 0.0};
+  /// Total DRAM traffic in the interval (drives DRAM dynamic power).
+  std::uint64_t dram_bytes = 0;
+};
+
+}  // namespace malisim::power

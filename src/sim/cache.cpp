@@ -1,0 +1,86 @@
+#include "sim/cache.h"
+
+#include <bit>
+
+namespace malisim::sim {
+
+CacheModel::CacheModel(const CacheConfig& config) : config_(config) {
+  MALI_CHECK_MSG(config.line_bytes > 0 && std::has_single_bit(config.line_bytes),
+                 "cache line size must be a power of two");
+  MALI_CHECK_MSG(config.associativity > 0, "associativity must be positive");
+  const std::uint64_t sets = config.num_sets();
+  MALI_CHECK_MSG(sets > 0 && std::has_single_bit(sets),
+                 "cache set count must be a positive power of two");
+  set_mask_ = sets - 1;
+  line_shift_ = static_cast<std::uint32_t>(std::countr_zero(config.line_bytes));
+  lines_.resize(sets * config.associativity);
+}
+
+CacheAccessResult CacheModel::Access(std::uint64_t addr, std::uint32_t size,
+                                     bool is_write) {
+  CacheAccessResult result;
+  if (size == 0) return result;
+  const std::uint64_t first_line = addr >> line_shift_;
+  const std::uint64_t last_line = (addr + size - 1) >> line_shift_;
+  for (std::uint64_t line = first_line; line <= last_line; ++line) {
+    ++result.lines_touched;
+    ++stats_.accesses;
+    std::uint32_t writebacks = 0;
+    if (ProbeLine(line, is_write, &writebacks)) {
+      ++stats_.hits;
+    } else {
+      ++result.misses;
+      ++stats_.misses;
+    }
+    result.writebacks += writebacks;
+    stats_.writebacks += writebacks;
+  }
+  return result;
+}
+
+bool CacheModel::ProbeLine(std::uint64_t line_addr, bool is_write,
+                           std::uint32_t* writebacks) {
+  const std::uint64_t set = line_addr & set_mask_;
+  const std::uint64_t tag = line_addr >> std::countr_zero(set_mask_ + 1);
+  Line* set_lines = &lines_[set * config_.associativity];
+
+  // Hit path.
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Line& line = set_lines[w];
+    if (line.valid && line.tag == tag) {
+      line.lru_stamp = next_stamp_++;
+      line.dirty = line.dirty || is_write;
+      return true;
+    }
+  }
+
+  // Miss. Non-allocating writes bypass the cache entirely.
+  if (is_write && !config_.write_allocate) return false;
+
+  // Choose victim: an invalid way if present, otherwise LRU.
+  Line* victim = &set_lines[0];
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    Line& line = set_lines[w];
+    if (!line.valid) {
+      victim = &line;
+      break;
+    }
+    if (line.lru_stamp < victim->lru_stamp) victim = &line;
+  }
+  if (victim->valid && victim->dirty) ++*writebacks;
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = is_write;
+  victim->lru_stamp = next_stamp_++;
+  return false;
+}
+
+void CacheModel::Flush() {
+  for (Line& line : lines_) {
+    if (line.valid && line.dirty) ++stats_.writebacks;
+    line = Line{};
+  }
+  next_stamp_ = 1;
+}
+
+}  // namespace malisim::sim

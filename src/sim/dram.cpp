@@ -1,0 +1,41 @@
+#include "sim/dram.h"
+
+#include <algorithm>
+
+namespace malisim::sim {
+
+DramModel::DramModel(const DramConfig& config) : config_(config) {
+  MALI_CHECK_MSG(config.peak_bandwidth_bytes_per_sec > 0, "bad bandwidth");
+  MALI_CHECK_MSG(config.streaming_efficiency > 0 &&
+                     config.streaming_efficiency <= 1.0,
+                 "bad streaming efficiency");
+  MALI_CHECK_MSG(config.scattered_efficiency > 0 &&
+                     config.scattered_efficiency <= config.streaming_efficiency,
+                 "bad scattered efficiency");
+}
+
+double DramModel::EffectiveBandwidth(double sequential_fraction) const {
+  const double f = std::clamp(sequential_fraction, 0.0, 1.0);
+  const double efficiency = config_.scattered_efficiency +
+                            f * (config_.streaming_efficiency -
+                                 config_.scattered_efficiency);
+  return efficiency * config_.peak_bandwidth_bytes_per_sec;
+}
+
+double DramModel::TransferTime(std::uint64_t read_lines,
+                               std::uint64_t write_lines,
+                               double sequential_fraction) {
+  const std::uint64_t lines = read_lines + write_lines;
+  if (lines == 0) return 0.0;
+  const std::uint64_t read_bytes = read_lines * config_.line_bytes;
+  const std::uint64_t write_bytes = write_lines * config_.line_bytes;
+  stats_.bytes_read += read_bytes;
+  stats_.bytes_written += write_bytes;
+  stats_.bursts += lines;
+
+  const double bytes = static_cast<double>(read_bytes + write_bytes);
+  const double bw_time = bytes / EffectiveBandwidth(sequential_fraction);
+  return std::max(bw_time, config_.first_word_latency_sec);
+}
+
+}  // namespace malisim::sim

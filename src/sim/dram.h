@@ -1,0 +1,57 @@
+// Analytic DDR3L-1600 DRAM model (Arndale board: 2 GB, 12.8 GB/s peak over
+// a 2x32-bit @ 800 MHz interface on the Exynos 5250).
+//
+// The model is bandwidth/latency based rather than bank-cycle accurate:
+// a transfer of N line-sized bursts takes max(first-word latency,
+// N * line_bytes / effective_bandwidth). Effective bandwidth degrades for
+// scattered (low row-buffer locality) traffic; device models report the
+// sequential fraction of their miss streams.
+#pragma once
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace malisim::sim {
+
+struct DramConfig {
+  double peak_bandwidth_bytes_per_sec = 12.8e9;  // DDR3L-1600, 64-bit total
+  /// Achievable fraction of peak for perfectly streaming traffic.
+  double streaming_efficiency = 0.80;
+  /// Achievable fraction of peak for fully scattered line fills
+  /// (row misses dominate).
+  double scattered_efficiency = 0.35;
+  double first_word_latency_sec = 90e-9;  // CAS + controller + interconnect
+  std::uint32_t line_bytes = 64;
+};
+
+struct DramStats {
+  std::uint64_t bytes_read = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bursts = 0;
+
+  std::uint64_t total_bytes() const { return bytes_read + bytes_written; }
+};
+
+class DramModel {
+ public:
+  explicit DramModel(const DramConfig& config);
+
+  /// Time to move `lines` cache lines with the given sequentiality in
+  /// [0, 1]; 1.0 = perfect streaming. Also accrues traffic statistics.
+  double TransferTime(std::uint64_t read_lines, std::uint64_t write_lines,
+                      double sequential_fraction);
+
+  /// Effective bandwidth (bytes/sec) for a given sequential fraction.
+  double EffectiveBandwidth(double sequential_fraction) const;
+
+  const DramConfig& config() const { return config_; }
+  const DramStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DramStats{}; }
+
+ private:
+  DramConfig config_;
+  DramStats stats_;
+};
+
+}  // namespace malisim::sim

@@ -1,0 +1,64 @@
+#include "common/aligned_buffer.h"
+
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace malisim {
+namespace {
+
+TEST(AlignedBufferTest, DefaultIsEmpty) {
+  AlignedBuffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.data(), nullptr);
+}
+
+TEST(AlignedBufferTest, AllocatesAligned) {
+  AlignedBuffer b(100);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % kCacheLineBytes, 0u);
+}
+
+TEST(AlignedBufferTest, ZeroFillClears) {
+  AlignedBuffer b(64);
+  b.data()[0] = std::byte{0xFF};
+  b.ZeroFill();
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(b.data()[i], std::byte{0});
+  }
+}
+
+TEST(AlignedBufferTest, TypedView) {
+  AlignedBuffer b(16 * sizeof(float));
+  auto view = b.as<float>(16);
+  view[3] = 2.5f;
+  EXPECT_EQ(b.as<float>(16)[3], 2.5f);
+}
+
+TEST(AlignedBufferTest, MoveTransfersOwnership) {
+  AlignedBuffer a(32);
+  a.data()[0] = std::byte{7};
+  std::byte* ptr = a.data();
+  AlignedBuffer b = std::move(a);
+  EXPECT_EQ(b.data(), ptr);
+  EXPECT_EQ(b.data()[0], std::byte{7});
+  EXPECT_EQ(a.data(), nullptr);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(AlignedBufferTest, MoveAssignReleasesOld) {
+  AlignedBuffer a(32), b(64);
+  b = std::move(a);
+  EXPECT_EQ(b.size(), 32u);
+}
+
+TEST(AlignedBufferTest, SpanViews) {
+  AlignedBuffer b(10);
+  EXPECT_EQ(b.bytes().size(), 10u);
+  const AlignedBuffer& cb = b;
+  EXPECT_EQ(cb.bytes().size(), 10u);
+}
+
+}  // namespace
+}  // namespace malisim

@@ -1,0 +1,58 @@
+#include "common/log.h"
+
+#include <gtest/gtest.h>
+
+namespace malisim {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(GetLogLevel()) {}
+  ~LogLevelGuard() { SetLogLevel(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(LogTest, LevelRoundTrips) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+}
+
+TEST(LogTest, SuppressedLevelsDoNotCrash) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kOff);
+  // Nothing should be emitted (and nothing should blow up) at any level.
+  MALI_LOG_DEBUG("debug %d", 1);
+  MALI_LOG_INFO("info %s", "x");
+  MALI_LOG_WARN("warn");
+  MALI_LOG_ERROR("error %f", 1.5);
+}
+
+TEST(LogTest, EnabledLevelsFormat) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  MALI_LOG_INFO("value=%d", 42);
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[info ]"), std::string::npos);
+  EXPECT_NE(out.find("value=42"), std::string::npos);
+}
+
+TEST(LogTest, BelowThresholdSuppressed) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);
+  ::testing::internal::CaptureStderr();
+  MALI_LOG_DEBUG("hidden");
+  MALI_LOG_INFO("hidden too");
+  MALI_LOG_WARN("visible");
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("visible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace malisim

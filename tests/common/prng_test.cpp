@@ -1,0 +1,103 @@
+#include "common/prng.h"
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace malisim {
+namespace {
+
+TEST(PrngTest, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(PrngTest, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(PrngTest, DoubleIsInUnitInterval) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(PrngTest, DoubleRangeRespectsBounds) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.NextDouble(-3.0, 7.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(PrngTest, BoundedStaysBelowBound) {
+  Xoshiro256 rng(17);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = rng.NextBounded(13);
+    EXPECT_LT(v, 13u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 13u);  // every residue hit over 10k draws
+}
+
+TEST(PrngTest, UniformMeanAndVariance) {
+  Xoshiro256 rng(31337);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.NextDouble();
+    sum += u;
+    sum2 += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.01);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.01);
+}
+
+TEST(PrngTest, GaussianMomentsAreStandard) {
+  Xoshiro256 rng(4242);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(PrngTest, ForkedStreamIsIndependentlySeeded) {
+  Xoshiro256 rng(77);
+  Xoshiro256 forked = rng.Fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (rng.NextU64() == forked.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(SplitMix64Test, KnownFirstOutputsDiffer) {
+  SplitMix64 sm(0);
+  const std::uint64_t a = sm.Next();
+  const std::uint64_t b = sm.Next();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace malisim

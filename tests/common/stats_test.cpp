@@ -1,0 +1,126 @@
+#include "common/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace malisim {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.max(), 3.5);
+}
+
+TEST(RunningStatTest, KnownSample) {
+  RunningStat s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_NEAR(s.sum(), 40.0, 1e-9);
+}
+
+TEST(RunningStatTest, MatchesBatchFormulasOnRandomData) {
+  Xoshiro256 rng(7);
+  std::vector<double> xs;
+  RunningStat s;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble(-5, 5);
+    xs.push_back(x);
+    s.Add(x);
+  }
+  EXPECT_NEAR(s.mean(), Mean(xs), 1e-10);
+  EXPECT_NEAR(s.stddev(), StdDev(xs), 1e-10);
+}
+
+TEST(StatsTest, GeoMeanOfEqualValues) {
+  std::vector<double> xs(5, 3.0);
+  EXPECT_NEAR(GeoMean(xs), 3.0, 1e-12);
+}
+
+TEST(StatsTest, GeoMeanKnown) {
+  std::vector<double> xs = {1.0, 4.0, 16.0};
+  EXPECT_NEAR(GeoMean(xs), 4.0, 1e-12);
+}
+
+TEST(StatsTest, GeoMeanIsBelowArithmeticMean) {
+  // AM-GM inequality on a non-constant positive sample.
+  std::vector<double> xs = {0.5, 2.0, 8.0, 9.0};
+  EXPECT_LT(GeoMean(xs), Mean(xs));
+}
+
+TEST(StatsTest, MedianOddEven) {
+  std::vector<double> odd = {5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(Median(odd), 3.0);
+  std::vector<double> even = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(Median(even), 2.5);
+  EXPECT_EQ(Median({}), 0.0);
+}
+
+TEST(StatsTest, RelativeDifference) {
+  EXPECT_DOUBLE_EQ(RelativeDifference(10.0, 10.0), 0.0);
+  EXPECT_NEAR(RelativeDifference(9.0, 10.0), 0.1, 1e-12);
+  EXPECT_NEAR(RelativeDifference(-10.0, 10.0), 2.0, 1e-12);
+}
+
+TEST(StatRegistryTest, IncrementAndGet) {
+  StatRegistry reg;
+  EXPECT_FALSE(reg.Has("a"));
+  EXPECT_EQ(reg.Get("a"), 0.0);
+  reg.Increment("a");
+  reg.Increment("a", 2.5);
+  EXPECT_TRUE(reg.Has("a"));
+  EXPECT_DOUBLE_EQ(reg.Get("a"), 3.5);
+}
+
+TEST(StatRegistryTest, SetOverwrites) {
+  StatRegistry reg;
+  reg.Increment("x", 10);
+  reg.Set("x", 1);
+  EXPECT_DOUBLE_EQ(reg.Get("x"), 1.0);
+}
+
+TEST(StatRegistryTest, InsertionOrderPreserved) {
+  StatRegistry reg;
+  reg.Increment("z");
+  reg.Increment("a");
+  reg.Increment("m");
+  const auto entries = reg.Entries();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].name, "z");
+  EXPECT_EQ(entries[1].name, "a");
+  EXPECT_EQ(entries[2].name, "m");
+}
+
+TEST(StatRegistryTest, MergeSumsSharedCounters) {
+  StatRegistry a, b;
+  a.Increment("shared", 1);
+  a.Increment("only_a", 5);
+  b.Increment("shared", 2);
+  b.Increment("only_b", 7);
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.Get("shared"), 3.0);
+  EXPECT_DOUBLE_EQ(a.Get("only_a"), 5.0);
+  EXPECT_DOUBLE_EQ(a.Get("only_b"), 7.0);
+}
+
+}  // namespace
+}  // namespace malisim

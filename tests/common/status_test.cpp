@@ -1,0 +1,85 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace malisim {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = InvalidArgumentError("bad foo");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad foo");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad foo");
+}
+
+TEST(StatusTest, FactoryFunctionsProduceMatchingCodes) {
+  EXPECT_EQ(OutOfRangeError("x").code(), ErrorCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("x").code(), ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(NotFoundError("x").code(), ErrorCode::kNotFound);
+  EXPECT_EQ(AlreadyExistsError("x").code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(ResourceExhaustedError("x").code(), ErrorCode::kResourceExhausted);
+  EXPECT_EQ(UnimplementedError("x").code(), ErrorCode::kUnimplemented);
+  EXPECT_EQ(InternalError("x").code(), ErrorCode::kInternal);
+  EXPECT_EQ(BuildFailureError("x").code(), ErrorCode::kBuildFailure);
+}
+
+TEST(StatusTest, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kBuildFailure); ++c) {
+    EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "Unknown");
+  }
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = NotFoundError("nope");
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v = std::make_unique<int>(7);
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> owned = *std::move(v);
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(StatusOrTest, OkStatusIsRejected) {
+  StatusOr<int> v{Status::Ok()};
+  EXPECT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), ErrorCode::kInternal);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return InvalidArgumentError("inner"); };
+  auto outer = [&]() -> Status {
+    MALI_RETURN_IF_ERROR(fails());
+    return InternalError("unreachable");
+  };
+  EXPECT_EQ(outer().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(StatusMacroTest, ReturnIfErrorPassesThroughOk) {
+  auto succeeds = []() -> Status { return Status::Ok(); };
+  auto outer = [&]() -> Status {
+    MALI_RETURN_IF_ERROR(succeeds());
+    return AlreadyExistsError("after");
+  };
+  EXPECT_EQ(outer().code(), ErrorCode::kAlreadyExists);
+}
+
+}  // namespace
+}  // namespace malisim

@@ -1,0 +1,65 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+namespace malisim {
+namespace {
+
+TEST(TableTest, AsciiContainsHeadersAndCells) {
+  Table t({"name", "value"});
+  t.BeginRow();
+  t.AddCell("alpha");
+  t.AddNumber(1.2345, 2);
+  const std::string ascii = t.ToAscii();
+  EXPECT_NE(ascii.find("name"), std::string::npos);
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  EXPECT_NE(ascii.find("1.23"), std::string::npos);
+}
+
+TEST(TableTest, MissingCellRendersNa) {
+  Table t({"a"});
+  t.BeginRow();
+  t.AddMissing();
+  EXPECT_NE(t.ToAscii().find("n/a"), std::string::npos);
+}
+
+TEST(TableTest, CsvRoundTrip) {
+  Table t({"x", "y"});
+  t.AddRow({"1", "2"});
+  t.AddRow({"3", "4"});
+  EXPECT_EQ(t.ToCsv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(TableTest, CsvEscapesSpecialCharacters) {
+  Table t({"c"});
+  t.AddRow({"a,b"});
+  t.AddRow({"say \"hi\""});
+  const std::string csv = t.ToCsv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsRenderPadded) {
+  Table t({"a", "b", "c"});
+  t.BeginRow();
+  t.AddCell("only");
+  // ToAscii must not crash on a partial row.
+  EXPECT_NE(t.ToAscii().find("only"), std::string::npos);
+}
+
+TEST(TableTest, RowCountAndColumnCount) {
+  Table t({"a", "b"});
+  EXPECT_EQ(t.num_columns(), 2u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.AddRow({"1", "2"});
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 0), "3");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace malisim

@@ -1,0 +1,35 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace malisim {
+namespace {
+
+TEST(UnitsTest, ByteSizes) {
+  EXPECT_EQ(KiB(1), 1024u);
+  EXPECT_EQ(KiB(32), 32768u);
+  EXPECT_EQ(MiB(1), 1048576u);
+  EXPECT_EQ(GiB(2), 2147483648u);
+}
+
+TEST(UnitsTest, CycleTimeConversionsRoundTrip) {
+  const double hz = 533e6;
+  const double cycles = 1.0e6;
+  const double seconds = CyclesToSeconds(cycles, hz);
+  EXPECT_NEAR(SecondsToCycles(seconds, hz), cycles, 1e-6);
+  EXPECT_NEAR(seconds, 1.0e6 / 533e6, 1e-15);
+}
+
+TEST(UnitsTest, EnergyIsWattSeconds) {
+  EXPECT_DOUBLE_EQ(Energy(4.0, 2.5), 10.0);
+  EXPECT_DOUBLE_EQ(Energy(0.0, 100.0), 0.0);
+}
+
+TEST(UnitsTest, SiPrefixes) {
+  EXPECT_DOUBLE_EQ(kKilo, 1e3);
+  EXPECT_DOUBLE_EQ(kMega, 1e6);
+  EXPECT_DOUBLE_EQ(kGiga, 1e9);
+}
+
+}  // namespace
+}  // namespace malisim

@@ -1,0 +1,156 @@
+#include "cpu/a15_device.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kir/builder.h"
+
+namespace malisim::cpu {
+namespace {
+
+using kir::ArgKind;
+using kir::KernelBuilder;
+using kir::ScalarType;
+using kir::Val;
+
+/// A chunked saxpy kernel, the canonical CPU benchmark shape.
+kir::Program SaxpyKernel() {
+  KernelBuilder kb("saxpy");
+  auto x = kb.ArgBuffer("x", ScalarType::kF32, ArgKind::kBufferRO);
+  auto y = kb.ArgBuffer("y", ScalarType::kF32, ArgKind::kBufferRW);
+  Val n = kb.ArgScalar("n", ScalarType::kI32);
+  Val a = kb.ArgScalar("a", ScalarType::kF32);
+  Val gid = kb.GlobalId(0);
+  Val threads = kb.GlobalSize(0);
+  Val chunk = kb.Binary(
+      kir::Opcode::kIDiv,
+      kb.Binary(kir::Opcode::kSub, kb.Binary(kir::Opcode::kAdd, n, threads),
+                kb.ConstI(kir::I32(), 1)),
+      threads);
+  Val start = kb.Binary(kir::Opcode::kMul, gid, chunk);
+  Val end = kb.Min(kb.Binary(kir::Opcode::kAdd, start, chunk), n);
+  kb.For("i", start, end, 1, [&](Val i) {
+    kb.Store(y, i, kb.Fma(a, kb.Load(x, i), kb.Load(y, i)));
+  });
+  return *kb.Build();
+}
+
+kir::Bindings Bind(std::vector<float>& x, std::vector<float>& y, int n,
+                   float a) {
+  kir::Bindings b;
+  b.buffers = {{reinterpret_cast<std::byte*>(x.data()), 0x100000, x.size() * 4},
+               {reinterpret_cast<std::byte*>(y.data()), 0x200000, y.size() * 4}};
+  b.scalars = {kir::ScalarValue::I32V(n), kir::ScalarValue::F32V(a)};
+  return b;
+}
+
+TEST(A15DeviceTest, SerialExecutesCorrectly) {
+  const int n = 1000;
+  std::vector<float> x(n, 2.0f), y(n, 1.0f);
+  kir::Program p = SaxpyKernel();
+  CortexA15Device device;
+  kir::LaunchConfig config;
+  config.global_size = {1, 1, 1};
+  auto result = device.Run(p, config, Bind(x, y, n, 3.0f), 1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (float v : y) EXPECT_FLOAT_EQ(v, 7.0f);
+  EXPECT_GT(result->seconds, 0.0);
+}
+
+TEST(A15DeviceTest, TwoThreadsSameResultFasterTime) {
+  const int n = 100000;
+  std::vector<float> x1(n, 2.0f), y1(n, 1.0f);
+  std::vector<float> x2(n, 2.0f), y2(n, 1.0f);
+  kir::Program p = SaxpyKernel();
+  CortexA15Device device;
+
+  kir::LaunchConfig serial_cfg;
+  serial_cfg.global_size = {1, 1, 1};
+  auto serial = device.Run(p, serial_cfg, Bind(x1, y1, n, 3.0f), 1);
+  ASSERT_TRUE(serial.ok());
+
+  kir::LaunchConfig omp_cfg;
+  omp_cfg.global_size = {2, 1, 1};
+  auto omp = device.Run(p, omp_cfg, Bind(x2, y2, n, 3.0f), 2);
+  ASSERT_TRUE(omp.ok());
+
+  EXPECT_EQ(y1, y2);
+  EXPECT_LT(omp->seconds, serial->seconds);
+  // Two cores never exceed 2x.
+  EXPECT_GT(omp->seconds, serial->seconds / 2.001);
+}
+
+TEST(A15DeviceTest, ProfileShowsBusyCores) {
+  const int n = 50000;
+  std::vector<float> x(n, 1.0f), y(n, 1.0f);
+  kir::Program p = SaxpyKernel();
+  CortexA15Device device;
+  kir::LaunchConfig config;
+  config.global_size = {2, 1, 1};
+  auto result = device.Run(p, config, Bind(x, y, n, 2.0f), 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->profile.cpu_busy[0], 0.1);
+  EXPECT_GT(result->profile.cpu_busy[1], 0.1);
+  EXPECT_FALSE(result->profile.gpu_on);
+  EXPECT_GT(result->profile.dram_bytes, 0u);
+  EXPECT_DOUBLE_EQ(result->profile.seconds, result->seconds);
+}
+
+TEST(A15DeviceTest, RejectsBadThreadCount) {
+  kir::Program p = SaxpyKernel();
+  CortexA15Device device;
+  std::vector<float> x(4), y(4);
+  kir::LaunchConfig config;
+  EXPECT_FALSE(device.Run(p, config, Bind(x, y, 4, 1.0f), 0).ok());
+  EXPECT_FALSE(device.Run(p, config, Bind(x, y, 4, 1.0f), 3).ok());
+}
+
+TEST(A15DeviceTest, WarmCachesSpeedSecondRun) {
+  // Small working set: second run without a flush hits the caches.
+  const int n = 2000;  // 8 KB x 2 arrays, fits L1+L2
+  std::vector<float> x(n, 1.0f), y(n, 1.0f);
+  kir::Program p = SaxpyKernel();
+  CortexA15Device device;
+  kir::LaunchConfig config;
+  auto cold = device.Run(p, config, Bind(x, y, n, 1.0f), 1);
+  ASSERT_TRUE(cold.ok());
+  auto warm = device.Run(p, config, Bind(x, y, n, 1.0f), 1);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_LT(warm->seconds, cold->seconds);
+  device.FlushCaches();
+  auto reflushed = device.Run(p, config, Bind(x, y, n, 1.0f), 1);
+  ASSERT_TRUE(reflushed.ok());
+  EXPECT_NEAR(reflushed->seconds, cold->seconds, cold->seconds * 0.02);
+}
+
+TEST(A15DeviceTest, MemoryBoundKernelIsBandwidthLimited) {
+  // A streaming kernel large enough to exceed the caches: modelled time
+  // must be at least bytes / per-core streaming bandwidth.
+  const int n = 1 << 20;
+  std::vector<float> x(n, 1.0f), y(n, 1.0f);
+  kir::Program p = SaxpyKernel();
+  A15TimingParams timing;
+  CortexA15Device device(timing);
+  kir::LaunchConfig config;
+  auto result = device.Run(p, config, Bind(x, y, n, 1.0f), 1);
+  ASSERT_TRUE(result.ok());
+  const double bytes = static_cast<double>(result->profile.dram_bytes);
+  EXPECT_GE(result->seconds, bytes / timing.per_core_stream_bw * 0.99);
+}
+
+TEST(A15DeviceTest, StatsExposeBreakdown) {
+  const int n = 10000;
+  std::vector<float> x(n, 1.0f), y(n, 1.0f);
+  kir::Program p = SaxpyKernel();
+  CortexA15Device device;
+  kir::LaunchConfig config;
+  auto result = device.Run(p, config, Bind(x, y, n, 1.0f), 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.Has("cpu.core0.issue_cycles"));
+  EXPECT_TRUE(result->stats.Has("cpu.seconds"));
+  EXPECT_GT(result->stats.Get("cpu.core0.issue_cycles"), 0.0);
+}
+
+}  // namespace
+}  // namespace malisim::cpu

@@ -1,0 +1,91 @@
+// Cost-model invariants for the Cortex-A15 device, mirroring the Mali set.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/a15_device.h"
+#include "kir/builder.h"
+
+namespace malisim::cpu {
+namespace {
+
+using kir::ArgKind;
+using kir::KernelBuilder;
+using kir::ScalarType;
+using kir::Val;
+
+kir::Program ChunkedKernel() {
+  KernelBuilder kb("work");
+  auto in = kb.ArgBuffer("in", ScalarType::kF32, ArgKind::kBufferRO);
+  auto out = kb.ArgBuffer("out", ScalarType::kF32, ArgKind::kBufferWO);
+  Val n = kb.ArgScalar("n", ScalarType::kI32);
+  Val gid = kb.GlobalId(0);
+  Val threads = kb.GlobalSize(0);
+  Val chunk = kb.Binary(kir::Opcode::kIDiv, n, threads);
+  Val start = kb.Binary(kir::Opcode::kMul, gid, chunk);
+  Val end = kb.Binary(kir::Opcode::kAdd, start, chunk);
+  kb.For("i", start, end, 1, [&](Val i) {
+    Val x = kb.Load(in, i);
+    kb.Store(out, i, kb.Fma(x, x, kb.Sqrt(kb.Abs(x) + 1.0)));
+  });
+  return *kb.Build();
+}
+
+double TimeWith(const A15TimingParams& timing, int threads,
+                std::uint64_t n = 1 << 15) {
+  const kir::Program p = ChunkedKernel();
+  std::vector<float> in(n, 1.0f), out(n, 0.0f);
+  CortexA15Device device(timing);
+  kir::LaunchConfig config;
+  config.global_size = {static_cast<std::uint64_t>(threads), 1, 1};
+  kir::Bindings b;
+  b.buffers = {{reinterpret_cast<std::byte*>(in.data()), 0x100000, n * 4},
+               {reinterpret_cast<std::byte*>(out.data()), 0x900000, n * 4}};
+  b.scalars = {kir::ScalarValue::I32V(static_cast<std::int32_t>(n))};
+  auto run = device.Run(p, config, std::move(b), threads);
+  EXPECT_TRUE(run.ok());
+  return run->seconds;
+}
+
+TEST(CpuInvariantTest, HigherClockIsFaster) {
+  A15TimingParams slow, fast;
+  fast.clock_hz = slow.clock_hz * 2;
+  EXPECT_LT(TimeWith(fast, 1), TimeWith(slow, 1));
+}
+
+TEST(CpuInvariantTest, TwoThreadsBetweenOneAndTwoTimesFaster) {
+  const double serial = TimeWith(A15TimingParams(), 1);
+  const double omp = TimeWith(A15TimingParams(), 2);
+  EXPECT_LT(omp, serial);
+  EXPECT_GT(omp, serial / 2.001);
+}
+
+TEST(CpuInvariantTest, CheaperSpecialsFaster) {
+  A15TimingParams cheap, expensive;
+  cheap.cycles_special_f32 = 4;
+  expensive.cycles_special_f32 = 60;
+  EXPECT_LT(TimeWith(cheap, 1), TimeWith(expensive, 1));
+}
+
+TEST(CpuInvariantTest, MoreStreamBandwidthNeverSlower) {
+  A15TimingParams narrow, wide;
+  narrow.per_core_stream_bw = 0.5e9;
+  wide.per_core_stream_bw = 8e9;
+  EXPECT_LE(TimeWith(wide, 1), TimeWith(narrow, 1));
+}
+
+TEST(CpuInvariantTest, PerfectOmpEfficiencyBeatsDefault) {
+  A15TimingParams perfect;
+  perfect.omp_parallel_efficiency = 1.0;
+  perfect.omp_region_overhead_sec = 0.0;
+  EXPECT_LT(TimeWith(perfect, 2), TimeWith(A15TimingParams(), 2));
+}
+
+TEST(CpuInvariantTest, TimeScalesWithWork) {
+  const double t1 = TimeWith(A15TimingParams(), 1, 1 << 14);
+  const double t2 = TimeWith(A15TimingParams(), 1, 1 << 16);
+  EXPECT_NEAR(t2 / t1, 4.0, 1.0);
+}
+
+}  // namespace
+}  // namespace malisim::cpu

@@ -1,0 +1,93 @@
+#include "harness/experiment.h"
+
+#include <gtest/gtest.h>
+
+namespace malisim::harness {
+namespace {
+
+ExperimentConfig QuickConfig(bool fp64) {
+  ExperimentConfig config;
+  config.fp64 = fp64;
+  config.repetitions = 5;
+  config.sizes.spmv_rows = 512;
+  config.sizes.vecop_n = 1 << 13;
+  config.sizes.hist_n = 1 << 13;
+  config.sizes.stencil_dim = 16;
+  config.sizes.red_n = 1 << 13;
+  config.sizes.amcd_chains = 32;
+  config.sizes.amcd_atoms = 12;
+  config.sizes.amcd_steps = 8;
+  config.sizes.nbody_n = 128;
+  config.sizes.conv_dim = 64;
+  config.sizes.dmmm_n = 32;
+  return config;
+}
+
+TEST(ExperimentRunnerTest, RunsOneBenchmarkAllVariants) {
+  ExperimentRunner runner(QuickConfig(false));
+  auto results = runner.RunBenchmark("vecop");
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  EXPECT_EQ(results->name, "vecop");
+  for (hpc::Variant v : hpc::kAllVariants) {
+    const VariantResult& r = results->Get(v);
+    EXPECT_TRUE(r.available) << hpc::VariantName(v);
+    EXPECT_TRUE(r.validated) << hpc::VariantName(v);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_GT(r.power_mean_w, 1.0);
+    EXPECT_GT(r.energy_j, 0.0);
+  }
+}
+
+TEST(ExperimentRunnerTest, UnknownBenchmarkRejected) {
+  ExperimentRunner runner(QuickConfig(false));
+  EXPECT_FALSE(runner.RunBenchmark("bogus").ok());
+}
+
+TEST(ExperimentRunnerTest, NormalizedMetricsDefinedVsSerial) {
+  ExperimentRunner runner(QuickConfig(false));
+  auto results = runner.RunBenchmark("dmmm");
+  ASSERT_TRUE(results.ok());
+  EXPECT_DOUBLE_EQ(results->SpeedupVsSerial(hpc::Variant::kSerial), 1.0);
+  EXPECT_DOUBLE_EQ(results->PowerVsSerial(hpc::Variant::kSerial), 1.0);
+  EXPECT_DOUBLE_EQ(results->EnergyVsSerial(hpc::Variant::kSerial), 1.0);
+  EXPECT_GT(results->SpeedupVsSerial(hpc::Variant::kOpenMP), 1.0);
+}
+
+TEST(ExperimentRunnerTest, AmcdFp64GpuUnavailableWithBuildFailure) {
+  ExperimentRunner runner(QuickConfig(true));
+  auto results = runner.RunBenchmark("amcd");
+  ASSERT_TRUE(results.ok());
+  EXPECT_TRUE(results->Get(hpc::Variant::kSerial).available);
+  EXPECT_TRUE(results->Get(hpc::Variant::kOpenMP).available);
+  const VariantResult& cl = results->Get(hpc::Variant::kOpenCL);
+  EXPECT_FALSE(cl.available);
+  EXPECT_NE(cl.unavailable_reason.find("BuildFailure"), std::string::npos);
+  // Normalized metrics are 0 for unavailable variants.
+  EXPECT_EQ(results->SpeedupVsSerial(hpc::Variant::kOpenCL), 0.0);
+}
+
+TEST(ExperimentRunnerTest, PowerDeviationIsNegligibleAsInPaper) {
+  ExperimentRunner runner(QuickConfig(false));
+  auto results = runner.RunBenchmark("red");
+  ASSERT_TRUE(results.ok());
+  for (hpc::Variant v : hpc::kAllVariants) {
+    const VariantResult& r = results->Get(v);
+    ASSERT_TRUE(r.available);
+    EXPECT_LT(r.power_stddev_w / r.power_mean_w, 0.01);
+  }
+}
+
+TEST(ExperimentRunnerTest, SeedReproducibility) {
+  ExperimentRunner a(QuickConfig(false));
+  ExperimentRunner b(QuickConfig(false));
+  auto ra = a.RunBenchmark("hist");
+  auto rb = b.RunBenchmark("hist");
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  for (hpc::Variant v : hpc::kAllVariants) {
+    EXPECT_DOUBLE_EQ(ra->Get(v).seconds, rb->Get(v).seconds);
+    EXPECT_DOUBLE_EQ(ra->Get(v).power_mean_w, rb->Get(v).power_mean_w);
+  }
+}
+
+}  // namespace
+}  // namespace malisim::harness

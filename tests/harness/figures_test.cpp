@@ -1,0 +1,101 @@
+#include "harness/figures.h"
+
+#include <gtest/gtest.h>
+
+namespace malisim::harness {
+namespace {
+
+/// Synthetic results with known ratios.
+std::vector<BenchmarkResults> FakeResults() {
+  std::vector<BenchmarkResults> all;
+  BenchmarkResults a;
+  a.name = "alpha";
+  for (hpc::Variant v : hpc::kAllVariants) {
+    VariantResult& r = a.variants[static_cast<int>(v)];
+    r.available = true;
+    r.validated = true;
+  }
+  a.variants[0].seconds = 8.0;   // Serial
+  a.variants[1].seconds = 4.0;   // OpenMP -> 2x
+  a.variants[2].seconds = 2.0;   // OpenCL -> 4x
+  a.variants[3].seconds = 1.0;   // Opt    -> 8x
+  for (int i = 0; i < 4; ++i) {
+    a.variants[i].power_mean_w = 4.0;
+    a.variants[i].energy_j =
+        a.variants[i].power_mean_w * a.variants[i].seconds;
+  }
+
+  BenchmarkResults b;
+  b.name = "beta";
+  for (hpc::Variant v : hpc::kAllVariants) {
+    VariantResult& r = b.variants[static_cast<int>(v)];
+    r.available = v != hpc::Variant::kOpenCLOpt;  // one missing bar
+    r.validated = true;
+    r.seconds = 2.0;
+    r.power_mean_w = 3.0;
+    r.energy_j = 6.0;
+  }
+  all.push_back(a);
+  all.push_back(b);
+  return all;
+}
+
+TEST(FiguresTest, Fig2SpeedupValues) {
+  const auto results = FakeResults();
+  const Table t = Fig2Speedup(results);
+  ASSERT_EQ(t.num_rows(), 4u);  // 2 benchmarks + average + geomean
+  EXPECT_EQ(t.rows()[0][0], "alpha");
+  EXPECT_EQ(t.rows()[0][2], "2.00");  // OpenMP
+  EXPECT_EQ(t.rows()[0][4], "8.00");  // Opt
+  EXPECT_EQ(t.rows()[1][4], "n/a");   // beta's missing Opt
+}
+
+TEST(FiguresTest, AverageAndGeomeanRows) {
+  const auto results = FakeResults();
+  const Table t = Fig2Speedup(results);
+  EXPECT_EQ(t.rows()[2][0], "average (paper's)");
+  EXPECT_EQ(t.rows()[3][0], "geomean");
+  // Opt average over available entries (only alpha): 8.00.
+  EXPECT_EQ(t.rows()[2][4], "8.00");
+  EXPECT_EQ(t.rows()[3][4], "8.00");
+  // OpenMP: mean(2.0, 1.0) = 1.50, geomean = sqrt(2) ~ 1.41.
+  EXPECT_EQ(t.rows()[2][2], "1.50");
+  EXPECT_EQ(t.rows()[3][2], "1.41");
+}
+
+TEST(FiguresTest, Fig4EnergyNormalizesToSerial) {
+  const auto results = FakeResults();
+  const Table t = Fig4Energy(results);
+  // alpha Opt energy: (4*1) / (4*8) = 0.125.
+  EXPECT_EQ(t.rows()[0][4], "0.125");
+}
+
+TEST(FiguresTest, SummaryUsesArithmeticMeans) {
+  const auto results = FakeResults();
+  const Summary s = ComputeSummary(results);
+  EXPECT_NEAR(s.openmp_avg_speedup, 1.5, 1e-12);
+  EXPECT_NEAR(s.openclopt_avg_speedup, 8.0, 1e-12);
+}
+
+TEST(FiguresTest, HeadlineCombinesPrecisions) {
+  const auto sp = FakeResults();
+  const auto dp = FakeResults();
+  const Headline h = ComputeHeadline(sp, dp);
+  EXPECT_NEAR(h.avg_speedup, 8.0, 1e-12);  // only alpha contributes
+  EXPECT_NEAR(h.avg_energy, 0.125, 1e-12);
+}
+
+TEST(FiguresTest, RenderAnnotatesUnavailableAndInvalid) {
+  auto results = FakeResults();
+  results[1].variants[3].unavailable_reason = "BuildFailure: erratum";
+  results[0].variants[2].validated = false;
+  results[0].variants[2].max_rel_error = 0.5;
+  const std::string text =
+      RenderFigure("Fig. test", Fig2Speedup(results), results);
+  EXPECT_NE(text.find("unavailable"), std::string::npos);
+  EXPECT_NE(text.find("erratum"), std::string::npos);
+  EXPECT_NE(text.find("WARNING"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace malisim::harness

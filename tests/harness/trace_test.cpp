@@ -1,0 +1,90 @@
+#include "harness/trace.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace malisim::harness {
+namespace {
+
+BenchmarkResults FakeResults() {
+  BenchmarkResults r;
+  r.name = "demo";
+  for (hpc::Variant v : hpc::kAllVariants) {
+    VariantResult& vr = r.variants[static_cast<int>(v)];
+    vr.available = true;
+    vr.validated = true;
+    vr.seconds = 0.001 * (static_cast<int>(v) + 1);
+    vr.power_mean_w = 4.0;
+    vr.energy_j = vr.power_mean_w * vr.seconds;
+  }
+  r.variants[static_cast<int>(hpc::Variant::kOpenCL)].available = false;
+  r.variants[static_cast<int>(hpc::Variant::kOpenCLOpt)].note = "fell back";
+  return r;
+}
+
+TEST(TraceTest, SpansAdvanceCursor) {
+  TraceBuilder trace;
+  trace.AddSpan("a", "cat", 1, 0.5);
+  trace.AddSpan("b", "cat", 1, 0.25);
+  ASSERT_EQ(trace.events().size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.events()[0].timestamp_us, 0.0);
+  EXPECT_DOUBLE_EQ(trace.events()[0].duration_us, 5e5);
+  EXPECT_DOUBLE_EQ(trace.events()[1].timestamp_us, 5e5);
+}
+
+TEST(TraceTest, BenchmarkLayout) {
+  TraceBuilder trace;
+  trace.AddBenchmark(FakeResults());
+  // 3 available variants (OpenCL missing).
+  ASSERT_EQ(trace.events().size(), 3u);
+  EXPECT_EQ(trace.events()[0].tid, 1);  // Serial on the CPU track
+  EXPECT_EQ(trace.events()[1].tid, 1);  // OpenMP on the CPU track
+  EXPECT_EQ(trace.events()[2].tid, 2);  // Opt on the GPU track
+  EXPECT_EQ(trace.events()[2].category, "mali-t604");
+}
+
+TEST(TraceTest, JsonIsWellFormedish) {
+  TraceBuilder trace;
+  trace.AddBenchmark(FakeResults());
+  const std::string json = trace.ToJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"demo / Serial\""), std::string::npos);
+  EXPECT_NE(json.find("\"power_w\":\"4.000\""), std::string::npos);
+  EXPECT_NE(json.find("\"note\":\"fell back\""), std::string::npos);
+  // Balanced braces (crude structural check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(TraceTest, EscapesSpecialCharacters) {
+  TraceBuilder trace;
+  trace.AddSpan("with \"quotes\" and \\slash", "c", 1, 0.1);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\slash"), std::string::npos);
+}
+
+TEST(TraceTest, WritesFile) {
+  TraceBuilder trace;
+  trace.AddSpan("span", "c", 1, 0.1);
+  const std::string path = ::testing::TempDir() + "/malisim_trace_test.json";
+  ASSERT_TRUE(trace.WriteTo(path).ok());
+  std::ifstream file(path);
+  std::stringstream ss;
+  ss << file.rdbuf();
+  EXPECT_EQ(ss.str(), trace.ToJson());
+  std::remove(path.c_str());
+}
+
+TEST(TraceTest, BadPathFails) {
+  TraceBuilder trace;
+  EXPECT_FALSE(trace.WriteTo("/nonexistent_dir_xyz/trace.json").ok());
+}
+
+}  // namespace
+}  // namespace malisim::harness

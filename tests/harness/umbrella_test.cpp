@@ -1,0 +1,42 @@
+// Compile-and-link check of the public umbrella header: everything a
+// downstream user includes through <malisim.h> must be self-consistent.
+#include "malisim.h"
+
+#include <gtest/gtest.h>
+
+namespace malisim {
+namespace {
+
+TEST(UmbrellaTest, PublicSurfaceIsUsableTogether) {
+  // One object from every layer, composed the way a user would.
+  kir::KernelBuilder kb("umbrella");
+  auto buf = kb.ArgBuffer("buf", kir::ScalarType::kF32, kir::ArgKind::kBufferRW);
+  kb.Store(buf, kb.GlobalId(0), kb.ConstF(kir::F32(), 1.0));
+  kir::Program program = *kb.Build();
+  EXPECT_TRUE(kir::Verify(program).ok());
+
+  ocl::Context context;
+  EXPECT_EQ(context.device_info().compute_units, 4u);
+
+  cpu::CortexA15Device cpu_device;
+  mali::MaliT604Device gpu_device;
+  power::PowerModel power_model;
+  power::ActivityProfile idle;
+  idle.seconds = 1.0;
+  EXPECT_GT(power_model.AveragePower(idle), 0.0);
+
+  hpc::ProblemSizes sizes;
+  EXPECT_NE(hpc::CreateBenchmark("dmmm", sizes), nullptr);
+
+  harness::ExperimentConfig config;
+  EXPECT_EQ(config.repetitions, 20);
+
+  sim::CacheModel cache(sim::CacheConfig{1024, 64, 2, true});
+  EXPECT_EQ(cache.Access(0, 4, false).misses, 1u);
+
+  Xoshiro256 rng(1);
+  EXPECT_LT(rng.NextDouble(), 1.0);
+}
+
+}  // namespace
+}  // namespace malisim

@@ -1,0 +1,97 @@
+#include "hpc/detail.h"
+
+#include <gtest/gtest.h>
+
+namespace malisim::hpc::detail {
+namespace {
+
+TEST(FpBufferTest, SinglePrecisionRoundTrip) {
+  FpBuffer b(false, 8);
+  EXPECT_EQ(b.size(), 8u);
+  EXPECT_EQ(b.bytes(), 32u);
+  EXPECT_EQ(b.type(), kir::ScalarType::kF32);
+  b.Set(3, 1.25);
+  EXPECT_DOUBLE_EQ(b.Get(3), 1.25);
+  // f32 rounding applies on Set.
+  b.Set(0, 0.1);
+  EXPECT_DOUBLE_EQ(b.Get(0), static_cast<double>(0.1f));
+}
+
+TEST(FpBufferTest, DoublePrecisionRoundTrip) {
+  FpBuffer b(true, 4);
+  EXPECT_EQ(b.bytes(), 32u);
+  EXPECT_EQ(b.type(), kir::ScalarType::kF64);
+  b.Set(1, 0.1);
+  EXPECT_DOUBLE_EQ(b.Get(1), 0.1);
+}
+
+TEST(FpBufferTest, FillFrom) {
+  FpBuffer b(true, 3);
+  const double src[] = {1.0, 2.0, 3.0};
+  b.FillFrom(src);
+  EXPECT_DOUBLE_EQ(b.Get(2), 3.0);
+}
+
+TEST(MaxRelErrorTest, ExactMatchIsZero) {
+  FpBuffer got(true, 3);
+  std::vector<double> want = {1.0, -2.0, 3.0};
+  got.FillFrom(want);
+  EXPECT_EQ(MaxRelError(got, want), 0.0);
+}
+
+TEST(MaxRelErrorTest, RelativeToMagnitude) {
+  FpBuffer got(true, 2);
+  got.Set(0, 101.0);
+  got.Set(1, 20.0);
+  std::vector<double> want = {100.0, 20.0};  // mean |want| = 60 < |want[0]|
+  EXPECT_NEAR(MaxRelError(got, want), 0.01, 1e-12);
+}
+
+TEST(MaxRelErrorTest, NearZeroEntriesUseMeanFloor) {
+  // A tiny absolute error on a near-zero entry must not explode when the
+  // problem scale is O(1).
+  FpBuffer got(true, 2);
+  got.Set(0, 1e-9);
+  got.Set(1, 1.0);
+  std::vector<double> want = {0.0, 1.0};
+  EXPECT_LT(MaxRelError(got, want), 1e-8);
+}
+
+TEST(MergeProfilesTest, TimeWeightedAverage) {
+  power::ActivityProfile a;
+  a.seconds = 1.0;
+  a.cpu_busy[0] = 1.0;
+  a.dram_bytes = 100;
+  power::ActivityProfile b;
+  b.seconds = 3.0;
+  b.cpu_busy[0] = 0.0;
+  b.gpu_on = true;
+  b.gpu_core_busy[2] = 0.8;
+  b.dram_bytes = 300;
+  const power::ActivityProfile merged = MergeProfiles(std::vector{a, b});
+  EXPECT_DOUBLE_EQ(merged.seconds, 4.0);
+  EXPECT_NEAR(merged.cpu_busy[0], 0.25, 1e-12);
+  EXPECT_NEAR(merged.gpu_core_busy[2], 0.6, 1e-12);
+  EXPECT_TRUE(merged.gpu_on);
+  EXPECT_EQ(merged.dram_bytes, 400u);
+}
+
+TEST(MergeProfilesTest, EmptyIsZero) {
+  const power::ActivityProfile merged = MergeProfiles({});
+  EXPECT_EQ(merged.seconds, 0.0);
+}
+
+TEST(FinishValidationTest, PassAndFail) {
+  RunOutcome ok_outcome;
+  FinishValidation(&ok_outcome, 1e-6, 1e-5);
+  EXPECT_TRUE(ok_outcome.validated);
+  EXPECT_TRUE(ok_outcome.note.empty());
+
+  RunOutcome bad_outcome;
+  FinishValidation(&bad_outcome, 0.5, 1e-5);
+  EXPECT_FALSE(bad_outcome.validated);
+  EXPECT_NE(bad_outcome.note.find("VALIDATION FAILED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace malisim::hpc::detail

@@ -1,0 +1,175 @@
+// Benchmark-specific property tests: invariants of the computations and
+// the performance model that go beyond reference validation.
+#include <numeric>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "hpc/benchmark.h"
+
+namespace malisim::hpc {
+namespace {
+
+ProblemSizes QuickSizes() {
+  ProblemSizes sizes;
+  sizes.spmv_rows = 1024;
+  sizes.spmv_avg_nnz_per_row = 12;
+  sizes.vecop_n = 1 << 14;
+  sizes.hist_n = 1 << 14;
+  sizes.hist_bins = 64;
+  sizes.stencil_dim = 16;
+  sizes.red_n = 1 << 14;
+  sizes.amcd_chains = 32;
+  sizes.amcd_atoms = 12;
+  sizes.amcd_steps = 8;
+  sizes.nbody_n = 128;
+  sizes.conv_dim = 64;
+  sizes.dmmm_n = 32;
+  return sizes;
+}
+
+struct Board {
+  cpu::CortexA15Device cpu;
+  ocl::Context gpu;
+  Devices devices{&cpu, &gpu};
+};
+
+TEST(BenchmarkPropertyTest, SpmvGpuShowsLoadImbalance) {
+  // The skewed row lengths must register in the Mali model's per-group
+  // imbalance factor (paper §IV-A: spmv measures load imbalance).
+  auto bench = CreateBenchmark("spmv", QuickSizes());
+  ASSERT_TRUE(bench->Setup(false, 5).ok());
+  Board board;
+  auto outcome = bench->Run(Variant::kOpenCL, board.devices);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_GT(outcome->stats.Get("mali.core0.imbalance"), 1.5);
+}
+
+TEST(BenchmarkPropertyTest, VecopGpuIsBalanced) {
+  auto bench = CreateBenchmark("vecop", QuickSizes());
+  ASSERT_TRUE(bench->Setup(false, 5).ok());
+  Board board;
+  auto outcome = bench->Run(Variant::kOpenCL, board.devices);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_LT(outcome->stats.Get("mali.core0.imbalance"), 1.05);
+}
+
+TEST(BenchmarkPropertyTest, HistNaiveHitsAtomicSerialization) {
+  auto bench = CreateBenchmark("hist", QuickSizes());
+  ASSERT_TRUE(bench->Setup(false, 5).ok());
+  Board board;
+  auto naive = bench->Run(Variant::kOpenCL, board.devices);
+  ASSERT_TRUE(naive.ok());
+  auto opt = bench->Run(Variant::kOpenCLOpt, board.devices);
+  ASSERT_TRUE(opt.ok());
+  // The naive version's atomic floor dominates; privatization removes it.
+  EXPECT_GT(naive->stats.Get("mali.atomic_floor_sec"),
+            10 * opt->stats.Get("mali.atomic_floor_sec"));
+}
+
+TEST(BenchmarkPropertyTest, HistOptUsesBarriers) {
+  auto bench = CreateBenchmark("hist", QuickSizes());
+  ASSERT_TRUE(bench->Setup(false, 5).ok());
+  Board board;
+  auto opt = bench->Run(Variant::kOpenCLOpt, board.devices);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_TRUE(opt->validated);
+}
+
+TEST(BenchmarkPropertyTest, VecopOptMovesFewerLsSlotsThanNaive) {
+  // The §III-B vector-load claim in its purest form: same traffic, fewer
+  // LS issue slots, hence less LS-pipe time.
+  auto bench = CreateBenchmark("vecop", QuickSizes());
+  ASSERT_TRUE(bench->Setup(false, 5).ok());
+  Board board;
+  auto naive = bench->Run(Variant::kOpenCL, board.devices);
+  auto opt = bench->Run(Variant::kOpenCLOpt, board.devices);
+  ASSERT_TRUE(naive.ok() && opt.ok());
+  EXPECT_LT(opt->stats.Get("mali.core0.ls_cycles"),
+            0.5 * naive->stats.Get("mali.core0.ls_cycles"));
+}
+
+TEST(BenchmarkPropertyTest, DmmmOptOccupancyStaysHighSp) {
+  auto bench = CreateBenchmark("dmmm", QuickSizes());
+  ASSERT_TRUE(bench->Setup(false, 5).ok());
+  Board board;
+  auto opt = bench->Run(Variant::kOpenCLOpt, board.devices);
+  ASSERT_TRUE(opt.ok());
+  EXPECT_EQ(opt->stats.Get("mali.threads_per_core"), 256.0);
+}
+
+TEST(BenchmarkPropertyTest, EnergyEqualsPowerTimesTimeInProfile) {
+  auto bench = CreateBenchmark("red", QuickSizes());
+  ASSERT_TRUE(bench->Setup(false, 5).ok());
+  Board board;
+  for (Variant v : kAllVariants) {
+    auto outcome = bench->Run(v, board.devices);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_NEAR(outcome->profile.seconds, outcome->seconds,
+                outcome->seconds * 1e-9)
+        << VariantName(v);
+  }
+}
+
+TEST(BenchmarkPropertyTest, LargerProblemTakesLonger) {
+  // Modelled time must be monotone in problem size for every variant.
+  ProblemSizes small = QuickSizes();
+  ProblemSizes big = QuickSizes();
+  big.vecop_n *= 4;
+  for (Variant v : kAllVariants) {
+    auto bench_small = CreateBenchmark("vecop", small);
+    auto bench_big = CreateBenchmark("vecop", big);
+    ASSERT_TRUE(bench_small->Setup(false, 3).ok());
+    ASSERT_TRUE(bench_big->Setup(false, 3).ok());
+    Board b1, b2;
+    auto t_small = bench_small->Run(v, b1.devices);
+    auto t_big = bench_big->Run(v, b2.devices);
+    ASSERT_TRUE(t_small.ok() && t_big.ok());
+    EXPECT_GT(t_big->seconds, t_small->seconds) << VariantName(v);
+  }
+}
+
+TEST(BenchmarkPropertyTest, DoublePrecisionCostsMoreOnGpu) {
+  // FP64 halves the vector width and doubles the traffic: never faster.
+  for (const std::string name : {"vecop", "dmmm", "red"}) {
+    auto bench = CreateBenchmark(name, QuickSizes());
+    ASSERT_TRUE(bench->Setup(false, 3).ok());
+    Board b1;
+    auto sp = bench->Run(Variant::kOpenCL, b1.devices);
+    ASSERT_TRUE(sp.ok());
+    ASSERT_TRUE(bench->Setup(true, 3).ok());
+    Board b2;
+    auto dp = bench->Run(Variant::kOpenCL, b2.devices);
+    ASSERT_TRUE(dp.ok());
+    EXPECT_GE(dp->seconds, sp->seconds * 0.99) << name;
+  }
+}
+
+TEST(BenchmarkPropertyTest, StencilBoundaryStaysZero) {
+  ProblemSizes sizes = QuickSizes();
+  auto bench = CreateBenchmark("3dstc", sizes);
+  ASSERT_TRUE(bench->Setup(false, 11).ok());
+  Board board;
+  // Validation inside Run already compares every element against the
+  // reference, whose boundary is zero — a failed boundary write would
+  // surface as a validation failure here.
+  auto outcome = bench->Run(Variant::kOpenCL, board.devices);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->validated);
+}
+
+TEST(BenchmarkPropertyTest, SerialProfileUsesOneCore) {
+  auto bench = CreateBenchmark("dmmm", QuickSizes());
+  ASSERT_TRUE(bench->Setup(false, 3).ok());
+  Board board;
+  auto serial = bench->Run(Variant::kSerial, board.devices);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_GT(serial->profile.cpu_busy[0], 0.3);
+  EXPECT_EQ(serial->profile.cpu_busy[1], 0.0);
+  auto omp = bench->Run(Variant::kOpenMP, board.devices);
+  ASSERT_TRUE(omp.ok());
+  EXPECT_GT(omp->profile.cpu_busy[1], 0.3);
+}
+
+}  // namespace
+}  // namespace malisim::hpc

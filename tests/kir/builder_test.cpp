@@ -1,0 +1,184 @@
+#include "kir/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "kir/program.h"
+
+namespace malisim::kir {
+namespace {
+
+TEST(BuilderTest, MinimalKernelBuilds) {
+  KernelBuilder kb("copy");
+  auto in = kb.ArgBuffer("in", ScalarType::kF32, ArgKind::kBufferRO);
+  auto out = kb.ArgBuffer("out", ScalarType::kF32, ArgKind::kBufferWO);
+  Val gid = kb.GlobalId(0);
+  kb.Store(out, gid, kb.Load(in, gid));
+  StatusOr<Program> p = kb.Build();
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  EXPECT_EQ(p->name, "copy");
+  EXPECT_EQ(p->num_buffer_args(), 2u);
+  EXPECT_TRUE(p->finalized());
+  EXPECT_FALSE(p->has_barrier());
+}
+
+TEST(BuilderTest, OperatorSugarEmitsArithmetic) {
+  KernelBuilder kb("ops");
+  auto out = kb.ArgBuffer("out", ScalarType::kF32, ArgKind::kBufferWO);
+  Val a = kb.ConstF(F32(), 2.0);
+  Val b = kb.ConstF(F32(), 3.0);
+  Val c = (a + b) * (a - b) / b + 1.0;
+  kb.Store(out, kb.ConstI(I32(), 0), c);
+  ASSERT_TRUE(kb.Build().ok());
+}
+
+TEST(BuilderTest, ScalarArgsTrackSlots) {
+  KernelBuilder kb("args");
+  auto out = kb.ArgBuffer("out", ScalarType::kI32, ArgKind::kBufferWO);
+  Val n = kb.ArgScalar("n", ScalarType::kI32);
+  Val m = kb.ArgScalar("m", ScalarType::kI32);
+  kb.Store(out, kb.ConstI(I32(), 0), n + m);
+  StatusOr<Program> p = kb.Build();
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_args(), 3u);
+  EXPECT_EQ(p->num_buffer_args(), 1u);
+  // Two kArg instructions with distinct slots.
+  int arg_count = 0;
+  for (const Instr& in : p->code) {
+    if (in.op == Opcode::kArg) {
+      EXPECT_EQ(in.imm, arg_count);
+      ++arg_count;
+    }
+  }
+  EXPECT_EQ(arg_count, 2);
+}
+
+TEST(BuilderTest, ForLoopStructureMatches) {
+  KernelBuilder kb("loop");
+  auto out = kb.ArgBuffer("out", ScalarType::kI32, ArgKind::kBufferWO);
+  Val n = kb.ConstI(I32(), 10);
+  kb.For("i", kb.ConstI(I32(), 0), n, 1,
+         [&](Val i) { kb.Store(out, i, i); });
+  StatusOr<Program> p = kb.Build();
+  ASSERT_TRUE(p.ok());
+  // Finalize resolved loop matches.
+  int begin = -1, end = -1;
+  for (std::size_t i = 0; i < p->code.size(); ++i) {
+    if (p->code[i].op == Opcode::kLoopBegin) begin = static_cast<int>(i);
+    if (p->code[i].op == Opcode::kLoopEnd) end = static_cast<int>(i);
+  }
+  ASSERT_GE(begin, 0);
+  ASSERT_GE(end, 0);
+  EXPECT_EQ(p->code[static_cast<std::size_t>(begin)].match,
+            static_cast<std::uint32_t>(end));
+  EXPECT_EQ(p->code[static_cast<std::size_t>(end)].match,
+            static_cast<std::uint32_t>(begin));
+}
+
+TEST(BuilderTest, IfElseStructureMatches) {
+  KernelBuilder kb("branch");
+  auto out = kb.ArgBuffer("out", ScalarType::kI32, ArgKind::kBufferWO);
+  Val zero = kb.ConstI(I32(), 0);
+  Val one = kb.ConstI(I32(), 1);
+  Val cond = kb.CmpLt(zero, one);
+  kb.If(cond, [&] { kb.Store(out, zero, one); },
+        [&] { kb.Store(out, zero, zero); });
+  ASSERT_TRUE(kb.Build().ok());
+}
+
+TEST(BuilderTest, BarrierSetsFlag) {
+  KernelBuilder kb("sync");
+  auto out = kb.ArgBuffer("out", ScalarType::kI32, ArgKind::kBufferWO);
+  kb.Store(out, kb.ConstI(I32(), 0), kb.ConstI(I32(), 1));
+  kb.Barrier();
+  StatusOr<Program> p = kb.Build();
+  ASSERT_TRUE(p.ok());
+  EXPECT_TRUE(p->has_barrier());
+}
+
+TEST(BuilderTest, LocalArrayGetsSlotAfterBuffers) {
+  KernelBuilder kb("local");
+  auto buf = kb.ArgBuffer("buf", ScalarType::kI32, ArgKind::kBufferRW);
+  auto scratch = kb.LocalArray("scratch", ScalarType::kI32, 64);
+  EXPECT_EQ(buf.slot, 0);
+  EXPECT_EQ(scratch.slot, 1);
+  Val zero = kb.ConstI(I32(), 0);
+  kb.Store(scratch, zero, kb.Load(buf, zero));
+  StatusOr<Program> p = kb.Build();
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->num_slots(), 2u);
+}
+
+TEST(BuilderTest, VectorOpsBuild) {
+  KernelBuilder kb("vec");
+  auto in = kb.ArgBuffer("in", ScalarType::kF32, ArgKind::kBufferRO);
+  auto out = kb.ArgBuffer("out", ScalarType::kF32, ArgKind::kBufferWO);
+  Val zero = kb.ConstI(I32(), 0);
+  Val v = kb.Load(in, zero, 0, 4);
+  Val w = kb.Load(in, zero, 4, 4);
+  Val slid = kb.Slide(v, w, 2);
+  Val s = kb.VSum(kb.Fma(v, w, slid));
+  Val sv = kb.Splat(s, 4);
+  Val x = kb.Extract(sv, 1);
+  Val ins = kb.Insert(sv, 3, x);
+  kb.Store(out, zero, ins);
+  ASSERT_TRUE(kb.Build().ok());
+}
+
+TEST(BuilderTest, ForUnrolledCoversRange) {
+  // Structural check: factor-4 unroll of a 10-iteration loop emits a main
+  // loop plus a remainder loop.
+  KernelBuilder kb("unroll");
+  auto out = kb.ArgBuffer("out", ScalarType::kI32, ArgKind::kBufferWO);
+  Val n = kb.ConstI(I32(), 10);
+  int body_emissions = 0;
+  kb.ForUnrolled("i", kb.ConstI(I32(), 0), n, 1, 4, [&](Val i) {
+    ++body_emissions;
+    kb.Store(out, i, i);
+  });
+  EXPECT_EQ(body_emissions, 5);  // 4 unrolled copies + 1 remainder body
+  StatusOr<Program> p = kb.Build();
+  ASSERT_TRUE(p.ok());
+  int loops = 0;
+  for (const Instr& in : p->code) {
+    if (in.op == Opcode::kLoopBegin) ++loops;
+  }
+  EXPECT_EQ(loops, 2);
+}
+
+TEST(BuilderTest, ConvertChangesScalarTypeKeepsLanes) {
+  KernelBuilder kb("conv");
+  auto out = kb.ArgBuffer("out", ScalarType::kF64, ArgKind::kBufferWO);
+  Val v = kb.ConstF(F32(4), 1.5);
+  Val d = kb.Convert(v, ScalarType::kF64);
+  EXPECT_EQ(d.type(), F64(4));
+  kb.Store(out, kb.ConstI(I32(), 0), d);
+  ASSERT_TRUE(kb.Build().ok());
+}
+
+TEST(BuilderTest, RegisterBytesAccumulate) {
+  KernelBuilder kb("regs");
+  auto out = kb.ArgBuffer("out", ScalarType::kF32, ArgKind::kBufferWO);
+  Val a = kb.ConstF(F32(16), 0.0);  // 64 bytes
+  Val b = kb.ConstF(F32(4), 0.0);   // 16 bytes
+  kb.Store(out, kb.ConstI(I32(), 0), kb.VSum(a + kb.Splat(kb.VSum(b), 16)));
+  StatusOr<Program> p = kb.Build();
+  ASSERT_TRUE(p.ok());
+  EXPECT_GE(p->register_bytes(), 64u + 16u);
+}
+
+TEST(BuilderDeathTest, MixedBuilderValuesAbort) {
+  KernelBuilder kb1("a"), kb2("b");
+  Val v1 = kb1.ConstF(F32(), 1.0);
+  Val v2 = kb2.ConstF(F32(), 2.0);
+  EXPECT_DEATH({ auto v = v1 + v2; (void)v; }, "another builder");
+}
+
+TEST(BuilderDeathTest, AssignTypeMismatchAborts) {
+  KernelBuilder kb("bad");
+  Val f = kb.Var(F32(), "f");
+  Val i = kb.ConstI(I32(), 1);
+  EXPECT_DEATH(kb.Assign(f, i), "type mismatch");
+}
+
+}  // namespace
+}  // namespace malisim::kir

@@ -1,0 +1,139 @@
+// Failure-injection tests: the interpreter and device models must turn
+// broken kernels and broken launches into errors, never into silent
+// corruption or crashes.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kir/builder.h"
+#include "kir/interp.h"
+
+namespace malisim::kir {
+namespace {
+
+TEST(FailureInjectionTest, BarrierDivergenceDetected) {
+  // Half the work-group skips the barrier: classic undefined behaviour in
+  // OpenCL; the interpreter reports it instead of hanging.
+  KernelBuilder kb("divergent_barrier");
+  auto out = kb.ArgBuffer("out", ScalarType::kI32, ArgKind::kBufferWO);
+  Val lid = kb.LocalId(0);
+  Val cond = kb.CmpLt(lid, kb.ConstI(I32(), 2));
+  kb.If(cond, [&] { kb.Barrier(); });
+  kb.Store(out, kb.GlobalId(0), lid);
+  Program p = *kb.Build();
+  ASSERT_TRUE(p.has_barrier());
+
+  std::vector<std::int32_t> data(4, 0);
+  Bindings b;
+  b.buffers = {{reinterpret_cast<std::byte*>(data.data()), 0x1000, 16}};
+  std::vector<std::byte> scratch(64);
+  b.local_scratch = {scratch.data(), 0xF0000, scratch.size()};
+  LaunchConfig config;
+  config.global_size = {4, 1, 1};
+  config.local_size = {4, 1, 1};
+  auto run = RunProgram(p, config, std::move(b));
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.status().message().find("barrier divergence"),
+            std::string::npos);
+}
+
+TEST(FailureInjectionTest, UniformlyGuardedBarrierIsFine) {
+  // All work-items take the same path: legal.
+  KernelBuilder kb("uniform_barrier");
+  auto out = kb.ArgBuffer("out", ScalarType::kI32, ArgKind::kBufferWO);
+  Val size = kb.LocalSize(0);
+  Val cond = kb.CmpLt(size, kb.ConstI(I32(), 100));  // uniform across group
+  kb.If(cond, [&] { kb.Barrier(); });
+  kb.Store(out, kb.GlobalId(0), kb.LocalId(0));
+  Program p = *kb.Build();
+  std::vector<std::int32_t> data(4, 0);
+  Bindings b;
+  b.buffers = {{reinterpret_cast<std::byte*>(data.data()), 0x1000, 16}};
+  std::vector<std::byte> scratch(64);
+  b.local_scratch = {scratch.data(), 0xF0000, scratch.size()};
+  LaunchConfig config;
+  config.global_size = {4, 1, 1};
+  config.local_size = {4, 1, 1};
+  EXPECT_TRUE(RunProgram(p, config, std::move(b)).ok());
+}
+
+TEST(FailureInjectionTest, ScratchTooSmallRejected) {
+  KernelBuilder kb("big_local");
+  auto out = kb.ArgBuffer("out", ScalarType::kI32, ArgKind::kBufferWO);
+  auto tile = kb.LocalArray("tile", ScalarType::kF32, 1024);  // 4 KiB
+  Val zero = kb.ConstI(I32(), 0);
+  kb.Store(tile, zero, kb.ConstF(F32(), 1.0));
+  kb.Store(out, zero, zero);
+  Program p = *kb.Build();
+  std::int32_t sink = 0;
+  Bindings b;
+  b.buffers = {{reinterpret_cast<std::byte*>(&sink), 0x1000, 4}};
+  std::vector<std::byte> scratch(64);  // far too small
+  b.local_scratch = {scratch.data(), 0xF0000, scratch.size()};
+  auto run = RunProgram(p, LaunchConfig{}, std::move(b));
+  ASSERT_FALSE(run.ok());
+  EXPECT_NE(run.status().message().find("scratch"), std::string::npos);
+}
+
+TEST(FailureInjectionTest, NegativeIndexLoadRejected) {
+  KernelBuilder kb("negative");
+  auto in = kb.ArgBuffer("in", ScalarType::kF32, ArgKind::kBufferRO);
+  auto out = kb.ArgBuffer("out", ScalarType::kF32, ArgKind::kBufferWO);
+  Val minus = kb.ConstI(I32(), -1);
+  kb.Store(out, kb.ConstI(I32(), 0), kb.Load(in, minus));
+  Program p = *kb.Build();
+  std::vector<float> data(4, 0);
+  Bindings b;
+  b.buffers = {{reinterpret_cast<std::byte*>(data.data()), 0x1000, 16},
+               {reinterpret_cast<std::byte*>(data.data()), 0x2000, 16}};
+  EXPECT_FALSE(RunProgram(p, LaunchConfig{}, std::move(b)).ok());
+}
+
+TEST(FailureInjectionTest, VectorLoadStraddlingEndRejected) {
+  // Scalar index in range, but the vec4 tail runs past the buffer.
+  KernelBuilder kb("straddle");
+  auto in = kb.ArgBuffer("in", ScalarType::kF32, ArgKind::kBufferRO);
+  auto out = kb.ArgBuffer("out", ScalarType::kF32, ArgKind::kBufferWO);
+  Val idx = kb.ConstI(I32(), 6);
+  kb.Store(out, kb.ConstI(I32(), 0), kb.Load(in, idx, 0, 4));
+  Program p = *kb.Build();
+  std::vector<float> data(8, 0);
+  Bindings b;
+  b.buffers = {{reinterpret_cast<std::byte*>(data.data()), 0x1000, 32},
+               {reinterpret_cast<std::byte*>(data.data()), 0x2000, 32}};
+  EXPECT_FALSE(RunProgram(p, LaunchConfig{}, std::move(b)).ok());
+}
+
+TEST(FailureInjectionTest, AtomicOutOfBoundsRejected) {
+  KernelBuilder kb("atomic_oob");
+  auto counters = kb.ArgBuffer("counters", ScalarType::kI32, ArgKind::kBufferRW);
+  kb.AtomicAdd(counters, kb.ConstI(I32(), 100), kb.ConstI(I32(), 1));
+  Program p = *kb.Build();
+  std::int32_t c = 0;
+  Bindings b;
+  b.buffers = {{reinterpret_cast<std::byte*>(&c), 0x1000, 4}};
+  EXPECT_FALSE(RunProgram(p, LaunchConfig{}, std::move(b)).ok());
+}
+
+TEST(FailureInjectionTest, ErrorsDoNotCorruptOtherBuffers) {
+  // A kernel that writes out[0] then faults: the error is reported and
+  // nothing outside the buffer was touched (the canary survives).
+  KernelBuilder kb("partial");
+  auto out = kb.ArgBuffer("out", ScalarType::kI32, ArgKind::kBufferWO);
+  Val zero = kb.ConstI(I32(), 0);
+  kb.Store(out, zero, kb.ConstI(I32(), 42));
+  kb.Store(out, kb.ConstI(I32(), 1000), zero);  // fault
+  Program p = *kb.Build();
+  struct {
+    std::int32_t buffer[4] = {0, 0, 0, 0};
+    std::int32_t canary = 0x5AFE;
+  } mem;
+  Bindings b;
+  b.buffers = {{reinterpret_cast<std::byte*>(mem.buffer), 0x1000, 16}};
+  EXPECT_FALSE(RunProgram(p, LaunchConfig{}, std::move(b)).ok());
+  EXPECT_EQ(mem.buffer[0], 42);     // the pre-fault store landed
+  EXPECT_EQ(mem.canary, 0x5AFE);    // nothing leaked past the binding
+}
+
+}  // namespace
+}  // namespace malisim::kir

@@ -1,0 +1,215 @@
+#include "kir/parse.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kir/builder.h"
+#include "kir/interp.h"
+
+namespace malisim::kir {
+namespace {
+
+/// A kernel exercising most of the surface: args with qualifiers, scalar
+/// args, locals, vectors, control flow, memory ops, atomics, barrier.
+Program FullSurfaceKernel() {
+  KernelBuilder kb("full_surface");
+  auto in = kb.ArgBuffer("src", ScalarType::kF32, ArgKind::kBufferRO,
+                         /*is_restrict=*/true, /*is_const=*/true);
+  auto out = kb.ArgBuffer("dst", ScalarType::kF32, ArgKind::kBufferWO, true);
+  auto counters = kb.ArgBuffer("counters", ScalarType::kI32, ArgKind::kBufferRW);
+  Val n = kb.ArgScalar("n", ScalarType::kI32);
+  auto tile = kb.LocalArray("tile", ScalarType::kF32, 64);
+
+  Val lid = kb.LocalId(0);
+  Val gid = kb.GlobalId(0);
+  kb.Store(tile, lid, kb.Load(in, gid));
+  kb.Barrier();
+
+  Val acc = kb.Var(F32(4), "acc");
+  kb.Assign(acc, kb.ConstF(F32(4), 0.125));
+  kb.For("i", kb.ConstI(I32(), 0), n, 4, [&](Val i) {
+    Val v = kb.Load(in, i, 0, 4);
+    Val w = kb.Load(in, i, 4, 4);
+    Val window = kb.Slide(v, w, 2);
+    kb.Assign(acc, kb.Fma(window, kb.Splat(kb.Extract(v, 1), 4), acc));
+    kb.If(kb.CmpLt(i, kb.ConstI(I32(), 16)),
+          [&] { kb.AtomicAdd(counters, kb.ConstI(I32(), 0), kb.ConstI(I32(), 1)); },
+          [&] { kb.AtomicAdd(counters, kb.ConstI(I32(), 1), kb.ConstI(I32(), 1)); });
+  });
+  kb.Store(out, gid, kb.VSum(acc) + kb.Rsqrt(kb.Load(tile, lid) + 2.0));
+  return *kb.Build();
+}
+
+TEST(ParseTest, RoundTripPreservesStructure) {
+  const Program original = FullSurfaceKernel();
+  StatusOr<Program> parsed = ParseProgram(ToText(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->name, original.name);
+  ASSERT_EQ(parsed->code.size(), original.code.size());
+  for (std::size_t i = 0; i < original.code.size(); ++i) {
+    EXPECT_EQ(parsed->code[i].op, original.code[i].op) << "instr " << i;
+    EXPECT_EQ(parsed->code[i].imm, original.code[i].imm) << "instr " << i;
+    EXPECT_EQ(parsed->code[i].slot, original.code[i].slot) << "instr " << i;
+  }
+  ASSERT_EQ(parsed->args.size(), original.args.size());
+  for (std::size_t i = 0; i < original.args.size(); ++i) {
+    EXPECT_EQ(parsed->args[i].name, original.args[i].name);
+    EXPECT_EQ(parsed->args[i].kind, original.args[i].kind);
+    EXPECT_EQ(parsed->args[i].elem, original.args[i].elem);
+    EXPECT_EQ(parsed->args[i].is_restrict, original.args[i].is_restrict);
+    EXPECT_EQ(parsed->args[i].is_const, original.args[i].is_const);
+  }
+  ASSERT_EQ(parsed->locals.size(), 1u);
+  EXPECT_EQ(parsed->locals[0].elems, 64u);
+}
+
+TEST(ParseTest, NormalFormIsIdempotent) {
+  // Register numbering is normalized on the first parse; after that,
+  // text -> parse -> text is a fixed point.
+  const Program original = FullSurfaceKernel();
+  StatusOr<Program> once = ParseProgram(ToText(original));
+  ASSERT_TRUE(once.ok());
+  const std::string normal = ToText(*once);
+  StatusOr<Program> twice = ParseProgram(normal);
+  ASSERT_TRUE(twice.ok());
+  EXPECT_EQ(ToText(*twice), normal);
+}
+
+TEST(ParseTest, ParsedKernelExecutesIdentically) {
+  KernelBuilder kb("axpy");
+  auto x = kb.ArgBuffer("x", ScalarType::kF32, ArgKind::kBufferRO);
+  auto y = kb.ArgBuffer("y", ScalarType::kF32, ArgKind::kBufferRW);
+  Val a = kb.ArgScalar("a", ScalarType::kF32);
+  Val gid = kb.GlobalId(0);
+  kb.Store(y, gid, kb.Fma(a, kb.Load(x, gid), kb.Load(y, gid)));
+  const Program original = *kb.Build();
+  StatusOr<Program> parsed = ParseProgram(ToText(original));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  auto run = [](const Program& p) {
+    std::vector<float> xs(16, 2.0f), ys(16, 1.0f);
+    Bindings b;
+    b.buffers = {{reinterpret_cast<std::byte*>(xs.data()), 0x1000, 64},
+                 {reinterpret_cast<std::byte*>(ys.data()), 0x2000, 64}};
+    b.scalars = {ScalarValue::F32V(3.0f)};
+    LaunchConfig config;
+    config.global_size = {16, 1, 1};
+    EXPECT_TRUE(RunProgram(p, config, std::move(b)).ok());
+    return ys;
+  };
+  EXPECT_EQ(run(original), run(*parsed));
+}
+
+TEST(ParseTest, LosslessFloatImmediates) {
+  KernelBuilder kb("pi");
+  auto out = kb.ArgBuffer("out", ScalarType::kF64, ArgKind::kBufferWO);
+  kb.Store(out, kb.ConstI(I32(), 0), kb.ConstF(F64(), 3.141592653589793));
+  const Program original = *kb.Build();
+  StatusOr<Program> parsed = ParseProgram(ToText(original));
+  ASSERT_TRUE(parsed.ok());
+  double got = 0;
+  Bindings b;
+  b.buffers = {{reinterpret_cast<std::byte*>(&got), 0x1000, 8}};
+  ASSERT_TRUE(RunProgram(*parsed, LaunchConfig{}, std::move(b)).ok());
+  EXPECT_EQ(got, 3.141592653589793);
+}
+
+TEST(ParseTest, HandWrittenKernelParses) {
+  const char* text = R"(
+kernel doubler(inout f32* buf)
+  0: global_id r1:i32 0
+  1: load r2:f32, r1:i32 slot=0 off=0
+  2: const.f r3:f32 2
+  3: mul r4:f32, r2:f32, r3:f32
+  4: store r4:f32, r1:i32 slot=0 off=0
+)";
+  StatusOr<Program> parsed = ParseProgram(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  std::vector<float> data = {1.5f, -2.0f};
+  Bindings b;
+  b.buffers = {{reinterpret_cast<std::byte*>(data.data()), 0x1000, 8}};
+  LaunchConfig config;
+  config.global_size = {2, 1, 1};
+  ASSERT_TRUE(RunProgram(*parsed, config, std::move(b)).ok());
+  EXPECT_FLOAT_EQ(data[0], 3.0f);
+  EXPECT_FLOAT_EQ(data[1], -4.0f);
+}
+
+TEST(ParseTest, InstructionIndicesOptional) {
+  const char* text =
+      "kernel noidx(out i32* buf)\n"
+      "const.i r1:i32 7\n"
+      "const.i r2:i32 0\n"
+      "store r1:i32, r2:i32 slot=0 off=0\n";
+  ASSERT_TRUE(ParseProgram(text).ok());
+}
+
+TEST(ParseTest, ErrorsAreLineNumbered) {
+  const char* text =
+      "kernel bad(out i32* buf)\n"
+      "  0: frobnicate r1:i32\n";
+  StatusOr<Program> parsed = ParseProgram(text);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+  EXPECT_NE(parsed.status().message().find("frobnicate"), std::string::npos);
+}
+
+TEST(ParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseProgram("").ok());
+  EXPECT_FALSE(ParseProgram("not a kernel").ok());
+  EXPECT_FALSE(ParseProgram("kernel broken(\n").ok());
+  // Register re-used at a different type.
+  EXPECT_FALSE(ParseProgram("kernel k(out f32* b)\n"
+                            "const.i r1:i32 0\n"
+                            "const.f r1:f32 1\n")
+                   .ok());
+  // Unbalanced control flow.
+  EXPECT_FALSE(ParseProgram("kernel k(out f32* b)\n"
+                            "endloop\n")
+                   .ok());
+  // Verifier catches semantic violations post-parse.
+  EXPECT_FALSE(ParseProgram("kernel k(in f32* b)\n"
+                            "const.i r1:i32 0\n"
+                            "store r1:i32, r1:i32 slot=0 off=0\n")  // RO store
+                   .ok());
+}
+
+TEST(ParseTest, AllBenchmarkShapesRoundTrip) {
+  // Cover every opcode family through a grab-bag of builder kernels.
+  std::vector<Program> programs;
+  {
+    KernelBuilder kb("ints");
+    auto buf = kb.ArgBuffer("buf", ScalarType::kI64, ArgKind::kBufferRW);
+    Val zero = kb.ConstI(I32(), 0);
+    Val v = kb.Load(buf, zero, 0, 2);
+    Val q = kb.Binary(Opcode::kIDiv, v, v);
+    Val r = kb.Binary(Opcode::kIRem, v, v);
+    Val m = kb.Shl(kb.Shr((q ^ r) | (q & r), 3), 1);
+    kb.Store(buf, zero, kb.Unary(Opcode::kNot, m));
+    programs.push_back(*kb.Build());
+  }
+  {
+    KernelBuilder kb("floats");
+    auto buf = kb.ArgBuffer("buf", ScalarType::kF64, ArgKind::kBufferRW);
+    Val zero = kb.ConstI(I32(), 0);
+    Val v = kb.Load(buf, zero, 0, 8);
+    Val w = kb.Min(kb.Max(kb.Abs(-v), v), kb.Floor(v));
+    Val s = kb.Sin(kb.Cos(kb.Log(kb.Exp(kb.Sqrt(kb.Abs(w))))));
+    Val sel = kb.Select(kb.CmpNe(s, v), s, w);
+    kb.Store(buf, zero, kb.Insert(sel, 5, kb.Convert(kb.ConstI(I32(), 3),
+                                                     ScalarType::kF64)));
+    programs.push_back(*kb.Build());
+  }
+  for (const Program& p : programs) {
+    StatusOr<Program> parsed = ParseProgram(ToText(p));
+    ASSERT_TRUE(parsed.ok()) << p.name << ": " << parsed.status().ToString();
+    ASSERT_EQ(parsed->code.size(), p.code.size()) << p.name;
+    for (std::size_t i = 0; i < p.code.size(); ++i) {
+      EXPECT_EQ(parsed->code[i].op, p.code[i].op) << p.name << " instr " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace malisim::kir

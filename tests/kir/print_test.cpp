@@ -1,0 +1,86 @@
+// Disassembly golden tests: the printed form is part of the debugging
+// surface (the kernel inspector and build logs lean on it).
+#include <gtest/gtest.h>
+
+#include "kir/builder.h"
+#include "kir/program.h"
+
+namespace malisim::kir {
+namespace {
+
+TEST(PrintTest, SignatureListsQualifiedArgs) {
+  KernelBuilder kb("sig");
+  auto in = kb.ArgBuffer("src", ScalarType::kF32, ArgKind::kBufferRO,
+                         /*is_restrict=*/true, /*is_const=*/true);
+  auto out = kb.ArgBuffer("dst", ScalarType::kF64, ArgKind::kBufferWO);
+  Val n = kb.ArgScalar("n", ScalarType::kI32);
+  (void)n;
+  kb.Store(out, kb.ConstI(I32(), 0),
+           kb.Convert(kb.Load(in, kb.ConstI(I32(), 0)), ScalarType::kF64));
+  Program p = *kb.Build();
+  const std::string text = ToText(p);
+  EXPECT_NE(text.find("kernel sig("), std::string::npos);
+  EXPECT_NE(text.find("in const f32* restrict src"), std::string::npos);
+  EXPECT_NE(text.find("out f64* dst"), std::string::npos);
+  EXPECT_NE(text.find("i32 n"), std::string::npos);
+}
+
+TEST(PrintTest, LocalArraysListed) {
+  KernelBuilder kb("locals");
+  auto buf = kb.ArgBuffer("buf", ScalarType::kI32, ArgKind::kBufferRW);
+  auto scratch = kb.LocalArray("bins", ScalarType::kI32, 256);
+  Val zero = kb.ConstI(I32(), 0);
+  kb.Store(scratch, zero, kb.Load(buf, zero));
+  Program p = *kb.Build();
+  EXPECT_NE(ToText(p).find("local i32 bins[256]"), std::string::npos);
+}
+
+TEST(PrintTest, ControlFlowIndentation) {
+  KernelBuilder kb("flow");
+  auto buf = kb.ArgBuffer("buf", ScalarType::kI32, ArgKind::kBufferRW);
+  kb.For("i", kb.ConstI(I32(), 0), kb.ConstI(I32(), 4), 1, [&](Val i) {
+    kb.If(kb.CmpLt(i, kb.ConstI(I32(), 2)), [&] { kb.Store(buf, i, i); });
+  });
+  Program p = *kb.Build();
+  const std::string text = ToText(p);
+  EXPECT_NE(text.find("loop"), std::string::npos);
+  EXPECT_NE(text.find("endloop"), std::string::npos);
+  EXPECT_NE(text.find("if"), std::string::npos);
+  EXPECT_NE(text.find("endif"), std::string::npos);
+  // The store inside loop+if is indented three levels (6 spaces) deeper
+  // than top level.
+  EXPECT_NE(text.find("      "), std::string::npos);
+}
+
+TEST(PrintTest, MemoryOpsShowSlotAndOffset) {
+  KernelBuilder kb("mem");
+  auto buf = kb.ArgBuffer("buf", ScalarType::kF32, ArgKind::kBufferRW);
+  Val zero = kb.ConstI(I32(), 0);
+  kb.Store(buf, zero, kb.Load(buf, zero, 7));
+  Program p = *kb.Build();
+  const std::string text = ToText(p);
+  EXPECT_NE(text.find("slot=0 off=7"), std::string::npos);
+}
+
+TEST(PrintTest, VectorTypesRendered) {
+  KernelBuilder kb("vec");
+  auto buf = kb.ArgBuffer("buf", ScalarType::kF32, ArgKind::kBufferRW);
+  Val zero = kb.ConstI(I32(), 0);
+  Val v = kb.Load(buf, zero, 0, 8);
+  kb.Store(buf, zero, v + v);
+  Program p = *kb.Build();
+  EXPECT_NE(ToText(p).find("f32x8"), std::string::npos);
+}
+
+TEST(PrintTest, NamedRegistersUsePercentPrefix) {
+  KernelBuilder kb("named");
+  auto buf = kb.ArgBuffer("buf", ScalarType::kF32, ArgKind::kBufferRW);
+  Val acc = kb.Var(F32(), "my_acc");
+  kb.Assign(acc, kb.ConstF(F32(), 0.0));
+  kb.Store(buf, kb.ConstI(I32(), 0), acc);
+  Program p = *kb.Build();
+  EXPECT_NE(ToText(p).find("%my_acc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace malisim::kir

@@ -1,0 +1,91 @@
+#include "kir/types.h"
+
+#include <gtest/gtest.h>
+
+#include "kir/opcode.h"
+
+namespace malisim::kir {
+namespace {
+
+TEST(TypesTest, ScalarBytes) {
+  EXPECT_EQ(ScalarBytes(ScalarType::kF32), 4u);
+  EXPECT_EQ(ScalarBytes(ScalarType::kF64), 8u);
+  EXPECT_EQ(ScalarBytes(ScalarType::kI32), 4u);
+  EXPECT_EQ(ScalarBytes(ScalarType::kI64), 8u);
+}
+
+TEST(TypesTest, FloatIntClassification) {
+  EXPECT_TRUE(IsFloat(ScalarType::kF32));
+  EXPECT_TRUE(IsFloat(ScalarType::kF64));
+  EXPECT_FALSE(IsFloat(ScalarType::kI32));
+  EXPECT_TRUE(IsInt(ScalarType::kI64));
+}
+
+TEST(TypesTest, LaneIndexRoundTrip) {
+  EXPECT_EQ(LaneIndex(1), 0);
+  EXPECT_EQ(LaneIndex(2), 1);
+  EXPECT_EQ(LaneIndex(4), 2);
+  EXPECT_EQ(LaneIndex(8), 3);
+  EXPECT_EQ(LaneIndex(16), 4);
+  EXPECT_EQ(LaneIndex(3), -1);
+  EXPECT_EQ(LaneIndex(0), -1);
+  EXPECT_TRUE(IsValidLanes(4));
+  EXPECT_FALSE(IsValidLanes(5));
+}
+
+TEST(TypesTest, TypeBytesAndEquality) {
+  EXPECT_EQ(F32(4).bytes(), 16u);
+  EXPECT_EQ(F64(16).bytes(), 128u);
+  EXPECT_EQ(I32().bytes(), 4u);
+  EXPECT_TRUE(F32(4) == Type(ScalarType::kF32, 4));
+  EXPECT_FALSE(F32(4) == F32(2));
+  EXPECT_FALSE(F32(4) == I32(4));
+}
+
+TEST(TypesTest, FloatTypeHelper) {
+  EXPECT_EQ(FloatType(false).scalar, ScalarType::kF32);
+  EXPECT_EQ(FloatType(true).scalar, ScalarType::kF64);
+  EXPECT_EQ(FloatType(true, 8).lanes, 8);
+}
+
+TEST(TypesTest, ToString) {
+  EXPECT_EQ(F32().ToString(), "f32");
+  EXPECT_EQ(F64(4).ToString(), "f64x4");
+  EXPECT_EQ(I64(16).ToString(), "i64x16");
+}
+
+TEST(OpcodeTest, EveryOpcodeHasName) {
+  for (int op = 0; op < kNumOpcodeValues; ++op) {
+    EXPECT_NE(OpcodeName(static_cast<Opcode>(op)), "<bad>")
+        << "opcode " << op;
+  }
+}
+
+TEST(OpcodeTest, EveryOpcodeHasClass) {
+  for (int op = 0; op < kNumOpcodeValues; ++op) {
+    const OpClass c = ClassifyOpcode(static_cast<Opcode>(op));
+    EXPECT_LT(static_cast<int>(c), kNumOpClasses);
+  }
+}
+
+TEST(OpcodeTest, ClassificationSpotChecks) {
+  EXPECT_EQ(ClassifyOpcode(Opcode::kAdd), OpClass::kArithSimple);
+  EXPECT_EQ(ClassifyOpcode(Opcode::kMul), OpClass::kArithMul);
+  EXPECT_EQ(ClassifyOpcode(Opcode::kFma), OpClass::kArithMul);
+  EXPECT_EQ(ClassifyOpcode(Opcode::kRsqrt), OpClass::kArithSpecial);
+  EXPECT_EQ(ClassifyOpcode(Opcode::kIDiv), OpClass::kArithSpecial);
+  EXPECT_EQ(ClassifyOpcode(Opcode::kSplat), OpClass::kBroadcast);
+  EXPECT_EQ(ClassifyOpcode(Opcode::kLoad), OpClass::kLoad);
+  EXPECT_EQ(ClassifyOpcode(Opcode::kStore), OpClass::kStore);
+  EXPECT_EQ(ClassifyOpcode(Opcode::kAtomicAddI32), OpClass::kAtomic);
+  EXPECT_EQ(ClassifyOpcode(Opcode::kBarrier), OpClass::kBarrier);
+  EXPECT_EQ(ClassifyOpcode(Opcode::kLoopBegin), OpClass::kControl);
+  EXPECT_EQ(ClassifyOpcode(Opcode::kSlide), OpClass::kArithSimple);
+}
+
+TEST(RegValueTest, SizeIs128Bytes) {
+  EXPECT_EQ(sizeof(RegValue), 128u);
+}
+
+}  // namespace
+}  // namespace malisim::kir

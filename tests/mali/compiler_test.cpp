@@ -1,0 +1,126 @@
+#include "mali/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "kir/builder.h"
+
+namespace malisim::mali {
+namespace {
+
+using kir::ArgKind;
+using kir::KernelBuilder;
+using kir::ScalarType;
+using kir::Val;
+
+kir::Program SimpleKernel(bool fp64, bool restricted) {
+  KernelBuilder kb("simple");
+  const ScalarType ft = fp64 ? ScalarType::kF64 : ScalarType::kF32;
+  auto in = kb.ArgBuffer("in", ft, ArgKind::kBufferRO, restricted, restricted);
+  auto out = kb.ArgBuffer("out", ft, ArgKind::kBufferWO, restricted, false);
+  Val gid = kb.GlobalId(0);
+  kb.Store(out, gid, kb.Load(in, gid) * 2.0);
+  return *kb.Build();
+}
+
+TEST(MaliCompilerTest, SimpleKernelCompiles) {
+  kir::Program p = SimpleKernel(false, false);
+  auto compiled = CompileForMali(p, MaliTimingParams(), MaliCompilerParams());
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+  EXPECT_EQ(compiled->program, &p);
+  EXPECT_FALSE(compiled->exceeds_resources);
+  EXPECT_GE(compiled->threads_per_core, 4u);
+  EXPECT_LE(compiled->threads_per_core, 256u);
+  EXPECT_DOUBLE_EQ(compiled->sched_factor, 1.0);
+}
+
+TEST(MaliCompilerTest, LightKernelReachesFullOccupancy) {
+  kir::Program p = SimpleKernel(false, false);
+  auto compiled = CompileForMali(p, MaliTimingParams(), MaliCompilerParams());
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->threads_per_core, MaliTimingParams().max_threads_per_core);
+}
+
+TEST(MaliCompilerTest, QualifiersEarnSchedulingBonus) {
+  kir::Program p = SimpleKernel(false, true);
+  auto compiled = CompileForMali(p, MaliTimingParams(), MaliCompilerParams());
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_LT(compiled->sched_factor, 1.0);
+}
+
+kir::Program RegisterHungryKernel(bool fp64) {
+  // Many simultaneously-live wide vectors.
+  KernelBuilder kb("hungry");
+  const ScalarType ft = fp64 ? ScalarType::kF64 : ScalarType::kF32;
+  auto in = kb.ArgBuffer("in", ft, ArgKind::kBufferRO);
+  auto out = kb.ArgBuffer("out", ft, ArgKind::kBufferWO);
+  Val zero = kb.ConstI(kir::I32(), 0);
+  std::vector<Val> live;
+  for (int i = 0; i < 16; ++i) {
+    live.push_back(kb.Load(in, zero, i * 8, 8));  // 16 x vec8
+  }
+  Val sum = live[0];
+  for (int i = 1; i < 16; ++i) sum = sum + live[i];
+  kb.Store(out, zero, sum);
+  return *kb.Build();
+}
+
+TEST(MaliCompilerTest, RegisterPressureMarksOutOfResources) {
+  // FP64: 16 live f64x8 = 1 KiB of registers, over any sane budget.
+  kir::Program p = RegisterHungryKernel(true);
+  auto compiled = CompileForMali(p, MaliTimingParams(), MaliCompilerParams());
+  ASSERT_TRUE(compiled.ok());  // the *build* succeeds, as on the real driver
+  EXPECT_TRUE(compiled->exceeds_resources);
+}
+
+TEST(MaliCompilerTest, OccupancyDropsWithRegisterPressure) {
+  kir::Program light = SimpleKernel(false, false);
+  kir::Program heavy = RegisterHungryKernel(false);
+  const auto cl = CompileForMali(light, MaliTimingParams(), MaliCompilerParams());
+  const auto ch = CompileForMali(heavy, MaliTimingParams(), MaliCompilerParams());
+  ASSERT_TRUE(cl.ok());
+  ASSERT_TRUE(ch.ok());
+  EXPECT_LT(ch->threads_per_core, cl->threads_per_core);
+  EXPECT_GT(ch->live_reg_bytes, cl->live_reg_bytes);
+}
+
+kir::Program ErratumKernel(bool fp64) {
+  KernelBuilder kb("metropolis");
+  const ScalarType ft = fp64 ? ScalarType::kF64 : ScalarType::kF32;
+  auto buf = kb.ArgBuffer("buf", ft, ArgKind::kBufferRW);
+  Val n = kb.ConstI(kir::I32(), 8);
+  kb.For("t", kb.ConstI(kir::I32(), 0), n, 1, [&](Val t) {
+    Val p = kb.Exp(kb.Load(buf, t));
+    Val cond = kb.CmpLt(t, kb.ConstI(kir::I32(), 4));
+    kb.If(cond, [&] { kb.Store(buf, t, p); });
+  });
+  return *kb.Build();
+}
+
+TEST(MaliCompilerTest, Fp64ErratumFailsBuild) {
+  kir::Program p = ErratumKernel(true);
+  auto compiled = CompileForMali(p, MaliTimingParams(), MaliCompilerParams());
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), ErrorCode::kBuildFailure);
+}
+
+TEST(MaliCompilerTest, Fp32VersionOfErratumShapeCompiles) {
+  kir::Program p = ErratumKernel(false);
+  EXPECT_TRUE(CompileForMali(p, MaliTimingParams(), MaliCompilerParams()).ok());
+}
+
+TEST(MaliCompilerTest, ErratumEmulationCanBeDisabled) {
+  kir::Program p = ErratumKernel(true);
+  MaliCompilerParams params;
+  params.emulate_fp64_erratum = false;
+  EXPECT_TRUE(CompileForMali(p, MaliTimingParams(), params).ok());
+}
+
+TEST(MaliCompilerTest, UnfinalizedProgramRejected) {
+  kir::Program p;
+  p.name = "raw";
+  auto compiled = CompileForMali(p, MaliTimingParams(), MaliCompilerParams());
+  EXPECT_EQ(compiled.status().code(), ErrorCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace malisim::mali

@@ -1,0 +1,150 @@
+// Model-invariant property tests: the timing model must respond sanely to
+// its parameters — more hardware never hurts, less never helps. These are
+// the regression guards for the cost model itself.
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kir/builder.h"
+#include "mali/compiler.h"
+#include "mali/t604_device.h"
+
+namespace malisim::mali {
+namespace {
+
+using kir::ArgKind;
+using kir::KernelBuilder;
+using kir::ScalarType;
+using kir::Val;
+
+/// A mixed kernel: per-item short loop of fma + loads.
+kir::Program MixedKernel() {
+  KernelBuilder kb("mixed");
+  auto in = kb.ArgBuffer("in", ScalarType::kF32, ArgKind::kBufferRO);
+  auto out = kb.ArgBuffer("out", ScalarType::kF32, ArgKind::kBufferWO);
+  Val gid = kb.GlobalId(0);
+  Val acc = kb.Var(kir::F32(), "acc");
+  kb.Assign(acc, kb.ConstF(kir::F32(), 0.0));
+  kb.For("i", kb.ConstI(kir::I32(), 0), kb.ConstI(kir::I32(), 8), 1,
+         [&](Val i) {
+           Val idx = kb.Binary(kir::Opcode::kAdd, gid, i);
+           kb.Assign(acc, kb.Fma(kb.Load(in, idx), acc, acc + 1.0));
+         });
+  kb.Store(out, gid, acc);
+  return *kb.Build();
+}
+
+double TimeWith(const MaliTimingParams& timing, const MaliMemoryConfig& memory) {
+  const kir::Program p = MixedKernel();
+  auto compiled = CompileForMali(p, timing, MaliCompilerParams());
+  EXPECT_TRUE(compiled.ok());
+  const std::uint64_t n = 1 << 15;
+  std::vector<float> in(n + 16, 1.0f), out(n, 0.0f);
+  MaliT604Device device(timing, memory);
+  kir::LaunchConfig config;
+  config.global_size = {n, 1, 1};
+  config.local_size = {128, 1, 1};
+  kir::Bindings b;
+  b.buffers = {
+      {reinterpret_cast<std::byte*>(in.data()), 0x100000, in.size() * 4},
+      {reinterpret_cast<std::byte*>(out.data()), 0x900000, out.size() * 4}};
+  auto run = device.Run(*compiled, config, std::move(b));
+  EXPECT_TRUE(run.ok());
+  return run->seconds;
+}
+
+TEST(ModelInvariantTest, HigherClockIsFaster) {
+  MaliTimingParams slow, fast;
+  fast.clock_hz = slow.clock_hz * 2;
+  EXPECT_LT(TimeWith(fast, MaliMemoryConfig()), TimeWith(slow, MaliMemoryConfig()));
+}
+
+TEST(ModelInvariantTest, MoreCoresNeverSlower) {
+  MaliTimingParams one, four;
+  one.num_cores = 1;
+  four.num_cores = 4;
+  EXPECT_LE(TimeWith(four, MaliMemoryConfig()), TimeWith(one, MaliMemoryConfig()));
+}
+
+TEST(ModelInvariantTest, MoreBandwidthNeverSlower) {
+  MaliMemoryConfig narrow, wide;
+  narrow.dram.peak_bandwidth_bytes_per_sec = 2e9;
+  wide.dram.peak_bandwidth_bytes_per_sec = 20e9;
+  EXPECT_LE(TimeWith(MaliTimingParams(), wide),
+            TimeWith(MaliTimingParams(), narrow));
+}
+
+TEST(ModelInvariantTest, BiggerL1NotMeaningfullySlower) {
+  // Near-monotone rather than strictly monotone: a larger L1 changes the
+  // L2 fill stream, and the DRAM sequentiality heuristic can reclassify a
+  // few fills, moving the bandwidth floor by a fraction of a percent. Any
+  // meaningful regression (>1%) is a genuine model bug.
+  MaliMemoryConfig small, big;
+  small.l1.size_bytes = 1024;
+  big.l1.size_bytes = 64 * 1024;
+  EXPECT_LE(TimeWith(MaliTimingParams(), big),
+            TimeWith(MaliTimingParams(), small) * 1.01);
+}
+
+TEST(ModelInvariantTest, CheaperDispatchNeverSlower) {
+  MaliTimingParams cheap, expensive;
+  cheap.wg_dispatch_cycles = 50;
+  expensive.wg_dispatch_cycles = 2000;
+  EXPECT_LE(TimeWith(cheap, MaliMemoryConfig()),
+            TimeWith(expensive, MaliMemoryConfig()));
+}
+
+TEST(ModelInvariantTest, LowerSlotCostsNeverSlower) {
+  MaliTimingParams cheap, expensive;
+  cheap.slots_arith = 0.25;
+  cheap.slots_control = 0.5;
+  expensive.slots_arith = 2.0;
+  expensive.slots_control = 4.0;
+  EXPECT_LE(TimeWith(cheap, MaliMemoryConfig()),
+            TimeWith(expensive, MaliMemoryConfig()));
+}
+
+class ClockSweepTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ClockSweepTest, TimeMonotoneInClock) {
+  MaliTimingParams base;
+  MaliTimingParams scaled;
+  scaled.clock_hz = base.clock_hz * GetParam();
+  if (GetParam() > 1.0) {
+    EXPECT_LE(TimeWith(scaled, MaliMemoryConfig()),
+              TimeWith(base, MaliMemoryConfig()) * 1.0001);
+  } else {
+    EXPECT_GE(TimeWith(scaled, MaliMemoryConfig()),
+              TimeWith(base, MaliMemoryConfig()) * 0.9999);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, ClockSweepTest,
+                         ::testing::Values(0.25, 0.5, 2.0, 4.0));
+
+TEST(ModelInvariantTest, TimeScalesLinearlyWithWorkAtScale) {
+  // Doubling the NDRange on a compute-bound kernel roughly doubles time.
+  const kir::Program p = MixedKernel();
+  auto compiled = CompileForMali(p, MaliTimingParams(), MaliCompilerParams());
+  ASSERT_TRUE(compiled.ok());
+  auto time_for = [&](std::uint64_t n) {
+    std::vector<float> in(2 * n + 16, 1.0f), out(2 * n, 0.0f);
+    MaliT604Device device;
+    kir::LaunchConfig config;
+    config.global_size = {n, 1, 1};
+    config.local_size = {128, 1, 1};
+    kir::Bindings b;
+    b.buffers = {
+        {reinterpret_cast<std::byte*>(in.data()), 0x100000, in.size() * 4},
+        {reinterpret_cast<std::byte*>(out.data()), 0x900000, out.size() * 4}};
+    auto run = device.Run(*compiled, config, std::move(b));
+    EXPECT_TRUE(run.ok());
+    return run->seconds;
+  };
+  const double t1 = time_for(1 << 16);
+  const double t2 = time_for(1 << 17);
+  EXPECT_NEAR(t2 / t1, 2.0, 0.3);
+}
+
+}  // namespace
+}  // namespace malisim::mali

@@ -1,0 +1,211 @@
+#include "mali/t604_device.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kir/builder.h"
+#include "mali/compiler.h"
+
+namespace malisim::mali {
+namespace {
+
+using kir::ArgKind;
+using kir::KernelBuilder;
+using kir::ScalarType;
+using kir::Val;
+
+kir::Program ScaleKernel(std::uint8_t lanes) {
+  KernelBuilder kb(lanes > 1 ? "scale_vec" : "scale");
+  auto in = kb.ArgBuffer("in", ScalarType::kF32, ArgKind::kBufferRO);
+  auto out = kb.ArgBuffer("out", ScalarType::kF32, ArgKind::kBufferWO);
+  Val gid = kb.GlobalId(0);
+  if (lanes > 1) {
+    Val base = kb.Binary(kir::Opcode::kMul, gid, kb.ConstI(kir::I32(), lanes));
+    kb.Store(out, base, kb.Load(in, base, 0, lanes) * 3.0);
+  } else {
+    kb.Store(out, gid, kb.Load(in, gid) * 3.0);
+  }
+  return *kb.Build();
+}
+
+kir::Bindings Bind(std::vector<float>& in, std::vector<float>& out) {
+  kir::Bindings b;
+  b.buffers = {{reinterpret_cast<std::byte*>(in.data()), 0x100000, in.size() * 4},
+               {reinterpret_cast<std::byte*>(out.data()), 0x200000, out.size() * 4}};
+  return b;
+}
+
+CompiledKernel Compile(const kir::Program& p) {
+  auto compiled = CompileForMali(p, MaliTimingParams(), MaliCompilerParams());
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return *compiled;
+}
+
+TEST(MaliDeviceTest, ExecutesKernelCorrectly) {
+  const std::size_t n = 4096;
+  std::vector<float> in(n, 2.0f), out(n, 0.0f);
+  kir::Program p = ScaleKernel(1);
+  CompiledKernel kernel = Compile(p);
+  MaliT604Device device;
+  kir::LaunchConfig config;
+  config.global_size = {n, 1, 1};
+  config.local_size = {64, 1, 1};
+  auto result = device.Run(kernel, config, Bind(in, out));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (float v : out) EXPECT_FLOAT_EQ(v, 6.0f);
+  EXPECT_GT(result->seconds, 0.0);
+  EXPECT_TRUE(result->profile.gpu_on);
+}
+
+TEST(MaliDeviceTest, VectorizedKernelIsFaster) {
+  // The core §III-B claim: the same work in float4 beats scalar.
+  const std::size_t n = 1 << 16;
+  std::vector<float> in(n, 1.0f), out(n, 0.0f);
+  kir::Program scalar = ScaleKernel(1);
+  kir::Program vec = ScaleKernel(4);
+  MaliT604Device device;
+
+  kir::LaunchConfig scalar_cfg;
+  scalar_cfg.global_size = {n, 1, 1};
+  scalar_cfg.local_size = {128, 1, 1};
+  device.FlushCaches();
+  auto scalar_run = device.Run(Compile(scalar), scalar_cfg, Bind(in, out));
+  ASSERT_TRUE(scalar_run.ok());
+
+  kir::LaunchConfig vec_cfg;
+  vec_cfg.global_size = {n / 4, 1, 1};
+  vec_cfg.local_size = {128, 1, 1};
+  device.FlushCaches();
+  auto vec_run = device.Run(Compile(vec), vec_cfg, Bind(in, out));
+  ASSERT_TRUE(vec_run.ok());
+
+  EXPECT_LT(vec_run->seconds, scalar_run->seconds);
+}
+
+TEST(MaliDeviceTest, FewerLargerGroupsAmortizeDispatch) {
+  // §III-A: tiny work-groups over-fragment the Job Manager.
+  const std::size_t n = 1 << 16;
+  std::vector<float> in(n, 1.0f), out(n, 0.0f);
+  kir::Program p = ScaleKernel(1);
+  CompiledKernel kernel = Compile(p);
+  MaliT604Device device;
+
+  kir::LaunchConfig small_cfg;
+  small_cfg.global_size = {n, 1, 1};
+  small_cfg.local_size = {4, 1, 1};
+  device.FlushCaches();
+  auto small_groups = device.Run(kernel, small_cfg, Bind(in, out));
+  ASSERT_TRUE(small_groups.ok());
+
+  kir::LaunchConfig big_cfg;
+  big_cfg.global_size = {n, 1, 1};
+  big_cfg.local_size = {256, 1, 1};
+  device.FlushCaches();
+  auto big_groups = device.Run(kernel, big_cfg, Bind(in, out));
+  ASSERT_TRUE(big_groups.ok());
+
+  EXPECT_LT(big_groups->seconds, small_groups->seconds);
+}
+
+TEST(MaliDeviceTest, OutOfResourcesKernelRefusesToLaunch) {
+  KernelBuilder kb("hog");
+  auto in = kb.ArgBuffer("in", ScalarType::kF64, ArgKind::kBufferRO);
+  auto out = kb.ArgBuffer("out", ScalarType::kF64, ArgKind::kBufferWO);
+  Val zero = kb.ConstI(kir::I32(), 0);
+  std::vector<Val> live;
+  for (int i = 0; i < 12; ++i) live.push_back(kb.Load(in, zero, i * 8, 8));
+  Val sum = live[0];
+  for (int i = 1; i < 12; ++i) sum = sum + live[i];
+  kb.Store(out, zero, sum);
+  kir::Program p = *kb.Build();
+  CompiledKernel kernel = Compile(p);
+  ASSERT_TRUE(kernel.exceeds_resources);
+
+  std::vector<float> dummy_in(256), dummy_out(256);
+  MaliT604Device device;
+  kir::LaunchConfig config;
+  auto result = device.Run(kernel, config, Bind(dummy_in, dummy_out));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kResourceExhausted);
+}
+
+TEST(MaliDeviceTest, AtomicContentionSerializes) {
+  // All work-items hammer one counter vs spread counters.
+  auto make = [](bool spread) {
+    KernelBuilder kb(spread ? "spread" : "hot");
+    auto counters = kb.ArgBuffer("counters", ScalarType::kI32, ArgKind::kBufferRW);
+    Val gid = kb.GlobalId(0);
+    Val idx = spread
+                  ? kb.Binary(kir::Opcode::kMul, gid, kb.ConstI(kir::I32(), 16))
+                  : kb.ConstI(kir::I32(), 0);
+    kb.AtomicAdd(counters, idx, kb.ConstI(kir::I32(), 1));
+    return *kb.Build();
+  };
+  const std::size_t n = 1 << 14;
+  std::vector<std::int32_t> counters(n * 16, 0);
+  kir::Bindings bindings;
+  bindings.buffers = {{reinterpret_cast<std::byte*>(counters.data()), 0x100000,
+                       counters.size() * 4}};
+  MaliT604Device device;
+  kir::LaunchConfig config;
+  config.global_size = {n, 1, 1};
+  config.local_size = {64, 1, 1};
+
+  kir::Program hot = make(false);
+  device.FlushCaches();
+  auto hot_run = device.Run(Compile(hot), config, bindings);
+  ASSERT_TRUE(hot_run.ok());
+  EXPECT_EQ(counters[0], static_cast<std::int32_t>(n));
+
+  std::fill(counters.begin(), counters.end(), 0);
+  kir::Program spread = make(true);
+  device.FlushCaches();
+  auto spread_run = device.Run(Compile(spread), config, bindings);
+  ASSERT_TRUE(spread_run.ok());
+
+  EXPECT_GT(hot_run->seconds, 1.5 * spread_run->seconds);
+}
+
+TEST(MaliDeviceTest, DriverLocalSizeHeuristic) {
+  EXPECT_EQ(MaliT604Device::DriverPickLocalSize(1024), 64u);
+  EXPECT_EQ(MaliT604Device::DriverPickLocalSize(1024, 16), 16u);
+  EXPECT_EQ(MaliT604Device::DriverPickLocalSize(100), 4u);  // 100 = 4 * 25
+  EXPECT_EQ(MaliT604Device::DriverPickLocalSize(7), 1u);
+  EXPECT_EQ(MaliT604Device::DriverPickLocalSize(62), 2u);
+}
+
+TEST(MaliDeviceTest, StatsExposePipeBreakdown) {
+  const std::size_t n = 1024;
+  std::vector<float> in(n, 1.0f), out(n, 0.0f);
+  kir::Program p = ScaleKernel(1);
+  MaliT604Device device;
+  kir::LaunchConfig config;
+  config.global_size = {n, 1, 1};
+  config.local_size = {64, 1, 1};
+  auto result = device.Run(Compile(p), config, Bind(in, out));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->stats.Has("mali.core0.arith_cycles"));
+  EXPECT_TRUE(result->stats.Has("mali.core0.ls_cycles"));
+  EXPECT_TRUE(result->stats.Has("mali.dram_bw_floor_sec"));
+  EXPECT_GT(result->stats.Get("mali.threads_per_core"), 0.0);
+}
+
+TEST(MaliDeviceTest, WorkSpreadsAcrossAllCores) {
+  const std::size_t n = 1 << 14;
+  std::vector<float> in(n, 1.0f), out(n, 0.0f);
+  kir::Program p = ScaleKernel(1);
+  MaliT604Device device;
+  kir::LaunchConfig config;
+  config.global_size = {n, 1, 1};
+  config.local_size = {64, 1, 1};
+  auto result = device.Run(Compile(p), config, Bind(in, out));
+  ASSERT_TRUE(result.ok());
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_GT(result->profile.gpu_core_busy[static_cast<std::size_t>(c)], 0.0)
+        << "core " << c;
+  }
+}
+
+}  // namespace
+}  // namespace malisim::mali

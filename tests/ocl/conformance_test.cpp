@@ -1,0 +1,117 @@
+// Cross-device conformance: the same kernel, same inputs, run through
+// tinycl on the GPU device and on the CPU device, must produce identical
+// results — the portability-of-correctness half of OpenCL's promise (the
+// paper's §III is about the *performance* half not porting).
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kir/builder.h"
+#include "ocl/runtime.h"
+
+namespace malisim::ocl {
+namespace {
+
+using kir::ArgKind;
+using kir::KernelBuilder;
+using kir::ScalarType;
+using kir::Val;
+
+/// Runs `source` with `items` work-items over `elems` f32 elements
+/// initialized to i*0.25 and returns the buffer contents afterwards.
+std::vector<float> RunOn(DeviceType type, const kir::Program& source,
+                         std::uint64_t elems, std::uint64_t items) {
+  Context ctx(type);
+  auto buf = *ctx.CreateBuffer(kMemReadWrite | kMemAllocHostPtr, elems * 4);
+  {
+    void* mapped = *ctx.queue().MapBuffer(*buf);
+    for (std::uint64_t i = 0; i < elems; ++i) {
+      static_cast<float*>(mapped)[i] = 0.25f * static_cast<float>(i);
+    }
+    EXPECT_TRUE(ctx.queue().UnmapBuffer(*buf, mapped).ok());
+  }
+  std::vector<kir::Program> kernels;
+  kernels.push_back(source);
+  auto prog = ctx.CreateProgram(std::move(kernels));
+  EXPECT_TRUE(prog->Build().ok()) << prog->build_log();
+  auto kernel = *ctx.CreateKernel(prog, source.name);
+  EXPECT_TRUE(kernel->SetArgBuffer(0, buf).ok());
+  const std::uint64_t global[1] = {items};
+  const std::uint64_t local[1] = {16};
+  auto event = ctx.queue().EnqueueNDRange(*kernel, 1, global, local);
+  EXPECT_TRUE(event.ok()) << event.status().ToString();
+
+  std::vector<float> result(elems);
+  void* mapped = *ctx.queue().MapBuffer(*buf);
+  std::memcpy(result.data(), mapped, elems * 4);
+  EXPECT_TRUE(ctx.queue().UnmapBuffer(*buf, mapped).ok());
+  return result;
+}
+
+kir::Program ArithmeticKernel() {
+  KernelBuilder kb("conf_arith");
+  auto buf = kb.ArgBuffer("buf", ScalarType::kF32, ArgKind::kBufferRW);
+  Val gid = kb.GlobalId(0);
+  Val x = kb.Load(buf, gid);
+  Val y = kb.Rsqrt(kb.Abs(x) + 1.0);
+  Val z = kb.Fma(x, y, kb.Sin(y));
+  kb.Store(buf, gid, kb.Min(z, kb.Exp(-y)));
+  return *kb.Build();
+}
+
+kir::Program VectorKernel() {
+  KernelBuilder kb("conf_vec");
+  auto buf = kb.ArgBuffer("buf", ScalarType::kF32, ArgKind::kBufferRW);
+  Val base = kb.Binary(kir::Opcode::kMul, kb.GlobalId(0), kb.ConstI(kir::I32(), 4));
+  Val v = kb.Load(buf, base, 0, 4);
+  Val w = kb.Slide(v, v, 1);
+  kb.Store(buf, base, kb.Fma(v, w, kb.Splat(kb.VSum(v), 4)));
+  return *kb.Build();
+}
+
+kir::Program LoopBranchKernel() {
+  KernelBuilder kb("conf_loop");
+  auto buf = kb.ArgBuffer("buf", ScalarType::kF32, ArgKind::kBufferRW);
+  Val gid = kb.GlobalId(0);
+  Val acc = kb.Var(kir::F32(), "acc");
+  kb.Assign(acc, kb.Load(buf, gid));
+  kb.For("i", kb.ConstI(kir::I32(), 0), kb.ConstI(kir::I32(), 8), 1, [&](Val i) {
+    Val even = kb.CmpEq(kb.Binary(kir::Opcode::kIRem, i, kb.ConstI(kir::I32(), 2)),
+                        kb.ConstI(kir::I32(), 0));
+    kb.If(even, [&] { kb.Assign(acc, acc * 1.5); },
+          [&] { kb.Assign(acc, acc - 0.25); });
+  });
+  kb.Store(buf, gid, acc);
+  return *kb.Build();
+}
+
+class ConformanceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConformanceTest, CpuAndGpuBitIdentical) {
+  kir::Program program = [&] {
+    switch (GetParam()) {
+      case 0:
+        return ArithmeticKernel();
+      case 1:
+        return VectorKernel();
+      default:
+        return LoopBranchKernel();
+    }
+  }();
+  // The interpreter is the shared functional substrate, so results must be
+  // bit-identical — any divergence is a bindings/launch bug in one device
+  // path.
+  const bool vector_kernel = GetParam() == 1;
+  const std::uint64_t items = 64;
+  const std::uint64_t elems = vector_kernel ? items * 4 : items;
+  const std::vector<float> gpu = RunOn(DeviceType::kGpu, program, elems, items);
+  const std::vector<float> cpu = RunOn(DeviceType::kCpu, program, elems, items);
+  EXPECT_EQ(gpu, cpu);
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, ConformanceTest, ::testing::Values(0, 1, 2));
+
+}  // namespace
+}  // namespace malisim::ocl

@@ -1,0 +1,96 @@
+// Tests for the device-side queue operations (copy / fill).
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ocl/runtime.h"
+
+namespace malisim::ocl {
+namespace {
+
+TEST(CopyBufferTest, CopiesBytes) {
+  Context ctx;
+  auto src = *ctx.CreateBuffer(kMemReadWrite, 64);
+  auto dst = *ctx.CreateBuffer(kMemReadWrite, 64);
+  std::vector<float> data = {1, 2, 3, 4};
+  ASSERT_TRUE(ctx.queue().EnqueueWriteBuffer(*src, data.data(), 16).ok());
+  auto event = ctx.queue().EnqueueCopyBuffer(*src, *dst, 16);
+  ASSERT_TRUE(event.ok());
+  EXPECT_GT(event->seconds, 0.0);
+  std::vector<float> back(4);
+  ASSERT_TRUE(ctx.queue().EnqueueReadBuffer(*dst, back.data(), 16).ok());
+  EXPECT_EQ(back, data);
+}
+
+TEST(CopyBufferTest, OffsetsRespected) {
+  Context ctx;
+  auto src = *ctx.CreateBuffer(kMemReadWrite, 64);
+  auto dst = *ctx.CreateBuffer(kMemReadWrite, 64);
+  const float v = 7.5f;
+  ASSERT_TRUE(ctx.queue().EnqueueWriteBuffer(*src, &v, 4, 8).ok());
+  ASSERT_TRUE(ctx.queue().EnqueueCopyBuffer(*src, *dst, 4, 8, 32).ok());
+  float back = 0;
+  ASSERT_TRUE(ctx.queue().EnqueueReadBuffer(*dst, &back, 4, 32).ok());
+  EXPECT_EQ(back, 7.5f);
+}
+
+TEST(CopyBufferTest, RangeValidation) {
+  Context ctx;
+  auto src = *ctx.CreateBuffer(kMemReadWrite, 64);
+  auto dst = *ctx.CreateBuffer(kMemReadWrite, 32);
+  EXPECT_FALSE(ctx.queue().EnqueueCopyBuffer(*src, *dst, 64).ok());
+  EXPECT_FALSE(ctx.queue().EnqueueCopyBuffer(*src, *dst, 32, 48, 0).ok());
+}
+
+TEST(CopyBufferTest, DeviceCopyCheaperThanHostRoundTrip) {
+  Context ctx;
+  const std::uint64_t bytes = 1 << 22;
+  auto src = *ctx.CreateBuffer(kMemReadWrite, bytes);
+  auto dst = *ctx.CreateBuffer(kMemReadWrite, bytes);
+  auto device_copy = ctx.queue().EnqueueCopyBuffer(*src, *dst, bytes);
+  ASSERT_TRUE(device_copy.ok());
+  std::vector<std::byte> staging(bytes);
+  auto read = ctx.queue().EnqueueReadBuffer(*src, staging.data(), bytes);
+  auto write = ctx.queue().EnqueueWriteBuffer(*dst, staging.data(), bytes);
+  ASSERT_TRUE(read.ok() && write.ok());
+  EXPECT_LT(device_copy->seconds, read->seconds + write->seconds);
+}
+
+TEST(FillBufferTest, FillsPattern) {
+  Context ctx;
+  auto buf = *ctx.CreateBuffer(kMemReadWrite, 64);
+  const float pattern = 2.5f;
+  auto event = ctx.queue().EnqueueFillBuffer(*buf, &pattern, 4, 64);
+  ASSERT_TRUE(event.ok());
+  std::vector<float> back(16);
+  ASSERT_TRUE(ctx.queue().EnqueueReadBuffer(*buf, back.data(), 64).ok());
+  for (float v : back) EXPECT_EQ(v, 2.5f);
+}
+
+TEST(FillBufferTest, MultiBytePatternAndOffset) {
+  Context ctx;
+  auto buf = *ctx.CreateBuffer(kMemReadWrite, 64);
+  const float zero = 0.0f;
+  ASSERT_TRUE(ctx.queue().EnqueueFillBuffer(*buf, &zero, 4, 64).ok());
+  const double pattern = 1.25;
+  ASSERT_TRUE(ctx.queue().EnqueueFillBuffer(*buf, &pattern, 8, 16, 32).ok());
+  std::vector<double> back(8);
+  ASSERT_TRUE(ctx.queue().EnqueueReadBuffer(*buf, back.data(), 64).ok());
+  EXPECT_EQ(back[4], 1.25);
+  EXPECT_EQ(back[5], 1.25);
+  EXPECT_EQ(back[0], 0.0);
+}
+
+TEST(FillBufferTest, Validation) {
+  Context ctx;
+  auto buf = *ctx.CreateBuffer(kMemReadWrite, 64);
+  const float pattern = 1.0f;
+  EXPECT_FALSE(ctx.queue().EnqueueFillBuffer(*buf, nullptr, 4, 64).ok());
+  EXPECT_FALSE(ctx.queue().EnqueueFillBuffer(*buf, &pattern, 4, 66).ok());
+  EXPECT_FALSE(ctx.queue().EnqueueFillBuffer(*buf, &pattern, 3, 64).ok());
+  EXPECT_FALSE(ctx.queue().EnqueueFillBuffer(*buf, &pattern, 4, 64, 32).ok());
+}
+
+}  // namespace
+}  // namespace malisim::ocl

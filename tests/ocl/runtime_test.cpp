@@ -1,0 +1,312 @@
+#include "ocl/runtime.h"
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "kir/builder.h"
+#include "ocl/cl_error.h"
+
+namespace malisim::ocl {
+namespace {
+
+using kir::ArgKind;
+using kir::KernelBuilder;
+using kir::ScalarType;
+using kir::Val;
+
+kir::Program AddOneKernel() {
+  KernelBuilder kb("add_one");
+  auto buf = kb.ArgBuffer("buf", ScalarType::kF32, ArgKind::kBufferRW);
+  Val gid = kb.GlobalId(0);
+  kb.Store(buf, gid, kb.Load(buf, gid) + 1.0);
+  return *kb.Build();
+}
+
+TEST(ClErrorTest, NamesAndMapping) {
+  EXPECT_EQ(ClErrorName(ClError::kSuccess), "CL_SUCCESS");
+  EXPECT_EQ(ClErrorName(ClError::kOutOfResources), "CL_OUT_OF_RESOURCES");
+  EXPECT_EQ(ClErrorFromStatus(Status::Ok()), ClError::kSuccess);
+  EXPECT_EQ(ClErrorFromStatus(ResourceExhaustedError("x")),
+            ClError::kOutOfResources);
+  EXPECT_EQ(ClErrorFromStatus(BuildFailureError("x")),
+            ClError::kBuildProgramFailure);
+  EXPECT_EQ(ClErrorFromStatus(InvalidArgumentError("x")), ClError::kInvalidValue);
+}
+
+TEST(BufferTest, ZeroSizeRejected) {
+  Context ctx;
+  EXPECT_FALSE(ctx.CreateBuffer(kMemReadWrite, 0).ok());
+}
+
+TEST(BufferTest, UseHostPtrRequiresPointer) {
+  Context ctx;
+  EXPECT_FALSE(ctx.CreateBuffer(kMemReadWrite | kMemUseHostPtr, 64).ok());
+}
+
+TEST(BufferTest, UseAndAllocAreExclusive) {
+  Context ctx;
+  std::vector<float> host(16);
+  EXPECT_FALSE(ctx.CreateBuffer(kMemUseHostPtr | kMemAllocHostPtr, 64,
+                                host.data())
+                   .ok());
+}
+
+TEST(BufferTest, CopyHostPtrInitializes) {
+  Context ctx;
+  std::vector<float> host = {1, 2, 3, 4};
+  auto buf = ctx.CreateBuffer(kMemReadWrite | kMemCopyHostPtr, 16, host.data());
+  ASSERT_TRUE(buf.ok());
+  float back[4];
+  std::memcpy(back, (*buf)->device_storage(), 16);
+  EXPECT_EQ(back[2], 3.0f);
+}
+
+TEST(BufferTest, DistinctSimAddresses) {
+  Context ctx;
+  auto a = ctx.CreateBuffer(kMemReadWrite | kMemAllocHostPtr, 4096);
+  auto b = ctx.CreateBuffer(kMemReadWrite | kMemAllocHostPtr, 4096);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE((*a)->sim_addr(), (*b)->sim_addr());
+  EXPECT_GE((*b)->sim_addr(), (*a)->sim_addr() + 4096);
+}
+
+TEST(MapTest, AllocHostPtrMapIsZeroCopy) {
+  Context ctx;
+  auto buf = ctx.CreateBuffer(kMemReadWrite | kMemAllocHostPtr, 64);
+  ASSERT_TRUE(buf.ok());
+  Event event;
+  auto mapped = ctx.queue().MapBuffer(**buf, &event);
+  ASSERT_TRUE(mapped.ok());
+  // Zero copy: the mapped pointer IS the device storage.
+  EXPECT_EQ(*mapped, (*buf)->device_storage());
+  EXPECT_EQ(event.profile.dram_bytes, 0u);
+  EXPECT_TRUE(ctx.queue().UnmapBuffer(**buf, *mapped).ok());
+}
+
+TEST(MapTest, UseHostPtrMapCopies) {
+  Context ctx;
+  std::vector<float> host(16, 0.0f);
+  auto buf = ctx.CreateBuffer(kMemReadWrite | kMemUseHostPtr, 64, host.data());
+  ASSERT_TRUE(buf.ok());
+  // Mutate device storage behind the app's back, then map: the driver must
+  // copy out to the app allocation.
+  reinterpret_cast<float*>((*buf)->device_storage())[0] = 42.0f;
+  Event event;
+  auto mapped = ctx.queue().MapBuffer(**buf, &event);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_EQ(*mapped, host.data());
+  EXPECT_EQ(host[0], 42.0f);
+  EXPECT_GT(event.profile.dram_bytes, 0u);  // the copy cost is modelled
+  ASSERT_TRUE(ctx.queue().UnmapBuffer(**buf, *mapped).ok());
+}
+
+TEST(MapTest, DoubleMapRejected) {
+  Context ctx;
+  auto buf = ctx.CreateBuffer(kMemReadWrite | kMemAllocHostPtr, 64);
+  auto mapped = ctx.queue().MapBuffer(**buf);
+  ASSERT_TRUE(mapped.ok());
+  EXPECT_FALSE(ctx.queue().MapBuffer(**buf).ok());
+  ASSERT_TRUE(ctx.queue().UnmapBuffer(**buf, *mapped).ok());
+}
+
+TEST(MapTest, UnmapWrongPointerRejected) {
+  Context ctx;
+  auto buf = ctx.CreateBuffer(kMemReadWrite | kMemAllocHostPtr, 64);
+  auto mapped = ctx.queue().MapBuffer(**buf);
+  ASSERT_TRUE(mapped.ok());
+  int wrong;
+  EXPECT_FALSE(ctx.queue().UnmapBuffer(**buf, &wrong).ok());
+  EXPECT_TRUE(ctx.queue().UnmapBuffer(**buf, *mapped).ok());
+}
+
+TEST(TransferTest, WriteAndReadBufferRoundTrip) {
+  Context ctx;
+  auto buf = ctx.CreateBuffer(kMemReadWrite, 64);
+  ASSERT_TRUE(buf.ok());
+  std::vector<float> src = {1, 2, 3, 4};
+  auto write = ctx.queue().EnqueueWriteBuffer(**buf, src.data(), 16);
+  ASSERT_TRUE(write.ok());
+  EXPECT_GT(write->seconds, 0.0);
+  std::vector<float> dst(4, 0.0f);
+  ASSERT_TRUE(ctx.queue().EnqueueReadBuffer(**buf, dst.data(), 16).ok());
+  EXPECT_EQ(dst, src);
+}
+
+TEST(TransferTest, OutOfRangeRejected) {
+  Context ctx;
+  auto buf = ctx.CreateBuffer(kMemReadWrite, 64);
+  float x;
+  EXPECT_FALSE(ctx.queue().EnqueueReadBuffer(**buf, &x, 4, 64).ok());
+  EXPECT_FALSE(ctx.queue().EnqueueWriteBuffer(**buf, &x, 128).ok());
+}
+
+TEST(TransferTest, CopyCostScalesWithSize) {
+  Context ctx;
+  auto buf = ctx.CreateBuffer(kMemReadWrite, 1 << 22);
+  std::vector<std::byte> data(1 << 22);
+  auto small = ctx.queue().EnqueueWriteBuffer(**buf, data.data(), 1 << 12);
+  auto large = ctx.queue().EnqueueWriteBuffer(**buf, data.data(), 1 << 22);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_GT(large->seconds, 10 * small->seconds);
+}
+
+TEST(ProgramTest, BuildAndRunKernel) {
+  Context ctx;
+  std::vector<kir::Program> kernels;
+  kernels.push_back(AddOneKernel());
+  auto prog = ctx.CreateProgram(std::move(kernels));
+  ASSERT_TRUE(prog->Build().ok()) << prog->build_log();
+  EXPECT_TRUE(prog->built());
+  EXPECT_NE(prog->build_log().find("add_one"), std::string::npos);
+
+  auto kernel = ctx.CreateKernel(prog, "add_one");
+  ASSERT_TRUE(kernel.ok());
+
+  auto buf = ctx.CreateBuffer(kMemReadWrite | kMemAllocHostPtr, 64 * 4);
+  ASSERT_TRUE(buf.ok());
+  auto mapped = ctx.queue().MapBuffer(**buf);
+  ASSERT_TRUE(mapped.ok());
+  for (int i = 0; i < 64; ++i) static_cast<float*>(*mapped)[i] = static_cast<float>(i);
+  ASSERT_TRUE(ctx.queue().UnmapBuffer(**buf, *mapped).ok());
+
+  ASSERT_TRUE((*kernel)->SetArgBuffer(0, *buf).ok());
+  const std::uint64_t global[1] = {64};
+  auto event = ctx.queue().EnqueueNDRange(**kernel, 1, global, nullptr);
+  ASSERT_TRUE(event.ok()) << event.status().ToString();
+  EXPECT_EQ(event->kind, Event::Kind::kKernel);
+  EXPECT_GT(event->seconds, 0.0);
+
+  auto mapped2 = ctx.queue().MapBuffer(**buf);
+  ASSERT_TRUE(mapped2.ok());
+  for (int i = 0; i < 64; ++i) {
+    EXPECT_FLOAT_EQ(static_cast<float*>(*mapped2)[i], static_cast<float>(i + 1));
+  }
+  ASSERT_TRUE(ctx.queue().UnmapBuffer(**buf, *mapped2).ok());
+}
+
+TEST(ProgramTest, UnknownKernelNameRejected) {
+  Context ctx;
+  std::vector<kir::Program> kernels;
+  kernels.push_back(AddOneKernel());
+  auto prog = ctx.CreateProgram(std::move(kernels));
+  ASSERT_TRUE(prog->Build().ok());
+  EXPECT_FALSE(ctx.CreateKernel(prog, "missing").ok());
+}
+
+TEST(ProgramTest, KernelFromUnbuiltProgramRejected) {
+  Context ctx;
+  std::vector<kir::Program> kernels;
+  kernels.push_back(AddOneKernel());
+  auto prog = ctx.CreateProgram(std::move(kernels));
+  EXPECT_FALSE(ctx.CreateKernel(prog, "add_one").ok());
+}
+
+TEST(KernelTest, UnsetArgRejectedAtEnqueue) {
+  Context ctx;
+  std::vector<kir::Program> kernels;
+  kernels.push_back(AddOneKernel());
+  auto prog = ctx.CreateProgram(std::move(kernels));
+  ASSERT_TRUE(prog->Build().ok());
+  auto kernel = ctx.CreateKernel(prog, "add_one");
+  ASSERT_TRUE(kernel.ok());
+  const std::uint64_t global[1] = {64};
+  auto event = ctx.queue().EnqueueNDRange(**kernel, 1, global, nullptr);
+  ASSERT_FALSE(event.ok());
+  EXPECT_EQ(ClErrorFromStatus(event.status()), ClError::kInvalidValue);
+}
+
+TEST(KernelTest, ArgTypeMismatchesRejected) {
+  KernelBuilder kb("scalar_arg");
+  auto buf = kb.ArgBuffer("buf", ScalarType::kF32, ArgKind::kBufferRW);
+  Val n = kb.ArgScalar("n", ScalarType::kI32);
+  kb.Store(buf, kb.ConstI(kir::I32(), 0), kb.Convert(n, ScalarType::kF32));
+  Context ctx;
+  std::vector<kir::Program> kernels;
+  kernels.push_back(*kb.Build());
+  auto prog = ctx.CreateProgram(std::move(kernels));
+  ASSERT_TRUE(prog->Build().ok());
+  auto kernel = ctx.CreateKernel(prog, "scalar_arg");
+  ASSERT_TRUE(kernel.ok());
+  auto b = ctx.CreateBuffer(kMemReadWrite, 64);
+  EXPECT_FALSE((*kernel)->SetArgBuffer(1, *b).ok());   // index 1 is scalar
+  EXPECT_FALSE((*kernel)->SetArgScalar(0, kir::ScalarValue::I32V(1)).ok());
+  EXPECT_FALSE((*kernel)->SetArgF32(1, 1.0f).ok());     // wrong scalar type
+  EXPECT_TRUE((*kernel)->SetArgI32(1, 5).ok());
+}
+
+TEST(NDRangeTest, WorkGroupSizeValidation) {
+  Context ctx;
+  std::vector<kir::Program> kernels;
+  kernels.push_back(AddOneKernel());
+  auto prog = ctx.CreateProgram(std::move(kernels));
+  ASSERT_TRUE(prog->Build().ok());
+  auto kernel = ctx.CreateKernel(prog, "add_one");
+  auto buf = ctx.CreateBuffer(kMemReadWrite | kMemAllocHostPtr, 4096);
+  ASSERT_TRUE((*kernel)->SetArgBuffer(0, *buf).ok());
+
+  const std::uint64_t global[1] = {1024};
+  const std::uint64_t too_big[1] = {512};  // > max work-group size (256)
+  EXPECT_FALSE(ctx.queue().EnqueueNDRange(**kernel, 1, global, too_big).ok());
+
+  const std::uint64_t non_divisor[1] = {100};
+  EXPECT_FALSE(ctx.queue().EnqueueNDRange(**kernel, 1, global, non_divisor).ok());
+
+  const std::uint64_t ok_local[1] = {128};
+  EXPECT_TRUE(ctx.queue().EnqueueNDRange(**kernel, 1, global, ok_local).ok());
+}
+
+TEST(NDRangeTest, DriverHeuristicRespectsBudgetAcrossDims) {
+  // 3D launch with null local size must produce a legal work-group.
+  KernelBuilder kb("threed");
+  auto buf = kb.ArgBuffer("buf", ScalarType::kI32, ArgKind::kBufferRW);
+  Val x = kb.GlobalId(0);
+  kb.Store(buf, x, x);
+  Context ctx;
+  std::vector<kir::Program> kernels;
+  kernels.push_back(*kb.Build());
+  auto prog = ctx.CreateProgram(std::move(kernels));
+  ASSERT_TRUE(prog->Build().ok());
+  auto kernel = ctx.CreateKernel(prog, "threed");
+  auto buf_obj = ctx.CreateBuffer(kMemReadWrite | kMemAllocHostPtr, 64 * 4);
+  ASSERT_TRUE((*kernel)->SetArgBuffer(0, *buf_obj).ok());
+  const std::uint64_t global[3] = {64, 64, 64};
+  auto event = ctx.queue().EnqueueNDRange(**kernel, 3, global, nullptr);
+  ASSERT_TRUE(event.ok()) << event.status().ToString();
+}
+
+TEST(QueueTest, TotalSecondsAccumulates) {
+  Context ctx;
+  auto buf = ctx.CreateBuffer(kMemReadWrite, 4096);
+  std::vector<std::byte> data(4096);
+  EXPECT_DOUBLE_EQ(ctx.queue().total_seconds(), 0.0);
+  ASSERT_TRUE(ctx.queue().EnqueueWriteBuffer(**buf, data.data(), 4096).ok());
+  const double after_write = ctx.queue().total_seconds();
+  EXPECT_GT(after_write, 0.0);
+  ASSERT_TRUE(ctx.queue().EnqueueReadBuffer(**buf, data.data(), 4096).ok());
+  EXPECT_GT(ctx.queue().total_seconds(), after_write);
+  EXPECT_TRUE(ctx.queue().Finish().ok());
+}
+
+TEST(ProgramTest, ErratumKernelFailsBuildWithLog) {
+  KernelBuilder kb("metropolis_dp");
+  auto buf = kb.ArgBuffer("buf", ScalarType::kF64, ArgKind::kBufferRW);
+  Val n = kb.ConstI(kir::I32(), 8);
+  kb.For("t", kb.ConstI(kir::I32(), 0), n, 1, [&](Val t) {
+    Val p = kb.Exp(kb.Load(buf, t));
+    kb.If(kb.CmpLt(t, kb.ConstI(kir::I32(), 4)),
+          [&] { kb.Store(buf, t, p); });
+  });
+  Context ctx;
+  std::vector<kir::Program> kernels;
+  kernels.push_back(*kb.Build());
+  auto prog = ctx.CreateProgram(std::move(kernels));
+  const Status status = prog->Build();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(ClErrorFromStatus(status), ClError::kBuildProgramFailure);
+  EXPECT_NE(prog->build_log().find("erratum"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace malisim::ocl

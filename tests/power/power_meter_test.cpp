@@ -1,0 +1,71 @@
+#include "power/power_meter.h"
+
+#include <gtest/gtest.h>
+
+namespace malisim::power {
+namespace {
+
+TEST(PowerMeterTest, SampleCountMatchesWindow) {
+  PowerMeter meter;
+  const auto m = meter.Measure(4.0, 2.0);  // 10 Hz x 2 s
+  EXPECT_EQ(m.samples, 20u);
+  EXPECT_DOUBLE_EQ(m.duration_sec, 2.0);
+}
+
+TEST(PowerMeterTest, ShortWindowStillTakesOneSample) {
+  PowerMeter meter;
+  EXPECT_EQ(meter.Measure(4.0, 0.01).samples, 1u);
+}
+
+TEST(PowerMeterTest, MeanTracksTruePowerWithinAccuracy) {
+  PowerMeter meter;
+  const auto m = meter.Measure(5.0, 100.0);  // 1000 samples
+  // 0.1% 1-sigma accuracy: the mean of 1000 samples is well within 0.05%.
+  EXPECT_NEAR(m.mean_watts, 5.0, 5.0 * 5e-4);
+}
+
+TEST(PowerMeterTest, StdDevReflectsConfiguredAccuracy) {
+  PowerMeter meter;
+  const auto m = meter.Measure(5.0, 1000.0);
+  EXPECT_NEAR(m.stddev_watts, 5.0 * 0.001, 5.0 * 0.001 * 0.2);
+}
+
+TEST(PowerMeterTest, NegligibleDeviationAsInPaper) {
+  // Paper §IV-D: "In all the presented experiments, the standard deviation
+  // is negligible" — relative sigma must be ~0.1%.
+  PowerMeter meter;
+  const auto m = meter.Measure(3.7, 20.0);
+  EXPECT_LT(m.stddev_watts / m.mean_watts, 0.005);
+}
+
+TEST(PowerMeterTest, EnergyIsMeanTimesDuration) {
+  PowerMeter meter;
+  const auto m = meter.Measure(2.0, 4.0);
+  EXPECT_NEAR(m.energy_joules, m.mean_watts * 4.0, 1e-12);
+}
+
+TEST(PowerMeterTest, DeterministicForSeed) {
+  PowerMeter a(PowerMeterParams{}, 99);
+  PowerMeter b(PowerMeterParams{}, 99);
+  EXPECT_DOUBLE_EQ(a.Measure(4.0, 2.0).mean_watts,
+                   b.Measure(4.0, 2.0).mean_watts);
+}
+
+TEST(PowerMeterTest, ZeroAccuracyIsExact) {
+  PowerMeterParams params;
+  params.relative_accuracy = 0.0;
+  PowerMeter meter(params);
+  const auto m = meter.Measure(6.25, 5.0);
+  EXPECT_DOUBLE_EQ(m.mean_watts, 6.25);
+  EXPECT_DOUBLE_EQ(m.stddev_watts, 0.0);
+}
+
+TEST(PowerMeterTest, CustomSamplingRate) {
+  PowerMeterParams params;
+  params.sampling_hz = 100.0;
+  PowerMeter meter(params);
+  EXPECT_EQ(meter.Measure(1.0, 1.0).samples, 100u);
+}
+
+}  // namespace
+}  // namespace malisim::power

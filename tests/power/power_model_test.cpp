@@ -1,0 +1,117 @@
+#include "power/power_model.h"
+
+#include <gtest/gtest.h>
+
+namespace malisim::power {
+namespace {
+
+ActivityProfile IdleProfile() {
+  ActivityProfile p;
+  p.seconds = 1.0;
+  return p;
+}
+
+TEST(PowerModelTest, IdleBoardDrawsStaticPlusIdleCores) {
+  PowerModel model;
+  const PowerParams& params = model.params();
+  const double watts = model.AveragePower(IdleProfile());
+  EXPECT_NEAR(watts,
+              params.board_static_w + kNumA15Cores * params.a15_core_idle_w,
+              1e-9);
+}
+
+TEST(PowerModelTest, BusyCpuCoreAddsActiveDelta) {
+  PowerModel model;
+  ActivityProfile p = IdleProfile();
+  p.cpu_busy[0] = 1.0;
+  const double delta = model.AveragePower(p) - model.AveragePower(IdleProfile());
+  EXPECT_NEAR(delta,
+              model.params().a15_core_active_w - model.params().a15_core_idle_w,
+              1e-9);
+}
+
+TEST(PowerModelTest, StalledCpuCoreBurnsMostOfActivePower) {
+  // The OoO core that is mostly memory-stalled (low issue utilization but
+  // continuously busy) draws at least the stall-floor fraction.
+  PowerModel model;
+  ActivityProfile p = IdleProfile();
+  p.cpu_busy[0] = 0.25;
+  const double cpu = model.CpuPower(p) - kNumA15Cores * model.params().a15_core_idle_w;
+  const double full = model.params().a15_core_active_w - model.params().a15_core_idle_w;
+  EXPECT_GT(cpu / full, model.params().a15_stall_floor);
+}
+
+TEST(PowerModelTest, PollingCpuCoreIsNotChargedTheStallFloor) {
+  PowerModel model;
+  ActivityProfile p = IdleProfile();
+  p.cpu_busy[0] = 0.02;  // host core waiting in clFinish
+  const double cpu = model.CpuPower(p) - kNumA15Cores * model.params().a15_core_idle_w;
+  const double full = model.params().a15_core_active_w - model.params().a15_core_idle_w;
+  EXPECT_LT(cpu / full, 0.25);
+}
+
+TEST(PowerModelTest, GpuOffDrawsNothing) {
+  PowerModel model;
+  ActivityProfile p = IdleProfile();
+  p.gpu_on = false;
+  p.gpu_core_busy = {1.0, 1.0, 1.0, 1.0};
+  EXPECT_EQ(model.GpuPower(p), 0.0);
+}
+
+TEST(PowerModelTest, GpuPowerScalesWithUtilization) {
+  PowerModel model;
+  ActivityProfile low = IdleProfile();
+  low.gpu_on = true;
+  low.gpu_core_busy = {0.1, 0.1, 0.1, 0.1};
+  ActivityProfile high = low;
+  high.gpu_core_busy = {0.95, 0.95, 0.95, 0.95};
+  EXPECT_GT(model.GpuPower(high), 1.5 * model.GpuPower(low));
+}
+
+TEST(PowerModelTest, DramPowerProportionalToBandwidth) {
+  PowerModel model;
+  ActivityProfile p = IdleProfile();
+  p.dram_bytes = 1'000'000'000;  // 1 GB over 1 s
+  EXPECT_NEAR(model.DramPower(p),
+              model.params().dram_energy_per_byte * 1e9, 1e-9);
+  p.seconds = 0.5;  // same bytes in half the time: double the power
+  EXPECT_NEAR(model.DramPower(p),
+              2.0 * model.params().dram_energy_per_byte * 1e9, 1e-9);
+}
+
+TEST(PowerModelTest, EnergyIsPowerTimesTime) {
+  PowerModel model;
+  ActivityProfile p = IdleProfile();
+  p.cpu_busy[0] = 0.5;
+  p.seconds = 3.0;
+  EXPECT_NEAR(model.Energy(p), model.AveragePower(p) * 3.0, 1e-12);
+}
+
+TEST(PowerModelTest, MonotoneInUtilization) {
+  PowerModel model;
+  double prev = 0.0;
+  for (double u = 0.0; u <= 1.0; u += 0.05) {
+    ActivityProfile p = IdleProfile();
+    p.cpu_busy[0] = u;
+    const double w = model.AveragePower(p);
+    EXPECT_GE(w, prev);
+    prev = w;
+  }
+}
+
+TEST(PowerModelTest, PaperCalibrationOpenMPDeltaAboutThirtyPercent) {
+  // Sanity anchor on the default constants: two fully busy A15 cores draw
+  // ~1.3x one busy core at board level (paper Fig. 3: OpenMP avg +31%).
+  PowerModel model;
+  ActivityProfile serial = IdleProfile();
+  serial.cpu_busy[0] = 0.9;
+  serial.dram_bytes = 300'000'000;
+  ActivityProfile omp = serial;
+  omp.cpu_busy[1] = 0.9;
+  const double ratio = model.AveragePower(omp) / model.AveragePower(serial);
+  EXPECT_GT(ratio, 1.2);
+  EXPECT_LT(ratio, 1.45);
+}
+
+}  // namespace
+}  // namespace malisim::power

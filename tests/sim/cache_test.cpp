@@ -1,0 +1,159 @@
+#include "sim/cache.h"
+
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/prng.h"
+
+namespace malisim::sim {
+namespace {
+
+CacheConfig SmallCache() {
+  return CacheConfig{/*size_bytes=*/1024, /*line_bytes=*/64,
+                     /*associativity=*/2, /*write_allocate=*/true};
+}
+
+TEST(CacheTest, ColdMissThenHit) {
+  CacheModel cache(SmallCache());
+  EXPECT_EQ(cache.Access(0x1000, 4, false).misses, 1u);
+  EXPECT_EQ(cache.Access(0x1000, 4, false).misses, 0u);
+  EXPECT_EQ(cache.Access(0x1020, 4, false).misses, 0u);  // same line
+}
+
+TEST(CacheTest, AccessSpanningTwoLines) {
+  CacheModel cache(SmallCache());
+  const CacheAccessResult r = cache.Access(0x103C, 8, false);
+  EXPECT_EQ(r.lines_touched, 2u);
+  EXPECT_EQ(r.misses, 2u);
+}
+
+TEST(CacheTest, LruEvictsOldest) {
+  // 2-way, 8 sets: three lines mapping to the same set evict the LRU one.
+  CacheModel cache(SmallCache());
+  const std::uint64_t set_stride = 64 * 8;
+  cache.Access(0, 4, false);
+  cache.Access(set_stride, 4, false);
+  cache.Access(0, 4, false);              // touch line 0: line at set_stride is LRU
+  cache.Access(2 * set_stride, 4, false);  // evicts set_stride
+  EXPECT_EQ(cache.Access(0, 4, false).misses, 0u);
+  EXPECT_EQ(cache.Access(set_stride, 4, false).misses, 1u);
+}
+
+TEST(CacheTest, DirtyEvictionCountsWriteback) {
+  CacheModel cache(SmallCache());
+  const std::uint64_t set_stride = 64 * 8;
+  cache.Access(0, 4, true);  // dirty
+  cache.Access(set_stride, 4, false);
+  const CacheAccessResult r = cache.Access(2 * set_stride, 4, false);
+  EXPECT_EQ(r.writebacks, 1u);
+}
+
+TEST(CacheTest, CleanEvictionNoWriteback) {
+  CacheModel cache(SmallCache());
+  const std::uint64_t set_stride = 64 * 8;
+  cache.Access(0, 4, false);
+  cache.Access(set_stride, 4, false);
+  EXPECT_EQ(cache.Access(2 * set_stride, 4, false).writebacks, 0u);
+}
+
+TEST(CacheTest, NonAllocatingWriteBypasses) {
+  CacheConfig config = SmallCache();
+  config.write_allocate = false;
+  CacheModel cache(config);
+  EXPECT_EQ(cache.Access(0x40, 4, true).misses, 1u);
+  // Still a miss: the write did not allocate.
+  EXPECT_EQ(cache.Access(0x40, 4, false).misses, 1u);
+}
+
+TEST(CacheTest, FlushInvalidatesAndCountsDirtyLines) {
+  CacheModel cache(SmallCache());
+  cache.Access(0, 4, true);
+  cache.Access(64, 4, false);
+  const std::uint64_t before = cache.stats().writebacks;
+  cache.Flush();
+  EXPECT_EQ(cache.stats().writebacks, before + 1);
+  EXPECT_EQ(cache.Access(0, 4, false).misses, 1u);
+}
+
+TEST(CacheTest, ZeroSizeAccessIsNoop) {
+  CacheModel cache(SmallCache());
+  const CacheAccessResult r = cache.Access(0, 0, false);
+  EXPECT_EQ(r.lines_touched, 0u);
+  EXPECT_EQ(cache.stats().accesses, 0u);
+}
+
+TEST(CacheTest, WorkingSetSmallerThanCacheEventuallyAllHits) {
+  CacheModel cache(SmallCache());  // 1 KiB = 16 lines
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t addr = 0; addr < 512; addr += 64) {
+      cache.Access(addr, 4, false);
+    }
+  }
+  // Second pass: all 8 lines hit.
+  EXPECT_EQ(cache.stats().misses, 8u);
+  EXPECT_EQ(cache.stats().hits, 8u);
+}
+
+TEST(CacheTest, WorkingSetLargerThanCacheThrashes) {
+  CacheModel cache(SmallCache());  // 16 lines
+  // 32 lines streamed twice: LRU keeps none across passes.
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::uint64_t addr = 0; addr < 32 * 64; addr += 64) {
+      cache.Access(addr, 4, false);
+    }
+  }
+  EXPECT_EQ(cache.stats().misses, 64u);
+}
+
+// ---- Parameterized property sweep over cache geometries ----
+
+using CacheGeometry = std::tuple<int /*size_kb*/, int /*ways*/>;
+
+class CachePropertyTest : public ::testing::TestWithParam<CacheGeometry> {};
+
+TEST_P(CachePropertyTest, HitsPlusMissesEqualsAccesses) {
+  const auto [size_kb, ways] = GetParam();
+  CacheModel cache(CacheConfig{static_cast<std::uint64_t>(size_kb) * 1024, 64,
+                               static_cast<std::uint32_t>(ways), true});
+  Xoshiro256 rng(size_kb * 31 + ways);
+  for (int i = 0; i < 20000; ++i) {
+    cache.Access(rng.NextBounded(1u << 20), 4, rng.NextDouble() < 0.3);
+  }
+  const CacheStats& s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, s.accesses);
+  EXPECT_GE(s.hit_rate(), 0.0);
+  EXPECT_LE(s.hit_rate(), 1.0);
+}
+
+TEST_P(CachePropertyTest, RepeatedSingleLineAlwaysHitsAfterFirst) {
+  const auto [size_kb, ways] = GetParam();
+  CacheModel cache(CacheConfig{static_cast<std::uint64_t>(size_kb) * 1024, 64,
+                               static_cast<std::uint32_t>(ways), true});
+  for (int i = 0; i < 100; ++i) cache.Access(0x12340, 4, false);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST_P(CachePropertyTest, LargerCacheNeverMissesMoreOnSameTrace) {
+  const auto [size_kb, ways] = GetParam();
+  CacheModel small(CacheConfig{static_cast<std::uint64_t>(size_kb) * 1024, 64,
+                               static_cast<std::uint32_t>(ways), true});
+  CacheModel big(CacheConfig{static_cast<std::uint64_t>(size_kb) * 4096, 64,
+                             static_cast<std::uint32_t>(ways), true});
+  // Sequential streaming trace: LRU caches obey inclusion on it.
+  for (std::uint64_t rep = 0; rep < 3; ++rep) {
+    for (std::uint64_t addr = 0; addr < 256 * 1024; addr += 64) {
+      small.Access(addr, 4, false);
+      big.Access(addr, 4, false);
+    }
+  }
+  EXPECT_LE(big.stats().misses, small.stats().misses);
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometries, CachePropertyTest,
+                         ::testing::Combine(::testing::Values(1, 8, 32, 1024),
+                                            ::testing::Values(1, 2, 4, 16)));
+
+}  // namespace
+}  // namespace malisim::sim

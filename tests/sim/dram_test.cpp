@@ -1,0 +1,75 @@
+#include "sim/dram.h"
+
+#include <gtest/gtest.h>
+
+namespace malisim::sim {
+namespace {
+
+TEST(DramTest, ZeroLinesIsFree) {
+  DramModel dram(DramConfig{});
+  EXPECT_EQ(dram.TransferTime(0, 0, 1.0), 0.0);
+}
+
+TEST(DramTest, SingleLinePaysLatency) {
+  DramConfig config;
+  DramModel dram(config);
+  EXPECT_DOUBLE_EQ(dram.TransferTime(1, 0, 1.0), config.first_word_latency_sec);
+}
+
+TEST(DramTest, LargeStreamingTransferIsBandwidthBound) {
+  DramConfig config;
+  DramModel dram(config);
+  const std::uint64_t lines = 1 << 20;  // 64 MiB
+  const double t = dram.TransferTime(lines, 0, 1.0);
+  const double expected = static_cast<double>(lines) * config.line_bytes /
+                          (config.peak_bandwidth_bytes_per_sec *
+                           config.streaming_efficiency);
+  EXPECT_NEAR(t, expected, expected * 1e-9);
+}
+
+TEST(DramTest, ScatteredSlowerThanStreaming) {
+  DramModel dram(DramConfig{});
+  const double streaming = dram.TransferTime(10000, 0, 1.0);
+  const double scattered = dram.TransferTime(10000, 0, 0.0);
+  EXPECT_GT(scattered, streaming);
+}
+
+TEST(DramTest, EffectiveBandwidthInterpolatesMonotonically) {
+  DramModel dram(DramConfig{});
+  double prev = 0.0;
+  for (double f = 0.0; f <= 1.0; f += 0.1) {
+    const double bw = dram.EffectiveBandwidth(f);
+    EXPECT_GE(bw, prev);
+    prev = bw;
+  }
+  EXPECT_DOUBLE_EQ(
+      dram.EffectiveBandwidth(1.0),
+      DramConfig{}.peak_bandwidth_bytes_per_sec * DramConfig{}.streaming_efficiency);
+}
+
+TEST(DramTest, SequentialFractionIsClamped) {
+  DramModel dram(DramConfig{});
+  EXPECT_DOUBLE_EQ(dram.EffectiveBandwidth(-1.0), dram.EffectiveBandwidth(0.0));
+  EXPECT_DOUBLE_EQ(dram.EffectiveBandwidth(2.0), dram.EffectiveBandwidth(1.0));
+}
+
+TEST(DramTest, StatsAccumulateTraffic) {
+  DramModel dram(DramConfig{});
+  dram.TransferTime(10, 5, 1.0);
+  dram.TransferTime(2, 0, 1.0);
+  EXPECT_EQ(dram.stats().bytes_read, 12u * 64);
+  EXPECT_EQ(dram.stats().bytes_written, 5u * 64);
+  EXPECT_EQ(dram.stats().bursts, 17u);
+  dram.ResetStats();
+  EXPECT_EQ(dram.stats().total_bytes(), 0u);
+}
+
+TEST(DramTest, TimeScalesLinearlyWithLines) {
+  DramModel dram(DramConfig{});
+  const double t1 = dram.TransferTime(100000, 0, 1.0);
+  const double t2 = dram.TransferTime(200000, 0, 1.0);
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace malisim::sim

@@ -1,0 +1,130 @@
+#include "sim/memory_system.h"
+
+#include <gtest/gtest.h>
+
+namespace malisim::sim {
+namespace {
+
+HierarchyConfig TwoLevelConfig() {
+  HierarchyConfig config;
+  config.has_l1 = true;
+  config.num_cores = 2;
+  config.l1 = {/*size_bytes=*/1024, /*line_bytes=*/64, /*associativity=*/2, true};
+  config.l2 = {/*size_bytes=*/8192, /*line_bytes=*/64, /*associativity=*/4, true};
+  return config;
+}
+
+TEST(MemoryHierarchyTest, ColdAccessMissesBothLevels) {
+  MemoryHierarchy mem(TwoLevelConfig());
+  const AccessOutcome out = mem.Access(0, 0x1000, 4, false);
+  EXPECT_EQ(out.l1_misses, 1u);
+  EXPECT_EQ(out.l2_misses, 1u);
+  EXPECT_EQ(mem.dram_fill_lines(), 1u);
+}
+
+TEST(MemoryHierarchyTest, SecondAccessHitsL1) {
+  MemoryHierarchy mem(TwoLevelConfig());
+  mem.Access(0, 0x1000, 4, false);
+  const AccessOutcome out = mem.Access(0, 0x1000, 4, false);
+  EXPECT_EQ(out.l1_misses, 0u);
+  EXPECT_EQ(out.l2_misses, 0u);
+}
+
+TEST(MemoryHierarchyTest, OtherCoreHitsSharedL2) {
+  MemoryHierarchy mem(TwoLevelConfig());
+  mem.Access(0, 0x1000, 4, false);
+  const AccessOutcome out = mem.Access(1, 0x1000, 4, false);
+  EXPECT_EQ(out.l1_misses, 1u);   // core 1's private L1 is cold
+  EXPECT_EQ(out.l2_misses, 0u);   // shared L2 has the line
+}
+
+TEST(MemoryHierarchyTest, NoL1ConfigurationGoesStraightToL2) {
+  HierarchyConfig config = TwoLevelConfig();
+  config.has_l1 = false;
+  MemoryHierarchy mem(config);
+  const AccessOutcome out = mem.Access(0, 0x2000, 4, false);
+  EXPECT_EQ(out.l1_misses, 1u);  // counted as "reaches L2"
+  EXPECT_EQ(out.l2_misses, 1u);
+}
+
+TEST(MemoryHierarchyTest, SequentialStreamDetected) {
+  MemoryHierarchy mem(TwoLevelConfig());
+  for (std::uint64_t addr = 0; addr < 64 * 256; addr += 64) {
+    mem.Access(0, addr, 4, false);
+  }
+  EXPECT_GT(mem.sequential_fraction(), 0.95);
+}
+
+TEST(MemoryHierarchyTest, InterleavedStreamsStillDetected) {
+  // Three interleaved streams (a[i], b[i], c[i] pattern): the per-core
+  // stream history recognizes each as sequential.
+  MemoryHierarchy mem(TwoLevelConfig());
+  const std::uint64_t base_a = 0, base_b = 1 << 20, base_c = 2 << 20;
+  for (std::uint64_t i = 0; i < 256; ++i) {
+    mem.Access(0, base_a + i * 64, 4, false);
+    mem.Access(0, base_b + i * 64, 4, false);
+    mem.Access(0, base_c + i * 64, 4, true);
+  }
+  EXPECT_GT(mem.sequential_fraction(), 0.9);
+}
+
+TEST(MemoryHierarchyTest, RandomAccessesNotSequential) {
+  MemoryHierarchy mem(TwoLevelConfig());
+  std::uint64_t addr = 12345;
+  for (int i = 0; i < 2000; ++i) {
+    addr = addr * 6364136223846793005ULL + 1442695040888963407ULL;
+    mem.Access(0, (addr >> 16) % (64 << 20), 4, false);
+  }
+  EXPECT_LT(mem.sequential_fraction(), 0.2);
+}
+
+TEST(MemoryHierarchyTest, DirtyL2EvictionCountsWriteback) {
+  HierarchyConfig config = TwoLevelConfig();
+  config.has_l1 = false;
+  config.l2 = {/*size_bytes=*/256, /*line_bytes=*/64, /*associativity=*/1, true};
+  MemoryHierarchy mem(config);
+  mem.Access(0, 0, 4, true);         // dirty line in set 0
+  mem.Access(0, 256, 4, false);      // evicts it (direct-mapped, 4 sets)
+  EXPECT_EQ(mem.dram_writeback_lines(), 1u);
+}
+
+TEST(MemoryHierarchyTest, DramBytesCoverFillsAndWritebacks) {
+  MemoryHierarchy mem(TwoLevelConfig());
+  for (std::uint64_t addr = 0; addr < 64 * 64; addr += 64) {
+    mem.Access(0, addr, 4, true);
+  }
+  EXPECT_EQ(mem.dram_bytes(),
+            (mem.dram_fill_lines() + mem.dram_writeback_lines()) * 64);
+}
+
+TEST(MemoryHierarchyTest, FlushForgetsContents) {
+  MemoryHierarchy mem(TwoLevelConfig());
+  mem.Access(0, 0x1000, 4, false);
+  mem.Flush();
+  const AccessOutcome out = mem.Access(0, 0x1000, 4, false);
+  EXPECT_EQ(out.l2_misses, 1u);
+}
+
+TEST(MemoryHierarchyTest, ResetStatsKeepsContents) {
+  MemoryHierarchy mem(TwoLevelConfig());
+  mem.Access(0, 0x1000, 4, false);
+  mem.ResetStats();
+  EXPECT_EQ(mem.dram_fill_lines(), 0u);
+  // Line still cached: no new fill.
+  mem.Access(0, 0x1000, 4, false);
+  EXPECT_EQ(mem.dram_fill_lines(), 0u);
+}
+
+TEST(MemoryHierarchyTest, L1WritebackLandsInL2NotDram) {
+  HierarchyConfig config = TwoLevelConfig();
+  MemoryHierarchy mem(config);
+  // Dirty a line in L1, then stream enough lines mapping to its L1 set to
+  // evict it; its writeback should be absorbed by the (larger) L2.
+  mem.Access(0, 0, 4, true);
+  mem.Access(0, 512, 4, false);   // same L1 set (8 sets x 64B)
+  mem.Access(0, 1024, 4, false);  // evicts line 0 from L1
+  EXPECT_EQ(mem.dram_writeback_lines(), 0u);
+}
+
+}  // namespace
+}  // namespace malisim::sim
