@@ -21,6 +21,10 @@ BenchOptions ParseOptions(int argc, char** argv) {
       options.trace_path = arg.substr(8);
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads =
+          static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
+      if (options.threads < 0) options.threads = 0;  // 0 = all host cores
     } else if (arg == "--quick") {
       // Shrunken sizes: same code paths, seconds-scale total runtime.
       options.sizes.spmv_rows = 2048;
@@ -45,6 +49,7 @@ StatusOr<std::vector<harness::BenchmarkResults>> RunSweep(
   config.sizes = options.sizes;
   config.fp64 = fp64;
   config.seed = options.seed;
+  config.sim_threads = options.threads;
   harness::ExperimentRunner runner(config);
   return runner.RunAll();
 }

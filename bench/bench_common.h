@@ -16,14 +16,18 @@ struct BenchOptions {
   bool run_fp64 = true;
   bool csv = false;
   std::uint64_t seed = 42;
+  /// Host threads for the simulation engine (results are identical for any
+  /// value; see ExperimentConfig::sim_threads).
+  int threads = 1;
   hpc::ProblemSizes sizes;
   /// When non-empty, a Chrome trace of the runs is written here.
   std::string trace_path;
 };
 
 /// Parses --fp32 / --fp64 (run only that precision), --csv, --seed=N,
-/// --quick (shrunken problem sizes for CI smoke runs), --trace=PATH
-/// (Chrome trace of the runs).
+/// --threads=N (host threads for the simulation engine), --quick (shrunken
+/// problem sizes for CI smoke runs), --trace=PATH (Chrome trace of the
+/// runs).
 BenchOptions ParseOptions(int argc, char** argv);
 
 /// Runs all nine benchmarks at one precision.

@@ -102,6 +102,118 @@ void BM_A15DeviceLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_A15DeviceLoop)->Arg(100000);
 
+/// Per-work-item compute loop: interpretation heavily dominates the
+/// (serial) cache replay, so this is where host-thread scaling shows.
+kir::Program PerItemLoopKernel(std::int32_t trips) {
+  kir::KernelBuilder kb("item_loop");
+  auto out = kb.ArgBuffer("out", kir::ScalarType::kF32, kir::ArgKind::kBufferWO);
+  kir::Val x = kb.Var(kir::F32(), "x");
+  kb.Assign(x, kb.Convert(kb.GlobalId(0), kir::ScalarType::kF32));
+  kb.For("i", kb.ConstI(kir::I32(), 0), kb.ConstI(kir::I32(), trips), 1,
+         [&](kir::Val) {
+           kb.Assign(x, kb.Fma(x, kb.ConstF(kir::F32(), 0.5),
+                               kb.ConstF(kir::F32(), 0.25)));
+         });
+  kb.Store(out, kb.GlobalId(0), x);
+  return *kb.Build();
+}
+
+/// Thread-count sweep of the parallel Mali engine (arg0 = host threads).
+/// Results are bit-identical across the sweep; only wall time changes.
+void BM_MaliEngineThreadSweep(benchmark::State& state) {
+  const kir::Program p = PerItemLoopKernel(512);
+  auto compiled = mali::CompileForMali(p, mali::MaliTimingParams(),
+                                       mali::MaliCompilerParams());
+  const std::uint64_t n = 1 << 14;
+  std::vector<float> out_data(n, 0.0f);
+  mali::MaliT604Device device;
+  SimOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  device.set_sim_options(options);
+  kir::LaunchConfig config;
+  config.global_size = {n, 1, 1};
+  config.local_size = {128, 1, 1};
+  for (auto _ : state) {
+    kir::Bindings b;
+    b.buffers = {{reinterpret_cast<std::byte*>(out_data.data()), 0x100000, n * 4}};
+    auto run = device.Run(*compiled, config, std::move(b));
+    benchmark::DoNotOptimize(run->seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 512);
+}
+BENCHMARK(BM_MaliEngineThreadSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+/// Same sweep for a memory-heavy kernel: replay of the recorded access
+/// streams bounds the speedup (Amdahl), so this tracks the overhead side.
+void BM_MaliEngineThreadSweepVecAdd(benchmark::State& state) {
+  kir::KernelBuilder kb("vecadd_sweep");
+  auto a = kb.ArgBuffer("a", kir::ScalarType::kF32, kir::ArgKind::kBufferRO);
+  auto c = kb.ArgBuffer("c", kir::ScalarType::kF32, kir::ArgKind::kBufferWO);
+  kb.Store(c, kb.GlobalId(0), kb.Load(a, kb.GlobalId(0), 0, 1) + 1.0);
+  const kir::Program p = *kb.Build();
+  auto compiled = mali::CompileForMali(p, mali::MaliTimingParams(),
+                                       mali::MaliCompilerParams());
+  const std::uint64_t n = 1 << 18;
+  std::vector<float> in(n, 1.0f), out_data(n, 0.0f);
+  mali::MaliT604Device device;
+  SimOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  device.set_sim_options(options);
+  kir::LaunchConfig config;
+  config.global_size = {n, 1, 1};
+  config.local_size = {128, 1, 1};
+  for (auto _ : state) {
+    kir::Bindings b;
+    b.buffers = {
+        {reinterpret_cast<std::byte*>(in.data()), 0x100000, n * 4},
+        {reinterpret_cast<std::byte*>(out_data.data()), 0x900000, n * 4}};
+    auto run = device.Run(*compiled, config, std::move(b));
+    benchmark::DoNotOptimize(run->seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_MaliEngineThreadSweepVecAdd)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
+/// Thread-count sweep of the parallel A15 engine (2 modelled cores).
+void BM_A15EngineThreadSweep(benchmark::State& state) {
+  const kir::Program p = PerItemLoopKernel(512);
+  const std::uint64_t n = 1 << 14;
+  std::vector<float> out_data(n, 0.0f);
+  cpu::CortexA15Device device;
+  SimOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  device.set_sim_options(options);
+  kir::LaunchConfig config;
+  config.global_size = {n, 1, 1};
+  config.local_size = {64, 1, 1};
+  for (auto _ : state) {
+    kir::Bindings b;
+    b.buffers = {{reinterpret_cast<std::byte*>(out_data.data()), 0x100000, n * 4}};
+    auto run = device.Run(p, config, std::move(b), cpu::CortexA15Device::kMaxCores);
+    benchmark::DoNotOptimize(run->seconds);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 512);
+}
+BENCHMARK(BM_A15EngineThreadSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();
+
 }  // namespace
 
 BENCHMARK_MAIN();

@@ -1,0 +1,31 @@
+// Host-side execution options for the simulation engine itself (not the
+// modelled hardware): how many host worker threads a device model may use
+// to execute work-groups concurrently.
+//
+// The determinism contract (DESIGN.md §6): modelled results — output
+// buffers, operation histograms, cycles, power, energy — are bit-identical
+// for every `threads` value. Parallel runs execute work-groups
+// concurrently but buffer their memory-event streams and replay them into
+// the order-dependent cache/DRAM models in the canonical serial order.
+#pragma once
+
+namespace malisim {
+
+struct SimOptions {
+  /// Host worker threads for parallel simulation. 1 = the serial engine
+  /// (inline cache accesses, no buffering); >1 = record/replay engine.
+  /// 0 = one worker per available hardware thread.
+  int threads = 1;
+
+  /// Chunks a worker may run ahead of the in-order replay cursor before it
+  /// blocks, per Run() call. Bounds buffered memory-event storage.
+  /// 0 = auto (2x the worker count, minimum 8).
+  int replay_window = 0;
+
+  /// Resolved worker count (applies the `threads == 0` rule).
+  int ResolvedThreads() const;
+  /// Resolved replay window for the resolved worker count.
+  int ResolvedWindow() const;
+};
+
+}  // namespace malisim

@@ -3,6 +3,7 @@
 // and by the simulator's internal stat registries.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 #include <span>
 #include <string>
@@ -31,6 +32,35 @@ class RunningStat {
   double m2_ = 0.0;
   double min_ = 0.0;
   double max_ = 0.0;
+};
+
+/// Compensated (Kahan-Neumaier) summation. The device models accumulate
+/// millions of per-instruction slot costs into doubles; plain `+=` loses
+/// low-order bits once the running sum dwarfs the addends, and — worse for
+/// the parallel engine's determinism contract — makes the total depend on
+/// accumulation order. All engine-side floating-point accumulation happens
+/// in canonical order AND through this accumulator, so totals are both
+/// accurate and bit-stable across refactors that regroup the loop.
+class KahanSum {
+ public:
+  void Add(double x) {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+  KahanSum& operator+=(double x) {
+    Add(x);
+    return *this;
+  }
+  double value() const { return sum_ + comp_; }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
 };
 
 /// Arithmetic mean of a sample; 0 for an empty span.

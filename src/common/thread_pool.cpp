@@ -1,0 +1,131 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/sim_options.h"
+
+namespace malisim {
+
+int SimOptions::ResolvedThreads() const {
+  if (threads > 0) return threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+int SimOptions::ResolvedWindow() const {
+  if (replay_window > 0) return replay_window;
+  return std::max(8, 2 * ResolvedThreads());
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+Status RunOrderedPipeline(ThreadPool* pool, std::size_t n, std::size_t window,
+                          const std::function<Status(std::size_t)>& run,
+                          const std::function<Status(std::size_t)>& replay) {
+  if (pool == nullptr || pool->num_workers() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      MALI_RETURN_IF_ERROR(run(i));
+      MALI_RETURN_IF_ERROR(replay(i));
+    }
+    return Status::Ok();
+  }
+
+  window = std::max<std::size_t>(window, 1);
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::vector<Status> statuses(n, Status::Ok());
+  std::vector<bool> done(n, false);
+
+  std::size_t submitted = 0;
+  auto submit_one = [&] {
+    const std::size_t i = submitted++;
+    pool->Submit([&, i] {
+      Status s = run(i);
+      std::lock_guard<std::mutex> lock(mu);
+      statuses[i] = std::move(s);
+      done[i] = true;
+      // Notify while holding the lock: the caller destroys `done_cv` as
+      // soon as it observes every task done, and it can only observe that
+      // under `mu` — so the notify must complete before `mu` is released
+      // or the condvar could be destroyed mid-broadcast.
+      done_cv.notify_all();
+    });
+  };
+
+  Status first_error = Status::Ok();
+  for (std::size_t r = 0; r < n; ++r) {
+    // Keep up to `window` tasks at or beyond the replay cursor in flight.
+    while (submitted < n && submitted < r + window) submit_one();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      done_cv.wait(lock, [&] { return done[r]; });
+      if (!statuses[r].ok()) {
+        first_error = statuses[r];
+        break;
+      }
+    }
+    first_error = replay(r);
+    if (!first_error.ok()) break;
+  }
+  // Await stragglers so no task touches its capture state after return.
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    done_cv.wait(lock, [&] {
+      for (std::size_t i = 0; i < submitted; ++i) {
+        if (!done[i]) return false;
+      }
+      return true;
+    });
+  }
+  return first_error;
+}
+
+}  // namespace malisim

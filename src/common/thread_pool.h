@@ -1,0 +1,67 @@
+// A small fixed-size thread pool plus the ordered-pipeline primitive the
+// parallel simulation engine is built on.
+//
+// RunOrderedPipeline() is the deterministic core: independent task bodies
+// run concurrently on the pool, while a replay stage consumes their results
+// on the calling thread in strictly increasing task order — exactly the
+// order the serial engine would have produced them in. A sliding window
+// bounds how far execution may run ahead of replay, capping buffered state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+
+namespace malisim {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; values < 1 are clamped to 1).
+  explicit ThreadPool(int num_threads);
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Tasks may not throw.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void WaitIdle();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // WaitIdle waits for drain
+  std::deque<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // popped but not yet finished
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs `run(i)` for i in [0, n) across `pool` workers, then `replay(i)` on
+/// the calling thread in strictly increasing i as soon as task i finishes.
+/// At most `window` tasks are started beyond the replay cursor. When `pool`
+/// is null the whole pipeline runs inline (run(0), replay(0), run(1), ...).
+///
+/// Statuses are combined deterministically: the non-OK status of the
+/// lowest-numbered failing task is returned, regardless of completion
+/// order. Replay stops at the first failing task; already-started later
+/// tasks are awaited (their side effects may have happened, as with any
+/// failed partial execution) but never replayed.
+Status RunOrderedPipeline(ThreadPool* pool, std::size_t n, std::size_t window,
+                          const std::function<Status(std::size_t)>& run,
+                          const std::function<Status(std::size_t)>& replay);
+
+}  // namespace malisim

@@ -24,12 +24,10 @@ class CoreSink final : public kir::MemorySink {
     const sim::AccessOutcome out = hierarchy_->Access(core_, addr, bytes, is_write);
     l1_misses += out.l1_misses;
     l2_misses += out.l2_misses;
-    lines += out.lines_touched;
   }
 
   std::uint64_t l1_misses = 0;
   std::uint64_t l2_misses = 0;
-  std::uint64_t lines = 0;
 
  private:
   sim::MemoryHierarchy* hierarchy_;
@@ -37,7 +35,8 @@ class CoreSink final : public kir::MemorySink {
 };
 
 double ClassCycles(const A15TimingParams& t, const kir::OpHistogram& ops) {
-  double cycles = 0.0;
+  // Compensated sum for the same reason as the Mali model's CountSlots.
+  KahanSum cycles;
   ops.ForEach([&](kir::OpClass c, kir::ScalarType st, std::uint8_t lanes,
                   std::uint64_t n) {
     // Scalar pipeline: vector-typed ops decompose into `lanes` scalar ops
@@ -85,7 +84,7 @@ double ClassCycles(const A15TimingParams& t, const kir::OpHistogram& ops) {
         break;
     }
   });
-  return cycles;
+  return cycles.value();
 }
 
 }  // namespace
@@ -130,34 +129,51 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
   double max_core_sec = 0.0;
   double busy_cycles_total[kMaxCores] = {};
   double core_sec[kMaxCores] = {};
+  std::vector<CoreAggregate> agg(static_cast<std::size_t>(num_threads));
 
-  for (int t = 0; t < num_threads; ++t) {
-    // Contiguous block of groups, row-major order (OpenMP static schedule).
-    const std::uint64_t begin = total_groups * t / num_threads;
-    const std::uint64_t end = total_groups * (t + 1) / num_threads;
+  // Phase 1 — functional execution + cache simulation per modelled core.
+  const int host_threads = options_.ResolvedThreads();
+  if (host_threads <= 1) {
+    for (int t = 0; t < num_threads; ++t) {
+      // Contiguous block of groups, row-major order (OpenMP static schedule).
+      const std::uint64_t begin = total_groups * t / num_threads;
+      const std::uint64_t end = total_groups * (t + 1) / num_threads;
 
-    kir::Bindings core_bindings = bindings;
-    core_bindings.local_scratch = {
-        scratch_[t].get(), kScratchSimBase + t * kScratchStride,
-        local_bytes + 64};
+      kir::Bindings core_bindings = bindings;
+      core_bindings.local_scratch = {
+          scratch_[t].get(), kScratchSimBase + t * kScratchStride,
+          local_bytes + 64};
 
-    StatusOr<kir::Executor> executor =
-        kir::Executor::Create(&program, config, std::move(core_bindings));
-    if (!executor.ok()) return executor.status();
+      StatusOr<kir::Executor> executor =
+          kir::Executor::Create(&program, config, std::move(core_bindings));
+      if (!executor.ok()) return executor.status();
 
-    CoreSink sink(&hierarchy_, static_cast<std::uint32_t>(t));
-    kir::WorkGroupRun core_run;
-    for (std::uint64_t g = begin; g < end; ++g) {
-      const std::uint64_t gx = g % group_dims[0];
-      const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
-      const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
-      MALI_RETURN_IF_ERROR(executor->RunGroup({gx, gy, gz}, &sink, &core_run));
+      CoreSink sink(&hierarchy_, static_cast<std::uint32_t>(t));
+      for (std::uint64_t g = begin; g < end; ++g) {
+        const std::uint64_t gx = g % group_dims[0];
+        const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
+        const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
+        MALI_RETURN_IF_ERROR(
+            executor->RunGroup({gx, gy, gz}, &sink, &agg[t].run));
+      }
+      agg[t].l1_misses = sink.l1_misses;
+      agg[t].l2_misses = sink.l2_misses;
     }
+  } else {
+    MALI_RETURN_IF_ERROR(RunGroupsParallel(program, config, bindings,
+                                           local_bytes, num_threads,
+                                           host_threads, &agg));
+  }
 
-    // --- timing for this core ---
+  // Phase 2 — timing model over the per-core aggregates.
+  for (int t = 0; t < num_threads; ++t) {
+    const kir::WorkGroupRun& core_run = agg[t].run;
+    const std::uint64_t core_l1_misses = agg[t].l1_misses;
+    const std::uint64_t core_l2_misses = agg[t].l2_misses;
+
     const double issue_cycles = ClassCycles(timing_, core_run.ops);
     const double l2_hit_stall =
-        static_cast<double>(sink.l1_misses - sink.l2_misses) *
+        static_cast<double>(core_l1_misses - core_l2_misses) *
         timing_.l2_hit_cycles;
     // DRAM stall: sequential misses are mostly prefetched away; scattered
     // ones overlap only up to the core's miss-level parallelism.
@@ -167,12 +183,12 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
         (seqf * (1.0 - timing_.prefetch_seq_hiding) +
          (1.0 - seqf) / timing_.scattered_mlp);
     const double dram_stall_sec =
-        static_cast<double>(sink.l2_misses) * exposed_latency_per_miss;
+        static_cast<double>(core_l2_misses) * exposed_latency_per_miss;
 
     const double cycles = issue_cycles + l2_hit_stall;
     // A single A15 cannot pull more than per_core_stream_bw from DRAM
     // (limited outstanding misses / prefetch depth).
-    const double core_dram_bytes = static_cast<double>(sink.l2_misses) *
+    const double core_dram_bytes = static_cast<double>(core_l2_misses) *
                                    hierarchy_.l2().config().line_bytes;
     const double core_bw_floor_sec =
         core_dram_bytes / timing_.per_core_stream_bw;
@@ -185,9 +201,9 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
     result.stats.Increment("cpu.core" + std::to_string(t) + ".issue_cycles",
                            issue_cycles);
     result.stats.Increment("cpu.core" + std::to_string(t) + ".l1_misses",
-                           static_cast<double>(sink.l1_misses));
+                           static_cast<double>(core_l1_misses));
     result.stats.Increment("cpu.core" + std::to_string(t) + ".l2_misses",
-                           static_cast<double>(sink.l2_misses));
+                           static_cast<double>(core_l2_misses));
   }
 
   // DRAM bandwidth floor across all cores' traffic.
@@ -216,6 +232,101 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
   result.stats.Set("cpu.dram_bw_floor_sec", dram_sec);
   result.stats.Set("cpu.seq_fraction", hierarchy_.sequential_fraction());
   return result;
+}
+
+Status CortexA15Device::RunGroupsParallel(const kir::Program& program,
+                                          const kir::LaunchConfig& config,
+                                          const kir::Bindings& bindings,
+                                          std::uint64_t local_bytes,
+                                          int num_threads, int host_threads,
+                                          std::vector<CoreAggregate>* agg) {
+  const std::uint64_t total_groups = config.total_groups();
+  const auto group_dims = config.num_groups();
+
+  // One task = (modelled core, contiguous sub-block of its static-schedule
+  // block). Tasks are ordered core-major, sub-blocks ascending, so replay
+  // in task order reproduces the serial engine's cache access order.
+  struct GroupTask {
+    int core = 0;
+    std::uint64_t begin = 0;  // absolute row-major group indices
+    std::uint64_t end = 0;
+  };
+  const std::uint64_t chunks_per_core = std::max<std::uint64_t>(
+      1, (4 * static_cast<std::uint64_t>(host_threads) +
+          static_cast<std::uint64_t>(num_threads) - 1) /
+             static_cast<std::uint64_t>(num_threads));
+  std::vector<GroupTask> tasks;
+  for (int t = 0; t < num_threads; ++t) {
+    const std::uint64_t begin = total_groups * t / num_threads;
+    const std::uint64_t end = total_groups * (t + 1) / num_threads;
+    const std::uint64_t block = end - begin;
+    const std::uint64_t chunks = std::min<std::uint64_t>(
+        chunks_per_core, std::max<std::uint64_t>(block, 1));
+    for (std::uint64_t k = 0; k < chunks; ++k) {
+      tasks.push_back(
+          {t, begin + block * k / chunks, begin + block * (k + 1) / chunks});
+    }
+  }
+
+  if (pool_ == nullptr || pool_->num_workers() != host_threads) {
+    pool_ = std::make_unique<ThreadPool>(host_threads);
+  }
+
+  std::vector<std::vector<kir::MemEvent>> task_events(tasks.size());
+  std::vector<kir::WorkGroupRun> task_runs(tasks.size());
+  std::vector<std::vector<std::byte>> task_scratch(tasks.size());
+
+  auto run_task = [&](std::size_t i) -> Status {
+    const GroupTask& task = tasks[i];
+    kir::Bindings task_bindings = bindings;
+    // Private zeroed __local backing at the modelled core's scratch address.
+    task_scratch[i].assign(local_bytes + 64, std::byte{0});
+    task_bindings.local_scratch = {task_scratch[i].data(),
+                                   kScratchSimBase + task.core * kScratchStride,
+                                   local_bytes + 64};
+    StatusOr<kir::Executor> executor =
+        kir::Executor::Create(&program, config, std::move(task_bindings));
+    if (!executor.ok()) return executor.status();
+
+    kir::RecordingMemorySink sink(&task_events[i]);
+    for (std::uint64_t g = task.begin; g < task.end; ++g) {
+      const std::uint64_t gx = g % group_dims[0];
+      const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
+      const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
+      MALI_RETURN_IF_ERROR(executor->RunGroup({gx, gy, gz}, &sink, &task_runs[i]));
+    }
+    return Status::Ok();
+  };
+
+  auto replay_task = [&](std::size_t i) -> Status {
+    const GroupTask& task = tasks[i];
+    CoreAggregate& a = (*agg)[static_cast<std::size_t>(task.core)];
+    const auto core = static_cast<std::uint32_t>(task.core);
+    for (const kir::MemEvent& e : task_events[i]) {
+      if (e.kind == kir::MemEvent::kAtomic) {
+        const sim::AccessOutcome rd =
+            hierarchy_.Access(core, e.addr, e.bytes, /*is_write=*/false);
+        const sim::AccessOutcome wr =
+            hierarchy_.Access(core, e.addr, e.bytes, /*is_write=*/true);
+        a.l1_misses += rd.l1_misses + wr.l1_misses;
+        a.l2_misses += rd.l2_misses + wr.l2_misses;
+      } else {
+        const sim::AccessOutcome out = hierarchy_.Access(
+            core, e.addr, e.bytes, e.kind == kir::MemEvent::kWrite);
+        a.l1_misses += out.l1_misses;
+        a.l2_misses += out.l2_misses;
+      }
+    }
+    a.run.MergeFrom(task_runs[i]);
+    // Release buffered state as the replay cursor passes.
+    task_events[i] = {};
+    task_scratch[i] = {};
+    return Status::Ok();
+  };
+
+  return RunOrderedPipeline(pool_.get(), tasks.size(),
+                            static_cast<std::size_t>(options_.ResolvedWindow()),
+                            run_task, replay_task);
 }
 
 }  // namespace malisim::cpu

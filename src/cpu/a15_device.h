@@ -9,8 +9,11 @@
 
 #include <cstdint>
 #include <memory>
+#include <vector>
 
+#include "common/sim_options.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "cpu/a15_params.h"
 #include "kir/exec_types.h"
 #include "kir/interp.h"
@@ -45,12 +48,36 @@ class CortexA15Device {
 
   void FlushCaches() { hierarchy_.Flush(); }
 
+  /// Host-side execution options; see MaliT604Device::set_sim_options for
+  /// the determinism contract. `num_threads` above selects the *modelled*
+  /// A15 core count; SimOptions::threads selects host workers and never
+  /// changes modelled results.
+  void set_sim_options(const SimOptions& options) { options_ = options; }
+  const SimOptions& sim_options() const { return options_; }
+
   static constexpr int kMaxCores = power::kNumA15Cores;
 
  private:
+  /// Functional results for one modelled core, produced by the execution
+  /// phase (serial or parallel) and consumed by the timing phase.
+  struct CoreAggregate {
+    kir::WorkGroupRun run;
+    std::uint64_t l1_misses = 0;
+    std::uint64_t l2_misses = 0;
+  };
+
+  /// Record/replay execution across `host_threads` pool workers.
+  Status RunGroupsParallel(const kir::Program& program,
+                           const kir::LaunchConfig& config,
+                           const kir::Bindings& bindings,
+                           std::uint64_t local_bytes, int num_threads,
+                           int host_threads, std::vector<CoreAggregate>* agg);
+
   A15TimingParams timing_;
   sim::MemoryHierarchy hierarchy_;
   sim::DramModel dram_;
+  SimOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
   // Scratch backing for kernels with __local arrays (one region per core).
   std::vector<std::unique_ptr<std::byte[]>> scratch_;
   std::uint64_t scratch_bytes_ = 0;

@@ -1,7 +1,13 @@
 #include "harness/experiment.h"
 
+#include <algorithm>
+#include <optional>
+#include <string_view>
+
 #include "common/log.h"
+#include "common/sim_options.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 
 namespace malisim::harness {
 
@@ -10,6 +16,24 @@ namespace {
 double Ratio(double num, double den) {
   if (num <= 0.0 || den <= 0.0) return 0.0;
   return num / den;
+}
+
+/// Meter RNG stream key for one (benchmark, variant) cell: FNV-1a over the
+/// name and variant, mixed with the experiment seed. Keying streams per
+/// cell (instead of consuming one stream sequentially across the run) makes
+/// every cell's measurement independent of execution order, which is what
+/// lets RunAll farm benchmarks across threads without changing a digit.
+std::uint64_t MeterSeed(std::uint64_t base_seed, std::string_view name,
+                        hpc::Variant variant) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  for (const char c : name) mix(static_cast<unsigned char>(c));
+  mix(0xffULL);  // separator
+  mix(static_cast<std::uint64_t>(variant));
+  return h ^ base_seed ^ 0x57230ULL;
 }
 
 }  // namespace
@@ -36,12 +60,15 @@ double BenchmarkResults::EnergyVsSerial(hpc::Variant v) const {
 }
 
 ExperimentRunner::ExperimentRunner(const ExperimentConfig& config)
-    : config_(config),
-      power_model_(config.power),
-      meter_(config.meter, config.seed ^ 0x57230ULL) {}
+    : config_(config), power_model_(config.power) {}
 
 StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmark(
     const std::string& name) {
+  return RunBenchmarkImpl(name, config_.sim_threads);
+}
+
+StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
+    const std::string& name, int device_threads) {
   std::unique_ptr<hpc::Benchmark> bench =
       hpc::CreateBenchmark(name, config_.sizes);
   if (bench == nullptr) {
@@ -55,6 +82,10 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmark(
   // One board for all versions: single CPU and GPU model instances.
   cpu::CortexA15Device cpu_device;
   ocl::Context gpu_context;
+  SimOptions sim_options;
+  sim_options.threads = std::max(1, device_threads);
+  cpu_device.set_sim_options(sim_options);
+  gpu_context.set_sim_options(sim_options);
   hpc::Devices devices{&cpu_device, &gpu_context};
 
   for (hpc::Variant v : hpc::kAllVariants) {
@@ -81,12 +112,14 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmark(
     out.stats = std::move(run->stats);
 
     // Power: the model gives the true average board power over the region;
-    // the meter samples it for `repetitions` windows, per §IV-D.
+    // the meter samples it for `repetitions` windows, per §IV-D. The meter
+    // RNG stream is private to this (benchmark, variant) cell.
     const double true_watts = power_model_.AveragePower(run->profile);
+    power::PowerMeter meter(config_.meter, MeterSeed(config_.seed, name, v));
     RunningStat rep_means;
     for (int rep = 0; rep < config_.repetitions; ++rep) {
       const power::PowerMeter::Measurement m =
-          meter_.Measure(true_watts, config_.meter_window_sec);
+          meter.Measure(true_watts, config_.meter_window_sec);
       rep_means.Add(m.mean_watts);
     }
     out.power_mean_w = rep_means.mean();
@@ -101,11 +134,42 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmark(
 }
 
 StatusOr<std::vector<BenchmarkResults>> ExperimentRunner::RunAll() {
+  const std::vector<std::string> names = hpc::RegisteredBenchmarks();
+  if (config_.sim_threads <= 1 || names.size() <= 1) {
+    std::vector<BenchmarkResults> all;
+    for (const std::string& name : names) {
+      StatusOr<BenchmarkResults> results = RunBenchmark(name);
+      if (!results.ok()) return results.status();
+      all.push_back(*std::move(results));
+    }
+    return all;
+  }
+
+  // Farm whole benchmarks across workers. Each slot runs with serial device
+  // engines (no nested pools); per-cell meter seeding makes every slot's
+  // numbers independent of which worker ran it and when.
+  std::vector<std::optional<BenchmarkResults>> slots(names.size());
+  std::vector<Status> statuses(names.size(), Status::Ok());
+  {
+    ThreadPool pool(std::min<int>(config_.sim_threads,
+                                  static_cast<int>(names.size())));
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      pool.Submit([this, &names, &slots, &statuses, i] {
+        StatusOr<BenchmarkResults> results =
+            RunBenchmarkImpl(names[i], /*device_threads=*/1);
+        if (results.ok()) {
+          slots[i] = *std::move(results);
+        } else {
+          statuses[i] = results.status();
+        }
+      });
+    }
+    pool.WaitIdle();
+  }
   std::vector<BenchmarkResults> all;
-  for (const std::string& name : hpc::RegisteredBenchmarks()) {
-    StatusOr<BenchmarkResults> results = RunBenchmark(name);
-    if (!results.ok()) return results.status();
-    all.push_back(*std::move(results));
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (!statuses[i].ok()) return statuses[i];  // lowest-index failure
+    all.push_back(*std::move(slots[i]));
   }
   return all;
 }

@@ -25,6 +25,12 @@ struct ExperimentConfig {
   std::uint64_t seed = 42;
   int repetitions = 20;             // paper §IV-D
   double meter_window_sec = 2.0;    // modelled steady-state window per rep
+  /// Host threads for the simulation engine. 1 = serial reference engine;
+  /// >1 runs work-groups concurrently (and RunAll farms whole benchmarks
+  /// across workers). Results are bit-identical for any value — the meter
+  /// RNG is keyed per (benchmark, variant) and the devices use
+  /// deterministic record/replay.
+  int sim_threads = 1;
   power::PowerParams power;
   power::PowerMeterParams meter;
 };
@@ -70,9 +76,14 @@ class ExperimentRunner {
   const ExperimentConfig& config() const { return config_; }
 
  private:
+  /// `device_threads` is the host-thread count handed to the device models;
+  /// parallel RunAll passes 1 so concurrently-running benchmarks don't each
+  /// spin up a nested pool (results are identical either way).
+  StatusOr<BenchmarkResults> RunBenchmarkImpl(const std::string& name,
+                                              int device_threads);
+
   ExperimentConfig config_;
   power::PowerModel power_model_;
-  power::PowerMeter meter_;
 };
 
 }  // namespace malisim::harness

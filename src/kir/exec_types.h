@@ -184,4 +184,37 @@ class NullMemorySink final : public MemorySink {
   void OnAccess(std::uint64_t, std::uint32_t, bool) override {}
 };
 
+/// One buffered memory access, as recorded by the parallel engine's
+/// functional phase and replayed into the cache models in canonical order.
+/// Atomics are kept as a single event so replay can reproduce the device
+/// models' contention accounting, not just the read+write pair.
+struct MemEvent {
+  enum Kind : std::uint8_t { kRead = 0, kWrite = 1, kAtomic = 2 };
+  std::uint64_t addr = 0;
+  std::uint32_t bytes = 0;
+  std::uint8_t kind = kRead;
+};
+
+/// Sink that appends every access to an event buffer instead of probing a
+/// cache model. This is the functional half of the parallel engine's
+/// functional/timing split: work-groups execute concurrently against
+/// recording sinks, and the order-dependent cache hierarchy consumes the
+/// buffered streams serially afterwards.
+class RecordingMemorySink final : public MemorySink {
+ public:
+  explicit RecordingMemorySink(std::vector<MemEvent>* events)
+      : events_(events) {}
+
+  void OnAccess(std::uint64_t addr, std::uint32_t bytes, bool is_write) override {
+    events_->push_back(
+        {addr, bytes, is_write ? MemEvent::kWrite : MemEvent::kRead});
+  }
+  void OnAtomic(std::uint64_t addr, std::uint32_t bytes) override {
+    events_->push_back({addr, bytes, MemEvent::kAtomic});
+  }
+
+ private:
+  std::vector<MemEvent>* events_;
+};
+
 }  // namespace malisim::kir

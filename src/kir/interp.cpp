@@ -1,7 +1,11 @@
 #include "kir/interp.h"
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
+#include <memory>
+
+#include "common/thread_pool.h"
 
 namespace malisim::kir {
 namespace {
@@ -783,10 +787,13 @@ Status Executor::Step(const ThreadCtx& ctx, RegValue* regs, std::uint32_t* pc,
         return OutOfRangeError("atomic out of bounds in kernel '" + p_->name +
                                "'");
       }
-      std::int32_t cur;
-      std::memcpy(&cur, slot.host + off, 4);
-      cur += A.i32[0];
-      std::memcpy(slot.host + off, &cur, 4);
+      // Real atomic RMW: work-groups may execute on concurrent host
+      // threads under the parallel engine, and integer addition is
+      // commutative, so the final memory image is bit-identical for every
+      // interleaving. Alignment holds because bindings are element-aligned.
+      std::atomic_ref<std::int32_t>(
+          *reinterpret_cast<std::int32_t*>(slot.host + off))
+          .fetch_add(A.i32[0], std::memory_order_relaxed);
       sink->OnAtomic(slot.sim_addr + off, 4);
       ++out->atomics;
       break;
@@ -830,6 +837,62 @@ StatusOr<WorkGroupRun> RunProgram(const Program& program, LaunchConfig config,
   WorkGroupRun run;
   NullMemorySink sink;
   MALI_RETURN_IF_ERROR(executor->RunAllGroups(&sink, &run));
+  return run;
+}
+
+StatusOr<WorkGroupRun> RunProgramParallel(const Program& program,
+                                          LaunchConfig config,
+                                          const Bindings& bindings,
+                                          int threads) {
+  if (threads < 1) return InvalidArgumentError("threads must be >= 1");
+  // Validate once up front so misuse fails identically to RunProgram.
+  MALI_RETURN_IF_ERROR(
+      Executor::Create(&program, config, bindings).status());
+
+  const auto group_dims = config.num_groups();
+  const std::uint64_t total_groups = config.total_groups();
+  // Contiguous row-major chunks; each runs in a private executor. Chunk
+  // boundaries never affect results: counts merge with integer addition
+  // and the null sink drops the access streams.
+  const std::uint64_t num_chunks =
+      std::min<std::uint64_t>(total_groups,
+                              static_cast<std::uint64_t>(threads) * 4);
+  std::vector<WorkGroupRun> chunk_runs(num_chunks);
+  std::vector<std::vector<std::byte>> chunk_scratch(num_chunks);
+
+  ThreadPool pool(threads);
+  auto run_chunk = [&](std::size_t i) -> Status {
+    Bindings chunk_bindings = bindings;
+    if (bindings.local_scratch.host != nullptr) {
+      // Private __local backing per chunk (same simulated address), so
+      // chunks never race on scratch contents.
+      chunk_scratch[i].assign(bindings.local_scratch.size_bytes,
+                              std::byte{0});
+      chunk_bindings.local_scratch.host = chunk_scratch[i].data();
+    }
+    StatusOr<Executor> executor =
+        Executor::Create(&program, config, std::move(chunk_bindings));
+    if (!executor.ok()) return executor.status();
+    NullMemorySink sink;
+    const std::uint64_t begin = total_groups * i / num_chunks;
+    const std::uint64_t end = total_groups * (i + 1) / num_chunks;
+    for (std::uint64_t g = begin; g < end; ++g) {
+      const std::uint64_t gx = g % group_dims[0];
+      const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
+      const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
+      MALI_RETURN_IF_ERROR(
+          executor->RunGroup({gx, gy, gz}, &sink, &chunk_runs[i]));
+    }
+    return Status::Ok();
+  };
+
+  WorkGroupRun run;
+  MALI_RETURN_IF_ERROR(RunOrderedPipeline(
+      &pool, num_chunks, num_chunks, run_chunk, [&](std::size_t i) {
+        run.MergeFrom(chunk_runs[i]);
+        chunk_runs[i] = WorkGroupRun();
+        return Status::Ok();
+      }));
   return run;
 }
 

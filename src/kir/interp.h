@@ -89,4 +89,14 @@ class Executor {
 StatusOr<WorkGroupRun> RunProgram(const Program& program, LaunchConfig config,
                                   Bindings bindings);
 
+/// Like RunProgram but farms contiguous work-group chunks across `threads`
+/// pool workers, each with a private executor (and private __local backing
+/// when the program declares locals), merging counts in canonical chunk
+/// order. For well-formed kernels the result is bit-identical to
+/// RunProgram; the fuzz suite exercises exactly that contract.
+StatusOr<WorkGroupRun> RunProgramParallel(const Program& program,
+                                          LaunchConfig config,
+                                          const Bindings& bindings,
+                                          int threads);
+
 }  // namespace malisim::kir

@@ -48,7 +48,11 @@ struct PipeSlots {
 };
 
 PipeSlots CountSlots(const MaliTimingParams& t, const kir::OpHistogram& ops) {
-  PipeSlots slots;
+  // Compensated sums: histogram entries span many orders of magnitude
+  // (billions of cheap slots next to a handful of expensive ones), and the
+  // totals feed straight into the cycle/energy model.
+  KahanSum arith;
+  KahanSum ls;
   ops.ForEach([&](kir::OpClass c, kir::ScalarType st, std::uint8_t lanes,
                   std::uint64_t n) {
     const double bytes = static_cast<double>(lanes) * kir::ScalarBytes(st);
@@ -57,31 +61,31 @@ PipeSlots CountSlots(const MaliTimingParams& t, const kir::OpHistogram& ops) {
     const double dn = static_cast<double>(n);
     switch (c) {
       case kir::OpClass::kArithSimple:
-        slots.arith += dn * chunks * t.slots_arith * (f64 ? t.f64_chunk_factor : 1.0);
+        arith += dn * chunks * t.slots_arith * (f64 ? t.f64_chunk_factor : 1.0);
         break;
       case kir::OpClass::kArithMul:
-        slots.arith += dn * chunks * t.slots_mul * (f64 ? t.f64_chunk_factor : 1.0);
+        arith += dn * chunks * t.slots_mul * (f64 ? t.f64_chunk_factor : 1.0);
         break;
       case kir::OpClass::kArithSpecial: {
         double mult = t.slots_special_int;
         if (st == kir::ScalarType::kF32) mult = t.slots_special_f32;
         if (f64) mult = t.slots_special_f64;
-        slots.arith += dn * chunks * mult;
+        arith += dn * chunks * mult;
         break;
       }
       case kir::OpClass::kBroadcast:
-        slots.arith += dn * t.slots_broadcast;
+        arith += dn * t.slots_broadcast;
         break;
       case kir::OpClass::kControl:
-        slots.arith += dn * t.slots_control;
+        arith += dn * t.slots_control;
         break;
       case kir::OpClass::kLoad:
       case kir::OpClass::kStore:
-        slots.ls += dn * std::max(t.slots_ls_min,
-                                  std::ceil(bytes / t.ls_bytes_per_slot));
+        ls += dn * std::max(t.slots_ls_min,
+                            std::ceil(bytes / t.ls_bytes_per_slot));
         break;
       case kir::OpClass::kAtomic:
-        slots.ls += dn * t.slots_atomic;
+        ls += dn * t.slots_atomic;
         break;
       case kir::OpClass::kBarrier:
         // Charged separately per work-group crossing.
@@ -90,7 +94,7 @@ PipeSlots CountSlots(const MaliTimingParams& t, const kir::OpHistogram& ops) {
         break;
     }
   });
-  return slots;
+  return {arith.value(), ls.value()};
 }
 
 }  // namespace
@@ -144,10 +148,46 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
 
   GpuRunResult result;
   std::unordered_map<std::uint64_t, std::uint64_t> atomic_lines;
+  std::vector<CoreAggregate> agg(cores);
 
+  // Phase 1 — functional execution + cache simulation, filling one
+  // CoreAggregate per modelled shader core. With one host thread this is
+  // the original inline engine; with more, work-groups execute
+  // concurrently and their recorded memory streams are replayed into the
+  // (order-dependent) cache hierarchy in this exact serial order.
+  const int host_threads = options_.ResolvedThreads();
+  if (host_threads <= 1) {
+    for (std::uint32_t c = 0; c < cores; ++c) {
+      kir::Bindings core_bindings = bindings;
+      core_bindings.local_scratch = {scratch_[c].get(),
+                                     kScratchSimBase + c * kScratchStride,
+                                     local_bytes + 64};
+      StatusOr<kir::Executor> executor =
+          kir::Executor::Create(&program, config, std::move(core_bindings));
+      if (!executor.ok()) return executor.status();
+
+      ShaderCoreSink sink(&hierarchy_, c, &atomic_lines);
+      // Job Manager: round-robin distribution across shader cores.
+      for (std::uint64_t g = c; g < total_groups; g += cores) {
+        const std::uint64_t gx = g % group_dims[0];
+        const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
+        const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
+        MALI_RETURN_IF_ERROR(
+            executor->RunGroup({gx, gy, gz}, &sink, &agg[c].run));
+        ++agg[c].groups;
+      }
+      agg[c].l1_misses = sink.l1_misses;
+      agg[c].l2_misses = sink.l2_misses;
+    }
+  } else {
+    MALI_RETURN_IF_ERROR(RunGroupsParallel(program, config, bindings,
+                                           local_bytes, host_threads, &agg,
+                                           &atomic_lines));
+  }
+
+  // Phase 2 — timing model over the per-core aggregates.
   double core_sec_max = 0.0;
   double busy_sec[power::kNumMaliCores] = {};
-  double core_secs[power::kNumMaliCores] = {};
 
   // Latency hiding from occupancy: resident threads overlap misses. The
   // resident count is limited by the register file (compiler) AND by how
@@ -162,25 +202,10 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
                     resident / timing_.threads_per_mlp));
 
   for (std::uint32_t c = 0; c < cores; ++c) {
-    kir::Bindings core_bindings = bindings;
-    core_bindings.local_scratch = {scratch_[c].get(),
-                                   kScratchSimBase + c * kScratchStride,
-                                   local_bytes + 64};
-    StatusOr<kir::Executor> executor =
-        kir::Executor::Create(&program, config, std::move(core_bindings));
-    if (!executor.ok()) return executor.status();
-
-    ShaderCoreSink sink(&hierarchy_, c, &atomic_lines);
-    kir::WorkGroupRun core_run;
-    std::uint64_t groups_on_core = 0;
-    // Job Manager: round-robin distribution across shader cores.
-    for (std::uint64_t g = c; g < total_groups; g += cores) {
-      const std::uint64_t gx = g % group_dims[0];
-      const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
-      const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
-      MALI_RETURN_IF_ERROR(executor->RunGroup({gx, gy, gz}, &sink, &core_run));
-      ++groups_on_core;
-    }
+    const kir::WorkGroupRun& core_run = agg[c].run;
+    const std::uint64_t groups_on_core = agg[c].groups;
+    const std::uint64_t core_l1_misses = agg[c].l1_misses;
+    const std::uint64_t core_l2_misses = agg[c].l2_misses;
 
     const PipeSlots slots = CountSlots(timing_, core_run.ops);
     // Intra-group load imbalance stretches issue time: the Job Manager
@@ -192,7 +217,7 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
     const double arith_cycles = slots.arith * kernel.sched_factor *
                                 imbalance / timing_.arith_pipes_per_core;
     const double ls_cycles =
-        (slots.ls + static_cast<double>(sink.l1_misses) *
+        (slots.ls + static_cast<double>(core_l1_misses) *
                         timing_.ls_l1_miss_replay_slots) *
         kernel.sched_factor * imbalance;
     const double issue_cycles = std::max(arith_cycles, ls_cycles);
@@ -201,15 +226,15 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
     const double barrier_cycles =
         static_cast<double>(core_run.barriers_crossed) * timing_.barrier_cycles;
 
-    const double l2_hits = static_cast<double>(sink.l1_misses - sink.l2_misses);
+    const double l2_hits =
+        static_cast<double>(core_l1_misses - core_l2_misses);
     const double stall_sec =
         (l2_hits * timing_.l2_hit_latency_sec +
-         static_cast<double>(sink.l2_misses) * timing_.dram_latency_sec) /
+         static_cast<double>(core_l2_misses) * timing_.dram_latency_sec) /
         hiding;
 
     const double cycles = issue_cycles + dispatch_cycles + barrier_cycles;
     const double core_sec = cycles / timing_.clock_hz + stall_sec;
-    core_secs[c] = core_sec;
     // Power-relevant utilization: raw pipe activity. Imbalance waits,
     // dispatch gaps and memory stalls clock-gate the pipes.
     busy_sec[c] = std::max(slots.arith * kernel.sched_factor /
@@ -224,8 +249,10 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
     result.stats.Set(prefix + ".ls_cycles", ls_cycles);
     result.stats.Set(prefix + ".dispatch_cycles", dispatch_cycles);
     result.stats.Set(prefix + ".stall_sec", stall_sec);
-    result.stats.Set(prefix + ".l1_misses", static_cast<double>(sink.l1_misses));
-    result.stats.Set(prefix + ".l2_misses", static_cast<double>(sink.l2_misses));
+    result.stats.Set(prefix + ".l1_misses",
+                     static_cast<double>(core_l1_misses));
+    result.stats.Set(prefix + ".l2_misses",
+                     static_cast<double>(core_l2_misses));
     result.stats.Set(prefix + ".imbalance", imbalance);
   }
 
@@ -263,8 +290,104 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
                    static_cast<double>(kernel.threads_per_core));
   result.stats.Set("mali.live_reg_bytes",
                    static_cast<double>(kernel.live_reg_bytes));
-  (void)core_secs;
   return result;
+}
+
+Status MaliT604Device::RunGroupsParallel(
+    const kir::Program& program, const kir::LaunchConfig& config,
+    const kir::Bindings& bindings, std::uint64_t local_bytes, int host_threads,
+    std::vector<CoreAggregate>* agg,
+    std::unordered_map<std::uint64_t, std::uint64_t>* atomic_lines) {
+  const std::uint32_t cores = timing_.num_cores;
+  const std::uint64_t total_groups = config.total_groups();
+  const auto group_dims = config.num_groups();
+
+  // One task = (modelled core, contiguous chunk of that core's round-robin
+  // group list). Tasks are ordered core-major so replaying them in task
+  // order reproduces the serial engine's cache access order exactly.
+  struct GroupTask {
+    std::uint32_t core = 0;
+    std::uint64_t begin = 0;  // index into the core's round-robin sequence
+    std::uint64_t end = 0;
+  };
+  const std::uint64_t chunks_per_core = std::max<std::uint64_t>(
+      1, (4 * static_cast<std::uint64_t>(host_threads) + cores - 1) / cores);
+  std::vector<GroupTask> tasks;
+  for (std::uint32_t c = 0; c < cores; ++c) {
+    const std::uint64_t groups_on_core =
+        c < total_groups ? (total_groups - c + cores - 1) / cores : 0;
+    const std::uint64_t chunks =
+        std::min<std::uint64_t>(chunks_per_core,
+                                std::max<std::uint64_t>(groups_on_core, 1));
+    for (std::uint64_t k = 0; k < chunks; ++k) {
+      tasks.push_back({c, groups_on_core * k / chunks,
+                       groups_on_core * (k + 1) / chunks});
+    }
+  }
+
+  if (pool_ == nullptr || pool_->num_workers() != host_threads) {
+    pool_ = std::make_unique<ThreadPool>(host_threads);
+  }
+
+  std::vector<std::vector<kir::MemEvent>> task_events(tasks.size());
+  std::vector<kir::WorkGroupRun> task_runs(tasks.size());
+  std::vector<std::vector<std::byte>> task_scratch(tasks.size());
+
+  auto run_task = [&](std::size_t i) -> Status {
+    const GroupTask& task = tasks[i];
+    kir::Bindings task_bindings = bindings;
+    // Private zeroed __local backing; the simulated address stays the
+    // modelled core's scratch address so recorded streams match the serial
+    // engine's byte-for-byte.
+    task_scratch[i].assign(local_bytes + 64, std::byte{0});
+    task_bindings.local_scratch = {task_scratch[i].data(),
+                                   kScratchSimBase + task.core * kScratchStride,
+                                   local_bytes + 64};
+    StatusOr<kir::Executor> executor =
+        kir::Executor::Create(&program, config, std::move(task_bindings));
+    if (!executor.ok()) return executor.status();
+
+    kir::RecordingMemorySink sink(&task_events[i]);
+    for (std::uint64_t k = task.begin; k < task.end; ++k) {
+      const std::uint64_t g = task.core + k * cores;
+      const std::uint64_t gx = g % group_dims[0];
+      const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
+      const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
+      MALI_RETURN_IF_ERROR(executor->RunGroup({gx, gy, gz}, &sink, &task_runs[i]));
+    }
+    return Status::Ok();
+  };
+
+  auto replay_task = [&](std::size_t i) -> Status {
+    const GroupTask& task = tasks[i];
+    CoreAggregate& a = (*agg)[task.core];
+    for (const kir::MemEvent& e : task_events[i]) {
+      if (e.kind == kir::MemEvent::kAtomic) {
+        const sim::AccessOutcome rd =
+            hierarchy_.Access(task.core, e.addr, e.bytes, /*is_write=*/false);
+        const sim::AccessOutcome wr =
+            hierarchy_.Access(task.core, e.addr, e.bytes, /*is_write=*/true);
+        a.l1_misses += rd.l1_misses + wr.l1_misses;
+        a.l2_misses += rd.l2_misses + wr.l2_misses;
+        if (e.addr < kScratchSimBase) ++(*atomic_lines)[e.addr / 64];
+      } else {
+        const sim::AccessOutcome out = hierarchy_.Access(
+            task.core, e.addr, e.bytes, e.kind == kir::MemEvent::kWrite);
+        a.l1_misses += out.l1_misses;
+        a.l2_misses += out.l2_misses;
+      }
+    }
+    a.run.MergeFrom(task_runs[i]);
+    a.groups += task.end - task.begin;
+    // Release buffered state as the replay cursor passes.
+    task_events[i] = {};
+    task_scratch[i] = {};
+    return Status::Ok();
+  };
+
+  return RunOrderedPipeline(pool_.get(), tasks.size(),
+                            static_cast<std::size_t>(options_.ResolvedWindow()),
+                            run_task, replay_task);
 }
 
 }  // namespace malisim::mali

@@ -6,9 +6,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
+#include "common/sim_options.h"
 #include "common/stats.h"
+#include "common/thread_pool.h"
 #include "kir/exec_types.h"
 #include "kir/interp.h"
 #include "kir/program.h"
@@ -47,6 +50,16 @@ class MaliT604Device {
 
   const MaliTimingParams& timing() const { return timing_; }
 
+  /// Host-side execution options. With threads == 1 (default) work-groups
+  /// execute inline against the cache hierarchy, exactly as the original
+  /// serial engine did. With threads > 1 the functional phase runs
+  /// concurrently on a pool while recorded memory-event streams are
+  /// replayed into the caches in the serial engine's canonical order, so
+  /// modelled cycles/power/energy stay bit-identical. Host threads never
+  /// change the four modelled shader cores.
+  void set_sim_options(const SimOptions& options) { options_ = options; }
+  const SimOptions& sim_options() const { return options_; }
+
   /// The §III-A work-group-size heuristic the driver applies when the host
   /// passes local_size = NULL: a modest power-of-two divisor of the global
   /// size, bounded by `budget` (callers shrink the budget per dimension so
@@ -58,9 +71,27 @@ class MaliT604Device {
                                            std::uint64_t budget = 64);
 
  private:
+  /// Functional results for one modelled shader core, produced by the
+  /// execution phase (serial or parallel) and consumed by the timing phase.
+  struct CoreAggregate {
+    kir::WorkGroupRun run;
+    std::uint64_t l1_misses = 0;
+    std::uint64_t l2_misses = 0;
+    std::uint64_t groups = 0;
+  };
+
+  /// Record/replay execution across `host_threads` pool workers.
+  Status RunGroupsParallel(
+      const kir::Program& program, const kir::LaunchConfig& config,
+      const kir::Bindings& bindings, std::uint64_t local_bytes,
+      int host_threads, std::vector<CoreAggregate>* agg,
+      std::unordered_map<std::uint64_t, std::uint64_t>* atomic_lines);
+
   MaliTimingParams timing_;
   sim::MemoryHierarchy hierarchy_;
   sim::DramModel dram_;
+  SimOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<std::byte[]>> scratch_;
   std::uint64_t scratch_bytes_ = 0;
 };

@@ -253,6 +253,15 @@ class Context {
   DeviceType device_type() const { return type_; }
   mali::MaliT604Device& device() { return device_; }
   cpu::CortexA15Device& cpu_device() { return cpu_device_; }
+
+  /// Host-side simulation options, forwarded to both device models.
+  /// threads == 1 (default) is the serial reference engine; threads > 1
+  /// enables the record/replay parallel engine, which is guaranteed to
+  /// produce bit-identical buffers, counts and modelled times.
+  void set_sim_options(const SimOptions& options) {
+    device_.set_sim_options(options);
+    cpu_device_.set_sim_options(options);
+  }
   const HostParams& host_params() const { return host_; }
   const mali::MaliTimingParams& timing() const { return timing_; }
 

@@ -1,0 +1,184 @@
+// Tests for the thread pool and the ordered replay pipeline that the
+// parallel simulation engine is built on.
+#include "common/thread_pool.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/sim_options.h"
+
+namespace malisim {
+namespace {
+
+TEST(SimOptionsTest, DefaultsToSerial) {
+  SimOptions options;
+  EXPECT_EQ(options.threads, 1);
+  EXPECT_EQ(options.ResolvedThreads(), 1);
+}
+
+TEST(SimOptionsTest, ZeroThreadsResolvesToHardwareConcurrency) {
+  SimOptions options;
+  options.threads = 0;
+  EXPECT_GE(options.ResolvedThreads(), 1);
+}
+
+TEST(SimOptionsTest, WindowDefaultsScaleWithThreads) {
+  SimOptions options;
+  options.threads = 16;
+  EXPECT_EQ(options.ResolvedWindow(), 32);
+  options.threads = 1;
+  EXPECT_EQ(options.ResolvedWindow(), 8);
+  options.replay_window = 3;
+  EXPECT_EQ(options.ResolvedWindow(), 3);
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsQueue) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&count] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        count.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+  }  // ~ThreadPool must finish everything before joining
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPoolTest, ClampsWorkerCountToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 1);
+  std::atomic<bool> ran{false};
+  pool.Submit([&ran] { ran = true; });
+  pool.WaitIdle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(OrderedPipelineTest, ReplaysInStrictlyIncreasingOrder) {
+  ThreadPool pool(4);
+  const std::size_t n = 64;
+  std::vector<int> produced(n, 0);
+  std::vector<std::size_t> replay_order;
+  const Status status = RunOrderedPipeline(
+      &pool, n, /*window=*/8,
+      [&](std::size_t i) {
+        // Finish out of order on purpose.
+        std::this_thread::sleep_for(std::chrono::microseconds((i % 7) * 50));
+        produced[i] = static_cast<int>(i) + 1;
+        return Status::Ok();
+      },
+      [&](std::size_t i) {
+        replay_order.push_back(i);
+        EXPECT_EQ(produced[i], static_cast<int>(i) + 1);  // ran before replay
+        return Status::Ok();
+      });
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  ASSERT_EQ(replay_order.size(), n);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(replay_order[i], i);
+}
+
+TEST(OrderedPipelineTest, NullPoolRunsInline) {
+  std::vector<std::size_t> order;
+  const Status status = RunOrderedPipeline(
+      nullptr, 5, /*window=*/1,
+      [&](std::size_t i) {
+        order.push_back(i * 2);
+        return Status::Ok();
+      },
+      [&](std::size_t i) {
+        order.push_back(i * 2 + 1);
+        return Status::Ok();
+      });
+  ASSERT_TRUE(status.ok());
+  // Inline mode interleaves run(i), replay(i), run(i+1), ...
+  const std::vector<std::size_t> expected = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  EXPECT_EQ(order, expected);
+}
+
+TEST(OrderedPipelineTest, ReturnsLowestIndexFailure) {
+  ThreadPool pool(4);
+  const Status status = RunOrderedPipeline(
+      &pool, 32, /*window=*/32,
+      [&](std::size_t i) -> Status {
+        if (i == 20) return InternalError("late failure");
+        if (i == 3) return InvalidArgumentError("early failure");
+        return Status::Ok();
+      },
+      [&](std::size_t i) {
+        EXPECT_LT(i, 3u);  // replay never reaches the failed task
+        return Status::Ok();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "early failure");
+}
+
+TEST(OrderedPipelineTest, ReplayFailureStopsPipeline) {
+  ThreadPool pool(2);
+  std::atomic<int> replays{0};
+  const Status status = RunOrderedPipeline(
+      &pool, 16, /*window=*/4,
+      [](std::size_t) { return Status::Ok(); },
+      [&](std::size_t i) -> Status {
+        ++replays;
+        if (i == 5) return InternalError("replay broke");
+        return Status::Ok();
+      });
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), ErrorCode::kInternal);
+  EXPECT_EQ(replays.load(), 6);  // 0..5 inclusive
+}
+
+TEST(OrderedPipelineTest, WindowBoundsRunAhead) {
+  ThreadPool pool(2);
+  const std::size_t n = 40;
+  const std::size_t window = 4;
+  std::atomic<std::int64_t> replayed{0};
+  std::atomic<std::int64_t> max_ahead{0};
+  const Status status = RunOrderedPipeline(
+      &pool, n, window,
+      [&](std::size_t i) {
+        const std::int64_t ahead =
+            static_cast<std::int64_t>(i) - replayed.load();
+        std::int64_t prev = max_ahead.load();
+        while (ahead > prev && !max_ahead.compare_exchange_weak(prev, ahead)) {
+        }
+        return Status::Ok();
+      },
+      [&](std::size_t) {
+        replayed.fetch_add(1);
+        return Status::Ok();
+      });
+  ASSERT_TRUE(status.ok());
+  // A task index can run at most `window` past the replay cursor.
+  EXPECT_LE(max_ahead.load(), static_cast<std::int64_t>(window));
+}
+
+TEST(OrderedPipelineTest, ZeroTasksIsOk) {
+  ThreadPool pool(2);
+  const Status status = RunOrderedPipeline(
+      &pool, 0, 4, [](std::size_t) { return Status::Ok(); },
+      [](std::size_t) { return Status::Ok(); });
+  EXPECT_TRUE(status.ok());
+}
+
+}  // namespace
+}  // namespace malisim
