@@ -3,11 +3,14 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/log.h"
 #include "common/table.h"
 
 namespace malisim::bench {
 
 BenchOptions ParseOptions(int argc, char** argv) {
+  // All figure binaries honour MALISIM_LOG_LEVEL (debug/info/warn/error/off).
+  InitLogLevelFromEnv();
   BenchOptions options;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];

@@ -4,6 +4,7 @@
 // sweep interprets ~10^9 instructions), not the modelled hardware.
 #include <benchmark/benchmark.h>
 
+#include <optional>
 #include <vector>
 
 #include "cpu/a15_device.h"
@@ -11,6 +12,11 @@
 #include "kir/interp.h"
 #include "mali/compiler.h"
 #include "mali/t604_device.h"
+#include "obs/export.h"
+#include "obs/obs_options.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+#include "power/power_model.h"
 #include "sim/cache.h"
 
 namespace {
@@ -213,6 +219,61 @@ BENCHMARK(BM_A15EngineThreadSweep)
     ->Arg(8)
     ->UseRealTime()
     ->MeasureProcessCPUTime();
+
+/// Instrumentation-overhead sweep: the same Mali device run with
+/// observability off (arg 0), counters only (arg 1), and counters + trace
+/// export per iteration (arg 2). The counter Q (ISSUE acceptance): the
+/// counter path must stay within 15% of the uninstrumented rate — compare
+/// the items_per_second of modes 0 and 1, or the obs_mode counter in the
+/// JSON output. Mode 2 additionally prices the export sinks (BuildTrace +
+/// ToJson per iteration), which real profiling runs pay once, not per
+/// kernel.
+void BM_MaliDeviceObsMode(benchmark::State& state) {
+  const kir::Program p = PerItemLoopKernel(256);
+  auto compiled = mali::CompileForMali(p, mali::MaliTimingParams(),
+                                       mali::MaliCompilerParams());
+  const std::uint64_t n = 1 << 14;
+  std::vector<float> out_data(n, 0.0f);
+  mali::MaliT604Device device;
+  kir::LaunchConfig config;
+  config.global_size = {n, 1, 1};
+  config.local_size = {128, 1, 1};
+
+  const int mode = static_cast<int>(state.range(0));
+  obs::ObsOptions options;
+  options.trace = mode >= 2;
+  const power::PowerModel model;
+
+  std::uint64_t kernels_recorded = 0;
+  for (auto _ : state) {
+    // A fresh recorder per iteration keeps the record set (and the mode-2
+    // trace build) proportional to one kernel launch instead of growing
+    // with the iteration count.
+    std::optional<obs::Recorder> recorder;
+    if (mode >= 1) {
+      recorder.emplace(options);
+      device.set_recorder(&*recorder);
+    }
+    kir::Bindings b;
+    b.buffers = {
+        {reinterpret_cast<std::byte*>(out_data.data()), 0x100000, n * 4}};
+    auto run = device.Run(*compiled, config, std::move(b));
+    benchmark::DoNotOptimize(run->seconds);
+    if (mode >= 2) {
+      obs::TraceBuilder trace;
+      obs::BuildTrace(*recorder, model, &trace);
+      benchmark::DoNotOptimize(trace.ToJson().size());
+    }
+    if (recorder.has_value()) {
+      kernels_recorded += recorder->kernels().size();
+      device.set_recorder(nullptr);
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n * 256);
+  state.counters["obs_mode"] = mode;
+  state.counters["kernels_recorded"] = static_cast<double>(kernels_recorded);
+}
+BENCHMARK(BM_MaliDeviceObsMode)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
 

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 
 namespace malisim {
 namespace {
@@ -28,6 +29,36 @@ const char* LevelPrefix(LogLevel level) {
 
 void SetLogLevel(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+
+bool ParseLogLevel(std::string_view text, LogLevel* out) {
+  if (text == "debug" || text == "0") {
+    *out = LogLevel::kDebug;
+  } else if (text == "info" || text == "1") {
+    *out = LogLevel::kInfo;
+  } else if (text == "warn" || text == "warning" || text == "2") {
+    *out = LogLevel::kWarning;
+  } else if (text == "error" || text == "3") {
+    *out = LogLevel::kError;
+  } else if (text == "off" || text == "4") {
+    *out = LogLevel::kOff;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+void InitLogLevelFromEnv() {
+  const char* env = std::getenv("MALISIM_LOG_LEVEL");
+  if (env == nullptr) return;
+  LogLevel level;
+  if (ParseLogLevel(env, &level)) {
+    SetLogLevel(level);
+  } else {
+    MALI_LOG_WARN("ignoring invalid MALISIM_LOG_LEVEL='%s' "
+                  "(want debug|info|warn|error|off)",
+                  env);
+  }
+}
 
 void Logf(LogLevel level, const char* fmt, ...) {
   if (level < g_level.load(std::memory_order_relaxed)) return;

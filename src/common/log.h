@@ -14,6 +14,15 @@ enum class LogLevel : std::uint8_t { kDebug = 0, kInfo, kWarning, kError, kOff }
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses "debug" / "info" / "warn[ing]" / "error" / "off" (or a numeric
+/// level). Returns false and leaves `out` untouched on anything else.
+bool ParseLogLevel(std::string_view text, LogLevel* out);
+
+/// Applies the MALISIM_LOG_LEVEL environment variable, if set and valid.
+/// Harness/bench binaries call this before parsing their own flags so the
+/// environment provides the default and --log-level style flags still win.
+void InitLogLevelFromEnv();
+
 /// printf-style logging to stderr with a level prefix.
 void Logf(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/aligned_buffer.h"
+#include "obs/recorder.h"
 
 namespace malisim::cpu {
 namespace {
@@ -147,6 +148,9 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
       StatusOr<kir::Executor> executor =
           kir::Executor::Create(&program, config, std::move(core_bindings));
       if (!executor.ok()) return executor.status();
+      if (recorder_ != nullptr && recorder_->counters_enabled()) {
+        executor->set_opcode_tally(agg[t].opcode_tally.data());
+      }
 
       CoreSink sink(&hierarchy_, static_cast<std::uint32_t>(t));
       for (std::uint64_t g = begin; g < end; ++g) {
@@ -156,6 +160,7 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
         MALI_RETURN_IF_ERROR(
             executor->RunGroup({gx, gy, gz}, &sink, &agg[t].run));
       }
+      agg[t].groups = end - begin;
       agg[t].l1_misses = sink.l1_misses;
       agg[t].l2_misses = sink.l2_misses;
     }
@@ -166,6 +171,9 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
   }
 
   // Phase 2 — timing model over the per-core aggregates.
+  const bool recording = recorder_ != nullptr && recorder_->counters_enabled();
+  std::vector<obs::CoreKernelCounters> core_counters(
+      recording ? static_cast<std::size_t>(num_threads) : 0);
   for (int t = 0; t < num_threads; ++t) {
     const kir::WorkGroupRun& core_run = agg[t].run;
     const std::uint64_t core_l1_misses = agg[t].l1_misses;
@@ -196,6 +204,19 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
                            core_bw_floor_sec);
     busy_cycles_total[t] = issue_cycles;
     max_core_sec = std::max(max_core_sec, core_sec[t]);
+
+    if (recording) {
+      obs::CoreKernelCounters& cc = core_counters[static_cast<std::size_t>(t)];
+      cc.groups = agg[t].groups;
+      cc.l1_misses = core_l1_misses;
+      cc.l2_misses = core_l2_misses;
+      // Scalar in-order issue: everything lands in the arith pipe slot.
+      cc.arith_cycles = issue_cycles;
+      cc.stall_sec = l2_hit_stall / timing_.clock_hz + dram_stall_sec;
+      cc.busy_sec = issue_cycles / timing_.clock_hz;
+      cc.core_sec = core_sec[t];
+      cc.imbalance = core_run.imbalance_factor();
+    }
 
     result.run.MergeFrom(core_run);
     result.stats.Increment("cpu.core" + std::to_string(t) + ".issue_cycles",
@@ -231,6 +252,44 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
                    static_cast<double>(hierarchy_.dram_bytes()));
   result.stats.Set("cpu.dram_bw_floor_sec", dram_sec);
   result.stats.Set("cpu.seq_fraction", hierarchy_.sequential_fraction());
+
+  if (recording) {
+    obs::KernelRecord record;
+    record.kernel = program.name;
+    record.device = "cortex-a15";
+    record.seconds = seconds;
+    record.cores = std::move(core_counters);
+    for (const CoreAggregate& a : agg) {
+      for (std::size_t op = 0; op < record.opcode_counts.size(); ++op) {
+        record.opcode_counts[op] += a.opcode_tally[op];
+      }
+    }
+    record.ops = result.run.ops;
+    record.loads = result.run.loads;
+    record.stores = result.run.stores;
+    record.load_bytes = result.run.load_bytes;
+    record.store_bytes = result.run.store_bytes;
+    record.atomics = result.run.atomics;
+    record.barriers_crossed = result.run.barriers_crossed;
+    record.work_items = result.run.work_items;
+    record.dram_bytes = hierarchy_.dram_bytes();
+    record.dram_bw_floor_sec = dram_sec;
+    if (dram_sec >= max_core_sec) {
+      record.bottleneck = "dram-bandwidth";
+    } else {
+      double worst = 0.0;
+      bool stall_bound = false;
+      for (const obs::CoreKernelCounters& cc : record.cores) {
+        if (cc.core_sec > worst) {
+          worst = cc.core_sec;
+          stall_bound = cc.stall_sec > cc.busy_sec;
+        }
+      }
+      record.bottleneck = stall_bound ? "memory-latency" : "cpu-issue";
+    }
+    record.profile = result.profile;
+    recorder_->AddKernel(std::move(record));
+  }
   return result;
 }
 
@@ -275,6 +334,10 @@ Status CortexA15Device::RunGroupsParallel(const kir::Program& program,
   std::vector<std::vector<kir::MemEvent>> task_events(tasks.size());
   std::vector<kir::WorkGroupRun> task_runs(tasks.size());
   std::vector<std::vector<std::byte>> task_scratch(tasks.size());
+  // Per-task opcode tallies; merged per modelled core during replay.
+  const bool recording = recorder_ != nullptr && recorder_->counters_enabled();
+  std::vector<std::array<std::uint64_t, kir::kNumOpcodeValues>> task_tallies(
+      recording ? tasks.size() : 0);
 
   auto run_task = [&](std::size_t i) -> Status {
     const GroupTask& task = tasks[i];
@@ -287,6 +350,7 @@ Status CortexA15Device::RunGroupsParallel(const kir::Program& program,
     StatusOr<kir::Executor> executor =
         kir::Executor::Create(&program, config, std::move(task_bindings));
     if (!executor.ok()) return executor.status();
+    if (recording) executor->set_opcode_tally(task_tallies[i].data());
 
     kir::RecordingMemorySink sink(&task_events[i]);
     for (std::uint64_t g = task.begin; g < task.end; ++g) {
@@ -318,6 +382,12 @@ Status CortexA15Device::RunGroupsParallel(const kir::Program& program,
       }
     }
     a.run.MergeFrom(task_runs[i]);
+    a.groups += task.end - task.begin;
+    if (recording) {
+      for (std::size_t op = 0; op < a.opcode_tally.size(); ++op) {
+        a.opcode_tally[op] += task_tallies[i][op];
+      }
+    }
     // Release buffered state as the replay cursor passes.
     task_events[i] = {};
     task_scratch[i] = {};

@@ -7,6 +7,7 @@
 // parallel region.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -20,6 +21,10 @@
 #include "kir/program.h"
 #include "power/profile.h"
 #include "sim/memory_system.h"
+
+namespace malisim::obs {
+class Recorder;
+}  // namespace malisim::obs
 
 namespace malisim::cpu {
 
@@ -55,6 +60,10 @@ class CortexA15Device {
   void set_sim_options(const SimOptions& options) { options_ = options; }
   const SimOptions& sim_options() const { return options_; }
 
+  /// Attaches an observability recorder (nullptr detaches); see
+  /// MaliT604Device::set_recorder for the read-only contract.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
   static constexpr int kMaxCores = power::kNumA15Cores;
 
  private:
@@ -64,6 +73,9 @@ class CortexA15Device {
     kir::WorkGroupRun run;
     std::uint64_t l1_misses = 0;
     std::uint64_t l2_misses = 0;
+    std::uint64_t groups = 0;
+    /// Per-opcode dynamic counts; only filled while a recorder is attached.
+    std::array<std::uint64_t, kir::kNumOpcodeValues> opcode_tally{};
   };
 
   /// Record/replay execution across `host_threads` pool workers.
@@ -77,6 +89,7 @@ class CortexA15Device {
   sim::MemoryHierarchy hierarchy_;
   sim::DramModel dram_;
   SimOptions options_;
+  obs::Recorder* recorder_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   // Scratch backing for kernels with __local arrays (one region per core).
   std::vector<std::unique_ptr<std::byte[]>> scratch_;

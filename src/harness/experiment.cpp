@@ -8,6 +8,7 @@
 #include "common/sim_options.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "obs/recorder.h"
 
 namespace malisim::harness {
 
@@ -86,6 +87,10 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
   sim_options.threads = std::max(1, device_threads);
   cpu_device.set_sim_options(sim_options);
   gpu_context.set_sim_options(sim_options);
+  if (config_.recorder != nullptr) {
+    cpu_device.set_recorder(config_.recorder);
+    gpu_context.set_recorder(config_.recorder);
+  }
   hpc::Devices devices{&cpu_device, &gpu_context};
 
   for (hpc::Variant v : hpc::kAllVariants) {
@@ -129,6 +134,12 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
     out.stats.Set("power.cpu_watts", power_model_.CpuPower(run->profile));
     out.stats.Set("power.gpu_watts", power_model_.GpuPower(run->profile));
     out.stats.Set("power.dram_watts", power_model_.DramPower(run->profile));
+
+    if (config_.recorder != nullptr && config_.recorder->counters_enabled()) {
+      config_.recorder->AddPowerSegment(
+          {name + "/" + std::string(hpc::VariantName(v)),
+           config_.meter_window_sec, run->profile});
+    }
   }
   return results;
 }

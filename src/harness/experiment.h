@@ -17,6 +17,10 @@
 #include "power/power_meter.h"
 #include "power/power_model.h"
 
+namespace malisim::obs {
+class Recorder;
+}  // namespace malisim::obs
+
 namespace malisim::harness {
 
 struct ExperimentConfig {
@@ -33,6 +37,14 @@ struct ExperimentConfig {
   int sim_threads = 1;
   power::PowerParams power;
   power::PowerMeterParams meter;
+  /// Optional observability recorder. When attached it is wired into the
+  /// device models and the OCL runtime for every benchmark, and the runner
+  /// adds one power segment per available variant (the §IV-D steady-state
+  /// meter window). Recording never changes any modelled second or watt —
+  /// golden CSVs are bit-identical with and without it. Note RunAll with
+  /// sim_threads > 1 records kernel/segment ORDER nondeterministically;
+  /// run benchmarks serially when exporting traces.
+  obs::Recorder* recorder = nullptr;
 };
 
 struct VariantResult {

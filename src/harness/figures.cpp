@@ -1,5 +1,7 @@
 #include "harness/figures.h"
 
+#include <cstdio>
+#include <sstream>
 #include <vector>
 
 #include "common/stats.h"
@@ -134,6 +136,34 @@ std::string RenderFigure(const std::string& title, const Table& table,
     }
   }
   return out;
+}
+
+std::string RenderFullPrecisionCsv(const std::vector<BenchmarkResults>& results,
+                                   bool fp64) {
+  const auto full = [](double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return std::string(buf);
+  };
+  std::ostringstream csv;
+  csv << "benchmark,precision,variant,available,seconds,power_mean_w,"
+         "energy_j,fig2_speedup,fig3_power,fig4_energy\n";
+  for (const BenchmarkResults& r : results) {
+    for (hpc::Variant v : hpc::kAllVariants) {
+      const VariantResult& vr = r.Get(v);
+      csv << r.name << ',' << (fp64 ? "fp64" : "fp32") << ','
+          << hpc::VariantName(v) << ',' << (vr.available ? 1 : 0) << ',';
+      if (vr.available) {
+        csv << full(vr.seconds) << ',' << full(vr.power_mean_w) << ','
+            << full(vr.energy_j) << ',' << full(r.SpeedupVsSerial(v)) << ','
+            << full(r.PowerVsSerial(v)) << ',' << full(r.EnergyVsSerial(v));
+      } else {
+        csv << ",,,,,";
+      }
+      csv << '\n';
+    }
+  }
+  return csv.str();
 }
 
 }  // namespace malisim::harness

@@ -46,4 +46,12 @@ Headline ComputeHeadline(const std::vector<BenchmarkResults>& sp,
 std::string RenderFigure(const std::string& title, const Table& table,
                          const std::vector<BenchmarkResults>& results);
 
+/// Full-precision (%.17g) CSV of a sweep: raw per-variant metrics plus the
+/// derived figure ratios. This is the golden-file regression format — any
+/// change to a modelled second, watt or joule changes the string, which is
+/// also what the observability determinism test compares across profiling
+/// on/off and host thread counts.
+std::string RenderFullPrecisionCsv(const std::vector<BenchmarkResults>& results,
+                                   bool fp64);
+
 }  // namespace malisim::harness

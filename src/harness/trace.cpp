@@ -1,50 +1,8 @@
 #include "harness/trace.h"
 
-#include <cstdio>
-#include <fstream>
-
 #include "common/table.h"
 
 namespace malisim::harness {
-
-namespace {
-
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  for (char ch : s) {
-    switch (ch) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += ch;
-    }
-  }
-  return out;
-}
-
-}  // namespace
-
-void TraceBuilder::AddSpan(
-    const std::string& name, const std::string& category, int tid,
-    double duration_sec,
-    std::vector<std::pair<std::string, std::string>> args) {
-  TraceEvent event;
-  event.name = name;
-  event.category = category;
-  event.timestamp_us = cursor_us_;
-  event.duration_us = duration_sec * 1e6;
-  event.tid = tid;
-  event.args = std::move(args);
-  cursor_us_ += event.duration_us;
-  events_.push_back(std::move(event));
-}
 
 void TraceBuilder::AddBenchmark(const BenchmarkResults& results) {
   for (hpc::Variant v : hpc::kAllVariants) {
@@ -62,43 +20,6 @@ void TraceBuilder::AddBenchmark(const BenchmarkResults& results) {
             on_gpu ? "mali-t604" : "cortex-a15", on_gpu ? 2 : 1, r.seconds,
             std::move(args));
   }
-}
-
-std::string TraceBuilder::ToJson() const {
-  std::string out = "[\n";
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    const TraceEvent& e = events_[i];
-    char head[256];
-    std::snprintf(head, sizeof(head),
-                  "{\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,"
-                  "\"tid\":%d,",
-                  e.timestamp_us, e.duration_us, e.pid, e.tid);
-    out += head;
-    out += "\"name\":\"" + JsonEscape(e.name) + "\",";
-    out += "\"cat\":\"" + JsonEscape(e.category) + "\"";
-    if (!e.args.empty()) {
-      out += ",\"args\":{";
-      for (std::size_t a = 0; a < e.args.size(); ++a) {
-        if (a > 0) out += ",";
-        out += "\"" + JsonEscape(e.args[a].first) + "\":\"" +
-               JsonEscape(e.args[a].second) + "\"";
-      }
-      out += "}";
-    }
-    out += i + 1 < events_.size() ? "},\n" : "}\n";
-  }
-  out += "]\n";
-  return out;
-}
-
-Status TraceBuilder::WriteTo(const std::string& path) const {
-  std::ofstream file(path);
-  if (!file) {
-    return InvalidArgumentError("cannot open trace output '" + path + "'");
-  }
-  file << ToJson();
-  return file.good() ? Status::Ok()
-                     : InternalError("short write to '" + path + "'");
 }
 
 }  // namespace malisim::harness

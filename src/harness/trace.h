@@ -1,52 +1,30 @@
-// Chrome-tracing export: renders experiment timelines as a trace JSON
-// loadable in chrome://tracing / Perfetto. Each benchmark variant becomes a
-// span on its device's track, so a whole figure run can be inspected as a
-// timeline (who ran where, for how long, at what power).
+// Chrome-tracing export of experiment timelines: each benchmark variant
+// becomes a span on its device's track, so a whole figure run can be
+// inspected as a timeline (who ran where, for how long, at what power).
+//
+// The builder itself lives in obs/trace.h and carries a cursor per
+// (pid, tid) track, so the CPU (tid 1) and GPU (tid 2) tracks are
+// independent timelines: variants of the same device run back-to-back,
+// while the two devices' spans both start at t = 0. (An earlier version
+// used one global cursor, which made independent CPU and GPU runs look
+// sequential in the viewer.)
 #pragma once
 
-#include <cstdint>
-#include <string>
-#include <vector>
-
-#include "common/status.h"
 #include "harness/experiment.h"
+#include "obs/trace.h"
 
 namespace malisim::harness {
 
-/// One complete event ("ph":"X") in the Chrome trace event format.
-struct TraceEvent {
-  std::string name;
-  std::string category;
-  double timestamp_us = 0;   // "ts"
-  double duration_us = 0;    // "dur"
-  int pid = 1;
-  int tid = 1;
-  /// Extra key/value args shown in the inspector ("args").
-  std::vector<std::pair<std::string, std::string>> args;
-};
+/// Alias so existing includes keep working; the event/JSON format is the
+/// shared obs one (which also carries counter and metadata phases).
+using TraceEvent = obs::TraceEvent;
 
-class TraceBuilder {
+class TraceBuilder : public obs::TraceBuilder {
  public:
-  /// Appends a span and advances the track cursor.
-  void AddSpan(const std::string& name, const std::string& category, int tid,
-               double duration_sec,
-               std::vector<std::pair<std::string, std::string>> args = {});
-
-  /// Lays out a benchmark's four variants back-to-back: CPU variants on the
-  /// A15 track (tid 1), GPU variants on the Mali track (tid 2).
+  /// Lays out a benchmark's four variants back-to-back per device: CPU
+  /// variants on the A15 track (tid 1), GPU variants on the Mali track
+  /// (tid 2).
   void AddBenchmark(const BenchmarkResults& results);
-
-  const std::vector<TraceEvent>& events() const { return events_; }
-
-  /// Serializes to the Chrome trace event JSON array format.
-  std::string ToJson() const;
-
-  /// Writes ToJson() to a file.
-  Status WriteTo(const std::string& path) const;
-
- private:
-  std::vector<TraceEvent> events_;
-  double cursor_us_ = 0;
 };
 
 }  // namespace malisim::harness

@@ -287,6 +287,9 @@ StatusOr<Executor::StopReason> Executor::RunToBarrier(const ThreadCtx& ctx,
   while (*pc < end) {
     if (p_->code[*pc].op == Opcode::kBarrier) {
       out->ops.AddAt(decoded_[*pc].hist_idx);
+      if (opcode_tally_ != nullptr) {
+        ++opcode_tally_[static_cast<std::size_t>(Opcode::kBarrier)];
+      }
       ++*pc;
       return StopReason::kBarrier;
     }
@@ -304,6 +307,9 @@ Status Executor::Step(const ThreadCtx& ctx, RegValue* regs, std::uint32_t* pc,
   const int lanes = dec.lanes;
   out->ops.AddAt(dec.hist_idx);
   ++steps_executed_;
+  if (opcode_tally_ != nullptr) {
+    ++opcode_tally_[static_cast<std::size_t>(in.op)];
+  }
 
   RegValue& D = regs[in.dst];
   const RegValue& A = regs[in.a];

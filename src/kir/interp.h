@@ -34,6 +34,16 @@ class Executor {
 
   const LaunchConfig& config() const { return config_; }
 
+  /// Optional per-opcode dynamic-count tally: when set, every executed
+  /// instruction increments `tally[opcode]`. `tally` must point at
+  /// kNumOpcodeValues zero-initialized slots and outlive the executor.
+  /// Raw pointer (not an obs type) so kir stays free of higher layers;
+  /// integer tallies are commutative, so parallel engines can give each
+  /// worker a private tally and merge in any order without affecting
+  /// determinism. Null (the default) keeps the hot loop branch-free in
+  /// practice (perfectly predicted null check).
+  void set_opcode_tally(std::uint64_t* tally) { opcode_tally_ = tally; }
+
  private:
   struct Slot {
     std::byte* host = nullptr;
@@ -82,6 +92,7 @@ class Executor {
   // Register arena reused across work-groups (wg_size * num_regs for the
   // barrier path, num_regs otherwise).
   std::vector<RegValue> reg_arena_;
+  std::uint64_t* opcode_tally_ = nullptr;  // see set_opcode_tally
 };
 
 /// Convenience for tests and examples: run the whole NDRange with no memory

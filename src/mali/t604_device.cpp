@@ -4,6 +4,9 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "common/log.h"
+#include "obs/recorder.h"
+
 namespace malisim::mali {
 namespace {
 
@@ -119,6 +122,10 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
                                            kir::Bindings bindings) {
   MALI_CHECK(kernel.program != nullptr);
   if (kernel.exceeds_resources) {
+    MALI_LOG_WARN("mali: kernel '%s' exceeds the register budget "
+                  "(%u bytes/work-item, budget %u) -> CL_OUT_OF_RESOURCES",
+                  kernel.program->name.c_str(), kernel.live_reg_bytes,
+                  timing_.max_thread_reg_bytes);
     return ResourceExhaustedError(
         "CL_OUT_OF_RESOURCES: kernel '" + kernel.program->name + "' needs " +
         std::to_string(kernel.live_reg_bytes) +
@@ -165,6 +172,9 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
       StatusOr<kir::Executor> executor =
           kir::Executor::Create(&program, config, std::move(core_bindings));
       if (!executor.ok()) return executor.status();
+      if (recorder_ != nullptr && recorder_->counters_enabled()) {
+        executor->set_opcode_tally(agg[c].opcode_tally.data());
+      }
 
       ShaderCoreSink sink(&hierarchy_, c, &atomic_lines);
       // Job Manager: round-robin distribution across shader cores.
@@ -188,6 +198,8 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
   // Phase 2 — timing model over the per-core aggregates.
   double core_sec_max = 0.0;
   double busy_sec[power::kNumMaliCores] = {};
+  const bool recording = recorder_ != nullptr && recorder_->counters_enabled();
+  std::vector<obs::CoreKernelCounters> core_counters(recording ? cores : 0);
 
   // Latency hiding from occupancy: resident threads overlap misses. The
   // resident count is limited by the register file (compiler) AND by how
@@ -243,6 +255,20 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
                   timing_.clock_hz;
     core_sec_max = std::max(core_sec_max, core_sec);
 
+    if (recording) {
+      obs::CoreKernelCounters& cc = core_counters[c];
+      cc.groups = groups_on_core;
+      cc.l1_misses = core_l1_misses;
+      cc.l2_misses = core_l2_misses;
+      cc.arith_cycles = arith_cycles;
+      cc.ls_cycles = ls_cycles;
+      cc.dispatch_cycles = dispatch_cycles;
+      cc.stall_sec = stall_sec;
+      cc.busy_sec = busy_sec[c];
+      cc.core_sec = core_sec;
+      cc.imbalance = imbalance;
+    }
+
     result.run.MergeFrom(core_run);
     const std::string prefix = "mali.core" + std::to_string(c);
     result.stats.Set(prefix + ".arith_cycles", arith_cycles);
@@ -290,6 +316,62 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
                    static_cast<double>(kernel.threads_per_core));
   result.stats.Set("mali.live_reg_bytes",
                    static_cast<double>(kernel.live_reg_bytes));
+
+  if (recording) {
+    obs::KernelRecord record;
+    record.kernel = program.name;
+    record.device = "mali-t604";
+    record.seconds = seconds;
+    record.cores = std::move(core_counters);
+    for (const CoreAggregate& a : agg) {
+      for (std::size_t op = 0; op < record.opcode_counts.size(); ++op) {
+        record.opcode_counts[op] += a.opcode_tally[op];
+      }
+    }
+    record.ops = result.run.ops;
+    record.loads = result.run.loads;
+    record.stores = result.run.stores;
+    record.load_bytes = result.run.load_bytes;
+    record.store_bytes = result.run.store_bytes;
+    record.atomics = result.run.atomics;
+    record.barriers_crossed = result.run.barriers_crossed;
+    record.work_items = result.run.work_items;
+    record.dram_bytes = hierarchy_.dram_bytes();
+    record.dram_bw_floor_sec = dram_sec;
+    record.atomic_floor_sec = atomic_sec;
+    record.live_reg_bytes = kernel.live_reg_bytes;
+    record.threads_per_core = kernel.threads_per_core;
+    record.sched_factor = kernel.sched_factor;
+    record.profile = result.profile;
+    // What limited this launch: a device-wide floor if one of them won the
+    // max() above, otherwise the dominant cost on the slowest core.
+    if (dram_sec >= core_sec_max && dram_sec >= atomic_sec) {
+      record.bottleneck = "dram-bandwidth";
+    } else if (atomic_sec >= core_sec_max) {
+      record.bottleneck = "atomic-serialization";
+    } else {
+      double worst_issue_sec = 0.0;
+      double worst_stall_sec = 0.0;
+      bool arith_bound = true;
+      for (const obs::CoreKernelCounters& cc : record.cores) {
+        const double issue_sec =
+            (std::max(cc.arith_cycles, cc.ls_cycles) + cc.dispatch_cycles) /
+            timing_.clock_hz;
+        if (issue_sec + cc.stall_sec >
+            worst_issue_sec + worst_stall_sec) {
+          worst_issue_sec = issue_sec;
+          worst_stall_sec = cc.stall_sec;
+          arith_bound = cc.arith_cycles >= cc.ls_cycles;
+        }
+      }
+      if (worst_stall_sec > worst_issue_sec) {
+        record.bottleneck = "memory-latency";
+      } else {
+        record.bottleneck = arith_bound ? "arith-pipe" : "ls-pipe";
+      }
+    }
+    recorder_->AddKernel(std::move(record));
+  }
   return result;
 }
 
@@ -332,6 +414,11 @@ Status MaliT604Device::RunGroupsParallel(
   std::vector<std::vector<kir::MemEvent>> task_events(tasks.size());
   std::vector<kir::WorkGroupRun> task_runs(tasks.size());
   std::vector<std::vector<std::byte>> task_scratch(tasks.size());
+  // Per-task opcode tallies (integer, hence commutative): workers fill them
+  // race-free and the canonical-order replay merges them per modelled core.
+  const bool recording = recorder_ != nullptr && recorder_->counters_enabled();
+  std::vector<std::array<std::uint64_t, kir::kNumOpcodeValues>> task_tallies(
+      recording ? tasks.size() : 0);
 
   auto run_task = [&](std::size_t i) -> Status {
     const GroupTask& task = tasks[i];
@@ -346,6 +433,7 @@ Status MaliT604Device::RunGroupsParallel(
     StatusOr<kir::Executor> executor =
         kir::Executor::Create(&program, config, std::move(task_bindings));
     if (!executor.ok()) return executor.status();
+    if (recording) executor->set_opcode_tally(task_tallies[i].data());
 
     kir::RecordingMemorySink sink(&task_events[i]);
     for (std::uint64_t k = task.begin; k < task.end; ++k) {
@@ -379,6 +467,11 @@ Status MaliT604Device::RunGroupsParallel(
     }
     a.run.MergeFrom(task_runs[i]);
     a.groups += task.end - task.begin;
+    if (recording) {
+      for (std::size_t op = 0; op < a.opcode_tally.size(); ++op) {
+        a.opcode_tally[op] += task_tallies[i][op];
+      }
+    }
     // Release buffered state as the replay cursor passes.
     task_events[i] = {};
     task_scratch[i] = {};

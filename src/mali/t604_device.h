@@ -4,6 +4,7 @@
 // and reports the activity profile for the power model.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -19,6 +20,10 @@
 #include "mali/t604_params.h"
 #include "power/profile.h"
 #include "sim/memory_system.h"
+
+namespace malisim::obs {
+class Recorder;
+}  // namespace malisim::obs
 
 namespace malisim::mali {
 
@@ -60,6 +65,12 @@ class MaliT604Device {
   void set_sim_options(const SimOptions& options) { options_ = options; }
   const SimOptions& sim_options() const { return options_; }
 
+  /// Attaches an observability recorder (nullptr detaches). When attached,
+  /// each Run() appends a KernelRecord with per-core counters and the
+  /// interpreter's per-opcode tally. Strictly read-only with respect to the
+  /// simulation: modelled seconds/power never depend on the recorder.
+  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+
   /// The §III-A work-group-size heuristic the driver applies when the host
   /// passes local_size = NULL: a modest power-of-two divisor of the global
   /// size, bounded by `budget` (callers shrink the budget per dimension so
@@ -78,6 +89,8 @@ class MaliT604Device {
     std::uint64_t l1_misses = 0;
     std::uint64_t l2_misses = 0;
     std::uint64_t groups = 0;
+    /// Per-opcode dynamic counts; only filled while a recorder is attached.
+    std::array<std::uint64_t, kir::kNumOpcodeValues> opcode_tally{};
   };
 
   /// Record/replay execution across `host_threads` pool workers.
@@ -91,6 +104,7 @@ class MaliT604Device {
   sim::MemoryHierarchy hierarchy_;
   sim::DramModel dram_;
   SimOptions options_;
+  obs::Recorder* recorder_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<std::byte[]>> scratch_;
   std::uint64_t scratch_bytes_ = 0;

@@ -9,6 +9,7 @@
 //   kir/      — the kernel IR: builder DSL, passes, interpreter
 //   cpu/      — the Cortex-A15 device model (Serial / OpenMP)
 //   mali/     — the Mali-T604 device model and kernel compiler
+//   obs/      — observability: counters, power timeline, Perfetto export
 //   ocl/      — tinycl, the OpenCL-shaped host runtime
 //   power/    — the Exynos 5250 board power model and virtual meter
 //   hpc/      — the paper's nine benchmarks in four versions
@@ -18,6 +19,8 @@
 //   * write and run a kernel:       kir::KernelBuilder + ocl::Context
 //   * run a paper benchmark:        hpc::CreateBenchmark(...)->Run(...)
 //   * reproduce a paper figure:     harness::ExperimentRunner + Fig2Speedup
+//   * profile a run:                obs::Recorder + obs::WritePerfettoTrace
+//                                   (or the malisim-prof CLI in tools/)
 #pragma once
 
 #include "common/aligned_buffer.h"
@@ -41,6 +44,12 @@
 #include "mali/compiler.h"
 #include "mali/t604_device.h"
 #include "mali/t604_params.h"
+#include "obs/counters.h"
+#include "obs/export.h"
+#include "obs/obs_options.h"
+#include "obs/power_sampler.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
 #include "ocl/cl_error.h"
 #include "ocl/runtime.h"
 #include "power/power_meter.h"

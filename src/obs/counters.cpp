@@ -1,0 +1,41 @@
+#include "obs/counters.h"
+
+namespace malisim::obs {
+
+CounterRegistry::Id CounterRegistry::Register(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Id i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].name == name) return i;
+  }
+  entries_.push_back({name, 0.0});
+  return entries_.size() - 1;
+}
+
+void CounterRegistry::Add(Id id, double delta) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id < entries_.size()) entries_[id].value += delta;
+}
+
+void CounterRegistry::Increment(const std::string& name, double delta) {
+  Add(Register(name), delta);
+}
+
+double CounterRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& e : entries_) {
+    if (e.name == name) return e.value;
+  }
+  return 0.0;
+}
+
+std::vector<CounterRegistry::Entry> CounterRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_;
+}
+
+std::size_t CounterRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+}  // namespace malisim::obs

@@ -1,0 +1,63 @@
+// Export sinks for recorded observability data:
+//  * BuildTrace / WritePerfettoTrace — Chrome/Perfetto trace with per-core
+//    kernel spans (work-group batch slices nested inside), the host command
+//    queue, and a sampled per-rail power counter track ("ph":"C").
+//  * MetricsJson / WriteMetricsJson — machine-readable dump (schema
+//    "malisim-prof-v1"): per-kernel opcode histograms, cache hit rates,
+//    pipe attribution, occupancy, per-rail power segments and samples.
+//  * KernelMetricsCsv / PowerTimelineCsv — flat CSV for plotting.
+//  * TextReport — the malisim-prof console report: hot opcodes, cache hit
+//    rates, pipe bottleneck, energy breakdown.
+#pragma once
+
+#include <string>
+
+#include "common/status.h"
+#include "obs/power_sampler.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+#include "power/power_model.h"
+
+namespace malisim::obs {
+
+/// Trace track layout (pid 1 = modelled SoC, pid 2 = power meter).
+inline constexpr int kTracePidSoc = 1;
+inline constexpr int kTracePidMeter = 2;
+inline constexpr int kTraceTidA15Base = 1;    // tids 1..2: A15 cores
+inline constexpr int kTraceTidMaliBase = 11;  // tids 11..14: Mali cores
+inline constexpr int kTraceTidQueue = 20;     // host command queue
+inline constexpr int kTraceTidMeter = 1;      // meter windows (pid 2)
+
+/// Appends the recorder's contents to `trace`. Tracks are independent
+/// timelines (per-track cursors): each device's kernels are laid out
+/// back-to-back on its core tids, the command queue on its own tid, and
+/// the power timeline on pid 2 with its own (seconds-scale) timebase.
+void BuildTrace(const Recorder& recorder, const power::PowerModel& model,
+                TraceBuilder* trace);
+
+Status WritePerfettoTrace(const Recorder& recorder,
+                          const power::PowerModel& model,
+                          const std::string& path);
+
+/// Full metrics dump, schema "malisim-prof-v1".
+std::string MetricsJson(const Recorder& recorder,
+                        const power::PowerModel& model);
+Status WriteMetricsJson(const Recorder& recorder,
+                        const power::PowerModel& model,
+                        const std::string& path);
+
+/// One row per (kernel launch, modelled core).
+std::string KernelMetricsCsv(const Recorder& recorder);
+Status WriteKernelMetricsCsv(const Recorder& recorder,
+                             const std::string& path);
+
+/// t_sec,segment,total_w,static_w,cpu_w,gpu_w,dram_w rows.
+std::string PowerTimelineCsv(const PowerTimeline& timeline);
+Status WritePowerTimelineCsv(const PowerTimeline& timeline,
+                             const std::string& path);
+
+/// Human-readable profile report (the malisim-prof console output).
+std::string TextReport(const Recorder& recorder,
+                       const power::PowerModel& model);
+
+}  // namespace malisim::obs

@@ -1,0 +1,23 @@
+// Observability configuration. The subsystem is zero-cost when disabled:
+// every instrumentation site guards on a pointer/flag that is null/false by
+// default, so the modelled-simulation hot paths pay one predictable branch
+// at most. Enabling it never changes modelled seconds, watts or joules —
+// counters are *read-only taps* on values the engine already computes (the
+// determinism contract; see DESIGN.md §"Observability").
+#pragma once
+
+namespace malisim::obs {
+
+struct ObsOptions {
+  /// Master switch. False = the whole subsystem is inert.
+  bool enabled = false;
+  /// Collect per-kernel counters (opcode tallies, per-core cycles/misses).
+  bool counters = true;
+  /// Retain per-kernel/per-command records for trace export.
+  bool trace = true;
+  /// Emulated power-meter sampling rate for the rendered watts timeline.
+  /// 10 Hz is the paper's Yokogawa WT230 setup (§IV-D).
+  double power_hz = 10.0;
+};
+
+}  // namespace malisim::obs

@@ -1,0 +1,37 @@
+#include "obs/recorder.h"
+
+#include <utility>
+
+namespace malisim::obs {
+
+void Recorder::AddKernel(KernelRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  kernels_.push_back(std::move(record));
+}
+
+void Recorder::AddCommand(CommandRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  commands_.push_back(std::move(record));
+}
+
+void Recorder::AddPowerSegment(PowerSegment segment) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  segments_.push_back(std::move(segment));
+}
+
+std::vector<KernelRecord> Recorder::kernels() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return kernels_;
+}
+
+std::vector<CommandRecord> Recorder::commands() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return commands_;
+}
+
+std::vector<PowerSegment> Recorder::power_segments() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segments_;
+}
+
+}  // namespace malisim::obs

@@ -1,0 +1,130 @@
+// Recorder: the collection point of the observability subsystem. Device
+// models, the OCL runtime and the experiment harness append records here
+// when a recorder is attached and enabled; exporters (obs/export.h) turn
+// the records into Perfetto traces, JSON/CSV metric dumps and text reports.
+//
+// Determinism contract: recording is strictly read-only with respect to the
+// simulation — every value stored is one the engine computed anyway, and
+// the modelled timing/power/energy path never branches on whether a
+// recorder is attached. Thread safety: Add* methods are mutex-protected so
+// the parallel engine (and parallel RunAll) can record concurrently; record
+// ORDER across concurrently-running benchmarks is not deterministic, which
+// is why deterministic outputs (golden CSVs) never derive from record
+// order. malisim-prof runs benchmarks serially, so its exports are stable.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "kir/exec_types.h"
+#include "kir/opcode.h"
+#include "obs/counters.h"
+#include "obs/obs_options.h"
+#include "power/profile.h"
+
+namespace malisim::obs {
+
+/// Per-opcode dynamic execution tally, indexed by kir::Opcode.
+using OpcodeCounts = std::array<std::uint64_t, kir::kNumOpcodeValues>;
+
+/// Timing-phase counters for one modelled core's share of a kernel launch.
+/// Mali cores fill every field; A15 cores leave the pipe split empty
+/// (scalar issue: everything lands in arith_cycles).
+struct CoreKernelCounters {
+  std::uint64_t groups = 0;
+  std::uint64_t l1_misses = 0;
+  std::uint64_t l2_misses = 0;
+  double arith_cycles = 0.0;
+  double ls_cycles = 0.0;
+  double dispatch_cycles = 0.0;
+  double stall_sec = 0.0;
+  double busy_sec = 0.0;   // raw pipe-active time (power-relevant)
+  double core_sec = 0.0;   // modelled elapsed time on this core
+  double imbalance = 1.0;
+};
+
+/// One kernel launch as seen by a device model.
+struct KernelRecord {
+  std::string kernel;
+  std::string device;  // "mali-t604" or "cortex-a15"
+  double seconds = 0.0;
+  std::vector<CoreKernelCounters> cores;
+  /// Per-opcode dynamic instruction counts (interpreter tally).
+  OpcodeCounts opcode_counts{};
+  /// (class, type, lanes) histogram — what the timing model actually costs.
+  kir::OpHistogram ops;
+  std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
+  std::uint64_t load_bytes = 0;
+  std::uint64_t store_bytes = 0;
+  std::uint64_t atomics = 0;
+  std::uint64_t barriers_crossed = 0;
+  std::uint64_t work_items = 0;
+  std::uint64_t dram_bytes = 0;
+  /// Device-wide time floors and the winning bottleneck label
+  /// ("arith-pipe", "ls-pipe", "memory-latency", "dram-bandwidth",
+  /// "atomic-serialization", "cpu-issue").
+  double dram_bw_floor_sec = 0.0;
+  double atomic_floor_sec = 0.0;
+  std::string bottleneck;
+  /// Compiler register-pressure report (Mali only; zero on the CPU).
+  std::uint32_t live_reg_bytes = 0;
+  std::uint32_t threads_per_core = 0;
+  double sched_factor = 1.0;
+  power::ActivityProfile profile;
+};
+
+/// One host-runtime command (transfer, map, fill, enqueue).
+struct CommandRecord {
+  std::string kind;    // "write", "read", "copy", "fill", "map", "unmap",
+                       // "ndrange"
+  std::string detail;  // kernel name for ndrange, empty otherwise
+  std::uint64_t bytes = 0;
+  double seconds = 0.0;
+};
+
+/// One meter window: what the virtual power meter would observe while
+/// `label` ran repeatedly for `window_sec` (the harness's steady-state
+/// measurement region, §IV-D).
+struct PowerSegment {
+  std::string label;  // "<benchmark>/<variant>"
+  double window_sec = 0.0;
+  power::ActivityProfile profile;
+};
+
+class Recorder {
+ public:
+  explicit Recorder(const ObsOptions& options = ObsOptions()) {
+    options_ = options;
+    options_.enabled = true;  // constructing a recorder means "observe"
+  }
+
+  const ObsOptions& options() const { return options_; }
+  bool counters_enabled() const { return options_.enabled && options_.counters; }
+  bool trace_enabled() const { return options_.enabled && options_.trace; }
+
+  void AddKernel(KernelRecord record);
+  void AddCommand(CommandRecord record);
+  void AddPowerSegment(PowerSegment segment);
+
+  /// Snapshots (copies, taken under the lock).
+  std::vector<KernelRecord> kernels() const;
+  std::vector<CommandRecord> commands() const;
+  std::vector<PowerSegment> power_segments() const;
+
+  CounterRegistry& counters() { return counters_; }
+  const CounterRegistry& counters() const { return counters_; }
+
+ private:
+  ObsOptions options_;
+  CounterRegistry counters_;
+  mutable std::mutex mutex_;
+  std::vector<KernelRecord> kernels_;
+  std::vector<CommandRecord> commands_;
+  std::vector<PowerSegment> segments_;
+};
+
+}  // namespace malisim::obs

@@ -1,0 +1,174 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace malisim::obs {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += ch;
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  std::string out = buf;
+  // JSON has no inf/nan literals; clamp to null-safe zero.
+  if (out.find("inf") != std::string::npos ||
+      out.find("nan") != std::string::npos) {
+    out = "0";
+  }
+  return out;
+}
+
+}  // namespace
+
+void TraceBuilder::AddSpan(
+    const std::string& name, const std::string& category, int tid,
+    double duration_sec,
+    std::vector<std::pair<std::string, std::string>> args) {
+  double& cursor = cursors_us_[{1, tid}];
+  AddSpanAt(name, category, 1, tid, cursor, duration_sec * 1e6,
+            std::move(args));
+}
+
+void TraceBuilder::AddSpanAt(
+    const std::string& name, const std::string& category, int pid, int tid,
+    double timestamp_us, double duration_us,
+    std::vector<std::pair<std::string, std::string>> args,
+    std::vector<std::pair<std::string, double>> metrics) {
+  TraceEvent event;
+  event.phase = 'X';
+  event.name = name;
+  event.category = category;
+  event.timestamp_us = timestamp_us;
+  event.duration_us = duration_us;
+  event.pid = pid;
+  event.tid = tid;
+  event.args = std::move(args);
+  event.metrics = std::move(metrics);
+  double& cursor = cursors_us_[{pid, tid}];
+  cursor = std::max(cursor, timestamp_us + duration_us);
+  events_.push_back(std::move(event));
+}
+
+void TraceBuilder::AddCounter(
+    const std::string& name, int pid, double timestamp_us,
+    std::vector<std::pair<std::string, double>> metrics) {
+  TraceEvent event;
+  event.phase = 'C';
+  event.name = name;
+  event.timestamp_us = timestamp_us;
+  event.pid = pid;
+  event.tid = 0;  // counter tracks hang off the process, not a thread
+  event.metrics = std::move(metrics);
+  events_.push_back(std::move(event));
+}
+
+void TraceBuilder::SetProcessName(int pid, const std::string& name) {
+  TraceEvent event;
+  event.phase = 'M';
+  event.name = "process_name";
+  event.pid = pid;
+  event.tid = 0;
+  event.args = {{"name", name}};
+  events_.push_back(std::move(event));
+}
+
+void TraceBuilder::SetThreadName(int pid, int tid, const std::string& name) {
+  TraceEvent event;
+  event.phase = 'M';
+  event.name = "thread_name";
+  event.pid = pid;
+  event.tid = tid;
+  event.args = {{"name", name}};
+  events_.push_back(std::move(event));
+}
+
+double TraceBuilder::cursor_us(int pid, int tid) const {
+  const auto it = cursors_us_.find({pid, tid});
+  return it == cursors_us_.end() ? 0.0 : it->second;
+}
+
+std::string TraceBuilder::ToJson() const {
+  std::string out = "[\n";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    char head[256];
+    if (e.phase == 'X') {
+      std::snprintf(head, sizeof(head),
+                    "{\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,"
+                    "\"tid\":%d,",
+                    e.timestamp_us, e.duration_us, e.pid, e.tid);
+    } else {
+      std::snprintf(head, sizeof(head),
+                    "{\"ph\":\"%c\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,",
+                    e.phase, e.timestamp_us, e.pid, e.tid);
+    }
+    out += head;
+    out += "\"name\":\"";
+    out += JsonEscape(e.name);
+    out += "\"";
+    if (!e.category.empty()) {
+      out += ",\"cat\":\"";
+      out += JsonEscape(e.category);
+      out += "\"";
+    }
+    if (!e.args.empty() || !e.metrics.empty()) {
+      out += ",\"args\":{";
+      bool first = true;
+      for (const auto& [key, value] : e.args) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"";
+        out += JsonEscape(key);
+        out += "\":\"";
+        out += JsonEscape(value);
+        out += "\"";
+      }
+      for (const auto& [key, value] : e.metrics) {
+        if (!first) out += ",";
+        first = false;
+        out += "\"";
+        out += JsonEscape(key);
+        out += "\":";
+        out += JsonNumber(value);
+      }
+      out += "}";
+    }
+    out += i + 1 < events_.size() ? "},\n" : "}\n";
+  }
+  out += "]\n";
+  return out;
+}
+
+Status TraceBuilder::WriteTo(const std::string& path) const {
+  std::ofstream file(path);
+  if (!file) {
+    return InvalidArgumentError("cannot open trace output '" + path + "'");
+  }
+  file << ToJson();
+  return file.good() ? Status::Ok()
+                     : InternalError("short write to '" + path + "'");
+}
+
+}  // namespace malisim::obs

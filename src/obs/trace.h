@@ -1,0 +1,85 @@
+// Chrome/Perfetto trace building: spans ("ph":"X"), counter tracks
+// ("ph":"C") and metadata ("ph":"M"), serialized as the Chrome trace event
+// JSON array format (loadable at ui.perfetto.dev or chrome://tracing).
+//
+// Timestamp semantics: every (pid, tid) track has its OWN cursor. AddSpan
+// appends at the track's cursor and advances it, so spans on one track are
+// laid out back-to-back while independent tracks start at t = 0 and run
+// concurrently. This matches what the tracks mean: each tid is an
+// independent device/core timeline, not a slice of one global schedule.
+// (Earlier versions used a single global cursor, which made independent
+// CPU and GPU runs look sequential.) Use AddSpanAt for explicit placement.
+//
+// Multiple pids are separate processes in the viewer — used to separate
+// timebases: the modelled-device timeline (µs-scale kernels) and the power
+// meter timeline (seconds-scale measurement windows) would be unreadable on
+// one axis.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace malisim::obs {
+
+/// One event in the Chrome trace event format.
+struct TraceEvent {
+  char phase = 'X';  // 'X' complete span, 'C' counter, 'M' metadata
+  std::string name;
+  std::string category;
+  double timestamp_us = 0;   // "ts"
+  double duration_us = 0;    // "dur" (spans only)
+  int pid = 1;
+  int tid = 1;
+  /// String args shown in the inspector ("args": {"k": "v"}).
+  std::vector<std::pair<std::string, std::string>> args;
+  /// Numeric args ("args": {"k": 1.5}) — counter series for 'C' events.
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+class TraceBuilder {
+ public:
+  virtual ~TraceBuilder() = default;
+
+  /// Appends a span at the (pid=1, tid) track cursor and advances it.
+  void AddSpan(const std::string& name, const std::string& category, int tid,
+               double duration_sec,
+               std::vector<std::pair<std::string, std::string>> args = {});
+
+  /// Appends a span at an explicit position; does not move any cursor past
+  /// its end unless the span extends beyond the track's current cursor.
+  void AddSpanAt(const std::string& name, const std::string& category,
+                 int pid, int tid, double timestamp_us, double duration_us,
+                 std::vector<std::pair<std::string, std::string>> args = {},
+                 std::vector<std::pair<std::string, double>> metrics = {});
+
+  /// Appends a "ph":"C" counter event: each metric becomes a series on the
+  /// counter track `name`.
+  void AddCounter(const std::string& name, int pid, double timestamp_us,
+                  std::vector<std::pair<std::string, double>> metrics);
+
+  /// Metadata: names the process / thread rows in the viewer.
+  void SetProcessName(int pid, const std::string& name);
+  void SetThreadName(int pid, int tid, const std::string& name);
+
+  /// Current cursor (µs) of a track; 0 for untouched tracks.
+  double cursor_us(int pid, int tid) const;
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+
+  /// Serializes to the Chrome trace event JSON array format.
+  std::string ToJson() const;
+
+  /// Writes ToJson() to a file.
+  Status WriteTo(const std::string& path) const;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::map<std::pair<int, int>, double> cursors_us_;  // (pid, tid) -> cursor
+};
+
+}  // namespace malisim::obs

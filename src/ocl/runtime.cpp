@@ -3,7 +3,9 @@
 #include <cstring>
 #include <utility>
 
+#include "common/log.h"
 #include "kir/passes.h"
+#include "obs/recorder.h"
 
 namespace malisim::ocl {
 
@@ -124,6 +126,9 @@ Status Program::Build() {
     StatusOr<mali::CompiledKernel> compiled =
         mali::CompileForMali(kernel, timing_, compiler_);
     if (!compiled.ok()) {
+      MALI_LOG_WARN("clBuildProgram: kernel '%s' failed to compile: %s",
+                    kernel.name.c_str(),
+                    compiled.status().ToString().c_str());
       build_log_ += "error: kernel '" + kernel.name +
                     "': " + compiled.status().ToString() + "\n";
       if (first_error.ok()) first_error = compiled.status();
@@ -227,6 +232,13 @@ StatusOr<kir::Bindings> Kernel::MakeBindings() const {
 
 // ----------------------------------------------------------- CommandQueue
 
+void CommandQueue::RecordCommand(const char* kind, const std::string& detail,
+                                 std::uint64_t bytes, double seconds) {
+  obs::Recorder* recorder = context_->recorder_;
+  if (recorder == nullptr || !recorder->counters_enabled()) return;
+  recorder->AddCommand({kind, detail, bytes, seconds});
+}
+
 Event CommandQueue::HostCopyEvent(Event::Kind kind, std::uint64_t bytes,
                                   double overhead) {
   Event event;
@@ -249,8 +261,10 @@ StatusOr<Event> CommandQueue::EnqueueWriteBuffer(Buffer& buffer,
     return InvalidArgumentError("CL_INVALID_VALUE: bad write range");
   }
   std::memcpy(buffer.storage_.data() + offset, src, bytes);
-  return HostCopyEvent(Event::Kind::kWrite, bytes,
-                       context_->host_.enqueue_overhead_sec);
+  Event event = HostCopyEvent(Event::Kind::kWrite, bytes,
+                              context_->host_.enqueue_overhead_sec);
+  RecordCommand("write", "", bytes, event.seconds);
+  return event;
 }
 
 StatusOr<Event> CommandQueue::EnqueueReadBuffer(Buffer& buffer, void* dst,
@@ -260,8 +274,10 @@ StatusOr<Event> CommandQueue::EnqueueReadBuffer(Buffer& buffer, void* dst,
     return InvalidArgumentError("CL_INVALID_VALUE: bad read range");
   }
   std::memcpy(dst, buffer.storage_.data() + offset, bytes);
-  return HostCopyEvent(Event::Kind::kRead, bytes,
-                       context_->host_.enqueue_overhead_sec);
+  Event event = HostCopyEvent(Event::Kind::kRead, bytes,
+                              context_->host_.enqueue_overhead_sec);
+  RecordCommand("read", "", bytes, event.seconds);
+  return event;
 }
 
 StatusOr<Event> CommandQueue::EnqueueCopyBuffer(Buffer& src, Buffer& dst,
@@ -287,6 +303,7 @@ StatusOr<Event> CommandQueue::EnqueueCopyBuffer(Buffer& src, Buffer& dst,
   event.profile.gpu_core_busy[0] = 0.5;  // one core's LS pipe streams it
   event.profile.dram_bytes = 2 * bytes;
   total_seconds_ += event.seconds;
+  RecordCommand("copy", "", bytes, event.seconds);
   return event;
 }
 
@@ -314,6 +331,7 @@ StatusOr<Event> CommandQueue::EnqueueFillBuffer(Buffer& buffer,
   event.profile.gpu_core_busy[0] = 0.5;
   event.profile.dram_bytes = bytes;
   total_seconds_ += event.seconds;
+  RecordCommand("fill", "", bytes, event.seconds);
   return event;
 }
 
@@ -329,6 +347,7 @@ StatusOr<void*> CommandQueue::MapBuffer(Buffer& buffer, Event* event) {
     std::memcpy(buffer.user_ptr_, buffer.storage_.data(), buffer.size_);
     Event e = HostCopyEvent(Event::Kind::kMap, buffer.size_,
                             context_->host_.map_overhead_sec);
+    RecordCommand("map", "copy-out", buffer.size_, e.seconds);
     if (event != nullptr) *event = e;
     return buffer.user_ptr_;
   }
@@ -340,6 +359,7 @@ StatusOr<void*> CommandQueue::MapBuffer(Buffer& buffer, Event* event) {
   e.profile.cpu_busy[0] = 1.0;
   e.profile.gpu_on = true;
   total_seconds_ += e.seconds;
+  RecordCommand("map", "zero-copy", 0, e.seconds);
   if (event != nullptr) *event = e;
   return buffer.storage_.data();
 }
@@ -357,6 +377,7 @@ Status CommandQueue::UnmapBuffer(Buffer& buffer, void* mapped, Event* event) {
     std::memcpy(buffer.storage_.data(), buffer.user_ptr_, buffer.size_);
     Event e = HostCopyEvent(Event::Kind::kUnmap, buffer.size_,
                             context_->host_.unmap_overhead_sec);
+    RecordCommand("unmap", "copy-in", buffer.size_, e.seconds);
     if (event != nullptr) *event = e;
     return Status::Ok();
   }
@@ -371,6 +392,7 @@ Status CommandQueue::UnmapBuffer(Buffer& buffer, void* mapped, Event* event) {
   e.profile.cpu_busy[0] = 1.0;
   e.profile.gpu_on = true;
   total_seconds_ += e.seconds;
+  RecordCommand("unmap", "zero-copy", 0, e.seconds);
   if (event != nullptr) *event = e;
   return Status::Ok();
 }
@@ -397,6 +419,18 @@ StatusOr<Event> CommandQueue::EnqueueNDRange(Kernel& kernel,
           mali::MaliT604Device::DriverPickLocalSize(global[d], driver_budget);
       driver_budget /= config.local_size[d];
     }
+  }
+  if (local == nullptr) {
+    MALI_LOG_DEBUG(
+        "clEnqueueNDRangeKernel('%s'): driver picked local size "
+        "%llu x %llu x %llu for global %llu x %llu x %llu",
+        kernel.name().c_str(),
+        static_cast<unsigned long long>(config.local_size[0]),
+        static_cast<unsigned long long>(config.local_size[1]),
+        static_cast<unsigned long long>(config.local_size[2]),
+        static_cast<unsigned long long>(config.global_size[0]),
+        static_cast<unsigned long long>(config.global_size[1]),
+        static_cast<unsigned long long>(config.global_size[2]));
   }
   if (config.work_group_size() > Context::kMaxWorkGroupSize) {
     return InvalidArgumentError(
@@ -440,6 +474,7 @@ StatusOr<Event> CommandQueue::EnqueueNDRange(Kernel& kernel,
   // occupancy) can be re-averaged after a MergeFrom across launches.
   event.stats.Set("ocl.launches", 1.0);
   total_seconds_ += event.seconds;
+  RecordCommand("ndrange", kernel.name(), 0, event.seconds);
   return event;
 }
 

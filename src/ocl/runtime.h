@@ -218,6 +218,9 @@ class CommandQueue {
   explicit CommandQueue(Context* context) : context_(context) {}
 
   Event HostCopyEvent(Event::Kind kind, std::uint64_t bytes, double overhead);
+  /// Appends a CommandRecord when the context has a recorder attached.
+  void RecordCommand(const char* kind, const std::string& detail,
+                     std::uint64_t bytes, double seconds);
 
   Context* context_;
   double total_seconds_ = 0.0;
@@ -262,6 +265,17 @@ class Context {
     device_.set_sim_options(options);
     cpu_device_.set_sim_options(options);
   }
+
+  /// Attaches an observability recorder to the runtime and both device
+  /// models: kernel launches, transfers and map/unmap traffic are recorded.
+  /// nullptr detaches. Never affects modelled times.
+  void set_recorder(obs::Recorder* recorder) {
+    recorder_ = recorder;
+    device_.set_recorder(recorder);
+    cpu_device_.set_recorder(recorder);
+  }
+  obs::Recorder* recorder() const { return recorder_; }
+
   const HostParams& host_params() const { return host_; }
   const mali::MaliTimingParams& timing() const { return timing_; }
 
@@ -290,6 +304,7 @@ class Context {
   HostParams host_;
   mali::MaliT604Device device_;
   cpu::CortexA15Device cpu_device_;
+  obs::Recorder* recorder_ = nullptr;
   CommandQueue queue_;
   std::uint64_t next_sim_addr_ = 0x1000'0000ULL;
 };

@@ -1,5 +1,7 @@
 #include "common/log.h"
 
+#include <cstdlib>
+
 #include <gtest/gtest.h>
 
 namespace malisim {
@@ -40,6 +42,49 @@ TEST(LogTest, EnabledLevelsFormat) {
   const std::string out = ::testing::internal::GetCapturedStderr();
   EXPECT_NE(out.find("[info ]"), std::string::npos);
   EXPECT_NE(out.find("value=42"), std::string::npos);
+}
+
+TEST(LogTest, ParseLogLevelAcceptsNamesAndNumbers) {
+  LogLevel level = LogLevel::kOff;
+  EXPECT_TRUE(ParseLogLevel("debug", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("info", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);
+  EXPECT_TRUE(ParseLogLevel("warn", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("warning", &level));
+  EXPECT_EQ(level, LogLevel::kWarning);
+  EXPECT_TRUE(ParseLogLevel("error", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+  EXPECT_TRUE(ParseLogLevel("off", &level));
+  EXPECT_EQ(level, LogLevel::kOff);
+  EXPECT_TRUE(ParseLogLevel("0", &level));
+  EXPECT_EQ(level, LogLevel::kDebug);
+  EXPECT_TRUE(ParseLogLevel("3", &level));
+  EXPECT_EQ(level, LogLevel::kError);
+}
+
+TEST(LogTest, ParseLogLevelRejectsGarbage) {
+  LogLevel level = LogLevel::kInfo;
+  EXPECT_FALSE(ParseLogLevel("loud", &level));
+  EXPECT_FALSE(ParseLogLevel("", &level));
+  EXPECT_FALSE(ParseLogLevel("7", &level));
+  EXPECT_EQ(level, LogLevel::kInfo);  // untouched on failure
+}
+
+TEST(LogTest, InitLogLevelFromEnvReadsVariable) {
+  LogLevelGuard guard;
+  ASSERT_EQ(setenv("MALISIM_LOG_LEVEL", "debug", 1), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  ASSERT_EQ(setenv("MALISIM_LOG_LEVEL", "error", 1), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Invalid values leave the level alone.
+  ASSERT_EQ(setenv("MALISIM_LOG_LEVEL", "bogus", 1), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  ASSERT_EQ(unsetenv("MALISIM_LOG_LEVEL"), 0);
 }
 
 TEST(LogTest, BelowThresholdSuppressed) {

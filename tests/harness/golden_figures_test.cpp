@@ -45,39 +45,6 @@ const std::vector<std::string>& SweepBenchmarks() {
   return kNames;
 }
 
-std::string FormatDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
-}
-
-/// Full-precision CSV of the sweep: raw per-variant metrics plus the
-/// derived figure ratios (Fig. 2 speedup, Fig. 3 power, Fig. 4 energy).
-std::string RenderCsv(const std::vector<BenchmarkResults>& results,
-                      bool fp64) {
-  std::ostringstream csv;
-  csv << "benchmark,precision,variant,available,seconds,power_mean_w,"
-         "energy_j,fig2_speedup,fig3_power,fig4_energy\n";
-  for (const BenchmarkResults& r : results) {
-    for (hpc::Variant v : hpc::kAllVariants) {
-      const VariantResult& vr = r.Get(v);
-      csv << r.name << ',' << (fp64 ? "fp64" : "fp32") << ','
-          << hpc::VariantName(v) << ',' << (vr.available ? 1 : 0) << ',';
-      if (vr.available) {
-        csv << FormatDouble(vr.seconds) << ',' << FormatDouble(vr.power_mean_w)
-            << ',' << FormatDouble(vr.energy_j) << ','
-            << FormatDouble(r.SpeedupVsSerial(v)) << ','
-            << FormatDouble(r.PowerVsSerial(v)) << ','
-            << FormatDouble(r.EnergyVsSerial(v));
-      } else {
-        csv << ",,,,,";
-      }
-      csv << '\n';
-    }
-  }
-  return csv.str();
-}
-
 std::string GoldenPath(bool fp64) {
   return std::string(MALISIM_GOLDEN_DIR) + "/reduced_sweep_" +
          (fp64 ? "fp64" : "fp32") + ".csv";
@@ -94,7 +61,7 @@ TEST_P(GoldenFiguresTest, ReducedSweepMatchesGoldenExactly) {
     ASSERT_TRUE(r.ok()) << r.status().ToString();
     results.push_back(*std::move(r));
   }
-  const std::string csv = RenderCsv(results, fp64);
+  const std::string csv = RenderFullPrecisionCsv(results, fp64);
   const std::string path = GoldenPath(fp64);
 
   if (std::getenv("MALISIM_UPDATE_GOLDEN") != nullptr) {

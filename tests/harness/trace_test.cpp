@@ -35,6 +35,22 @@ TEST(TraceTest, SpansAdvanceCursor) {
   EXPECT_DOUBLE_EQ(trace.events()[1].timestamp_us, 5e5);
 }
 
+TEST(TraceTest, TracksHaveIndependentCursors) {
+  TraceBuilder trace;
+  trace.AddSpan("cpu", "cat", 1, 0.5);
+  trace.AddSpan("gpu", "cat", 2, 0.25);
+  trace.AddSpan("gpu2", "cat", 2, 0.25);
+  ASSERT_EQ(trace.events().size(), 3u);
+  // tid 2 starts at t = 0 even though tid 1 already holds a span: each
+  // (pid, tid) track is an independent timeline, not a slice of one global
+  // schedule.
+  EXPECT_DOUBLE_EQ(trace.events()[1].timestamp_us, 0.0);
+  EXPECT_DOUBLE_EQ(trace.events()[2].timestamp_us, 2.5e5);
+  EXPECT_DOUBLE_EQ(trace.cursor_us(1, 1), 5e5);
+  EXPECT_DOUBLE_EQ(trace.cursor_us(1, 2), 5e5);
+  EXPECT_DOUBLE_EQ(trace.cursor_us(1, 99), 0.0);  // untouched track
+}
+
 TEST(TraceTest, BenchmarkLayout) {
   TraceBuilder trace;
   trace.AddBenchmark(FakeResults());

@@ -1,0 +1,82 @@
+#include "obs/counters.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace malisim::obs {
+namespace {
+
+TEST(CounterRegistryTest, RegisterIsIdempotent) {
+  CounterRegistry reg;
+  const auto id1 = reg.Register("sim.groups");
+  const auto id2 = reg.Register("sim.groups");
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(reg.size(), 1u);
+  const auto id3 = reg.Register("sim.kernels");
+  EXPECT_NE(id1, id3);
+  EXPECT_EQ(reg.size(), 2u);
+}
+
+TEST(CounterRegistryTest, AddAccumulates) {
+  CounterRegistry reg;
+  const auto id = reg.Register("x");
+  reg.Add(id, 2.0);
+  reg.Add(id, 0.5);
+  EXPECT_DOUBLE_EQ(reg.Get("x"), 2.5);
+}
+
+TEST(CounterRegistryTest, IncrementRegistersOnFirstUse) {
+  CounterRegistry reg;
+  reg.Increment("events");          // default delta 1
+  reg.Increment("events", 3.0);
+  EXPECT_DOUBLE_EQ(reg.Get("events"), 4.0);
+  EXPECT_DOUBLE_EQ(reg.Get("absent"), 0.0);
+}
+
+TEST(CounterRegistryTest, SnapshotPreservesRegistrationOrder) {
+  CounterRegistry reg;
+  reg.Increment("b", 1.0);
+  reg.Increment("a", 2.0);
+  reg.Increment("b", 1.0);
+  const auto snap = reg.Snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "b");
+  EXPECT_DOUBLE_EQ(snap[0].value, 2.0);
+  EXPECT_EQ(snap[1].name, "a");
+  EXPECT_DOUBLE_EQ(snap[1].value, 2.0);
+}
+
+TEST(CounterRegistryTest, ConcurrentAddsDoNotLoseUpdates) {
+  CounterRegistry reg;
+  const auto id = reg.Register("hits");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) reg.Add(id, 1.0);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(reg.Get("hits"), kThreads * kPerThread);
+}
+
+TEST(ScopedSpanTest, AddsElapsedNanoseconds) {
+  CounterRegistry reg;
+  const auto id = reg.Register("host.span_ns");
+  { ScopedSpan span(&reg, id); }
+  // Wall-clock: can't assert a value, only that something non-negative
+  // landed and the counter exists.
+  EXPECT_GE(reg.Get("host.span_ns"), 0.0);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ScopedSpanTest, NullRegistryIsSafe) {
+  { ScopedSpan span(nullptr, 0); }  // must not crash
+}
+
+}  // namespace
+}  // namespace malisim::obs

@@ -1,0 +1,131 @@
+// The observability determinism contract, verified end to end: attaching a
+// recorder must not change ANY modelled second, watt or joule, at any host
+// thread count. Runs the same reduced sweep as the harness golden test
+// (profiling on and off, threads 1 and 4) and byte-compares the
+// full-precision CSV against the checked-in goldens — the exact files the
+// unprofiled harness must match, so "profiled == unprofiled" is transitive
+// through the golden.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/figures.h"
+#include "obs/recorder.h"
+
+#ifndef MALISIM_GOLDEN_DIR
+#error "MALISIM_GOLDEN_DIR must point at tests/harness/golden"
+#endif
+
+namespace malisim::obs {
+namespace {
+
+// Mirrors tests/harness/golden_figures_test.cpp exactly: same sizes, same
+// repetitions, same benchmark set, so the goldens are shared.
+harness::ExperimentConfig QuickConfig(bool fp64) {
+  harness::ExperimentConfig config;
+  config.fp64 = fp64;
+  config.repetitions = 5;
+  config.sizes.vecop_n = 1 << 13;
+  config.sizes.hist_n = 1 << 13;
+  config.sizes.dmmm_n = 32;
+  return config;
+}
+
+const std::vector<std::string>& SweepBenchmarks() {
+  static const std::vector<std::string> kNames = {"vecop", "hist", "dmmm"};
+  return kNames;
+}
+
+std::string ReadGolden(bool fp64) {
+  const std::string path = std::string(MALISIM_GOLDEN_DIR) +
+                           "/reduced_sweep_" + (fp64 ? "fp64" : "fp32") +
+                           ".csv";
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing golden " << path;
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+std::string RunSweep(bool fp64, int threads, Recorder* recorder) {
+  harness::ExperimentConfig config = QuickConfig(fp64);
+  config.sim_threads = threads;
+  config.recorder = recorder;
+  harness::ExperimentRunner runner(config);
+  std::vector<harness::BenchmarkResults> results;
+  for (const std::string& name : SweepBenchmarks()) {
+    auto r = runner.RunBenchmark(name);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    if (!r.ok()) return {};
+    results.push_back(*std::move(r));
+  }
+  return harness::RenderFullPrecisionCsv(results, fp64);
+}
+
+struct Case {
+  bool fp64;
+  int threads;
+  bool profiled;
+};
+
+class ObsDeterminismTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(ObsDeterminismTest, GoldenCsvBitIdenticalWithProfilingAttached) {
+  const Case c = GetParam();
+  Recorder recorder;
+  const std::string csv =
+      RunSweep(c.fp64, c.threads, c.profiled ? &recorder : nullptr);
+  EXPECT_EQ(ReadGolden(c.fp64), csv)
+      << "modelled numbers drifted with profiling="
+      << (c.profiled ? "on" : "off") << " threads=" << c.threads
+      << " — recording must be read-only w.r.t. the simulation";
+  if (c.profiled) {
+    // The recorder did observe the run (one kernel per executed variant
+    // and one power segment per available variant) — it was not silently
+    // detached.
+    EXPECT_FALSE(recorder.kernels().empty());
+    EXPECT_FALSE(recorder.power_segments().empty());
+  }
+}
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  std::string name = info.param.fp64 ? "fp64" : "fp32";
+  name += info.param.profiled ? "_profiled" : "_plain";
+  name += "_t" + std::to_string(info.param.threads);
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ObsDeterminismTest,
+                         ::testing::Values(Case{false, 1, true},
+                                           Case{false, 4, true},
+                                           Case{false, 4, false},
+                                           Case{true, 1, true},
+                                           Case{true, 4, true}),
+                         CaseName);
+
+/// Same run, profiled vs unprofiled, must also produce identical counter
+/// *inputs*: the per-opcode tallies are pure functions of the executed
+/// program, so two profiled runs at different thread counts agree exactly.
+TEST(ObsDeterminismTest, OpcodeTalliesIdenticalAcrossThreadCounts) {
+  Recorder serial;
+  Recorder parallel;
+  ASSERT_FALSE(RunSweep(false, 1, &serial).empty());
+  ASSERT_FALSE(RunSweep(false, 4, &parallel).empty());
+  const auto lhs = serial.kernels();
+  const auto rhs = parallel.kernels();
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].kernel, rhs[i].kernel);
+    EXPECT_EQ(lhs[i].opcode_counts, rhs[i].opcode_counts) << lhs[i].kernel;
+    EXPECT_EQ(lhs[i].loads, rhs[i].loads);
+    EXPECT_EQ(lhs[i].dram_bytes, rhs[i].dram_bytes);
+    EXPECT_DOUBLE_EQ(lhs[i].seconds, rhs[i].seconds);
+  }
+}
+
+}  // namespace
+}  // namespace malisim::obs

@@ -1,0 +1,119 @@
+#include "obs/power_sampler.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "power/power_model.h"
+#include "power/profile.h"
+
+namespace malisim::obs {
+namespace {
+
+power::ActivityProfile CpuProfile(double seconds) {
+  power::ActivityProfile p;
+  p.seconds = seconds;
+  p.cpu_busy = {1.0, 0.0};
+  return p;
+}
+
+power::ActivityProfile GpuProfile(double seconds) {
+  power::ActivityProfile p;
+  p.seconds = seconds;
+  p.gpu_on = true;
+  p.gpu_core_busy = {0.8, 0.8, 0.8, 0.8};
+  p.dram_bytes = 1u << 30;
+  return p;
+}
+
+TEST(PowerSamplerTest, RailsSumExactlyToTotal) {
+  const power::PowerModel model;
+  const PowerSampler sampler(&model);
+  for (const auto& profile : {CpuProfile(1.0), GpuProfile(2.0)}) {
+    const RailPower rails = sampler.Rails(profile);
+    // The power model is a sum of rails, so the decomposition is exact by
+    // construction — assert bitwise-equal, not approximately.
+    EXPECT_DOUBLE_EQ(rails.total,
+                     rails.static_w + rails.cpu + rails.gpu + rails.dram);
+    EXPECT_DOUBLE_EQ(rails.total, model.AveragePower(profile));
+    EXPECT_DOUBLE_EQ(rails.static_w, model.params().board_static_w);
+  }
+}
+
+TEST(PowerSamplerTest, RailAttributionMatchesActivity) {
+  const power::PowerModel model;
+  const PowerSampler sampler(&model);
+  const RailPower cpu = sampler.Rails(CpuProfile(1.0));
+  EXPECT_GT(cpu.cpu, 0.0);
+  EXPECT_DOUBLE_EQ(cpu.gpu, 0.0);  // GPU block powered off
+  const RailPower gpu = sampler.Rails(GpuProfile(1.0));
+  EXPECT_GT(gpu.gpu, 0.0);
+  EXPECT_GT(gpu.dram, 0.0);
+}
+
+TEST(PowerSamplerTest, SampleCountIsFloorTimesHzPlusOne) {
+  const power::PowerModel model;
+  // 10 Hz over 2.0 s -> samples at t = 0, 0.1, ..., 2.0 -> 21 samples.
+  const PowerSampler sampler(&model, 10.0);
+  const PowerTimeline timeline =
+      sampler.Render({{"a", 2.0, CpuProfile(2.0)}});
+  EXPECT_DOUBLE_EQ(timeline.sampling_hz, 10.0);
+  EXPECT_DOUBLE_EQ(timeline.total_sec, 2.0);
+  ASSERT_EQ(timeline.samples.size(), 21u);
+  EXPECT_DOUBLE_EQ(timeline.samples.front().t_sec, 0.0);
+  EXPECT_DOUBLE_EQ(timeline.samples.back().t_sec, 2.0);
+  // Configurable rate: 4 Hz over 2.0 s -> 9 samples.
+  const PowerSampler slow(&model, 4.0);
+  EXPECT_EQ(slow.Render({{"a", 2.0, CpuProfile(2.0)}}).samples.size(), 9u);
+}
+
+TEST(PowerSamplerTest, BoundarySampleBelongsToLaterSegment) {
+  const power::PowerModel model;
+  const PowerSampler sampler(&model, 10.0);
+  const PowerTimeline timeline = sampler.Render(
+      {{"cpu", 1.0, CpuProfile(1.0)}, {"gpu", 1.0, GpuProfile(1.0)}});
+  ASSERT_EQ(timeline.segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(timeline.segments[1].start_sec, 1.0);
+  // t = 1.0 lands exactly on the boundary: it must read segment 1.
+  bool found = false;
+  for (const PowerSample& s : timeline.samples) {
+    if (s.t_sec == 1.0) {
+      EXPECT_EQ(s.segment, 1);
+      EXPECT_DOUBLE_EQ(s.watts.total, timeline.segments[1].watts.total);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+  // The final sample (t = 2.0) is past the last segment's interior start
+  // but still inside the timeline; it reads the last segment.
+  EXPECT_EQ(timeline.samples.back().segment, 1);
+}
+
+TEST(PowerSamplerTest, SegmentEnergyIsPowerTimesWindow) {
+  const power::PowerModel model;
+  const PowerSampler sampler(&model, 10.0);
+  const PowerTimeline timeline =
+      sampler.Render({{"a", 2.0, CpuProfile(2.0)}, {"b", 0.5, GpuProfile(0.5)}});
+  for (const SegmentPower& seg : timeline.segments) {
+    EXPECT_DOUBLE_EQ(seg.energy_j.total, seg.watts.total * seg.window_sec);
+    EXPECT_DOUBLE_EQ(seg.energy_j.cpu, seg.watts.cpu * seg.window_sec);
+  }
+  const RailPower total = timeline.TotalEnergy();
+  EXPECT_DOUBLE_EQ(total.total, timeline.segments[0].energy_j.total +
+                                    timeline.segments[1].energy_j.total);
+  EXPECT_NEAR(total.total,
+              total.static_w + total.cpu + total.gpu + total.dram, 1e-12);
+}
+
+TEST(PowerSamplerTest, EmptySegmentsGiveEmptyTimeline) {
+  const power::PowerModel model;
+  const PowerSampler sampler(&model, 10.0);
+  const PowerTimeline timeline = sampler.Render({});
+  EXPECT_DOUBLE_EQ(timeline.total_sec, 0.0);
+  EXPECT_TRUE(timeline.segments.empty());
+  EXPECT_TRUE(timeline.samples.empty());
+  EXPECT_DOUBLE_EQ(timeline.TotalEnergy().total, 0.0);
+}
+
+}  // namespace
+}  // namespace malisim::obs

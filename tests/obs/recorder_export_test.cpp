@@ -1,0 +1,191 @@
+// Tests for the Recorder and the export sinks: Perfetto trace schema,
+// metrics JSON schema, CSV shapes, and the text report.
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/power_sampler.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+#include "power/power_model.h"
+
+namespace malisim::obs {
+namespace {
+
+KernelRecord MaliKernel() {
+  KernelRecord k;
+  k.kernel = "vecadd";
+  k.device = "mali-t604";
+  k.seconds = 0.002;
+  k.cores.resize(4);
+  for (int c = 0; c < 4; ++c) {
+    k.cores[c].groups = 32;
+    k.cores[c].l1_misses = 100;
+    k.cores[c].l2_misses = 40;
+    k.cores[c].arith_cycles = 5000;
+    k.cores[c].ls_cycles = 8000;
+    k.cores[c].core_sec = 0.002;
+    k.cores[c].busy_sec = 0.0015;
+  }
+  k.opcode_counts[static_cast<std::size_t>(kir::Opcode::kFma)] = 4096;
+  k.opcode_counts[static_cast<std::size_t>(kir::Opcode::kLoad)] = 2048;
+  k.loads = 2048;
+  k.stores = 1024;
+  k.atomics = 0;
+  k.work_items = 16384;
+  k.dram_bytes = 1 << 20;
+  k.bottleneck = "ls-pipe";
+  k.live_reg_bytes = 64;
+  k.threads_per_core = 256;
+  k.profile.seconds = 0.002;
+  k.profile.gpu_on = true;
+  k.profile.gpu_core_busy = {0.75, 0.75, 0.75, 0.75};
+  return k;
+}
+
+PowerSegment Segment(const std::string& label, double window_sec) {
+  PowerSegment seg;
+  seg.label = label;
+  seg.window_sec = window_sec;
+  seg.profile.seconds = window_sec;
+  seg.profile.cpu_busy = {1.0, 0.0};
+  return seg;
+}
+
+// Recorder owns a mutex (not movable), so tests fill one in place.
+void Fill(Recorder* recorder) {
+  recorder->AddKernel(MaliKernel());
+  recorder->AddCommand({"write", "", 1 << 16, 1e-4});
+  recorder->AddCommand({"ndrange", "vecadd", 0, 0.002});
+  recorder->AddPowerSegment(Segment("demo/Serial", 2.0));
+  recorder->AddPowerSegment(Segment("demo/OpenCL Opt", 2.0));
+}
+
+TEST(RecorderTest, ConstructionEnablesObservation) {
+  Recorder recorder;
+  EXPECT_TRUE(recorder.counters_enabled());
+  EXPECT_TRUE(recorder.trace_enabled());
+  ObsOptions no_trace;
+  no_trace.trace = false;
+  Recorder counters_only(no_trace);
+  EXPECT_TRUE(counters_only.counters_enabled());
+  EXPECT_FALSE(counters_only.trace_enabled());
+}
+
+TEST(RecorderTest, SnapshotsReturnRecords) {
+  Recorder recorder;
+  Fill(&recorder);
+  EXPECT_EQ(recorder.kernels().size(), 1u);
+  EXPECT_EQ(recorder.commands().size(), 2u);
+  EXPECT_EQ(recorder.power_segments().size(), 2u);
+  EXPECT_EQ(recorder.kernels()[0].kernel, "vecadd");
+}
+
+TEST(ExportTest, TracePutsKernelsOnPerCoreTracks) {
+  Recorder recorder;
+  Fill(&recorder);
+  const power::PowerModel model;
+  TraceBuilder trace;
+  BuildTrace(recorder, model, &trace);
+
+  int core_spans = 0;
+  int counter_events = 0;
+  int metadata = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.phase == 'M') ++metadata;
+    if (e.phase == 'C') {
+      ++counter_events;
+      EXPECT_EQ(e.pid, kTracePidMeter);
+      EXPECT_EQ(e.name, "power_w");
+      // Every counter sample carries the four rail series (cpu, gpu, dram,
+      // static); the viewer stacks them, so the stack height is the total.
+      EXPECT_EQ(e.metrics.size(), 4u);
+    }
+    if (e.phase == 'X' && e.pid == kTracePidSoc &&
+        e.tid >= kTraceTidMaliBase && e.tid < kTraceTidMaliBase + 4 &&
+        e.name == "vecadd") {
+      ++core_spans;
+    }
+  }
+  EXPECT_EQ(core_spans, 4);  // one span per modelled shader core
+  // 10 Hz (default) over 4.0 s of segments -> 41 counter samples.
+  EXPECT_EQ(counter_events, 41);
+  EXPECT_GT(metadata, 0);  // process/thread names for the viewer
+}
+
+TEST(ExportTest, TraceJsonParsesAsEventArray) {
+  Recorder recorder;
+  Fill(&recorder);
+  const power::PowerModel model;
+  TraceBuilder trace;
+  BuildTrace(recorder, model, &trace);
+  const std::string json = trace.ToJson();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ExportTest, MetricsJsonCarriesSchemaAndHistogram) {
+  Recorder recorder;
+  Fill(&recorder);
+  const power::PowerModel model;
+  const std::string json = MetricsJson(recorder, model);
+  EXPECT_NE(json.find("\"schema\":\"malisim-prof-v1\""), std::string::npos);
+  // Opcode histogram keyed by name, zero entries omitted.
+  EXPECT_NE(json.find("\"fma\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"load\":2048"), std::string::npos);
+  EXPECT_EQ(json.find("\"store\":0"), std::string::npos);
+  // Cache hit rates: 3072 accesses, 400 L1 misses -> well-defined rates.
+  EXPECT_NE(json.find("\"l1_hit_rate\":"), std::string::npos);
+  EXPECT_NE(json.find("\"l2_hit_rate\":"), std::string::npos);
+  // Per-rail energy breakdown and the power samples array.
+  EXPECT_NE(json.find("\"energy_j\""), std::string::npos);
+  EXPECT_NE(json.find("\"samples\""), std::string::npos);
+  EXPECT_NE(json.find("\"bottleneck\":\"ls-pipe\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(ExportTest, KernelMetricsCsvHasOneRowPerCore) {
+  Recorder recorder;
+  Fill(&recorder);
+  const std::string csv = KernelMetricsCsv(recorder);
+  EXPECT_EQ(csv.rfind("kernel,device,seconds,core,", 0), 0u);
+  // Header + 4 core rows for the single 4-core kernel.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+TEST(ExportTest, PowerTimelineCsvMatchesSampleCount) {
+  Recorder recorder;
+  Fill(&recorder);
+  const power::PowerModel model;
+  const PowerSampler sampler(&model, 10.0);
+  const PowerTimeline timeline = sampler.Render(recorder.power_segments());
+  const std::string csv = PowerTimelineCsv(timeline);
+  EXPECT_EQ(csv.rfind("t_sec,segment,total_w,static_w,cpu_w,gpu_w,dram_w", 0),
+            0u);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
+            static_cast<long>(timeline.samples.size()) + 1);
+}
+
+TEST(ExportTest, TextReportNamesTheBottleneckAndEnergy) {
+  Recorder recorder;
+  Fill(&recorder);
+  const power::PowerModel model;
+  const std::string report = TextReport(recorder, model);
+  EXPECT_NE(report.find("Hot opcodes"), std::string::npos);
+  EXPECT_NE(report.find("fma"), std::string::npos);
+  EXPECT_NE(report.find("ls-pipe"), std::string::npos);
+  EXPECT_NE(report.find("Energy breakdown"), std::string::npos);
+  EXPECT_NE(report.find("demo/Serial"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace malisim::obs

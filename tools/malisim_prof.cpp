@@ -1,0 +1,228 @@
+// malisim-prof: the Streamline-style profiler front-end.
+//
+// Runs the selected benchmarks with an observability recorder attached,
+// prints a profile report (hot opcodes, cache hit rates, pipe bottleneck,
+// energy breakdown) and writes the machine-readable artifacts into the
+// output directory:
+//
+//   profile_trace.json    Chrome/Perfetto trace: per-shader-core kernel
+//                         spans with nested work-group slices, the host
+//                         command queue, and a per-rail power counter track
+//                         (load in https://ui.perfetto.dev)
+//   profile_metrics.json  full metrics dump, schema "malisim-prof-v1"
+//   profile_metrics.csv   one row per (kernel launch, modelled core)
+//   profile_power.csv     the sampled power timeline, one row per sample
+//
+// Usage:
+//   malisim-prof [--fp64] [--quick] [--benchmarks=a,b,c] [--out=DIR]
+//                [--power-hz=N] [--seed=N] [--repetitions=N] [--no-trace]
+//
+// Benchmarks run serially (sim_threads implied 1 for the export path):
+// parallel RunAll records kernel/segment order nondeterministically, and
+// the trace layout derives from record order. The modelled numbers are
+// identical either way; only this tool's track layout needs the order.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/status.h"
+#include "harness/experiment.h"
+#include "hpc/benchmark.h"
+#include "obs/export.h"
+#include "obs/obs_options.h"
+#include "obs/power_sampler.h"
+#include "obs/recorder.h"
+#include "power/power_model.h"
+
+namespace malisim {
+namespace {
+
+struct ProfOptions {
+  bool fp64 = false;
+  bool quick = false;
+  bool trace = true;
+  double power_hz = 10.0;
+  std::uint64_t seed = 42;
+  int repetitions = 5;
+  std::string out_dir = "results";
+  std::vector<std::string> benchmarks;  // empty = all registered
+};
+
+void PrintUsage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--fp64] [--quick] [--benchmarks=a,b,c] [--out=DIR]\n"
+      "          [--power-hz=N] [--seed=N] [--repetitions=N] [--no-trace]\n"
+      "\n"
+      "Profiles the paper benchmarks on the modelled Exynos 5250 and writes\n"
+      "profile_trace.json / profile_metrics.{json,csv} / profile_power.csv\n"
+      "into DIR (default: results). Known benchmarks:\n  ",
+      argv0);
+  for (const std::string& name : hpc::RegisteredBenchmarks()) {
+    std::fprintf(stderr, " %s", name.c_str());
+  }
+  std::fprintf(stderr, "\n");
+}
+
+std::vector<std::string> SplitCsv(const std::string& list) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= list.size()) {
+    const std::size_t comma = list.find(',', start);
+    const std::size_t end = comma == std::string::npos ? list.size() : comma;
+    if (end > start) out.push_back(list.substr(start, end - start));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+bool ParseArgs(int argc, char** argv, ProfOptions* options) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fp64") {
+      options->fp64 = true;
+    } else if (arg == "--fp32") {
+      options->fp64 = false;
+    } else if (arg == "--quick") {
+      options->quick = true;
+    } else if (arg == "--no-trace") {
+      options->trace = false;
+    } else if (arg.rfind("--benchmarks=", 0) == 0) {
+      options->benchmarks = SplitCsv(arg.substr(13));
+    } else if (arg.rfind("--out=", 0) == 0) {
+      options->out_dir = arg.substr(6);
+    } else if (arg.rfind("--power-hz=", 0) == 0) {
+      options->power_hz = std::strtod(arg.c_str() + 11, nullptr);
+      if (options->power_hz <= 0.0) {
+        std::fprintf(stderr, "malisim-prof: --power-hz must be > 0\n");
+        return false;
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options->seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--repetitions=", 0) == 0) {
+      options->repetitions =
+          static_cast<int>(std::strtol(arg.c_str() + 14, nullptr, 10));
+      if (options->repetitions < 1) options->repetitions = 1;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(argv[0]);
+      return false;
+    } else {
+      std::fprintf(stderr, "malisim-prof: unknown flag '%s'\n", arg.c_str());
+      PrintUsage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+int Run(const ProfOptions& options) {
+  harness::ExperimentConfig config;
+  config.fp64 = options.fp64;
+  config.seed = options.seed;
+  config.repetitions = options.repetitions;
+  if (options.quick) {
+    config.sizes.spmv_rows = 2048;
+    config.sizes.vecop_n = 1u << 17;
+    config.sizes.hist_n = 1u << 17;
+    config.sizes.stencil_dim = 32;
+    config.sizes.red_n = 1u << 17;
+    config.sizes.amcd_chains = 128;
+    config.sizes.amcd_atoms = 24;
+    config.sizes.amcd_steps = 32;
+    config.sizes.nbody_n = 512;
+    config.sizes.conv_dim = 128;
+    config.sizes.dmmm_n = 96;
+  }
+
+  obs::ObsOptions obs_options;
+  obs_options.enabled = true;
+  obs_options.counters = true;
+  obs_options.trace = options.trace;
+  obs_options.power_hz = options.power_hz;
+  obs::Recorder recorder(obs_options);
+  config.recorder = &recorder;
+
+  harness::ExperimentRunner runner(config);
+  std::vector<std::string> names = options.benchmarks;
+  if (names.empty()) names = hpc::RegisteredBenchmarks();
+
+  for (const std::string& name : names) {
+    std::printf("profiling %s (%s)...\n", name.c_str(),
+                options.fp64 ? "fp64" : "fp32");
+    auto result = runner.RunBenchmark(name);
+    if (!result.ok()) {
+      std::fprintf(stderr, "malisim-prof: %s failed: %s\n", name.c_str(),
+                   result.status().ToString().c_str());
+      return 1;
+    }
+  }
+
+  // The exporters need the same power model the harness measured with.
+  const power::PowerModel model(config.power);
+
+  std::printf("\n%s", obs::TextReport(recorder, model).c_str());
+
+  std::error_code ec;
+  std::filesystem::create_directories(options.out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "malisim-prof: cannot create %s: %s\n",
+                 options.out_dir.c_str(), ec.message().c_str());
+    return 1;
+  }
+  const std::string base = options.out_dir + "/";
+
+  struct Artifact {
+    std::string path;
+    Status status;
+  };
+  std::vector<Artifact> written;
+  if (options.trace) {
+    written.push_back(
+        {base + "profile_trace.json",
+         obs::WritePerfettoTrace(recorder, model, base + "profile_trace.json")});
+  }
+  written.push_back(
+      {base + "profile_metrics.json",
+       obs::WriteMetricsJson(recorder, model, base + "profile_metrics.json")});
+  written.push_back(
+      {base + "profile_metrics.csv",
+       obs::WriteKernelMetricsCsv(recorder, base + "profile_metrics.csv")});
+  const obs::PowerSampler sampler(&model, options.power_hz);
+  const obs::PowerTimeline timeline =
+      sampler.Render(recorder.power_segments());
+  written.push_back(
+      {base + "profile_power.csv",
+       obs::WritePowerTimelineCsv(timeline, base + "profile_power.csv")});
+
+  bool ok = true;
+  std::printf("\nArtifacts:\n");
+  for (const Artifact& a : written) {
+    if (a.status.ok()) {
+      std::printf("  %s\n", a.path.c_str());
+    } else {
+      std::fprintf(stderr, "  FAILED %s: %s\n", a.path.c_str(),
+                   a.status.ToString().c_str());
+      ok = false;
+    }
+  }
+  if (options.trace && ok) {
+    std::printf("\nOpen profile_trace.json in https://ui.perfetto.dev "
+                "(pid 1 = modelled SoC, pid 2 = power meter).\n");
+  }
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace malisim
+
+int main(int argc, char** argv) {
+  malisim::InitLogLevelFromEnv();
+  malisim::ProfOptions options;
+  if (!malisim::ParseArgs(argc, argv, &options)) return 2;
+  return malisim::Run(options);
+}
