@@ -28,6 +28,14 @@ BenchOptions ParseOptions(int argc, char** argv) {
       options.threads =
           static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
       if (options.threads < 0) options.threads = 0;  // 0 = all host cores
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      options.fault.seed = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--fault-rate=", 0) == 0) {
+      options.fault.rate = std::strtod(arg.c_str() + 13, nullptr);
+    } else if (arg.rfind("--fault-spec=", 0) == 0) {
+      options.fault.spec = arg.substr(13);
+    } else if (arg.rfind("--watchdog=", 0) == 0) {
+      options.fault.watchdog_sec = std::strtod(arg.c_str() + 11, nullptr);
     } else if (arg == "--quick") {
       // Shrunken sizes: same code paths, seconds-scale total runtime.
       options.sizes.spmv_rows = 2048;
@@ -53,6 +61,7 @@ StatusOr<std::vector<harness::BenchmarkResults>> RunSweep(
   config.fp64 = fp64;
   config.seed = options.seed;
   config.sim_threads = options.threads;
+  config.fault = options.fault;
   harness::ExperimentRunner runner(config);
   return runner.RunAll();
 }

@@ -22,12 +22,18 @@ struct BenchOptions {
   hpc::ProblemSizes sizes;
   /// When non-empty, a Chrome trace of the runs is written here.
   std::string trace_path;
+  /// Fault injection and resilience (DESIGN.md §8). Defaults (all off)
+  /// reproduce the golden figures byte-for-byte.
+  FaultOptions fault;
 };
 
 /// Parses --fp32 / --fp64 (run only that precision), --csv, --seed=N,
 /// --threads=N (host threads for the simulation engine), --quick (shrunken
 /// problem sizes for CI smoke runs), --trace=PATH (Chrome trace of the
-/// runs).
+/// runs), and the fault-injection knobs: --fault-seed=N, --fault-rate=P
+/// (uniform per-site trip probability), --fault-spec=site=rate[,...]
+/// (per-site overrides; "all" = every site), --watchdog=SEC (per-kernel
+/// modelled-time budget).
 BenchOptions ParseOptions(int argc, char** argv);
 
 /// Runs all nine benchmarks at one precision.

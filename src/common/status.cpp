@@ -1,5 +1,9 @@
 #include "common/status.h"
 
+#include <cstdlib>
+
+#include "common/log.h"
+
 namespace malisim {
 
 std::string_view ErrorCodeName(ErrorCode code) {
@@ -24,6 +28,12 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "Internal";
     case ErrorCode::kBuildFailure:
       return "BuildFailure";
+    case ErrorCode::kUnavailable:
+      return "Unavailable";
+    case ErrorCode::kAllocationFailure:
+      return "AllocationFailure";
+    case ErrorCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -63,13 +73,28 @@ Status InternalError(std::string message) {
 Status BuildFailureError(std::string message) {
   return Status(ErrorCode::kBuildFailure, std::move(message));
 }
+Status UnavailableError(std::string message) {
+  return Status(ErrorCode::kUnavailable, std::move(message));
+}
+Status AllocationFailureError(std::string message) {
+  return Status(ErrorCode::kAllocationFailure, std::move(message));
+}
+Status DeadlineExceededError(std::string message) {
+  return Status(ErrorCode::kDeadlineExceeded, std::move(message));
+}
 
 namespace internal {
 
 void CheckFailed(const char* file, int line, const char* expr,
                  const std::string& message) {
-  std::fprintf(stderr, "MALI_CHECK failed at %s:%d: %s%s%s\n", file, line,
-               expr, message.empty() ? "" : " — ", message.c_str());
+  MALI_LOG_ERROR("MALI_CHECK failed at %s:%d: %s%s%s", file, line, expr,
+                 message.empty() ? "" : " — ", message.c_str());
+  std::abort();
+}
+
+void StatusOrValueFailed(const Status& status) {
+  MALI_LOG_ERROR("StatusOr::value() on error status: %s (code %d)",
+                 status.ToString().c_str(), static_cast<int>(status.code()));
   std::abort();
 }
 

@@ -7,8 +7,6 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
-#include <cstdlib>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -27,6 +25,9 @@ enum class ErrorCode : std::uint8_t {
   kUnimplemented,
   kInternal,
   kBuildFailure,  // maps to CL_BUILD_PROGRAM_FAILURE (compiler erratum)
+  kUnavailable,         // transient runtime failure; retrying may succeed
+  kAllocationFailure,   // maps to CL_MEM_OBJECT_ALLOCATION_FAILURE
+  kDeadlineExceeded,    // watchdog: modelled-time budget exceeded
 };
 
 /// Human-readable name of an ErrorCode ("Ok", "InvalidArgument", ...).
@@ -62,6 +63,14 @@ Status ResourceExhaustedError(std::string message);
 Status UnimplementedError(std::string message);
 Status InternalError(std::string message);
 Status BuildFailureError(std::string message);
+Status UnavailableError(std::string message);
+Status AllocationFailureError(std::string message);
+Status DeadlineExceededError(std::string message);
+
+namespace internal {
+/// Logs the error behind a StatusOr::value() misuse, then aborts.
+[[noreturn]] void StatusOrValueFailed(const Status& status);
+}  // namespace internal
 
 /// Either a value or an error Status. Minimal absl::StatusOr analogue.
 template <typename T>
@@ -99,9 +108,7 @@ class [[nodiscard]] StatusOr {
  private:
   void CheckHasValue() const {
     if (!value_.has_value()) {
-      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
-                   status_.ToString().c_str());
-      std::abort();
+      internal::StatusOrValueFailed(status_);
     }
   }
 

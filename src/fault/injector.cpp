@@ -1,0 +1,83 @@
+#include "fault/injector.h"
+
+#include "common/log.h"
+#include "common/prng.h"
+
+namespace malisim::fault {
+
+double FaultInjector::Draw(FaultSite site, std::uint64_t sequence) const {
+  // Counter-mode draw: hash (seed, site, sequence) through SplitMix64.
+  // Each decision is independent of every other site's history.
+  SplitMix64 sm(plan_.seed ^
+                (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(site) + 1)) ^
+                (0xd1b54a32d192ed03ULL * (sequence + 1)));
+  return static_cast<double>(sm.Next() >> 11) * 0x1.0p-53;
+}
+
+bool FaultInjector::Trip(FaultSite site, std::string_view key) {
+  const double rate = plan_.rate(site);
+  const std::uint64_t seq = sequence_[static_cast<int>(site)]++;
+  if (rate <= 0.0) return false;
+  if (Draw(site, seq) >= rate) return false;
+  ++trips_[static_cast<int>(site)];
+  Record(site, key, "op #" + std::to_string(seq) + " at rate " +
+                        std::to_string(rate));
+  return true;
+}
+
+std::uint32_t FaultInjector::EffectiveRegBudget(std::uint32_t budget,
+                                                std::string_view kernel) {
+  if (!plan_.reg_budget) return 0xFFFFFFFFu;
+  if (Trip(FaultSite::kRegSqueeze, kernel)) {
+    const std::uint32_t squeezed = static_cast<std::uint32_t>(
+        static_cast<double>(budget) * plan_.reg_squeeze_factor);
+    return squeezed > 0 ? squeezed : 1;
+  }
+  return budget;
+}
+
+double FaultInjector::ThrottleTimeFactor(std::string_view kernel) {
+  if (Trip(FaultSite::kThrottle, kernel)) {
+    return plan_.throttle_time_factor;
+  }
+  return 1.0;
+}
+
+bool FaultInjector::DropMeterSample() {
+  return Trip(FaultSite::kMeterDropout, "wt230");
+}
+
+void FaultInjector::Record(FaultSite site, std::string_view key,
+                           std::string detail) {
+  FaultEvent event;
+  event.site = std::string(FaultSiteName(site));
+  event.key = std::string(key);
+  event.action = "injected";
+  event.detail = std::move(detail);
+  MALI_LOG_DEBUG("fault injected: site=%s key=%s (%s)", event.site.c_str(),
+                 event.key.c_str(), event.detail.c_str());
+  if (sink_) sink_(event);
+  events_.push_back(std::move(event));
+}
+
+void FaultInjector::RecordAction(std::string site, std::string key,
+                                 std::string action, std::string detail) {
+  FaultEvent event;
+  event.site = std::move(site);
+  event.key = std::move(key);
+  event.action = std::move(action);
+  event.detail = std::move(detail);
+  MALI_LOG_DEBUG("fault action: site=%s key=%s action=%s (%s)",
+                 event.site.c_str(), event.key.c_str(), event.action.c_str(),
+                 event.detail.c_str());
+  if (sink_) sink_(event);
+  events_.push_back(std::move(event));
+}
+
+std::uint64_t FaultInjector::total_trips() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t t : trips_) total += t;
+  return total;
+}
+
+}  // namespace malisim::fault

@@ -1,0 +1,77 @@
+// Error taxonomy and the bounded retry-with-backoff wrapper.
+//
+// Taxonomy (DESIGN.md §8):
+//  * transient  — injected runtime hiccups (Unavailable, AllocationFailure):
+//                 retrying the same operation may succeed.
+//  * degradable — the operation will keep failing at this optimization
+//                 level but a lower rung may work: ResourceExhausted
+//                 (register budget), BuildFailure (compiler), the watchdog
+//                 (DeadlineExceeded), and transient errors that survived
+//                 their retry budget.
+//  * fatal      — programming/configuration errors (InvalidArgument & co);
+//                 never retried, never degraded.
+//
+// RetryWithBackoff is modelled-world only: the "backoff" is accounted in
+// RetryStats for reporting, never added to a measured region's modelled
+// seconds (a real harness would sleep; the simulation just notes it).
+#pragma once
+
+#include <utility>
+
+#include "common/status.h"
+#include "fault/fault_plan.h"
+
+namespace malisim::fault {
+
+/// Retrying the same operation may succeed.
+inline bool IsTransient(const Status& status) {
+  return status.code() == ErrorCode::kUnavailable ||
+         status.code() == ErrorCode::kAllocationFailure;
+}
+
+/// A lower rung of the degradation ladder may succeed.
+inline bool IsDegradable(const Status& status) {
+  return IsTransient(status) ||
+         status.code() == ErrorCode::kResourceExhausted ||
+         status.code() == ErrorCode::kBuildFailure ||
+         status.code() == ErrorCode::kDeadlineExceeded;
+}
+
+struct RetryStats {
+  int attempts = 0;         // total tries of the final operation
+  int retries = 0;          // attempts - 1 when any retry happened
+  double backoff_sec = 0.0; // accounted (not modelled) host-side waiting
+};
+
+namespace internal {
+inline const Status& StatusOf(const Status& s) { return s; }
+template <typename T>
+const Status& StatusOf(const StatusOr<T>& s) {
+  return s.status();
+}
+}  // namespace internal
+
+/// Invokes `fn` (returning Status or StatusOr<T>) up to
+/// `policy.max_attempts` times, backing off exponentially between
+/// attempts, as long as the failure is transient. Returns the last result.
+template <typename F>
+auto RetryWithBackoff(const RetryPolicy& policy, F&& fn,
+                      RetryStats* stats = nullptr) -> decltype(fn()) {
+  RetryStats local;
+  RetryStats* s = stats != nullptr ? stats : &local;
+  double backoff = policy.base_backoff_sec;
+  const int max_attempts = policy.max_attempts > 0 ? policy.max_attempts : 1;
+  for (int attempt = 1;; ++attempt) {
+    auto result = fn();
+    s->attempts = attempt;
+    if (result.ok() || attempt >= max_attempts ||
+        !IsTransient(internal::StatusOf(result))) {
+      return result;
+    }
+    ++s->retries;
+    s->backoff_sec += backoff;
+    backoff *= policy.multiplier;
+  }
+}
+
+}  // namespace malisim::fault

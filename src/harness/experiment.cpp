@@ -8,6 +8,8 @@
 #include "common/sim_options.h"
 #include "common/stats.h"
 #include "common/thread_pool.h"
+#include "fault/injector.h"
+#include "fault/retry.h"
 #include "obs/recorder.h"
 
 namespace malisim::harness {
@@ -35,6 +37,40 @@ std::uint64_t MeterSeed(std::uint64_t base_seed, std::string_view name,
   mix(0xffULL);  // separator
   mix(static_cast<std::uint64_t>(variant));
   return h ^ base_seed ^ 0x57230ULL;
+}
+
+/// Fault-plan seed for one (benchmark, precision) cell, mixed like
+/// MeterSeed so every cell's fault schedule is independent of execution
+/// order and host-thread count.
+std::uint64_t CellFaultSeed(std::uint64_t base_seed, std::string_view name,
+                            bool fp64) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t byte) {
+    h ^= byte;
+    h *= 0x100000001b3ULL;
+  };
+  for (const char c : name) mix(static_cast<unsigned char>(c));
+  mix(0xffULL);  // separator
+  mix(fp64 ? 1 : 0);
+  return h ^ base_seed ^ 0xfa017ULL;
+}
+
+/// Harness rungs of the degradation ladder below `v` (DESIGN.md §8):
+/// OpenCL Opt -> naive OpenCL -> OpenMP -> Serial. The benchmark-internal
+/// kernel rungs (reduced-opt kernels) sit between the first two.
+std::vector<hpc::Variant> FallbackVariants(hpc::Variant v) {
+  switch (v) {
+    case hpc::Variant::kOpenCLOpt:
+      return {hpc::Variant::kOpenCL, hpc::Variant::kOpenMP,
+              hpc::Variant::kSerial};
+    case hpc::Variant::kOpenCL:
+      return {hpc::Variant::kOpenMP, hpc::Variant::kSerial};
+    case hpc::Variant::kOpenMP:
+      return {hpc::Variant::kSerial};
+    case hpc::Variant::kSerial:
+      return {};
+  }
+  return {};
 }
 
 }  // namespace
@@ -85,6 +121,7 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
   ocl::Context gpu_context;
   SimOptions sim_options;
   sim_options.threads = std::max(1, device_threads);
+  sim_options.fault = config_.fault;
   cpu_device.set_sim_options(sim_options);
   gpu_context.set_sim_options(sim_options);
   if (config_.recorder != nullptr) {
@@ -93,12 +130,68 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
   }
   hpc::Devices devices{&cpu_device, &gpu_context};
 
+  // One fault injector per (benchmark, precision) cell, with decision
+  // streams keyed by the cell so RunAll can farm cells across threads
+  // without changing any schedule. Attaching it with all-zero rates is
+  // behaviorally identical to no injector (the quirks it carries fire on
+  // the same structural conditions the hard-coded paths used).
+  StatusOr<fault::FaultPlan> plan_or =
+      fault::FaultPlan::FromOptions(config_.fault);
+  if (!plan_or.ok()) return plan_or.status();
+  fault::FaultPlan plan = *std::move(plan_or);
+  plan.seed = CellFaultSeed(plan.seed, name, config_.fp64);
+  fault::FaultInjector injector(plan);
+  if (config_.recorder != nullptr) {
+    obs::Recorder* recorder = config_.recorder;
+    injector.set_sink([recorder, name](const fault::FaultEvent& e) {
+      recorder->AddFault({e.site, name + "/" + e.key, e.action, e.detail});
+    });
+  }
+  gpu_context.set_fault_injector(&injector);
+
   for (hpc::Variant v : hpc::kAllVariants) {
     VariantResult& out = results.variants[static_cast<int>(v)];
     MALI_LOG_INFO("running %s / %s (%s)", name.c_str(),
                   std::string(hpc::VariantName(v)).c_str(),
                   config_.fp64 ? "fp64" : "fp32");
-    StatusOr<hpc::RunOutcome> run = bench->Run(v, devices);
+    const std::string cell = name + "/" + std::string(hpc::VariantName(v));
+    auto run_variant = [&](hpc::Variant variant) {
+      fault::RetryStats rs;
+      StatusOr<hpc::RunOutcome> result = fault::RetryWithBackoff(
+          plan.retry, [&] { return bench->Run(variant, devices); }, &rs);
+      if (rs.retries > 0) {
+        injector.RecordAction("retry", cell, "retried",
+                              std::to_string(rs.retries) +
+                                  " transient harness-level retr" +
+                                  (rs.retries == 1 ? "y" : "ies"));
+      }
+      return result;
+    };
+
+    StatusOr<hpc::RunOutcome> run = run_variant(v);
+    std::string degrade_note;
+    if (!run.ok() && config_.fault.ResilienceActive() &&
+        fault::IsDegradable(run.status())) {
+      // Harness rung of the degradation ladder: fall to progressively less
+      // ambitious variants. Gated on an active fault config so the paper's
+      // missing bars (e.g. amcd FP64) stay missing in golden runs.
+      for (hpc::Variant fv : FallbackVariants(v)) {
+        const std::string fv_name(hpc::VariantName(fv));
+        injector.RecordAction("ladder", cell, "fell-back",
+                              run.status().ToString() + " -> trying " +
+                                  fv_name);
+        StatusOr<hpc::RunOutcome> lower = run_variant(fv);
+        if (lower.ok()) {
+          out.degraded_to = fv_name;
+          degrade_note = "degraded to " + fv_name + " after " +
+                         run.status().ToString();
+          run = std::move(lower);
+          break;
+        }
+        run = std::move(lower);
+        if (!fault::IsDegradable(run.status())) break;
+      }
+    }
     if (!run.ok()) {
       // Unavailable results (the paper's missing bars): build failures and
       // unrecovered resource exhaustion. Anything else is a harness bug.
@@ -114,6 +207,10 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
     out.validated = run->validated;
     out.max_rel_error = run->max_rel_error;
     out.note = run->note;
+    if (!degrade_note.empty()) {
+      out.note = out.note.empty() ? degrade_note
+                                  : degrade_note + "; " + out.note;
+    }
     out.stats = std::move(run->stats);
 
     // Power: the model gives the true average board power over the region;
@@ -121,15 +218,34 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
     // RNG stream is private to this (benchmark, variant) cell.
     const double true_watts = power_model_.AveragePower(run->profile);
     power::PowerMeter meter(config_.meter, MeterSeed(config_.seed, name, v));
+    meter.set_fault_injector(&injector);
     RunningStat rep_means;
     for (int rep = 0; rep < config_.repetitions; ++rep) {
       const power::PowerMeter::Measurement m =
           meter.Measure(true_watts, config_.meter_window_sec);
+      if (m.samples == 0) {
+        // Every sample in the window was dropped: a failed repetition.
+        // Skip it so it cannot poison the mean/stddev; the figure tables
+        // report the per-cell count.
+        ++out.failed_repetitions;
+        injector.RecordAction("meter", cell, "skipped-rep",
+                              "repetition " + std::to_string(rep) +
+                                  " lost all samples");
+        continue;
+      }
       rep_means.Add(m.mean_watts);
     }
     out.power_mean_w = rep_means.mean();
     out.power_stddev_w = rep_means.stddev();
     out.energy_j = out.power_mean_w * out.seconds;
+    if (out.failed_repetitions > 0) {
+      out.stats.Set("power.failed_reps",
+                    static_cast<double>(out.failed_repetitions));
+      if (out.failed_repetitions == config_.repetitions) {
+        const std::string all_failed = "all power repetitions failed";
+        out.note = out.note.empty() ? all_failed : out.note + "; " + all_failed;
+      }
+    }
     out.stats.Set("power.true_watts", true_watts);
     out.stats.Set("power.cpu_watts", power_model_.CpuPower(run->profile));
     out.stats.Set("power.gpu_watts", power_model_.GpuPower(run->profile));

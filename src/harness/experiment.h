@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sim_options.h"
 #include "common/status.h"
 #include "hpc/benchmark.h"
 #include "hpc/problem_sizes.h"
@@ -45,6 +46,13 @@ struct ExperimentConfig {
   /// sim_threads > 1 records kernel/segment ORDER nondeterministically;
   /// run benchmarks serially when exporting traces.
   obs::Recorder* recorder = nullptr;
+  /// Fault-injection and resilience knobs (DESIGN.md §8). The runner
+  /// builds one FaultPlan per (benchmark, precision) cell, with the plan
+  /// seed mixed per cell the same way the meter seed is — fault schedules
+  /// are independent of host-thread count and execution order. All-zero
+  /// rates and spec leave every result bit-identical to a build without
+  /// the fault subsystem.
+  FaultOptions fault;
 };
 
 struct VariantResult {
@@ -58,6 +66,13 @@ struct VariantResult {
   double max_rel_error = 0.0;
   std::string note;
   StatRegistry stats;
+  /// Power-meter repetitions skipped because every sample in the window
+  /// was dropped (injected meter dropouts). Skipped reps never enter the
+  /// mean/stddev; the figure tables report the count instead.
+  int failed_repetitions = 0;
+  /// Variant that actually produced these numbers when the harness rung
+  /// of the degradation ladder fell (empty = ran as requested).
+  std::string degraded_to;
 };
 
 struct BenchmarkResults {

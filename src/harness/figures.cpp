@@ -126,6 +126,13 @@ std::string RenderFigure(const std::string& title, const Table& table,
           out += "  note: " + r.name + " / " +
                  std::string(hpc::VariantName(v)) + ": " + vr.note + "\n";
         }
+        if (vr.failed_repetitions > 0) {
+          out += "  note: " + r.name + " / " +
+                 std::string(hpc::VariantName(v)) + ": " +
+                 std::to_string(vr.failed_repetitions) +
+                 " power repetition(s) failed and were excluded from "
+                 "mean/stddev\n";
+        }
         if (!vr.validated) {
           out += "  WARNING: " + r.name + " / " +
                  std::string(hpc::VariantName(v)) +

@@ -292,23 +292,30 @@ class Conv2DBenchmark final : public Benchmark {
     auto out = detail::MakeGpuBuffer(ctx, nullptr, in_.bytes());
     if (!out.ok()) return out.status();
 
-    std::string note;
-    StatusOr<RunOutcome> outcome =
-        optimized ? TryGpu(devices, "2dcon_cl_opt", Flavor::kQuadOut, true,
-                           *in, *filt, *out)
-                  : TryGpu(devices, "2dcon_cl", Flavor::kScalar, false, *in,
-                           *filt, *out);
-    if (!outcome.ok() && optimized &&
-        outcome.status().code() == ErrorCode::kResourceExhausted) {
-      note = "CL_OUT_OF_RESOURCES for quad-output kernel; fell back to "
-             "row-dot kernel";
-      outcome = TryGpu(devices, "2dcon_cl_opt_mild", Flavor::kRowDot, true,
-                       *in, *filt, *out);
+    // Kernel rungs of the degradation ladder: the quad-output kernel's
+    // register appetite trips CL_OUT_OF_RESOURCES in DP and falls back to
+    // the row-dot kernel (paper §V-A); injected compiler/queue faults walk
+    // the same rungs.
+    std::vector<detail::KernelRung> rungs;
+    if (optimized) {
+      rungs.push_back({"quad-output kernel", [&] {
+                         return TryGpu(devices, "2dcon_cl_opt",
+                                       Flavor::kQuadOut, true, *in, *filt,
+                                       *out);
+                       }});
+      rungs.push_back({"row-dot kernel", [&] {
+                         return TryGpu(devices, "2dcon_cl_opt_mild",
+                                       Flavor::kRowDot, true, *in, *filt,
+                                       *out);
+                       }});
+    } else {
+      rungs.push_back({"naive scalar kernel", [&] {
+                         return TryGpu(devices, "2dcon_cl", Flavor::kScalar,
+                                       false, *in, *filt, *out);
+                       }});
     }
+    StatusOr<RunOutcome> outcome = detail::RunKernelLadder(devices, rungs);
     if (!outcome.ok()) return outcome;
-    if (!note.empty()) {
-      outcome->note = outcome->note.empty() ? note : note + "; " + outcome->note;
-    }
 
     const std::size_t total = static_cast<std::size_t>(dim_) * dim_;
     FpBuffer result(fp64_, total);

@@ -4,6 +4,10 @@
 #include <cmath>
 #include <cstring>
 
+#include "fault/degrade.h"
+#include "fault/injector.h"
+#include "ocl/cl_error.h"
+
 namespace malisim::hpc::detail {
 
 StatusOr<RunOutcome> RunCpu(Devices& devices, const kir::Program& program,
@@ -54,6 +58,7 @@ StatusOr<std::shared_ptr<ocl::Buffer>> MakeGpuBuffer(ocl::Context& context,
 StatusOr<RunOutcome> RunGpuLaunches(Devices& devices,
                                     std::span<GpuLaunch> launches) {
   MALI_CHECK(devices.gpu != nullptr);
+  const double watchdog = devices.gpu->sim_options().fault.watchdog_sec;
   RunOutcome outcome;
   std::vector<power::ActivityProfile> profiles;
   for (GpuLaunch& launch : launches) {
@@ -61,12 +66,63 @@ StatusOr<RunOutcome> RunGpuLaunches(Devices& devices,
     StatusOr<ocl::Event> event = devices.gpu->queue().EnqueueNDRange(
         *launch.kernel, launch.work_dim, launch.global, launch.local);
     if (!event.ok()) return event.status();
+    if (watchdog > 0.0 && event->seconds > watchdog) {
+      fault::FaultInjector* injector = devices.gpu->fault_injector();
+      const std::string detail = "modelled " + std::to_string(event->seconds) +
+                                 " s > budget " + std::to_string(watchdog) +
+                                 " s";
+      if (injector != nullptr) {
+        injector->RecordAction("watchdog", launch.kernel->name(), "aborted",
+                               detail);
+      }
+      return DeadlineExceededError("watchdog: kernel '" +
+                                   launch.kernel->name() + "' " + detail);
+    }
     outcome.seconds += event->seconds;
     profiles.push_back(event->profile);
     outcome.run.MergeFrom(event->run);
     outcome.stats.MergeFrom(event->stats);
   }
   outcome.profile = MergeProfiles(profiles);
+  return outcome;
+}
+
+StatusOr<RunOutcome> RunKernelLadder(Devices& devices,
+                                     std::span<const KernelRung> rungs) {
+  MALI_CHECK(devices.gpu != nullptr);
+  fault::FaultInjector* injector = devices.gpu->fault_injector();
+  const fault::RetryPolicy policy =
+      injector != nullptr ? injector->plan().retry : fault::RetryPolicy();
+
+  std::vector<fault::Rung<RunOutcome>> frungs;
+  frungs.reserve(rungs.size());
+  for (const KernelRung& rung : rungs) frungs.push_back({rung.label, rung.run});
+
+  fault::LadderReport report;
+  StatusOr<RunOutcome> outcome = fault::RunLadder<RunOutcome>(
+      policy, frungs, &report, injector);
+  if (!outcome.ok()) return outcome;
+
+  // Legacy-format note per fallen rung, e.g. "CL_OUT_OF_RESOURCES for
+  // vector-gather kernel; fell back to scalar rsqrt+unroll kernel".
+  std::string note;
+  for (std::size_t i = 0; i < report.failures.size(); ++i) {
+    const std::string& next_label = i + 1 < report.failures.size()
+                                        ? report.failures[i + 1].first
+                                        : rungs[report.rung_index].label;
+    if (!note.empty()) note += "; ";
+    note += std::string(
+                ocl::ClErrorName(ocl::ClErrorFromStatus(report.failures[i].second))) +
+            " for " + report.failures[i].first + "; fell back to " + next_label;
+  }
+  if (!note.empty()) {
+    outcome->note = outcome->note.empty() ? note : note + "; " + outcome->note;
+  }
+  if (report.retry.retries > 0) {
+    outcome->stats.Set("fault.retries",
+                       static_cast<double>(report.retry.retries));
+    outcome->stats.Set("fault.backoff_sec", report.retry.backoff_sec);
+  }
   return outcome;
 }
 

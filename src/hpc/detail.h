@@ -3,8 +3,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -94,9 +96,32 @@ struct GpuLaunch {
   const std::uint64_t* local = nullptr;
 };
 
-/// Enqueues the launches in order, merging events into one outcome.
+/// Enqueues the launches in order, merging events into one outcome. When
+/// the GPU context's SimOptions carry a per-kernel watchdog budget
+/// (fault.watchdog_sec > 0), a launch whose modelled time exceeds it
+/// aborts the region with DeadlineExceeded — a degradable error, so the
+/// kernel ladder (or the harness variant ladder) can fall back.
 StatusOr<RunOutcome> RunGpuLaunches(Devices& devices,
                                     std::span<GpuLaunch> launches);
+
+/// One rung of a benchmark-internal kernel ladder: the human-readable
+/// kernel label used in figure notes ("vector-gather kernel") plus a thunk
+/// that builds, binds, and runs that kernel flavor.
+struct KernelRung {
+  std::string label;
+  std::function<StatusOr<RunOutcome>()> run;
+};
+
+/// Runs the rungs top-down under the fault plan's retry policy: transient
+/// failures are retried with backoff, degradable failures fall to the next
+/// rung, anything else aborts. On fallback the legacy-format note
+/// "<CL error> for <label>; fell back to <next label>" is prepended to the
+/// winning outcome's note, and retry accounting lands in its stats
+/// (fault.retries / fault.backoff_sec). With no injector attached the
+/// behavior is exactly the pre-ladder hard-coded fallback: only the
+/// deterministic register-budget failure can trip, and it falls one rung.
+StatusOr<RunOutcome> RunKernelLadder(Devices& devices,
+                                     std::span<const KernelRung> rungs);
 
 /// Reads back a GPU buffer through the map path into host memory.
 Status ReadGpuBuffer(ocl::Context& context, ocl::Buffer& buffer, void* dst,

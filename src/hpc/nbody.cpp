@@ -265,27 +265,33 @@ class NbodyBenchmark final : public Benchmark {
     auto out_vel = detail::MakeGpuBuffer(ctx, nullptr, vel_.bytes());
     if (!out_vel.ok()) return out_vel.status();
 
-    std::string note;
-    StatusOr<RunOutcome> outcome =
-        optimized
-            ? TryGpu(devices, "nbody_cl_opt", Flavor::kVectorGather, true,
-                     *bodies, *vel, *out_pos, *out_vel)
-            : TryGpu(devices, "nbody_cl", Flavor::kScalarDivSqrt, false,
-                     *bodies, *vel, *out_pos, *out_vel);
-    if (!outcome.ok() && optimized &&
-        outcome.status().code() == ErrorCode::kResourceExhausted) {
-      // The paper's FP64 failure: the register-hungry kernel cannot launch.
-      // Fall back to the mild optimization level (paper §V-A: the DP Opt
-      // results barely beat the naive version).
-      note = "CL_OUT_OF_RESOURCES for vector-gather kernel; fell back to "
-             "scalar rsqrt+unroll kernel";
-      outcome = TryGpu(devices, "nbody_cl_opt_mild", Flavor::kScalarRsqrt,
-                       true, *bodies, *vel, *out_pos, *out_vel);
+    // Kernel rungs of the degradation ladder. The optimized ladder encodes
+    // the paper's FP64 failure: the register-hungry vector-gather kernel
+    // cannot launch (CL_OUT_OF_RESOURCES) and the benchmark falls back to
+    // the mild optimization level (paper §V-A: the DP Opt results barely
+    // beat the naive version). With fault injection on, transient enqueue
+    // failures are retried and compiler faults fall down the same rungs.
+    std::vector<detail::KernelRung> rungs;
+    if (optimized) {
+      rungs.push_back({"vector-gather kernel", [&] {
+                         return TryGpu(devices, "nbody_cl_opt",
+                                       Flavor::kVectorGather, true, *bodies,
+                                       *vel, *out_pos, *out_vel);
+                       }});
+      rungs.push_back({"scalar rsqrt+unroll kernel", [&] {
+                         return TryGpu(devices, "nbody_cl_opt_mild",
+                                       Flavor::kScalarRsqrt, true, *bodies,
+                                       *vel, *out_pos, *out_vel);
+                       }});
+    } else {
+      rungs.push_back({"naive scalar kernel", [&] {
+                         return TryGpu(devices, "nbody_cl",
+                                       Flavor::kScalarDivSqrt, false, *bodies,
+                                       *vel, *out_pos, *out_vel);
+                       }});
     }
+    StatusOr<RunOutcome> outcome = detail::RunKernelLadder(devices, rungs);
     if (!outcome.ok()) return outcome;
-    if (!note.empty()) {
-      outcome->note = outcome->note.empty() ? note : note + "; " + outcome->note;
-    }
 
     FpBuffer got_pos(fp64_, bodies_.size()), got_vel(fp64_, vel_.size());
     MALI_RETURN_IF_ERROR(

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/injector.h"
+
 namespace malisim::mali {
 
 StatusOr<CompiledKernel> CompileForMali(const kir::Program& program,
@@ -12,12 +14,28 @@ StatusOr<CompiledKernel> CompileForMali(const kir::Program& program,
   }
   MALI_RETURN_IF_ERROR(kir::Verify(program));
 
+  fault::FaultInjector* injector = params.injector;
+  if (injector != nullptr &&
+      injector->Trip(fault::FaultSite::kBuild, program.name)) {
+    return BuildFailureError(
+        "CL_BUILD_PROGRAM_FAILURE (injected fault): mali kernel compiler "
+        "crashed building '" +
+        program.name + "'");
+  }
+
   CompiledKernel k;
   k.program = &program;
   k.features = kir::AnalyzeFeatures(program);
 
-  if (params.emulate_fp64_erratum &&
-      k.features.has_f64_special_in_divergent_loop) {
+  // The amcd FP64 erratum, generalized as an always-on FaultPlan quirk:
+  // the injector (when attached) decides whether the structural condition
+  // fires; a null injector preserves the bare condition.
+  const bool erratum_trips =
+      injector != nullptr
+          ? injector->TripFp64Erratum(
+                k.features.has_f64_special_in_divergent_loop)
+          : k.features.has_f64_special_in_divergent_loop;
+  if (params.emulate_fp64_erratum && erratum_trips) {
     return BuildFailureError(
         "mali kernel compiler erratum: double-precision special function "
         "inside data-dependent control flow in a loop does not terminate "
@@ -26,7 +44,14 @@ StatusOr<CompiledKernel> CompileForMali(const kir::Program& program,
   }
 
   k.live_reg_bytes = std::max(16u, kir::MaxLiveRegisterBytes(program));
-  k.exceeds_resources = k.live_reg_bytes > timing.max_thread_reg_bytes;
+  // The per-thread register budget is the second always-on quirk; a
+  // kRegSqueeze trip models a pessimistic-allocator event that tightens
+  // it for this one kernel.
+  std::uint32_t reg_budget = timing.max_thread_reg_bytes;
+  if (injector != nullptr) {
+    reg_budget = injector->EffectiveRegBudget(reg_budget, program.name);
+  }
+  k.exceeds_resources = k.live_reg_bytes > reg_budget;
 
   std::uint32_t threads = timing.reg_file_bytes_per_core / k.live_reg_bytes;
   threads = threads / 4 * 4;  // thread groups of 4 in the tripipe frontend

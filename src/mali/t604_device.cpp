@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/log.h"
+#include "fault/injector.h"
 #include "obs/recorder.h"
 
 namespace malisim::mali {
@@ -296,6 +297,17 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
 
   double seconds = std::max({core_sec_max, dram_sec, atomic_sec});
   seconds += timing_.kernel_launch_overhead_sec;
+
+  // Modelled thermal-throttle/DVFS event: the governor drops the clock for
+  // this launch, stretching elapsed time (pipes busy the same absolute
+  // time, so utilization fractions fall — the throttled core idles more).
+  if (fault_injector_ != nullptr) {
+    const double throttle = fault_injector_->ThrottleTimeFactor(program.name);
+    seconds *= throttle;
+    if (throttle != 1.0) {
+      result.stats.Set("mali.throttle_factor", throttle);
+    }
+  }
 
   result.seconds = seconds;
   result.profile.seconds = seconds;

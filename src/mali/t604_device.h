@@ -25,6 +25,10 @@ namespace malisim::obs {
 class Recorder;
 }  // namespace malisim::obs
 
+namespace malisim::fault {
+class FaultInjector;
+}  // namespace malisim::fault
+
 namespace malisim::mali {
 
 struct GpuRunResult {
@@ -71,6 +75,14 @@ class MaliT604Device {
   /// simulation: modelled seconds/power never depend on the recorder.
   void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
 
+  /// Attaches a fault injector (nullptr detaches). The device consults it
+  /// once per Run() for a modelled thermal-throttle/DVFS event that scales
+  /// the launch's modelled seconds. The decision is taken on the serial
+  /// launch path, so it is invariant under the host thread count.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
   /// The §III-A work-group-size heuristic the driver applies when the host
   /// passes local_size = NULL: a modest power-of-two divisor of the global
   /// size, bounded by `budget` (callers shrink the budget per dimension so
@@ -105,6 +117,7 @@ class MaliT604Device {
   sim::DramModel dram_;
   SimOptions options_;
   obs::Recorder* recorder_ = nullptr;
+  fault::FaultInjector* fault_injector_ = nullptr;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<std::byte[]>> scratch_;
   std::uint64_t scratch_bytes_ = 0;

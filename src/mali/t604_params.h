@@ -26,6 +26,10 @@
 #include "sim/cache.h"
 #include "sim/dram.h"
 
+namespace malisim::fault {
+class FaultInjector;
+}  // namespace malisim::fault
+
 namespace malisim::mali {
 
 struct MaliTimingParams {
@@ -114,6 +118,13 @@ struct MaliCompilerParams {
   /// inside a data-dependent loop (the amcd Metropolis shape) fail to
   /// compile (paper §V-A). Disable to see what the fixed compiler would do.
   bool emulate_fp64_erratum = true;
+
+  /// Optional fault injector (Context::set_fault_injector wires it). When
+  /// set, the erratum and register-budget quirks route through its
+  /// FaultPlan and the compiler additionally honours probabilistic kBuild
+  /// failures and kRegSqueeze budget squeezes. Null = the quirks apply
+  /// with their structural conditions alone (identical behaviour).
+  fault::FaultInjector* injector = nullptr;
 };
 
 }  // namespace malisim::mali

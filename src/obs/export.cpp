@@ -443,6 +443,22 @@ std::string MetricsJson(const Recorder& recorder,
   }
   w.EndObject();
 
+  w.Key("faults");
+  w.BeginArray();
+  for (const FaultRecord& f : recorder.faults()) {
+    w.BeginObject();
+    w.Key("site");
+    w.String(f.site);
+    w.Key("key");
+    w.String(f.key);
+    w.Key("action");
+    w.String(f.action);
+    w.Key("detail");
+    w.String(f.detail);
+    w.EndObject();
+  }
+  w.EndArray();
+
   w.EndObject();
   return w.str() + "\n";
 }
@@ -505,10 +521,12 @@ std::string TextReport(const Recorder& recorder,
   const std::vector<KernelRecord> kernels = recorder.kernels();
   const std::vector<PowerSegment> segments = recorder.power_segments();
 
+  const std::vector<FaultRecord> faults = recorder.faults();
   out << "=== malisim-prof report ===\n";
   out << kernels.size() << " kernel launch(es), "
       << recorder.commands().size() << " queue command(s), "
-      << segments.size() << " power segment(s)\n";
+      << segments.size() << " power segment(s), " << faults.size()
+      << " fault event(s)\n";
 
   // Hot opcodes across all launches.
   OpcodeCounts total{};
@@ -597,6 +615,19 @@ std::string TextReport(const Recorder& recorder,
         << " J = static " << FormatDouble(e.static_w, 3) << " J + cpu "
         << FormatDouble(e.cpu, 3) << " J + gpu " << FormatDouble(e.gpu, 3)
         << " J + dram " << FormatDouble(e.dram, 3) << " J\n";
+  }
+
+  if (!faults.empty()) {
+    Table ft({"site", "key", "action", "detail"});
+    for (const FaultRecord& f : faults) {
+      ft.BeginRow();
+      ft.AddCell(f.site);
+      ft.AddCell(f.key);
+      ft.AddCell(f.action);
+      ft.AddCell(f.detail);
+    }
+    out << "\nFault events (injected faults and resilience actions):\n"
+        << ft.ToAscii();
   }
   return out.str();
 }

@@ -19,6 +19,11 @@ void Recorder::AddPowerSegment(PowerSegment segment) {
   segments_.push_back(std::move(segment));
 }
 
+void Recorder::AddFault(FaultRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  faults_.push_back(std::move(record));
+}
+
 std::vector<KernelRecord> Recorder::kernels() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return kernels_;
@@ -32,6 +37,11 @@ std::vector<CommandRecord> Recorder::commands() const {
 std::vector<PowerSegment> Recorder::power_segments() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return segments_;
+}
+
+std::vector<FaultRecord> Recorder::faults() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return faults_;
 }
 
 }  // namespace malisim::obs

@@ -86,6 +86,18 @@ struct CommandRecord {
   double seconds = 0.0;
 };
 
+/// One fault-injection decision or resilience action (retry, ladder
+/// fall-back, watchdog abort, skipped repetition), mirrored from the
+/// fault subsystem's event log through the harness sink. The fault
+/// library itself cannot depend on obs (cycle via power), so the harness
+/// maps fault::FaultEvent fields onto this record.
+struct FaultRecord {
+  std::string site;    // fault site name or resilience stage
+  std::string key;     // "<benchmark>/<context>"
+  std::string action;  // "injected", "retried", "fell-back", ...
+  std::string detail;
+};
+
 /// One meter window: what the virtual power meter would observe while
 /// `label` ran repeatedly for `window_sec` (the harness's steady-state
 /// measurement region, §IV-D).
@@ -109,11 +121,13 @@ class Recorder {
   void AddKernel(KernelRecord record);
   void AddCommand(CommandRecord record);
   void AddPowerSegment(PowerSegment segment);
+  void AddFault(FaultRecord record);
 
   /// Snapshots (copies, taken under the lock).
   std::vector<KernelRecord> kernels() const;
   std::vector<CommandRecord> commands() const;
   std::vector<PowerSegment> power_segments() const;
+  std::vector<FaultRecord> faults() const;
 
   CounterRegistry& counters() { return counters_; }
   const CounterRegistry& counters() const { return counters_; }
@@ -125,6 +139,7 @@ class Recorder {
   std::vector<KernelRecord> kernels_;
   std::vector<CommandRecord> commands_;
   std::vector<PowerSegment> segments_;
+  std::vector<FaultRecord> faults_;
 };
 
 }  // namespace malisim::obs

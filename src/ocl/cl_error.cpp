@@ -32,6 +32,16 @@ std::string_view ClErrorName(ClError err) {
   return "CL_UNKNOWN_ERROR";
 }
 
+bool ClErrorFromName(std::string_view name, ClError* out) {
+  for (const ClError err : kAllClErrors) {
+    if (ClErrorName(err) == name) {
+      *out = err;
+      return true;
+    }
+  }
+  return false;
+}
+
 ClError ClErrorFromStatus(const Status& status) {
   switch (status.code()) {
     case ErrorCode::kOk:
@@ -40,6 +50,13 @@ ClError ClErrorFromStatus(const Status& status) {
       return ClError::kOutOfResources;
     case ErrorCode::kBuildFailure:
       return ClError::kBuildProgramFailure;
+    case ErrorCode::kUnavailable:
+    case ErrorCode::kDeadlineExceeded:
+      // Transient driver hiccups and watchdog expirations both surface as
+      // the driver's catch-all resource error.
+      return ClError::kOutOfResources;
+    case ErrorCode::kAllocationFailure:
+      return ClError::kMemObjectAllocationFailure;
     case ErrorCode::kInvalidArgument:
     case ErrorCode::kOutOfRange:
       return ClError::kInvalidValue;

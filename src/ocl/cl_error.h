@@ -27,8 +27,27 @@ enum class ClError : int {
   kInvalidOperation = -59,
 };
 
+/// Every ClError value, for exhaustive iteration in tests and tooling.
+inline constexpr ClError kAllClErrors[] = {
+    ClError::kSuccess,
+    ClError::kDeviceNotFound,
+    ClError::kOutOfResources,
+    ClError::kMemObjectAllocationFailure,
+    ClError::kBuildProgramFailure,
+    ClError::kMapFailure,
+    ClError::kInvalidValue,
+    ClError::kInvalidBufferSize,
+    ClError::kInvalidKernelArgs,
+    ClError::kInvalidWorkGroupSize,
+    ClError::kInvalidWorkItemSize,
+    ClError::kInvalidOperation,
+};
+
 /// "CL_SUCCESS", "CL_OUT_OF_RESOURCES", ...
 std::string_view ClErrorName(ClError err);
+
+/// Inverse of ClErrorName; false on unknown names.
+bool ClErrorFromName(std::string_view name, ClError* out);
 
 /// Maps a library Status to the OpenCL error a driver would surface.
 ClError ClErrorFromStatus(const Status& status);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/log.h"
+#include "fault/injector.h"
 #include "kir/passes.h"
 #include "obs/recorder.h"
 
@@ -66,6 +67,14 @@ StatusOr<std::shared_ptr<Buffer>> Context::CreateBuffer(std::uint32_t flags,
   if (use_host && alloc_host) {
     return InvalidArgumentError(
         "CL_INVALID_VALUE: kMemUseHostPtr and kMemAllocHostPtr are exclusive");
+  }
+  if (fault_injector_ != nullptr &&
+      fault_injector_->Trip(fault::FaultSite::kAlloc,
+                            std::to_string(bytes) + "B")) {
+    return AllocationFailureError(
+        "CL_MEM_OBJECT_ALLOCATION_FAILURE (injected fault): driver could "
+        "not back a " +
+        std::to_string(bytes) + "-byte buffer");
   }
 
   auto buffer = std::shared_ptr<Buffer>(new Buffer());
@@ -239,6 +248,21 @@ void CommandQueue::RecordCommand(const char* kind, const std::string& detail,
   recorder->AddCommand({kind, detail, bytes, seconds});
 }
 
+Status CommandQueue::MaybeInject(fault::FaultSite site,
+                                 const std::string& key) {
+  fault::FaultInjector* injector = context_->fault_injector_;
+  if (injector == nullptr || !injector->Trip(site, key)) {
+    return Status::Ok();
+  }
+  const std::string name(fault::FaultSiteName(site));
+  if (site == fault::FaultSite::kMap || site == fault::FaultSite::kUnmap) {
+    return UnavailableError("CL_MAP_FAILURE (injected fault): transient " +
+                            name + " failure on '" + key + "'");
+  }
+  return UnavailableError("CL_OUT_OF_RESOURCES (injected fault): transient " +
+                          name + " failure on '" + key + "'");
+}
+
 Event CommandQueue::HostCopyEvent(Event::Kind kind, std::uint64_t bytes,
                                   double overhead) {
   Event event;
@@ -260,6 +284,7 @@ StatusOr<Event> CommandQueue::EnqueueWriteBuffer(Buffer& buffer,
   if (src == nullptr || offset + bytes > buffer.size()) {
     return InvalidArgumentError("CL_INVALID_VALUE: bad write range");
   }
+  MALI_RETURN_IF_ERROR(MaybeInject(fault::FaultSite::kWrite, "write"));
   std::memcpy(buffer.storage_.data() + offset, src, bytes);
   Event event = HostCopyEvent(Event::Kind::kWrite, bytes,
                               context_->host_.enqueue_overhead_sec);
@@ -273,6 +298,7 @@ StatusOr<Event> CommandQueue::EnqueueReadBuffer(Buffer& buffer, void* dst,
   if (dst == nullptr || offset + bytes > buffer.size()) {
     return InvalidArgumentError("CL_INVALID_VALUE: bad read range");
   }
+  MALI_RETURN_IF_ERROR(MaybeInject(fault::FaultSite::kRead, "read"));
   std::memcpy(dst, buffer.storage_.data() + offset, bytes);
   Event event = HostCopyEvent(Event::Kind::kRead, bytes,
                               context_->host_.enqueue_overhead_sec);
@@ -287,6 +313,7 @@ StatusOr<Event> CommandQueue::EnqueueCopyBuffer(Buffer& src, Buffer& dst,
   if (src_offset + bytes > src.size() || dst_offset + bytes > dst.size()) {
     return InvalidArgumentError("CL_INVALID_VALUE: bad copy range");
   }
+  MALI_RETURN_IF_ERROR(MaybeInject(fault::FaultSite::kCopy, "copy"));
   std::memcpy(dst.storage_.data() + dst_offset,
               src.storage_.data() + src_offset, bytes);
   // Device-side copy: the GPU streams it at (roughly) DRAM read+write
@@ -316,6 +343,7 @@ StatusOr<Event> CommandQueue::EnqueueFillBuffer(Buffer& buffer,
       bytes % pattern_bytes != 0 || offset + bytes > buffer.size()) {
     return InvalidArgumentError("CL_INVALID_VALUE: bad fill");
   }
+  MALI_RETURN_IF_ERROR(MaybeInject(fault::FaultSite::kFill, "fill"));
   for (std::uint64_t pos = 0; pos < bytes; pos += pattern_bytes) {
     std::memcpy(buffer.storage_.data() + offset + pos, pattern, pattern_bytes);
   }
@@ -339,6 +367,7 @@ StatusOr<void*> CommandQueue::MapBuffer(Buffer& buffer, Event* event) {
   if (buffer.mapped_) {
     return FailedPreconditionError("CL_INVALID_OPERATION: already mapped");
   }
+  MALI_RETURN_IF_ERROR(MaybeInject(fault::FaultSite::kMap, "map"));
   buffer.mapped_ = true;
   if ((buffer.flags_ & kMemUseHostPtr) != 0) {
     // The app mapped a malloc-backed buffer: the driver must copy the
@@ -368,6 +397,7 @@ Status CommandQueue::UnmapBuffer(Buffer& buffer, void* mapped, Event* event) {
   if (!buffer.mapped_) {
     return FailedPreconditionError("CL_INVALID_OPERATION: not mapped");
   }
+  MALI_RETURN_IF_ERROR(MaybeInject(fault::FaultSite::kUnmap, "unmap"));
   if ((buffer.flags_ & kMemUseHostPtr) != 0) {
     if (mapped != buffer.user_ptr_) {
       return InvalidArgumentError("CL_INVALID_VALUE: wrong mapped pointer");
@@ -444,6 +474,7 @@ StatusOr<Event> CommandQueue::EnqueueNDRange(Kernel& kernel,
 
   StatusOr<kir::Bindings> bindings = kernel.MakeBindings();
   if (!bindings.ok()) return bindings.status();
+  MALI_RETURN_IF_ERROR(MaybeInject(fault::FaultSite::kNDRange, kernel.name()));
 
   Event event;
   event.kind = Event::Kind::kKernel;

@@ -29,14 +29,20 @@
 #include <vector>
 
 #include "common/aligned_buffer.h"
+#include "common/sim_options.h"
 #include "common/status.h"
 #include "cpu/a15_device.h"
+#include "fault/fault_plan.h"
 #include "kir/exec_types.h"
 #include "kir/program.h"
 #include "mali/compiler.h"
 #include "mali/t604_device.h"
 #include "ocl/cl_error.h"
 #include "power/profile.h"
+
+namespace malisim::fault {
+class FaultInjector;
+}  // namespace malisim::fault
 
 namespace malisim::ocl {
 
@@ -221,6 +227,11 @@ class CommandQueue {
   /// Appends a CommandRecord when the context has a recorder attached.
   void RecordCommand(const char* kind, const std::string& detail,
                      std::uint64_t bytes, double seconds);
+  /// Asks the context's fault injector (if any) whether this operation
+  /// faults; returns the injected error Status when it trips. Called
+  /// before any state is mutated so a failed command leaves buffers and
+  /// map flags untouched.
+  Status MaybeInject(fault::FaultSite site, const std::string& key);
 
   Context* context_;
   double total_seconds_ = 0.0;
@@ -262,9 +273,22 @@ class Context {
   /// enables the record/replay parallel engine, which is guaranteed to
   /// produce bit-identical buffers, counts and modelled times.
   void set_sim_options(const SimOptions& options) {
+    sim_options_ = options;
     device_.set_sim_options(options);
     cpu_device_.set_sim_options(options);
   }
+  const SimOptions& sim_options() const { return sim_options_; }
+
+  /// Attaches a fault injector (nullptr detaches) to the runtime, the
+  /// kernel compiler (programs created afterwards) and the GPU device
+  /// model. With no injector — or one whose plan has every rate at zero —
+  /// behaviour is bit-identical to the uninstrumented runtime.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_injector_ = injector;
+    compiler_.injector = injector;
+    device_.set_fault_injector(injector);
+  }
+  fault::FaultInjector* fault_injector() const { return fault_injector_; }
 
   /// Attaches an observability recorder to the runtime and both device
   /// models: kernel launches, transfers and map/unmap traffic are recorded.
@@ -305,6 +329,8 @@ class Context {
   mali::MaliT604Device device_;
   cpu::CortexA15Device cpu_device_;
   obs::Recorder* recorder_ = nullptr;
+  fault::FaultInjector* fault_injector_ = nullptr;
+  SimOptions sim_options_;
   CommandQueue queue_;
   std::uint64_t next_sim_addr_ = 0x1000'0000ULL;
 };

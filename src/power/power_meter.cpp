@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/status.h"
+#include "fault/injector.h"
 
 namespace malisim::power {
 
@@ -18,7 +19,14 @@ PowerMeter::Measurement PowerMeter::Measure(double true_watts, double seconds) {
   const std::size_t n = std::max<std::size_t>(
       1, static_cast<std::size_t>(seconds * params_.sampling_hz));
   RunningStat stat;
+  std::size_t dropped = 0;
   for (std::size_t i = 0; i < n; ++i) {
+    if (fault_injector_ != nullptr && fault_injector_->DropMeterSample()) {
+      // Dropped reading: the meter missed the tick entirely, so the
+      // accuracy-noise RNG does not advance either.
+      ++dropped;
+      continue;
+    }
     const double noise =
         rng_.NextGaussian() * params_.relative_accuracy * true_watts;
     stat.Add(true_watts + noise);
@@ -26,7 +34,8 @@ PowerMeter::Measurement PowerMeter::Measure(double true_watts, double seconds) {
   Measurement m;
   m.mean_watts = stat.mean();
   m.stddev_watts = stat.stddev();
-  m.samples = n;
+  m.samples = n - dropped;
+  m.dropped = dropped;
   m.duration_sec = seconds;
   m.energy_joules = m.mean_watts * seconds;
   return m;

@@ -10,6 +10,10 @@
 #include "common/prng.h"
 #include "common/stats.h"
 
+namespace malisim::fault {
+class FaultInjector;
+}  // namespace malisim::fault
+
 namespace malisim::power {
 
 struct PowerMeterParams {
@@ -26,20 +30,33 @@ class PowerMeter {
   struct Measurement {
     double mean_watts = 0.0;
     double stddev_watts = 0.0;
-    std::size_t samples = 0;
+    std::size_t samples = 0;   // samples actually captured
+    std::size_t dropped = 0;   // samples lost to injected dropouts
     double duration_sec = 0.0;
     double energy_joules = 0.0;  // mean * duration
   };
 
+  /// Attaches a fault injector (nullptr detaches) for modelled WT230
+  /// sample dropouts (a flaky GPIB/serial link). The dropout decisions use
+  /// the injector's own stream — the meter's accuracy-noise RNG never
+  /// advances for a dropped sample, so a zero dropout rate is
+  /// bit-identical to no injector at all.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    fault_injector_ = injector;
+  }
+
   /// Measures an interval of duration `seconds` at constant `true_watts`.
-  /// At least one sample is taken even for very short intervals (the real
-  /// methodology stretches the run so the meter gets enough samples; the
-  /// harness does the same by scaling iteration counts).
+  /// At least one sample is scheduled even for very short intervals (the
+  /// real methodology stretches the run so the meter gets enough samples;
+  /// the harness does the same by scaling iteration counts). Injected
+  /// dropouts may still leave `samples == 0` — a failed repetition the
+  /// harness skips and records.
   Measurement Measure(double true_watts, double seconds);
 
  private:
   PowerMeterParams params_;
   Xoshiro256 rng_;
+  fault::FaultInjector* fault_injector_ = nullptr;
 };
 
 }  // namespace malisim::power

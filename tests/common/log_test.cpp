@@ -87,6 +87,21 @@ TEST(LogTest, InitLogLevelFromEnvReadsVariable) {
   ASSERT_EQ(unsetenv("MALISIM_LOG_LEVEL"), 0);
 }
 
+TEST(LogTest, InitLogLevelFromEnvWarnsOnUnrecognizedValue) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kWarning);  // warnings must be visible for the check
+  ASSERT_EQ(setenv("MALISIM_LOG_LEVEL", "loud", 1), 0);
+  ::testing::internal::CaptureStderr();
+  InitLogLevelFromEnv();
+  const std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("ignoring invalid MALISIM_LOG_LEVEL='loud'"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("want debug|info|warn|error|off"), std::string::npos);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarning);  // level untouched
+  ASSERT_EQ(unsetenv("MALISIM_LOG_LEVEL"), 0);
+}
+
 TEST(LogTest, BelowThresholdSuppressed) {
   LogLevelGuard guard;
   SetLogLevel(LogLevel::kWarning);

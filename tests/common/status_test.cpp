@@ -29,10 +29,13 @@ TEST(StatusTest, FactoryFunctionsProduceMatchingCodes) {
   EXPECT_EQ(UnimplementedError("x").code(), ErrorCode::kUnimplemented);
   EXPECT_EQ(InternalError("x").code(), ErrorCode::kInternal);
   EXPECT_EQ(BuildFailureError("x").code(), ErrorCode::kBuildFailure);
+  EXPECT_EQ(UnavailableError("x").code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(AllocationFailureError("x").code(), ErrorCode::kAllocationFailure);
+  EXPECT_EQ(DeadlineExceededError("x").code(), ErrorCode::kDeadlineExceeded);
 }
 
 TEST(StatusTest, EveryCodeHasAName) {
-  for (int c = 0; c <= static_cast<int>(ErrorCode::kBuildFailure); ++c) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kDeadlineExceeded); ++c) {
     EXPECT_NE(ErrorCodeName(static_cast<ErrorCode>(c)), "Unknown");
   }
 }
@@ -79,6 +82,28 @@ TEST(StatusMacroTest, ReturnIfErrorPassesThroughOk) {
     return AlreadyExistsError("after");
   };
   EXPECT_EQ(outer().code(), ErrorCode::kAlreadyExists);
+}
+
+// Abort paths must log the underlying error before dying, so a crash in a
+// batch run is diagnosable from the log alone. The default log level is
+// kWarning, so MALI_LOG_ERROR reaches stderr without any setup.
+using StatusDeathTest = ::testing::Test;
+
+TEST(StatusDeathTest, StatusOrValueOnErrorLogsCodeAndMessage) {
+  StatusOr<int> v = NotFoundError("missing widget");
+  EXPECT_DEATH(v.value(),
+               "StatusOr::value\\(\\) on error status: "
+               "NotFound: missing widget \\(code 4\\)");
+}
+
+TEST(StatusDeathTest, MaliCheckLogsExpressionAndLocation) {
+  EXPECT_DEATH(MALI_CHECK(1 == 2),
+               "MALI_CHECK failed at .*status_test\\.cpp:[0-9]+: 1 == 2");
+}
+
+TEST(StatusDeathTest, MaliCheckMsgLogsMessage) {
+  EXPECT_DEATH(MALI_CHECK_MSG(false, "the flux capacitor is missing"),
+               "the flux capacitor is missing");
 }
 
 }  // namespace

@@ -1,0 +1,52 @@
+// Exhaustive round-trip of the tinycl error-code naming: every ClError
+// maps to a unique, non-empty CL_* string and back.
+#include "ocl/cl_error.h"
+
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace malisim::ocl {
+namespace {
+
+TEST(ClErrorTest, EveryErrorHasAUniqueClStyleNameThatRoundTrips) {
+  std::set<std::string> names;
+  for (const ClError err : kAllClErrors) {
+    const std::string name(ClErrorName(err));
+    ASSERT_FALSE(name.empty()) << static_cast<int>(err);
+    EXPECT_EQ(name.rfind("CL_", 0), 0u)
+        << name << " is not an OpenCL-style CL_* name";
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    ClError back;
+    ASSERT_TRUE(ClErrorFromName(name, &back)) << name;
+    EXPECT_EQ(back, err) << name;
+  }
+  EXPECT_EQ(names.size(), std::size(kAllClErrors));
+}
+
+TEST(ClErrorTest, FromNameRejectsUnknown) {
+  ClError err;
+  EXPECT_FALSE(ClErrorFromName("CL_PEBKAC", &err));
+  EXPECT_FALSE(ClErrorFromName("", &err));
+  EXPECT_FALSE(ClErrorFromName("cl_success", &err));
+}
+
+TEST(ClErrorTest, StatusMappingCoversThePaperErrors) {
+  EXPECT_EQ(ClErrorFromStatus(ResourceExhaustedError("regs")),
+            ClError::kOutOfResources);
+  EXPECT_EQ(ClErrorFromStatus(BuildFailureError("ice")),
+            ClError::kBuildProgramFailure);
+  EXPECT_EQ(ClErrorFromStatus(AllocationFailureError("oom")),
+            ClError::kMemObjectAllocationFailure);
+  // Transients and the watchdog surface as CL_OUT_OF_RESOURCES, the
+  // closest thing a real driver reports for those conditions.
+  EXPECT_EQ(ClErrorFromStatus(UnavailableError("hiccup")),
+            ClError::kOutOfResources);
+  EXPECT_EQ(ClErrorFromStatus(DeadlineExceededError("slow")),
+            ClError::kOutOfResources);
+  EXPECT_EQ(ClErrorFromStatus(Status::Ok()), ClError::kSuccess);
+}
+
+}  // namespace
+}  // namespace malisim::ocl

@@ -50,6 +50,9 @@ struct ProfOptions {
   int repetitions = 5;
   std::string out_dir = "results";
   std::vector<std::string> benchmarks;  // empty = all registered
+  /// Fault-injection knobs; injected faults and resilience actions show
+  /// up in the report's fault-event table and the metrics JSON.
+  FaultOptions fault;
 };
 
 void PrintUsage(const char* argv0) {
@@ -57,6 +60,8 @@ void PrintUsage(const char* argv0) {
       stderr,
       "usage: %s [--fp64] [--quick] [--benchmarks=a,b,c] [--out=DIR]\n"
       "          [--power-hz=N] [--seed=N] [--repetitions=N] [--no-trace]\n"
+      "          [--fault-seed=N] [--fault-rate=P] [--fault-spec=SPEC]\n"
+      "          [--watchdog=SEC]\n"
       "\n"
       "Profiles the paper benchmarks on the modelled Exynos 5250 and writes\n"
       "profile_trace.json / profile_metrics.{json,csv} / profile_power.csv\n"
@@ -108,6 +113,14 @@ bool ParseArgs(int argc, char** argv, ProfOptions* options) {
       options->repetitions =
           static_cast<int>(std::strtol(arg.c_str() + 14, nullptr, 10));
       if (options->repetitions < 1) options->repetitions = 1;
+    } else if (arg.rfind("--fault-seed=", 0) == 0) {
+      options->fault.seed = std::strtoull(arg.c_str() + 13, nullptr, 10);
+    } else if (arg.rfind("--fault-rate=", 0) == 0) {
+      options->fault.rate = std::strtod(arg.c_str() + 13, nullptr);
+    } else if (arg.rfind("--fault-spec=", 0) == 0) {
+      options->fault.spec = arg.substr(13);
+    } else if (arg.rfind("--watchdog=", 0) == 0) {
+      options->fault.watchdog_sec = std::strtod(arg.c_str() + 11, nullptr);
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(argv[0]);
       return false;
@@ -125,6 +138,7 @@ int Run(const ProfOptions& options) {
   config.fp64 = options.fp64;
   config.seed = options.seed;
   config.repetitions = options.repetitions;
+  config.fault = options.fault;
   if (options.quick) {
     config.sizes.spmv_rows = 2048;
     config.sizes.vecop_n = 1u << 17;
