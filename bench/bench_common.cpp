@@ -1,10 +1,17 @@
 #include "bench/bench_common.h"
 
+#include <cinttypes>
+#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 
 #include "common/log.h"
 #include "common/table.h"
+#include "common/version.h"
+#include "fault/fault_plan.h"
+#include "obs/bench_report.h"
+#include "obs/metrics.h"
+#include "power/power_model.h"
 
 namespace malisim::bench {
 
@@ -22,6 +29,8 @@ BenchOptions ParseOptions(int argc, char** argv) {
       options.csv = true;
     } else if (arg.rfind("--trace=", 0) == 0) {
       options.trace_path = arg.substr(8);
+    } else if (arg.rfind("--bench-json=", 0) == 0) {
+      options.bench_json = arg.substr(13);
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -37,33 +46,37 @@ BenchOptions ParseOptions(int argc, char** argv) {
     } else if (arg.rfind("--watchdog=", 0) == 0) {
       options.fault.watchdog_sec = std::strtod(arg.c_str() + 11, nullptr);
     } else if (arg == "--quick") {
-      // Shrunken sizes: same code paths, seconds-scale total runtime.
-      options.sizes.spmv_rows = 2048;
-      options.sizes.vecop_n = 1u << 17;
-      options.sizes.hist_n = 1u << 17;
-      options.sizes.stencil_dim = 32;
-      options.sizes.red_n = 1u << 17;
-      options.sizes.amcd_chains = 128;
-      options.sizes.amcd_atoms = 24;
-      options.sizes.amcd_steps = 32;
-      options.sizes.nbody_n = 512;
-      options.sizes.conv_dim = 128;
-      options.sizes.dmmm_n = 96;
+      options.sizes = hpc::ProblemSizes::Quick();
     }
   }
   return options;
 }
 
 StatusOr<std::vector<harness::BenchmarkResults>> RunSweep(
-    const BenchOptions& options, bool fp64) {
+    const BenchOptions& options, bool fp64, obs::Recorder* recorder) {
   harness::ExperimentConfig config;
   config.sizes = options.sizes;
   config.fp64 = fp64;
   config.seed = options.seed;
   config.sim_threads = options.threads;
   config.fault = options.fault;
+  config.recorder = recorder;
   harness::ExperimentRunner runner(config);
   return runner.RunAll();
+}
+
+Status RunSweepInto(const BenchOptions& options, bool fp64,
+                    std::vector<SweepData>* sweeps) {
+  SweepData sweep;
+  sweep.fp64 = fp64;
+  if (!options.bench_json.empty()) {
+    sweep.recorder = std::make_shared<obs::Recorder>();
+  }
+  auto results = RunSweep(options, fp64, sweep.recorder.get());
+  if (!results.ok()) return results.status();
+  sweep.results = std::move(*results);
+  sweeps->push_back(std::move(sweep));
+  return Status::Ok();
 }
 
 std::string CompareWithPaper(
@@ -97,6 +110,149 @@ std::string CompareWithPaper(
     add_pair(row.opencl_opt, hpc::Variant::kOpenCLOpt);
   }
   return table.ToAscii();
+}
+
+namespace {
+
+/// Short slug for paper-delta keys: "openmp" / "opencl" / "opencl_opt".
+const char* VariantSlug(hpc::Variant v) {
+  switch (v) {
+    case hpc::Variant::kSerial:
+      return "serial";
+    case hpc::Variant::kOpenMP:
+      return "openmp";
+    case hpc::Variant::kOpenCL:
+      return "opencl";
+    case hpc::Variant::kOpenCLOpt:
+      return "opencl_opt";
+  }
+  return "unknown";
+}
+
+void AppendCells(const SweepData& sweep, std::vector<obs::BenchCell>* cells) {
+  const char* precision = sweep.fp64 ? "fp64" : "fp32";
+  for (const harness::BenchmarkResults& r : sweep.results) {
+    for (hpc::Variant v : hpc::kAllVariants) {
+      const harness::VariantResult& vr = r.Get(v);
+      obs::BenchCell cell;
+      cell.benchmark = r.name;
+      cell.variant = std::string(hpc::VariantName(v));
+      cell.precision = precision;
+      cell.available = vr.available;
+      cell.unavailable_reason = vr.unavailable_reason;
+      if (vr.available) {
+        cell.seconds = vr.seconds;
+        cell.power_mean_w = vr.power_mean_w;
+        cell.power_stddev_w = vr.power_stddev_w;
+        cell.energy_j = vr.energy_j;
+        cell.edp_js = vr.energy_j * vr.seconds;
+        cell.speedup_vs_serial = r.SpeedupVsSerial(v);
+        cell.power_vs_serial = r.PowerVsSerial(v);
+        cell.energy_vs_serial = r.EnergyVsSerial(v);
+        cell.failed_repetitions = vr.failed_repetitions;
+        cell.degraded_to = vr.degraded_to;
+        cell.validated = vr.validated;
+      }
+      cells->push_back(std::move(cell));
+    }
+  }
+}
+
+void AppendPaperDeltas(
+    const SweepData& sweep, const std::string& figure,
+    const std::map<std::string, PaperRow>& paper,
+    double (harness::BenchmarkResults::*metric)(hpc::Variant) const,
+    std::vector<obs::PaperDelta>* deltas) {
+  const char* precision = sweep.fp64 ? "fp64" : "fp32";
+  for (const harness::BenchmarkResults& r : sweep.results) {
+    const auto it = paper.find(r.name);
+    if (it == paper.end()) continue;
+    const struct {
+      double paper_v;
+      hpc::Variant v;
+    } pairs[] = {{it->second.openmp, hpc::Variant::kOpenMP},
+                 {it->second.opencl, hpc::Variant::kOpenCL},
+                 {it->second.opencl_opt, hpc::Variant::kOpenCLOpt}};
+    for (const auto& p : pairs) {
+      if (std::isnan(p.paper_v)) continue;
+      const double model_v = (r.*metric)(p.v);
+      if (model_v <= 0.0) continue;
+      deltas->push_back({figure + "/" + r.name + "/" + VariantSlug(p.v) +
+                             "/" + precision,
+                         p.paper_v, model_v});
+    }
+  }
+}
+
+std::string U64(std::uint64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+Status WriteBenchJson(const BenchOptions& options,
+                      const std::string& bench_name,
+                      const std::vector<SweepData>& sweeps) {
+  if (options.bench_json.empty()) return Status::Ok();
+
+  StatusOr<fault::FaultPlan> plan = fault::FaultPlan::FromOptions(options.fault);
+  if (!plan.ok()) return plan.status();
+
+  obs::BenchReportMeta meta;
+  meta.name = bench_name;
+  meta.git_sha = GitSha();
+  {
+    char hex[17];
+    std::snprintf(hex, sizeof(hex), "%016" PRIx64, plan->Hash());
+    meta.fault_plan_hash = hex;
+  }
+  // Everything that shapes the modelled numbers — and nothing that must
+  // not (host threads, output paths): the record is byte-identical across
+  // --threads by contract.
+  meta.options = {
+      {"seed", U64(options.seed)},
+      {"fault_seed", U64(options.fault.seed)},
+      {"fault_rate", FormatDouble(options.fault.rate, 6)},
+      {"fault_spec", options.fault.spec},
+      {"watchdog_sec", FormatDouble(options.fault.watchdog_sec, 6)},
+      {"sizes",
+       "spmv_rows=" + U64(options.sizes.spmv_rows) +
+           ",spmv_nnz=" + U64(options.sizes.spmv_avg_nnz_per_row) +
+           ",vecop_n=" + U64(options.sizes.vecop_n) +
+           ",hist_n=" + U64(options.sizes.hist_n) +
+           ",hist_bins=" + U64(options.sizes.hist_bins) +
+           ",stencil_dim=" + U64(options.sizes.stencil_dim) +
+           ",red_n=" + U64(options.sizes.red_n) +
+           ",amcd_chains=" + U64(options.sizes.amcd_chains) +
+           ",amcd_atoms=" + U64(options.sizes.amcd_atoms) +
+           ",amcd_steps=" + U64(options.sizes.amcd_steps) +
+           ",nbody_n=" + U64(options.sizes.nbody_n) +
+           ",conv_dim=" + U64(options.sizes.conv_dim) +
+           ",dmmm_n=" + U64(options.sizes.dmmm_n)},
+  };
+
+  std::vector<obs::BenchCell> cells;
+  std::vector<obs::PaperDelta> deltas;
+  obs::MetricsAggregator aggregator;
+  const power::PowerModel model;
+  for (const SweepData& sweep : sweeps) {
+    AppendCells(sweep, &cells);
+    AppendPaperDeltas(sweep, sweep.fp64 ? "fig2b" : "fig2a",
+                      sweep.fp64 ? Fig2bSpeedup() : Fig2aSpeedup(),
+                      &harness::BenchmarkResults::SpeedupVsSerial, &deltas);
+    if (!sweep.fp64) {
+      AppendPaperDeltas(sweep, "fig3a", Fig3aPower(),
+                        &harness::BenchmarkResults::PowerVsSerial, &deltas);
+      AppendPaperDeltas(sweep, "fig4a", Fig4aEnergy(),
+                        &harness::BenchmarkResults::EnergyVsSerial, &deltas);
+    }
+    if (sweep.recorder != nullptr) {
+      sweep.recorder->Seal();  // producers are done; flush contract
+      aggregator.IngestRecorder(*sweep.recorder, model,
+                                sweep.fp64 ? "fp64" : "fp32");
+    }
+  }
+
+  return obs::WriteBenchReport(meta, cells, deltas, aggregator.Finalize(),
+                               options.bench_json);
 }
 
 }  // namespace malisim::bench

@@ -1,13 +1,16 @@
 // Shared plumbing for the figure-reproduction binaries: flag parsing,
-// running both precisions, and the paper-vs-model comparison rendering.
+// running both precisions, the paper-vs-model comparison rendering, and
+// the --bench-json BENCH record emission (obs/bench_report.h).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/paper_reference.h"
 #include "harness/experiment.h"
 #include "harness/figures.h"
+#include "obs/recorder.h"
 
 namespace malisim::bench {
 
@@ -22,6 +25,10 @@ struct BenchOptions {
   hpc::ProblemSizes sizes;
   /// When non-empty, a Chrome trace of the runs is written here.
   std::string trace_path;
+  /// When non-empty, a schema-versioned BENCH record (malisim-bench-v1) of
+  /// the run is written here for malisim-bench regression comparison.
+  /// Byte-identical for any --threads value.
+  std::string bench_json;
   /// Fault injection and resilience (DESIGN.md §8). Defaults (all off)
   /// reproduce the golden figures byte-for-byte.
   FaultOptions fault;
@@ -30,15 +37,41 @@ struct BenchOptions {
 /// Parses --fp32 / --fp64 (run only that precision), --csv, --seed=N,
 /// --threads=N (host threads for the simulation engine), --quick (shrunken
 /// problem sizes for CI smoke runs), --trace=PATH (Chrome trace of the
-/// runs), and the fault-injection knobs: --fault-seed=N, --fault-rate=P
+/// runs), --bench-json=PATH (machine-comparable BENCH record of the run),
+/// and the fault-injection knobs: --fault-seed=N, --fault-rate=P
 /// (uniform per-site trip probability), --fault-spec=site=rate[,...]
 /// (per-site overrides; "all" = every site), --watchdog=SEC (per-kernel
 /// modelled-time budget).
 BenchOptions ParseOptions(int argc, char** argv);
 
-/// Runs all nine benchmarks at one precision.
+/// One completed precision sweep plus the recorder that observed it (the
+/// recorder is only attached when options.bench_json is set).
+struct SweepData {
+  bool fp64 = false;
+  std::vector<harness::BenchmarkResults> results;
+  std::shared_ptr<obs::Recorder> recorder;
+};
+
+/// Runs all nine benchmarks at one precision. `recorder`, when non-null,
+/// is attached to the harness for the sweep.
 StatusOr<std::vector<harness::BenchmarkResults>> RunSweep(
-    const BenchOptions& options, bool fp64);
+    const BenchOptions& options, bool fp64,
+    obs::Recorder* recorder = nullptr);
+
+/// Runs one precision sweep, attaching a fresh recorder when
+/// options.bench_json is set, and appends the sweep to *sweeps. Non-OK on
+/// harness failure.
+Status RunSweepInto(const BenchOptions& options, bool fp64,
+                    std::vector<SweepData>* sweeps);
+
+/// Writes the BENCH record for `sweeps` to options.bench_json: one cell
+/// per (benchmark, variant, precision), paper-reference deltas for every
+/// figure the paper reports, and the aggregated metrics snapshot
+/// (per-kernel time histograms, per-rail energy, fault counters) under a
+/// "fp32"/"fp64" prefix per sweep. No-op when options.bench_json is empty.
+Status WriteBenchJson(const BenchOptions& options,
+                      const std::string& bench_name,
+                      const std::vector<SweepData>& sweeps);
 
 /// Appends a paper-vs-model comparison table for the given metric.
 std::string CompareWithPaper(

@@ -1,0 +1,48 @@
+# End-to-end check of the BENCH record contract, run by ctest:
+#   1. fig2_performance --quick --bench-json at --threads=1 and --threads=4
+#      must emit byte-identical records (host parallelism is excluded from
+#      the record by design), and
+#   2. malisim-bench comparing the record against itself must exit 0.
+# Driven via -DFIG2=... -DBENCH=... -DOUT_DIR=... -P this-file.
+foreach(var FIG2 BENCH OUT_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "bench_json_check: -D${var}=... is required")
+  endif()
+endforeach()
+
+file(MAKE_DIRECTORY "${OUT_DIR}")
+set(json_t1 "${OUT_DIR}/bench_t1.json")
+set(json_t4 "${OUT_DIR}/bench_t4.json")
+
+execute_process(
+  COMMAND "${FIG2}" --quick --threads=1 "--bench-json=${json_t1}"
+  RESULT_VARIABLE rc1 OUTPUT_QUIET)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "fig2_performance --threads=1 failed (exit ${rc1})")
+endif()
+
+execute_process(
+  COMMAND "${FIG2}" --quick --threads=4 "--bench-json=${json_t4}"
+  RESULT_VARIABLE rc4 OUTPUT_QUIET)
+if(NOT rc4 EQUAL 0)
+  message(FATAL_ERROR "fig2_performance --threads=4 failed (exit ${rc4})")
+endif()
+
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files "${json_t1}" "${json_t4}"
+  RESULT_VARIABLE identical)
+if(NOT identical EQUAL 0)
+  message(FATAL_ERROR
+    "BENCH records differ across --threads=1/4: ${json_t1} vs ${json_t4} — "
+    "the byte-identity contract (obs/bench_report.h) is broken")
+endif()
+
+execute_process(
+  COMMAND "${BENCH}" "--baseline=${json_t1}" "--candidate=${json_t4}"
+  RESULT_VARIABLE self_compare OUTPUT_QUIET)
+if(NOT self_compare EQUAL 0)
+  message(FATAL_ERROR
+    "malisim-bench self-compare exited ${self_compare}, want 0")
+endif()
+
+message(STATUS "bench_json_check: records byte-identical, self-compare OK")

@@ -4,7 +4,9 @@
 // a side-by-side comparison with the paper's reported values.
 //
 // Usage: fig2_performance [--fp32|--fp64] [--csv] [--quick] [--seed=N]
+//                         [--bench-json=PATH]
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 #include "harness/trace.h"
@@ -14,16 +16,18 @@ namespace mh = malisim::harness;
 
 namespace {
 
-int RunPrecision(const mb::BenchOptions& options, bool fp64) {
-  auto results = mb::RunSweep(options, fp64);
-  if (!results.ok()) {
-    std::fprintf(stderr, "error: %s\n", results.status().ToString().c_str());
+int RunPrecision(const mb::BenchOptions& options, bool fp64,
+                 std::vector<mb::SweepData>* sweeps) {
+  const malisim::Status run = mb::RunSweepInto(options, fp64, sweeps);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.ToString().c_str());
     return 1;
   }
+  const std::vector<mh::BenchmarkResults>& results = sweeps->back().results;
   const char* sub = fp64 ? "Fig. 2(b) double-precision" : "Fig. 2(a) single-precision";
   if (!options.trace_path.empty()) {
     mh::TraceBuilder trace;
-    for (const mh::BenchmarkResults& r : *results) trace.AddBenchmark(r);
+    for (const mh::BenchmarkResults& r : results) trace.AddBenchmark(r);
     const std::string path =
         options.trace_path + (fp64 ? ".fp64.json" : ".fp32.json");
     const malisim::Status written = trace.WriteTo(path);
@@ -33,16 +37,16 @@ int RunPrecision(const mb::BenchOptions& options, bool fp64) {
       std::fprintf(stderr, "trace error: %s\n", written.ToString().c_str());
     }
   }
-  const malisim::Table table = mh::Fig2Speedup(*results);
+  const malisim::Table table = mh::Fig2Speedup(results);
   if (options.csv) {
     std::printf("# %s speedup over Serial\n%s\n", sub, table.ToCsv().c_str());
     return 0;
   }
   std::printf("%s\n", mh::RenderFigure(std::string(sub) + ": speedup over Serial",
-                                       table, *results)
+                                       table, results)
                           .c_str());
   std::printf("paper vs model:\n%s\n",
-              mb::CompareWithPaper(*results,
+              mb::CompareWithPaper(results,
                                    fp64 ? mb::Fig2bSpeedup() : mb::Fig2aSpeedup(),
                                    &mh::BenchmarkResults::SpeedupVsSerial, 2)
                   .c_str());
@@ -53,8 +57,18 @@ int RunPrecision(const mb::BenchOptions& options, bool fp64) {
 
 int main(int argc, char** argv) {
   const mb::BenchOptions options = mb::ParseOptions(argc, argv);
+  std::vector<mb::SweepData> sweeps;
   int rc = 0;
-  if (options.run_fp32) rc |= RunPrecision(options, false);
-  if (options.run_fp64) rc |= RunPrecision(options, true);
+  if (options.run_fp32) rc |= RunPrecision(options, false, &sweeps);
+  if (options.run_fp64) rc |= RunPrecision(options, true, &sweeps);
+  if (rc == 0) {
+    const malisim::Status written =
+        mb::WriteBenchJson(options, "fig2_performance", sweeps);
+    if (!written.ok()) {
+      std::fprintf(stderr, "bench-json error: %s\n",
+                   written.ToString().c_str());
+      rc = 1;
+    }
+  }
   return rc;
 }

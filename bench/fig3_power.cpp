@@ -4,7 +4,9 @@
 // modelled utilizations and sampled by the virtual Yokogawa WT230.
 //
 // Usage: fig3_power [--fp32|--fp64] [--csv] [--quick] [--seed=N]
+//                   [--bench-json=PATH]
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 
@@ -13,15 +15,17 @@ namespace mh = malisim::harness;
 
 namespace {
 
-int RunPrecision(const mb::BenchOptions& options, bool fp64) {
-  auto results = mb::RunSweep(options, fp64);
-  if (!results.ok()) {
-    std::fprintf(stderr, "error: %s\n", results.status().ToString().c_str());
+int RunPrecision(const mb::BenchOptions& options, bool fp64,
+                 std::vector<mb::SweepData>* sweeps) {
+  const malisim::Status run = mb::RunSweepInto(options, fp64, sweeps);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.ToString().c_str());
     return 1;
   }
+  const std::vector<mh::BenchmarkResults>& results = sweeps->back().results;
   const char* sub =
       fp64 ? "Fig. 3(b) double-precision" : "Fig. 3(a) single-precision";
-  const malisim::Table table = mh::Fig3Power(*results);
+  const malisim::Table table = mh::Fig3Power(results);
   if (options.csv) {
     std::printf("# %s power normalized to Serial\n%s\n", sub,
                 table.ToCsv().c_str());
@@ -29,11 +33,11 @@ int RunPrecision(const mb::BenchOptions& options, bool fp64) {
   }
   std::printf("%s\n",
               mh::RenderFigure(std::string(sub) + ": power normalized to Serial",
-                               table, *results)
+                               table, results)
                   .c_str());
   if (!fp64) {
     std::printf("paper vs model:\n%s\n",
-                mb::CompareWithPaper(*results, mb::Fig3aPower(),
+                mb::CompareWithPaper(results, mb::Fig3aPower(),
                                      &mh::BenchmarkResults::PowerVsSerial, 2)
                     .c_str());
   }
@@ -44,8 +48,18 @@ int RunPrecision(const mb::BenchOptions& options, bool fp64) {
 
 int main(int argc, char** argv) {
   const mb::BenchOptions options = mb::ParseOptions(argc, argv);
+  std::vector<mb::SweepData> sweeps;
   int rc = 0;
-  if (options.run_fp32) rc |= RunPrecision(options, false);
-  if (options.run_fp64) rc |= RunPrecision(options, true);
+  if (options.run_fp32) rc |= RunPrecision(options, false, &sweeps);
+  if (options.run_fp64) rc |= RunPrecision(options, true, &sweeps);
+  if (rc == 0) {
+    const malisim::Status written =
+        mb::WriteBenchJson(options, "fig3_power", sweeps);
+    if (!written.ok()) {
+      std::fprintf(stderr, "bench-json error: %s\n",
+                   written.ToString().c_str());
+      rc = 1;
+    }
+  }
   return rc;
 }

@@ -3,7 +3,9 @@
 // double (4b) precision.
 //
 // Usage: fig4_energy [--fp32|--fp64] [--csv] [--quick] [--seed=N]
+//                    [--bench-json=PATH]
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 
@@ -12,15 +14,17 @@ namespace mh = malisim::harness;
 
 namespace {
 
-int RunPrecision(const mb::BenchOptions& options, bool fp64) {
-  auto results = mb::RunSweep(options, fp64);
-  if (!results.ok()) {
-    std::fprintf(stderr, "error: %s\n", results.status().ToString().c_str());
+int RunPrecision(const mb::BenchOptions& options, bool fp64,
+                 std::vector<mb::SweepData>* sweeps) {
+  const malisim::Status run = mb::RunSweepInto(options, fp64, sweeps);
+  if (!run.ok()) {
+    std::fprintf(stderr, "error: %s\n", run.ToString().c_str());
     return 1;
   }
+  const std::vector<mh::BenchmarkResults>& results = sweeps->back().results;
   const char* sub =
       fp64 ? "Fig. 4(b) double-precision" : "Fig. 4(a) single-precision";
-  const malisim::Table table = mh::Fig4Energy(*results);
+  const malisim::Table table = mh::Fig4Energy(results);
   if (options.csv) {
     std::printf("# %s energy-to-solution normalized to Serial\n%s\n", sub,
                 table.ToCsv().c_str());
@@ -29,15 +33,15 @@ int RunPrecision(const mb::BenchOptions& options, bool fp64) {
   std::printf("%s\n",
               mh::RenderFigure(
                   std::string(sub) + ": energy-to-solution normalized to Serial",
-                  table, *results)
+                  table, results)
                   .c_str());
   if (!fp64) {
     std::printf("paper vs model:\n%s\n",
-                mb::CompareWithPaper(*results, mb::Fig4aEnergy(),
+                mb::CompareWithPaper(results, mb::Fig4aEnergy(),
                                      &mh::BenchmarkResults::EnergyVsSerial, 2)
                     .c_str());
   }
-  const mh::Summary summary = mh::ComputeSummary(*results);
+  const mh::Summary summary = mh::ComputeSummary(results);
   std::printf(
       "summary (%s): OpenMP speedup %.2fx (paper ~1.7x SP), OpenMP power "
       "%.2fx (paper ~1.31x SP), OpenCL energy %.2f (paper ~0.56), Opt "
@@ -52,8 +56,18 @@ int RunPrecision(const mb::BenchOptions& options, bool fp64) {
 
 int main(int argc, char** argv) {
   const mb::BenchOptions options = mb::ParseOptions(argc, argv);
+  std::vector<mb::SweepData> sweeps;
   int rc = 0;
-  if (options.run_fp32) rc |= RunPrecision(options, false);
-  if (options.run_fp64) rc |= RunPrecision(options, true);
+  if (options.run_fp32) rc |= RunPrecision(options, false, &sweeps);
+  if (options.run_fp64) rc |= RunPrecision(options, true, &sweeps);
+  if (rc == 0) {
+    const malisim::Status written =
+        mb::WriteBenchJson(options, "fig4_energy", sweeps);
+    if (!written.ok()) {
+      std::fprintf(stderr, "bench-json error: %s\n",
+                   written.ToString().c_str());
+      rc = 1;
+    }
+  }
   return rc;
 }

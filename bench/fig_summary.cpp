@@ -3,8 +3,9 @@
 // corresponding Serial benchmarks running on the Cortex-A15 core, while
 // consuming only 32% of the energy."
 //
-// Usage: fig_summary [--quick] [--seed=N]
+// Usage: fig_summary [--quick] [--seed=N] [--bench-json=PATH]
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_common.h"
 
@@ -13,19 +14,22 @@ namespace mh = malisim::harness;
 
 int main(int argc, char** argv) {
   const mb::BenchOptions options = mb::ParseOptions(argc, argv);
-  auto sp = mb::RunSweep(options, false);
-  if (!sp.ok()) {
-    std::fprintf(stderr, "error: %s\n", sp.status().ToString().c_str());
+  std::vector<mb::SweepData> sweeps;
+  const malisim::Status sp_run = mb::RunSweepInto(options, false, &sweeps);
+  if (!sp_run.ok()) {
+    std::fprintf(stderr, "error: %s\n", sp_run.ToString().c_str());
     return 1;
   }
-  auto dp = mb::RunSweep(options, true);
-  if (!dp.ok()) {
-    std::fprintf(stderr, "error: %s\n", dp.status().ToString().c_str());
+  const malisim::Status dp_run = mb::RunSweepInto(options, true, &sweeps);
+  if (!dp_run.ok()) {
+    std::fprintf(stderr, "error: %s\n", dp_run.ToString().c_str());
     return 1;
   }
-  const mh::Summary ssp = mh::ComputeSummary(*sp);
-  const mh::Summary sdp = mh::ComputeSummary(*dp);
-  const mh::Headline headline = mh::ComputeHeadline(*sp, *dp);
+  const std::vector<mh::BenchmarkResults>& sp = sweeps[0].results;
+  const std::vector<mh::BenchmarkResults>& dp = sweeps[1].results;
+  const mh::Summary ssp = mh::ComputeSummary(sp);
+  const mh::Summary sdp = mh::ComputeSummary(dp);
+  const mh::Headline headline = mh::ComputeHeadline(sp, dp);
 
   std::printf("== Paper §V-D summary, paper vs model ==\n");
   std::printf("%-46s %8s %8s\n", "statistic", "paper", "model");
@@ -37,5 +41,11 @@ int main(int argc, char** argv) {
   std::printf("%-46s %8s %8.2f\n", "OpenCL Opt avg energy vs Serial (DP)", "0.36", sdp.openclopt_avg_energy);
   std::printf("%-46s %8s %8.2f\n", "OpenCL Opt avg speedup (SP+DP, headline)", "8.70", headline.avg_speedup);
   std::printf("%-46s %8s %8.2f\n", "OpenCL Opt avg energy (SP+DP, headline)", "0.32", headline.avg_energy);
+  const malisim::Status written =
+      mb::WriteBenchJson(options, "fig_summary", sweeps);
+  if (!written.ok()) {
+    std::fprintf(stderr, "bench-json error: %s\n", written.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,307 @@
+#include "common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace malisim {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(ch)));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  // to_chars with chars_format::general formats "as if by printf %g in the
+  // C locale" — same digits as the historical %.17g path, but immune to
+  // LC_NUMERIC (no "1,5" under European locales).
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                                 std::chars_format::general, 17);
+  return std::string(buf, res.ptr);
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    SkipWs();
+    JsonValue root;
+    MALI_RETURN_IF_ERROR(ParseValue(&root));
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Error("trailing content after JSON document");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError("JSON parse error at byte " +
+                                std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out) {
+    if (depth_ > kMaxDepth) return Error("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(out);
+      case '[':
+        return ParseArray(out);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->string_value);
+      case 't':
+        MALI_RETURN_IF_ERROR(ParseLiteral("true"));
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = true;
+        return Status::Ok();
+      case 'f':
+        MALI_RETURN_IF_ERROR(ParseLiteral("false"));
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_value = false;
+        return Status::Ok();
+      case 'n':
+        MALI_RETURN_IF_ERROR(ParseLiteral("null"));
+        out->kind = JsonValue::Kind::kNull;
+        return Status::Ok();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) {
+      return Error("invalid literal");
+    }
+    pos_ += lit.size();
+    return Status::Ok();
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const char* begin = text_.data() + pos_;
+    const char* end = text_.data() + text_.size();
+    double value = 0.0;
+    // from_chars is locale-independent; it accepts the JSON number grammar
+    // plus a few extensions (hex floats) we never emit.
+    const auto res = std::from_chars(begin, end, value);
+    if (res.ec != std::errc() || res.ptr == begin) {
+      return Error("invalid number");
+    }
+    pos_ += static_cast<std::size_t>(res.ptr - begin);
+    out->kind = JsonValue::Kind::kNumber;
+    out->number_value = value;
+    return Status::Ok();
+  }
+
+  Status ParseString(std::string* out) {
+    if (!Consume('"')) return Error("expected '\"'");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return Status::Ok();
+      if (c != '\\') {
+        *out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          *out += '"';
+          break;
+        case '\\':
+          *out += '\\';
+          break;
+        case '/':
+          *out += '/';
+          break;
+        case 'n':
+          *out += '\n';
+          break;
+        case 'r':
+          *out += '\r';
+          break;
+        case 't':
+          *out += '\t';
+          break;
+        case 'b':
+          *out += '\b';
+          break;
+        case 'f':
+          *out += '\f';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_ + static_cast<std::size_t>(i)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Error("invalid \\u escape");
+            }
+          }
+          pos_ += 4;
+          // UTF-8 encode the BMP code point (we never emit surrogates).
+          if (code < 0x80) {
+            *out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            *out += static_cast<char>(0xC0 | (code >> 6));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            *out += static_cast<char>(0xE0 | (code >> 12));
+            *out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            *out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Error("invalid escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseObject(JsonValue* out) {
+    ++depth_;
+    out->kind = JsonValue::Kind::kObject;
+    Consume('{');
+    SkipWs();
+    if (Consume('}')) {
+      --depth_;
+      return Status::Ok();
+    }
+    while (true) {
+      SkipWs();
+      std::string key;
+      MALI_RETURN_IF_ERROR(ParseString(&key));
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue value;
+      MALI_RETURN_IF_ERROR(ParseValue(&value));
+      out->members.emplace_back(std::move(key), std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) {
+        --depth_;
+        return Status::Ok();
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out) {
+    ++depth_;
+    out->kind = JsonValue::Kind::kArray;
+    Consume('[');
+    SkipWs();
+    if (Consume(']')) {
+      --depth_;
+      return Status::Ok();
+    }
+    while (true) {
+      JsonValue value;
+      MALI_RETURN_IF_ERROR(ParseValue(&value));
+      out->array.push_back(std::move(value));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) {
+        --depth_;
+        return Status::Ok();
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  static constexpr int kMaxDepth = 128;
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  const JsonValue* found = nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) found = &value;  // duplicate keys: last wins
+  }
+  return found;
+}
+
+double JsonValue::NumberOr(std::string_view key, double fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_number()) ? v->number_value : fallback;
+}
+
+std::string JsonValue::StringOr(std::string_view key,
+                                const std::string& fallback) const {
+  const JsonValue* v = Find(key);
+  return (v != nullptr && v->is_string()) ? v->string_value : fallback;
+}
+
+StatusOr<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace malisim

@@ -1,0 +1,132 @@
+// Minimal JSON support shared by every machine-readable artifact:
+//  * JsonWriter — append-only streaming writer (was private to obs/export;
+//    promoted here so the profiler export, the bench-report emitter and the
+//    harness trace all produce JSON the same way).
+//  * JsonValue / ParseJson — a small recursive-descent parser for the
+//    tools that *read* our artifacts back (malisim-bench loads two
+//    BENCH_*.json records and diffs them). Objects preserve insertion
+//    order; numbers are doubles.
+//
+// All formatting is locale-independent (std::to_chars): a BENCH record or
+// golden CSV written under a de_DE.UTF-8 locale is byte-identical to one
+// written under C — see JsonNumber() and FormatDouble() in common/table.h.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace malisim {
+
+/// Escapes a string for inclusion in a JSON string literal (quotes,
+/// backslashes, newlines and other control characters).
+std::string JsonEscape(const std::string& s);
+
+/// Locale-independent shortest-faithful rendering of a double with up to
+/// 17 significant digits (printf %.17g semantics under the C locale).
+/// Non-finite values render as "0": JSON has no inf/nan and our metrics
+/// treat them as absent signal.
+std::string JsonNumber(double v);
+
+/// Minimal streaming JSON writer: tracks whether the current aggregate
+/// needs a comma. The caller is responsible for well-formedness (matching
+/// Begin/End calls, Key before value inside objects).
+class JsonWriter {
+ public:
+  void BeginObject() { Open('{'); }
+  void EndObject() { Close('}'); }
+  void BeginArray() { Open('['); }
+  void EndArray() { Close(']'); }
+  void Key(const std::string& k) {
+    Comma();
+    out_ += '"';
+    out_ += JsonEscape(k);
+    out_ += "\":";
+    pending_value_ = true;
+  }
+  void String(const std::string& v) {
+    Comma();
+    out_ += '"';
+    out_ += JsonEscape(v);
+    out_ += '"';
+  }
+  void Number(double v) {
+    Comma();
+    out_ += JsonNumber(v);
+  }
+  void Number(std::uint64_t v) {
+    Comma();
+    out_ += std::to_string(v);
+  }
+  void Bool(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+  }
+  const std::string& str() const { return out_; }
+
+ private:
+  void Open(char c) {
+    Comma();
+    out_ += c;
+    need_comma_.push_back(false);
+  }
+  void Close(char c) {
+    need_comma_.pop_back();
+    out_ += c;
+    if (!need_comma_.empty()) need_comma_.back() = true;
+  }
+  void Comma() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!need_comma_.empty()) {
+      if (need_comma_.back()) out_ += ',';
+      need_comma_.back() = true;
+    }
+  }
+
+  std::string out_;
+  std::vector<bool> need_comma_;
+  bool pending_value_ = false;
+};
+
+/// Parsed JSON value. A deliberately small surface: kind tag plus typed
+/// accessors that return fallbacks instead of throwing, so report loaders
+/// can probe optional fields without ceremony.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0.0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered object members (duplicate keys keep the last).
+  std::vector<std::pair<std::string, JsonValue>> members;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed lookups with fallbacks, for optional report fields.
+  double NumberOr(std::string_view key, double fallback) const;
+  std::string StringOr(std::string_view key, const std::string& fallback) const;
+};
+
+/// Parses a complete JSON document. Trailing non-whitespace after the root
+/// value, unterminated aggregates and malformed literals are
+/// InvalidArgument with a byte offset in the message.
+StatusOr<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace malisim

@@ -1,6 +1,8 @@
 #include "common/table.h"
 
 #include <algorithm>
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 
 #include "common/status.h"
@@ -101,9 +103,37 @@ std::string Table::ToCsv() const {
 }
 
 std::string FormatDouble(double value, int precision) {
+  if (!std::isfinite(value)) {
+    // Match printf's spelling for the rare non-finite diagnostic cells.
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%f", value);
+    return buf;
+  }
+  // std::to_chars(fixed) formats "as if by printf %f in the C locale":
+  // byte-identical to the historical snprintf path, but immune to
+  // LC_NUMERIC (no "1,50" under European locales).
+  char buf[512];  // %f of huge doubles needs ~310 integral digits
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value,
+                                 std::chars_format::fixed,
+                                 precision < 0 ? 0 : precision);
+  if (res.ec != std::errc()) {
+    char fallback[64];
+    std::snprintf(fallback, sizeof(fallback), "%.*f", precision, value);
+    return fallback;
+  }
+  return std::string(buf, res.ptr);
+}
+
+std::string FormatDoubleFull(double value) {
+  if (!std::isfinite(value)) {
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%g", value);
+    return buf;
+  }
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
-  return buf;
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value,
+                                 std::chars_format::general, 17);
+  return std::string(buf, res.ptr);
 }
 
 }  // namespace malisim

@@ -42,6 +42,13 @@ class Table {
 };
 
 /// Formats `value` with `precision` digits after the decimal point.
+/// Locale-independent (std::to_chars): the decimal separator is always '.'
+/// regardless of LC_NUMERIC, so golden CSVs cannot break on locale.
 std::string FormatDouble(double value, int precision);
+
+/// Full-precision (17 significant digits, printf %.17g style) rendering,
+/// also locale-independent. This is the golden-file number format: any
+/// change to a modelled double changes the string.
+std::string FormatDoubleFull(double value);
 
 }  // namespace malisim

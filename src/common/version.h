@@ -1,0 +1,23 @@
+// Build provenance for machine-readable artifacts. The git revision is
+// captured at CMake configure time (see the execute_process block in the
+// top-level CMakeLists.txt) and baked in as a compile definition, so every
+// BENCH_*.json record and results/ CSV can say which tree produced it.
+// Builds outside a git checkout (or from a tarball) report "unknown".
+//
+// The sha is configure-time state: committing on top of an already
+// configured build tree leaves the old value until CMake re-runs. That is
+// fine for its only consumers — provenance stamps that are deliberately
+// excluded from byte-identity comparisons (malisim-bench compares metric
+// values, never provenance).
+#pragma once
+
+namespace malisim {
+
+#ifndef MALISIM_GIT_SHA
+#define MALISIM_GIT_SHA "unknown"
+#endif
+
+/// Short git revision of the configured source tree, or "unknown".
+inline const char* GitSha() { return MALISIM_GIT_SHA; }
+
+}  // namespace malisim

@@ -90,6 +90,13 @@ struct FaultPlan {
   /// True when any injectable site can fire.
   bool InjectionActive() const;
 
+  /// Stable FNV-1a digest of everything that shapes the fault schedule:
+  /// seed, per-site rates, quirk switches, squeeze/throttle factors and
+  /// the retry policy. Two runs with equal hashes face identical fault
+  /// behaviour, which is what makes their BENCH records comparable —
+  /// malisim-bench warns when the hashes differ.
+  std::uint64_t Hash() const;
+
   /// Applies a "site=rate[,site=rate...]" spec ("all" = every site).
   /// InvalidArgument on unknown sites or rates outside [0, 1].
   Status ApplySpec(std::string_view spec);

@@ -147,11 +147,9 @@ std::string RenderFigure(const std::string& title, const Table& table,
 
 std::string RenderFullPrecisionCsv(const std::vector<BenchmarkResults>& results,
                                    bool fp64) {
-  const auto full = [](double v) {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.17g", v);
-    return std::string(buf);
-  };
+  // Locale-independent full precision: golden-CSV byte comparisons must not
+  // depend on the host's LC_NUMERIC.
+  const auto full = [](double v) { return FormatDoubleFull(v); };
   std::ostringstream csv;
   csv << "benchmark,precision,variant,available,seconds,power_mean_w,"
          "energy_j,fig2_speedup,fig3_power,fig4_energy\n";

@@ -35,6 +35,24 @@ struct ProblemSizes {
   std::uint32_t conv_dim = 448;
   // Dense matrix-matrix multiplication (square).
   std::uint32_t dmmm_n = 192;
+
+  /// The --quick sizes shared by the figure binaries and malisim-prof:
+  /// same code paths, seconds-scale total runtime for CI smoke runs.
+  static ProblemSizes Quick() {
+    ProblemSizes s;
+    s.spmv_rows = 2048;
+    s.vecop_n = 1u << 17;
+    s.hist_n = 1u << 17;
+    s.stencil_dim = 32;
+    s.red_n = 1u << 17;
+    s.amcd_chains = 128;
+    s.amcd_atoms = 24;
+    s.amcd_steps = 32;
+    s.nbody_n = 512;
+    s.conv_dim = 128;
+    s.dmmm_n = 96;
+    return s;
+  }
 };
 
 }  // namespace malisim::hpc

@@ -1,0 +1,597 @@
+#include "obs/bench_report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/json.h"
+#include "common/table.h"
+
+namespace malisim::obs {
+
+namespace {
+
+constexpr double kRelEps = 1e-12;
+
+void WriteCell(JsonWriter* w, const BenchCell& cell) {
+  w->BeginObject();
+  w->Key("benchmark");
+  w->String(cell.benchmark);
+  w->Key("variant");
+  w->String(cell.variant);
+  w->Key("precision");
+  w->String(cell.precision);
+  w->Key("available");
+  w->Bool(cell.available);
+  if (!cell.available) {
+    w->Key("unavailable_reason");
+    w->String(cell.unavailable_reason);
+    w->EndObject();
+    return;
+  }
+  w->Key("seconds");
+  w->Number(cell.seconds);
+  w->Key("power_mean_w");
+  w->Number(cell.power_mean_w);
+  w->Key("power_stddev_w");
+  w->Number(cell.power_stddev_w);
+  w->Key("energy_j");
+  w->Number(cell.energy_j);
+  w->Key("edp_js");
+  w->Number(cell.edp_js);
+  w->Key("speedup_vs_serial");
+  w->Number(cell.speedup_vs_serial);
+  w->Key("power_vs_serial");
+  w->Number(cell.power_vs_serial);
+  w->Key("energy_vs_serial");
+  w->Number(cell.energy_vs_serial);
+  w->Key("failed_repetitions");
+  w->Number(static_cast<std::uint64_t>(
+      cell.failed_repetitions < 0 ? 0 : cell.failed_repetitions));
+  w->Key("degraded_to");
+  w->String(cell.degraded_to);
+  w->Key("validated");
+  w->Bool(cell.validated);
+  w->EndObject();
+}
+
+void WriteHistogram(JsonWriter* w, const HistogramStat& h) {
+  w->BeginObject();
+  w->Key("count");
+  w->Number(h.count);
+  w->Key("min");
+  w->Number(h.min);
+  w->Key("max");
+  w->Number(h.max);
+  w->Key("sum");
+  w->Number(h.sum);
+  w->Key("mean");
+  w->Number(h.mean);
+  w->Key("p50");
+  w->Number(h.p50);
+  w->Key("p90");
+  w->Number(h.p90);
+  w->Key("p99");
+  w->Number(h.p99);
+  w->Key("layout");
+  w->BeginObject();
+  w->Key("min_edge");
+  w->Number(h.layout.min_edge);
+  w->Key("decades");
+  w->Number(static_cast<std::uint64_t>(h.layout.decades));
+  w->Key("buckets_per_decade");
+  w->Number(static_cast<std::uint64_t>(h.layout.buckets_per_decade));
+  w->EndObject();
+  w->Key("buckets");
+  w->BeginArray();
+  for (const auto& [index, count] : h.buckets) {
+    w->BeginArray();
+    w->Number(static_cast<std::uint64_t>(index < 0 ? 0 : index));
+    w->Number(count);
+    w->EndArray();
+  }
+  w->EndArray();
+  w->EndObject();
+}
+
+Status WriteStringTo(const std::string& content, const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    return InvalidArgumentError("cannot open output '" + path + "'");
+  }
+  file << content;
+  return file.good() ? Status::Ok()
+                     : InternalError("short write to '" + path + "'");
+}
+
+std::string CellKey(const JsonValue& cell) {
+  return "cell/" + cell.StringOr("benchmark", "?") + "/" +
+         cell.StringOr("variant", "?") + "/" + cell.StringOr("precision", "?");
+}
+
+void FlattenCell(const JsonValue& cell, std::map<std::string, double>* out) {
+  const std::string base = CellKey(cell);
+  const JsonValue* available = cell.Find("available");
+  const bool is_available =
+      available != nullptr && available->kind == JsonValue::Kind::kBool &&
+      available->bool_value;
+  (*out)[base + "/available"] = is_available ? 1.0 : 0.0;
+  if (!is_available) return;
+  for (const char* field :
+       {"seconds", "power_mean_w", "power_stddev_w", "energy_j", "edp_js",
+        "speedup_vs_serial", "power_vs_serial", "energy_vs_serial",
+        "failed_repetitions"}) {
+    const JsonValue* v = cell.Find(field);
+    if (v != nullptr && v->is_number()) {
+      (*out)[base + "/" + field] = v->number_value;
+    }
+  }
+}
+
+void FlattenHistogram(const std::string& name, const JsonValue& h,
+                      std::map<std::string, double>* out) {
+  const std::string base = "hist/" + name;
+  for (const char* field : {"p50", "p90", "p99", "max", "mean", "count"}) {
+    const JsonValue* v = h.Find(field);
+    if (v != nullptr && v->is_number()) {
+      (*out)[base + "/" + field] = v->number_value;
+    }
+  }
+}
+
+double ThresholdFor(std::string_view name, const CompareOptions& options) {
+  double threshold = options.threshold;
+  std::size_t best_len = 0;
+  bool matched = false;
+  for (const auto& [prefix, value] : options.prefix_thresholds) {
+    if (name.substr(0, prefix.size()) != prefix) continue;
+    if (!matched || prefix.size() >= best_len) {
+      matched = true;
+      best_len = prefix.size();
+      threshold = value;
+    }
+  }
+  return threshold;
+}
+
+int VerdictRank(MetricDelta::Verdict v) {
+  switch (v) {
+    case MetricDelta::Verdict::kRegression:
+      return 0;
+    case MetricDelta::Verdict::kImprovement:
+      return 1;
+    case MetricDelta::Verdict::kChanged:
+      return 2;
+    case MetricDelta::Verdict::kUnchanged:
+      return 3;
+  }
+  return 3;
+}
+
+const char* VerdictName(MetricDelta::Verdict v) {
+  switch (v) {
+    case MetricDelta::Verdict::kRegression:
+      return "regression";
+    case MetricDelta::Verdict::kImprovement:
+      return "improvement";
+    case MetricDelta::Verdict::kChanged:
+      return "changed";
+    case MetricDelta::Verdict::kUnchanged:
+      return "unchanged";
+  }
+  return "unchanged";
+}
+
+const char* PolarityName(Polarity p) {
+  switch (p) {
+    case Polarity::kLowerBetter:
+      return "lower_better";
+    case Polarity::kHigherBetter:
+      return "higher_better";
+    case Polarity::kNeutral:
+      return "neutral";
+  }
+  return "neutral";
+}
+
+std::string Percent(double rel) {
+  const double pct = rel * 100.0;
+  std::string s = FormatDouble(pct, 2);
+  if (pct >= 0.0) s = "+" + s;
+  return s + "%";
+}
+
+bool Contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+std::string BenchReportJson(const BenchReportMeta& meta,
+                            const std::vector<BenchCell>& cells,
+                            const std::vector<PaperDelta>& paper_deltas,
+                            const MetricsSnapshot& metrics) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String(std::string(kBenchReportSchema));
+  w.Key("name");
+  w.String(meta.name);
+  w.Key("git_sha");
+  w.String(meta.git_sha);
+  w.Key("fault_plan_hash");
+  w.String(meta.fault_plan_hash);
+
+  w.Key("options");
+  w.BeginObject();
+  {
+    std::vector<std::pair<std::string, std::string>> sorted = meta.options;
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [key, value] : sorted) {
+      w.Key(key);
+      w.String(value);
+    }
+  }
+  w.EndObject();
+
+  w.Key("cells");
+  w.BeginArray();
+  for (const BenchCell& cell : cells) WriteCell(&w, cell);
+  w.EndArray();
+
+  w.Key("paper_reference");
+  w.BeginObject();
+  {
+    std::vector<PaperDelta> sorted = paper_deltas;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const PaperDelta& a, const PaperDelta& b) {
+                return a.key < b.key;
+              });
+    for (const PaperDelta& d : sorted) {
+      w.Key(d.key);
+      w.BeginObject();
+      w.Key("paper");
+      w.Number(d.paper);
+      w.Key("model");
+      w.Number(d.model);
+      w.Key("rel_delta");
+      w.Number(std::abs(d.paper) > kRelEps ? (d.model - d.paper) / d.paper
+                                           : 0.0);
+      w.EndObject();
+    }
+  }
+  w.EndObject();
+
+  w.Key("metrics");
+  w.BeginObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, value] : metrics.gauges) {
+    w.Key(name);
+    w.Number(value);
+  }
+  w.EndObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, value] : metrics.counters) {
+    w.Key(name);
+    w.Number(value);
+  }
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : metrics.histograms) {
+    w.Key(name);
+    WriteHistogram(&w, h);
+  }
+  w.EndObject();
+  w.EndObject();
+
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+Status WriteBenchReport(const BenchReportMeta& meta,
+                        const std::vector<BenchCell>& cells,
+                        const std::vector<PaperDelta>& paper_deltas,
+                        const MetricsSnapshot& metrics,
+                        const std::string& path) {
+  return WriteStringTo(BenchReportJson(meta, cells, paper_deltas, metrics),
+                       path);
+}
+
+StatusOr<ParsedBenchReport> ParseBenchReport(std::string_view json) {
+  StatusOr<JsonValue> parsed = ParseJson(json);
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+  if (!root.is_object()) {
+    return InvalidArgumentError("bench report root is not a JSON object");
+  }
+
+  ParsedBenchReport report;
+  report.schema = root.StringOr("schema", "");
+  if (report.schema != kBenchReportSchema) {
+    return InvalidArgumentError("unsupported bench report schema '" +
+                                report.schema + "' (want '" +
+                                std::string(kBenchReportSchema) + "')");
+  }
+  report.name = root.StringOr("name", "");
+  report.git_sha = root.StringOr("git_sha", "");
+  report.fault_plan_hash = root.StringOr("fault_plan_hash", "");
+
+  if (const JsonValue* cells = root.Find("cells");
+      cells != nullptr && cells->is_array()) {
+    for (const JsonValue& cell : cells->array) {
+      if (cell.is_object()) FlattenCell(cell, &report.metrics);
+    }
+  }
+  if (const JsonValue* metrics = root.Find("metrics");
+      metrics != nullptr && metrics->is_object()) {
+    if (const JsonValue* gauges = metrics->Find("gauges");
+        gauges != nullptr && gauges->is_object()) {
+      for (const auto& [name, value] : gauges->members) {
+        if (value.is_number()) {
+          report.metrics["gauge/" + name] = value.number_value;
+        }
+      }
+    }
+    if (const JsonValue* counters = metrics->Find("counters");
+        counters != nullptr && counters->is_object()) {
+      for (const auto& [name, value] : counters->members) {
+        if (value.is_number()) {
+          report.metrics["counter/" + name] = value.number_value;
+        }
+      }
+    }
+    if (const JsonValue* histograms = metrics->Find("histograms");
+        histograms != nullptr && histograms->is_object()) {
+      for (const auto& [name, value] : histograms->members) {
+        if (value.is_object()) {
+          FlattenHistogram(name, value, &report.metrics);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+StatusOr<ParsedBenchReport> LoadBenchReport(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return NotFoundError("cannot open bench report '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  StatusOr<ParsedBenchReport> report = ParseBenchReport(buffer.str());
+  if (!report.ok()) {
+    return Status(report.status().code(),
+                  path + ": " + report.status().message());
+  }
+  return report;
+}
+
+Polarity MetricPolarity(std::string_view name) {
+  if (EndsWith(name, "/available") || Contains(name, "speedup")) {
+    return Polarity::kHigherBetter;
+  }
+  if (name.substr(0, 8) == "counter/" || EndsWith(name, "/count")) {
+    return Polarity::kNeutral;
+  }
+  if (Contains(name, "seconds") || Contains(name, "_sec") ||
+      Contains(name, "_w") || Contains(name, "watts") ||
+      Contains(name, "energy") || Contains(name, "edp") ||
+      Contains(name, "stall") || Contains(name, "failed_repetitions")) {
+    return Polarity::kLowerBetter;
+  }
+  return Polarity::kNeutral;
+}
+
+BenchComparison CompareBenchReports(const ParsedBenchReport& baseline,
+                                    const ParsedBenchReport& candidate,
+                                    const CompareOptions& options) {
+  BenchComparison cmp;
+  if (!baseline.name.empty() && !candidate.name.empty() &&
+      baseline.name != candidate.name) {
+    cmp.warnings.push_back("comparing records from different benchmarks: '" +
+                           baseline.name + "' vs '" + candidate.name + "'");
+  }
+  if (baseline.fault_plan_hash != candidate.fault_plan_hash) {
+    cmp.warnings.push_back(
+        "fault plan hash mismatch (" + baseline.fault_plan_hash + " vs " +
+        candidate.fault_plan_hash +
+        "): runs faced different fault schedules, deltas may be spurious");
+  }
+
+  for (const auto& [name, base_value] : baseline.metrics) {
+    const auto it = candidate.metrics.find(name);
+    if (it == candidate.metrics.end()) {
+      cmp.only_in_baseline.push_back(name);
+      continue;
+    }
+    const double cand_value = it->second;
+    MetricDelta d;
+    d.name = name;
+    d.baseline = base_value;
+    d.candidate = cand_value;
+    d.rel_delta = (cand_value - base_value) /
+                  std::max(std::abs(base_value), kRelEps);
+    d.threshold = ThresholdFor(name, options);
+    d.polarity = MetricPolarity(name);
+    if (std::abs(d.rel_delta) <= d.threshold) {
+      d.verdict = MetricDelta::Verdict::kUnchanged;
+    } else {
+      switch (d.polarity) {
+        case Polarity::kLowerBetter:
+          d.verdict = d.rel_delta > 0.0 ? MetricDelta::Verdict::kRegression
+                                        : MetricDelta::Verdict::kImprovement;
+          break;
+        case Polarity::kHigherBetter:
+          d.verdict = d.rel_delta < 0.0 ? MetricDelta::Verdict::kRegression
+                                        : MetricDelta::Verdict::kImprovement;
+          break;
+        case Polarity::kNeutral:
+          d.verdict = MetricDelta::Verdict::kChanged;
+          break;
+      }
+    }
+    if (d.verdict == MetricDelta::Verdict::kRegression) ++cmp.regressions;
+    if (d.verdict == MetricDelta::Verdict::kImprovement) ++cmp.improvements;
+    cmp.deltas.push_back(std::move(d));
+  }
+  for (const auto& [name, value] : candidate.metrics) {
+    (void)value;
+    if (baseline.metrics.find(name) == baseline.metrics.end()) {
+      cmp.only_in_candidate.push_back(name);
+    }
+  }
+
+  std::stable_sort(cmp.deltas.begin(), cmp.deltas.end(),
+                   [](const MetricDelta& a, const MetricDelta& b) {
+                     const int ra = VerdictRank(a.verdict);
+                     const int rb = VerdictRank(b.verdict);
+                     if (ra != rb) return ra < rb;
+                     const double ma = std::abs(a.rel_delta);
+                     const double mb = std::abs(b.rel_delta);
+                     if (ma != mb) return ma > mb;
+                     return a.name < b.name;
+                   });
+  return cmp;
+}
+
+std::string ComparisonText(const BenchComparison& comparison,
+                           std::size_t max_rows) {
+  std::ostringstream out;
+  out << "=== malisim-bench: baseline vs candidate ===\n";
+  for (const std::string& warning : comparison.warnings) {
+    out << "WARNING: " << warning << "\n";
+  }
+
+  std::size_t changed = 0;
+  std::size_t unchanged = 0;
+  for (const MetricDelta& d : comparison.deltas) {
+    if (d.verdict == MetricDelta::Verdict::kChanged) ++changed;
+    if (d.verdict == MetricDelta::Verdict::kUnchanged) ++unchanged;
+  }
+  out << comparison.deltas.size() << " shared metric(s): "
+      << comparison.regressions << " regression(s), "
+      << comparison.improvements << " improvement(s), " << changed
+      << " neutral change(s), " << unchanged << " within threshold\n";
+
+  const auto table_for = [&](MetricDelta::Verdict verdict,
+                             const char* title) {
+    Table t({"metric", "baseline", "candidate", "delta", "threshold"});
+    std::size_t rows = 0;
+    std::size_t total = 0;
+    for (const MetricDelta& d : comparison.deltas) {
+      if (d.verdict != verdict) continue;
+      ++total;
+      if (rows >= max_rows) continue;
+      ++rows;
+      t.BeginRow();
+      t.AddCell(d.name);
+      t.AddCell(FormatDouble(d.baseline, 6));
+      t.AddCell(FormatDouble(d.candidate, 6));
+      t.AddCell(Percent(d.rel_delta));
+      t.AddCell(Percent(d.threshold));
+    }
+    if (total == 0) return;
+    out << "\n" << title << " (" << total << "):\n" << t.ToAscii();
+    if (total > rows) {
+      out << "  ... and " << (total - rows) << " more\n";
+    }
+  };
+  table_for(MetricDelta::Verdict::kRegression, "Regressions");
+  table_for(MetricDelta::Verdict::kImprovement, "Improvements");
+  table_for(MetricDelta::Verdict::kChanged, "Neutral changes");
+
+  if (!comparison.only_in_baseline.empty()) {
+    out << "\nOnly in baseline (" << comparison.only_in_baseline.size()
+        << "):\n";
+    std::size_t rows = 0;
+    for (const std::string& name : comparison.only_in_baseline) {
+      if (rows++ >= max_rows) {
+        out << "  ...\n";
+        break;
+      }
+      out << "  " << name << "\n";
+    }
+  }
+  if (!comparison.only_in_candidate.empty()) {
+    out << "\nOnly in candidate (" << comparison.only_in_candidate.size()
+        << "):\n";
+    std::size_t rows = 0;
+    for (const std::string& name : comparison.only_in_candidate) {
+      if (rows++ >= max_rows) {
+        out << "  ...\n";
+        break;
+      }
+      out << "  " << name << "\n";
+    }
+  }
+
+  out << "\nVerdict: "
+      << (comparison.HasRegressions() ? "REGRESSION" : "OK") << "\n";
+  return out.str();
+}
+
+std::string ComparisonJson(const BenchComparison& comparison) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("malisim-bench-compare-v1");
+  w.Key("regressions");
+  w.Number(static_cast<std::uint64_t>(comparison.regressions));
+  w.Key("improvements");
+  w.Number(static_cast<std::uint64_t>(comparison.improvements));
+  w.Key("warnings");
+  w.BeginArray();
+  for (const std::string& warning : comparison.warnings) w.String(warning);
+  w.EndArray();
+  w.Key("deltas");
+  w.BeginArray();
+  std::uint64_t unchanged = 0;
+  for (const MetricDelta& d : comparison.deltas) {
+    if (d.verdict == MetricDelta::Verdict::kUnchanged) {
+      ++unchanged;
+      continue;
+    }
+    w.BeginObject();
+    w.Key("name");
+    w.String(d.name);
+    w.Key("baseline");
+    w.Number(d.baseline);
+    w.Key("candidate");
+    w.Number(d.candidate);
+    w.Key("rel_delta");
+    w.Number(d.rel_delta);
+    w.Key("threshold");
+    w.Number(d.threshold);
+    w.Key("polarity");
+    w.String(PolarityName(d.polarity));
+    w.Key("verdict");
+    w.String(VerdictName(d.verdict));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("unchanged");
+  w.Number(unchanged);
+  w.Key("only_in_baseline");
+  w.BeginArray();
+  for (const std::string& name : comparison.only_in_baseline) w.String(name);
+  w.EndArray();
+  w.Key("only_in_candidate");
+  w.BeginArray();
+  for (const std::string& name : comparison.only_in_candidate) w.String(name);
+  w.EndArray();
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+}  // namespace malisim::obs

@@ -5,100 +5,25 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/json.h"
 #include "common/table.h"
+#include "common/version.h"
 #include "kir/opcode.h"
 
 namespace malisim::obs {
 
 namespace {
 
-std::string Num(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  std::string out = buf;
-  if (out.find("inf") != std::string::npos ||
-      out.find("nan") != std::string::npos) {
-    out = "0";
-  }
-  return out;
+// CSV cells use the same locale-independent %.17g-equivalent rendering as
+// the JSON exports (non-finite -> "0"), so profiles round-trip exactly.
+std::string Num(double v) { return JsonNumber(v); }
+
+// Comment header for the obs CSV artifacts: schema id + producing commit,
+// so a stray profile_metrics.csv is attributable. '#' lines are skipped by
+// pandas (comment='#') and gnuplot alike.
+void CsvHeader(std::ostringstream* csv, const char* schema) {
+  *csv << "# schema: " << schema << "\n# git: " << GitSha() << "\n";
 }
-
-std::string Esc(const std::string& s) {
-  std::string out;
-  for (char ch : s) {
-    switch (ch) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        out += ch;
-    }
-  }
-  return out;
-}
-
-/// Minimal JSON writer: tracks whether the current aggregate needs a comma.
-class JsonWriter {
- public:
-  void BeginObject() { Open('{'); }
-  void EndObject() { Close('}'); }
-  void BeginArray() { Open('['); }
-  void EndArray() { Close(']'); }
-  void Key(const std::string& k) {
-    Comma();
-    out_ += '"' + Esc(k) + "\":";
-    pending_value_ = true;
-  }
-  void String(const std::string& v) {
-    Comma();
-    out_ += '"' + Esc(v) + '"';
-  }
-  void Number(double v) {
-    Comma();
-    out_ += Num(v);
-  }
-  void Number(std::uint64_t v) {
-    Comma();
-    out_ += std::to_string(v);
-  }
-  void Bool(bool v) {
-    Comma();
-    out_ += v ? "true" : "false";
-  }
-  const std::string& str() const { return out_; }
-
- private:
-  void Open(char c) {
-    Comma();
-    out_ += c;
-    need_comma_.push_back(false);
-  }
-  void Close(char c) {
-    need_comma_.pop_back();
-    out_ += c;
-    if (!need_comma_.empty()) need_comma_.back() = true;
-  }
-  void Comma() {
-    if (pending_value_) {
-      pending_value_ = false;
-      return;
-    }
-    if (!need_comma_.empty()) {
-      if (need_comma_.back()) out_ += ',';
-      need_comma_.back() = true;
-    }
-  }
-
-  std::string out_;
-  std::vector<bool> need_comma_;
-  bool pending_value_ = false;
-};
 
 void WriteRails(JsonWriter* w, const RailPower& r) {
   w->BeginObject();
@@ -151,9 +76,10 @@ Status WriteStringTo(const std::string& content, const std::string& path) {
 
 void BuildTrace(const Recorder& recorder, const power::PowerModel& model,
                 TraceBuilder* trace) {
-  const std::vector<KernelRecord> kernels = recorder.kernels();
-  const std::vector<CommandRecord> commands = recorder.commands();
-  const std::vector<PowerSegment> segments = recorder.power_segments();
+  const RecorderSnapshot snap = recorder.TakeSnapshot();
+  const std::vector<KernelRecord>& kernels = snap.kernels;
+  const std::vector<CommandRecord>& commands = snap.commands;
+  const std::vector<PowerSegment>& segments = snap.power_segments;
 
   trace->SetProcessName(kTracePidSoc, "modelled SoC (Exynos 5250)");
   trace->SetThreadName(kTracePidSoc, kTraceTidA15Base + 0, "a15-core0");
@@ -252,9 +178,12 @@ Status WritePerfettoTrace(const Recorder& recorder,
 
 std::string MetricsJson(const Recorder& recorder,
                         const power::PowerModel& model) {
-  const std::vector<KernelRecord> kernels = recorder.kernels();
-  const std::vector<CommandRecord> commands = recorder.commands();
-  const std::vector<PowerSegment> segments = recorder.power_segments();
+  // One consistent cut: the faults array must belong to the same run state
+  // as the kernels/segments it explains.
+  const RecorderSnapshot snap = recorder.TakeSnapshot();
+  const std::vector<KernelRecord>& kernels = snap.kernels;
+  const std::vector<CommandRecord>& commands = snap.commands;
+  const std::vector<PowerSegment>& segments = snap.power_segments;
 
   JsonWriter w;
   w.BeginObject();
@@ -445,7 +374,7 @@ std::string MetricsJson(const Recorder& recorder,
 
   w.Key("faults");
   w.BeginArray();
-  for (const FaultRecord& f : recorder.faults()) {
+  for (const FaultRecord& f : snap.faults) {
     w.BeginObject();
     w.Key("site");
     w.String(f.site);
@@ -471,6 +400,7 @@ Status WriteMetricsJson(const Recorder& recorder,
 
 std::string KernelMetricsCsv(const Recorder& recorder) {
   std::ostringstream csv;
+  CsvHeader(&csv, "malisim-prof-kernels-v1");
   csv << "kernel,device,seconds,core,groups,l1_misses,l2_misses,"
          "arith_cycles,ls_cycles,dispatch_cycles,stall_sec,busy_sec,"
          "core_sec,imbalance,bottleneck\n";
@@ -496,6 +426,7 @@ Status WriteKernelMetricsCsv(const Recorder& recorder,
 
 std::string PowerTimelineCsv(const PowerTimeline& timeline) {
   std::ostringstream csv;
+  CsvHeader(&csv, "malisim-prof-power-v1");
   csv << "t_sec,segment,total_w,static_w,cpu_w,gpu_w,dram_w\n";
   for (const PowerSample& s : timeline.samples) {
     const std::string label =
@@ -518,13 +449,14 @@ Status WritePowerTimelineCsv(const PowerTimeline& timeline,
 std::string TextReport(const Recorder& recorder,
                        const power::PowerModel& model) {
   std::ostringstream out;
-  const std::vector<KernelRecord> kernels = recorder.kernels();
-  const std::vector<PowerSegment> segments = recorder.power_segments();
+  const RecorderSnapshot snap = recorder.TakeSnapshot();
+  const std::vector<KernelRecord>& kernels = snap.kernels;
+  const std::vector<PowerSegment>& segments = snap.power_segments;
 
-  const std::vector<FaultRecord> faults = recorder.faults();
+  const std::vector<FaultRecord>& faults = snap.faults;
   out << "=== malisim-prof report ===\n";
   out << kernels.size() << " kernel launch(es), "
-      << recorder.commands().size() << " queue command(s), "
+      << snap.commands.size() << " queue command(s), "
       << segments.size() << " power segment(s), " << faults.size()
       << " fault event(s)\n";
 

@@ -1,0 +1,321 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <tuple>
+
+#include "common/status.h"
+#include "common/table.h"
+#include "obs/power_sampler.h"
+
+namespace malisim::obs {
+
+LogHistogram::LogHistogram(const Layout& layout) : layout_(layout) {
+  MALI_CHECK_MSG(layout_.min_edge > 0.0, "histogram min_edge must be > 0");
+  MALI_CHECK_MSG(layout_.decades > 0 && layout_.buckets_per_decade > 0,
+                 "histogram needs at least one bucket");
+  const int inner = layout_.decades * layout_.buckets_per_decade;
+  edges_.resize(static_cast<std::size_t>(inner) + 1);
+  for (int i = 0; i <= inner; ++i) {
+    edges_[static_cast<std::size_t>(i)] =
+        layout_.min_edge *
+        std::pow(10.0, static_cast<double>(i) /
+                           static_cast<double>(layout_.buckets_per_decade));
+  }
+  buckets_.assign(static_cast<std::size_t>(inner) + 2, 0);
+}
+
+int LogHistogram::BucketIndex(double value) const {
+  // NaN, negatives, zero and anything below the first edge file into the
+  // underflow bucket; exact edges belong to the bucket above them.
+  if (!(value >= edges_.front())) return 0;
+  if (value >= edges_.back()) return num_buckets() - 1;
+  const int inner = static_cast<int>(edges_.size()) - 1;
+  int idx = static_cast<int>(std::floor(
+      std::log10(value / layout_.min_edge) *
+      static_cast<double>(layout_.buckets_per_decade)));
+  idx = std::clamp(idx, 0, inner - 1);
+  // log10 rounding can misplace values sitting exactly on (or within one
+  // ulp of) an edge; nudge until edges_[idx] <= value < edges_[idx + 1].
+  while (idx > 0 && value < edges_[static_cast<std::size_t>(idx)]) --idx;
+  while (idx < inner - 1 && value >= edges_[static_cast<std::size_t>(idx) + 1])
+    ++idx;
+  return idx + 1;  // shift past the underflow bucket
+}
+
+double LogHistogram::LowerEdge(int index) const {
+  if (index <= 0) return -std::numeric_limits<double>::infinity();
+  const int inner = static_cast<int>(edges_.size()) - 1;
+  if (index >= inner + 1) return edges_.back();
+  return edges_[static_cast<std::size_t>(index) - 1];
+}
+
+double LogHistogram::UpperEdge(int index) const {
+  if (index <= 0) return edges_.front();
+  const int inner = static_cast<int>(edges_.size()) - 1;
+  if (index >= inner + 1) return std::numeric_limits<double>::infinity();
+  return edges_[static_cast<std::size_t>(index)];
+}
+
+void LogHistogram::Add(double value) {
+  ++buckets_[static_cast<std::size_t>(BucketIndex(value))];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_.Add(value);
+}
+
+void LogHistogram::Merge(const LogHistogram& other) {
+  MALI_CHECK_MSG(layout_ == other.layout_, "histogram layout mismatch");
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      min_ = std::min(min_, other.min_);
+      max_ = std::max(max_, other.max_);
+    }
+  }
+  count_ += other.count_;
+  sum_.Add(other.sum());  // merged compensation is approximate; fine for
+                          // reporting (canonical-order feeds never merge)
+}
+
+double LogHistogram::mean() const {
+  if (count_ == 0) return 0.0;
+  return sum() / static_cast<double>(count_);
+}
+
+double LogHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // Nearest-rank: the smallest value whose cumulative count reaches
+  // ceil(p/100 * count), at bucket resolution.
+  std::uint64_t target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  if (target == 0) target = 1;
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i < num_buckets(); ++i) {
+    cumulative += buckets_[static_cast<std::size_t>(i)];
+    if (cumulative >= target) {
+      // Report the bucket's upper edge, clamped to the exact extremes so
+      // the estimate is sharp for single-bucket distributions.
+      return std::clamp(UpperEdge(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+MetricsAggregator::MetricsAggregator(const LogHistogram::Layout& layout)
+    : layout_(layout) {}
+
+void MetricsAggregator::SetGauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void MetricsAggregator::AddCounter(const std::string& name, double delta) {
+  counters_[name] += delta;
+}
+
+void MetricsAggregator::Observe(const std::string& name, double value) {
+  series_[name].push_back(value);
+}
+
+namespace {
+
+double TotalStallSec(const KernelRecord& k) {
+  KahanSum stall;
+  for (const CoreKernelCounters& c : k.cores) stall.Add(c.stall_sec);
+  return stall.value();
+}
+
+/// Canonical total order on kernel records: any two recorders holding the
+/// same record multiset sort into the same sequence (ties are identical in
+/// every field we accumulate, so their relative order cannot matter).
+bool KernelLess(const KernelRecord& a, const KernelRecord& b) {
+  return std::tie(a.device, a.kernel, a.seconds, a.work_items, a.dram_bytes,
+                  a.loads, a.stores, a.atomics, a.barriers_crossed) <
+         std::tie(b.device, b.kernel, b.seconds, b.work_items, b.dram_bytes,
+                  b.loads, b.stores, b.atomics, b.barriers_crossed);
+}
+
+bool CommandLess(const CommandRecord& a, const CommandRecord& b) {
+  return std::tie(a.kind, a.detail, a.bytes, a.seconds) <
+         std::tie(b.kind, b.detail, b.bytes, b.seconds);
+}
+
+bool SegmentLess(const PowerSegment& a, const PowerSegment& b) {
+  return std::tie(a.label, a.window_sec) < std::tie(b.label, b.window_sec);
+}
+
+bool FaultLess(const FaultRecord& a, const FaultRecord& b) {
+  return std::tie(a.site, a.key, a.action, a.detail) <
+         std::tie(b.site, b.key, b.action, b.detail);
+}
+
+std::string Join(const std::string& prefix, const std::string& name) {
+  return prefix.empty() ? name : prefix + "/" + name;
+}
+
+}  // namespace
+
+void MetricsAggregator::IngestRecorder(const Recorder& recorder,
+                                       const power::PowerModel& model,
+                                       const std::string& prefix) {
+  RecorderSnapshot snapshot = recorder.TakeSnapshot();
+
+  // Kernels: per-launch time/stall histograms, global and per kernel name.
+  std::sort(snapshot.kernels.begin(), snapshot.kernels.end(), KernelLess);
+  for (const KernelRecord& k : snapshot.kernels) {
+    Observe(Join(prefix, "kernel_time_sec"), k.seconds);
+    Observe(Join(prefix, "kernel_time_sec/" + k.device + "/" + k.kernel),
+            k.seconds);
+    Observe(Join(prefix, "kernel_stall_sec"), TotalStallSec(k));
+    AddCounter(Join(prefix, "kernels_launched"));
+    AddCounter(Join(prefix, "work_items"),
+               static_cast<double>(k.work_items));
+    AddCounter(Join(prefix, "dram_bytes"), static_cast<double>(k.dram_bytes));
+    AddCounter(Join(prefix, "atomics"), static_cast<double>(k.atomics));
+    if (!k.bottleneck.empty()) {
+      AddCounter(Join(prefix, "bottleneck/" + k.bottleneck));
+    }
+  }
+
+  // Queue commands: latency histogram per command kind.
+  std::sort(snapshot.commands.begin(), snapshot.commands.end(), CommandLess);
+  for (const CommandRecord& c : snapshot.commands) {
+    Observe(Join(prefix, "queue_cmd_sec"), c.seconds);
+    Observe(Join(prefix, "queue_cmd_sec/" + c.kind), c.seconds);
+    AddCounter(Join(prefix, "queue_cmds"));
+    AddCounter(Join(prefix, "queue_bytes"), static_cast<double>(c.bytes));
+  }
+
+  // Power segments: per-rail watts histograms across segments plus exact
+  // per-segment gauges and rail-decomposed energy totals. Rails are the
+  // model's piecewise-constant truth (no meter noise), so per-segment
+  // values are deterministic; sorting by label canonicalizes the
+  // accumulation order of the energy sums.
+  std::sort(snapshot.power_segments.begin(), snapshot.power_segments.end(),
+            SegmentLess);
+  const PowerSampler sampler(&model, recorder.options().power_hz);
+  for (const PowerSegment& s : snapshot.power_segments) {
+    const RailPower rails = sampler.Rails(s.profile);
+    Observe(Join(prefix, "segment_power_w/total"), rails.total);
+    Observe(Join(prefix, "segment_power_w/cpu"), rails.cpu);
+    Observe(Join(prefix, "segment_power_w/gpu"), rails.gpu);
+    Observe(Join(prefix, "segment_power_w/dram"), rails.dram);
+    SetGauge(Join(prefix, "segment/" + s.label + "/avg_w"), rails.total);
+    SetGauge(Join(prefix, "segment/" + s.label + "/energy_j"),
+             rails.total * s.window_sec);
+    AddCounter(Join(prefix, "energy_j/total"), rails.total * s.window_sec);
+    AddCounter(Join(prefix, "energy_j/static"),
+               rails.static_w * s.window_sec);
+    AddCounter(Join(prefix, "energy_j/cpu"), rails.cpu * s.window_sec);
+    AddCounter(Join(prefix, "energy_j/gpu"), rails.gpu * s.window_sec);
+    AddCounter(Join(prefix, "energy_j/dram"), rails.dram * s.window_sec);
+  }
+
+  // Fault / resilience events: counts by (site, action).
+  std::sort(snapshot.faults.begin(), snapshot.faults.end(), FaultLess);
+  for (const FaultRecord& f : snapshot.faults) {
+    AddCounter(Join(prefix, "faults"));
+    AddCounter(Join(prefix, "faults/" + f.site + "/" + f.action));
+  }
+}
+
+MetricsSnapshot MetricsAggregator::Finalize() const {
+  MetricsSnapshot snapshot;
+  snapshot.gauges = gauges_;
+  snapshot.counters = counters_;
+  for (const auto& [name, values] : series_) {
+    std::vector<double> sorted = values;
+    std::sort(sorted.begin(), sorted.end());
+    LogHistogram hist(layout_);
+    for (double v : sorted) hist.Add(v);
+    HistogramStat stat;
+    stat.layout = layout_;
+    stat.count = hist.count();
+    stat.min = hist.min();
+    stat.max = hist.max();
+    stat.sum = hist.sum();
+    stat.mean = hist.mean();
+    stat.p50 = hist.Percentile(50.0);
+    stat.p90 = hist.Percentile(90.0);
+    stat.p99 = hist.Percentile(99.0);
+    for (int i = 0; i < hist.num_buckets(); ++i) {
+      if (hist.bucket_count(i) > 0) stat.buckets.emplace_back(i, hist.bucket_count(i));
+    }
+    snapshot.histograms.emplace(name, std::move(stat));
+  }
+  return snapshot;
+}
+
+std::string SummaryReport(const Recorder& recorder,
+                          const power::PowerModel& model) {
+  RecorderSnapshot snapshot = recorder.TakeSnapshot();
+  std::ostringstream out;
+  out << "=== malisim-prof summary ===\n";
+  out << snapshot.kernels.size() << " kernel launch(es), "
+      << snapshot.commands.size() << " queue command(s), "
+      << snapshot.power_segments.size() << " power segment(s), "
+      << snapshot.faults.size() << " fault event(s)\n";
+
+  if (!snapshot.kernels.empty()) {
+    // One histogram per (device, kernel), fed in canonical order.
+    std::sort(snapshot.kernels.begin(), snapshot.kernels.end(), KernelLess);
+    std::map<std::pair<std::string, std::string>, LogHistogram> per_kernel;
+    for (const KernelRecord& k : snapshot.kernels) {
+      auto [it, inserted] = per_kernel.try_emplace({k.device, k.kernel});
+      (void)inserted;
+      it->second.Add(k.seconds);
+    }
+    Table table({"kernel", "device", "launches", "p50 ms", "p90 ms", "p99 ms",
+                 "max ms", "total ms"});
+    for (const auto& [key, hist] : per_kernel) {
+      table.BeginRow();
+      table.AddCell(key.second);
+      table.AddCell(key.first);
+      table.AddCell(std::to_string(hist.count()));
+      table.AddNumber(hist.Percentile(50.0) * 1e3, 4);
+      table.AddNumber(hist.Percentile(90.0) * 1e3, 4);
+      table.AddNumber(hist.Percentile(99.0) * 1e3, 4);
+      table.AddNumber(hist.max() * 1e3, 4);
+      table.AddNumber(hist.sum() * 1e3, 4);
+    }
+    out << "\nPer-kernel modelled-time percentiles (bucketed, log-scale):\n"
+        << table.ToAscii();
+  }
+
+  if (!snapshot.power_segments.empty()) {
+    std::sort(snapshot.power_segments.begin(), snapshot.power_segments.end(),
+              SegmentLess);
+    const PowerSampler sampler(&model, recorder.options().power_hz);
+    KahanSum total_j, cpu_j, gpu_j, dram_j, static_j;
+    for (const PowerSegment& s : snapshot.power_segments) {
+      const RailPower rails = sampler.Rails(s.profile);
+      total_j.Add(rails.total * s.window_sec);
+      cpu_j.Add(rails.cpu * s.window_sec);
+      gpu_j.Add(rails.gpu * s.window_sec);
+      dram_j.Add(rails.dram * s.window_sec);
+      static_j.Add(rails.static_w * s.window_sec);
+    }
+    out << "\nEnergy (meter windows): total " << FormatDouble(total_j.value(), 3)
+        << " J = static " << FormatDouble(static_j.value(), 3) << " J + cpu "
+        << FormatDouble(cpu_j.value(), 3) << " J + gpu "
+        << FormatDouble(gpu_j.value(), 3) << " J + dram "
+        << FormatDouble(dram_j.value(), 3) << " J\n";
+  }
+  return out.str();
+}
+
+}  // namespace malisim::obs

@@ -2,25 +2,41 @@
 
 #include <utility>
 
+#include "common/log.h"
+
 namespace malisim::obs {
+
+void Recorder::NoteRecordLocked() {
+  if (!sealed_) return;
+  ++late_records_;
+  if (late_records_ == 1) {
+    MALI_LOG_WARN(
+        "obs: record added to a sealed recorder — an export taken before "
+        "this point is missing events; re-export or seal later");
+  }
+}
 
 void Recorder::AddKernel(KernelRecord record) {
   std::lock_guard<std::mutex> lock(mutex_);
+  NoteRecordLocked();
   kernels_.push_back(std::move(record));
 }
 
 void Recorder::AddCommand(CommandRecord record) {
   std::lock_guard<std::mutex> lock(mutex_);
+  NoteRecordLocked();
   commands_.push_back(std::move(record));
 }
 
 void Recorder::AddPowerSegment(PowerSegment segment) {
   std::lock_guard<std::mutex> lock(mutex_);
+  NoteRecordLocked();
   segments_.push_back(std::move(segment));
 }
 
 void Recorder::AddFault(FaultRecord record) {
   std::lock_guard<std::mutex> lock(mutex_);
+  NoteRecordLocked();
   faults_.push_back(std::move(record));
 }
 
@@ -42,6 +58,31 @@ std::vector<PowerSegment> Recorder::power_segments() const {
 std::vector<FaultRecord> Recorder::faults() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return faults_;
+}
+
+RecorderSnapshot Recorder::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RecorderSnapshot snapshot;
+  snapshot.kernels = kernels_;
+  snapshot.commands = commands_;
+  snapshot.power_segments = segments_;
+  snapshot.faults = faults_;
+  return snapshot;
+}
+
+void Recorder::Seal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sealed_ = true;
+}
+
+bool Recorder::sealed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sealed_;
+}
+
+std::uint64_t Recorder::late_records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return late_records_;
 }
 
 }  // namespace malisim::obs

@@ -107,6 +107,19 @@ struct PowerSegment {
   power::ActivityProfile profile;
 };
 
+/// One consistent cut of every record stream, taken under a single lock
+/// acquisition. Exporters that need cross-stream consistency (the metrics
+/// JSON ties fault events to the kernels/segments of the same run) must
+/// consume one snapshot instead of calling the per-stream accessors
+/// back-to-back, which would allow a concurrent producer to land a record
+/// between the cuts.
+struct RecorderSnapshot {
+  std::vector<KernelRecord> kernels;
+  std::vector<CommandRecord> commands;
+  std::vector<PowerSegment> power_segments;
+  std::vector<FaultRecord> faults;
+};
+
 class Recorder {
  public:
   explicit Recorder(const ObsOptions& options = ObsOptions()) {
@@ -129,13 +142,33 @@ class Recorder {
   std::vector<PowerSegment> power_segments() const;
   std::vector<FaultRecord> faults() const;
 
+  /// One consistent cut of all four streams (single lock acquisition).
+  RecorderSnapshot TakeSnapshot() const;
+
+  /// Flush-ordering contract: callers must stop producing (join workers,
+  /// finish the last benchmark) and then Seal() the recorder before
+  /// exporting. Records arriving after Seal() are NOT lost — they are
+  /// buffered normally and appear in any later snapshot — but they are
+  /// counted and logged, because an export taken between Seal() and the
+  /// late arrival would silently miss them (the late fault-retry bug).
+  void Seal();
+  bool sealed() const;
+  /// Number of records added after Seal(). Non-zero means some export may
+  /// be missing events; re-export after the stragglers arrive.
+  std::uint64_t late_records() const;
+
   CounterRegistry& counters() { return counters_; }
   const CounterRegistry& counters() const { return counters_; }
 
  private:
+  /// Bumps the late-record count (callers hold mutex_).
+  void NoteRecordLocked();
+
   ObsOptions options_;
   CounterRegistry counters_;
   mutable std::mutex mutex_;
+  bool sealed_ = false;
+  std::uint64_t late_records_ = 0;
   std::vector<KernelRecord> kernels_;
   std::vector<CommandRecord> commands_;
   std::vector<PowerSegment> segments_;

@@ -1,0 +1,140 @@
+// Tests for common/json: the streaming writer, the locale-independent
+// number rendering, and the recursive-descent parser the bench-report
+// loader is built on.
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace malisim {
+namespace {
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(JsonNumberTest, RendersLikePrintf17g) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(1.0), "1");
+  EXPECT_EQ(JsonNumber(-2.5), "-2.5");
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", 0.1);
+  EXPECT_EQ(JsonNumber(0.1), buf);
+  std::snprintf(buf, sizeof(buf), "%.17g", 1.0 / 3.0);
+  EXPECT_EQ(JsonNumber(1.0 / 3.0), buf);
+}
+
+TEST(JsonNumberTest, NonFiniteRendersAsZero) {
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(JsonNumber(-std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "0");
+}
+
+TEST(JsonWriterTest, BuildsNestedAggregates) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("a");
+  w.Number(1.5);
+  w.Key("list");
+  w.BeginArray();
+  w.Number(std::uint64_t{1});
+  w.String("two");
+  w.Bool(true);
+  w.EndArray();
+  w.Key("nested");
+  w.BeginObject();
+  w.Key("empty");
+  w.BeginArray();
+  w.EndArray();
+  w.EndObject();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"a\":1.5,\"list\":[1,\"two\",true],\"nested\":{\"empty\":[]}}");
+}
+
+TEST(ParseJsonTest, ParsesScalarsObjectsAndArrays) {
+  auto parsed = ParseJson(
+      R"({"name":"x","n":2.5,"neg":-3,"flag":true,"none":null,)"
+      R"("arr":[1,2,3],"obj":{"k":"v"}})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue& v = *parsed;
+  ASSERT_TRUE(v.is_object());
+  EXPECT_EQ(v.StringOr("name", ""), "x");
+  EXPECT_EQ(v.NumberOr("n", 0), 2.5);
+  EXPECT_EQ(v.NumberOr("neg", 0), -3.0);
+  ASSERT_NE(v.Find("flag"), nullptr);
+  EXPECT_TRUE(v.Find("flag")->bool_value);
+  EXPECT_EQ(v.Find("none")->kind, JsonValue::Kind::kNull);
+  ASSERT_NE(v.Find("arr"), nullptr);
+  ASSERT_EQ(v.Find("arr")->array.size(), 3u);
+  EXPECT_EQ(v.Find("arr")->array[1].number_value, 2.0);
+  ASSERT_NE(v.Find("obj"), nullptr);
+  EXPECT_EQ(v.Find("obj")->StringOr("k", ""), "v");
+}
+
+TEST(ParseJsonTest, PreservesObjectInsertionOrder) {
+  auto parsed = ParseJson(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->members.size(), 3u);
+  EXPECT_EQ(parsed->members[0].first, "z");
+  EXPECT_EQ(parsed->members[1].first, "a");
+  EXPECT_EQ(parsed->members[2].first, "m");
+}
+
+TEST(ParseJsonTest, DecodesStringEscapes) {
+  auto parsed = ParseJson(R"({"s":"a\"b\\c\ndAé"})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->StringOr("s", ""), "a\"b\\c\ndA\xc3\xa9");
+}
+
+TEST(ParseJsonTest, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("x");
+  w.Number(0.1);
+  w.Key("names");
+  w.BeginArray();
+  w.String("a b");
+  w.String("c\"d");
+  w.EndArray();
+  w.EndObject();
+  auto parsed = ParseJson(w.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->NumberOr("x", 0), 0.1);
+  ASSERT_NE(parsed->Find("names"), nullptr);
+  EXPECT_EQ(parsed->Find("names")->array[1].string_value, "c\"d");
+}
+
+TEST(ParseJsonTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,2").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":}").ok());
+  EXPECT_FALSE(ParseJson("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+}
+
+TEST(ParseJsonTest, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += '[';
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonValueTest, TypedLookupsFallBackOnMissingOrWrongKind) {
+  auto parsed = ParseJson(R"({"s":"text","n":4})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->NumberOr("missing", 7.0), 7.0);
+  EXPECT_EQ(parsed->NumberOr("s", 7.0), 7.0);
+  EXPECT_EQ(parsed->StringOr("n", "fb"), "fb");
+  EXPECT_EQ(parsed->Find("missing"), nullptr);
+}
+
+}  // namespace
+}  // namespace malisim

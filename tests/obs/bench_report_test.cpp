@@ -1,0 +1,359 @@
+// Tests for the BENCH_*.json record layer: serialization byte-identity
+// across record order and obs options, parse/flatten round-trips, polarity
+// classification, and the regression-comparison engine that gates CI.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "obs/bench_report.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "power/power_model.h"
+
+namespace malisim::obs {
+namespace {
+
+BenchReportMeta Meta() {
+  BenchReportMeta meta;
+  meta.name = "fig2_performance";
+  meta.git_sha = "abc123def456";
+  meta.fault_plan_hash = "00000000deadbeef";
+  meta.options = {{"seed", "42"}, {"fault_rate", "0"}};
+  return meta;
+}
+
+std::vector<BenchCell> Cells() {
+  BenchCell serial;
+  serial.benchmark = "vecadd";
+  serial.variant = "Serial";
+  serial.precision = "fp32";
+  serial.available = true;
+  serial.seconds = 2.0;
+  serial.power_mean_w = 3.5;
+  serial.power_stddev_w = 0.1;
+  serial.energy_j = 7.0;
+  serial.edp_js = 14.0;
+  serial.speedup_vs_serial = 1.0;
+  serial.power_vs_serial = 1.0;
+  serial.energy_vs_serial = 1.0;
+  serial.validated = true;
+
+  BenchCell missing;
+  missing.benchmark = "vecadd";
+  missing.variant = "OpenCL";
+  missing.precision = "fp32";
+  missing.available = false;
+  missing.unavailable_reason = "no device";
+  return {serial, missing};
+}
+
+MetricsSnapshot Snapshot() {
+  MetricsAggregator agg;
+  agg.SetGauge("fp32/segment/vecadd/Serial/avg_w", 3.5);
+  agg.AddCounter("fp32/kernels_launched", 5.0);
+  for (int i = 1; i <= 10; ++i) {
+    agg.Observe("fp32/kernel_time_sec", 1e-3 * static_cast<double>(i));
+  }
+  return agg.Finalize();
+}
+
+TEST(BenchReportTest, SerializeParseFlattenRoundTrip) {
+  const std::string json =
+      BenchReportJson(Meta(), Cells(), {{"fig2a/vecadd/opencl/fp32", 4.0, 4.2}},
+                      Snapshot());
+  // The record itself must be valid JSON.
+  ASSERT_TRUE(ParseJson(json).ok());
+
+  StatusOr<ParsedBenchReport> parsed = ParseBenchReport(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->schema, kBenchReportSchema);
+  EXPECT_EQ(parsed->name, "fig2_performance");
+  EXPECT_EQ(parsed->git_sha, "abc123def456");
+  EXPECT_EQ(parsed->fault_plan_hash, "00000000deadbeef");
+
+  const std::map<std::string, double>& m = parsed->metrics;
+  EXPECT_EQ(m.at("cell/vecadd/Serial/fp32/available"), 1.0);
+  EXPECT_EQ(m.at("cell/vecadd/Serial/fp32/seconds"), 2.0);
+  EXPECT_EQ(m.at("cell/vecadd/Serial/fp32/energy_j"), 7.0);
+  EXPECT_EQ(m.at("cell/vecadd/Serial/fp32/edp_js"), 14.0);
+  // Unavailable cells flatten to available=0 and nothing else.
+  EXPECT_EQ(m.at("cell/vecadd/OpenCL/fp32/available"), 0.0);
+  EXPECT_EQ(m.count("cell/vecadd/OpenCL/fp32/seconds"), 0u);
+  EXPECT_EQ(m.at("gauge/fp32/segment/vecadd/Serial/avg_w"), 3.5);
+  EXPECT_EQ(m.at("counter/fp32/kernels_launched"), 5.0);
+  EXPECT_EQ(m.at("hist/fp32/kernel_time_sec/count"), 10.0);
+  EXPECT_EQ(m.at("hist/fp32/kernel_time_sec/max"), 1e-2);
+  EXPECT_EQ(m.count("hist/fp32/kernel_time_sec/p50"), 1u);
+  EXPECT_EQ(m.count("hist/fp32/kernel_time_sec/p99"), 1u);
+}
+
+KernelRecord Kernel(const std::string& name, double seconds) {
+  KernelRecord k;
+  k.kernel = name;
+  k.device = "mali-t604";
+  k.seconds = seconds;
+  k.work_items = 1024;
+  k.profile.seconds = seconds;
+  k.profile.gpu_on = true;
+  k.profile.gpu_core_busy = {0.5, 0.5};
+  return k;
+}
+
+PowerSegment Segment(const std::string& label, double window_sec) {
+  PowerSegment seg;
+  seg.label = label;
+  seg.window_sec = window_sec;
+  seg.profile.seconds = window_sec;
+  seg.profile.cpu_busy = {1.0, 0.0};
+  return seg;
+}
+
+TEST(BenchReportTest, ByteIdenticalAcrossRecordOrderAndObsOptions) {
+  // The --threads byte-identity contract at unit scale: same record
+  // multiset in a different order, recorded with different host-side obs
+  // options (trace on vs off), must serialize identically.
+  ObsOptions with_trace;
+  with_trace.trace = true;
+  Recorder fwd(with_trace);
+  fwd.AddKernel(Kernel("vecadd", 0.002));
+  fwd.AddKernel(Kernel("spmv", 0.004));
+  fwd.AddPowerSegment(Segment("demo/Serial", 2.0));
+  fwd.AddPowerSegment(Segment("demo/OpenCL", 1.0));
+
+  ObsOptions no_trace;
+  no_trace.trace = false;
+  Recorder rev(no_trace);
+  rev.AddPowerSegment(Segment("demo/OpenCL", 1.0));
+  rev.AddKernel(Kernel("spmv", 0.004));
+  rev.AddPowerSegment(Segment("demo/Serial", 2.0));
+  rev.AddKernel(Kernel("vecadd", 0.002));
+
+  const power::PowerModel model;
+  MetricsAggregator agg_fwd;
+  agg_fwd.IngestRecorder(fwd, model, "fp32");
+  MetricsAggregator agg_rev;
+  agg_rev.IngestRecorder(rev, model, "fp32");
+
+  const std::string a = BenchReportJson(Meta(), Cells(), {}, agg_fwd.Finalize());
+  const std::string b = BenchReportJson(Meta(), Cells(), {}, agg_rev.Finalize());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BenchReportTest, OptionsAndPaperDeltasAreEmittedSorted) {
+  BenchReportMeta fwd = Meta();
+  BenchReportMeta rev = Meta();
+  std::reverse(rev.options.begin(), rev.options.end());
+  const std::vector<PaperDelta> deltas_fwd = {{"fig2a/a", 1.0, 1.1},
+                                              {"fig2a/b", 2.0, 2.2}};
+  const std::vector<PaperDelta> deltas_rev = {{"fig2a/b", 2.0, 2.2},
+                                              {"fig2a/a", 1.0, 1.1}};
+  EXPECT_EQ(BenchReportJson(fwd, {}, deltas_fwd, {}),
+            BenchReportJson(rev, {}, deltas_rev, {}));
+}
+
+TEST(BenchReportTest, ParseRejectsWrongSchemaAndGarbage) {
+  EXPECT_FALSE(ParseBenchReport("not json").ok());
+  EXPECT_FALSE(ParseBenchReport("[]").ok());
+  const Status wrong =
+      ParseBenchReport(R"({"schema":"malisim-bench-v999"})").status();
+  EXPECT_EQ(wrong.code(), ErrorCode::kInvalidArgument);
+  EXPECT_NE(wrong.message().find("malisim-bench-v999"), std::string::npos);
+}
+
+TEST(BenchReportTest, LoadReportsMissingFileAsNotFound) {
+  const Status status =
+      LoadBenchReport("/nonexistent/bench.json").status();
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_NE(status.message().find("/nonexistent/bench.json"),
+            std::string::npos);
+}
+
+TEST(MetricPolarityTest, ClassifiesByName) {
+  EXPECT_EQ(MetricPolarity("cell/vecadd/Serial/fp32/seconds"),
+            Polarity::kLowerBetter);
+  EXPECT_EQ(MetricPolarity("cell/vecadd/OpenCL/fp32/energy_j"),
+            Polarity::kLowerBetter);
+  EXPECT_EQ(MetricPolarity("cell/vecadd/OpenCL/fp32/edp_js"),
+            Polarity::kLowerBetter);
+  EXPECT_EQ(MetricPolarity("cell/vecadd/OpenCL/fp32/power_mean_w"),
+            Polarity::kLowerBetter);
+  EXPECT_EQ(MetricPolarity("hist/fp32/kernel_stall_sec/p99"),
+            Polarity::kLowerBetter);
+  EXPECT_EQ(MetricPolarity("cell/vecadd/OpenCL/fp32/speedup_vs_serial"),
+            Polarity::kHigherBetter);
+  EXPECT_EQ(MetricPolarity("cell/vecadd/OpenCL/fp32/available"),
+            Polarity::kHigherBetter);
+  // Counters and counts are signal, never a verdict.
+  EXPECT_EQ(MetricPolarity("counter/fp32/faults"), Polarity::kNeutral);
+  EXPECT_EQ(MetricPolarity("hist/fp32/kernel_time_sec/count"),
+            Polarity::kNeutral);
+  EXPECT_EQ(MetricPolarity("gauge/unclassified_thing"), Polarity::kNeutral);
+}
+
+ParsedBenchReport Report(std::map<std::string, double> metrics) {
+  ParsedBenchReport report;
+  report.schema = std::string(kBenchReportSchema);
+  report.name = "fig2_performance";
+  report.fault_plan_hash = "00000000deadbeef";
+  report.metrics = std::move(metrics);
+  return report;
+}
+
+TEST(CompareBenchReportsTest, SelfCompareHasNoRegressions) {
+  StatusOr<ParsedBenchReport> parsed = ParseBenchReport(
+      BenchReportJson(Meta(), Cells(), {}, Snapshot()));
+  ASSERT_TRUE(parsed.ok());
+  const BenchComparison cmp =
+      CompareBenchReports(*parsed, *parsed, CompareOptions());
+  EXPECT_FALSE(cmp.HasRegressions());
+  EXPECT_EQ(cmp.regressions, 0);
+  EXPECT_EQ(cmp.improvements, 0);
+  EXPECT_TRUE(cmp.only_in_baseline.empty());
+  EXPECT_TRUE(cmp.only_in_candidate.empty());
+  EXPECT_TRUE(cmp.warnings.empty());
+  for (const MetricDelta& d : cmp.deltas) {
+    EXPECT_EQ(d.verdict, MetricDelta::Verdict::kUnchanged) << d.name;
+  }
+}
+
+TEST(CompareBenchReportsTest, TenPercentSlowdownIsARegression) {
+  const ParsedBenchReport baseline = Report({
+      {"cell/vecadd/OpenCL/fp32/seconds", 1.0},
+      {"cell/vecadd/OpenCL/fp32/speedup_vs_serial", 4.0},
+      {"counter/fp32/faults", 2.0},
+      {"cell/spmv/Serial/fp32/seconds", 3.0},
+  });
+  const ParsedBenchReport candidate = Report({
+      {"cell/vecadd/OpenCL/fp32/seconds", 1.10},       // slower: regression
+      {"cell/vecadd/OpenCL/fp32/speedup_vs_serial", 3.0},  // drop: regression
+      {"counter/fp32/faults", 10.0},                   // neutral: changed
+      {"cell/spmv/Serial/fp32/seconds", 1.5},          // faster: improvement
+  });
+  const BenchComparison cmp =
+      CompareBenchReports(baseline, candidate, CompareOptions());
+  EXPECT_TRUE(cmp.HasRegressions());
+  EXPECT_EQ(cmp.regressions, 2);
+  EXPECT_EQ(cmp.improvements, 1);
+
+  // Ranked: regressions first, largest |rel_delta| first.
+  ASSERT_GE(cmp.deltas.size(), 2u);
+  EXPECT_EQ(cmp.deltas[0].verdict, MetricDelta::Verdict::kRegression);
+  EXPECT_EQ(cmp.deltas[0].name, "cell/vecadd/OpenCL/fp32/speedup_vs_serial");
+  EXPECT_EQ(cmp.deltas[1].name, "cell/vecadd/OpenCL/fp32/seconds");
+  EXPECT_NEAR(cmp.deltas[1].rel_delta, 0.10, 1e-12);
+
+  const auto changed = std::find_if(
+      cmp.deltas.begin(), cmp.deltas.end(),
+      [](const MetricDelta& d) { return d.name == "counter/fp32/faults"; });
+  ASSERT_NE(changed, cmp.deltas.end());
+  EXPECT_EQ(changed->verdict, MetricDelta::Verdict::kChanged);
+}
+
+TEST(CompareBenchReportsTest, ChangesWithinThresholdAreUnchanged) {
+  const ParsedBenchReport baseline =
+      Report({{"cell/vecadd/Serial/fp32/seconds", 1.0}});
+  const ParsedBenchReport candidate =
+      Report({{"cell/vecadd/Serial/fp32/seconds", 1.04}});
+  const BenchComparison cmp =
+      CompareBenchReports(baseline, candidate, CompareOptions());
+  EXPECT_FALSE(cmp.HasRegressions());
+  ASSERT_EQ(cmp.deltas.size(), 1u);
+  EXPECT_EQ(cmp.deltas[0].verdict, MetricDelta::Verdict::kUnchanged);
+}
+
+TEST(CompareBenchReportsTest, LongestPrefixThresholdWins) {
+  const ParsedBenchReport baseline = Report({
+      {"cell/vecadd/Serial/fp32/seconds", 1.0},
+      {"cell/spmv/Serial/fp32/seconds", 1.0},
+  });
+  const ParsedBenchReport candidate = Report({
+      {"cell/vecadd/Serial/fp32/seconds", 1.10},
+      {"cell/spmv/Serial/fp32/seconds", 1.10},
+  });
+  CompareOptions options;
+  options.threshold = 0.05;
+  // Broad loosening for all cells, tight override for vecadd only: the
+  // longer prefix must win for vecadd.
+  options.prefix_thresholds = {{"cell/", 0.5}, {"cell/vecadd/", 0.01}};
+  const BenchComparison cmp =
+      CompareBenchReports(baseline, candidate, options);
+  EXPECT_EQ(cmp.regressions, 1);
+  ASSERT_FALSE(cmp.deltas.empty());
+  EXPECT_EQ(cmp.deltas[0].name, "cell/vecadd/Serial/fp32/seconds");
+  EXPECT_EQ(cmp.deltas[0].threshold, 0.01);
+}
+
+TEST(CompareBenchReportsTest, WarnsOnMismatchedProvenance) {
+  ParsedBenchReport baseline = Report({{"gauge/x", 1.0}});
+  ParsedBenchReport candidate = Report({{"gauge/x", 1.0}});
+  candidate.name = "fig3_power";
+  candidate.fault_plan_hash = "1111111111111111";
+  const BenchComparison cmp =
+      CompareBenchReports(baseline, candidate, CompareOptions());
+  ASSERT_EQ(cmp.warnings.size(), 2u);
+  EXPECT_NE(cmp.warnings[0].find("different benchmarks"), std::string::npos);
+  EXPECT_NE(cmp.warnings[1].find("fault plan hash"), std::string::npos);
+  EXPECT_FALSE(cmp.HasRegressions());  // warnings alone never fail the run
+}
+
+TEST(CompareBenchReportsTest, TracksMetricsPresentOnOneSideOnly) {
+  const ParsedBenchReport baseline =
+      Report({{"gauge/old", 1.0}, {"gauge/shared", 2.0}});
+  const ParsedBenchReport candidate =
+      Report({{"gauge/new", 3.0}, {"gauge/shared", 2.0}});
+  const BenchComparison cmp =
+      CompareBenchReports(baseline, candidate, CompareOptions());
+  ASSERT_EQ(cmp.only_in_baseline.size(), 1u);
+  EXPECT_EQ(cmp.only_in_baseline[0], "gauge/old");
+  ASSERT_EQ(cmp.only_in_candidate.size(), 1u);
+  EXPECT_EQ(cmp.only_in_candidate[0], "gauge/new");
+  EXPECT_EQ(cmp.deltas.size(), 1u);
+}
+
+TEST(ComparisonReportTest, TextNamesVerdictAndTables) {
+  const ParsedBenchReport baseline =
+      Report({{"cell/vecadd/Serial/fp32/seconds", 1.0}});
+  const ParsedBenchReport candidate =
+      Report({{"cell/vecadd/Serial/fp32/seconds", 1.25}});
+  const BenchComparison cmp =
+      CompareBenchReports(baseline, candidate, CompareOptions());
+  const std::string text = ComparisonText(cmp);
+  EXPECT_NE(text.find("1 regression(s)"), std::string::npos);
+  EXPECT_NE(text.find("Regressions (1):"), std::string::npos);
+  EXPECT_NE(text.find("+25"), std::string::npos);
+  EXPECT_NE(text.find("Verdict: REGRESSION"), std::string::npos);
+
+  const BenchComparison ok = CompareBenchReports(baseline, baseline,
+                                                 CompareOptions());
+  EXPECT_NE(ComparisonText(ok).find("Verdict: OK"), std::string::npos);
+}
+
+TEST(ComparisonReportTest, JsonParsesAndCarriesSchema) {
+  const ParsedBenchReport baseline = Report({
+      {"cell/vecadd/Serial/fp32/seconds", 1.0},
+      {"gauge/steady", 5.0},
+  });
+  const ParsedBenchReport candidate = Report({
+      {"cell/vecadd/Serial/fp32/seconds", 1.25},
+      {"gauge/steady", 5.0},
+  });
+  const std::string json = ComparisonJson(
+      CompareBenchReports(baseline, candidate, CompareOptions()));
+  StatusOr<JsonValue> parsed = ParseJson(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->StringOr("schema", ""), "malisim-bench-compare-v1");
+  EXPECT_EQ(parsed->NumberOr("regressions", -1), 1.0);
+  // Unchanged metrics are counted, not listed.
+  EXPECT_EQ(parsed->NumberOr("unchanged", -1), 1.0);
+  ASSERT_NE(parsed->Find("deltas"), nullptr);
+  ASSERT_EQ(parsed->Find("deltas")->array.size(), 1u);
+  EXPECT_EQ(parsed->Find("deltas")->array[0].StringOr("verdict", ""),
+            "regression");
+}
+
+}  // namespace
+}  // namespace malisim::obs

@@ -1,0 +1,277 @@
+// Tests for the metrics-aggregation layer: log-histogram bucket
+// boundaries (exact edges, zero, negatives, NaN, overflow), percentile
+// clamping, merge semantics, and the aggregator's order-independence
+// guarantee that BENCH record byte-identity rests on.
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "power/power_model.h"
+
+namespace malisim::obs {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+TEST(LogHistogramTest, DefaultLayoutHasUnderflowInnerAndOverflow) {
+  const LogHistogram hist;
+  // 15 decades x 8 buckets/decade inner, plus the two outer buckets.
+  EXPECT_EQ(hist.num_buckets(), 15 * 8 + 2);
+  EXPECT_EQ(hist.LowerEdge(0), -kInf);
+  EXPECT_EQ(hist.UpperEdge(0), hist.layout().min_edge);
+  EXPECT_EQ(hist.UpperEdge(hist.num_buckets() - 1), kInf);
+}
+
+TEST(LogHistogramTest, UnderflowBucketTakesZeroNegativeNaNAndBelowMin) {
+  const LogHistogram hist;
+  EXPECT_EQ(hist.BucketIndex(0.0), 0);
+  EXPECT_EQ(hist.BucketIndex(-1.0), 0);
+  EXPECT_EQ(hist.BucketIndex(-kInf), 0);
+  EXPECT_EQ(hist.BucketIndex(kNaN), 0);
+  EXPECT_EQ(hist.BucketIndex(hist.layout().min_edge * 0.999), 0);
+}
+
+TEST(LogHistogramTest, ExactEdgesBelongToTheBucketAbove) {
+  const LogHistogram hist;
+  // Inclusive lower edge: min_edge itself is the first inner bucket.
+  EXPECT_EQ(hist.BucketIndex(hist.layout().min_edge), 1);
+  // Every inner bucket's inclusive lower edge must file into that bucket,
+  // and its exclusive upper edge into the bucket above — including where
+  // log10 rounding sits within one ulp of the edge.
+  for (int i = 1; i < hist.num_buckets() - 1; ++i) {
+    EXPECT_EQ(hist.BucketIndex(hist.LowerEdge(i)), i) << "bucket " << i;
+    EXPECT_EQ(hist.BucketIndex(hist.UpperEdge(i)), i + 1) << "bucket " << i;
+  }
+}
+
+TEST(LogHistogramTest, OverflowBucketTakesTopEdgeAndBeyond) {
+  const LogHistogram hist;
+  // Default layout: 1e-9 over 15 decades -> top inner edge at 1e6.
+  const int overflow = hist.num_buckets() - 1;
+  EXPECT_EQ(hist.BucketIndex(hist.LowerEdge(overflow)), overflow);
+  EXPECT_EQ(hist.BucketIndex(2e6), overflow);
+  EXPECT_EQ(hist.BucketIndex(1e300), overflow);
+  EXPECT_EQ(hist.BucketIndex(kInf), overflow);
+  // Just below the top edge is still the last inner bucket.
+  EXPECT_EQ(hist.BucketIndex(hist.LowerEdge(overflow) * 0.999), overflow - 1);
+}
+
+TEST(LogHistogramTest, EdgesAreContiguousAndMonotone) {
+  const LogHistogram hist;
+  for (int i = 1; i < hist.num_buckets(); ++i) {
+    EXPECT_EQ(hist.LowerEdge(i), hist.UpperEdge(i - 1)) << "bucket " << i;
+    EXPECT_LT(hist.LowerEdge(i), hist.UpperEdge(i)) << "bucket " << i;
+  }
+}
+
+TEST(LogHistogramTest, TracksExactExtremesAndKahanSum) {
+  LogHistogram hist;
+  EXPECT_EQ(hist.count(), 0u);
+  EXPECT_EQ(hist.min(), 0.0);
+  EXPECT_EQ(hist.max(), 0.0);
+  EXPECT_EQ(hist.mean(), 0.0);
+  EXPECT_EQ(hist.Percentile(50.0), 0.0);
+
+  hist.Add(2e-3);
+  hist.Add(1e-3);
+  hist.Add(5e-3);
+  EXPECT_EQ(hist.count(), 3u);
+  EXPECT_EQ(hist.min(), 1e-3);
+  EXPECT_EQ(hist.max(), 5e-3);
+  EXPECT_NEAR(hist.sum(), 8e-3, 1e-15);
+  EXPECT_NEAR(hist.mean(), 8e-3 / 3.0, 1e-15);
+}
+
+TEST(LogHistogramTest, PercentilesClampToObservedExtremes) {
+  LogHistogram single;
+  single.Add(3.3e-4);
+  // One value: every percentile is that value exactly (bucket upper edge
+  // clamped to min == max), not a bucket edge.
+  EXPECT_EQ(single.Percentile(0.0), 3.3e-4);
+  EXPECT_EQ(single.Percentile(50.0), 3.3e-4);
+  EXPECT_EQ(single.Percentile(99.0), 3.3e-4);
+  EXPECT_EQ(single.Percentile(100.0), 3.3e-4);
+
+  LogHistogram skewed;
+  for (int i = 0; i < 99; ++i) skewed.Add(1e-3);
+  skewed.Add(1.0);
+  // Ranks 1..99 land in the 1e-3 bucket; the estimate is its upper edge,
+  // which must stay within one bucket width of the true value.
+  const int low_bucket = skewed.BucketIndex(1e-3);
+  EXPECT_GE(skewed.Percentile(50.0), 1e-3);
+  EXPECT_LE(skewed.Percentile(50.0), skewed.UpperEdge(low_bucket));
+  EXPECT_GE(skewed.Percentile(99.0), 1e-3);
+  EXPECT_LE(skewed.Percentile(99.0), skewed.UpperEdge(low_bucket));
+  // p100 is the exact max, never an edge above it.
+  EXPECT_EQ(skewed.Percentile(100.0), 1.0);
+  // Out-of-range p is clamped, not UB.
+  EXPECT_EQ(skewed.Percentile(-5.0), skewed.Percentile(0.0));
+  EXPECT_EQ(skewed.Percentile(250.0), 1.0);
+}
+
+TEST(LogHistogramTest, MergeAddsBucketsAndCombinesExtremes) {
+  LogHistogram a;
+  a.Add(1e-3);
+  a.Add(2e-3);
+  LogHistogram b;
+  b.Add(5e-1);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 1e-3);
+  EXPECT_EQ(a.max(), 5e-1);
+  EXPECT_NEAR(a.sum(), 0.503, 1e-12);
+  EXPECT_EQ(a.bucket_count(a.BucketIndex(5e-1)), 1u);
+
+  // Merging an empty histogram must not disturb the extremes.
+  LogHistogram empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 1e-3);
+  EXPECT_EQ(a.max(), 5e-1);
+}
+
+TEST(MetricsAggregatorTest, GaugesLastWriteWinCountersAccumulate) {
+  MetricsAggregator agg;
+  agg.SetGauge("g", 1.0);
+  agg.SetGauge("g", 2.5);
+  agg.AddCounter("c");
+  agg.AddCounter("c", 4.0);
+  const MetricsSnapshot snap = agg.Finalize();
+  EXPECT_EQ(snap.gauges.at("g"), 2.5);
+  EXPECT_EQ(snap.counters.at("c"), 5.0);
+}
+
+void ExpectStatsEqual(const HistogramStat& a, const HistogramStat& b) {
+  EXPECT_EQ(a.count, b.count);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.sum, b.sum);  // bitwise: canonical order makes sums identical
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p90, b.p90);
+  EXPECT_EQ(a.p99, b.p99);
+  EXPECT_EQ(a.buckets, b.buckets);
+}
+
+TEST(MetricsAggregatorTest, FinalizeIsObservationOrderIndependent) {
+  // Same multiset of observations in opposite orders must produce
+  // bit-identical snapshots — the sums are computed after sorting.
+  std::vector<double> values;
+  for (int i = 0; i < 200; ++i) {
+    values.push_back(1e-4 * static_cast<double>(i % 17 + 1) + 1e-7 * i);
+  }
+  MetricsAggregator fwd;
+  for (double v : values) fwd.Observe("series", v);
+  MetricsAggregator rev;
+  std::reverse(values.begin(), values.end());
+  for (double v : values) rev.Observe("series", v);
+
+  const MetricsSnapshot a = fwd.Finalize();
+  const MetricsSnapshot b = rev.Finalize();
+  ASSERT_EQ(a.histograms.count("series"), 1u);
+  ASSERT_EQ(b.histograms.count("series"), 1u);
+  ExpectStatsEqual(a.histograms.at("series"), b.histograms.at("series"));
+}
+
+KernelRecord Kernel(const std::string& name, double seconds) {
+  KernelRecord k;
+  k.kernel = name;
+  k.device = "mali-t604";
+  k.seconds = seconds;
+  k.cores.resize(2);
+  k.cores[0].stall_sec = seconds * 0.1;
+  k.cores[1].stall_sec = seconds * 0.2;
+  k.work_items = 4096;
+  k.dram_bytes = 1 << 18;
+  k.bottleneck = "ls-pipe";
+  k.profile.seconds = seconds;
+  k.profile.gpu_on = true;
+  k.profile.gpu_core_busy = {0.5, 0.5};
+  return k;
+}
+
+PowerSegment Segment(const std::string& label, double window_sec) {
+  PowerSegment seg;
+  seg.label = label;
+  seg.window_sec = window_sec;
+  seg.profile.seconds = window_sec;
+  seg.profile.cpu_busy = {1.0, 0.0};
+  return seg;
+}
+
+TEST(MetricsAggregatorTest, IngestRecorderIsRecordOrderIndependent) {
+  // Two recorders holding the same records appended in different orders —
+  // exactly what the parallel engine produces across --threads values.
+  Recorder fwd;
+  fwd.AddKernel(Kernel("vecadd", 0.002));
+  fwd.AddKernel(Kernel("spmv", 0.004));
+  fwd.AddKernel(Kernel("vecadd", 0.003));
+  fwd.AddCommand({"write", "", 1 << 16, 1e-4});
+  fwd.AddCommand({"ndrange", "vecadd", 0, 0.002});
+  fwd.AddPowerSegment(Segment("demo/Serial", 2.0));
+  fwd.AddPowerSegment(Segment("demo/OpenCL", 1.0));
+  fwd.AddFault({"kernel", "demo/vecadd", "injected", ""});
+
+  Recorder rev;
+  rev.AddFault({"kernel", "demo/vecadd", "injected", ""});
+  rev.AddPowerSegment(Segment("demo/OpenCL", 1.0));
+  rev.AddCommand({"ndrange", "vecadd", 0, 0.002});
+  rev.AddKernel(Kernel("vecadd", 0.003));
+  rev.AddKernel(Kernel("spmv", 0.004));
+  rev.AddPowerSegment(Segment("demo/Serial", 2.0));
+  rev.AddKernel(Kernel("vecadd", 0.002));
+  rev.AddCommand({"write", "", 1 << 16, 1e-4});
+
+  const power::PowerModel model;
+  MetricsAggregator agg_fwd;
+  agg_fwd.IngestRecorder(fwd, model, "fp32");
+  MetricsAggregator agg_rev;
+  agg_rev.IngestRecorder(rev, model, "fp32");
+
+  const MetricsSnapshot a = agg_fwd.Finalize();
+  const MetricsSnapshot b = agg_rev.Finalize();
+  EXPECT_EQ(a.gauges, b.gauges);
+  EXPECT_EQ(a.counters, b.counters);
+  ASSERT_EQ(a.histograms.size(), b.histograms.size());
+  for (const auto& [name, stat] : a.histograms) {
+    ASSERT_EQ(b.histograms.count(name), 1u) << name;
+    ExpectStatsEqual(stat, b.histograms.at(name));
+  }
+
+  // Spot-check the ingested names and values.
+  EXPECT_EQ(a.counters.at("fp32/kernels_launched"), 3.0);
+  EXPECT_EQ(a.counters.at("fp32/bottleneck/ls-pipe"), 3.0);
+  EXPECT_EQ(a.counters.at("fp32/faults/kernel/injected"), 1.0);
+  EXPECT_EQ(a.histograms.at("fp32/kernel_time_sec").count, 3u);
+  EXPECT_EQ(a.histograms.at("fp32/kernel_time_sec/mali-t604/vecadd").count,
+            2u);
+  EXPECT_EQ(a.histograms.at("fp32/queue_cmd_sec/write").count, 1u);
+  EXPECT_EQ(a.histograms.at("fp32/segment_power_w/total").count, 2u);
+  EXPECT_GT(a.counters.at("fp32/energy_j/total"), 0.0);
+  EXPECT_EQ(a.gauges.count("fp32/segment/demo/Serial/avg_w"), 1u);
+}
+
+TEST(SummaryReportTest, ListsPerKernelPercentilesAndEnergy) {
+  Recorder recorder;
+  recorder.AddKernel(Kernel("vecadd", 0.002));
+  recorder.AddKernel(Kernel("vecadd", 0.004));
+  recorder.AddPowerSegment(Segment("demo/Serial", 2.0));
+  const power::PowerModel model;
+  const std::string report = SummaryReport(recorder, model);
+  EXPECT_NE(report.find("malisim-prof summary"), std::string::npos);
+  EXPECT_NE(report.find("2 kernel launch(es)"), std::string::npos);
+  EXPECT_NE(report.find("vecadd"), std::string::npos);
+  EXPECT_NE(report.find("p50 ms"), std::string::npos);
+  EXPECT_NE(report.find("p99 ms"), std::string::npos);
+  EXPECT_NE(report.find("Energy (meter windows)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace malisim::obs

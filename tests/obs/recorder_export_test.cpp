@@ -83,6 +83,33 @@ TEST(RecorderTest, SnapshotsReturnRecords) {
   EXPECT_EQ(recorder.kernels()[0].kernel, "vecadd");
 }
 
+TEST(RecorderTest, SealCountsLateRecordsWithoutDroppingThem) {
+  Recorder recorder;
+  Fill(&recorder);
+  EXPECT_FALSE(recorder.sealed());
+  EXPECT_EQ(recorder.late_records(), 0u);
+
+  recorder.Seal();
+  EXPECT_TRUE(recorder.sealed());
+  EXPECT_EQ(recorder.late_records(), 0u);
+  const RecorderSnapshot at_seal = recorder.TakeSnapshot();
+
+  // Late producers (the original fault-retry bug): the records must be
+  // counted as late AND still land in any later snapshot — never dropped.
+  recorder.AddKernel(MaliKernel());
+  recorder.AddCommand({"read", "", 1 << 10, 2e-5});
+  recorder.AddFault({"kernel", "demo/vecadd", "retried", ""});
+  EXPECT_EQ(recorder.late_records(), 3u);
+  const RecorderSnapshot later = recorder.TakeSnapshot();
+  EXPECT_EQ(later.kernels.size(), at_seal.kernels.size() + 1);
+  EXPECT_EQ(later.commands.size(), at_seal.commands.size() + 1);
+  EXPECT_EQ(later.faults.size(), at_seal.faults.size() + 1);
+
+  // Sealing again is idempotent and does not reset the late count.
+  recorder.Seal();
+  EXPECT_EQ(recorder.late_records(), 3u);
+}
+
 TEST(ExportTest, TracePutsKernelsOnPerCoreTracks) {
   Recorder recorder;
   Fill(&recorder);
@@ -157,9 +184,11 @@ TEST(ExportTest, KernelMetricsCsvHasOneRowPerCore) {
   Recorder recorder;
   Fill(&recorder);
   const std::string csv = KernelMetricsCsv(recorder);
-  EXPECT_EQ(csv.rfind("kernel,device,seconds,core,", 0), 0u);
-  // Header + 4 core rows for the single 4-core kernel.
-  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+  // Two '#' comment lines (schema id + git sha), then the column header.
+  EXPECT_EQ(csv.rfind("# schema: malisim-prof-kernels-v1\n# git: ", 0), 0u);
+  EXPECT_NE(csv.find("\nkernel,device,seconds,core,"), std::string::npos);
+  // 2 comment lines + header + 4 core rows for the single 4-core kernel.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 7);
 }
 
 TEST(ExportTest, PowerTimelineCsvMatchesSampleCount) {
@@ -169,10 +198,11 @@ TEST(ExportTest, PowerTimelineCsvMatchesSampleCount) {
   const PowerSampler sampler(&model, 10.0);
   const PowerTimeline timeline = sampler.Render(recorder.power_segments());
   const std::string csv = PowerTimelineCsv(timeline);
-  EXPECT_EQ(csv.rfind("t_sec,segment,total_w,static_w,cpu_w,gpu_w,dram_w", 0),
-            0u);
+  EXPECT_EQ(csv.rfind("# schema: malisim-prof-power-v1\n# git: ", 0), 0u);
+  EXPECT_NE(csv.find("\nt_sec,segment,total_w,static_w,cpu_w,gpu_w,dram_w\n"),
+            std::string::npos);
   EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'),
-            static_cast<long>(timeline.samples.size()) + 1);
+            static_cast<long>(timeline.samples.size()) + 3);
 }
 
 TEST(ExportTest, TextReportNamesTheBottleneckAndEnergy) {

@@ -33,6 +33,7 @@
 #include "harness/experiment.h"
 #include "hpc/benchmark.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "obs/obs_options.h"
 #include "obs/power_sampler.h"
 #include "obs/recorder.h"
@@ -45,6 +46,9 @@ struct ProfOptions {
   bool fp64 = false;
   bool quick = false;
   bool trace = true;
+  /// Print the compact per-kernel percentile summary (p50/p90/p99/max of
+  /// modelled launch time) instead of the full text report.
+  bool summary = false;
   double power_hz = 10.0;
   std::uint64_t seed = 42;
   int repetitions = 5;
@@ -60,8 +64,8 @@ void PrintUsage(const char* argv0) {
       stderr,
       "usage: %s [--fp64] [--quick] [--benchmarks=a,b,c] [--out=DIR]\n"
       "          [--power-hz=N] [--seed=N] [--repetitions=N] [--no-trace]\n"
-      "          [--fault-seed=N] [--fault-rate=P] [--fault-spec=SPEC]\n"
-      "          [--watchdog=SEC]\n"
+      "          [--summary] [--fault-seed=N] [--fault-rate=P]\n"
+      "          [--fault-spec=SPEC] [--watchdog=SEC]\n"
       "\n"
       "Profiles the paper benchmarks on the modelled Exynos 5250 and writes\n"
       "profile_trace.json / profile_metrics.{json,csv} / profile_power.csv\n"
@@ -97,6 +101,8 @@ bool ParseArgs(int argc, char** argv, ProfOptions* options) {
       options->quick = true;
     } else if (arg == "--no-trace") {
       options->trace = false;
+    } else if (arg == "--summary") {
+      options->summary = true;
     } else if (arg.rfind("--benchmarks=", 0) == 0) {
       options->benchmarks = SplitCsv(arg.substr(13));
     } else if (arg.rfind("--out=", 0) == 0) {
@@ -139,19 +145,7 @@ int Run(const ProfOptions& options) {
   config.seed = options.seed;
   config.repetitions = options.repetitions;
   config.fault = options.fault;
-  if (options.quick) {
-    config.sizes.spmv_rows = 2048;
-    config.sizes.vecop_n = 1u << 17;
-    config.sizes.hist_n = 1u << 17;
-    config.sizes.stencil_dim = 32;
-    config.sizes.red_n = 1u << 17;
-    config.sizes.amcd_chains = 128;
-    config.sizes.amcd_atoms = 24;
-    config.sizes.amcd_steps = 32;
-    config.sizes.nbody_n = 512;
-    config.sizes.conv_dim = 128;
-    config.sizes.dmmm_n = 96;
-  }
+  if (options.quick) config.sizes = hpc::ProblemSizes::Quick();
 
   obs::ObsOptions obs_options;
   obs_options.enabled = true;
@@ -176,10 +170,20 @@ int Run(const ProfOptions& options) {
     }
   }
 
+  // Flush contract (obs/recorder.h): all benchmarks ran to completion
+  // above, so seal the recorder before any export reads it. A record
+  // landing after this point would be counted and logged instead of
+  // silently missing from some of the artifacts.
+  recorder.Seal();
+
   // The exporters need the same power model the harness measured with.
   const power::PowerModel model(config.power);
 
-  std::printf("\n%s", obs::TextReport(recorder, model).c_str());
+  if (options.summary) {
+    std::printf("\n%s", obs::SummaryReport(recorder, model).c_str());
+  } else {
+    std::printf("\n%s", obs::TextReport(recorder, model).c_str());
+  }
 
   std::error_code ec;
   std::filesystem::create_directories(options.out_dir, ec);
