@@ -31,6 +31,14 @@ BenchOptions ParseOptions(int argc, char** argv) {
       options.trace_path = arg.substr(8);
     } else if (arg.rfind("--bench-json=", 0) == 0) {
       options.bench_json = arg.substr(13);
+    } else if (arg.rfind("--device=", 0) == 0) {
+      if (!sim::ParseBackend(arg.substr(9), &options.device)) {
+        std::fprintf(stderr, "unknown --device '%s' (mali|a15|hetero)\n",
+                     arg.c_str() + 9);
+        std::exit(2);
+      }
+    } else if (arg.rfind("--hetero-ratio=", 0) == 0) {
+      options.hetero_ratio = std::strtod(arg.c_str() + 15, nullptr);
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -59,6 +67,8 @@ StatusOr<std::vector<harness::BenchmarkResults>> RunSweep(
   config.fp64 = fp64;
   config.seed = options.seed;
   config.sim_threads = options.threads;
+  config.device = options.device;
+  config.hetero_ratio = options.hetero_ratio;
   config.fault = options.fault;
   config.recorder = recorder;
   harness::ExperimentRunner runner(config);
@@ -125,6 +135,8 @@ const char* VariantSlug(hpc::Variant v) {
       return "opencl";
     case hpc::Variant::kOpenCLOpt:
       return "opencl_opt";
+    case hpc::Variant::kHetero:
+      return "hetero";
   }
   return "unknown";
 }
@@ -132,8 +144,15 @@ const char* VariantSlug(hpc::Variant v) {
 void AppendCells(const SweepData& sweep, std::vector<obs::BenchCell>* cells) {
   const char* precision = sweep.fp64 ? "fp64" : "fp32";
   for (const harness::BenchmarkResults& r : sweep.results) {
-    for (hpc::Variant v : hpc::kAllVariants) {
+    for (hpc::Variant v : hpc::kAllVariantsWithHetero) {
       const harness::VariantResult& vr = r.Get(v);
+      // A hetero cell that was never stood up (single-device run) is not a
+      // measurement — skipping it keeps default records byte-identical to
+      // pre-hetero builds.
+      if (v == hpc::Variant::kHetero && !vr.available &&
+          vr.unavailable_reason.empty()) {
+        continue;
+      }
       obs::BenchCell cell;
       cell.benchmark = r.name;
       cell.variant = std::string(hpc::VariantName(v));
@@ -228,6 +247,14 @@ Status WriteBenchJson(const BenchOptions& options,
            ",conv_dim=" + U64(options.sizes.conv_dim) +
            ",dmmm_n=" + U64(options.sizes.dmmm_n)},
   };
+  // Backend keys only appear off the default device, so records emitted by
+  // historical builds and by this build's default runs stay byte-identical.
+  if (options.device != sim::BackendKind::kMali) {
+    meta.options.emplace_back("device",
+                              std::string(sim::BackendName(options.device)));
+    meta.options.emplace_back("hetero_ratio",
+                              FormatDouble(options.hetero_ratio, 6));
+  }
 
   std::vector<obs::BenchCell> cells;
   std::vector<obs::PaperDelta> deltas;

@@ -11,6 +11,7 @@
 #include "harness/experiment.h"
 #include "harness/figures.h"
 #include "obs/recorder.h"
+#include "sim/device.h"
 
 namespace malisim::bench {
 
@@ -29,6 +30,13 @@ struct BenchOptions {
   /// the run is written here for malisim-bench regression comparison.
   /// Byte-identical for any --threads value.
   std::string bench_json;
+  /// Backend the OpenCL variants run on (--device=mali|a15|hetero). The
+  /// default reproduces the paper figures byte-for-byte; "hetero" adds the
+  /// Hetero co-execution column and splits every NDRange across both.
+  sim::BackendKind device = sim::BackendKind::kMali;
+  /// GPU share per NDRange on the hetero backend (--hetero-ratio=X):
+  /// 0.0 = all-A15, 1.0 = all-Mali, negative = self-tuning.
+  double hetero_ratio = -1.0;
   /// Fault injection and resilience (DESIGN.md §8). Defaults (all off)
   /// reproduce the golden figures byte-for-byte.
   FaultOptions fault;
@@ -38,7 +46,9 @@ struct BenchOptions {
 /// --threads=N (host threads for the simulation engine), --quick (shrunken
 /// problem sizes for CI smoke runs), --trace=PATH (Chrome trace of the
 /// runs), --bench-json=PATH (machine-comparable BENCH record of the run),
-/// and the fault-injection knobs: --fault-seed=N, --fault-rate=P
+/// --device=mali|a15|hetero (backend for the OpenCL variants; exits with
+/// status 2 on an unknown name), --hetero-ratio=X (GPU split share on the
+/// hetero backend), and the fault-injection knobs: --fault-seed=N, --fault-rate=P
 /// (uniform per-site trip probability), --fault-spec=site=rate[,...]
 /// (per-site overrides; "all" = every site), --watchdog=SEC (per-kernel
 /// modelled-time budget).

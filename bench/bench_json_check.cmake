@@ -1,8 +1,10 @@
 # End-to-end check of the BENCH record contract, run by ctest:
 #   1. fig2_performance --quick --bench-json at --threads=1 and --threads=4
 #      must emit byte-identical records (host parallelism is excluded from
-#      the record by design), and
-#   2. malisim-bench comparing the record against itself must exit 0.
+#      the record by design),
+#   2. malisim-bench comparing the record against itself must exit 0, and
+#   3. an explicit --device=mali run must be byte-identical to the default
+#      run — the backend refactor must not perturb the default record.
 # Driven via -DFIG2=... -DBENCH=... -DOUT_DIR=... -P this-file.
 foreach(var FIG2 BENCH OUT_DIR)
   if(NOT DEFINED ${var})
@@ -43,6 +45,24 @@ execute_process(
 if(NOT self_compare EQUAL 0)
   message(FATAL_ERROR
     "malisim-bench self-compare exited ${self_compare}, want 0")
+endif()
+
+set(json_mali "${OUT_DIR}/bench_mali.json")
+execute_process(
+  COMMAND "${FIG2}" --quick --threads=1 --device=mali
+    "--bench-json=${json_mali}"
+  RESULT_VARIABLE rc_mali OUTPUT_QUIET)
+if(NOT rc_mali EQUAL 0)
+  message(FATAL_ERROR "fig2_performance --device=mali failed (exit ${rc_mali})")
+endif()
+execute_process(
+  COMMAND "${CMAKE_COMMAND}" -E compare_files "${json_t1}" "${json_mali}"
+  RESULT_VARIABLE mali_identical)
+if(NOT mali_identical EQUAL 0)
+  message(FATAL_ERROR
+    "BENCH record with explicit --device=mali differs from the default run: "
+    "${json_t1} vs ${json_mali} — the default-device byte-identity contract "
+    "is broken")
 endif()
 
 message(STATUS "bench_json_check: records byte-identical, self-compare OK")

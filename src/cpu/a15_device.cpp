@@ -96,7 +96,31 @@ CortexA15Device::CortexA15Device(const A15TimingParams& timing,
       hierarchy_(sim::HierarchyConfig{/*has_l1=*/true,
                                       /*num_cores=*/kMaxCores, memory.l1,
                                       memory.l2}),
-      dram_(memory.dram) {}
+      dram_(memory.dram) {
+  caps_.name = "Cortex-A15 MP2 (modelled)";
+  caps_.kind = sim::BackendKind::kA15;
+  caps_.compute_units = kMaxCores;
+  caps_.max_work_group_size = 256;
+  caps_.fp64 = true;
+  caps_.clock_hz = timing_.clock_hz;
+  caps_.unified_memory = true;  // Exynos 5250: one DRAM for CPU and GPU
+  caps_.throughput_hint =
+      timing_.clock_hz * static_cast<double>(kMaxCores);
+}
+
+StatusOr<sim::DeviceRunResult> CortexA15Device::RunKernel(
+    const sim::KernelHandle& kernel, const kir::LaunchConfig& config,
+    kir::Bindings bindings) {
+  if (kernel.source == nullptr) {
+    return InvalidArgumentError(
+        "cortex-a15: RunKernel needs the kernel's KIR program");
+  }
+  StatusOr<CpuRunResult> run =
+      Run(*kernel.source, config, std::move(bindings), kMaxCores);
+  if (!run.ok()) return run.status();
+  return sim::DeviceRunResult{run->seconds, run->profile,
+                              std::move(run->run), std::move(run->stats)};
+}
 
 StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
                                             const kir::LaunchConfig& config,
@@ -123,7 +147,7 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
     scratch_bytes_ = local_bytes;
   }
 
-  const std::uint64_t total_groups = config.total_groups();
+  const std::uint64_t active_groups = config.active_groups();
   const auto group_dims = config.num_groups();
 
   CpuRunResult result;
@@ -136,9 +160,12 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
   const int host_threads = options_.ResolvedThreads();
   if (host_threads <= 1) {
     for (int t = 0; t < num_threads; ++t) {
-      // Contiguous block of groups, row-major order (OpenMP static schedule).
-      const std::uint64_t begin = total_groups * t / num_threads;
-      const std::uint64_t end = total_groups * (t + 1) / num_threads;
+      // Contiguous block of the active group sub-range, row-major order
+      // (OpenMP static schedule).
+      const std::uint64_t begin =
+          config.group_begin + active_groups * t / num_threads;
+      const std::uint64_t end =
+          config.group_begin + active_groups * (t + 1) / num_threads;
 
       kir::Bindings core_bindings = bindings;
       core_bindings.local_scratch = {
@@ -299,7 +326,7 @@ Status CortexA15Device::RunGroupsParallel(const kir::Program& program,
                                           std::uint64_t local_bytes,
                                           int num_threads, int host_threads,
                                           std::vector<CoreAggregate>* agg) {
-  const std::uint64_t total_groups = config.total_groups();
+  const std::uint64_t active_groups = config.active_groups();
   const auto group_dims = config.num_groups();
 
   // One task = (modelled core, contiguous sub-block of its static-schedule
@@ -316,8 +343,10 @@ Status CortexA15Device::RunGroupsParallel(const kir::Program& program,
              static_cast<std::uint64_t>(num_threads));
   std::vector<GroupTask> tasks;
   for (int t = 0; t < num_threads; ++t) {
-    const std::uint64_t begin = total_groups * t / num_threads;
-    const std::uint64_t end = total_groups * (t + 1) / num_threads;
+    const std::uint64_t begin =
+        config.group_begin + active_groups * t / num_threads;
+    const std::uint64_t end =
+        config.group_begin + active_groups * (t + 1) / num_threads;
     const std::uint64_t block = end - begin;
     const std::uint64_t chunks = std::min<std::uint64_t>(
         chunks_per_core, std::max<std::uint64_t>(block, 1));

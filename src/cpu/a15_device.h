@@ -20,6 +20,7 @@
 #include "kir/interp.h"
 #include "kir/program.h"
 #include "power/profile.h"
+#include "sim/device.h"
 #include "sim/memory_system.h"
 
 namespace malisim::obs {
@@ -39,30 +40,43 @@ struct CpuRunResult {
   StatRegistry stats;
 };
 
-class CortexA15Device {
+class CortexA15Device : public sim::Device {
  public:
   explicit CortexA15Device(const A15TimingParams& timing = A15TimingParams(),
                            const A15MemoryConfig& memory = A15MemoryConfig());
 
-  /// Executes the NDRange on `num_threads` cores (1 or 2 on the Exynos 5250)
-  /// and models the elapsed time. Caches stay warm across calls; use
-  /// FlushCaches() to model a cold start.
+  /// Executes the config's active group sub-range (the full NDRange by
+  /// default) on `num_threads` cores (1 or 2 on the Exynos 5250) and models
+  /// the elapsed time. Caches stay warm across calls; use FlushCaches() to
+  /// model a cold start.
   StatusOr<CpuRunResult> Run(const kir::Program& program,
                              const kir::LaunchConfig& config,
                              kir::Bindings bindings, int num_threads);
 
-  void FlushCaches() { hierarchy_.Flush(); }
+  // --- sim::Device ------------------------------------------------------
+  const sim::DeviceCaps& caps() const override { return caps_; }
+  /// The uniform backend entry point: runs `kernel.source` on all modelled
+  /// A15 cores (the OpenMP configuration). `kernel.compiled` is ignored —
+  /// the CPU path interprets KIR directly.
+  StatusOr<sim::DeviceRunResult> RunKernel(
+      const sim::KernelHandle& kernel, const kir::LaunchConfig& config,
+      kir::Bindings bindings) override;
+  void FlushCaches() override { hierarchy_.Flush(); }
 
   /// Host-side execution options; see MaliT604Device::set_sim_options for
   /// the determinism contract. `num_threads` above selects the *modelled*
   /// A15 core count; SimOptions::threads selects host workers and never
   /// changes modelled results.
-  void set_sim_options(const SimOptions& options) { options_ = options; }
+  void set_sim_options(const SimOptions& options) override {
+    options_ = options;
+  }
   const SimOptions& sim_options() const { return options_; }
 
   /// Attaches an observability recorder (nullptr detaches); see
   /// MaliT604Device::set_recorder for the read-only contract.
-  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+  void set_recorder(obs::Recorder* recorder) override {
+    recorder_ = recorder;
+  }
 
   static constexpr int kMaxCores = power::kNumA15Cores;
 
@@ -86,6 +100,7 @@ class CortexA15Device {
                            int host_threads, std::vector<CoreAggregate>* agg);
 
   A15TimingParams timing_;
+  sim::DeviceCaps caps_;
   sim::MemoryHierarchy hierarchy_;
   sim::DramModel dram_;
   SimOptions options_;

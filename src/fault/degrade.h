@@ -33,6 +33,19 @@ struct Rung {
   std::function<StatusOr<T>()> run;
 };
 
+/// The rungs strictly below `value` in a top-down ordered ladder table:
+/// RungsBelow({A, B, C}, B) == {C}; empty when `value` is the bottom rung
+/// or absent. Lets callers derive fallback sequences positionally from one
+/// ordered table instead of special-casing each enumerator — adding a rung
+/// (e.g. a new backend) is a one-line table edit.
+template <typename T>
+std::span<const T> RungsBelow(std::span<const T> ladder, const T& value) {
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    if (ladder[i] == value) return ladder.subspan(i + 1);
+  }
+  return {};
+}
+
 struct LadderReport {
   /// Rung that produced the result; -1 when every rung failed.
   int rung_index = -1;

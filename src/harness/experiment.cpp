@@ -1,7 +1,9 @@
 #include "harness/experiment.h"
 
 #include <algorithm>
+#include <memory>
 #include <optional>
+#include <span>
 #include <string_view>
 
 #include "common/log.h"
@@ -55,24 +57,6 @@ std::uint64_t CellFaultSeed(std::uint64_t base_seed, std::string_view name,
   return h ^ base_seed ^ 0xfa017ULL;
 }
 
-/// Harness rungs of the degradation ladder below `v` (DESIGN.md §8):
-/// OpenCL Opt -> naive OpenCL -> OpenMP -> Serial. The benchmark-internal
-/// kernel rungs (reduced-opt kernels) sit between the first two.
-std::vector<hpc::Variant> FallbackVariants(hpc::Variant v) {
-  switch (v) {
-    case hpc::Variant::kOpenCLOpt:
-      return {hpc::Variant::kOpenCL, hpc::Variant::kOpenMP,
-              hpc::Variant::kSerial};
-    case hpc::Variant::kOpenCL:
-      return {hpc::Variant::kOpenMP, hpc::Variant::kSerial};
-    case hpc::Variant::kOpenMP:
-      return {hpc::Variant::kSerial};
-    case hpc::Variant::kSerial:
-      return {};
-  }
-  return {};
-}
-
 }  // namespace
 
 double BenchmarkResults::SpeedupVsSerial(hpc::Variant v) const {
@@ -116,9 +100,13 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
   BenchmarkResults results;
   results.name = name;
 
-  // One board for all versions: single CPU and GPU model instances.
+  // One board for all versions: single CPU and GPU model instances. The
+  // OpenCL context dispatches through the configured sim::Device backend
+  // (Context(kMali) is identical to the historical default-constructed
+  // context).
   cpu::CortexA15Device cpu_device;
-  ocl::Context gpu_context;
+  ocl::Context gpu_context(config_.device);
+  gpu_context.set_hetero_ratio(config_.hetero_ratio);
   SimOptions sim_options;
   sim_options.threads = std::max(1, device_threads);
   sim_options.fault = config_.fault;
@@ -129,6 +117,22 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
     gpu_context.set_recorder(config_.recorder);
   }
   hpc::Devices devices{&cpu_device, &gpu_context};
+
+  // The Hetero column's context: the gpu context itself when it already is
+  // the hetero backend, otherwise a second context stood up on demand.
+  std::unique_ptr<ocl::Context> hetero_context;
+  if (config_.device == sim::BackendKind::kHetero) {
+    devices.hetero = &gpu_context;
+  } else if (config_.include_hetero) {
+    hetero_context =
+        std::make_unique<ocl::Context>(sim::BackendKind::kHetero);
+    hetero_context->set_hetero_ratio(config_.hetero_ratio);
+    hetero_context->set_sim_options(sim_options);
+    if (config_.recorder != nullptr) {
+      hetero_context->set_recorder(config_.recorder);
+    }
+    devices.hetero = hetero_context.get();
+  }
 
   // One fault injector per (benchmark, precision) cell, with decision
   // streams keyed by the cell so RunAll can farm cells across threads
@@ -148,8 +152,15 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
     });
   }
   gpu_context.set_fault_injector(&injector);
+  if (hetero_context != nullptr) {
+    hetero_context->set_fault_injector(&injector);
+  }
 
-  for (hpc::Variant v : hpc::kAllVariants) {
+  const std::span<const hpc::Variant> variant_list =
+      devices.hetero != nullptr
+          ? std::span<const hpc::Variant>(hpc::kAllVariantsWithHetero)
+          : std::span<const hpc::Variant>(hpc::kAllVariants);
+  for (hpc::Variant v : variant_list) {
     VariantResult& out = results.variants[static_cast<int>(v)];
     MALI_LOG_INFO("running %s / %s (%s)", name.c_str(),
                   std::string(hpc::VariantName(v)).c_str(),
@@ -158,7 +169,8 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
     auto run_variant = [&](hpc::Variant variant) {
       fault::RetryStats rs;
       StatusOr<hpc::RunOutcome> result = fault::RetryWithBackoff(
-          plan.retry, [&] { return bench->Run(variant, devices); }, &rs);
+          plan.retry, [&] { return bench->RunVariant(variant, devices); },
+          &rs);
       if (rs.retries > 0) {
         injector.RecordAction("retry", cell, "retried",
                               std::to_string(rs.retries) +
@@ -173,9 +185,11 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
     if (!run.ok() && config_.fault.ResilienceActive() &&
         fault::IsDegradable(run.status())) {
       // Harness rung of the degradation ladder: fall to progressively less
-      // ambitious variants. Gated on an active fault config so the paper's
-      // missing bars (e.g. amcd FP64) stay missing in golden runs.
-      for (hpc::Variant fv : FallbackVariants(v)) {
+      // ambitious variants, positionally from the ladder table (so the
+      // hetero rung degrades into the single-device ones). Gated on an
+      // active fault config so the paper's missing bars (e.g. amcd FP64)
+      // stay missing in golden runs.
+      for (hpc::Variant fv : hpc::FallbackVariants(v)) {
         const std::string fv_name(hpc::VariantName(fv));
         injector.RecordAction("ladder", cell, "fell-back",
                               run.status().ToString() + " -> trying " +

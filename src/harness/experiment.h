@@ -17,6 +17,7 @@
 #include "hpc/problem_sizes.h"
 #include "power/power_meter.h"
 #include "power/power_model.h"
+#include "sim/device.h"
 
 namespace malisim::obs {
 class Recorder;
@@ -28,6 +29,19 @@ struct ExperimentConfig {
   hpc::ProblemSizes sizes;
   bool fp64 = false;
   std::uint64_t seed = 42;
+  /// Backend the OpenCL variants dispatch to: the Mali-T604 model
+  /// (default), both A15 cores, or the heterogeneous co-execution backend
+  /// splitting each NDRange across both. kMali reproduces the paper runs
+  /// byte-for-byte.
+  sim::BackendKind device = sim::BackendKind::kMali;
+  /// GPU share per NDRange on the hetero backend: 0.0 = all-A15, 1.0 =
+  /// all-Mali, negative = self-tuning seeded from modelled throughput.
+  double hetero_ratio = -1.0;
+  /// Adds the Hetero co-execution column next to the four paper versions
+  /// even when `device` is a single-device backend (a second, hetero
+  /// context is stood up for that column). With device == kHetero the
+  /// column is always present.
+  bool include_hetero = false;
   int repetitions = 20;             // paper §IV-D
   double meter_window_sec = 2.0;    // modelled steady-state window per rep
   /// Host threads for the simulation engine. 1 = serial reference engine;
@@ -77,7 +91,7 @@ struct VariantResult {
 
 struct BenchmarkResults {
   std::string name;
-  VariantResult variants[4];  // indexed by hpc::Variant
+  VariantResult variants[5];  // indexed by hpc::Variant (incl. kHetero)
 
   const VariantResult& Get(hpc::Variant v) const {
     return variants[static_cast<int>(v)];

@@ -1,6 +1,7 @@
 #include "harness/figures.h"
 
 #include <cstdio>
+#include <span>
 #include <sstream>
 #include <vector>
 
@@ -11,13 +12,31 @@ namespace {
 
 using Metric = double (BenchmarkResults::*)(hpc::Variant) const;
 
+/// The variant columns present in a result set: the four paper versions,
+/// plus Hetero when any benchmark's hetero cell was actually run (available
+/// or carrying an unavailable reason). Runs without the hetero backend
+/// render byte-identically to the historical four-column figures.
+std::span<const hpc::Variant> VariantsIn(
+    const std::vector<BenchmarkResults>& results) {
+  for (const BenchmarkResults& r : results) {
+    const VariantResult& h = r.Get(hpc::Variant::kHetero);
+    if (h.available || !h.unavailable_reason.empty()) {
+      return hpc::kAllVariantsWithHetero;
+    }
+  }
+  return hpc::kAllVariants;
+}
+
 Table MetricTable(const std::vector<BenchmarkResults>& results, Metric metric,
                   int precision) {
-  Table table({"benchmark", "Serial", "OpenMP", "OpenCL", "OpenCL Opt"});
+  const std::span<const hpc::Variant> variants = VariantsIn(results);
+  std::vector<std::string> headers{"benchmark"};
+  for (hpc::Variant v : variants) headers.emplace_back(hpc::VariantName(v));
+  Table table(std::move(headers));
   for (const BenchmarkResults& r : results) {
     table.BeginRow();
     table.AddCell(r.name);
-    for (hpc::Variant v : hpc::kAllVariants) {
+    for (hpc::Variant v : variants) {
       if (!r.Get(v).available) {
         table.AddMissing();
       } else {
@@ -31,7 +50,7 @@ Table MetricTable(const std::vector<BenchmarkResults>& results, Metric metric,
   for (const bool geometric : {false, true}) {
     table.BeginRow();
     table.AddCell(geometric ? "geomean" : "average (paper's)");
-    for (hpc::Variant v : hpc::kAllVariants) {
+    for (hpc::Variant v : variants) {
       std::vector<double> vals;
       for (const BenchmarkResults& r : results) {
         const double x = (r.*metric)(v);
@@ -115,7 +134,7 @@ std::string RenderFigure(const std::string& title, const Table& table,
   std::string out = "== " + title + " ==\n";
   out += table.ToAscii();
   for (const BenchmarkResults& r : results) {
-    for (hpc::Variant v : hpc::kAllVariants) {
+    for (hpc::Variant v : VariantsIn(results)) {
       const VariantResult& vr = r.Get(v);
       if (!vr.available) {
         out += "  note: " + r.name + " / " +
@@ -154,7 +173,7 @@ std::string RenderFullPrecisionCsv(const std::vector<BenchmarkResults>& results,
   csv << "benchmark,precision,variant,available,seconds,power_mean_w,"
          "energy_j,fig2_speedup,fig3_power,fig4_energy\n";
   for (const BenchmarkResults& r : results) {
-    for (hpc::Variant v : hpc::kAllVariants) {
+    for (hpc::Variant v : VariantsIn(results)) {
       const VariantResult& vr = r.Get(v);
       csv << r.name << ',' << (fp64 ? "fp64" : "fp32") << ','
           << hpc::VariantName(v) << ',' << (vr.available ? 1 : 0) << ',';

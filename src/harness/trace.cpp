@@ -5,11 +5,12 @@
 namespace malisim::harness {
 
 void TraceBuilder::AddBenchmark(const BenchmarkResults& results) {
-  for (hpc::Variant v : hpc::kAllVariants) {
+  for (hpc::Variant v : hpc::kAllVariantsWithHetero) {
     const VariantResult& r = results.Get(v);
     if (!r.available) continue;
     const bool on_gpu =
         v == hpc::Variant::kOpenCL || v == hpc::Variant::kOpenCLOpt;
+    const bool hetero = v == hpc::Variant::kHetero;
     std::vector<std::pair<std::string, std::string>> args = {
         {"power_w", FormatDouble(r.power_mean_w, 3)},
         {"energy_mj", FormatDouble(r.energy_j * 1e3, 3)},
@@ -17,8 +18,8 @@ void TraceBuilder::AddBenchmark(const BenchmarkResults& results) {
     };
     if (!r.note.empty()) args.push_back({"note", r.note});
     AddSpan(results.name + " / " + std::string(hpc::VariantName(v)),
-            on_gpu ? "mali-t604" : "cortex-a15", on_gpu ? 2 : 1, r.seconds,
-            std::move(args));
+            hetero ? "hetero" : (on_gpu ? "mali-t604" : "cortex-a15"),
+            hetero ? 3 : (on_gpu ? 2 : 1), r.seconds, std::move(args));
   }
 }
 

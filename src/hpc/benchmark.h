@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -19,18 +20,48 @@
 
 namespace malisim::hpc {
 
-enum class Variant : std::uint8_t { kSerial, kOpenMP, kOpenCL, kOpenCLOpt };
+/// The four paper versions plus kHetero: the optimized OpenCL version
+/// co-executed across the Mali and both A15 cores by the sim::Device hetero
+/// backend. Benchmarks themselves only implement the four paper versions;
+/// Benchmark::RunVariant resolves kHetero onto the optimized path against
+/// the hetero-backend context.
+enum class Variant : std::uint8_t {
+  kSerial,
+  kOpenMP,
+  kOpenCL,
+  kOpenCLOpt,
+  kHetero
+};
+/// The paper's four versions (§IV-B), the default sweep.
 inline constexpr Variant kAllVariants[] = {Variant::kSerial, Variant::kOpenMP,
                                            Variant::kOpenCL,
                                            Variant::kOpenCLOpt};
+/// The four versions plus the co-execution column.
+inline constexpr Variant kAllVariantsWithHetero[] = {
+    Variant::kSerial, Variant::kOpenMP, Variant::kOpenCL, Variant::kOpenCLOpt,
+    Variant::kHetero};
 
 std::string_view VariantName(Variant v);
 
+/// Degradation-ladder order, most- to least-ambitious (DESIGN.md §8). The
+/// co-execution rung sits on top: losing a device degrades to the Mali-only
+/// optimized version, then down the paper ladder to Serial. Fallbacks are
+/// derived positionally (fault::RungsBelow), not per-enumerator.
+inline constexpr Variant kDegradationLadder[] = {
+    Variant::kHetero, Variant::kOpenCLOpt, Variant::kOpenCL, Variant::kOpenMP,
+    Variant::kSerial};
+
+/// Variants to try, in order, after `v` fails degradably.
+std::span<const Variant> FallbackVariants(Variant v);
+
 /// Devices a benchmark runs against. The harness owns them; reusing one
 /// CPU/GPU pair across variants matches the single-board methodology.
+/// `hetero` (optional) is a context whose backend co-executes each NDRange
+/// across both devices; kHetero is unavailable while it is null.
 struct Devices {
   cpu::CortexA15Device* cpu = nullptr;
   ocl::Context* gpu = nullptr;
+  ocl::Context* hetero = nullptr;
 };
 
 /// Result of running one variant once.
@@ -62,10 +93,16 @@ class Benchmark {
   /// arithmetic precision. Deterministic in `seed`.
   virtual Status Setup(bool fp64, std::uint64_t seed) = 0;
 
-  /// Runs one variant. Requires Setup. GPU variants may fail with
-  /// BuildFailure (amcd FP64 erratum) — the harness reports those as the
-  /// paper does (missing bars in Fig. 2b).
+  /// Runs one of the four paper versions. Requires Setup. GPU variants may
+  /// fail with BuildFailure (amcd FP64 erratum) — the harness reports those
+  /// as the paper does (missing bars in Fig. 2b).
   virtual StatusOr<RunOutcome> Run(Variant variant, Devices& devices) = 0;
+
+  /// Runs any variant, including the kHetero pseudo-variant, which executes
+  /// the optimized OpenCL version against devices.hetero (FailedPrecondition
+  /// while that context is absent). The four paper versions pass through to
+  /// Run() unchanged.
+  StatusOr<RunOutcome> RunVariant(Variant variant, Devices& devices);
 
  protected:
   bool fp64_ = false;

@@ -1,5 +1,6 @@
 #include "hpc/benchmark.h"
 
+#include "fault/degrade.h"
 #include "hpc/kernels.h"
 
 namespace malisim::hpc {
@@ -14,8 +15,27 @@ std::string_view VariantName(Variant v) {
       return "OpenCL";
     case Variant::kOpenCLOpt:
       return "OpenCL Opt";
+    case Variant::kHetero:
+      return "Hetero";
   }
   return "<bad>";
+}
+
+std::span<const Variant> FallbackVariants(Variant v) {
+  return fault::RungsBelow(std::span<const Variant>(kDegradationLadder), v);
+}
+
+StatusOr<RunOutcome> Benchmark::RunVariant(Variant variant, Devices& devices) {
+  if (variant != Variant::kHetero) return Run(variant, devices);
+  if (devices.hetero == nullptr) {
+    return FailedPreconditionError(
+        "Hetero variant needs a hetero-backend context");
+  }
+  // The co-execution column runs the optimized OpenCL version; the hetero
+  // context's backend splits each NDRange across the Mali and the A15s.
+  Devices hetero_devices = devices;
+  hetero_devices.gpu = devices.hetero;
+  return Run(Variant::kOpenCLOpt, hetero_devices);
 }
 
 std::vector<std::string> RegisteredBenchmarks() {

@@ -86,6 +86,8 @@ class Conv2DBenchmark final : public Benchmark {
         return RunGpuVariant(devices, false);
       case Variant::kOpenCLOpt:
         return RunGpuVariant(devices, true);
+      case Variant::kHetero:
+        break;  // resolved by RunVariant; raw dispatch is invalid
     }
     return InvalidArgumentError("bad variant");
   }

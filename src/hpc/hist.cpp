@@ -74,6 +74,8 @@ class HistBenchmark final : public Benchmark {
         return RunGpuNaive(devices);
       case Variant::kOpenCLOpt:
         return RunGpuOpt(devices);
+      case Variant::kHetero:
+        break;  // resolved by RunVariant; raw dispatch is invalid
     }
     return InvalidArgumentError("bad variant");
   }

@@ -55,6 +55,8 @@ class ReductionBenchmark final : public Benchmark {
         return RunGpuVariant(devices, false);
       case Variant::kOpenCLOpt:
         return RunGpuVariant(devices, true);
+      case Variant::kHetero:
+        break;  // resolved by RunVariant; raw dispatch is invalid
     }
     return InvalidArgumentError("bad variant");
   }

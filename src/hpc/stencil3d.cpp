@@ -70,6 +70,8 @@ class Stencil3DBenchmark final : public Benchmark {
         return RunGpuVariant(devices, false);
       case Variant::kOpenCLOpt:
         return RunGpuVariant(devices, true);
+      case Variant::kHetero:
+        break;  // resolved by RunVariant; raw dispatch is invalid
     }
     return InvalidArgumentError("bad variant");
   }

@@ -58,6 +58,8 @@ class VecopBenchmark final : public Benchmark {
         return RunGpuVariant(devices, /*optimized=*/false);
       case Variant::kOpenCLOpt:
         return RunGpuVariant(devices, /*optimized=*/true);
+      case Variant::kHetero:
+        break;  // resolved by RunVariant; raw dispatch is invalid
     }
     return InvalidArgumentError("bad variant");
   }

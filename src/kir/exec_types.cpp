@@ -12,6 +12,8 @@ bool LaunchConfig::IsValid() const {
       return false;
     }
   }
+  if (group_end != 0 && group_end > total_groups()) return false;
+  if (group_begin >= group_range_end()) return false;
   return true;
 }
 

@@ -19,6 +19,15 @@ struct LaunchConfig {
   std::uint32_t work_dim = 1;
   std::array<std::uint64_t, 3> global_size = {1, 1, 1};
   std::array<std::uint64_t, 3> local_size = {1, 1, 1};
+  /// Work-group sub-range [group_begin, group_range_end()) over the
+  /// row-major linearized group index, for co-execution backends that
+  /// split one NDRange across devices. group_end == 0 means "through the
+  /// last group". The kernel-visible geometry — global sizes, GlobalSize,
+  /// GlobalId — is unchanged; the range only selects which groups this
+  /// device executes, so kernels that chunk work by the global size stay
+  /// functionally identical under a split.
+  std::uint64_t group_begin = 0;
+  std::uint64_t group_end = 0;
 
   std::uint64_t total_work_items() const {
     return global_size[0] * global_size[1] * global_size[2];
@@ -34,7 +43,20 @@ struct LaunchConfig {
     const auto g = num_groups();
     return g[0] * g[1] * g[2];
   }
-  /// True when every global size is a positive multiple of its local size.
+  /// One past the last group this device executes.
+  std::uint64_t group_range_end() const {
+    return group_end == 0 ? total_groups() : group_end;
+  }
+  /// Groups in the active sub-range (== total_groups() by default).
+  std::uint64_t active_groups() const {
+    return group_range_end() - group_begin;
+  }
+  /// Work-items in the active sub-range, for occupancy modelling.
+  std::uint64_t active_work_items() const {
+    return active_groups() * work_group_size();
+  }
+  /// True when every global size is a positive multiple of its local size
+  /// and the group sub-range is non-empty and within the grid.
   bool IsValid() const;
 };
 

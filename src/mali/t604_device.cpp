@@ -108,7 +108,33 @@ MaliT604Device::MaliT604Device(const MaliTimingParams& timing,
     : timing_(timing),
       hierarchy_(sim::HierarchyConfig{/*has_l1=*/true, timing.num_cores,
                                       memory.l1, memory.l2}),
-      dram_(memory.dram) {}
+      dram_(memory.dram) {
+  caps_.name = "Mali-T604 (modelled)";
+  caps_.kind = sim::BackendKind::kMali;
+  caps_.compute_units = timing_.num_cores;
+  caps_.max_work_group_size = 256;  // CL_DEVICE_MAX_WORK_GROUP_SIZE
+  caps_.fp64 = true;  // OpenCL Full Profile (the paper's premise)
+  caps_.clock_hz = timing_.clock_hz;
+  caps_.unified_memory = true;  // Exynos 5250: one DRAM for CPU and GPU
+  caps_.throughput_hint = timing_.clock_hz *
+                          static_cast<double>(timing_.num_cores) *
+                          timing_.arith_pipes_per_core;
+}
+
+StatusOr<sim::DeviceRunResult> MaliT604Device::RunKernel(
+    const sim::KernelHandle& kernel, const kir::LaunchConfig& config,
+    kir::Bindings bindings) {
+  if (kernel.compiled == nullptr) {
+    return InvalidArgumentError(
+        "mali-t604: RunKernel needs the compiled kernel handle");
+  }
+  StatusOr<GpuRunResult> run =
+      Run(*static_cast<const CompiledKernel*>(kernel.compiled), config,
+          std::move(bindings));
+  if (!run.ok()) return run.status();
+  return sim::DeviceRunResult{run->seconds, run->profile,
+                              std::move(run->run), std::move(run->stats)};
+}
 
 std::uint64_t MaliT604Device::DriverPickLocalSize(std::uint64_t global_size,
                                                   std::uint64_t budget) {
@@ -151,7 +177,7 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
     scratch_bytes_ = local_bytes;
   }
 
-  const std::uint64_t total_groups = config.total_groups();
+  const std::uint64_t active_groups = config.active_groups();
   const auto group_dims = config.num_groups();
 
   GpuRunResult result;
@@ -178,8 +204,11 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
       }
 
       ShaderCoreSink sink(&hierarchy_, c, &atomic_lines);
-      // Job Manager: round-robin distribution across shader cores.
-      for (std::uint64_t g = c; g < total_groups; g += cores) {
+      // Job Manager: round-robin distribution across shader cores, over the
+      // launch's active group sub-range (the whole grid unless a
+      // co-execution backend split it).
+      for (std::uint64_t k = c; k < active_groups; k += cores) {
+        const std::uint64_t g = config.group_begin + k;
         const std::uint64_t gx = g % group_dims[0];
         const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
         const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
@@ -207,7 +236,7 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
   // many work-items the launch actually puts on a core (§III-A: "the
   // global work size must be in the order of several thousands").
   const double items_per_core =
-      static_cast<double>(config.total_work_items()) / cores;
+      static_cast<double>(config.active_work_items()) / cores;
   const double resident =
       std::min(static_cast<double>(kernel.threads_per_core), items_per_core);
   const double hiding = std::max(
@@ -393,7 +422,7 @@ Status MaliT604Device::RunGroupsParallel(
     std::vector<CoreAggregate>* agg,
     std::unordered_map<std::uint64_t, std::uint64_t>* atomic_lines) {
   const std::uint32_t cores = timing_.num_cores;
-  const std::uint64_t total_groups = config.total_groups();
+  const std::uint64_t active_groups = config.active_groups();
   const auto group_dims = config.num_groups();
 
   // One task = (modelled core, contiguous chunk of that core's round-robin
@@ -409,7 +438,7 @@ Status MaliT604Device::RunGroupsParallel(
   std::vector<GroupTask> tasks;
   for (std::uint32_t c = 0; c < cores; ++c) {
     const std::uint64_t groups_on_core =
-        c < total_groups ? (total_groups - c + cores - 1) / cores : 0;
+        c < active_groups ? (active_groups - c + cores - 1) / cores : 0;
     const std::uint64_t chunks =
         std::min<std::uint64_t>(chunks_per_core,
                                 std::max<std::uint64_t>(groups_on_core, 1));
@@ -449,7 +478,7 @@ Status MaliT604Device::RunGroupsParallel(
 
     kir::RecordingMemorySink sink(&task_events[i]);
     for (std::uint64_t k = task.begin; k < task.end; ++k) {
-      const std::uint64_t g = task.core + k * cores;
+      const std::uint64_t g = config.group_begin + task.core + k * cores;
       const std::uint64_t gx = g % group_dims[0];
       const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
       const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);

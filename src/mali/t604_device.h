@@ -19,6 +19,7 @@
 #include "mali/compiler.h"
 #include "mali/t604_params.h"
 #include "power/profile.h"
+#include "sim/device.h"
 #include "sim/memory_system.h"
 
 namespace malisim::obs {
@@ -42,20 +43,28 @@ struct GpuRunResult {
   StatRegistry stats;
 };
 
-class MaliT604Device {
+class MaliT604Device : public sim::Device {
  public:
   explicit MaliT604Device(const MaliTimingParams& timing = MaliTimingParams(),
                           const MaliMemoryConfig& memory = MaliMemoryConfig());
 
-  /// Executes the kernel. Work-groups are distributed round-robin across
-  /// shader cores by the Job Manager model. Fails with ResourceExhausted
-  /// (CL_OUT_OF_RESOURCES) when the compiled kernel exceeded the per-thread
-  /// register budget.
+  /// Executes the kernel over the config's active group sub-range (the
+  /// full NDRange by default). Work-groups are distributed round-robin
+  /// across shader cores by the Job Manager model. Fails with
+  /// ResourceExhausted (CL_OUT_OF_RESOURCES) when the compiled kernel
+  /// exceeded the per-thread register budget.
   StatusOr<GpuRunResult> Run(const CompiledKernel& kernel,
                              const kir::LaunchConfig& config,
                              kir::Bindings bindings);
 
-  void FlushCaches() { hierarchy_.Flush(); }
+  // --- sim::Device ------------------------------------------------------
+  const sim::DeviceCaps& caps() const override { return caps_; }
+  /// The uniform backend entry point: `kernel.compiled` must be the
+  /// mali::CompiledKernel* the tinycl build produced.
+  StatusOr<sim::DeviceRunResult> RunKernel(
+      const sim::KernelHandle& kernel, const kir::LaunchConfig& config,
+      kir::Bindings bindings) override;
+  void FlushCaches() override { hierarchy_.Flush(); }
 
   const MaliTimingParams& timing() const { return timing_; }
 
@@ -66,20 +75,24 @@ class MaliT604Device {
   /// replayed into the caches in the serial engine's canonical order, so
   /// modelled cycles/power/energy stay bit-identical. Host threads never
   /// change the four modelled shader cores.
-  void set_sim_options(const SimOptions& options) { options_ = options; }
+  void set_sim_options(const SimOptions& options) override {
+    options_ = options;
+  }
   const SimOptions& sim_options() const { return options_; }
 
   /// Attaches an observability recorder (nullptr detaches). When attached,
   /// each Run() appends a KernelRecord with per-core counters and the
   /// interpreter's per-opcode tally. Strictly read-only with respect to the
   /// simulation: modelled seconds/power never depend on the recorder.
-  void set_recorder(obs::Recorder* recorder) { recorder_ = recorder; }
+  void set_recorder(obs::Recorder* recorder) override {
+    recorder_ = recorder;
+  }
 
   /// Attaches a fault injector (nullptr detaches). The device consults it
   /// once per Run() for a modelled thermal-throttle/DVFS event that scales
   /// the launch's modelled seconds. The decision is taken on the serial
   /// launch path, so it is invariant under the host thread count.
-  void set_fault_injector(fault::FaultInjector* injector) {
+  void set_fault_injector(fault::FaultInjector* injector) override {
     fault_injector_ = injector;
   }
 
@@ -113,6 +126,7 @@ class MaliT604Device {
       std::unordered_map<std::uint64_t, std::uint64_t>* atomic_lines);
 
   MaliTimingParams timing_;
+  sim::DeviceCaps caps_;
   sim::MemoryHierarchy hierarchy_;
   sim::DramModel dram_;
   SimOptions options_;

@@ -393,6 +393,24 @@ Polarity MetricPolarity(std::string_view name) {
   return Polarity::kNeutral;
 }
 
+std::string_view MetricBackend(std::string_view name) {
+  // Whole-segment match: the token must be bounded by '/' (or the string
+  // ends) so a kernel named "heterodyne" is not mistaken for the backend.
+  for (std::string_view backend :
+       {std::string_view("mali-t604"), std::string_view("cortex-a15"),
+        std::string_view("hetero")}) {
+    std::size_t pos = 0;
+    while ((pos = name.find(backend, pos)) != std::string_view::npos) {
+      const bool starts = pos == 0 || name[pos - 1] == '/';
+      const std::size_t end = pos + backend.size();
+      const bool ends = end == name.size() || name[end] == '/';
+      if (starts && ends) return backend;
+      pos = end;
+    }
+  }
+  return {};
+}
+
 BenchComparison CompareBenchReports(const ParsedBenchReport& baseline,
                                     const ParsedBenchReport& candidate,
                                     const CompareOptions& options) {
@@ -484,27 +502,60 @@ std::string ComparisonText(const BenchComparison& comparison,
       << comparison.improvements << " improvement(s), " << changed
       << " neutral change(s), " << unchanged << " within threshold\n";
 
+  // Per-backend regression/improvement rollup, shown only when any metric
+  // carries a backend segment (single-device historical records don't).
+  {
+    std::map<std::string_view, std::pair<int, int>> per_backend;
+    for (const MetricDelta& d : comparison.deltas) {
+      const std::string_view backend = MetricBackend(d.name);
+      if (backend.empty()) continue;
+      auto& [reg, imp] = per_backend[backend];
+      if (d.verdict == MetricDelta::Verdict::kRegression) ++reg;
+      if (d.verdict == MetricDelta::Verdict::kImprovement) ++imp;
+    }
+    if (!per_backend.empty()) {
+      out << "Per-backend:";
+      bool first = true;
+      for (const auto& [backend, counts] : per_backend) {
+        out << (first ? " " : "; ") << backend << " " << counts.first
+            << " regression(s), " << counts.second << " improvement(s)";
+        first = false;
+      }
+      out << "\n";
+    }
+  }
+
   const auto table_for = [&](MetricDelta::Verdict verdict,
                              const char* title) {
-    Table t({"metric", "baseline", "candidate", "delta", "threshold"});
-    std::size_t rows = 0;
-    std::size_t total = 0;
+    // Rows grouped by backend (backend-less metrics first), keeping the
+    // severity ranking within each group.
+    std::vector<const MetricDelta*> matching;
     for (const MetricDelta& d : comparison.deltas) {
-      if (d.verdict != verdict) continue;
-      ++total;
-      if (rows >= max_rows) continue;
-      ++rows;
-      t.BeginRow();
-      t.AddCell(d.name);
-      t.AddCell(FormatDouble(d.baseline, 6));
-      t.AddCell(FormatDouble(d.candidate, 6));
-      t.AddCell(Percent(d.rel_delta));
-      t.AddCell(Percent(d.threshold));
+      if (d.verdict == verdict) matching.push_back(&d);
     }
-    if (total == 0) return;
-    out << "\n" << title << " (" << total << "):\n" << t.ToAscii();
-    if (total > rows) {
-      out << "  ... and " << (total - rows) << " more\n";
+    if (matching.empty()) return;
+    std::stable_sort(matching.begin(), matching.end(),
+                     [](const MetricDelta* a, const MetricDelta* b) {
+                       return MetricBackend(a->name) < MetricBackend(b->name);
+                     });
+    Table t({"backend", "metric", "baseline", "candidate", "delta",
+             "threshold"});
+    std::size_t rows = 0;
+    for (const MetricDelta* d : matching) {
+      if (rows >= max_rows) break;
+      ++rows;
+      const std::string_view backend = MetricBackend(d->name);
+      t.BeginRow();
+      t.AddCell(backend.empty() ? "-" : std::string(backend));
+      t.AddCell(d->name);
+      t.AddCell(FormatDouble(d->baseline, 6));
+      t.AddCell(FormatDouble(d->candidate, 6));
+      t.AddCell(Percent(d->rel_delta));
+      t.AddCell(Percent(d->threshold));
+    }
+    out << "\n" << title << " (" << matching.size() << "):\n" << t.ToAscii();
+    if (matching.size() > rows) {
+      out << "  ... and " << (matching.size() - rows) << " more\n";
     }
   };
   table_for(MetricDelta::Verdict::kRegression, "Regressions");

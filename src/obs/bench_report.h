@@ -110,6 +110,12 @@ StatusOr<ParsedBenchReport> LoadBenchReport(const std::string& path);
 enum class Polarity { kLowerBetter, kHigherBetter, kNeutral };
 Polarity MetricPolarity(std::string_view name);
 
+/// The backend a metric is scoped to, taken from the '/'-separated device
+/// segment recorders embed in metric names ("mali-t604" in
+/// "hist/fp32/kernel_time_sec/mali-t604/vecadd/p50"); "" for metrics that
+/// are not backend-scoped. ComparisonText groups its tables by this.
+std::string_view MetricBackend(std::string_view name);
+
 struct CompareOptions {
   /// Relative threshold: |delta| / max(|baseline|, eps) beyond which a
   /// directional metric counts as a regression/improvement.

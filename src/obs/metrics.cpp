@@ -294,6 +294,39 @@ std::string SummaryReport(const Recorder& recorder,
     }
     out << "\nPer-kernel modelled-time percentiles (bucketed, log-scale):\n"
         << table.ToAscii();
+
+    // Per-backend rollup. Under the hetero backend each launch lands on the
+    // child device that executed it, so the work-item share IS the realized
+    // GPU/CPU split ratio.
+    struct DeviceTotals {
+      std::uint64_t launches = 0;
+      std::uint64_t work_items = 0;
+      KahanSum seconds;
+    };
+    std::map<std::string, DeviceTotals> per_device;
+    std::uint64_t all_items = 0;
+    for (const KernelRecord& k : snapshot.kernels) {
+      DeviceTotals& t = per_device[k.device];
+      ++t.launches;
+      t.work_items += k.work_items;
+      t.seconds.Add(k.seconds);
+      all_items += k.work_items;
+    }
+    Table devices({"device", "launches", "work-items", "split share",
+                   "total ms"});
+    for (const auto& [device, t] : per_device) {
+      devices.BeginRow();
+      devices.AddCell(device);
+      devices.AddCell(std::to_string(t.launches));
+      devices.AddCell(std::to_string(t.work_items));
+      devices.AddNumber(all_items > 0 ? static_cast<double>(t.work_items) /
+                                            static_cast<double>(all_items)
+                                      : 0.0,
+                        3);
+      devices.AddNumber(t.seconds.value() * 1e3, 4);
+    }
+    out << "\nPer-backend rollup (split share = work-item fraction):\n"
+        << devices.ToAscii();
   }
 
   if (!snapshot.power_segments.empty()) {
@@ -314,6 +347,15 @@ std::string SummaryReport(const Recorder& recorder,
         << FormatDouble(cpu_j.value(), 3) << " J + gpu "
         << FormatDouble(gpu_j.value(), 3) << " J + dram "
         << FormatDouble(dram_j.value(), 3) << " J\n";
+    // Rail-to-backend attribution: the cpu rail powers the A15 cluster, the
+    // gpu rail the Mali cores. Shares are of the compute (cpu+gpu) energy,
+    // so on the hetero backend they mirror the co-execution split.
+    const double compute_j = cpu_j.value() + gpu_j.value();
+    if (compute_j > 0.0) {
+      out << "Per-backend energy share (of cpu+gpu rails): cortex-a15 "
+          << FormatDouble(cpu_j.value() / compute_j, 3) << ", mali-t604 "
+          << FormatDouble(gpu_j.value() / compute_j, 3) << "\n";
+    }
   }
   return out.str();
 }

@@ -1,6 +1,14 @@
 #include "ocl/cl_error.h"
 
+#include <string>
+
 namespace malisim::ocl {
+
+namespace {
+std::string BackendPrefix(sim::BackendKind kind) {
+  return "[backend:" + std::string(sim::BackendName(kind)) + "] ";
+}
+}  // namespace
 
 std::string_view ClErrorName(ClError err) {
   switch (err) {
@@ -67,6 +75,21 @@ ClError ClErrorFromStatus(const Status& status) {
     default:
       return ClError::kInvalidValue;
   }
+}
+
+Status AnnotateStatusWithBackend(const Status& status, sim::BackendKind kind) {
+  if (status.ok()) return status;
+  if (BackendFromStatus(status).has_value()) return status;
+  return Status(status.code(), BackendPrefix(kind) + status.message());
+}
+
+std::optional<sim::BackendKind> BackendFromStatus(const Status& status) {
+  const std::string& message = status.message();
+  for (const sim::BackendKind kind : sim::kAllBackendKinds) {
+    const std::string prefix = BackendPrefix(kind);
+    if (message.compare(0, prefix.size(), prefix) == 0) return kind;
+  }
+  return std::nullopt;
 }
 
 }  // namespace malisim::ocl

@@ -6,9 +6,11 @@
 // CL_OUT_OF_RESOURCES (optimized FP64 nbody/2dcon register pressure).
 #pragma once
 
+#include <optional>
 #include <string_view>
 
 #include "common/status.h"
+#include "sim/device.h"
 
 namespace malisim::ocl {
 
@@ -51,5 +53,17 @@ bool ClErrorFromName(std::string_view name, ClError* out);
 
 /// Maps a library Status to the OpenCL error a driver would surface.
 ClError ClErrorFromStatus(const Status& status);
+
+/// Prefixes a failing status's message with "[backend:<name>] " so an error
+/// surfaced through the harness names the device it came from. Ok statuses
+/// and already-annotated messages pass through unchanged. The default Mali
+/// backend is reported verbatim by the runtime (golden outputs embed its
+/// CL error strings), so callers only annotate the non-default backends.
+Status AnnotateStatusWithBackend(const Status& status, sim::BackendKind kind);
+
+/// Recovers the backend a status was annotated with, or nullopt when the
+/// message carries no (known) "[backend:...]" prefix. Round-trips with
+/// AnnotateStatusWithBackend for every sim::BackendKind.
+std::optional<sim::BackendKind> BackendFromStatus(const Status& status);
 
 }  // namespace malisim::ocl

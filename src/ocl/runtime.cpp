@@ -20,33 +20,31 @@ Context::Context(const mali::MaliTimingParams& timing,
       compiler_(compiler),
       host_(host),
       device_(timing, memory),
+      hetero_(&device_, &cpu_device_, sim::HeteroConfig{}),
       queue_(this) {}
 
 Context::Context(DeviceType type)
-    : type_(type), device_(timing_, mali::MaliMemoryConfig()), queue_(this) {
-  if (type_ == DeviceType::kCpu) {
+    : type_(type),
+      device_(timing_, mali::MaliMemoryConfig()),
+      hetero_(&device_, &cpu_device_, sim::HeteroConfig{}),
+      queue_(this) {
+  if (type_ == DeviceType::kA15) {
     // The CPU path compiles with the generic pipeline only: no Mali
-    // erratum, no shader-core register budget.
+    // erratum, no shader-core register budget. The hetero backend keeps
+    // the Mali compiler configuration — its GPU half needs it.
     compiler_.emulate_fp64_erratum = false;
     timing_.max_thread_reg_bytes = 0xFFFFFFFFu;
   }
 }
 
 Context::DeviceInfo Context::device_info() const {
+  const sim::DeviceCaps& caps = backend().caps();
   DeviceInfo info;
-  if (type_ == DeviceType::kGpu) {
-    info.name = kDeviceName;
-    info.type = DeviceType::kGpu;
-    info.compute_units = timing_.num_cores;
-    info.max_work_group_size = kMaxWorkGroupSize;
-    info.clock_hz = timing_.clock_hz;
-  } else {
-    info.name = kCpuDeviceName;
-    info.type = DeviceType::kCpu;
-    info.compute_units = cpu::CortexA15Device::kMaxCores;
-    info.max_work_group_size = kMaxWorkGroupSize;
-    info.clock_hz = cpu::A15TimingParams().clock_hz;
-  }
+  info.name = caps.name;
+  info.type = caps.kind;
+  info.compute_units = caps.compute_units;
+  info.max_work_group_size = kMaxWorkGroupSize;
+  info.clock_hz = caps.clock_hz;
   info.fp64 = true;  // OpenCL Full Profile on both (the paper's premise)
   return info;
 }
@@ -111,7 +109,7 @@ StatusOr<std::shared_ptr<Kernel>> Context::CreateKernel(
   StatusOr<const mali::CompiledKernel*> compiled = program->GetCompiled(name);
   if (!compiled.ok()) return compiled.status();
   const kir::Program* source = program->GetSource(name);
-  return std::shared_ptr<Kernel>(new Kernel(name, source, *compiled));
+  return std::shared_ptr<Kernel>(new Kernel(name, program, source, *compiled));
 }
 
 // ---------------------------------------------------------------- Program
@@ -180,9 +178,12 @@ const kir::Program* Program::GetSource(const std::string& name) const {
 
 // ----------------------------------------------------------------- Kernel
 
-Kernel::Kernel(std::string name, const kir::Program* source,
-               const mali::CompiledKernel* compiled)
-    : name_(std::move(name)), source_(source), compiled_(compiled) {
+Kernel::Kernel(std::string name, std::shared_ptr<const Program> program,
+               const kir::Program* source, const mali::CompiledKernel* compiled)
+    : name_(std::move(name)),
+      program_(std::move(program)),
+      source_(source),
+      compiled_(compiled) {
   MALI_CHECK(source_ != nullptr && compiled_ != nullptr);
   args_.resize(source_->args.size());
   for (std::size_t i = 0; i < source_->args.size(); ++i) {
@@ -263,6 +264,41 @@ Status CommandQueue::MaybeInject(fault::FaultSite site,
                           name + " failure on '" + key + "'");
 }
 
+sim::EventId CommandQueue::AddGraphNode(sim::CmdKind kind, std::string label,
+                                        double seconds, int lane) {
+  std::vector<sim::EventId> deps;
+  if (async_) {
+    deps = std::move(pending_wait_);
+    pending_wait_.clear();
+  } else if (last_event_ != sim::kNullEvent) {
+    deps.push_back(last_event_);
+  }
+  last_event_ = graph_.Add(kind, std::move(label), seconds, lane, deps);
+  return last_event_;
+}
+
+sim::EventId CommandQueue::EnqueueBarrier() {
+  std::vector<sim::EventId> deps;
+  if (async_) {
+    // clEnqueueBarrier waits for everything previously submitted.
+    deps.resize(graph_.size());
+    for (sim::EventId id = 0; id < deps.size(); ++id) deps[id] = id;
+    pending_wait_.clear();
+  } else if (last_event_ != sim::kNullEvent) {
+    deps.push_back(last_event_);
+  }
+  last_event_ = graph_.Add(sim::CmdKind::kBarrier, "barrier", 0.0,
+                           sim::kLaneHost, deps);
+  return last_event_;
+}
+
+StatusOr<double> CommandQueue::ScheduledSeconds() const {
+  if (graph_.empty()) return 0.0;
+  StatusOr<sim::ScheduleResult> result = sim::ScheduleEvents(graph_);
+  if (!result.ok()) return result.status();
+  return result->makespan_sec;
+}
+
 Event CommandQueue::HostCopyEvent(Event::Kind kind, std::uint64_t bytes,
                                   double overhead) {
   Event event;
@@ -288,6 +324,8 @@ StatusOr<Event> CommandQueue::EnqueueWriteBuffer(Buffer& buffer,
   std::memcpy(buffer.storage_.data() + offset, src, bytes);
   Event event = HostCopyEvent(Event::Kind::kWrite, bytes,
                               context_->host_.enqueue_overhead_sec);
+  event.node = AddGraphNode(sim::CmdKind::kWrite, "write", event.seconds,
+                            sim::kLaneHost);
   RecordCommand("write", "", bytes, event.seconds);
   return event;
 }
@@ -302,6 +340,8 @@ StatusOr<Event> CommandQueue::EnqueueReadBuffer(Buffer& buffer, void* dst,
   std::memcpy(dst, buffer.storage_.data() + offset, bytes);
   Event event = HostCopyEvent(Event::Kind::kRead, bytes,
                               context_->host_.enqueue_overhead_sec);
+  event.node = AddGraphNode(sim::CmdKind::kRead, "read", event.seconds,
+                            sim::kLaneHost);
   RecordCommand("read", "", bytes, event.seconds);
   return event;
 }
@@ -330,6 +370,8 @@ StatusOr<Event> CommandQueue::EnqueueCopyBuffer(Buffer& src, Buffer& dst,
   event.profile.gpu_core_busy[0] = 0.5;  // one core's LS pipe streams it
   event.profile.dram_bytes = 2 * bytes;
   total_seconds_ += event.seconds;
+  event.node = AddGraphNode(sim::CmdKind::kCopy, "copy", event.seconds,
+                            sim::kLaneTransfer);
   RecordCommand("copy", "", bytes, event.seconds);
   return event;
 }
@@ -359,6 +401,8 @@ StatusOr<Event> CommandQueue::EnqueueFillBuffer(Buffer& buffer,
   event.profile.gpu_core_busy[0] = 0.5;
   event.profile.dram_bytes = bytes;
   total_seconds_ += event.seconds;
+  event.node = AddGraphNode(sim::CmdKind::kFill, "fill", event.seconds,
+                            sim::kLaneTransfer);
   RecordCommand("fill", "", bytes, event.seconds);
   return event;
 }
@@ -376,6 +420,8 @@ StatusOr<void*> CommandQueue::MapBuffer(Buffer& buffer, Event* event) {
     std::memcpy(buffer.user_ptr_, buffer.storage_.data(), buffer.size_);
     Event e = HostCopyEvent(Event::Kind::kMap, buffer.size_,
                             context_->host_.map_overhead_sec);
+    e.node = AddGraphNode(sim::CmdKind::kMap, "map", e.seconds,
+                          sim::kLaneHost);
     RecordCommand("map", "copy-out", buffer.size_, e.seconds);
     if (event != nullptr) *event = e;
     return buffer.user_ptr_;
@@ -388,6 +434,7 @@ StatusOr<void*> CommandQueue::MapBuffer(Buffer& buffer, Event* event) {
   e.profile.cpu_busy[0] = 1.0;
   e.profile.gpu_on = true;
   total_seconds_ += e.seconds;
+  e.node = AddGraphNode(sim::CmdKind::kMap, "map", e.seconds, sim::kLaneHost);
   RecordCommand("map", "zero-copy", 0, e.seconds);
   if (event != nullptr) *event = e;
   return buffer.storage_.data();
@@ -407,6 +454,8 @@ Status CommandQueue::UnmapBuffer(Buffer& buffer, void* mapped, Event* event) {
     std::memcpy(buffer.storage_.data(), buffer.user_ptr_, buffer.size_);
     Event e = HostCopyEvent(Event::Kind::kUnmap, buffer.size_,
                             context_->host_.unmap_overhead_sec);
+    e.node = AddGraphNode(sim::CmdKind::kUnmap, "unmap", e.seconds,
+                          sim::kLaneHost);
     RecordCommand("unmap", "copy-in", buffer.size_, e.seconds);
     if (event != nullptr) *event = e;
     return Status::Ok();
@@ -422,6 +471,8 @@ Status CommandQueue::UnmapBuffer(Buffer& buffer, void* mapped, Event* event) {
   e.profile.cpu_busy[0] = 1.0;
   e.profile.gpu_on = true;
   total_seconds_ += e.seconds;
+  e.node =
+      AddGraphNode(sim::CmdKind::kUnmap, "unmap", e.seconds, sim::kLaneHost);
   RecordCommand("unmap", "zero-copy", 0, e.seconds);
   if (event != nullptr) *event = e;
   return Status::Ok();
@@ -478,33 +529,31 @@ StatusOr<Event> CommandQueue::EnqueueNDRange(Kernel& kernel,
 
   Event event;
   event.kind = Event::Kind::kKernel;
-  if (context_->type_ == DeviceType::kCpu) {
-    // CPU device: the NDRange runs across both A15 cores.
-    StatusOr<cpu::CpuRunResult> run = context_->cpu_device_.Run(
-        *kernel.source_, config, *std::move(bindings),
-        cpu::CortexA15Device::kMaxCores);
-    if (!run.ok()) return run.status();
-    event.seconds = run->seconds + context_->host_.enqueue_overhead_sec;
-    event.profile = run->profile;
-    event.profile.seconds = event.seconds;
-    event.run = run->run;
-    event.stats = std::move(run->stats);
-  } else {
-    StatusOr<mali::GpuRunResult> run = context_->device_.Run(
-        *kernel.compiled_, config, *std::move(bindings));
-    if (!run.ok()) return run.status();
-    event.seconds = run->seconds + context_->host_.enqueue_overhead_sec;
-    event.profile = run->profile;
-    event.profile.seconds = event.seconds;
-    event.run = run->run;
-    event.stats = std::move(run->stats);
+  // Uniform dispatch through the sim::Device backend the context selects:
+  // the Mali model consumes kernel.compiled_, the A15 interprets
+  // kernel.source_ on both cores, and the hetero backend splits the launch.
+  StatusOr<sim::DeviceRunResult> run = context_->backend().RunKernel(
+      {kernel.source_, kernel.compiled_}, config, *std::move(bindings));
+  if (!run.ok()) {
+    // The default backend's CL error strings appear verbatim in golden
+    // outputs; the alternate backends annotate so the failure names the
+    // device it came from (round-trips through BackendFromStatus).
+    if (context_->type_ == DeviceType::kMali) return run.status();
+    return AnnotateStatusWithBackend(run.status(), context_->type_);
   }
+  event.seconds = run->seconds + context_->host_.enqueue_overhead_sec;
+  event.profile = run->profile;
+  event.profile.seconds = event.seconds;
+  event.run = std::move(run->run);
+  event.stats = std::move(run->stats);
   event.stats.Set("ocl.local_size0", static_cast<double>(config.local_size[0]));
   event.stats.Set("ocl.groups", static_cast<double>(config.total_groups()));
   // Counts 1 per kernel event so that ratio-type stats (seq fraction,
   // occupancy) can be re-averaged after a MergeFrom across launches.
   event.stats.Set("ocl.launches", 1.0);
   total_seconds_ += event.seconds;
+  event.node = AddGraphNode(sim::CmdKind::kKernel, kernel.name(),
+                            event.seconds, sim::kLaneCompute);
   RecordCommand("ndrange", kernel.name(), 0, event.seconds);
   return event;
 }

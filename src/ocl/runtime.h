@@ -17,9 +17,20 @@
 //    pass pipeline and the Mali kernel compiler with its modelled erratum
 //    and resource accounting. Build failures land in the build log.
 //
-// The runtime is synchronous: every enqueue executes immediately and
+// The runtime executes eagerly — every enqueue runs to completion and
 // returns an Event carrying modelled duration and an activity profile for
-// the power model. CommandQueue::Finish() exists for API fidelity.
+// the power model — but each command also appends a node to the queue's
+// modelled-time event graph. In the default in-order mode every node
+// depends on its predecessor and the scheduled makespan equals the eager
+// sum bit-for-bit; switching the queue to async mode lets callers express
+// explicit wait lists so independent kernels and transfers overlap in
+// modelled time (functional results are unchanged — the graph only changes
+// what the clock would have read). CommandQueue::Finish() exists for API
+// fidelity.
+//
+// The context dispatches kernels through the sim::Device backend interface:
+// kMali (the Mali-T604 model, default), kA15 (both Cortex-A15 cores) and
+// kHetero (a co-execution backend splitting each NDRange across both).
 #pragma once
 
 #include <cstdint>
@@ -39,6 +50,9 @@
 #include "mali/t604_device.h"
 #include "ocl/cl_error.h"
 #include "power/profile.h"
+#include "sim/device.h"
+#include "sim/hetero_device.h"
+#include "sim/scheduler.h"
 
 namespace malisim::fault {
 class FaultInjector;
@@ -46,13 +60,15 @@ class FaultInjector;
 
 namespace malisim::ocl {
 
-/// OpenCL device type (CL_DEVICE_TYPE_GPU / _CPU). The GPU is the
-/// Mali-T604 model; the CPU device runs kernels across both Cortex-A15
-/// cores — the "OpenCL on the application processor" configuration the
-/// related-work systems in §VI use. The CPU path has no Mali kernel
-/// compiler, so neither the FP64 erratum nor the register budget applies
-/// (matching the paper: the CPU versions of amcd ran fine in FP64).
-enum class DeviceType { kGpu, kCpu };
+/// OpenCL device type (CL_DEVICE_TYPE_GPU / _CPU / a fused device). This is
+/// the backend enum of the sim::Device layer: kMali is the Mali-T604 model,
+/// kA15 runs kernels across both Cortex-A15 cores — the "OpenCL on the
+/// application processor" configuration the related-work systems in §VI
+/// use — and kHetero co-executes each NDRange on both. The A15 path has no
+/// Mali kernel compiler, so neither the FP64 erratum nor the register
+/// budget applies (matching the paper: the CPU versions of amcd ran fine
+/// in FP64).
+using DeviceType = sim::BackendKind;
 
 /// CL_MEM_* flag bitmask.
 enum MemFlags : std::uint32_t {
@@ -81,6 +97,9 @@ struct Event {
   /// Kernel commands only: functional counts and device stats.
   kir::WorkGroupRun run;
   StatRegistry stats;
+  /// This command's node in the queue's modelled-time event graph; pass it
+  /// in CommandQueue::SetWaitList to make later async commands depend on it.
+  sim::EventId node = sim::kNullEvent;
 };
 
 class Context;
@@ -161,13 +180,17 @@ class Kernel {
  private:
   friend class Context;
   friend class CommandQueue;
-  Kernel(std::string name, const kir::Program* source,
-         const mali::CompiledKernel* compiled);
+  Kernel(std::string name, std::shared_ptr<const Program> program,
+         const kir::Program* source, const mali::CompiledKernel* compiled);
 
   /// Builds interpreter bindings; fails if any argument is unset.
   StatusOr<kir::Bindings> MakeBindings() const;
 
   std::string name_;
+  /// Pins the program: source_ and compiled_ point into its storage, and a
+  /// kernel may outlive the caller's program handle (clRetainProgram
+  /// semantics of the real runtime).
+  std::shared_ptr<const Program> program_;
   const kir::Program* source_;
   const mali::CompiledKernel* compiled_;
   struct ArgSlot {
@@ -213,17 +236,51 @@ class CommandQueue {
                                  const std::uint64_t* global,
                                  const std::uint64_t* local);
 
-  /// clFinish: the queue is synchronous, so this only exists for fidelity.
+  /// clFinish: execution is eager, so this only exists for fidelity.
   Status Finish() { return Status::Ok(); }
 
-  /// Sum of modelled seconds of everything enqueued since construction.
+  /// Sum of modelled seconds of everything enqueued since construction —
+  /// the serialized (in-order) clock, independent of the async mode.
   double total_seconds() const { return total_seconds_; }
+
+  // --- modelled-time event graph ----------------------------------------
+  // Every enqueue appends a node. In the default in-order mode each node
+  // depends on the previous one, so ScheduledSeconds() == total_seconds()
+  // bit-for-bit. In async mode a node depends only on the wait list staged
+  // with SetWaitList (empty → no dependencies), and the scheduler overlaps
+  // independent work: kernels on the compute lane, device-side copies and
+  // fills on the transfer lane, host copies and map/unmap on the host lane.
+
+  /// Switches dependency tracking for subsequently enqueued commands.
+  void set_async(bool async) { async_ = async; }
+  bool async() const { return async_; }
+  /// Stages the dependency list for the next async enqueue (consumed by
+  /// it). Ignored in in-order mode.
+  void SetWaitList(std::vector<sim::EventId> wait_list) {
+    pending_wait_ = std::move(wait_list);
+  }
+  /// Appends a zero-cost barrier node depending on every command enqueued
+  /// so far (clEnqueueBarrier); returns its node id.
+  sim::EventId EnqueueBarrier();
+  /// List-schedules the graph and returns the modelled makespan.
+  StatusOr<double> ScheduledSeconds() const;
+  /// Full schedule (per-event start/finish, lane busy time, critical path).
+  StatusOr<sim::ScheduleResult> Schedule() const {
+    return sim::ScheduleEvents(graph_);
+  }
+  const sim::EventGraph& graph() const { return graph_; }
+  /// Node id of the most recently enqueued command (kNullEvent if none).
+  sim::EventId last_event() const { return last_event_; }
 
  private:
   friend class Context;
   explicit CommandQueue(Context* context) : context_(context) {}
 
   Event HostCopyEvent(Event::Kind kind, std::uint64_t bytes, double overhead);
+  /// Appends a node for a just-executed command: in-order mode chains it on
+  /// the previous node, async mode consumes the staged wait list.
+  sim::EventId AddGraphNode(sim::CmdKind kind, std::string label,
+                            double seconds, int lane);
   /// Appends a CommandRecord when the context has a recorder attached.
   void RecordCommand(const char* kind, const std::string& detail,
                      std::uint64_t bytes, double seconds);
@@ -235,6 +292,10 @@ class CommandQueue {
 
   Context* context_;
   double total_seconds_ = 0.0;
+  sim::EventGraph graph_;
+  sim::EventId last_event_ = sim::kNullEvent;
+  std::vector<sim::EventId> pending_wait_;
+  bool async_ = false;
 };
 
 /// A cl_context analogue owning the device model, the unified simulated
@@ -247,8 +308,9 @@ class Context {
       const mali::MaliCompilerParams& compiler = mali::MaliCompilerParams(),
       const HostParams& host = HostParams());
 
-  /// Context for the other device in the platform (clCreateContextFromType
-  /// with CL_DEVICE_TYPE_CPU).
+  /// Context for another backend in the platform (clCreateContextFromType
+  /// with CL_DEVICE_TYPE_CPU, or the fused hetero device). Context(kMali)
+  /// is identical to the default constructor.
   explicit Context(DeviceType type);
 
   /// clCreateBuffer. host_ptr is required for kMemUseHostPtr/kMemCopyHostPtr.
@@ -267,6 +329,28 @@ class Context {
   DeviceType device_type() const { return type_; }
   mali::MaliT604Device& device() { return device_; }
   cpu::CortexA15Device& cpu_device() { return cpu_device_; }
+  sim::HeteroDevice& hetero_device() { return hetero_; }
+
+  /// The sim::Device the queue dispatches kernels to, per device_type().
+  sim::Device& backend() {
+    switch (type_) {
+      case DeviceType::kA15:
+        return cpu_device_;
+      case DeviceType::kHetero:
+        return hetero_;
+      case DeviceType::kMali:
+        break;
+    }
+    return device_;
+  }
+  const sim::Device& backend() const {
+    return const_cast<Context*>(this)->backend();
+  }
+
+  /// GPU share of each NDRange on the hetero backend: 0.0 = all-A15,
+  /// 1.0 = all-Mali, negative = self-tuning (default). No effect on the
+  /// single-device backends.
+  void set_hetero_ratio(double ratio) { hetero_.set_ratio(ratio); }
 
   /// Host-side simulation options, forwarded to both device models.
   /// threads == 1 (default) is the serial reference engine; threads > 1
@@ -322,12 +406,15 @@ class Context {
  private:
   friend class CommandQueue;
 
-  DeviceType type_ = DeviceType::kGpu;
+  DeviceType type_ = DeviceType::kMali;
   mali::MaliTimingParams timing_;
   mali::MaliCompilerParams compiler_;
   HostParams host_;
   mali::MaliT604Device device_;
   cpu::CortexA15Device cpu_device_;
+  // Declared after its children: the HeteroDevice constructor reads their
+  // caps() to build the fused capability record.
+  sim::HeteroDevice hetero_;
   obs::Recorder* recorder_ = nullptr;
   fault::FaultInjector* fault_injector_ = nullptr;
   SimOptions sim_options_;

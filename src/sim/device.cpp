@@ -1,0 +1,33 @@
+#include "sim/device.h"
+
+namespace malisim::sim {
+
+std::string_view BackendName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kMali:
+      return "mali-t604";
+    case BackendKind::kA15:
+      return "cortex-a15";
+    case BackendKind::kHetero:
+      return "hetero";
+  }
+  return "<bad>";
+}
+
+bool ParseBackend(std::string_view name, BackendKind* out) {
+  if (name == "mali" || name == "mali-t604" || name == "gpu") {
+    *out = BackendKind::kMali;
+    return true;
+  }
+  if (name == "a15" || name == "cortex-a15" || name == "cpu") {
+    *out = BackendKind::kA15;
+    return true;
+  }
+  if (name == "hetero") {
+    *out = BackendKind::kHetero;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace malisim::sim

@@ -1,0 +1,127 @@
+// sim::Device — the backend abstraction every execution target implements.
+//
+// Before this interface existed the stack hard-wired its two devices:
+// ocl::Context talked to mali::MaliT604Device directly and the harness
+// instantiated cpu::CortexA15Device on the side. A Device is anything that
+// can execute a KIR kernel over an NDRange and account for it: it exposes
+// capabilities (DeviceCaps), runs kernels through a uniform entry point
+// (RunKernel over an opaque KernelHandle), and accepts the cross-cutting
+// hooks (SimOptions, obs::Recorder, fault::FaultInjector). The concrete
+// models — MaliT604Device, CortexA15Device and the co-execution
+// HeteroDevice — all implement it, so the OCL runtime, the harness and the
+// fault ladder dispatch on BackendKind instead of special-casing the pair.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/sim_options.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "kir/exec_types.h"
+#include "power/profile.h"
+
+namespace malisim::obs {
+class Recorder;
+}  // namespace malisim::obs
+
+namespace malisim::fault {
+class FaultInjector;
+}  // namespace malisim::fault
+
+namespace malisim::kir {
+struct Program;
+}  // namespace malisim::kir
+
+namespace malisim::sim {
+
+/// The one backend-identity enum for the whole stack. ocl::DeviceType is an
+/// alias of this; metric keys, CLI flags and Status annotations all
+/// round-trip through BackendName/ParseBackend.
+enum class BackendKind : std::uint8_t { kMali, kA15, kHetero };
+
+inline constexpr BackendKind kAllBackendKinds[] = {
+    BackendKind::kMali, BackendKind::kA15, BackendKind::kHetero};
+
+/// Canonical backend name: "mali-t604", "cortex-a15", "hetero". These are
+/// the device strings obs::KernelRecord carries and the per-backend metric
+/// prefixes ("kernel_time_sec/<backend>/<kernel>") use.
+std::string_view BackendName(BackendKind kind);
+
+/// Inverse of BackendName. Also accepts the short CLI spellings "mali" and
+/// "a15". False on unknown names.
+bool ParseBackend(std::string_view name, BackendKind* out);
+
+/// clGetDeviceInfo-shaped capability record.
+struct DeviceCaps {
+  std::string name;                       // human-readable model name
+  BackendKind kind = BackendKind::kMali;
+  std::uint32_t compute_units = 0;
+  std::uint64_t max_work_group_size = 0;
+  bool fp64 = true;                       // Full Profile on every backend
+  double clock_hz = 0.0;
+  /// Memory domain: true when the device addresses the same DRAM as the
+  /// host (the Exynos 5250 is fully unified; a discrete backend would
+  /// model explicit transfer domains here).
+  bool unified_memory = true;
+  /// Rough modelled work-group throughput (groups/sec for a nominal
+  /// group), used only to seed HeteroDevice's self-tuning split before the
+  /// first measurement exists. Never feeds a modelled time.
+  double throughput_hint = 0.0;
+};
+
+/// Opaque per-backend kernel handle. `source` is always set; `compiled` is
+/// the backend-specific artifact (the Mali backend expects a
+/// mali::CompiledKernel*; the A15 interprets the source directly and
+/// ignores it). Keeping the compiled form opaque is what lets sim avoid a
+/// dependency on the Mali compiler.
+struct KernelHandle {
+  const kir::Program* source = nullptr;
+  const void* compiled = nullptr;
+};
+
+/// Uniform result of one kernel execution on any backend: modelled time,
+/// the activity profile for per-rail power/energy attribution, functional
+/// counts, and the backend's stat breakdown.
+struct DeviceRunResult {
+  double seconds = 0.0;
+  power::ActivityProfile profile;
+  kir::WorkGroupRun run;
+  StatRegistry stats;
+};
+
+class Device {
+ public:
+  virtual ~Device() = default;
+
+  virtual const DeviceCaps& caps() const = 0;
+
+  /// Executes the kernel over `config`'s active group range
+  /// ([config.group_begin, config.group_end), full NDRange by default) and
+  /// models elapsed time and activity. The per-kernel timing/power
+  /// accounting contract: `profile.seconds == seconds`, and busy fractions
+  /// are power-relevant utilization over that window.
+  virtual StatusOr<DeviceRunResult> RunKernel(const KernelHandle& kernel,
+                                              const kir::LaunchConfig& config,
+                                              kir::Bindings bindings) = 0;
+
+  /// Models a cold start; caches stay warm across RunKernel calls.
+  virtual void FlushCaches() = 0;
+
+  /// Host-side engine options (serial vs record/replay parallel execution).
+  /// Modelled results are bit-identical for any thread count.
+  virtual void set_sim_options(const SimOptions& options) = 0;
+
+  /// Observability hook (nullptr detaches). Strictly read-only with
+  /// respect to the simulation: modelled seconds/power never depend on it.
+  virtual void set_recorder(obs::Recorder* recorder) = 0;
+
+  /// Fault-injection hook (nullptr detaches). Backends without modelled
+  /// fault sites (the A15) keep the default no-op.
+  virtual void set_fault_injector(fault::FaultInjector* injector) {
+    (void)injector;
+  }
+};
+
+}  // namespace malisim::sim

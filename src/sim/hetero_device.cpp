@@ -1,0 +1,172 @@
+#include "sim/hetero_device.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "kir/program.h"
+
+namespace malisim::sim {
+
+HeteroDevice::HeteroDevice(Device* gpu, Device* cpu, HeteroConfig config)
+    : gpu_(gpu), cpu_(cpu), config_(config) {
+  const DeviceCaps& g = gpu_->caps();
+  const DeviceCaps& c = cpu_->caps();
+  caps_.name = "Hetero (" + g.name + " + " + c.name + ")";
+  caps_.kind = BackendKind::kHetero;
+  caps_.compute_units = g.compute_units + c.compute_units;
+  caps_.max_work_group_size =
+      std::min(g.max_work_group_size, c.max_work_group_size);
+  caps_.fp64 = g.fp64 && c.fp64;
+  caps_.clock_hz = std::max(g.clock_hz, c.clock_hz);
+  caps_.unified_memory = g.unified_memory && c.unified_memory;
+  caps_.throughput_hint = g.throughput_hint + c.throughput_hint;
+}
+
+double HeteroDevice::CurrentRatio(const std::string& kernel) const {
+  if (config_.ratio >= 0.0) return std::min(config_.ratio, 1.0);
+  const auto it = tuned_ratio_.find(kernel);
+  if (it != tuned_ratio_.end()) return it->second;
+  const double g = gpu_->caps().throughput_hint;
+  const double c = cpu_->caps().throughput_hint;
+  if (g > 0.0 && c > 0.0) return g / (g + c);
+  return 0.5;
+}
+
+StatusOr<DeviceRunResult> HeteroDevice::RunKernel(
+    const KernelHandle& kernel, const kir::LaunchConfig& config,
+    kir::Bindings bindings) {
+  if (kernel.source == nullptr) {
+    return InvalidArgumentError("hetero: RunKernel needs a source kernel");
+  }
+  const std::string& name = kernel.source->name;
+  const std::uint64_t base = config.group_begin;
+  const std::uint64_t range_end = config.group_range_end();
+  const std::uint64_t active = config.active_groups();
+  const double ratio = CurrentRatio(name);
+  const std::uint64_t split = std::min<std::uint64_t>(
+      active,
+      static_cast<std::uint64_t>(
+          std::llround(ratio * static_cast<double>(active))));
+
+  // Endpoint forwarding: an all-GPU or all-CPU split runs the launch
+  // verbatim on that backend, so ratio 1.0 / 0.0 reproduce the pure
+  // single-backend records bit-for-bit (status text included).
+  if (split == active) {
+    StatusOr<DeviceRunResult> run =
+        gpu_->RunKernel(kernel, config, std::move(bindings));
+    if (!run.ok()) return run.status();
+    run->stats.Set("hetero.ratio", 1.0);
+    run->stats.Set("hetero.gpu_groups", static_cast<double>(active));
+    run->stats.Set("hetero.cpu_groups", 0.0);
+    run->stats.Set("hetero.launches", 1.0);
+    return run;
+  }
+  if (split == 0) {
+    StatusOr<DeviceRunResult> run =
+        cpu_->RunKernel(kernel, config, std::move(bindings));
+    if (!run.ok()) return run.status();
+    run->stats.Set("hetero.ratio", 0.0);
+    run->stats.Set("hetero.gpu_groups", 0.0);
+    run->stats.Set("hetero.cpu_groups", static_cast<double>(active));
+    run->stats.Set("hetero.launches", 1.0);
+    return run;
+  }
+
+  // Split launch: disjoint group sub-ranges over unchanged geometry. The
+  // GPU half always executes first — functional state is shared (unified
+  // memory) and the fixed order keeps replay bit-identical.
+  kir::LaunchConfig gpu_config = config;
+  gpu_config.group_begin = base;
+  gpu_config.group_end = base + split;
+  kir::LaunchConfig cpu_config = config;
+  cpu_config.group_begin = base + split;
+  cpu_config.group_end = range_end;
+
+  StatusOr<DeviceRunResult> gpu_run =
+      gpu_->RunKernel(kernel, gpu_config, bindings);
+  if (!gpu_run.ok()) {
+    return Status(gpu_run.status().code(),
+                  "hetero[" + std::string(BackendName(gpu_->caps().kind)) +
+                      "]: " + std::string(gpu_run.status().message()));
+  }
+  StatusOr<DeviceRunResult> cpu_run =
+      cpu_->RunKernel(kernel, cpu_config, std::move(bindings));
+  if (!cpu_run.ok()) {
+    return Status(cpu_run.status().code(),
+                  "hetero[" + std::string(BackendName(cpu_->caps().kind)) +
+                      "]: " + std::string(cpu_run.status().message()));
+  }
+
+  // Concurrent-in-modelled-time merge: the launch retires when the slower
+  // side does; busy fractions rescale into the merged window so
+  // busy-seconds (and therefore per-rail energy) are conserved.
+  DeviceRunResult merged;
+  merged.seconds = std::max(gpu_run->seconds, cpu_run->seconds);
+  const double g_sec = gpu_run->profile.seconds;
+  const double c_sec = cpu_run->profile.seconds;
+  merged.profile.seconds = merged.seconds;
+  const double window = merged.seconds > 0.0 ? merged.seconds : 1.0;
+  for (int i = 0; i < power::kNumA15Cores; ++i) {
+    merged.profile.cpu_busy[i] =
+        std::clamp((gpu_run->profile.cpu_busy[i] * g_sec +
+                    cpu_run->profile.cpu_busy[i] * c_sec) /
+                       window,
+                   0.0, 1.0);
+  }
+  for (int i = 0; i < power::kNumMaliCores; ++i) {
+    merged.profile.gpu_core_busy[i] =
+        std::clamp((gpu_run->profile.gpu_core_busy[i] * g_sec +
+                    cpu_run->profile.gpu_core_busy[i] * c_sec) /
+                       window,
+                   0.0, 1.0);
+  }
+  merged.profile.gpu_on = gpu_run->profile.gpu_on || cpu_run->profile.gpu_on;
+  merged.profile.dram_bytes =
+      gpu_run->profile.dram_bytes + cpu_run->profile.dram_bytes;
+
+  merged.run.MergeFrom(gpu_run->run);
+  merged.run.MergeFrom(cpu_run->run);
+  merged.stats.MergeFrom(gpu_run->stats);
+  merged.stats.MergeFrom(cpu_run->stats);
+  merged.stats.Set("hetero.ratio", ratio);
+  merged.stats.Set("hetero.gpu_groups", static_cast<double>(split));
+  merged.stats.Set("hetero.cpu_groups", static_cast<double>(active - split));
+  merged.stats.Set("hetero.gpu_sec", gpu_run->seconds);
+  merged.stats.Set("hetero.cpu_sec", cpu_run->seconds);
+  merged.stats.Set("hetero.launches", 1.0);
+
+  // Self-tuning: measured per-group rates decide the next launch's split.
+  if (config_.ratio < 0.0 && gpu_run->seconds > 0.0 &&
+      cpu_run->seconds > 0.0) {
+    const double gpu_rate = static_cast<double>(split) / gpu_run->seconds;
+    const double cpu_rate =
+        static_cast<double>(active - split) / cpu_run->seconds;
+    if (gpu_rate + cpu_rate > 0.0) {
+      tuned_ratio_[name] = gpu_rate / (gpu_rate + cpu_rate);
+    }
+  }
+  return merged;
+}
+
+void HeteroDevice::FlushCaches() {
+  gpu_->FlushCaches();
+  cpu_->FlushCaches();
+}
+
+void HeteroDevice::set_sim_options(const SimOptions& options) {
+  gpu_->set_sim_options(options);
+  cpu_->set_sim_options(options);
+}
+
+void HeteroDevice::set_recorder(obs::Recorder* recorder) {
+  gpu_->set_recorder(recorder);
+  cpu_->set_recorder(recorder);
+}
+
+void HeteroDevice::set_fault_injector(fault::FaultInjector* injector) {
+  gpu_->set_fault_injector(injector);
+  cpu_->set_fault_injector(injector);
+}
+
+}  // namespace malisim::sim

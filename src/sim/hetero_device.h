@@ -1,0 +1,75 @@
+// HeteroDevice: CPU+GPU co-execution backend. Splits one NDRange across two
+// sim::Device backends by a tunable work-group ratio and merges their
+// timing/power/energy accounting per rail — the Racing-to-Idle-style
+// configuration where both the Mali and the A15 chew on the same kernel.
+//
+// Split model: the row-major linearized group range [0, G) is cut at
+// round(ratio * G); the GPU backend executes [0, split) and the CPU backend
+// [split, G) via kir::LaunchConfig's group sub-range, so the kernel-visible
+// geometry (GlobalSize, GlobalId) is untouched and kernels that derive
+// per-item work from the global size stay functionally identical. Both
+// backends share the host buffer storage (unified memory), and the
+// functional halves run sequentially in a fixed order, so results are
+// deterministic and bit-identical under replay.
+//
+// Time model: the devices run concurrently in modelled time, so the merged
+// launch takes max(gpu_sec, cpu_sec). The merged activity profile rescales
+// each side's busy fractions into the merged window
+// (busy' = busy * side_sec / merged_sec), which conserves busy-seconds —
+// and therefore per-rail energy — exactly (up to the [0,1] clamp); the
+// ratio-sweep test asserts the conservation within Kahan tolerance.
+//
+// Ratio semantics: ratio is the GPU share of work-groups. 1.0 forwards the
+// launch verbatim to the GPU backend and 0.0 to the CPU backend, so those
+// endpoints reproduce the single-backend numbers bit-for-bit. A negative
+// ratio (the default) enables self-tuning: the first launch of each kernel
+// splits by the backends' modelled throughput hints, and every split launch
+// updates a per-kernel ratio from the measured per-group rates
+// r = gpu_rate / (gpu_rate + cpu_rate). Deterministic: same launches, same
+// ratios.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "sim/device.h"
+
+namespace malisim::sim {
+
+struct HeteroConfig {
+  /// GPU share of work-groups in [0,1]; negative = self-tuning.
+  double ratio = -1.0;
+};
+
+class HeteroDevice final : public Device {
+ public:
+  /// Neither pointer is owned; both must outlive the HeteroDevice.
+  HeteroDevice(Device* gpu, Device* cpu, HeteroConfig config = {});
+
+  const DeviceCaps& caps() const override { return caps_; }
+  StatusOr<DeviceRunResult> RunKernel(const KernelHandle& kernel,
+                                      const kir::LaunchConfig& config,
+                                      kir::Bindings bindings) override;
+  void FlushCaches() override;
+  void set_sim_options(const SimOptions& options) override;
+  void set_recorder(obs::Recorder* recorder) override;
+  void set_fault_injector(fault::FaultInjector* injector) override;
+
+  /// Static GPU share in [0,1]; negative re-enables self-tuning.
+  void set_ratio(double ratio) { config_.ratio = ratio; }
+  double ratio() const { return config_.ratio; }
+
+  /// The split the next launch of `kernel` would use (static ratio, tuned
+  /// ratio, or the throughput-hint seed).
+  double CurrentRatio(const std::string& kernel) const;
+
+ private:
+  Device* gpu_;
+  Device* cpu_;
+  HeteroConfig config_;
+  DeviceCaps caps_;
+  /// Self-tuned GPU share per kernel name, updated after every split run.
+  std::map<std::string, double> tuned_ratio_;
+};
+
+}  // namespace malisim::sim

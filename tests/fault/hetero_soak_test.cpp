@@ -1,0 +1,98 @@
+// Fault soak for the heterogeneous co-execution backend: randomized fault
+// schedules over device=kHetero sweeps must survive validated, and identical
+// (sim seed, fault seed) pairs must replay bit-identically across host
+// thread counts — the full-precision CSV is the strictest witness.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "harness/figures.h"
+#include "hpc/benchmark.h"
+
+namespace malisim::harness {
+namespace {
+
+ExperimentConfig HeteroSoakConfig(bool fp64, int sim_threads) {
+  ExperimentConfig config;
+  config.device = sim::BackendKind::kHetero;
+  config.fp64 = fp64;
+  config.repetitions = 5;
+  config.sim_threads = sim_threads;
+  config.sizes.spmv_rows = 512;
+  config.sizes.vecop_n = 1 << 13;
+  config.sizes.hist_n = 1 << 13;
+  config.sizes.stencil_dim = 16;
+  config.sizes.red_n = 1 << 13;
+  config.sizes.amcd_chains = 32;
+  config.sizes.amcd_atoms = 12;
+  config.sizes.amcd_steps = 8;
+  config.sizes.nbody_n = 128;
+  config.sizes.conv_dim = 64;
+  config.sizes.dmmm_n = 32;
+  return config;
+}
+
+TEST(HeteroSoakTest, SurvivesRandomScheduleValidated) {
+  for (std::uint64_t fault_seed : {401u, 502u}) {
+    ExperimentConfig config = HeteroSoakConfig(false, /*sim_threads=*/4);
+    config.fault.seed = fault_seed;
+    config.fault.rate = 0.02;
+    auto results = ExperimentRunner(config).RunAll();
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    for (const BenchmarkResults& r : *results) {
+      for (hpc::Variant v : hpc::kAllVariantsWithHetero) {
+        SCOPED_TRACE("seed " + std::to_string(fault_seed) + " " + r.name +
+                     "/" + std::string(hpc::VariantName(v)));
+        const VariantResult& vr = r.Get(v);
+        EXPECT_TRUE(vr.available) << vr.unavailable_reason;
+        if (vr.available) {
+          EXPECT_TRUE(vr.validated)
+              << "max rel err " << vr.max_rel_error << " note: " << vr.note;
+        }
+      }
+    }
+  }
+}
+
+TEST(HeteroSoakTest, FaultedReplayIsBitIdentical) {
+  ExperimentConfig config = HeteroSoakConfig(false, /*sim_threads=*/1);
+  config.fault.seed = 7;
+  config.fault.rate = 0.05;
+  auto first = ExperimentRunner(config).RunAll();
+  auto second = ExperimentRunner(config).RunAll();
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_EQ(RenderFullPrecisionCsv(*first, false),
+            RenderFullPrecisionCsv(*second, false));
+}
+
+TEST(HeteroSoakTest, FaultedReplayIndependentOfHostThreads) {
+  ExperimentConfig serial = HeteroSoakConfig(false, /*sim_threads=*/1);
+  serial.fault.seed = 7;
+  serial.fault.rate = 0.05;
+  ExperimentConfig parallel = serial;
+  parallel.sim_threads = 4;
+  auto rs = ExperimentRunner(serial).RunAll();
+  auto rp = ExperimentRunner(parallel).RunAll();
+  ASSERT_TRUE(rs.ok() && rp.ok());
+  EXPECT_EQ(RenderFullPrecisionCsv(*rs, false),
+            RenderFullPrecisionCsv(*rp, false));
+}
+
+TEST(HeteroSoakTest, WatchdogDegradesTheHeteroColumn) {
+  // The co-execution rung sits on top of the degradation ladder: a
+  // watchdog that times out every GPU-side launch must walk the kHetero
+  // column down the ladder to a CPU rung, still validated.
+  ExperimentConfig config = HeteroSoakConfig(false, /*sim_threads=*/1);
+  config.fault.watchdog_sec = 1e-12;  // every GPU-side launch exceeds this
+  auto result = ExperimentRunner(config).RunBenchmark("vecop");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const VariantResult& vr = result->Get(hpc::Variant::kHetero);
+  ASSERT_TRUE(vr.available) << vr.unavailable_reason;
+  EXPECT_FALSE(vr.degraded_to.empty());
+  EXPECT_TRUE(vr.validated);
+}
+
+}  // namespace
+}  // namespace malisim::harness

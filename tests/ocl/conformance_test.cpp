@@ -106,8 +106,8 @@ TEST_P(ConformanceTest, CpuAndGpuBitIdentical) {
   const bool vector_kernel = GetParam() == 1;
   const std::uint64_t items = 64;
   const std::uint64_t elems = vector_kernel ? items * 4 : items;
-  const std::vector<float> gpu = RunOn(DeviceType::kGpu, program, elems, items);
-  const std::vector<float> cpu = RunOn(DeviceType::kCpu, program, elems, items);
+  const std::vector<float> gpu = RunOn(DeviceType::kMali, program, elems, items);
+  const std::vector<float> cpu = RunOn(DeviceType::kA15, program, elems, items);
   EXPECT_EQ(gpu, cpu);
 }
 

@@ -46,18 +46,18 @@ std::shared_ptr<Buffer> FilledBuffer(Context& ctx, std::uint64_t n, float v) {
 
 TEST(CpuDeviceContextTest, DeviceInfo) {
   Context gpu;
-  EXPECT_EQ(gpu.device_type(), DeviceType::kGpu);
+  EXPECT_EQ(gpu.device_type(), DeviceType::kMali);
   EXPECT_EQ(gpu.device_info().compute_units, 4u);
   EXPECT_TRUE(gpu.device_info().fp64);
 
-  Context cpu(DeviceType::kCpu);
-  EXPECT_EQ(cpu.device_type(), DeviceType::kCpu);
+  Context cpu(DeviceType::kA15);
+  EXPECT_EQ(cpu.device_type(), DeviceType::kA15);
   EXPECT_EQ(cpu.device_info().compute_units, 2u);
   EXPECT_EQ(cpu.device_info().name, Context::kCpuDeviceName);
 }
 
 TEST(CpuDeviceContextTest, KernelRunsCorrectlyOnCpu) {
-  Context ctx(DeviceType::kCpu);
+  Context ctx(DeviceType::kA15);
   const std::uint64_t n = 1024;
   auto buf = FilledBuffer(ctx, n, 3.0f);
   std::vector<kir::Program> kernels;
@@ -84,7 +84,7 @@ TEST(CpuDeviceContextTest, KernelRunsCorrectlyOnCpu) {
 TEST(CpuDeviceContextTest, Fp64ErratumShapeBuildsOnCpu) {
   // The paper's amcd-DP failure is a Mali driver erratum; the same kernel
   // compiles and runs fine on the CPU device.
-  Context cpu(DeviceType::kCpu);
+  Context cpu(DeviceType::kA15);
   std::vector<kir::Program> kernels;
   kernels.push_back(ErratumShape());
   auto prog = cpu.CreateProgram(std::move(kernels));
@@ -109,7 +109,7 @@ TEST(CpuDeviceContextTest, RegisterHungryKernelRunsOnCpu) {
   for (int i = 1; i < 16; ++i) sum = sum + live[static_cast<std::size_t>(i)];
   kb.Store(out, zero, sum);
 
-  Context ctx(DeviceType::kCpu);
+  Context ctx(DeviceType::kA15);
   auto in_buf = *ctx.CreateBuffer(kMemReadWrite | kMemAllocHostPtr, 1024 * 8);
   auto out_buf = *ctx.CreateBuffer(kMemReadWrite | kMemAllocHostPtr, 64 * 8);
   std::vector<kir::Program> kernels;
@@ -156,7 +156,7 @@ TEST(CpuDeviceContextTest, GpuBeatsCpuOnParallelComputeKernel) {
   };
 
   Context gpu;
-  Context cpu(DeviceType::kCpu);
+  Context cpu(DeviceType::kA15);
   EXPECT_LT(time_on(gpu), time_on(cpu));
 }
 

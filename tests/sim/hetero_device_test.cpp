@@ -1,0 +1,224 @@
+// Tests for the heterogeneous CPU+GPU co-execution backend: ratio-sweep
+// endpoints reproduce the single-backend results bit-for-bit, split runs
+// execute every work-group exactly once with busy-second (energy)
+// conservation, and self-tuning is deterministic.
+#include "sim/hetero_device.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cpu/a15_device.h"
+#include "kir/builder.h"
+#include "mali/compiler.h"
+#include "mali/t604_device.h"
+
+namespace malisim::sim {
+namespace {
+
+using kir::ArgKind;
+using kir::KernelBuilder;
+using kir::ScalarType;
+using kir::Val;
+
+constexpr std::size_t kN = 4096;
+
+kir::Program ScaleKernel() {
+  KernelBuilder kb("scale");
+  auto in = kb.ArgBuffer("in", ScalarType::kF32, ArgKind::kBufferRO);
+  auto out = kb.ArgBuffer("out", ScalarType::kF32, ArgKind::kBufferWO);
+  Val gid = kb.GlobalId(0);
+  kb.Store(out, gid, kb.Load(in, gid) * 3.0);
+  return *kb.Build();
+}
+
+kir::Bindings Bind(std::vector<float>& in, std::vector<float>& out) {
+  kir::Bindings b;
+  b.buffers = {
+      {reinterpret_cast<std::byte*>(in.data()), 0x100000, in.size() * 4},
+      {reinterpret_cast<std::byte*>(out.data()), 0x200000, out.size() * 4}};
+  return b;
+}
+
+kir::LaunchConfig Launch() {
+  kir::LaunchConfig config;
+  config.global_size = {kN, 1, 1};
+  config.local_size = {64, 1, 1};
+  return config;
+}
+
+struct Fixture {
+  kir::Program program = ScaleKernel();
+  mali::CompiledKernel compiled;
+  mali::MaliT604Device gpu;
+  cpu::CortexA15Device cpu;
+
+  Fixture() {
+    auto c = mali::CompileForMali(program, mali::MaliTimingParams(),
+                                  mali::MaliCompilerParams());
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    compiled = *c;
+  }
+  KernelHandle handle() const { return {&program, &compiled}; }
+};
+
+TEST(HeteroDeviceTest, CapsMergeChildren) {
+  Fixture f;
+  HeteroDevice hetero(&f.gpu, &f.cpu);
+  EXPECT_EQ(hetero.caps().kind, BackendKind::kHetero);
+  EXPECT_EQ(hetero.caps().compute_units,
+            f.gpu.caps().compute_units + f.cpu.caps().compute_units);
+  EXPECT_EQ(hetero.caps().throughput_hint,
+            f.gpu.caps().throughput_hint + f.cpu.caps().throughput_hint);
+}
+
+TEST(HeteroDeviceTest, RatioOneMatchesPureMaliBitForBit) {
+  Fixture hetero_f;
+  HeteroDevice hetero(&hetero_f.gpu, &hetero_f.cpu, HeteroConfig{1.0});
+  std::vector<float> in(kN, 2.0f), out(kN, 0.0f);
+  auto split = hetero.RunKernel(hetero_f.handle(), Launch(), Bind(in, out));
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+
+  Fixture mali_f;
+  std::vector<float> in2(kN, 2.0f), out2(kN, 0.0f);
+  auto pure = mali_f.gpu.RunKernel(mali_f.handle(), Launch(), Bind(in2, out2));
+  ASSERT_TRUE(pure.ok()) << pure.status().ToString();
+
+  EXPECT_EQ(split->seconds, pure->seconds);  // bit-identical forwarding
+  EXPECT_EQ(split->profile.gpu_on, pure->profile.gpu_on);
+  for (int i = 0; i < power::kNumMaliCores; ++i) {
+    EXPECT_EQ(split->profile.gpu_core_busy[i], pure->profile.gpu_core_busy[i]);
+  }
+  EXPECT_EQ(split->profile.dram_bytes, pure->profile.dram_bytes);
+  EXPECT_EQ(split->stats.Get("hetero.ratio"), 1.0);
+  EXPECT_EQ(out, out2);
+}
+
+TEST(HeteroDeviceTest, RatioZeroMatchesPureA15BitForBit) {
+  Fixture hetero_f;
+  HeteroDevice hetero(&hetero_f.gpu, &hetero_f.cpu, HeteroConfig{0.0});
+  std::vector<float> in(kN, 2.0f), out(kN, 0.0f);
+  auto split = hetero.RunKernel(hetero_f.handle(), Launch(), Bind(in, out));
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+
+  Fixture cpu_f;
+  std::vector<float> in2(kN, 2.0f), out2(kN, 0.0f);
+  auto pure = cpu_f.cpu.RunKernel(cpu_f.handle(), Launch(), Bind(in2, out2));
+  ASSERT_TRUE(pure.ok()) << pure.status().ToString();
+
+  EXPECT_EQ(split->seconds, pure->seconds);
+  EXPECT_FALSE(split->profile.gpu_on);
+  for (int i = 0; i < power::kNumA15Cores; ++i) {
+    EXPECT_EQ(split->profile.cpu_busy[i], pure->profile.cpu_busy[i]);
+  }
+  EXPECT_EQ(split->stats.Get("hetero.ratio"), 0.0);
+  EXPECT_EQ(out, out2);
+}
+
+TEST(HeteroDeviceTest, HalfSplitRunsBothBackendsAndConservesEnergy) {
+  Fixture f;
+  HeteroDevice hetero(&f.gpu, &f.cpu, HeteroConfig{0.5});
+  std::vector<float> in(kN, 2.0f), out(kN, 0.0f);
+  auto merged = hetero.RunKernel(f.handle(), Launch(), Bind(in, out));
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  // Functional: every work-item executed exactly once across the split.
+  for (float v : out) ASSERT_FLOAT_EQ(v, 6.0f);
+  EXPECT_EQ(merged->stats.Get("hetero.gpu_groups"), 32.0);
+  EXPECT_EQ(merged->stats.Get("hetero.cpu_groups"), 32.0);
+
+  // Reference halves on fresh devices (same cold-cache state as the
+  // hetero children had).
+  Fixture ref;
+  std::vector<float> in_g(kN, 2.0f), out_g(kN, 0.0f);
+  kir::LaunchConfig gpu_cfg = Launch();
+  gpu_cfg.group_begin = 0;
+  gpu_cfg.group_end = 32;
+  auto gpu_half = ref.gpu.RunKernel(ref.handle(), gpu_cfg, Bind(in_g, out_g));
+  ASSERT_TRUE(gpu_half.ok());
+  std::vector<float> in_c(kN, 2.0f), out_c(kN, 0.0f);
+  kir::LaunchConfig cpu_cfg = Launch();
+  cpu_cfg.group_begin = 32;
+  cpu_cfg.group_end = 64;
+  auto cpu_half = ref.cpu.RunKernel(ref.handle(), cpu_cfg, Bind(in_c, out_c));
+  ASSERT_TRUE(cpu_half.ok());
+
+  // Concurrent-in-modelled-time merge: slower side sets the window.
+  EXPECT_EQ(merged->seconds,
+            std::max(gpu_half->seconds, cpu_half->seconds));
+
+  // Energy conservation: per-core busy-seconds (what drives rail energy in
+  // the linear power model) and DRAM traffic are preserved by the merge,
+  // within Kahan-style tolerance of the rescale arithmetic.
+  const double tol = 1e-12;
+  for (int i = 0; i < power::kNumA15Cores; ++i) {
+    const double want = gpu_half->profile.cpu_busy[i] *
+                            gpu_half->profile.seconds +
+                        cpu_half->profile.cpu_busy[i] *
+                            cpu_half->profile.seconds;
+    const double got = merged->profile.cpu_busy[i] * merged->profile.seconds;
+    EXPECT_NEAR(got, want, tol * std::max(1.0, std::abs(want))) << "cpu " << i;
+  }
+  for (int i = 0; i < power::kNumMaliCores; ++i) {
+    const double want = gpu_half->profile.gpu_core_busy[i] *
+                            gpu_half->profile.seconds +
+                        cpu_half->profile.gpu_core_busy[i] *
+                            cpu_half->profile.seconds;
+    const double got =
+        merged->profile.gpu_core_busy[i] * merged->profile.seconds;
+    EXPECT_NEAR(got, want, tol * std::max(1.0, std::abs(want))) << "gpu " << i;
+  }
+  EXPECT_EQ(merged->profile.dram_bytes,
+            gpu_half->profile.dram_bytes + cpu_half->profile.dram_bytes);
+}
+
+TEST(HeteroDeviceTest, RatioSweepIsMonotoneInGroupCounts) {
+  for (double ratio : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    Fixture f;
+    HeteroDevice hetero(&f.gpu, &f.cpu, HeteroConfig{ratio});
+    std::vector<float> in(kN, 2.0f), out(kN, 0.0f);
+    auto run = hetero.RunKernel(f.handle(), Launch(), Bind(in, out));
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    for (float v : out) ASSERT_FLOAT_EQ(v, 6.0f);
+    EXPECT_EQ(run->stats.Get("hetero.gpu_groups") +
+                  run->stats.Get("hetero.cpu_groups"),
+              64.0);
+    EXPECT_EQ(run->stats.Get("hetero.gpu_groups"),
+              std::llround(ratio * 64.0));
+  }
+}
+
+TEST(HeteroDeviceTest, SelfTuningIsDeterministicAndConverges) {
+  const auto run_twice = [](HeteroDevice& hetero, const Fixture& f) {
+    std::vector<double> ratios;
+    for (int i = 0; i < 4; ++i) {
+      ratios.push_back(hetero.CurrentRatio("scale"));
+      std::vector<float> in(kN, 2.0f), out(kN, 0.0f);
+      auto run = hetero.RunKernel(f.handle(), Launch(), Bind(in, out));
+      EXPECT_TRUE(run.ok()) << run.status().ToString();
+    }
+    return ratios;
+  };
+  Fixture a;
+  HeteroDevice ha(&a.gpu, &a.cpu);  // default: self-tuning
+  const std::vector<double> first = run_twice(ha, a);
+  Fixture b;
+  HeteroDevice hb(&b.gpu, &b.cpu);
+  const std::vector<double> second = run_twice(hb, b);
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i], second[i]) << "launch " << i;  // bit-identical
+  }
+  // Seeded from throughput hints, then tuned from measured rates.
+  const double g = a.gpu.caps().throughput_hint;
+  const double c = a.cpu.caps().throughput_hint;
+  EXPECT_EQ(first[0], g / (g + c));
+  for (double r : first) {
+    EXPECT_GT(r, 0.0);
+    EXPECT_LT(r, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace malisim::sim
