@@ -12,6 +12,7 @@
 #include "harness/figures.h"
 #include "obs/recorder.h"
 #include "sim/device.h"
+#include "sim/tuner.h"
 
 namespace malisim::bench {
 
@@ -40,6 +41,15 @@ struct BenchOptions {
   /// Fault injection and resilience (DESIGN.md §8). Defaults (all off)
   /// reproduce the golden figures byte-for-byte.
   FaultOptions fault;
+  /// Autotuning (--tune[=time|energy|edp]): run sim::Tuner over every
+  /// benchmark's §III space before each sweep and drive the OpenCL-opt
+  /// column with the winners (DESIGN.md §12). Off by default — golden
+  /// figures never see the tuner. Default objective: energy.
+  bool tune = false;
+  sim::Objective tune_objective = sim::Objective::kEnergy;
+  /// Persistent winner cache for --tune (--tune-cache=PATH): loaded before
+  /// tuning, saved after. Empty = tune from scratch each run.
+  std::string tune_cache;
 };
 
 /// Parses --fp32 / --fp64 (run only that precision), --csv, --seed=N,
@@ -51,7 +61,10 @@ struct BenchOptions {
 /// hetero backend), and the fault-injection knobs: --fault-seed=N, --fault-rate=P
 /// (uniform per-site trip probability), --fault-spec=site=rate[,...]
 /// (per-site overrides; "all" = every site), --watchdog=SEC (per-kernel
-/// modelled-time budget).
+/// modelled-time budget), --tune[=time|energy|edp] (autotune the §III
+/// space and drive the OpenCL-opt column with the winners; exits with
+/// status 2 on an unknown objective) and --tune-cache=PATH (persistent
+/// tuning-winner cache).
 BenchOptions ParseOptions(int argc, char** argv);
 
 /// One completed precision sweep plus the recorder that observed it (the

@@ -166,10 +166,21 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
                   std::string(hpc::VariantName(v)).c_str(),
                   config_.fp64 ? "fp64" : "fp32");
     const std::string cell = name + "/" + std::string(hpc::VariantName(v));
+    // Autotuned routing: a tuned config for this benchmark replaces the
+    // fixed paper kernel on the OpenCL-opt column only.
+    const auto tuned_it = config_.tuned_configs.find(name);
+    const sim::TuningConfig* tuned =
+        tuned_it != config_.tuned_configs.end() ? &tuned_it->second : nullptr;
     auto run_variant = [&](hpc::Variant variant) {
       fault::RetryStats rs;
       StatusOr<hpc::RunOutcome> result = fault::RetryWithBackoff(
-          plan.retry, [&] { return bench->RunVariant(variant, devices); },
+          plan.retry,
+          [&] {
+            if (tuned != nullptr && variant == hpc::Variant::kOpenCLOpt) {
+              return bench->RunTuned(*tuned, devices);
+            }
+            return bench->RunVariant(variant, devices);
+          },
           &rs);
       if (rs.retries > 0) {
         injector.RecordAction("retry", cell, "retried",

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -67,6 +68,13 @@ struct ExperimentConfig {
   /// rates and spec leave every result bit-identical to a build without
   /// the fault subsystem.
   FaultOptions fault;
+  /// Autotuned §III configurations, keyed by benchmark name (the --tune
+  /// flag on the figure binaries fills this from harness::TuneBenchmark).
+  /// When a benchmark has an entry, its OpenCL-opt column runs
+  /// RunTuned(config) instead of the fixed paper kernel; benchmarks
+  /// without an entry are untouched, so golden figures stay byte-identical
+  /// when the map is empty.
+  std::map<std::string, sim::TuningConfig> tuned_configs;
 };
 
 struct VariantResult {

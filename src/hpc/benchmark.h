@@ -17,6 +17,7 @@
 #include "hpc/problem_sizes.h"
 #include "ocl/runtime.h"
 #include "power/profile.h"
+#include "sim/tuner.h"
 
 namespace malisim::hpc {
 
@@ -103,6 +104,32 @@ class Benchmark {
   /// while that context is absent). The four paper versions pass through to
   /// Run() unchanged.
   StatusOr<RunOutcome> RunVariant(Variant variant, Devices& devices);
+
+  // ---- §III tuning surface (sim::Tuner clients) ----
+
+  /// Declarative search space of the optimized OpenCL version's knobs
+  /// (work-group size, vector width, unroll factor, buffer strategy,
+  /// kernel flavor). Empty space (the default) = not tunable.
+  virtual sim::TuningSpace TunableSpace() const { return {}; }
+
+  /// The paper's hand-picked §III operating point inside TunableSpace().
+  /// The tuner conformance battery checks the searched winner matches or
+  /// beats this configuration under both time and energy objectives.
+  virtual sim::TuningConfig PaperOptConfig() const { return {}; }
+
+  /// Runs the optimized OpenCL version parameterized by `config` against
+  /// devices.gpu. Requires Setup. Unimplemented for non-tunable
+  /// benchmarks. The fixed Run(kOpenCLOpt) path stays untouched so golden
+  /// figures are byte-identical; RunTuned(PaperOptConfig()) expresses the
+  /// same optimization decisions through the parameterized kernels.
+  virtual StatusOr<RunOutcome> RunTuned(const sim::TuningConfig& config,
+                                        Devices& devices);
+
+  /// Canonical KIR text of the kernel(s) RunTuned would launch at
+  /// `config` — the content the tuning cache fingerprints. Requires Setup
+  /// (kernels depend on precision and problem size).
+  virtual StatusOr<std::string> TunedKernelText(
+      const sim::TuningConfig& config) const;
 
  protected:
   bool fp64_ = false;

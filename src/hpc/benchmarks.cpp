@@ -25,6 +25,21 @@ std::span<const Variant> FallbackVariants(Variant v) {
   return fault::RungsBelow(std::span<const Variant>(kDegradationLadder), v);
 }
 
+StatusOr<RunOutcome> Benchmark::RunTuned(const sim::TuningConfig& config,
+                                         Devices& devices) {
+  (void)config;
+  (void)devices;
+  return UnimplementedError("benchmark '" + name() +
+                            "' declares no tuning surface");
+}
+
+StatusOr<std::string> Benchmark::TunedKernelText(
+    const sim::TuningConfig& config) const {
+  (void)config;
+  return UnimplementedError("benchmark '" + name() +
+                            "' declares no tuning surface");
+}
+
 StatusOr<RunOutcome> Benchmark::RunVariant(Variant variant, Devices& devices) {
   if (variant != Variant::kHetero) return Run(variant, devices);
   if (devices.hetero == nullptr) {

@@ -92,6 +92,89 @@ class Conv2DBenchmark final : public Benchmark {
     return InvalidArgumentError("bad variant");
   }
 
+  // §III knobs: kernel flavor (row-dot vs register-blocked quad-output)
+  // and the 2D work-group shape. In FP64 the quad flavor exceeds the
+  // register budget and those candidates are skipped, steering the search
+  // to row-dot — the tuner-level analogue of the Fig. 2(b) fallback.
+  sim::TuningSpace TunableSpace() const override {
+    sim::TuningSpace space;
+    space.axes = {{"quad", {0, 1}}, {"wgx", {8, 16, 32}}, {"wgy", {2, 8, 16}}};
+    space.valid = [](const sim::TuningConfig& c) {
+      return c.Get("wgx", 1) * c.Get("wgy", 1) <=
+             static_cast<std::int64_t>(ocl::Context::kMaxWorkGroupSize);
+    };
+    return space;
+  }
+
+  sim::TuningConfig PaperOptConfig() const override {
+    sim::TuningConfig config;
+    config.Set("quad", 1);
+    config.Set("wgx", 16);
+    config.Set("wgy", 16);
+    return config;
+  }
+
+  StatusOr<RunOutcome> RunTuned(const sim::TuningConfig& config,
+                                Devices& devices) override {
+    MALI_CHECK(devices.gpu != nullptr);
+    const bool quad = config.Get("quad", 1) != 0;
+    const std::uint64_t wgx = static_cast<std::uint64_t>(config.Get("wgx", 16));
+    const std::uint64_t wgy = static_cast<std::uint64_t>(config.Get("wgy", 16));
+
+    StatusOr<kir::Program> program = BuildGpuKernel(
+        "2dcon_cl_tuned", quad ? Flavor::kQuadOut : Flavor::kRowDot, true);
+    if (!program.ok()) return program.status();
+    ocl::Context& ctx = *devices.gpu;
+    auto in = detail::MakeGpuBuffer(ctx, in_.data(), in_.bytes());
+    if (!in.ok()) return in.status();
+    auto filt = detail::MakeGpuBuffer(ctx, filt_.data(), filt_.bytes());
+    if (!filt.ok()) return filt.status();
+    auto out = detail::MakeGpuBuffer(ctx, nullptr, in_.bytes());
+    if (!out.ok()) return out.status();
+
+    const std::string kernel_name = program->name;
+    std::vector<kir::Program> kernels;
+    kernels.push_back(*std::move(program));
+    std::shared_ptr<ocl::Program> prog = ctx.CreateProgram(std::move(kernels));
+    MALI_RETURN_IF_ERROR(prog->Build());
+    auto kernel = ctx.CreateKernel(prog, kernel_name);
+    if (!kernel.ok()) return kernel.status();
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(0, *in));
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(1, *filt));
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(2, *out));
+    MALI_RETURN_IF_ERROR(
+        (*kernel)->SetArgI32(3, static_cast<std::int32_t>(dim_)));
+
+    devices.gpu->device().FlushCaches();
+    detail::GpuLaunch launch;
+    launch.kernel = kernel->get();
+    launch.work_dim = 2;
+    const std::uint64_t grid = quad ? dim_ / 4 : dim_;
+    launch.global[0] = grid;
+    launch.global[1] = grid;
+    const std::uint64_t tuned_local[3] = {detail::TunedLocalSize(grid, wgx),
+                                          detail::TunedLocalSize(grid, wgy), 1};
+    launch.local = tuned_local;
+    StatusOr<RunOutcome> outcome = detail::RunGpuLaunches(devices, {&launch, 1});
+    if (!outcome.ok()) return outcome;
+
+    const std::size_t total = static_cast<std::size_t>(dim_) * dim_;
+    FpBuffer result(fp64_, total);
+    MALI_RETURN_IF_ERROR(
+        detail::ReadGpuBuffer(ctx, **out, result.data(), result.bytes()));
+    detail::FinishValidation(&*outcome, detail::MaxRelError(result, ref_), tol());
+    return outcome;
+  }
+
+  StatusOr<std::string> TunedKernelText(
+      const sim::TuningConfig& config) const override {
+    StatusOr<kir::Program> program = BuildGpuKernel(
+        "2dcon_cl_tuned",
+        config.Get("quad", 1) != 0 ? Flavor::kQuadOut : Flavor::kRowDot, true);
+    if (!program.ok()) return program.status();
+    return kir::ToText(*program);
+  }
+
  private:
   kir::ScalarType ft() const {
     return fp64_ ? kir::ScalarType::kF64 : kir::ScalarType::kF32;

@@ -134,6 +134,41 @@ Status ReadGpuBuffer(ocl::Context& context, ocl::Buffer& buffer, void* dst,
   return context.queue().UnmapBuffer(buffer, *mapped);
 }
 
+StatusOr<std::shared_ptr<ocl::Buffer>> TunedBufferSet::Make(
+    const void* src, std::uint64_t bytes) {
+  if (!copy_path_) return MakeGpuBuffer(context_, src, bytes);
+  StatusOr<std::shared_ptr<ocl::Buffer>> buffer =
+      context_.CreateBuffer(ocl::kMemReadWrite, bytes);
+  if (!buffer.ok()) return buffer.status();
+  if (src != nullptr) {
+    StatusOr<ocl::Event> event =
+        context_.queue().EnqueueWriteBuffer(**buffer, src, bytes);
+    if (!event.ok()) return event.status();
+    seconds_ += event->seconds;
+    profiles_.push_back(event->profile);
+  }
+  return *std::move(buffer);
+}
+
+Status TunedBufferSet::Read(ocl::Buffer& buffer, void* dst,
+                            std::uint64_t bytes) {
+  if (!copy_path_) return ReadGpuBuffer(context_, buffer, dst, bytes);
+  StatusOr<ocl::Event> event =
+      context_.queue().EnqueueReadBuffer(buffer, dst, bytes);
+  if (!event.ok()) return event.status();
+  seconds_ += event->seconds;
+  profiles_.push_back(event->profile);
+  return Status::Ok();
+}
+
+void TunedBufferSet::ChargeTransfers(RunOutcome* outcome) const {
+  if (!copy_path_ || profiles_.empty()) return;
+  std::vector<power::ActivityProfile> merged = profiles_;
+  merged.push_back(outcome->profile);
+  outcome->profile = MergeProfiles(merged);
+  outcome->seconds += seconds_;
+}
+
 power::ActivityProfile MergeProfiles(
     std::span<const power::ActivityProfile> profiles) {
   power::ActivityProfile merged;

@@ -127,6 +127,34 @@ StatusOr<RunOutcome> RunKernelLadder(Devices& devices,
 Status ReadGpuBuffer(ocl::Context& context, ocl::Buffer& buffer, void* dst,
                      std::uint64_t bytes);
 
+/// Buffer factory for tuned runs, expressing the §III-A map-vs-copy knob.
+/// copy_path == false is the zero-copy CL_MEM_ALLOC_HOST_PTR map path the
+/// paper recommends (and the golden runs use); copy_path == true is the
+/// discrete-GPU-style plain buffer with modelled EnqueueWrite/ReadBuffer
+/// transfers. The copy path accumulates the transfer events here and
+/// ChargeTransfers folds them into an outcome — on the shared-memory Mali
+/// that cost is pure overhead, which is exactly what makes the knob worth
+/// tuning.
+class TunedBufferSet {
+ public:
+  TunedBufferSet(ocl::Context& context, bool copy_path)
+      : context_(context), copy_path_(copy_path) {}
+
+  StatusOr<std::shared_ptr<ocl::Buffer>> Make(const void* src,
+                                              std::uint64_t bytes);
+  Status Read(ocl::Buffer& buffer, void* dst, std::uint64_t bytes);
+
+  /// Adds the accumulated transfer time/activity to the measured region.
+  /// No-op on the map path (transfers are outside the region, §IV-B).
+  void ChargeTransfers(RunOutcome* outcome) const;
+
+ private:
+  ocl::Context& context_;
+  bool copy_path_;
+  double seconds_ = 0.0;
+  std::vector<power::ActivityProfile> profiles_;
+};
+
 /// Time-weighted merge of activity profiles (kernel launches in sequence).
 power::ActivityProfile MergeProfiles(
     std::span<const power::ActivityProfile> profiles);

@@ -71,6 +71,85 @@ class DmmmBenchmark final : public Benchmark {
     return InvalidArgumentError("bad variant");
   }
 
+  // §III knobs: output vector width (B-row vload width = outputs per
+  // work-item), k-loop unroll factor, and the square work-group tile edge.
+  sim::TuningSpace TunableSpace() const override {
+    sim::TuningSpace space;
+    space.axes = {{"vec", {1, 2, 4}}, {"unroll", {1, 2, 4}}, {"tile", {8, 16}}};
+    space.valid = [n = n_](const sim::TuningConfig& c) {
+      return n % static_cast<std::uint32_t>(c.Get("vec", 1)) == 0;
+    };
+    return space;
+  }
+
+  sim::TuningConfig PaperOptConfig() const override {
+    sim::TuningConfig config;
+    config.Set("vec", 4);
+    config.Set("unroll", 4);
+    config.Set("tile", 16);
+    return config;
+  }
+
+  StatusOr<RunOutcome> RunTuned(const sim::TuningConfig& config,
+                                Devices& devices) override {
+    MALI_CHECK(devices.gpu != nullptr);
+    const int vec = static_cast<int>(config.Get("vec", 4));
+    const int unroll = static_cast<int>(config.Get("unroll", 4));
+    const std::uint64_t tile = static_cast<std::uint64_t>(config.Get("tile", 16));
+
+    StatusOr<kir::Program> program = BuildGpuTuned(vec, unroll);
+    if (!program.ok()) return program.status();
+    ocl::Context& ctx = *devices.gpu;
+    auto a = detail::MakeGpuBuffer(ctx, a_.data(), a_.bytes());
+    if (!a.ok()) return a.status();
+    auto b = detail::MakeGpuBuffer(ctx, b_.data(), b_.bytes());
+    if (!b.ok()) return b.status();
+    auto c = detail::MakeGpuBuffer(ctx, nullptr, a_.bytes());
+    if (!c.ok()) return c.status();
+
+    const std::string kernel_name = program->name;
+    std::vector<kir::Program> kernels;
+    kernels.push_back(*std::move(program));
+    std::shared_ptr<ocl::Program> prog = ctx.CreateProgram(std::move(kernels));
+    MALI_RETURN_IF_ERROR(prog->Build());
+    auto kernel = ctx.CreateKernel(prog, kernel_name);
+    if (!kernel.ok()) return kernel.status();
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(0, *a));
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(1, *b));
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(2, *c));
+    MALI_RETURN_IF_ERROR(
+        (*kernel)->SetArgI32(3, static_cast<std::int32_t>(n_)));
+
+    devices.gpu->device().FlushCaches();
+    detail::GpuLaunch launch;
+    launch.kernel = kernel->get();
+    launch.work_dim = 2;
+    launch.global[0] = n_ / static_cast<std::uint64_t>(vec);
+    launch.global[1] = n_;
+    const std::uint64_t tuned_local[3] = {
+        detail::TunedLocalSize(launch.global[0], tile),
+        detail::TunedLocalSize(n_, tile), 1};
+    launch.local = tuned_local;
+    StatusOr<RunOutcome> outcome = detail::RunGpuLaunches(devices, {&launch, 1});
+    if (!outcome.ok()) return outcome;
+
+    const std::size_t total = static_cast<std::size_t>(n_) * n_;
+    FpBuffer result(fp64_, total);
+    MALI_RETURN_IF_ERROR(
+        detail::ReadGpuBuffer(ctx, **c, result.data(), result.bytes()));
+    detail::FinishValidation(&*outcome, detail::MaxRelError(result, ref_), tol());
+    return outcome;
+  }
+
+  StatusOr<std::string> TunedKernelText(
+      const sim::TuningConfig& config) const override {
+    StatusOr<kir::Program> program =
+        BuildGpuTuned(static_cast<int>(config.Get("vec", 4)),
+                      static_cast<int>(config.Get("unroll", 4)));
+    if (!program.ok()) return program.status();
+    return kir::ToText(*program);
+  }
+
  private:
   kir::ScalarType ft() const {
     return fp64_ ? kir::ScalarType::kF64 : kir::ScalarType::kF32;
@@ -140,6 +219,54 @@ class DmmmBenchmark final : public Benchmark {
       kb.Assign(acc4, kb.Fma(av, b4, acc4));
     });
     kb.Store(c, kb.Binary(Opcode::kAdd, row_base, j4), acc4);
+    return kb.Build();
+  }
+
+  /// BuildGpuOpt generalized over output width and k unroll. vec == 1 is
+  /// the scalar-accumulator form with the §III-C qualifiers.
+  StatusOr<kir::Program> BuildGpuTuned(int vec, int unroll) const {
+    KernelBuilder kb("dmmm_cl_tuned");
+    auto a = kb.ArgBuffer("a", ft(), ArgKind::kBufferRO, true, true);
+    auto b = kb.ArgBuffer("b", ft(), ArgKind::kBufferRO, true, true);
+    auto c = kb.ArgBuffer("c", ft(), ArgKind::kBufferWO, true, false);
+    Val n = kb.ArgScalar("n", kir::ScalarType::kI32);
+    Val i = kb.GlobalId(1);
+    Val row_base = kb.Binary(Opcode::kMul, i, n);
+    Val zero = kb.ConstI(kir::I32(), 0);
+
+    auto k_loop = [&](auto body) {
+      if (unroll > 1) {
+        kb.ForUnrolled("k", zero, n, 1, unroll, body);
+      } else {
+        kb.For("k", zero, n, 1, body);
+      }
+    };
+    if (vec <= 1) {
+      Val j = kb.GlobalId(0);
+      Val acc = kb.Var(kir::FloatType(fp64_), "acc");
+      kb.Assign(acc, detail::FConst(kb, fp64_, 0.0));
+      k_loop([&](Val k) {
+        Val av = kb.Load(a, kb.Binary(Opcode::kAdd, row_base, k));
+        Val bv = kb.Load(
+            b, kb.Binary(Opcode::kAdd, kb.Binary(Opcode::kMul, k, n), j));
+        kb.Assign(acc, kb.Fma(av, bv, acc));
+      });
+      kb.Store(c, kb.Binary(Opcode::kAdd, row_base, j), acc);
+    } else {
+      const auto lanes = static_cast<std::uint8_t>(vec);
+      Val jv = kb.Binary(Opcode::kMul, kb.GlobalId(0), kb.ConstI(kir::I32(), vec));
+      Val accv = kb.Var(kir::FloatType(fp64_, lanes), "accv");
+      kb.Assign(accv, detail::FConst(kb, fp64_, 0.0, lanes));
+      k_loop([&](Val k) {
+        Val av = kb.Splat(kb.Load(a, kb.Binary(Opcode::kAdd, row_base, k)),
+                          lanes);
+        Val bv = kb.Load(b, kb.Binary(Opcode::kAdd,
+                                      kb.Binary(Opcode::kMul, k, n), jv),
+                         0, lanes);
+        kb.Assign(accv, kb.Fma(av, bv, accv));
+      });
+      kb.Store(c, kb.Binary(Opcode::kAdd, row_base, jv), accv);
+    }
     return kb.Build();
   }
 

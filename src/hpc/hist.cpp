@@ -80,6 +80,78 @@ class HistBenchmark final : public Benchmark {
     return InvalidArgumentError("bad variant");
   }
 
+  // §III knobs: work-group size and group count. The tuned kernel strides
+  // the zero/flush stages over the bins (unlike the fixed opt kernel's
+  // one-bin-per-item form) so work-groups smaller than the bin count stay
+  // legal; at wg == bins == 256 the loops collapse to the fixed kernel's
+  // single iteration.
+  sim::TuningSpace TunableSpace() const override {
+    sim::TuningSpace space;
+    space.axes = {{"wg", {64, 128, 256}}, {"groups", {4, 8, 16}}};
+    return space;
+  }
+
+  sim::TuningConfig PaperOptConfig() const override {
+    sim::TuningConfig config;
+    config.Set("wg", 256);
+    config.Set("groups", 8);
+    return config;
+  }
+
+  StatusOr<RunOutcome> RunTuned(const sim::TuningConfig& config,
+                                Devices& devices) override {
+    MALI_CHECK(devices.gpu != nullptr);
+    const int wg = static_cast<int>(config.Get("wg", 256));
+    const std::uint64_t groups =
+        static_cast<std::uint64_t>(config.Get("groups", 8));
+
+    StatusOr<kir::Program> program = BuildGpuTuned(wg);
+    if (!program.ok()) return program.status();
+    ocl::Context& ctx = *devices.gpu;
+    auto data = detail::MakeGpuBuffer(ctx, data_.data(), data_.bytes());
+    if (!data.ok()) return data.status();
+    auto bins =
+        detail::MakeGpuBuffer(ctx, nullptr, bins_ * sizeof(std::int32_t));
+    if (!bins.ok()) return bins.status();
+
+    const std::string kernel_name = program->name;
+    std::vector<kir::Program> kernels;
+    kernels.push_back(*std::move(program));
+    std::shared_ptr<ocl::Program> prog = ctx.CreateProgram(std::move(kernels));
+    MALI_RETURN_IF_ERROR(prog->Build());
+    auto kernel = ctx.CreateKernel(prog, kernel_name);
+    if (!kernel.ok()) return kernel.status();
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(0, *data));
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(1, *bins));
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgI32(2, static_cast<std::int32_t>(n_)));
+    MALI_RETURN_IF_ERROR(
+        (*kernel)->SetArgI32(3, static_cast<std::int32_t>(bins_)));
+
+    detail::GpuLaunch launch;
+    launch.kernel = kernel->get();
+    launch.global[0] = groups * static_cast<std::uint64_t>(wg);
+    const std::uint64_t tuned_local[3] = {static_cast<std::uint64_t>(wg), 1, 1};
+    launch.local = tuned_local;
+
+    devices.gpu->device().FlushCaches();
+    StatusOr<RunOutcome> outcome = detail::RunGpuLaunches(devices, {&launch, 1});
+    if (!outcome.ok()) return outcome;
+
+    std::vector<std::int32_t> result(bins_, 0);
+    MALI_RETURN_IF_ERROR(detail::ReadGpuBuffer(
+        ctx, **bins, result.data(), result.size() * sizeof(std::int32_t)));
+    detail::FinishValidation(&*outcome, BinError(result), 0.0);
+    return outcome;
+  }
+
+  StatusOr<std::string> TunedKernelText(
+      const sim::TuningConfig& config) const override {
+    StatusOr<kir::Program> program =
+        BuildGpuTuned(static_cast<int>(config.Get("wg", 256)));
+    if (!program.ok()) return program.status();
+    return kir::ToText(*program);
+  }
+
  private:
   kir::ScalarType ft() const {
     return fp64_ ? kir::ScalarType::kF64 : kir::ScalarType::kF32;
@@ -199,6 +271,40 @@ class HistBenchmark final : public Benchmark {
     Val count = kb.Load(local_bins, lid);
     kb.If(kb.CmpNe(count, zero),
           [&] { kb.AtomicAdd(bins, lid, count); });
+    return kb.Build();
+  }
+
+  /// BuildGpuOpt generalized over the work-group size: the privatized
+  /// zero/flush stages stride over the bins in steps of `wg` instead of
+  /// assuming one bin per work-item.
+  StatusOr<kir::Program> BuildGpuTuned(int wg) const {
+    KernelBuilder kb("hist_cl_tuned");
+    auto data = kb.ArgBuffer("data", ft(), ArgKind::kBufferRO, true, true);
+    auto bins = kb.ArgBuffer("bins", kir::ScalarType::kI32, ArgKind::kBufferRW,
+                             true, false);
+    Val n = kb.ArgScalar("n", kir::ScalarType::kI32);
+    Val nbins = kb.ArgScalar("nbins", kir::ScalarType::kI32);
+    auto local_bins = kb.LocalArray("local_bins", kir::ScalarType::kI32, 256);
+
+    Val lid = kb.LocalId(0);
+    Val zero = kb.ConstI(kir::I32(), 0);
+    Val one = kb.ConstI(kir::I32(), 1);
+    kb.For("z", lid, nbins, wg, [&](Val b) { kb.Store(local_bins, b, zero); });
+    kb.Barrier();
+
+    Val bins_f = kb.Convert(nbins, ft());
+    Val bins_m1 = kb.Binary(Opcode::kSub, nbins, one);
+    detail::Chunk chunk = detail::ThreadChunk(kb, n);
+    kb.For("i", chunk.start, chunk.end, 1, [&](Val i) {
+      Val bucket = EmitBucket(kb, kb.Load(data, i), bins_f, bins_m1);
+      kb.AtomicAdd(local_bins, bucket, one);
+    });
+
+    kb.Barrier();
+    kb.For("f", lid, nbins, wg, [&](Val b) {
+      Val count = kb.Load(local_bins, b);
+      kb.If(kb.CmpNe(count, zero), [&] { kb.AtomicAdd(bins, b, count); });
+    });
     return kb.Build();
   }
 

@@ -61,6 +61,103 @@ class ReductionBenchmark final : public Benchmark {
     return InvalidArgumentError("bad variant");
   }
 
+  // §III knobs: accumulator vector width (both stages), stage-1 work-item
+  // count (the parallel/sequential balance point §IV-A describes), and the
+  // stage-1 work-group size.
+  sim::TuningSpace TunableSpace() const override {
+    sim::TuningSpace space;
+    space.axes = {{"vec", {1, 2, 4}},
+                  {"items1", {512, 1024, 2048}},
+                  {"wg", {64, 128, 256}}};
+    space.valid = [n = n_](const sim::TuningConfig& c) {
+      const std::int64_t vec = c.Get("vec", 1);
+      const std::int64_t items1 = c.Get("items1", 1024);
+      // Stage 1 strides chunks by vec and stage 2 folds items1 by vec, so
+      // both must divide evenly.
+      return n % items1 == 0 && (n / items1) % vec == 0 && items1 % vec == 0;
+    };
+    return space;
+  }
+
+  sim::TuningConfig PaperOptConfig() const override {
+    sim::TuningConfig config;
+    config.Set("vec", 4);
+    config.Set("items1", 1024);
+    config.Set("wg", 128);
+    return config;
+  }
+
+  StatusOr<RunOutcome> RunTuned(const sim::TuningConfig& config,
+                                Devices& devices) override {
+    MALI_CHECK(devices.gpu != nullptr);
+    const int vec = static_cast<int>(config.Get("vec", 4));
+    const std::uint64_t items1 =
+        static_cast<std::uint64_t>(config.Get("items1", 1024));
+    const std::uint64_t wg = static_cast<std::uint64_t>(config.Get("wg", 128));
+
+    StatusOr<kir::Program> s1 = BuildTunedStage1(vec);
+    if (!s1.ok()) return s1.status();
+    StatusOr<kir::Program> s2 = BuildTunedStage2(vec);
+    if (!s2.ok()) return s2.status();
+
+    ocl::Context& ctx = *devices.gpu;
+    auto a = detail::MakeGpuBuffer(ctx, a_.data(), a_.bytes());
+    if (!a.ok()) return a.status();
+    auto partial =
+        detail::MakeGpuBuffer(ctx, nullptr, items1 * a_.elem_bytes());
+    if (!partial.ok()) return partial.status();
+    auto out = detail::MakeGpuBuffer(ctx, nullptr, a_.elem_bytes());
+    if (!out.ok()) return out.status();
+
+    std::vector<kir::Program> kernels;
+    const std::string n1 = s1->name, n2 = s2->name;
+    kernels.push_back(*std::move(s1));
+    kernels.push_back(*std::move(s2));
+    std::shared_ptr<ocl::Program> prog = ctx.CreateProgram(std::move(kernels));
+    MALI_RETURN_IF_ERROR(prog->Build());
+    auto k1 = ctx.CreateKernel(prog, n1);
+    if (!k1.ok()) return k1.status();
+    auto k2 = ctx.CreateKernel(prog, n2);
+    if (!k2.ok()) return k2.status();
+    MALI_RETURN_IF_ERROR((*k1)->SetArgBuffer(0, *a));
+    MALI_RETURN_IF_ERROR((*k1)->SetArgBuffer(1, *partial));
+    MALI_RETURN_IF_ERROR((*k1)->SetArgI32(2, static_cast<std::int32_t>(n_)));
+    MALI_RETURN_IF_ERROR((*k2)->SetArgBuffer(0, *partial));
+    MALI_RETURN_IF_ERROR((*k2)->SetArgBuffer(1, *out));
+    MALI_RETURN_IF_ERROR((*k2)->SetArgI32(2, static_cast<std::int32_t>(items1)));
+
+    devices.gpu->device().FlushCaches();
+    const std::uint64_t tuned_local[3] = {detail::TunedLocalSize(items1, wg), 1,
+                                          1};
+    detail::GpuLaunch launches[2];
+    launches[0].kernel = k1->get();
+    launches[0].global[0] = items1;
+    launches[0].local = tuned_local;
+    launches[1].kernel = k2->get();
+    launches[1].global[0] = 1;
+    launches[1].local = nullptr;
+    StatusOr<RunOutcome> outcome = detail::RunGpuLaunches(devices, launches);
+    if (!outcome.ok()) return outcome;
+
+    FpBuffer result(fp64_, 1);
+    MALI_RETURN_IF_ERROR(
+        detail::ReadGpuBuffer(ctx, **out, result.data(), result.bytes()));
+    detail::FinishValidation(
+        &*outcome, std::abs(result.Get(0) - ref_sum_) / std::abs(ref_sum_),
+        tol());
+    return outcome;
+  }
+
+  StatusOr<std::string> TunedKernelText(
+      const sim::TuningConfig& config) const override {
+    const int vec = static_cast<int>(config.Get("vec", 4));
+    StatusOr<kir::Program> s1 = BuildTunedStage1(vec);
+    if (!s1.ok()) return s1.status();
+    StatusOr<kir::Program> s2 = BuildTunedStage2(vec);
+    if (!s2.ok()) return s2.status();
+    return kir::ToText(*s1) + kir::ToText(*s2);
+  }
+
  private:
   kir::ScalarType ft() const {
     return fp64_ ? kir::ScalarType::kF64 : kir::ScalarType::kF32;
@@ -144,6 +241,55 @@ class ReductionBenchmark final : public Benchmark {
       kb.For("i", 0, m, 4,
              [&](Val i) { kb.Assign(acc4, acc4 + kb.Load(partial, i, 0, 4)); });
       kb.Store(out, kb.ConstI(kir::I32(), 0), kb.VSum(acc4));
+    }
+    return kb.Build();
+  }
+
+  /// The optimized stages generalized over accumulator width. vec == 1 is
+  /// the scalar body with the §III-C qualifiers.
+  StatusOr<kir::Program> BuildTunedStage1(int vec) const {
+    KernelBuilder kb("red_stage1_tuned");
+    auto a = kb.ArgBuffer("a", ft(), ArgKind::kBufferRO, true, true);
+    auto partial = kb.ArgBuffer("partial", ft(), ArgKind::kBufferWO, true,
+                                false);
+    Val n = kb.ArgScalar("n", kir::ScalarType::kI32);
+    detail::Chunk chunk = detail::ThreadChunk(kb, n);
+    if (vec <= 1) {
+      Val acc = kb.Var(kir::FloatType(fp64_), "acc");
+      kb.Assign(acc, detail::FConst(kb, fp64_, 0.0));
+      kb.For("i", chunk.start, chunk.end, 1,
+             [&](Val i) { kb.Assign(acc, acc + kb.Load(a, i)); });
+      kb.Store(partial, kb.GlobalId(0), acc);
+    } else {
+      const auto lanes = static_cast<std::uint8_t>(vec);
+      Val accv = kb.Var(kir::FloatType(fp64_, lanes), "accv");
+      kb.Assign(accv, detail::FConst(kb, fp64_, 0.0, lanes));
+      kb.For("i", chunk.start, chunk.end, vec,
+             [&](Val i) { kb.Assign(accv, accv + kb.Load(a, i, 0, lanes)); });
+      kb.Store(partial, kb.GlobalId(0), kb.VSum(accv));
+    }
+    return kb.Build();
+  }
+
+  StatusOr<kir::Program> BuildTunedStage2(int vec) const {
+    KernelBuilder kb("red_stage2_tuned");
+    auto partial = kb.ArgBuffer("partial", ft(), ArgKind::kBufferRO, true,
+                                true);
+    auto out = kb.ArgBuffer("out", ft(), ArgKind::kBufferWO, true, false);
+    Val m = kb.ArgScalar("m", kir::ScalarType::kI32);
+    if (vec <= 1) {
+      Val acc = kb.Var(kir::FloatType(fp64_), "acc");
+      kb.Assign(acc, detail::FConst(kb, fp64_, 0.0));
+      kb.For("i", 0, m, 1,
+             [&](Val i) { kb.Assign(acc, acc + kb.Load(partial, i)); });
+      kb.Store(out, kb.ConstI(kir::I32(), 0), acc);
+    } else {
+      const auto lanes = static_cast<std::uint8_t>(vec);
+      Val accv = kb.Var(kir::FloatType(fp64_, lanes), "accv");
+      kb.Assign(accv, detail::FConst(kb, fp64_, 0.0, lanes));
+      kb.For("i", 0, m, vec,
+             [&](Val i) { kb.Assign(accv, accv + kb.Load(partial, i, 0, lanes)); });
+      kb.Store(out, kb.ConstI(kir::I32(), 0), kb.VSum(accv));
     }
     return kb.Build();
   }

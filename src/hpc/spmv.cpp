@@ -97,6 +97,83 @@ class SpmvBenchmark final : public Benchmark {
     return InvalidArgumentError("bad variant");
   }
 
+  // §III knobs: value/column vector width of the main row loop and the
+  // work-group size. The x gathers stay scalar at every width (see
+  // BuildGpuOpt), so the win from vec is modest — matching §V-A.
+  sim::TuningSpace TunableSpace() const override {
+    sim::TuningSpace space;
+    space.axes = {{"vec", {1, 2, 4}}, {"wg", {32, 64, 128}}};
+    return space;
+  }
+
+  sim::TuningConfig PaperOptConfig() const override {
+    sim::TuningConfig config;
+    config.Set("vec", 4);
+    config.Set("wg", 64);
+    return config;
+  }
+
+  StatusOr<RunOutcome> RunTuned(const sim::TuningConfig& config,
+                                Devices& devices) override {
+    MALI_CHECK(devices.gpu != nullptr);
+    const int vec = static_cast<int>(config.Get("vec", 4));
+    const std::uint64_t wg = static_cast<std::uint64_t>(config.Get("wg", 64));
+
+    StatusOr<kir::Program> program = BuildGpuTuned(vec);
+    if (!program.ok()) return program.status();
+    ocl::Context& ctx = *devices.gpu;
+
+    auto row_ptr =
+        detail::MakeGpuBuffer(ctx, row_ptr_.data(), row_ptr_.size() * 4);
+    if (!row_ptr.ok()) return row_ptr.status();
+    auto col_idx =
+        detail::MakeGpuBuffer(ctx, col_idx_.data(), col_idx_.size() * 4);
+    if (!col_idx.ok()) return col_idx.status();
+    auto vals = detail::MakeGpuBuffer(ctx, vals_.data(), vals_.bytes());
+    if (!vals.ok()) return vals.status();
+    auto x = detail::MakeGpuBuffer(ctx, x_.data(), x_.bytes());
+    if (!x.ok()) return x.status();
+    auto y = detail::MakeGpuBuffer(ctx, nullptr, x_.bytes());
+    if (!y.ok()) return y.status();
+
+    const std::string kernel_name = program->name;
+    std::vector<kir::Program> kernels;
+    kernels.push_back(*std::move(program));
+    std::shared_ptr<ocl::Program> prog = ctx.CreateProgram(std::move(kernels));
+    MALI_RETURN_IF_ERROR(prog->Build());
+    auto kernel = ctx.CreateKernel(prog, kernel_name);
+    if (!kernel.ok()) return kernel.status();
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(0, *row_ptr));
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(1, *col_idx));
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(2, *vals));
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(3, *x));
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(4, *y));
+
+    devices.gpu->device().FlushCaches();
+    detail::GpuLaunch launch;
+    launch.kernel = kernel->get();
+    launch.global[0] = rows_;
+    const std::uint64_t tuned_local[3] = {detail::TunedLocalSize(rows_, wg), 1,
+                                          1};
+    launch.local = tuned_local;
+    StatusOr<RunOutcome> outcome = detail::RunGpuLaunches(devices, {&launch, 1});
+    if (!outcome.ok()) return outcome;
+
+    FpBuffer result(fp64_, rows_);
+    MALI_RETURN_IF_ERROR(
+        detail::ReadGpuBuffer(ctx, **y, result.data(), result.bytes()));
+    detail::FinishValidation(&*outcome, detail::MaxRelError(result, ref_), tol());
+    return outcome;
+  }
+
+  StatusOr<std::string> TunedKernelText(
+      const sim::TuningConfig& config) const override {
+    StatusOr<kir::Program> program =
+        BuildGpuTuned(static_cast<int>(config.Get("vec", 4)));
+    if (!program.ok()) return program.status();
+    return kir::ToText(*program);
+  }
+
  private:
   kir::ScalarType ft() const {
     return fp64_ ? kir::ScalarType::kF64 : kir::ScalarType::kF32;
@@ -180,6 +257,53 @@ class SpmvBenchmark final : public Benchmark {
     });
     Val acc = kb.Var(kir::FloatType(fp64_), "acc");
     kb.Assign(acc, kb.VSum(acc4));
+    kb.For("k2", main_end, end, 1, [&](Val k) {
+      Val col = kb.Load(col_idx, k);
+      kb.Assign(acc, kb.Fma(kb.Load(vals, k), kb.Load(x, col), acc));
+    });
+    kb.Store(y, row, acc);
+    return kb.Build();
+  }
+
+  /// BuildGpuOpt generalized over the main-loop vector width. vec == 1 is
+  /// the scalar row body with the §III-C qualifiers; vec > 1 vectorizes
+  /// values/columns with a scalar tail, exactly like the fixed opt kernel.
+  StatusOr<kir::Program> BuildGpuTuned(int vec) const {
+    KernelBuilder kb("spmv_cl_tuned");
+    auto row_ptr = kb.ArgBuffer("row_ptr", kir::ScalarType::kI32,
+                                ArgKind::kBufferRO, true, true);
+    auto col_idx = kb.ArgBuffer("col_idx", kir::ScalarType::kI32,
+                                ArgKind::kBufferRO, true, true);
+    auto vals = kb.ArgBuffer("vals", ft(), ArgKind::kBufferRO, true, true);
+    auto x = kb.ArgBuffer("x", ft(), ArgKind::kBufferRO, true, true);
+    auto y = kb.ArgBuffer("y", ft(), ArgKind::kBufferWO, true, false);
+    Val row = kb.GlobalId(0);
+    if (vec <= 1) {
+      EmitRowBody(kb, row_ptr, col_idx, vals, x, y, row);
+      return kb.Build();
+    }
+    Val begin = kb.Load(row_ptr, row);
+    Val end = kb.Load(row_ptr, row, 1);
+    Val span = kb.Binary(Opcode::kSub, end, begin);
+    Val rem = kb.Binary(Opcode::kIRem, span, kb.ConstI(kir::I32(), vec));
+    Val main_end = kb.Binary(Opcode::kSub, end, rem);
+
+    const auto lanes = static_cast<std::uint8_t>(vec);
+    Val accv = kb.Var(kir::FloatType(fp64_, lanes), "accv");
+    kb.Assign(accv, detail::FConst(kb, fp64_, 0.0, lanes));
+    kb.For("k", begin, main_end, vec, [&](Val k) {
+      Val vv = kb.Load(vals, k, 0, lanes);
+      Val cv = kb.Load(col_idx, k, 0, lanes);
+      Val g = kb.Var(kir::FloatType(fp64_, lanes), "gather");
+      kb.Assign(g, detail::FConst(kb, fp64_, 0.0, lanes));
+      for (int l = 0; l < vec; ++l) {
+        Val xs = kb.Load(x, kb.Extract(cv, l));
+        g = kb.Insert(g, l, xs);
+      }
+      kb.Assign(accv, kb.Fma(vv, g, accv));
+    });
+    Val acc = kb.Var(kir::FloatType(fp64_), "acc");
+    kb.Assign(acc, kb.VSum(accv));
     kb.For("k2", main_end, end, 1, [&](Val k) {
       Val col = kb.Load(col_idx, k);
       kb.Assign(acc, kb.Fma(kb.Load(vals, k), kb.Load(x, col), acc));

@@ -76,6 +76,84 @@ class Stencil3DBenchmark final : public Benchmark {
     return InvalidArgumentError("bad variant");
   }
 
+  // §V-A: "3dstc ... limits the optimizations to work-group size tuning and
+  // data reuse" — the tunable surface is exactly the 3D work-group shape;
+  // the kernel itself is the fixed optimized one.
+  sim::TuningSpace TunableSpace() const override {
+    sim::TuningSpace space;
+    space.axes = {{"wgx", {16, 32, 64}}, {"wgy", {1, 2, 4}},
+                  {"wgz", {1, 2, 4}}};
+    space.valid = [](const sim::TuningConfig& c) {
+      return c.Get("wgx", 1) * c.Get("wgy", 1) * c.Get("wgz", 1) <=
+             static_cast<std::int64_t>(ocl::Context::kMaxWorkGroupSize);
+    };
+    return space;
+  }
+
+  sim::TuningConfig PaperOptConfig() const override {
+    sim::TuningConfig config;
+    config.Set("wgx", 64);
+    config.Set("wgy", 2);
+    config.Set("wgz", 2);
+    return config;
+  }
+
+  StatusOr<RunOutcome> RunTuned(const sim::TuningConfig& config,
+                                Devices& devices) override {
+    MALI_CHECK(devices.gpu != nullptr);
+    StatusOr<kir::Program> program = BuildGpuKernel(/*optimized=*/true);
+    if (!program.ok()) return program.status();
+    ocl::Context& ctx = *devices.gpu;
+    auto in = detail::MakeGpuBuffer(ctx, in_.data(), in_.bytes());
+    if (!in.ok()) return in.status();
+    auto out = detail::MakeGpuBuffer(ctx, nullptr, in_.bytes());
+    if (!out.ok()) return out.status();
+
+    const std::string kernel_name = program->name;
+    std::vector<kir::Program> kernels;
+    kernels.push_back(*std::move(program));
+    std::shared_ptr<ocl::Program> prog = ctx.CreateProgram(std::move(kernels));
+    MALI_RETURN_IF_ERROR(prog->Build());
+    auto kernel = ctx.CreateKernel(prog, kernel_name);
+    if (!kernel.ok()) return kernel.status();
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(0, *in));
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(1, *out));
+    MALI_RETURN_IF_ERROR(
+        (*kernel)->SetArgI32(2, static_cast<std::int32_t>(dim_)));
+
+    devices.gpu->device().FlushCaches();
+    detail::GpuLaunch launch;
+    launch.kernel = kernel->get();
+    launch.work_dim = 3;
+    launch.global[0] = dim_;
+    launch.global[1] = dim_;
+    launch.global[2] = dim_;
+    const std::uint64_t tuned_local[3] = {
+        detail::TunedLocalSize(
+            dim_, static_cast<std::uint64_t>(config.Get("wgx", 64))),
+        detail::TunedLocalSize(
+            dim_, static_cast<std::uint64_t>(config.Get("wgy", 2))),
+        detail::TunedLocalSize(
+            dim_, static_cast<std::uint64_t>(config.Get("wgz", 2)))};
+    launch.local = tuned_local;
+    StatusOr<RunOutcome> outcome = detail::RunGpuLaunches(devices, {&launch, 1});
+    if (!outcome.ok()) return outcome;
+
+    FpBuffer result(fp64_, Volume());
+    MALI_RETURN_IF_ERROR(
+        detail::ReadGpuBuffer(ctx, **out, result.data(), result.bytes()));
+    detail::FinishValidation(&*outcome, detail::MaxRelError(result, ref_), tol());
+    return outcome;
+  }
+
+  StatusOr<std::string> TunedKernelText(
+      const sim::TuningConfig& config) const override {
+    (void)config;  // every point launches the same optimized kernel
+    StatusOr<kir::Program> program = BuildGpuKernel(/*optimized=*/true);
+    if (!program.ok()) return program.status();
+    return kir::ToText(*program);
+  }
+
  private:
   std::size_t Volume() const {
     return static_cast<std::size_t>(dim_) * dim_ * dim_;

@@ -64,6 +64,86 @@ class VecopBenchmark final : public Benchmark {
     return InvalidArgumentError("bad variant");
   }
 
+  // §III knobs: vector width, work-group size, and the map-vs-copy buffer
+  // strategy (§III-A) — vecop is the benchmark where the copy overhead is
+  // most visible because the kernel itself is pure bandwidth.
+  sim::TuningSpace TunableSpace() const override {
+    sim::TuningSpace space;
+    space.axes = {{"vec", {1, 2, 4}},
+                  {"wg", {32, 64, 128, 256}},
+                  {"copy", {0, 1}}};
+    space.valid = [n = n_](const sim::TuningConfig& c) {
+      return n % static_cast<std::uint32_t>(c.Get("vec", 1)) == 0;
+    };
+    return space;
+  }
+
+  sim::TuningConfig PaperOptConfig() const override {
+    sim::TuningConfig config;
+    config.Set("vec", 4);
+    config.Set("wg", 128);
+    config.Set("copy", 0);
+    return config;
+  }
+
+  StatusOr<RunOutcome> RunTuned(const sim::TuningConfig& config,
+                                Devices& devices) override {
+    MALI_CHECK(devices.gpu != nullptr);
+    const int vec = static_cast<int>(config.Get("vec", 4));
+    const std::uint64_t wg = static_cast<std::uint64_t>(config.Get("wg", 128));
+    const bool copy = config.Get("copy", 0) != 0;
+
+    StatusOr<kir::Program> program = BuildGpuTuned(vec);
+    if (!program.ok()) return program.status();
+    ocl::Context& ctx = *devices.gpu;
+    detail::TunedBufferSet buffers(ctx, copy);
+
+    auto a = buffers.Make(a_.data(), a_.bytes());
+    if (!a.ok()) return a.status();
+    auto b = buffers.Make(b_.data(), b_.bytes());
+    if (!b.ok()) return b.status();
+    auto c = buffers.Make(nullptr, a_.bytes());
+    if (!c.ok()) return c.status();
+
+    std::vector<kir::Program> kernels;
+    kernels.push_back(*std::move(program));
+    const std::string kernel_name = kernels.front().name;
+    std::shared_ptr<ocl::Program> prog = ctx.CreateProgram(std::move(kernels));
+    MALI_RETURN_IF_ERROR(prog->Build());
+    StatusOr<std::shared_ptr<ocl::Kernel>> kernel =
+        ctx.CreateKernel(prog, kernel_name);
+    if (!kernel.ok()) return kernel.status();
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(0, *a));
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(1, *b));
+    MALI_RETURN_IF_ERROR((*kernel)->SetArgBuffer(2, *c));
+
+    devices.gpu->device().FlushCaches();
+    detail::GpuLaunch launch;
+    launch.kernel = kernel->get();
+    launch.work_dim = 1;
+    launch.global[0] = n_ / static_cast<std::uint64_t>(vec);
+    const std::uint64_t tuned_local[3] = {
+        detail::TunedLocalSize(launch.global[0], wg), 1, 1};
+    launch.local = tuned_local;
+    StatusOr<RunOutcome> outcome =
+        detail::RunGpuLaunches(devices, {&launch, 1});
+    if (!outcome.ok()) return outcome;
+
+    FpBuffer result(fp64_, n_);
+    MALI_RETURN_IF_ERROR(buffers.Read(**c, result.data(), result.bytes()));
+    buffers.ChargeTransfers(&*outcome);
+    detail::FinishValidation(&*outcome, detail::MaxRelError(result, ref_), 1e-5);
+    return outcome;
+  }
+
+  StatusOr<std::string> TunedKernelText(
+      const sim::TuningConfig& config) const override {
+    StatusOr<kir::Program> program =
+        BuildGpuTuned(static_cast<int>(config.Get("vec", 4)));
+    if (!program.ok()) return program.status();
+    return kir::ToText(*program);
+  }
+
  private:
   kir::ScalarType ft() const {
     return fp64_ ? kir::ScalarType::kF64 : kir::ScalarType::kF32;
@@ -120,6 +200,27 @@ class VecopBenchmark final : public Benchmark {
     Val va = kb.Load(a, base, 0, 4);
     Val vb = kb.Load(b, base, 0, 4);
     kb.Store(c, base, va + vb);
+    return kb.Build();
+  }
+
+  /// The optimized kernel generalized over vector width: vec == 1 is the
+  /// naive body plus the §III-C qualifiers, vec > 1 the vloadN/vstoreN form.
+  StatusOr<kir::Program> BuildGpuTuned(int vec) const {
+    KernelBuilder kb("vecop_cl_tuned");
+    auto a = kb.ArgBuffer("a", ft(), ArgKind::kBufferRO, /*is_restrict=*/true,
+                          /*is_const=*/true);
+    auto b = kb.ArgBuffer("b", ft(), ArgKind::kBufferRO, true, true);
+    auto c = kb.ArgBuffer("c", ft(), ArgKind::kBufferWO, true, false);
+    Val gid = kb.GlobalId(0);
+    if (vec <= 1) {
+      kb.Store(c, gid, kb.Load(a, gid) + kb.Load(b, gid));
+    } else {
+      Val base = kb.Binary(kir::Opcode::kMul, gid, kb.ConstI(kir::I32(), vec));
+      const auto lanes = static_cast<std::uint8_t>(vec);
+      Val va = kb.Load(a, base, 0, lanes);
+      Val vb = kb.Load(b, base, 0, lanes);
+      kb.Store(c, base, va + vb);
+    }
     return kb.Build();
   }
 

@@ -1,0 +1,133 @@
+// Tuner x fault-injection soak (DESIGN.md §8 meets §12): candidate
+// evaluations that hit injected faults are skipped-and-counted, never
+// winners; the skip schedule is keyed per candidate so searches stay
+// bit-identical across host thread counts; and a failed search never
+// writes to the tuning cache — faults cannot poison persisted winners.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/tuning.h"
+#include "hpc/problem_sizes.h"
+#include "sim/tuner.h"
+
+namespace malisim::harness {
+namespace {
+
+/// Sub-quick sizes: the soak sweeps several schedules, so each candidate
+/// evaluation is kept small.
+hpc::ProblemSizes SoakSizes() {
+  hpc::ProblemSizes sizes = hpc::ProblemSizes::Quick();
+  sizes.vecop_n = 1 << 13;
+  sizes.hist_n = 1 << 13;
+  sizes.spmv_rows = 512;
+  return sizes;
+}
+
+TuningRequest SoakRequest(const std::string& benchmark,
+                          std::uint64_t fault_seed, double rate) {
+  TuningRequest request;
+  request.benchmark = benchmark;
+  request.sizes = SoakSizes();
+  request.tuner.objective = sim::Objective::kEnergy;
+  request.fault.seed = fault_seed;
+  request.fault.rate = rate;
+  return request;
+}
+
+TEST(TunerFaultSoakTest, FaultedCandidatesSkippedNeverWinners) {
+  bool saw_skips = false;
+  for (std::uint64_t fault_seed : {11ull, 22ull, 33ull}) {
+    SCOPED_TRACE("fault_seed=" + std::to_string(fault_seed));
+    StatusOr<TuningReport> report =
+        TuneBenchmark(SoakRequest("vecop", fault_seed, 0.15));
+    if (!report.ok()) continue;  // a schedule may fell every candidate
+    const sim::TunerResult& r = report->result;
+    saw_skips |= r.skipped > 0;
+    // The winner is the minimum over the OK trajectory points — skipped
+    // candidates never contribute.
+    double min_ok = -1.0;
+    for (const sim::TuningTrajectoryPoint& p : r.trajectory) {
+      if (!p.ok) continue;
+      if (min_ok < 0.0 || p.score < min_ok) min_ok = p.score;
+    }
+    ASSERT_GE(min_ok, 0.0);
+    EXPECT_EQ(r.best_score, min_ok);
+    EXPECT_EQ(r.evaluated + r.skipped, r.trajectory.size());
+  }
+  EXPECT_TRUE(saw_skips) << "no schedule ever skipped a candidate; the "
+                            "soak is not exercising the fault path";
+}
+
+TEST(TunerFaultSoakTest, FaultScheduleIndependentOfThreadCount) {
+  TuningRequest request = SoakRequest("hist", 77, 0.2);
+  request.tuner.threads = 1;
+  StatusOr<TuningReport> serial = TuneBenchmark(request);
+  request.tuner.threads = 4;
+  StatusOr<TuningReport> threaded = TuneBenchmark(request);
+  ASSERT_EQ(serial.ok(), threaded.ok());
+  if (!serial.ok()) return;
+  EXPECT_EQ(serial->result.best.CanonicalKey(),
+            threaded->result.best.CanonicalKey());
+  EXPECT_EQ(serial->result.skipped, threaded->result.skipped);
+  ASSERT_EQ(serial->result.trajectory.size(),
+            threaded->result.trajectory.size());
+  for (std::size_t i = 0; i < serial->result.trajectory.size(); ++i) {
+    EXPECT_EQ(serial->result.trajectory[i].config_key,
+              threaded->result.trajectory[i].config_key);
+    EXPECT_EQ(serial->result.trajectory[i].score,
+              threaded->result.trajectory[i].score);
+    EXPECT_EQ(serial->result.trajectory[i].ok,
+              threaded->result.trajectory[i].ok);
+  }
+}
+
+TEST(TunerFaultSoakTest, AllCandidatesFaultedIsNotFoundAndCacheStaysEmpty) {
+  // Every compiler build trips: no candidate can succeed, the search
+  // reports failure, and nothing is persisted.
+  sim::TuningCache cache;
+  TuningRequest request = SoakRequest("vecop", 5, 0.0);
+  request.fault.spec = "build=1.0";
+  request.cache = &cache;
+  StatusOr<TuningReport> report = TuneBenchmark(request);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TunerFaultSoakTest, WatchdogDegradedCandidatesAreSkipped) {
+  // An impossibly tight per-kernel watchdog fails every launch: the
+  // search must fail cleanly (NotFound), never crown an unmeasured
+  // winner, and never write the cache.
+  sim::TuningCache cache;
+  TuningRequest request = SoakRequest("hist", 9, 0.0);
+  request.fault.watchdog_sec = 1e-12;
+  request.cache = &cache;
+  StatusOr<TuningReport> report = TuneBenchmark(request);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(TunerFaultSoakTest, SurvivingSearchWritesOnlyTheWinner) {
+  // Under a moderate schedule the cache receives exactly one entry — the
+  // winner — and that entry resolves inside the declared space.
+  sim::TuningCache cache;
+  TuningRequest request = SoakRequest("spmv", 123, 0.1);
+  request.cache = &cache;
+  StatusOr<TuningReport> report = TuneBenchmark(request);
+  if (!report.ok()) GTEST_SKIP() << "schedule felled every candidate";
+  ASSERT_EQ(cache.size(), 1u);
+  sim::TuningCacheEntry entry;
+  ASSERT_TRUE(cache.Lookup(report->cache_key, &entry));
+  EXPECT_EQ(entry.config_key, report->result.best.CanonicalKey());
+  // The persisted winner replays: re-tuning from the cache returns it
+  // without evaluating anything, faults or no faults.
+  StatusOr<TuningReport> again = TuneBenchmark(request);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_TRUE(again->result.from_cache);
+  EXPECT_EQ(again->result.best.CanonicalKey(),
+            report->result.best.CanonicalKey());
+}
+
+}  // namespace
+}  // namespace malisim::harness

@@ -1,0 +1,271 @@
+// Tuner conformance battery against the nine paper benchmarks: for every
+// benchmark, under the time AND the energy objective at the --quick
+// problem sizes, the tuner must rediscover-or-beat the paper's
+// hand-picked §III configuration, and the winner must match the committed
+// golden exactly. All nine spaces are exhaustively searchable, so the
+// paper configuration is always evaluated and "winner <= paper" is a
+// theorem the test merely re-checks; the goldens pin the concrete
+// operating points so a model regression that silently shifts a winner
+// fails loudly.
+//
+// Also the benchmark-facing halves of the determinism and cache
+// contracts: TuneBenchmark trajectories are bit-identical across host
+// thread counts, and a persisted cache resolves a re-tune with zero
+// evaluations and a byte-identical winner.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "harness/tuning.h"
+#include "hpc/benchmark.h"
+#include "hpc/problem_sizes.h"
+#include "sim/tuner.h"
+
+namespace malisim::harness {
+namespace {
+
+TuningRequest QuickRequest(const std::string& benchmark,
+                           sim::Objective objective) {
+  TuningRequest request;
+  request.benchmark = benchmark;
+  request.sizes = hpc::ProblemSizes::Quick();
+  request.fp64 = false;
+  request.tuner.objective = objective;
+  request.tuner.threads = 2;
+  return request;
+}
+
+struct GoldenCase {
+  const char* benchmark;
+  sim::Objective objective;
+  /// Expected winner CanonicalKey at Quick sizes, fp32, seed 42.
+  const char* winner;
+};
+
+// The committed golden winners. Regenerate with:
+//   malisim-tune --quick --objective=time   (and --objective=energy)
+// At the Quick sizes several optima legitimately differ from the paper's
+// full-size hand-picks (smaller working sets favor smaller groups and
+// shallower unrolls); the model's winner at these sizes is still never
+// worse than the paper configuration at these sizes, which is the
+// conformance claim. Notably nbody's optimum takes the SOA layout the
+// paper's §V-A discussion anticipates but never measured.
+const GoldenCase kGolden[] = {
+    {"spmv", sim::Objective::kTime, "vec=4,wg=32"},
+    {"spmv", sim::Objective::kEnergy, "vec=4,wg=32"},
+    {"vecop", sim::Objective::kTime, "vec=4,wg=128,copy=0"},
+    {"vecop", sim::Objective::kEnergy, "vec=4,wg=128,copy=0"},
+    {"hist", sim::Objective::kTime, "wg=256,groups=4"},
+    {"hist", sim::Objective::kEnergy, "wg=256,groups=4"},
+    {"3dstc", sim::Objective::kTime, "wgx=16,wgy=4,wgz=4"},
+    {"3dstc", sim::Objective::kEnergy, "wgx=16,wgy=4,wgz=4"},
+    {"red", sim::Objective::kTime, "vec=4,items1=512,wg=128"},
+    {"red", sim::Objective::kEnergy, "vec=4,items1=512,wg=128"},
+    {"amcd", sim::Objective::kTime, "unroll=1,wg=32"},
+    {"amcd", sim::Objective::kEnergy, "unroll=1,wg=32"},
+    {"nbody", sim::Objective::kTime, "vecflavor=1,soa=1,wg=128"},
+    {"nbody", sim::Objective::kEnergy, "vecflavor=1,soa=1,wg=128"},
+    {"2dcon", sim::Objective::kTime, "quad=1,wgx=16,wgy=16"},
+    {"2dcon", sim::Objective::kEnergy, "quad=1,wgx=16,wgy=16"},
+    {"dmmm", sim::Objective::kTime, "vec=4,unroll=1,tile=8"},
+    {"dmmm", sim::Objective::kEnergy, "vec=4,unroll=1,tile=8"},
+};
+
+class TunerConformanceTest : public ::testing::TestWithParam<GoldenCase> {};
+
+TEST_P(TunerConformanceTest, RediscoversOrBeatsPaperConfig) {
+  const GoldenCase c = GetParam();
+  StatusOr<TuningReport> report =
+      TuneBenchmark(QuickRequest(c.benchmark, c.objective));
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  const sim::TunerResult& r = report->result;
+
+  // Every paper space is small enough to search exhaustively, so the
+  // winner is the true optimum of the declared space.
+  EXPECT_TRUE(r.exhaustive);
+  EXPECT_GT(r.evaluated, 0u);
+
+  // The paper's hand-picked configuration must be in the space, must have
+  // been evaluated, and must not beat the winner.
+  const std::string paper_key = report->paper_config.CanonicalKey();
+  double paper_score = -1.0;
+  for (const sim::TuningTrajectoryPoint& p : r.trajectory) {
+    if (p.config_key == paper_key && p.ok) {
+      paper_score = p.score;
+      break;
+    }
+  }
+  ASSERT_GE(paper_score, 0.0)
+      << "paper config " << paper_key << " was never evaluated";
+  EXPECT_LE(r.best_score, paper_score)
+      << "winner " << r.best.CanonicalKey() << " loses to the paper config";
+
+  // The committed golden operating point.
+  EXPECT_EQ(r.best.CanonicalKey(), c.winner)
+      << "winner drifted (score " << r.best_score << ", paper " << paper_key
+      << " score " << paper_score << ")";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllBenchmarks, TunerConformanceTest, ::testing::ValuesIn(kGolden),
+    [](const ::testing::TestParamInfo<GoldenCase>& param) {
+      std::string name = param.param.benchmark;
+      for (char& ch : name) {
+        if (ch == '-') ch = '_';
+      }
+      if (!name.empty() && name[0] >= '0' && name[0] <= '9') {
+        name = "b" + name;
+      }
+      return name + "_" +
+             std::string(sim::ObjectiveName(param.param.objective));
+    });
+
+TEST(TunerConformanceTest2, EveryRegisteredBenchmarkHasGoldenCoverage) {
+  // 9 benchmarks x 2 objectives: adding a benchmark without extending the
+  // battery fails here.
+  const std::vector<std::string> names = hpc::RegisteredBenchmarks();
+  EXPECT_EQ(std::size(kGolden), 2 * names.size());
+  for (const std::string& name : names) {
+    bool time_covered = false;
+    bool energy_covered = false;
+    for (const GoldenCase& c : kGolden) {
+      if (name != c.benchmark) continue;
+      time_covered |= c.objective == sim::Objective::kTime;
+      energy_covered |= c.objective == sim::Objective::kEnergy;
+    }
+    EXPECT_TRUE(time_covered) << name << " lacks a time golden";
+    EXPECT_TRUE(energy_covered) << name << " lacks an energy golden";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark-facing determinism: identical trajectories across host thread
+// counts, through the real per-candidate pipeline (fresh devices, fresh
+// Setup, power model).
+// ---------------------------------------------------------------------------
+
+TEST(TunerHarnessDeterminismTest, TrajectoriesIdenticalAcrossThreadCounts) {
+  for (const char* benchmark : {"vecop", "hist"}) {
+    SCOPED_TRACE(benchmark);
+    TuningRequest request = QuickRequest(benchmark, sim::Objective::kEnergy);
+    request.tuner.threads = 1;
+    StatusOr<TuningReport> serial = TuneBenchmark(request);
+    ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+    request.tuner.threads = 4;
+    StatusOr<TuningReport> threaded = TuneBenchmark(request);
+    ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+
+    EXPECT_EQ(serial->result.best.CanonicalKey(),
+              threaded->result.best.CanonicalKey());
+    EXPECT_EQ(serial->result.best_score, threaded->result.best_score);
+    ASSERT_EQ(serial->result.trajectory.size(),
+              threaded->result.trajectory.size());
+    for (std::size_t i = 0; i < serial->result.trajectory.size(); ++i) {
+      EXPECT_EQ(serial->result.trajectory[i].config_key,
+                threaded->result.trajectory[i].config_key);
+      EXPECT_EQ(serial->result.trajectory[i].score,
+                threaded->result.trajectory[i].score);
+      EXPECT_EQ(serial->result.trajectory[i].ok,
+                threaded->result.trajectory[i].ok);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Benchmark-facing cache contract: save -> load -> re-tune resolves every
+// benchmark from the cache with zero evaluations and byte-identical
+// winners, and the cache file itself is byte-stable.
+// ---------------------------------------------------------------------------
+
+TEST(TunerHarnessCacheTest, ReTuneIsAllHitsAndByteIdentical) {
+  const std::string path = ::testing::TempDir() + "/tuner_harness_cache.json";
+  std::remove(path.c_str());
+
+  sim::TuningCache cache = sim::TuningCache::LoadFileOrEmpty(path);
+  TuningRequest request = QuickRequest("spmv", sim::Objective::kEnergy);
+  request.cache = &cache;
+  StatusOr<TuningReport> first = TuneBenchmark(request);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->result.from_cache);
+  EXPECT_GT(first->result.evaluated, 0u);
+  ASSERT_TRUE(cache.SaveFile(path).ok());
+
+  // Re-tune against the loaded file: a pure cache hit.
+  sim::TuningCache reloaded = sim::TuningCache::LoadFileOrEmpty(path);
+  EXPECT_EQ(reloaded.Serialize(), cache.Serialize());
+  request.cache = &reloaded;
+  StatusOr<TuningReport> second = TuneBenchmark(request);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->result.from_cache);
+  EXPECT_EQ(second->result.evaluated, 0u);
+  EXPECT_EQ(second->result.trajectory.size(), 0u);
+  EXPECT_EQ(second->result.best.CanonicalKey(),
+            first->result.best.CanonicalKey());
+  EXPECT_EQ(second->result.best_score, first->result.best_score);
+  EXPECT_EQ(second->cache_key, first->cache_key);
+
+  // A hit does not dirty the cache: saving again is byte-identical.
+  ASSERT_TRUE(reloaded.SaveFile(path).ok());
+  EXPECT_EQ(sim::TuningCache::LoadFileOrEmpty(path).Serialize(),
+            cache.Serialize());
+  std::remove(path.c_str());
+}
+
+TEST(TunerHarnessCacheTest, ObjectivesAddressDistinctEntries) {
+  sim::TuningCache cache;
+  TuningRequest request = QuickRequest("hist", sim::Objective::kTime);
+  request.cache = &cache;
+  ASSERT_TRUE(TuneBenchmark(request).ok());
+  request.tuner.objective = sim::Objective::kEnergy;
+  ASSERT_TRUE(TuneBenchmark(request).ok());
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Paper-conformance edge: the amcd FP64 compiler erratum fails every
+// candidate build, so the search itself reports NotFound — the tuner-level
+// analogue of the paper's missing DP bars.
+// ---------------------------------------------------------------------------
+
+TEST(TunerConformanceTest2, AmcdFp64HasNoTunableWinner) {
+  TuningRequest request = QuickRequest("amcd", sim::Objective::kTime);
+  request.fp64 = true;
+  StatusOr<TuningReport> report = TuneBenchmark(request);
+  EXPECT_FALSE(report.ok());
+}
+
+// ---------------------------------------------------------------------------
+// Hetero-ratio folding: on the co-execution backend every space gains the
+// GPU-share axis, the winner carries a concrete split, and the cache
+// addresses hetero winners apart from single-device ones.
+// ---------------------------------------------------------------------------
+
+TEST(TunerConformanceTest2, HeteroRatioFoldsIntoTheSearch) {
+  TuningRequest request = QuickRequest("vecop", sim::Objective::kTime);
+  request.device = sim::BackendKind::kHetero;
+  StatusOr<TuningReport> report = TuneBenchmark(request);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(report->result.best.Has("hetero_permille"));
+  const std::int64_t share = report->result.best.Get("hetero_permille", -1);
+  EXPECT_GE(share, 0);
+  EXPECT_LE(share, 1000);
+  // The extra axis multiplies the space: 24 base points x 5 splits.
+  EXPECT_EQ(report->result.space_size, 120u);
+  // Hetero winners live under a different cache address than Mali ones.
+  StatusOr<TuningReport> mali =
+      TuneBenchmark(QuickRequest("vecop", sim::Objective::kTime));
+  ASSERT_TRUE(mali.ok()) << mali.status().ToString();
+  EXPECT_NE(report->cache_key, mali->cache_key);
+  EXPECT_FALSE(mali->result.best.Has("hetero_permille"));
+}
+
+TEST(TunerConformanceTest2, UnknownBenchmarkIsNotFound) {
+  StatusOr<TuningReport> report =
+      TuneBenchmark(QuickRequest("nope", sim::Objective::kTime));
+  EXPECT_FALSE(report.ok());
+}
+
+}  // namespace
+}  // namespace malisim::harness

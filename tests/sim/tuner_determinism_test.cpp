@@ -1,0 +1,197 @@
+// Determinism fuzz battery for sim::Tuner: the full search trajectory —
+// not just the winner — must be bit-identical for any host thread count
+// and across repeated runs, for the exhaustive and the hill-climb regime,
+// with and without skipped candidates, over a family of seeded synthetic
+// landscapes. This is the engine-level half of the contract; the
+// benchmark-facing half (TuneBenchmark across thread counts) lives in
+// tuner_conformance_test.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/tuner.h"
+
+namespace malisim::sim {
+namespace {
+
+/// Trajectories compare bit-for-bit: the score doubles must be identical,
+/// not merely close.
+void ExpectIdentical(const TunerResult& a, const TunerResult& b) {
+  EXPECT_EQ(a.best.CanonicalKey(), b.best.CanonicalKey());
+  EXPECT_EQ(a.best_score, b.best_score);
+  EXPECT_EQ(a.best_measurement.seconds, b.best_measurement.seconds);
+  EXPECT_EQ(a.best_measurement.energy_j, b.best_measurement.energy_j);
+  EXPECT_EQ(a.evaluated, b.evaluated);
+  EXPECT_EQ(a.skipped, b.skipped);
+  EXPECT_EQ(a.exhaustive, b.exhaustive);
+  ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+  for (std::size_t i = 0; i < a.trajectory.size(); ++i) {
+    EXPECT_EQ(a.trajectory[i].config_key, b.trajectory[i].config_key)
+        << "trajectory diverges at step " << i;
+    EXPECT_EQ(a.trajectory[i].score, b.trajectory[i].score) << "step " << i;
+    EXPECT_EQ(a.trajectory[i].ok, b.trajectory[i].ok) << "step " << i;
+  }
+}
+
+/// Seeded rugged landscape: a deterministic pseudo-random score per
+/// config, derived from the config key — no global RNG, so the eval is a
+/// pure function safe to call from any pool worker.
+TuningEvalFn RuggedLandscape(std::uint64_t landscape_seed,
+                             int fail_modulus = 0) {
+  return [landscape_seed,
+          fail_modulus](const TuningConfig& config)
+             -> StatusOr<TuningMeasurement> {
+    const std::uint64_t h =
+        Fnv1a64(std::to_string(landscape_seed) + "|" + config.CanonicalKey());
+    if (fail_modulus > 0 &&
+        h % static_cast<std::uint64_t>(fail_modulus) == 0) {
+      return InternalError("injected deterministic failure");
+    }
+    TuningMeasurement m;
+    m.seconds = 1.0 + static_cast<double>(h % 10007) / 1000.0;
+    m.energy_j = 1.0 + static_cast<double>((h >> 17) % 9973) / 1000.0;
+    return m;
+  };
+}
+
+TuningSpace SmallSpace() {
+  TuningSpace space;
+  space.axes = {{"vec", {1, 2, 4}},
+                {"wg", {32, 64, 128, 256}},
+                {"copy", {0, 1}}};
+  return space;
+}
+
+/// 6^5 = 7776 points: far beyond the exhaustive limit, so the hill-climb
+/// with restarts runs.
+TuningSpace LargeSpace() {
+  TuningSpace space;
+  for (const char* name : {"a", "b", "c", "d", "e"}) {
+    space.axes.push_back({name, {0, 1, 2, 3, 4, 5}});
+  }
+  return space;
+}
+
+TunerOptions Options(Objective objective, std::uint64_t seed, int threads) {
+  TunerOptions options;
+  options.objective = objective;
+  options.seed = seed;
+  options.threads = threads;
+  return options;
+}
+
+TEST(TunerDeterminismTest, ExhaustiveIdenticalAcrossThreadCounts) {
+  const TuningSpace space = SmallSpace();
+  const TuningEvalFn eval = RuggedLandscape(7);
+  auto base = Tuner(Options(Objective::kTime, 42, 1)).Search(space, eval);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  EXPECT_TRUE(base->exhaustive);
+  for (int threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto run = Tuner(Options(Objective::kTime, 42, threads))
+                   .Search(space, eval);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ExpectIdentical(*base, *run);
+  }
+}
+
+TEST(TunerDeterminismTest, HillClimbIdenticalAcrossThreadCounts) {
+  const TuningSpace space = LargeSpace();
+  const TuningEvalFn eval = RuggedLandscape(11);
+  auto base = Tuner(Options(Objective::kEnergy, 42, 1)).Search(space, eval);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  EXPECT_FALSE(base->exhaustive);
+  for (int threads : {2, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto run = Tuner(Options(Objective::kEnergy, 42, threads))
+                   .Search(space, eval);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ExpectIdentical(*base, *run);
+  }
+}
+
+TEST(TunerDeterminismTest, RepeatedRunsIdentical) {
+  const TuningSpace space = LargeSpace();
+  const TuningEvalFn eval = RuggedLandscape(13);
+  const TunerOptions options = Options(Objective::kEdp, 99, 4);
+  auto first = Tuner(options).Search(space, eval);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  for (int run = 0; run < 3; ++run) {
+    SCOPED_TRACE("run " + std::to_string(run));
+    auto again = Tuner(options).Search(space, eval);
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    ExpectIdentical(*first, *again);
+  }
+}
+
+TEST(TunerDeterminismTest, SkipsAreDeterministicAcrossThreadCounts) {
+  // Every 3rd config (by hash) fails: the skip pattern, the skip count and
+  // the surviving winner must not depend on the thread count.
+  const TuningSpace space = SmallSpace();
+  const TuningEvalFn eval = RuggedLandscape(17, /*fail_modulus=*/3);
+  auto base = Tuner(Options(Objective::kTime, 42, 1)).Search(space, eval);
+  ASSERT_TRUE(base.ok()) << base.status().ToString();
+  EXPECT_GT(base->skipped, 0u);
+  for (int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    auto run = Tuner(Options(Objective::kTime, 42, threads))
+                   .Search(space, eval);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    ExpectIdentical(*base, *run);
+  }
+}
+
+TEST(TunerDeterminismTest, FuzzManySeedsAndObjectives) {
+  // The fuzz sweep: 8 landscapes x 3 search seeds x 3 objectives, each
+  // compared threads=1 vs threads=4, hill-climb regime, with failures.
+  const TuningSpace space = LargeSpace();
+  for (std::uint64_t landscape = 1; landscape <= 8; ++landscape) {
+    const TuningEvalFn eval =
+        RuggedLandscape(landscape, /*fail_modulus=*/5);
+    for (std::uint64_t seed : {1ull, 42ull, 1337ull}) {
+      for (Objective objective : kAllObjectives) {
+        SCOPED_TRACE("landscape=" + std::to_string(landscape) +
+                     " seed=" + std::to_string(seed) + " objective=" +
+                     std::string(ObjectiveName(objective)));
+        auto serial =
+            Tuner(Options(objective, seed, 1)).Search(space, eval);
+        auto threaded =
+            Tuner(Options(objective, seed, 4)).Search(space, eval);
+        ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+        ASSERT_TRUE(threaded.ok()) << threaded.status().ToString();
+        ExpectIdentical(*serial, *threaded);
+      }
+    }
+  }
+}
+
+TEST(TunerDeterminismTest, SeedSelectsRestartStreamButStaysOptimalOnBowl) {
+  // On a convex landscape every restart converges: different seeds may
+  // walk different trajectories but must agree on the optimum.
+  TuningSpace space;
+  space.axes = {{"x", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+                {"y", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+                {"z", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}};
+  ASSERT_GT(space.Size(), TunerOptions().exhaustive_limit);
+  const TuningEvalFn bowl =
+      [](const TuningConfig& c) -> StatusOr<TuningMeasurement> {
+    const double x = static_cast<double>(c.Get("x", 0)) - 6.0;
+    const double y = static_cast<double>(c.Get("y", 0)) - 3.0;
+    const double z = static_cast<double>(c.Get("z", 0)) - 8.0;
+    TuningMeasurement m;
+    m.seconds = 1.0 + x * x + y * y + z * z;
+    m.energy_j = m.seconds;
+    return m;
+  };
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    auto run = Tuner(Options(Objective::kTime, seed, 2)).Search(space, bowl);
+    ASSERT_TRUE(run.ok()) << run.status().ToString();
+    EXPECT_EQ(run->best.CanonicalKey(), "x=6,y=3,z=8");
+  }
+}
+
+}  // namespace
+}  // namespace malisim::sim

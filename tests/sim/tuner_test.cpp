@@ -1,0 +1,264 @@
+// Unit tests for the sim::Tuner search engine on synthetic spaces: the
+// exhaustive/hill-climb split, objective selection, skip accounting,
+// tie-breaking, and the cache-key/config-key plumbing. Thread-count and
+// repeated-run determinism has its own battery (tuner_determinism_test);
+// the benchmark-facing behavior lives in tuner_conformance_test.
+#include "sim/tuner.h"
+
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace malisim::sim {
+namespace {
+
+TuningSpace GridSpace() {
+  TuningSpace space;
+  space.axes = {{"x", {0, 1, 2, 3, 4, 5, 6, 7}}, {"y", {0, 1, 2, 3, 4, 5}}};
+  return space;
+}
+
+/// Convex bowl with minimum at (5, 2): hill-climb from any start finds it.
+TuningMeasurement Bowl(const TuningConfig& config) {
+  const double x = static_cast<double>(config.Get("x", 0));
+  const double y = static_cast<double>(config.Get("y", 0));
+  TuningMeasurement m;
+  m.seconds = 1.0 + (x - 5.0) * (x - 5.0) + (y - 2.0) * (y - 2.0);
+  m.energy_j = 2.0 * m.seconds;
+  return m;
+}
+
+TEST(TuningSpaceTest, SizeAndEnumerationOrder) {
+  TuningSpace space = GridSpace();
+  EXPECT_EQ(space.Size(), 48u);
+  // Axis 0 is the most significant digit: index 0 = (x=0,y=0), 1 = (x=0,y=1).
+  EXPECT_EQ(space.At(0).CanonicalKey(), "x=0,y=0");
+  EXPECT_EQ(space.At(1).CanonicalKey(), "x=0,y=1");
+  EXPECT_EQ(space.At(6).CanonicalKey(), "x=1,y=0");
+  EXPECT_EQ(space.At(47).CanonicalKey(), "x=7,y=5");
+}
+
+TEST(TuningSpaceTest, ValidityPredicateFilters) {
+  TuningSpace space = GridSpace();
+  space.valid = [](const TuningConfig& c) {
+    return c.Get("x", 0) + c.Get("y", 0) <= 4;
+  };
+  EXPECT_TRUE(space.IsValid(space.At(0)));
+  EXPECT_FALSE(space.IsValid(space.At(47)));
+}
+
+TEST(TuningConfigTest, GetSetAndFallback) {
+  TuningConfig config;
+  config.Set("wg", 128);
+  config.Set("vec", 4);
+  EXPECT_EQ(config.Get("wg", 0), 128);
+  EXPECT_EQ(config.Get("absent", 7), 7);
+  config.Set("wg", 64);
+  EXPECT_EQ(config.Get("wg", 0), 64);
+  EXPECT_EQ(config.CanonicalKey(), "wg=64,vec=4");
+}
+
+TEST(TunerTest, ExhaustiveFindsGlobalMinimum) {
+  TunerOptions options;
+  options.objective = Objective::kTime;
+  Tuner tuner(options);
+  StatusOr<TunerResult> result =
+      tuner.Search(GridSpace(), [](const TuningConfig& c) {
+        return StatusOr<TuningMeasurement>(Bowl(c));
+      });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->exhaustive);
+  EXPECT_EQ(result->best.CanonicalKey(), "x=5,y=2");
+  EXPECT_DOUBLE_EQ(result->best_score, 1.0);
+  EXPECT_EQ(result->evaluated, 48u);
+  EXPECT_EQ(result->skipped, 0u);
+  EXPECT_EQ(result->trajectory.size(), 48u);
+}
+
+TEST(TunerTest, ObjectiveSelectorChangesWinner) {
+  // time favors x=0 (fast, hungry); energy favors x=2 (slow, frugal); EDP
+  // picks the middle ground x=1.
+  TuningSpace space;
+  space.axes = {{"x", {0, 1, 2}}};
+  auto eval = [](const TuningConfig& c) -> StatusOr<TuningMeasurement> {
+    TuningMeasurement m;
+    switch (c.Get("x", 0)) {
+      case 0: m.seconds = 1.0; m.energy_j = 9.0; break;
+      case 1: m.seconds = 2.0; m.energy_j = 3.0; break;
+      default: m.seconds = 8.0; m.energy_j = 1.0; break;
+    }
+    return m;
+  };
+  for (const auto& [objective, want] :
+       {std::pair{Objective::kTime, std::string("x=0")},
+        std::pair{Objective::kEnergy, std::string("x=2")},
+        std::pair{Objective::kEdp, std::string("x=1")}}) {
+    TunerOptions options;
+    options.objective = objective;
+    StatusOr<TunerResult> result = Tuner(options).Search(space, eval);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->best.CanonicalKey(), want)
+        << "objective " << ObjectiveName(objective);
+  }
+}
+
+TEST(TunerTest, TieBreakKeepsFirstEnumerated) {
+  TuningSpace space;
+  space.axes = {{"x", {0, 1, 2, 3}}};
+  StatusOr<TunerResult> result =
+      Tuner(TunerOptions()).Search(space, [](const TuningConfig&) {
+        TuningMeasurement m;
+        m.seconds = 5.0;
+        m.energy_j = 5.0;
+        return StatusOr<TuningMeasurement>(m);
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->best.CanonicalKey(), "x=0");
+}
+
+TEST(TunerTest, FailedCandidatesAreSkippedNotFatal) {
+  TuningSpace space;
+  space.axes = {{"x", {0, 1, 2, 3}}};
+  StatusOr<TunerResult> result = Tuner(TunerOptions())
+      .Search(space, [](const TuningConfig& c) -> StatusOr<TuningMeasurement> {
+        if (c.Get("x", 0) % 2 == 0) {
+          return BuildFailureError("synthetic compiler fault");
+        }
+        TuningMeasurement m;
+        m.seconds = 10.0 - static_cast<double>(c.Get("x", 0));
+        m.energy_j = m.seconds;
+        return m;
+      });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->best.CanonicalKey(), "x=3");
+  EXPECT_EQ(result->evaluated, 2u);
+  EXPECT_EQ(result->skipped, 2u);
+}
+
+TEST(TunerTest, AllCandidatesFailedIsNotFound) {
+  TuningSpace space;
+  space.axes = {{"x", {0, 1, 2}}};
+  StatusOr<TunerResult> result = Tuner(TunerOptions())
+      .Search(space, [](const TuningConfig&) -> StatusOr<TuningMeasurement> {
+        return ResourceExhaustedError("CL_OUT_OF_RESOURCES");
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(TunerTest, EmptySpaceIsInvalidArgument) {
+  StatusOr<TunerResult> result =
+      Tuner(TunerOptions()).Search(TuningSpace(), [](const TuningConfig&) {
+        return StatusOr<TuningMeasurement>(TuningMeasurement());
+      });
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInvalidArgument);
+}
+
+TEST(TunerTest, HillClimbFindsBowlMinimumWithoutExhausting) {
+  TuningSpace space;
+  space.axes = {{"x", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+                {"y", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}},
+                {"z", {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}};
+  TunerOptions options;
+  options.exhaustive_limit = 100;  // 1000-point space -> hill-climb
+  options.restarts = 4;
+  options.max_steps = 40;
+  std::atomic<int> evals{0};
+  StatusOr<TunerResult> result =
+      Tuner(options).Search(space, [&](const TuningConfig& c) {
+        ++evals;
+        const double x = static_cast<double>(c.Get("x", 0));
+        const double y = static_cast<double>(c.Get("y", 0));
+        const double z = static_cast<double>(c.Get("z", 0));
+        TuningMeasurement m;
+        m.seconds = 1.0 + (x - 6) * (x - 6) + (y - 3) * (y - 3) +
+                    (z - 8) * (z - 8);
+        m.energy_j = m.seconds;
+        return StatusOr<TuningMeasurement>(m);
+      });
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->exhaustive);
+  EXPECT_EQ(result->best.CanonicalKey(), "x=6,y=3,z=8");
+  // The climb converges without sweeping the space.
+  EXPECT_LT(evals.load(), 500);
+  EXPECT_EQ(result->evaluated + result->skipped, result->trajectory.size());
+}
+
+TEST(TunerTest, ThreadedSearchEvaluatesEachConfigOnce) {
+  TuningSpace space = GridSpace();
+  TunerOptions options;
+  options.threads = 4;
+  std::mutex mu;
+  std::set<std::string> seen;
+  bool duplicate = false;
+  StatusOr<TunerResult> result =
+      Tuner(options).Search(space, [&](const TuningConfig& c) {
+        {
+          std::lock_guard<std::mutex> lock(mu);
+          duplicate |= !seen.insert(c.CanonicalKey()).second;
+        }
+        return StatusOr<TuningMeasurement>(Bowl(c));
+      });
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(duplicate);
+  EXPECT_EQ(seen.size(), 48u);
+  EXPECT_EQ(result->best.CanonicalKey(), "x=5,y=2");
+}
+
+TEST(ObjectiveTest, ParseRoundTrip) {
+  for (const Objective o : kAllObjectives) {
+    Objective parsed = Objective::kTime;
+    EXPECT_TRUE(ParseObjective(ObjectiveName(o), &parsed));
+    EXPECT_EQ(parsed, o);
+  }
+  Objective parsed = Objective::kTime;
+  EXPECT_FALSE(ParseObjective("joules", &parsed));
+}
+
+TEST(CacheKeyTest, SensitiveToEveryIngredient) {
+  TuningSpace space = GridSpace();
+  DeviceCaps caps;
+  caps.name = "Mali-T604 (modelled)";
+  caps.kind = BackendKind::kMali;
+  caps.compute_units = 4;
+  caps.max_work_group_size = 256;
+  caps.clock_hz = 533e6;
+  const std::string base =
+      TuningCacheKey("fp:abc", caps, Objective::kTime, space);
+  EXPECT_NE(base, TuningCacheKey("fp:def", caps, Objective::kTime, space));
+  EXPECT_NE(base, TuningCacheKey("fp:abc", caps, Objective::kEnergy, space));
+  DeviceCaps other = caps;
+  other.compute_units = 8;
+  EXPECT_NE(base, TuningCacheKey("fp:abc", other, Objective::kTime, space));
+  TuningSpace smaller = space;
+  smaller.axes[0].values.pop_back();
+  EXPECT_NE(base, TuningCacheKey("fp:abc", caps, Objective::kTime, smaller));
+  // throughput_hint seeds the hetero split heuristic but never a modelled
+  // time, so it must NOT invalidate cached winners.
+  DeviceCaps hinted = caps;
+  hinted.throughput_hint = 1e9;
+  EXPECT_EQ(base, TuningCacheKey("fp:abc", hinted, Objective::kTime, space));
+}
+
+TEST(ConfigFromKeyTest, ResolvesAgainstSpace) {
+  TuningSpace space = GridSpace();
+  StatusOr<TuningConfig> config = ConfigFromKey(space, "x=5,y=2");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->CanonicalKey(), "x=5,y=2");
+  // Omitted axes resolve to the axis's first value.
+  config = ConfigFromKey(space, "y=3");
+  ASSERT_TRUE(config.ok());
+  EXPECT_EQ(config->CanonicalKey(), "x=0,y=3");
+  // Out-of-space values and unknown axes are stale entries, not crashes.
+  EXPECT_FALSE(ConfigFromKey(space, "x=99").ok());
+  EXPECT_FALSE(ConfigFromKey(space, "q=1").ok());
+  EXPECT_FALSE(ConfigFromKey(space, "husk").ok());
+}
+
+}  // namespace
+}  // namespace malisim::sim

@@ -1,0 +1,273 @@
+// malisim-tune: the autotuner front-end (DESIGN.md §12).
+//
+// Runs sim::Tuner over the §III optimization space of each selected
+// benchmark, prints the winning-configuration table — winner, paper
+// hand-pick, score under the chosen objective, search accounting — and
+// optionally writes a schema-versioned JSON record ("malisim-tune-v1") of
+// the run for machine comparison.
+//
+// Usage:
+//   malisim-tune [--objective=time|energy|edp] [--benchmarks=a,b,c]
+//                [--fp64] [--quick] [--seed=N] [--threads=N]
+//                [--tune-cache=PATH] [--json=PATH]
+//                [--device=mali|a15|hetero]
+//
+// Everything is deterministic: same flags, byte-identical table and JSON
+// for any --threads value (CI cmp-checks two runs). The tuning cache is
+// loaded before and saved after the run; a corrupt cache file degrades to
+// an empty one with a warning, never an abort.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "common/status.h"
+#include "common/table.h"
+#include "common/version.h"
+#include "harness/tuning.h"
+#include "hpc/benchmark.h"
+#include "hpc/problem_sizes.h"
+#include "sim/tuner.h"
+
+namespace malisim {
+namespace {
+
+struct TuneToolOptions {
+  sim::Objective objective = sim::Objective::kEnergy;
+  bool fp64 = false;
+  std::uint64_t seed = 42;
+  int threads = 1;
+  hpc::ProblemSizes sizes;
+  std::string cache_path;
+  std::string json_path;
+  sim::BackendKind device = sim::BackendKind::kMali;
+  std::vector<std::string> benchmarks;  // empty = all registered
+};
+
+std::vector<std::string> SplitCsv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::size_t end = comma == std::string::npos ? s.size() : comma;
+    if (end > pos) out.push_back(s.substr(pos, end - pos));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+TuneToolOptions ParseArgs(int argc, char** argv) {
+  TuneToolOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--objective=", 0) == 0) {
+      if (!sim::ParseObjective(arg.substr(12), &options.objective)) {
+        std::fprintf(stderr, "unknown --objective '%s' (time|energy|edp)\n",
+                     arg.c_str() + 12);
+        std::exit(2);
+      }
+    } else if (arg == "--fp64") {
+      options.fp64 = true;
+    } else if (arg == "--quick") {
+      options.sizes = hpc::ProblemSizes::Quick();
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      options.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads =
+          static_cast<int>(std::strtol(arg.c_str() + 10, nullptr, 10));
+      if (options.threads < 1) options.threads = 1;
+    } else if (arg.rfind("--tune-cache=", 0) == 0) {
+      options.cache_path = arg.substr(13);
+    } else if (arg.rfind("--json=", 0) == 0) {
+      options.json_path = arg.substr(7);
+    } else if (arg.rfind("--benchmarks=", 0) == 0) {
+      options.benchmarks = SplitCsv(arg.substr(13));
+    } else if (arg.rfind("--device=", 0) == 0) {
+      if (!sim::ParseBackend(arg.substr(9), &options.device)) {
+        std::fprintf(stderr, "unknown --device '%s' (mali|a15|hetero)\n",
+                     arg.c_str() + 9);
+        std::exit(2);
+      }
+    } else {
+      std::fprintf(
+          stderr,
+          "unknown flag '%s'\n"
+          "usage: malisim-tune [--objective=time|energy|edp] [--fp64]\n"
+          "                    [--quick] [--seed=N] [--threads=N]\n"
+          "                    [--benchmarks=a,b,c] [--tune-cache=PATH]\n"
+          "                    [--json=PATH] [--device=mali|a15|hetero]\n",
+          arg.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+struct TuneRow {
+  std::string benchmark;
+  bool ok = false;
+  std::string failure;
+  harness::TuningReport report;
+};
+
+int Main(int argc, char** argv) {
+  InitLogLevelFromEnv();
+  const TuneToolOptions options = ParseArgs(argc, argv);
+  std::vector<std::string> names = options.benchmarks;
+  if (names.empty()) names = hpc::RegisteredBenchmarks();
+
+  sim::TuningCache cache;
+  if (!options.cache_path.empty()) {
+    cache = sim::TuningCache::LoadFileOrEmpty(options.cache_path);
+  }
+
+  std::vector<TuneRow> rows;
+  for (const std::string& name : names) {
+    harness::TuningRequest request;
+    request.benchmark = name;
+    request.sizes = options.sizes;
+    request.fp64 = options.fp64;
+    request.seed = options.seed;
+    request.device = options.device;
+    request.tuner.objective = options.objective;
+    request.tuner.seed = options.seed;
+    request.tuner.threads = options.threads;
+    request.cache = options.cache_path.empty() ? nullptr : &cache;
+
+    TuneRow row;
+    row.benchmark = name;
+    StatusOr<harness::TuningReport> report = harness::TuneBenchmark(request);
+    if (report.ok()) {
+      row.ok = true;
+      row.report = *std::move(report);
+    } else {
+      row.failure = report.status().ToString();
+    }
+    rows.push_back(std::move(row));
+  }
+
+  // The winning-configuration table. The "paper §III" column is the
+  // hand-picked configuration the tuner's winner is measured against.
+  Table table({"benchmark", "winner", "paper §III",
+               std::string("score (") +
+                   std::string(sim::ObjectiveName(options.objective)) + ")",
+               "seconds", "energy J", "searched", "skipped", "source"});
+  for (const TuneRow& row : rows) {
+    table.BeginRow();
+    table.AddCell(row.benchmark);
+    if (!row.ok) {
+      table.AddCell(row.failure);
+      for (int i = 0; i < 6; ++i) table.AddMissing();
+      table.AddCell("failed");
+      continue;
+    }
+    const sim::TunerResult& r = row.report.result;
+    table.AddCell(r.best.CanonicalKey());
+    table.AddCell(row.report.paper_config.CanonicalKey());
+    table.AddNumber(r.best_score, 6);
+    table.AddNumber(r.best_measurement.seconds, 6);
+    table.AddNumber(r.best_measurement.energy_j, 6);
+    table.AddCell(std::to_string(r.evaluated) + "/" +
+                  std::to_string(r.space_size));
+    table.AddCell(std::to_string(r.skipped));
+    table.AddCell(r.from_cache ? "cache"
+                               : (r.exhaustive ? "exhaustive" : "hill-climb"));
+  }
+  std::printf("malisim-tune: §III autotuning, objective=%s, %s, seed=%llu\n",
+              std::string(sim::ObjectiveName(options.objective)).c_str(),
+              options.fp64 ? "fp64" : "fp32",
+              static_cast<unsigned long long>(options.seed));
+  std::printf("%s", table.ToAscii().c_str());
+
+  if (!options.cache_path.empty()) {
+    const Status saved = cache.SaveFile(options.cache_path);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "could not save tuning cache %s: %s\n",
+                   options.cache_path.c_str(), saved.ToString().c_str());
+      return 1;
+    }
+  }
+
+  if (!options.json_path.empty()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema");
+    w.String("malisim-tune-v1");
+    w.Key("git_sha");
+    w.String(GitSha());
+    w.Key("objective");
+    w.String(std::string(sim::ObjectiveName(options.objective)));
+    w.Key("precision");
+    w.String(options.fp64 ? "fp64" : "fp32");
+    w.Key("seed");
+    w.Number(static_cast<std::uint64_t>(options.seed));
+    w.Key("benchmarks");
+    w.BeginArray();
+    for (const TuneRow& row : rows) {
+      w.BeginObject();
+      w.Key("name");
+      w.String(row.benchmark);
+      w.Key("ok");
+      w.Bool(row.ok);
+      if (!row.ok) {
+        w.Key("failure");
+        w.String(row.failure);
+      } else {
+        const sim::TunerResult& r = row.report.result;
+        w.Key("winner");
+        w.String(r.best.CanonicalKey());
+        w.Key("paper_config");
+        w.String(row.report.paper_config.CanonicalKey());
+        w.Key("score");
+        w.Number(r.best_score);
+        w.Key("seconds");
+        w.Number(r.best_measurement.seconds);
+        w.Key("energy_j");
+        w.Number(r.best_measurement.energy_j);
+        w.Key("space_size");
+        w.Number(r.space_size);
+        w.Key("evaluated");
+        w.Number(r.evaluated);
+        w.Key("skipped");
+        w.Number(r.skipped);
+        w.Key("exhaustive");
+        w.Bool(r.exhaustive);
+        w.Key("from_cache");
+        w.Bool(r.from_cache);
+        w.Key("cache_key");
+        w.String(row.report.cache_key);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    std::FILE* f = std::fopen(options.json_path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "could not open %s\n", options.json_path.c_str());
+      return 1;
+    }
+    std::fputs(w.str().c_str(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    std::printf("wrote %s\n", options.json_path.c_str());
+  }
+
+  // Any benchmark that failed for a reason other than the modelled
+  // erratum space (NotFound = every candidate failed, e.g. amcd FP64) is
+  // still a successful tool run; an unknown benchmark name is not.
+  for (const TuneRow& row : rows) {
+    if (!row.ok && row.failure.find("unknown benchmark") != std::string::npos) {
+      return 2;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace malisim
+
+int main(int argc, char** argv) { return malisim::Main(argc, argv); }
