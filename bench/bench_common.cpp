@@ -1,6 +1,9 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
+#include <chrono>
 #include <cinttypes>
+#include <vector>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +13,7 @@
 #include "common/version.h"
 #include "fault/fault_plan.h"
 #include "obs/bench_report.h"
+#include "obs/host_prof.h"
 #include "obs/metrics.h"
 #include "harness/tuning.h"
 #include "power/power_model.h"
@@ -65,6 +69,14 @@ BenchOptions ParseOptions(int argc, char** argv) {
       }
     } else if (arg.rfind("--tune-cache=", 0) == 0) {
       options.tune_cache = arg.substr(13);
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      // After InitLogLevelFromEnv above, so the flag wins over the env var.
+      if (!ApplyLogLevelFlag(arg.substr(12))) {
+        std::fprintf(stderr,
+                     "unknown --log-level '%s' (debug|info|warn|error|off)\n",
+                     arg.c_str() + 12);
+        std::exit(2);
+      }
     } else if (arg == "--quick") {
       options.sizes = hpc::ProblemSizes::Quick();
     }
@@ -89,6 +101,9 @@ StatusOr<std::vector<harness::BenchmarkResults>> RunSweep(
     // OpenCL-opt column through RunTuned. A failed search (e.g. every
     // amcd FP64 candidate hitting the compiler erratum) keeps the paper
     // kernel for that benchmark — the missing bar stays missing.
+    obs::HostProf::PhaseSpan tune_span(
+        recorder != nullptr ? recorder->host_prof() : nullptr,
+        obs::HostPhase::kTune);
     sim::TuningCache cache;
     if (!options.tune_cache.empty()) {
       cache = sim::TuningCache::LoadFileOrEmpty(options.tune_cache);
@@ -140,7 +155,12 @@ Status RunSweepInto(const BenchOptions& options, bool fp64,
   if (!options.bench_json.empty()) {
     sweep.recorder = std::make_shared<obs::Recorder>();
   }
+  const auto host_start = std::chrono::steady_clock::now();
   auto results = RunSweep(options, fp64, sweep.recorder.get());
+  sweep.host_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
   if (!results.ok()) return results.status();
   sweep.results = std::move(*results);
   sweeps->push_back(std::move(sweep));
@@ -263,6 +283,34 @@ void AppendPaperDeltas(
 
 std::string U64(std::uint64_t v) { return std::to_string(v); }
 
+/// Order-independent sums over the sweep's kernel records (deterministic
+/// half of the sim_throughput record) plus the measured host rates.
+obs::SimThroughput ComputeThroughput(const SweepData& sweep) {
+  obs::SimThroughput t;
+  t.sweep = sweep.fp64 ? "fp64" : "fp32";
+  // Kernel record order may vary with host thread count, so the modelled
+  // total is summed in sorted order to keep it byte-identical.
+  std::vector<double> modelled;
+  for (const obs::KernelRecord& k : sweep.recorder->kernels()) {
+    t.work_items += k.work_items;
+    for (std::uint64_t n : k.opcode_counts) t.opcodes += n;
+    ++t.launches;
+    modelled.push_back(k.seconds);
+  }
+  std::sort(modelled.begin(), modelled.end());
+  for (double sec : modelled) t.modelled_sec += sec;
+  t.host_sec = sweep.host_sec;
+  if (sweep.host_sec > 0.0) {
+    t.work_items_per_host_sec =
+        static_cast<double>(t.work_items) / sweep.host_sec;
+    t.opcodes_per_host_sec = static_cast<double>(t.opcodes) / sweep.host_sec;
+  }
+  if (t.modelled_sec > 0.0) {
+    t.host_sec_per_modelled_sec = sweep.host_sec / t.modelled_sec;
+  }
+  return t;
+}
+
 }  // namespace
 
 Status WriteBenchJson(const BenchOptions& options,
@@ -316,6 +364,7 @@ Status WriteBenchJson(const BenchOptions& options,
 
   std::vector<obs::BenchCell> cells;
   std::vector<obs::PaperDelta> deltas;
+  std::vector<obs::SimThroughput> throughput;
   obs::MetricsAggregator aggregator;
   const power::PowerModel model;
   for (const SweepData& sweep : sweeps) {
@@ -333,11 +382,12 @@ Status WriteBenchJson(const BenchOptions& options,
       sweep.recorder->Seal();  // producers are done; flush contract
       aggregator.IngestRecorder(*sweep.recorder, model,
                                 sweep.fp64 ? "fp64" : "fp32");
+      throughput.push_back(ComputeThroughput(sweep));
     }
   }
 
   return obs::WriteBenchReport(meta, cells, deltas, aggregator.Finalize(),
-                               options.bench_json);
+                               options.bench_json, throughput);
 }
 
 }  // namespace malisim::bench

@@ -63,8 +63,10 @@ struct BenchOptions {
 /// (per-site overrides; "all" = every site), --watchdog=SEC (per-kernel
 /// modelled-time budget), --tune[=time|energy|edp] (autotune the §III
 /// space and drive the OpenCL-opt column with the winners; exits with
-/// status 2 on an unknown objective) and --tune-cache=PATH (persistent
-/// tuning-winner cache).
+/// status 2 on an unknown objective), --tune-cache=PATH (persistent
+/// tuning-winner cache), and --log-level=debug|info|warn|error|off
+/// (overrides MALISIM_LOG_LEVEL; exits with status 2 on an unknown
+/// level).
 BenchOptions ParseOptions(int argc, char** argv);
 
 /// One completed precision sweep plus the recorder that observed it (the
@@ -73,6 +75,10 @@ struct SweepData {
   bool fp64 = false;
   std::vector<harness::BenchmarkResults> results;
   std::shared_ptr<obs::Recorder> recorder;
+  /// Measured host wall-clock for the sweep. Feeds only the record's
+  /// sim_throughput_host section, which is excluded from the byte-identity
+  /// contract.
+  double host_sec = 0.0;
 };
 
 /// Runs all nine benchmarks at one precision. `recorder`, when non-null,

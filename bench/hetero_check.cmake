@@ -8,9 +8,10 @@
 # Endpoint runs are --fp32: the hetero context keeps the Mali compiler
 # configuration (fp64 erratum), so amcd/fp64 is unavailable under hetero but
 # available under --device=a15 — comparing fp32 keeps the cell sets aligned.
-# Aggregated counters/histograms/gauges are excluded from the endpoint
-# equality check (huge prefix thresholds): the hetero run records the extra
-# Hetero-column launches and meter windows on top of the shared variants.
+# Aggregated counters/histograms/gauges and the sim_throughput sections are
+# excluded from the endpoint equality check (huge prefix thresholds): the
+# hetero run records the extra Hetero-column launches and meter windows on
+# top of the shared variants, and the _host rates are wall-clock.
 # Driven via -DFIG2=... -DBENCH=... -DOUT_DIR=... -DBASELINE=... -P this-file.
 foreach(var FIG2 BENCH OUT_DIR BASELINE)
   if(NOT DEFINED ${var})
@@ -20,7 +21,7 @@ endforeach()
 
 file(MAKE_DIRECTORY "${OUT_DIR}")
 set(neutral_aggregates
-  "--threshold-spec=counter/=1e18,hist/=1e18,gauge/=1e18")
+  "--threshold-spec=counter/=1e18,hist/=1e18,gauge/=1e18,sim_throughput/=1e18,sim_throughput_host/=1e18")
 
 function(run_fig2 out_json)
   execute_process(

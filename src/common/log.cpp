@@ -60,6 +60,13 @@ void InitLogLevelFromEnv() {
   }
 }
 
+bool ApplyLogLevelFlag(std::string_view value) {
+  LogLevel level;
+  if (!ParseLogLevel(value, &level)) return false;
+  SetLogLevel(level);
+  return true;
+}
+
 void Logf(LogLevel level, const char* fmt, ...) {
   if (level < g_level.load(std::memory_order_relaxed)) return;
   std::fputs(LevelPrefix(level), stderr);

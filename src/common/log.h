@@ -23,6 +23,12 @@ bool ParseLogLevel(std::string_view text, LogLevel* out);
 /// environment provides the default and --log-level style flags still win.
 void InitLogLevelFromEnv();
 
+/// Applies a --log-level=VALUE flag ("debug"/"info"/"warn[ing]"/"error"/
+/// "off" or the numeric level). Returns false — leaving the level
+/// unchanged — on an unrecognized value. Binaries call this after
+/// InitLogLevelFromEnv(), so the flag wins over the environment.
+bool ApplyLogLevelFlag(std::string_view value);
+
 /// printf-style logging to stderr with a level prefix.
 void Logf(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));

@@ -157,47 +157,59 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
   std::vector<CoreAggregate> agg(static_cast<std::size_t>(num_threads));
 
   // Phase 1 — functional execution + cache simulation per modelled core.
+  // As on the Mali device, host-time attribution samples the interpreter
+  // only on the serial engine path; the execute span covers both paths.
+  obs::HostProf* host_prof =
+      recorder_ != nullptr ? recorder_->host_prof() : nullptr;
+  obs::InterpProfile interp_prof(host_prof, program, num_threads);
   const int host_threads = options_.ResolvedThreads();
-  if (host_threads <= 1) {
-    for (int t = 0; t < num_threads; ++t) {
-      // Contiguous block of the active group sub-range, row-major order
-      // (OpenMP static schedule).
-      const std::uint64_t begin =
-          config.group_begin + active_groups * t / num_threads;
-      const std::uint64_t end =
-          config.group_begin + active_groups * (t + 1) / num_threads;
+  {
+    obs::HostProf::PhaseSpan execute_span(host_prof,
+                                          obs::HostPhase::kExecute);
+    if (host_threads <= 1) {
+      for (int t = 0; t < num_threads; ++t) {
+        // Contiguous block of the active group sub-range, row-major order
+        // (OpenMP static schedule).
+        const std::uint64_t begin =
+            config.group_begin + active_groups * t / num_threads;
+        const std::uint64_t end =
+            config.group_begin + active_groups * (t + 1) / num_threads;
 
-      kir::Bindings core_bindings = bindings;
-      core_bindings.local_scratch = {
-          scratch_[t].get(), kScratchSimBase + t * kScratchStride,
-          local_bytes + 64};
+        kir::Bindings core_bindings = bindings;
+        core_bindings.local_scratch = {
+            scratch_[t].get(), kScratchSimBase + t * kScratchStride,
+            local_bytes + 64};
 
-      StatusOr<kir::Executor> executor =
-          kir::Executor::Create(&program, config, std::move(core_bindings));
-      if (!executor.ok()) return executor.status();
-      if (recorder_ != nullptr && recorder_->counters_enabled()) {
-        executor->set_opcode_tally(agg[t].opcode_tally.data());
+        StatusOr<kir::Executor> executor =
+            kir::Executor::Create(&program, config, std::move(core_bindings));
+        if (!executor.ok()) return executor.status();
+        if (recorder_ != nullptr && recorder_->counters_enabled()) {
+          executor->set_opcode_tally(agg[t].opcode_tally.data());
+        }
+        executor->set_host_time(interp_prof.sink(t));
+
+        CoreSink sink(&hierarchy_, static_cast<std::uint32_t>(t));
+        for (std::uint64_t g = begin; g < end; ++g) {
+          const std::uint64_t gx = g % group_dims[0];
+          const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
+          const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
+          MALI_RETURN_IF_ERROR(
+              executor->RunGroup({gx, gy, gz}, &sink, &agg[t].run));
+        }
+        agg[t].groups = end - begin;
+        agg[t].l1_misses = sink.l1_misses;
+        agg[t].l2_misses = sink.l2_misses;
       }
-
-      CoreSink sink(&hierarchy_, static_cast<std::uint32_t>(t));
-      for (std::uint64_t g = begin; g < end; ++g) {
-        const std::uint64_t gx = g % group_dims[0];
-        const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
-        const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
-        MALI_RETURN_IF_ERROR(
-            executor->RunGroup({gx, gy, gz}, &sink, &agg[t].run));
-      }
-      agg[t].groups = end - begin;
-      agg[t].l1_misses = sink.l1_misses;
-      agg[t].l2_misses = sink.l2_misses;
+    } else {
+      MALI_RETURN_IF_ERROR(RunGroupsParallel(program, config, bindings,
+                                             local_bytes, num_threads,
+                                             host_threads, &agg));
     }
-  } else {
-    MALI_RETURN_IF_ERROR(RunGroupsParallel(program, config, bindings,
-                                           local_bytes, num_threads,
-                                           host_threads, &agg));
   }
+  interp_prof.Merge(program.name);
 
   // Phase 2 — timing model over the per-core aggregates.
+  obs::HostProf::PhaseSpan merge_span(host_prof, obs::HostPhase::kMerge);
   const bool recording = recorder_ != nullptr && recorder_->counters_enabled();
   std::vector<obs::CoreKernelCounters> core_counters(
       recording ? static_cast<std::size_t>(num_threads) : 0);
@@ -284,6 +296,7 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
     obs::KernelRecord record;
     record.kernel = program.name;
     record.device = "cortex-a15";
+    record.scope = record_scope_;
     record.seconds = seconds;
     record.cores = std::move(core_counters);
     for (const CoreAggregate& a : agg) {

@@ -10,6 +10,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/sim_options.h"
@@ -78,6 +79,12 @@ class CortexA15Device : public sim::Device {
     recorder_ = recorder;
   }
 
+  /// Execution-scope tag stamped onto emitted KernelRecords (see
+  /// sim::Device::set_record_scope).
+  void set_record_scope(std::string_view scope) override {
+    record_scope_ = std::string(scope);
+  }
+
   static constexpr int kMaxCores = power::kNumA15Cores;
 
  private:
@@ -105,6 +112,7 @@ class CortexA15Device : public sim::Device {
   sim::DramModel dram_;
   SimOptions options_;
   obs::Recorder* recorder_ = nullptr;
+  std::string record_scope_;
   std::unique_ptr<ThreadPool> pool_;
   // Scratch backing for kernels with __local arrays (one region per core).
   std::vector<std::unique_ptr<std::byte[]>> scratch_;

@@ -90,12 +90,17 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmark(
 
 StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
     const std::string& name, int device_threads) {
+  obs::HostProf* host_prof =
+      config_.recorder != nullptr ? config_.recorder->host_prof() : nullptr;
   std::unique_ptr<hpc::Benchmark> bench =
       hpc::CreateBenchmark(name, config_.sizes);
   if (bench == nullptr) {
     return NotFoundError("unknown benchmark '" + name + "'");
   }
-  MALI_RETURN_IF_ERROR(bench->Setup(config_.fp64, config_.seed));
+  {
+    obs::HostProf::PhaseSpan setup_span(host_prof, obs::HostPhase::kSetup);
+    MALI_RETURN_IF_ERROR(bench->Setup(config_.fp64, config_.seed));
+  }
 
   BenchmarkResults results;
   results.name = name;
@@ -172,6 +177,8 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
     const sim::TuningConfig* tuned =
         tuned_it != config_.tuned_configs.end() ? &tuned_it->second : nullptr;
     auto run_variant = [&](hpc::Variant variant) {
+      obs::HostProf::PhaseSpan variant_span(host_prof,
+                                            obs::HostPhase::kVariant);
       fault::RetryStats rs;
       StatusOr<hpc::RunOutcome> result = fault::RetryWithBackoff(
           plan.retry,
@@ -241,6 +248,8 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
     // Power: the model gives the true average board power over the region;
     // the meter samples it for `repetitions` windows, per §IV-D. The meter
     // RNG stream is private to this (benchmark, variant) cell.
+    obs::HostProf::PhaseSpan power_span(host_prof,
+                                        obs::HostPhase::kPowerAccounting);
     const double true_watts = power_model_.AveragePower(run->profile);
     power::PowerMeter meter(config_.meter, MeterSeed(config_.seed, name, v));
     meter.set_fault_injector(&injector);
@@ -280,6 +289,21 @@ StatusOr<BenchmarkResults> ExperimentRunner::RunBenchmarkImpl(
       config_.recorder->AddPowerSegment(
           {name + "/" + std::string(hpc::VariantName(v)),
            config_.meter_window_sec, run->profile});
+    }
+  }
+
+  // Mirror each context's scheduled event graph into the recorder so the
+  // Perfetto export can draw the causal schedule. Observability must never
+  // fail a run, so a (structurally impossible) schedule error only warns.
+  if (config_.recorder != nullptr) {
+    Status graph_status = gpu_context.queue().RecordScheduledGraph(
+        std::string(sim::BackendName(config_.device)));
+    if (graph_status.ok() && hetero_context != nullptr) {
+      graph_status = hetero_context->queue().RecordScheduledGraph("hetero");
+    }
+    if (!graph_status.ok()) {
+      MALI_LOG_WARN("%s: event-graph record failed: %s", name.c_str(),
+                    graph_status.ToString().c_str());
     }
   }
   return results;

@@ -1,6 +1,7 @@
 #include "kir/interp.h"
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <memory>
@@ -309,6 +310,9 @@ Status Executor::Step(const ThreadCtx& ctx, RegValue* regs, std::uint32_t* pc,
   ++steps_executed_;
   if (opcode_tally_ != nullptr) {
     ++opcode_tally_[static_cast<std::size_t>(in.op)];
+  }
+  if (host_time_ != nullptr && --host_time_->countdown == 0) {
+    HostTimeTick(i);
   }
 
   RegValue& D = regs[in.dst];
@@ -833,6 +837,64 @@ Status Executor::Step(const ThreadCtx& ctx, RegValue* regs, std::uint32_t* pc,
   }
   *pc = next;
   return Status::Ok();
+}
+
+void Executor::HostTimeTick(std::uint32_t pc) {
+  HostTimeSink* s = host_time_;
+  s->countdown = s->period == 0 ? 1 : s->period;
+  const std::uint64_t now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  ++s->samples;
+  if (s->last_pc >= 0) {
+    // The window [last tick, now] is attributed to the instruction that
+    // was live at the previous tick — standard sampling estimator, exact
+    // when period == 1 (every step both opens and closes its own window).
+    const std::uint64_t delta = now - s->last_ns;
+    if (s->op_ns != nullptr) {
+      const Opcode op = p_->code[static_cast<std::size_t>(s->last_pc)].op;
+      s->op_ns[static_cast<std::size_t>(op)] += delta;
+    }
+    if (s->block_ns != nullptr && s->block_of_pc != nullptr) {
+      s->block_ns[s->block_of_pc[static_cast<std::size_t>(s->last_pc)]] +=
+          delta;
+    }
+    s->steps += s->countdown;
+  }
+  s->last_pc = static_cast<std::int32_t>(pc);
+  s->last_ns = now;
+}
+
+std::vector<BlockSpan> BasicBlocks(const Program& program) {
+  const auto is_control = [](Opcode op) {
+    switch (op) {
+      case Opcode::kBarrier:
+      case Opcode::kLoopBegin:
+      case Opcode::kLoopEnd:
+      case Opcode::kIfBegin:
+      case Opcode::kElse:
+      case Opcode::kIfEnd:
+        return true;
+      default:
+        return false;
+    }
+  };
+  std::vector<BlockSpan> blocks;
+  const std::uint32_t n = static_cast<std::uint32_t>(program.code.size());
+  std::uint32_t i = 0;
+  while (i < n) {
+    if (is_control(program.code[i].op)) {
+      blocks.push_back({i, i + 1});
+      ++i;
+      continue;
+    }
+    std::uint32_t end = i + 1;
+    while (end < n && !is_control(program.code[end].op)) ++end;
+    blocks.push_back({i, end});
+    i = end;
+  }
+  return blocks;
 }
 
 StatusOr<WorkGroupRun> RunProgram(const Program& program, LaunchConfig config,

@@ -17,6 +17,38 @@
 
 namespace malisim::kir {
 
+/// Host-wall-time attribution sink for the self-profiler (obs::HostProf).
+/// Same layering idiom as the opcode tally: a POD of raw pointers so kir
+/// stays free of obs types, null by default so the hot loop pays one
+/// perfectly predicted branch. The executor ticks a countdown every Step;
+/// when it hits zero it reads the steady clock once and attributes the
+/// whole window since the previous tick to the opcode / basic block that
+/// was executing at the *previous* tick (classic sampling-profiler
+/// semantics; exact when period == 1). Nanosecond sums are commutative,
+/// so parallel engines may hand each worker a private sink and merge.
+struct HostTimeSink {
+  std::uint64_t* op_ns = nullptr;     // kNumOpcodeValues slots, += window ns
+  std::uint64_t* block_ns = nullptr;  // one slot per basic block (optional)
+  const std::uint16_t* block_of_pc = nullptr;  // pc -> block index map
+  std::uint32_t period = 256;  // steps per clock read; 1 = exact tally
+  std::uint32_t countdown = 1;  // steps until next tick (primed at 1)
+  std::uint64_t last_ns = 0;    // steady-clock ns at the previous tick
+  std::int32_t last_pc = -1;    // pc captured at the previous tick
+  std::uint64_t samples = 0;    // clock reads taken (self-cost estimate)
+  std::uint64_t steps = 0;      // steps covered by attributed windows
+};
+
+/// One maximal straight-line span of instructions: [begin, end). Control
+/// opcodes (barrier, loop/if bookkeeping) are singleton blocks; everything
+/// between two control points is one block. Pure function of the program,
+/// so profilers and future trace compilers agree on block identity.
+struct BlockSpan {
+  std::uint32_t begin = 0;
+  std::uint32_t end = 0;  // exclusive
+};
+
+std::vector<BlockSpan> BasicBlocks(const Program& program);
+
 class Executor {
  public:
   /// Validates geometry and bindings against the program's declarations.
@@ -43,6 +75,11 @@ class Executor {
   /// determinism. Null (the default) keeps the hot loop branch-free in
   /// practice (perfectly predicted null check).
   void set_opcode_tally(std::uint64_t* tally) { opcode_tally_ = tally; }
+
+  /// Optional host-time sampling sink (see HostTimeSink above). The sink
+  /// and every array it points at must outlive the executor. Null (the
+  /// default) keeps the hot loop cost at one predicted branch.
+  void set_host_time(HostTimeSink* sink) { host_time_ = sink; }
 
  private:
   struct Slot {
@@ -79,6 +116,10 @@ class Executor {
   /// runtime faults (out-of-bounds access, division by zero on integers).
   Status Step(const ThreadCtx& ctx, RegValue* regs, std::uint32_t* pc,
               MemorySink* sink, WorkGroupRun* out);
+  /// Cold path of the host-time sampler: reads the clock, attributes the
+  /// elapsed window to the op/block at the previous tick, re-arms the
+  /// countdown. Out of line so Step's fast path stays small.
+  void HostTimeTick(std::uint32_t pc);
 
   const Program* p_;
   // Incremented once per executed instruction; RunGroup snapshots it around
@@ -93,6 +134,7 @@ class Executor {
   // barrier path, num_regs otherwise).
   std::vector<RegValue> reg_arena_;
   std::uint64_t* opcode_tally_ = nullptr;  // see set_opcode_tally
+  HostTimeSink* host_time_ = nullptr;      // see set_host_time
 };
 
 /// Convenience for tests and examples: run the whole NDRange with no memory

@@ -189,43 +189,57 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
   // the original inline engine; with more, work-groups execute
   // concurrently and their recorded memory streams are replayed into the
   // (order-dependent) cache hierarchy in this exact serial order.
+  // Host-time attribution (HostProf) samples the interpreter only on the
+  // serial engine path; the record/replay path is still covered by the
+  // enclosing execute-phase span.
+  obs::HostProf* host_prof =
+      recorder_ != nullptr ? recorder_->host_prof() : nullptr;
+  obs::InterpProfile interp_prof(host_prof, program,
+                                 static_cast<int>(cores));
   const int host_threads = options_.ResolvedThreads();
-  if (host_threads <= 1) {
-    for (std::uint32_t c = 0; c < cores; ++c) {
-      kir::Bindings core_bindings = bindings;
-      core_bindings.local_scratch = {scratch_[c].get(),
-                                     kScratchSimBase + c * kScratchStride,
-                                     local_bytes + 64};
-      StatusOr<kir::Executor> executor =
-          kir::Executor::Create(&program, config, std::move(core_bindings));
-      if (!executor.ok()) return executor.status();
-      if (recorder_ != nullptr && recorder_->counters_enabled()) {
-        executor->set_opcode_tally(agg[c].opcode_tally.data());
-      }
+  {
+    obs::HostProf::PhaseSpan execute_span(host_prof,
+                                          obs::HostPhase::kExecute);
+    if (host_threads <= 1) {
+      for (std::uint32_t c = 0; c < cores; ++c) {
+        kir::Bindings core_bindings = bindings;
+        core_bindings.local_scratch = {scratch_[c].get(),
+                                       kScratchSimBase + c * kScratchStride,
+                                       local_bytes + 64};
+        StatusOr<kir::Executor> executor =
+            kir::Executor::Create(&program, config, std::move(core_bindings));
+        if (!executor.ok()) return executor.status();
+        if (recorder_ != nullptr && recorder_->counters_enabled()) {
+          executor->set_opcode_tally(agg[c].opcode_tally.data());
+        }
+        executor->set_host_time(interp_prof.sink(static_cast<int>(c)));
 
-      ShaderCoreSink sink(&hierarchy_, c, &atomic_lines);
-      // Job Manager: round-robin distribution across shader cores, over the
-      // launch's active group sub-range (the whole grid unless a
-      // co-execution backend split it).
-      for (std::uint64_t k = c; k < active_groups; k += cores) {
-        const std::uint64_t g = config.group_begin + k;
-        const std::uint64_t gx = g % group_dims[0];
-        const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
-        const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
-        MALI_RETURN_IF_ERROR(
-            executor->RunGroup({gx, gy, gz}, &sink, &agg[c].run));
-        ++agg[c].groups;
+        ShaderCoreSink sink(&hierarchy_, c, &atomic_lines);
+        // Job Manager: round-robin distribution across shader cores, over
+        // the launch's active group sub-range (the whole grid unless a
+        // co-execution backend split it).
+        for (std::uint64_t k = c; k < active_groups; k += cores) {
+          const std::uint64_t g = config.group_begin + k;
+          const std::uint64_t gx = g % group_dims[0];
+          const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
+          const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
+          MALI_RETURN_IF_ERROR(
+              executor->RunGroup({gx, gy, gz}, &sink, &agg[c].run));
+          ++agg[c].groups;
+        }
+        agg[c].l1_misses = sink.l1_misses;
+        agg[c].l2_misses = sink.l2_misses;
       }
-      agg[c].l1_misses = sink.l1_misses;
-      agg[c].l2_misses = sink.l2_misses;
+    } else {
+      MALI_RETURN_IF_ERROR(RunGroupsParallel(program, config, bindings,
+                                             local_bytes, host_threads, &agg,
+                                             &atomic_lines));
     }
-  } else {
-    MALI_RETURN_IF_ERROR(RunGroupsParallel(program, config, bindings,
-                                           local_bytes, host_threads, &agg,
-                                           &atomic_lines));
   }
+  interp_prof.Merge(program.name);
 
   // Phase 2 — timing model over the per-core aggregates.
+  obs::HostProf::PhaseSpan merge_span(host_prof, obs::HostPhase::kMerge);
   double core_sec_max = 0.0;
   double busy_sec[power::kNumMaliCores] = {};
   const bool recording = recorder_ != nullptr && recorder_->counters_enabled();
@@ -362,6 +376,7 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
     obs::KernelRecord record;
     record.kernel = program.name;
     record.device = "mali-t604";
+    record.scope = record_scope_;
     record.seconds = seconds;
     record.cores = std::move(core_counters);
     for (const CoreAggregate& a : agg) {

@@ -7,6 +7,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -96,6 +97,12 @@ class MaliT604Device : public sim::Device {
     fault_injector_ = injector;
   }
 
+  /// Execution-scope tag stamped onto emitted KernelRecords (see
+  /// sim::Device::set_record_scope).
+  void set_record_scope(std::string_view scope) override {
+    record_scope_ = std::string(scope);
+  }
+
   /// The §III-A work-group-size heuristic the driver applies when the host
   /// passes local_size = NULL: a modest power-of-two divisor of the global
   /// size, bounded by `budget` (callers shrink the budget per dimension so
@@ -132,6 +139,7 @@ class MaliT604Device : public sim::Device {
   SimOptions options_;
   obs::Recorder* recorder_ = nullptr;
   fault::FaultInjector* fault_injector_ = nullptr;
+  std::string record_scope_;
   std::unique_ptr<ThreadPool> pool_;
   std::vector<std::unique_ptr<std::byte[]>> scratch_;
   std::uint64_t scratch_bytes_ = 0;

@@ -217,7 +217,8 @@ bool EndsWith(std::string_view s, std::string_view suffix) {
 std::string BenchReportJson(const BenchReportMeta& meta,
                             const std::vector<BenchCell>& cells,
                             const std::vector<PaperDelta>& paper_deltas,
-                            const MetricsSnapshot& metrics) {
+                            const MetricsSnapshot& metrics,
+                            const std::vector<SimThroughput>& throughput) {
   JsonWriter w;
   w.BeginObject();
   w.Key("schema");
@@ -269,6 +270,44 @@ std::string BenchReportJson(const BenchReportMeta& meta,
   }
   w.EndObject();
 
+  // sim_throughput: deterministic per-sweep totals (byte-identical across
+  // host thread counts). sim_throughput_host: measured host wall-clock
+  // rates, excluded from the byte-identity check.
+  if (!throughput.empty()) {
+    w.Key("sim_throughput");
+    w.BeginObject();
+    for (const SimThroughput& t : throughput) {
+      w.Key(t.sweep);
+      w.BeginObject();
+      w.Key("work_items");
+      w.Number(t.work_items);
+      w.Key("opcodes");
+      w.Number(t.opcodes);
+      w.Key("launches");
+      w.Number(t.launches);
+      w.Key("modelled_sec");
+      w.Number(t.modelled_sec);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.Key("sim_throughput_host");
+    w.BeginObject();
+    for (const SimThroughput& t : throughput) {
+      w.Key(t.sweep);
+      w.BeginObject();
+      w.Key("host_sec");
+      w.Number(t.host_sec);
+      w.Key("work_items_per_host_sec");
+      w.Number(t.work_items_per_host_sec);
+      w.Key("opcodes_per_host_sec");
+      w.Number(t.opcodes_per_host_sec);
+      w.Key("host_sec_per_modelled_sec");
+      w.Number(t.host_sec_per_modelled_sec);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
+
   w.Key("metrics");
   w.BeginObject();
   w.Key("gauges");
@@ -302,9 +341,10 @@ Status WriteBenchReport(const BenchReportMeta& meta,
                         const std::vector<BenchCell>& cells,
                         const std::vector<PaperDelta>& paper_deltas,
                         const MetricsSnapshot& metrics,
-                        const std::string& path) {
-  return WriteStringTo(BenchReportJson(meta, cells, paper_deltas, metrics),
-                       path);
+                        const std::string& path,
+                        const std::vector<SimThroughput>& throughput) {
+  return WriteStringTo(
+      BenchReportJson(meta, cells, paper_deltas, metrics, throughput), path);
 }
 
 StatusOr<ParsedBenchReport> ParseBenchReport(std::string_view json) {
@@ -330,6 +370,19 @@ StatusOr<ParsedBenchReport> ParseBenchReport(std::string_view json) {
       cells != nullptr && cells->is_array()) {
     for (const JsonValue& cell : cells->array) {
       if (cell.is_object()) FlattenCell(cell, &report.metrics);
+    }
+  }
+  for (const char* section : {"sim_throughput", "sim_throughput_host"}) {
+    const JsonValue* st = root.Find(section);
+    if (st == nullptr || !st->is_object()) continue;
+    for (const auto& [sweep, fields] : st->members) {
+      if (!fields.is_object()) continue;
+      for (const auto& [field, v] : fields.members) {
+        if (v.is_number()) {
+          report.metrics[std::string(section) + "/" + sweep + "/" + field] =
+              v.number_value;
+        }
+      }
     }
   }
   if (const JsonValue* metrics = root.Find("metrics");
@@ -383,6 +436,15 @@ Polarity MetricPolarity(std::string_view name) {
   }
   if (name.substr(0, 8) == "counter/" || EndsWith(name, "/count")) {
     return Polarity::kNeutral;
+  }
+  // Throughput rules precede the generic "_sec" rule: a higher
+  // work-items-per-host-second is faster simulation, and a lower
+  // host-per-modelled-second ratio is a cheaper simulator.
+  if (Contains(name, "host_sec_per_modelled_sec")) {
+    return Polarity::kLowerBetter;
+  }
+  if (Contains(name, "per_host_sec")) {
+    return Polarity::kHigherBetter;
   }
   if (Contains(name, "seconds") || Contains(name, "_sec") ||
       Contains(name, "_w") || Contains(name, "watts") ||

@@ -61,6 +61,26 @@ struct PaperDelta {
   double model = 0.0;
 };
 
+/// Simulator throughput for one precision sweep. The counts and modelled
+/// seconds are order-independent sums over the recorder's kernel records,
+/// so they obey the byte-identity contract; the host_* fields are measured
+/// wall-clock and explicitly EXCLUDED from it (the bench-json identity
+/// check zeroes them before comparing, and malisim-bench compares them
+/// against a loose default threshold).
+struct SimThroughput {
+  std::string sweep;  // "fp32" / "fp64"
+  // Deterministic (modelled) totals.
+  std::uint64_t work_items = 0;
+  std::uint64_t opcodes = 0;
+  std::uint64_t launches = 0;
+  double modelled_sec = 0.0;
+  // Measured host wall-clock for the sweep and the derived rates.
+  double host_sec = 0.0;
+  double work_items_per_host_sec = 0.0;
+  double opcodes_per_host_sec = 0.0;
+  double host_sec_per_modelled_sec = 0.0;
+};
+
 struct BenchReportMeta {
   std::string name;             // emitting binary, e.g. "fig2_performance"
   std::string git_sha;          // provenance only, never compared
@@ -73,21 +93,26 @@ struct BenchReportMeta {
 
 /// Serializes one record. `cells` order is preserved (callers pass a
 /// deterministic order); `paper_deltas` and all metric maps are emitted
-/// key-sorted.
+/// key-sorted. `throughput` (one entry per sweep, emitted in order) lands
+/// as the "sim_throughput" / "sim_throughput_host" sections; when empty,
+/// both sections are omitted and the record matches historical builds.
 std::string BenchReportJson(const BenchReportMeta& meta,
                             const std::vector<BenchCell>& cells,
                             const std::vector<PaperDelta>& paper_deltas,
-                            const MetricsSnapshot& metrics);
+                            const MetricsSnapshot& metrics,
+                            const std::vector<SimThroughput>& throughput = {});
 
 Status WriteBenchReport(const BenchReportMeta& meta,
                         const std::vector<BenchCell>& cells,
                         const std::vector<PaperDelta>& paper_deltas,
                         const MetricsSnapshot& metrics,
-                        const std::string& path);
+                        const std::string& path,
+                        const std::vector<SimThroughput>& throughput = {});
 
 /// A loaded record, flattened into comparable scalars:
 ///   cell/<benchmark>/<variant>/<precision>/<field>
 ///   gauge/<name>   counter/<name>   hist/<name>/{p50,p90,p99,max,mean,count}
+///   sim_throughput/<sweep>/<field>   sim_throughput_host/<sweep>/<field>
 struct ParsedBenchReport {
   std::string schema;
   std::string name;

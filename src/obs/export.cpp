@@ -90,10 +90,33 @@ void BuildTrace(const Recorder& recorder, const power::PowerModel& model,
   }
   trace->SetThreadName(kTracePidSoc, kTraceTidQueue, "ocl-command-queue");
 
+  // Hetero co-execution sub-launches get their own lane pair so a split
+  // launch reads as two overlapping halves instead of interleaving with
+  // plain per-core device spans. Stable names: "hetero/mali", "hetero/a15".
+  bool any_hetero = false;
+  for (const KernelRecord& k : kernels) any_hetero |= (k.scope == "hetero");
+  if (any_hetero) {
+    trace->SetThreadName(kTracePidSoc, kTraceTidHeteroMali, "hetero/mali");
+    trace->SetThreadName(kTracePidSoc, kTraceTidHeteroA15, "hetero/a15");
+  }
+
   // Kernel launches: back-to-back per device, one span per modelled core
   // with up to 8 nested work-group batch slices.
   double device_cursor_us[2] = {0.0, 0.0};  // [0]=a15, [1]=mali
   for (const KernelRecord& k : kernels) {
+    if (k.scope == "hetero") {
+      // One aggregated span per sub-range launch on the hetero lane.
+      const bool on_mali = k.device == "mali-t604";
+      std::uint64_t groups = 0;
+      for (const CoreKernelCounters& c : k.cores) groups += c.groups;
+      trace->AddSpan(k.kernel, "hetero",
+                     on_mali ? kTraceTidHeteroMali : kTraceTidHeteroA15,
+                     k.seconds,
+                     {{"device", k.device},
+                      {"groups", std::to_string(groups)},
+                      {"bottleneck", k.bottleneck}});
+      continue;
+    }
     const bool on_mali = k.device == "mali-t604";
     const int base_tid = on_mali ? kTraceTidMaliBase : kTraceTidA15Base;
     double& cursor = device_cursor_us[on_mali ? 1 : 0];
@@ -141,6 +164,59 @@ void BuildTrace(const Recorder& recorder, const power::PowerModel& model,
                      queue_cursor_us, cmd.seconds * 1e6,
                      {{"bytes", std::to_string(cmd.bytes)}});
     queue_cursor_us += cmd.seconds * 1e6;
+  }
+
+  // Scheduled event graphs: nodes at their modelled start/finish on
+  // per-lane tracks, a causal flow arrow per dependency edge, and
+  // critical-path membership in the args. Multiple graphs (one per
+  // context) are laid out back-to-back.
+  if (!snap.graphs.empty()) {
+    int max_lane = 0;
+    for (const GraphRecord& g : snap.graphs) {
+      for (const GraphNodeRecord& n : g.nodes) max_lane = std::max(max_lane, n.lane);
+    }
+    static constexpr const char* kSchedLaneNames[] = {"sched/host",
+                                                      "sched/compute",
+                                                      "sched/transfer"};
+    for (int lane = 0; lane <= max_lane; ++lane) {
+      trace->SetThreadName(kTracePidSoc, kTraceTidSchedBase + lane,
+                           lane < 3 ? kSchedLaneNames[lane]
+                                    : "sched/lane" + std::to_string(lane));
+    }
+    std::uint64_t flow_id = 1;
+    double base_us = 0.0;
+    for (const GraphRecord& g : snap.graphs) {
+      const double window =
+          g.makespan_sec > 0.0 ? g.makespan_sec : 1.0;
+      std::vector<std::pair<std::string, double>> lane_util;
+      for (std::size_t lane = 0; lane < g.lane_busy_sec.size(); ++lane) {
+        lane_util.emplace_back(
+            lane < 3 ? kSchedLaneNames[lane]
+                     : "sched/lane" + std::to_string(lane),
+            g.lane_busy_sec[lane] / window);
+      }
+      trace->AddCounter("sched_lane_utilization", kTracePidSoc, base_us,
+                        std::move(lane_util));
+      for (std::size_t i = 0; i < g.nodes.size(); ++i) {
+        const GraphNodeRecord& n = g.nodes[i];
+        trace->AddSpanAt(
+            n.label.empty() ? "cmd" : n.label, "sched:" + g.label,
+            kTracePidSoc, kTraceTidSchedBase + n.lane,
+            base_us + n.start_sec * 1e6,
+            (n.finish_sec - n.start_sec) * 1e6,
+            {{"critical", n.critical ? "true" : "false"}});
+        for (const std::uint32_t dep : n.deps) {
+          if (dep >= g.nodes.size()) continue;
+          const GraphNodeRecord& d = g.nodes[dep];
+          trace->AddFlow("dep", "sched", flow_id++, kTracePidSoc,
+                         kTraceTidSchedBase + d.lane,
+                         base_us + d.finish_sec * 1e6,
+                         kTraceTidSchedBase + n.lane,
+                         base_us + n.start_sec * 1e6);
+        }
+      }
+      base_us += g.makespan_sec * 1e6;
+    }
   }
 
   // Power meter process: measurement windows + sampled per-rail counter

@@ -26,6 +26,16 @@ inline constexpr int kTracePidMeter = 2;
 inline constexpr int kTraceTidA15Base = 1;    // tids 1..2: A15 cores
 inline constexpr int kTraceTidMaliBase = 11;  // tids 11..14: Mali cores
 inline constexpr int kTraceTidQueue = 20;     // host command queue
+/// Hetero co-execution sub-launches get their own pair of tracks (tid 30 =
+/// the Mali half, tid 31 = the A15 half) named "hetero/mali" and
+/// "hetero/a15", so a split launch reads as two overlapping lanes instead
+/// of polluting the plain per-core device tracks.
+inline constexpr int kTraceTidHeteroMali = 30;
+inline constexpr int kTraceTidHeteroA15 = 31;
+/// Scheduled event-graph lanes (tid 40 + sim lane index): the async
+/// queue's modelled schedule with causal flow arrows between dependent
+/// commands and the critical path marked.
+inline constexpr int kTraceTidSchedBase = 40;
 inline constexpr int kTraceTidMeter = 1;      // meter windows (pid 2)
 
 /// Appends the recorder's contents to `trace`. Tracks are independent

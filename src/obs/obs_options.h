@@ -6,6 +6,8 @@
 // determinism contract; see DESIGN.md §"Observability").
 #pragma once
 
+#include <cstdint>
+
 namespace malisim::obs {
 
 struct ObsOptions {
@@ -18,6 +20,18 @@ struct ObsOptions {
   /// Emulated power-meter sampling rate for the rendered watts timeline.
   /// 10 Hz is the paper's Yokogawa WT230 setup (§IV-D).
   double power_hz = 10.0;
+  /// Host-side self-profiler (obs::HostProf): phase spans plus sampled
+  /// per-opcode/per-block interpreter host-time attribution. Off by
+  /// default — when off, recorder->host_prof() is null and every
+  /// instrumentation site collapses to one predicted null check.
+  bool host_prof = false;
+  /// Exact-tally fallback: read the clock on *every* interpreted step
+  /// (period 1). Precise but expensive; the sampled default keeps the
+  /// profiler within the ≤ 3 % overhead contract.
+  bool host_prof_exact = false;
+  /// Steps per sampling tick when not exact. 256 ≈ tens of clock reads
+  /// per microsecond of interpretation — cheap and statistically dense.
+  std::uint32_t host_prof_period = 256;
 };
 
 }  // namespace malisim::obs

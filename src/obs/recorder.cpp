@@ -40,6 +40,12 @@ void Recorder::AddFault(FaultRecord record) {
   faults_.push_back(std::move(record));
 }
 
+void Recorder::AddGraph(GraphRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NoteRecordLocked();
+  graphs_.push_back(std::move(record));
+}
+
 std::vector<KernelRecord> Recorder::kernels() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return kernels_;
@@ -60,6 +66,11 @@ std::vector<FaultRecord> Recorder::faults() const {
   return faults_;
 }
 
+std::vector<GraphRecord> Recorder::graphs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return graphs_;
+}
+
 RecorderSnapshot Recorder::TakeSnapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   RecorderSnapshot snapshot;
@@ -67,6 +78,7 @@ RecorderSnapshot Recorder::TakeSnapshot() const {
   snapshot.commands = commands_;
   snapshot.power_segments = segments_;
   snapshot.faults = faults_;
+  snapshot.graphs = graphs_;
   return snapshot;
 }
 

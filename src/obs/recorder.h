@@ -15,6 +15,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "kir/exec_types.h"
 #include "kir/opcode.h"
 #include "obs/counters.h"
+#include "obs/host_prof.h"
 #include "obs/obs_options.h"
 #include "power/profile.h"
 
@@ -50,6 +52,10 @@ struct CoreKernelCounters {
 struct KernelRecord {
   std::string kernel;
   std::string device;  // "mali-t604" or "cortex-a15"
+  /// Execution scope: empty for a plain single-backend launch, "hetero"
+  /// when the launch was a HeteroDevice sub-range — exporters use it to
+  /// route hetero sub-launches onto their own trace lanes.
+  std::string scope;
   double seconds = 0.0;
   std::vector<CoreKernelCounters> cores;
   /// Per-opcode dynamic instruction counts (interpreter tally).
@@ -98,6 +104,29 @@ struct FaultRecord {
   std::string detail;
 };
 
+/// One scheduled event-graph node, mirrored from sim::ScheduleEvents so
+/// exporters can draw the async schedule with causal (flow) arrows and
+/// mark the critical path.
+struct GraphNodeRecord {
+  std::string label;
+  int lane = 0;  // sim::kLaneHost / kLaneCompute / kLaneTransfer
+  double start_sec = 0.0;
+  double finish_sec = 0.0;
+  /// Dependency event ids (indices into GraphRecord::nodes).
+  std::vector<std::uint32_t> deps;
+  bool critical = false;  // on the longest dependency chain
+};
+
+/// One scheduled command-queue event graph (per context/run).
+struct GraphRecord {
+  std::string label;  // queue identity, e.g. "mali-t604" or "hetero"
+  double makespan_sec = 0.0;
+  double serial_sec = 0.0;
+  double critical_path_sec = 0.0;
+  std::vector<double> lane_busy_sec;  // indexed by lane
+  std::vector<GraphNodeRecord> nodes;
+};
+
 /// One meter window: what the virtual power meter would observe while
 /// `label` ran repeatedly for `window_sec` (the harness's steady-state
 /// measurement region, §IV-D).
@@ -118,6 +147,7 @@ struct RecorderSnapshot {
   std::vector<CommandRecord> commands;
   std::vector<PowerSegment> power_segments;
   std::vector<FaultRecord> faults;
+  std::vector<GraphRecord> graphs;
 };
 
 class Recorder {
@@ -125,6 +155,11 @@ class Recorder {
   explicit Recorder(const ObsOptions& options = ObsOptions()) {
     options_ = options;
     options_.enabled = true;  // constructing a recorder means "observe"
+    if (options_.host_prof) {
+      host_prof_ = std::make_unique<HostProf>();
+      host_prof_->set_period(
+          options_.host_prof_exact ? 1 : options_.host_prof_period);
+    }
   }
 
   const ObsOptions& options() const { return options_; }
@@ -135,12 +170,14 @@ class Recorder {
   void AddCommand(CommandRecord record);
   void AddPowerSegment(PowerSegment segment);
   void AddFault(FaultRecord record);
+  void AddGraph(GraphRecord record);
 
   /// Snapshots (copies, taken under the lock).
   std::vector<KernelRecord> kernels() const;
   std::vector<CommandRecord> commands() const;
   std::vector<PowerSegment> power_segments() const;
   std::vector<FaultRecord> faults() const;
+  std::vector<GraphRecord> graphs() const;
 
   /// One consistent cut of all four streams (single lock acquisition).
   RecorderSnapshot TakeSnapshot() const;
@@ -160,12 +197,19 @@ class Recorder {
   CounterRegistry& counters() { return counters_; }
   const CounterRegistry& counters() const { return counters_; }
 
+  /// Host-side self-profiler, or null when ObsOptions::host_prof is off.
+  /// Instrumentation sites pass the pointer straight into null-safe
+  /// HostProf::PhaseSpan / InterpProfile, so "off" costs one null check.
+  HostProf* host_prof() { return host_prof_.get(); }
+  const HostProf* host_prof() const { return host_prof_.get(); }
+
  private:
   /// Bumps the late-record count (callers hold mutex_).
   void NoteRecordLocked();
 
   ObsOptions options_;
   CounterRegistry counters_;
+  std::unique_ptr<HostProf> host_prof_;
   mutable std::mutex mutex_;
   bool sealed_ = false;
   std::uint64_t late_records_ = 0;
@@ -173,6 +217,7 @@ class Recorder {
   std::vector<CommandRecord> commands_;
   std::vector<PowerSegment> segments_;
   std::vector<FaultRecord> faults_;
+  std::vector<GraphRecord> graphs_;
 };
 
 }  // namespace malisim::obs

@@ -71,6 +71,30 @@ void TraceBuilder::AddSpanAt(
   events_.push_back(std::move(event));
 }
 
+void TraceBuilder::AddFlow(const std::string& name,
+                           const std::string& category, std::uint64_t flow_id,
+                           int pid, int src_tid, double src_ts_us, int dst_tid,
+                           double dst_ts_us) {
+  TraceEvent start;
+  start.phase = 's';
+  start.name = name;
+  start.category = category;
+  start.timestamp_us = src_ts_us;
+  start.pid = pid;
+  start.tid = src_tid;
+  start.flow_id = flow_id;
+  events_.push_back(std::move(start));
+  TraceEvent finish;
+  finish.phase = 'f';
+  finish.name = name;
+  finish.category = category;
+  finish.timestamp_us = dst_ts_us;
+  finish.pid = pid;
+  finish.tid = dst_tid;
+  finish.flow_id = flow_id;
+  events_.push_back(std::move(finish));
+}
+
 void TraceBuilder::AddCounter(
     const std::string& name, int pid, double timestamp_us,
     std::vector<std::pair<std::string, double>> metrics) {
@@ -119,6 +143,15 @@ std::string TraceBuilder::ToJson() const {
                     "{\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,"
                     "\"tid\":%d,",
                     e.timestamp_us, e.duration_us, e.pid, e.tid);
+    } else if (e.phase == 's' || e.phase == 'f') {
+      // Flow finishes bind to the enclosing span ("bp":"e") so the arrow
+      // lands on the dependent command rather than on a point event.
+      std::snprintf(head, sizeof(head),
+                    "{\"ph\":\"%c\",%s\"id\":%llu,\"ts\":%.3f,\"pid\":%d,"
+                    "\"tid\":%d,",
+                    e.phase, e.phase == 'f' ? "\"bp\":\"e\"," : "",
+                    static_cast<unsigned long long>(e.flow_id),
+                    e.timestamp_us, e.pid, e.tid);
     } else {
       std::snprintf(head, sizeof(head),
                     "{\"ph\":\"%c\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,",

@@ -28,13 +28,16 @@ namespace malisim::obs {
 
 /// One event in the Chrome trace event format.
 struct TraceEvent {
-  char phase = 'X';  // 'X' complete span, 'C' counter, 'M' metadata
+  char phase = 'X';  // 'X' span, 'C' counter, 'M' metadata, 's'/'f' flow
   std::string name;
   std::string category;
   double timestamp_us = 0;   // "ts"
   double duration_us = 0;    // "dur" (spans only)
   int pid = 1;
   int tid = 1;
+  /// Flow-event binding id ("id") for 's'/'f' events; pairs a flow start
+  /// with its finish so the viewer draws the causal arrow.
+  std::uint64_t flow_id = 0;
   /// String args shown in the inspector ("args": {"k": "v"}).
   std::vector<std::pair<std::string, std::string>> args;
   /// Numeric args ("args": {"k": 1.5}) — counter series for 'C' events.
@@ -56,6 +59,14 @@ class TraceBuilder {
                  int pid, int tid, double timestamp_us, double duration_us,
                  std::vector<std::pair<std::string, std::string>> args = {},
                  std::vector<std::pair<std::string, double>> metrics = {});
+
+  /// Appends a causal-flow arrow: a flow start ('s') at the source point
+  /// and a binding-enclosing finish ('f', "bp":"e") at the destination.
+  /// The viewer draws an arrow from the span enclosing the start to the
+  /// span enclosing the finish. `flow_id` must be unique per arrow.
+  void AddFlow(const std::string& name, const std::string& category,
+               std::uint64_t flow_id, int pid, int src_tid, double src_ts_us,
+               int dst_tid, double dst_ts_us);
 
   /// Appends a "ph":"C" counter event: each metric becomes a series on the
   /// counter track `name`.

@@ -95,8 +95,10 @@ StatusOr<std::shared_ptr<Buffer>> Context::CreateBuffer(std::uint32_t flags,
 
 std::shared_ptr<Program> Context::CreateProgram(
     std::vector<kir::Program> kernels) {
-  return std::shared_ptr<Program>(
+  auto program = std::shared_ptr<Program>(
       new Program(std::move(kernels), timing_, compiler_));
+  program->recorder_ = recorder_;
+  return program;
 }
 
 StatusOr<std::shared_ptr<Kernel>> Context::CreateKernel(
@@ -121,6 +123,9 @@ Program::Program(std::vector<kir::Program> kernels,
 
 Status Program::Build() {
   if (built_) return Status::Ok();
+  obs::HostProf::PhaseSpan compile_span(
+      recorder_ != nullptr ? recorder_->host_prof() : nullptr,
+      obs::HostPhase::kCompile);
   build_log_.clear();
   Status first_error;
   for (kir::Program& kernel : kernels_) {
@@ -294,9 +299,51 @@ sim::EventId CommandQueue::EnqueueBarrier() {
 
 StatusOr<double> CommandQueue::ScheduledSeconds() const {
   if (graph_.empty()) return 0.0;
+  obs::Recorder* recorder = context_->recorder_;
+  obs::HostProf::PhaseSpan schedule_span(
+      recorder != nullptr ? recorder->host_prof() : nullptr,
+      obs::HostPhase::kSchedule);
   StatusOr<sim::ScheduleResult> result = sim::ScheduleEvents(graph_);
   if (!result.ok()) return result.status();
   return result->makespan_sec;
+}
+
+Status CommandQueue::RecordScheduledGraph(const std::string& label) {
+  obs::Recorder* recorder = context_->recorder_;
+  if (recorder == nullptr || graph_.empty()) return Status::Ok();
+  obs::HostProf::PhaseSpan schedule_span(recorder->host_prof(),
+                                         obs::HostPhase::kSchedule);
+  StatusOr<sim::ScheduleResult> schedule = sim::ScheduleEvents(graph_);
+  if (!schedule.ok()) return schedule.status();
+  const std::vector<bool> critical = sim::CriticalPathNodes(graph_);
+
+  obs::GraphRecord record;
+  record.label = label;
+  record.makespan_sec = schedule->makespan_sec;
+  record.serial_sec = schedule->serial_sec;
+  record.critical_path_sec = schedule->critical_path_sec;
+  record.lane_busy_sec = schedule->lane_busy_sec;
+
+  // start/finish indexed by event id (`order` is retirement-sorted).
+  std::vector<double> start(graph_.size(), 0.0);
+  std::vector<double> finish(graph_.size(), 0.0);
+  for (const sim::ScheduledEvent& ev : schedule->order) {
+    start[ev.id] = ev.start_sec;
+    finish[ev.id] = ev.finish_sec;
+  }
+  record.nodes.reserve(graph_.size());
+  for (const sim::EventNode& node : graph_.nodes()) {
+    obs::GraphNodeRecord out;
+    out.label = node.label;
+    out.lane = node.lane;
+    out.start_sec = start[node.id];
+    out.finish_sec = finish[node.id];
+    out.deps.assign(node.deps.begin(), node.deps.end());
+    out.critical = critical[node.id];
+    record.nodes.push_back(std::move(out));
+  }
+  recorder->AddGraph(std::move(record));
+  return Status::Ok();
 }
 
 Event CommandQueue::HostCopyEvent(Event::Kind kind, std::uint64_t bytes,
@@ -485,6 +532,13 @@ StatusOr<Event> CommandQueue::EnqueueNDRange(Kernel& kernel,
   if (work_dim < 1 || work_dim > 3 || global == nullptr) {
     return InvalidArgumentError("CL_INVALID_VALUE: bad work dimensions");
   }
+  // Enqueue span: self time is the host-side driver work (validation,
+  // binding, bookkeeping); the device's execute span nests inside and is
+  // charged as child time, so the hotspot table separates the two.
+  obs::Recorder* recorder = context_->recorder_;
+  obs::HostProf::PhaseSpan enqueue_span(
+      recorder != nullptr ? recorder->host_prof() : nullptr,
+      obs::HostPhase::kEnqueue);
   kir::LaunchConfig config;
   config.work_dim = work_dim;
   std::uint64_t driver_budget = 64;  // the heuristic's total group size cap

@@ -156,6 +156,10 @@ class Program {
   std::map<std::string, mali::CompiledKernel> compiled_;
   std::string build_log_;
   bool built_ = false;
+  /// Recorder snapshot from CreateProgram time, used only to attribute
+  /// Build() host time to the compile phase. Never read by the compile
+  /// itself.
+  obs::Recorder* recorder_ = nullptr;
 };
 
 /// A cl_kernel analogue: positional argument binding over a built program
@@ -268,6 +272,11 @@ class CommandQueue {
   StatusOr<sim::ScheduleResult> Schedule() const {
     return sim::ScheduleEvents(graph_);
   }
+  /// Schedules the queue's event graph and appends an obs::GraphRecord
+  /// (per-node start/finish, lane busy time, critical-path marking) to the
+  /// context's recorder so exporters can render the causal timeline. No-op
+  /// when the graph is empty or no recorder is attached.
+  Status RecordScheduledGraph(const std::string& label);
   const sim::EventGraph& graph() const { return graph_; }
   /// Node id of the most recently enqueued command (kNullEvent if none).
   sim::EventId last_event() const { return last_event_; }

@@ -122,6 +122,12 @@ class Device {
   virtual void set_fault_injector(fault::FaultInjector* injector) {
     (void)injector;
   }
+
+  /// Execution-scope tag stamped onto every obs::KernelRecord this device
+  /// emits ("" = plain launch). HeteroDevice tags its sub-devices
+  /// "hetero" so exporters can give the sub-launches their own trace
+  /// lanes. Purely observational — never read by the timing model.
+  virtual void set_record_scope(std::string_view scope) { (void)scope; }
 };
 
 }  // namespace malisim::sim

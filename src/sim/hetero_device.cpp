@@ -5,8 +5,35 @@
 #include <utility>
 
 #include "kir/program.h"
+#include "obs/recorder.h"
 
 namespace malisim::sim {
+
+namespace {
+
+// Tags both sub-devices "hetero" for the duration of one hetero launch and
+// restores the plain scope on exit. Scoped per call because ocl::Context
+// shares its Mali/A15 device instances between direct dispatch and the
+// embedded HeteroDevice — a permanent tag would mislabel plain launches.
+class RecordScopeTag {
+ public:
+  RecordScopeTag(Device* gpu, Device* cpu) : gpu_(gpu), cpu_(cpu) {
+    gpu_->set_record_scope("hetero");
+    cpu_->set_record_scope("hetero");
+  }
+  ~RecordScopeTag() {
+    gpu_->set_record_scope({});
+    cpu_->set_record_scope({});
+  }
+  RecordScopeTag(const RecordScopeTag&) = delete;
+  RecordScopeTag& operator=(const RecordScopeTag&) = delete;
+
+ private:
+  Device* gpu_;
+  Device* cpu_;
+};
+
+}  // namespace
 
 HeteroDevice::HeteroDevice(Device* gpu, Device* cpu, HeteroConfig config)
     : gpu_(gpu), cpu_(cpu), config_(config) {
@@ -39,6 +66,7 @@ StatusOr<DeviceRunResult> HeteroDevice::RunKernel(
   if (kernel.source == nullptr) {
     return InvalidArgumentError("hetero: RunKernel needs a source kernel");
   }
+  RecordScopeTag scope_tag(gpu_, cpu_);
   const std::string& name = kernel.source->name;
   const std::uint64_t base = config.group_begin;
   const std::uint64_t range_end = config.group_range_end();
@@ -101,6 +129,9 @@ StatusOr<DeviceRunResult> HeteroDevice::RunKernel(
   // Concurrent-in-modelled-time merge: the launch retires when the slower
   // side does; busy fractions rescale into the merged window so
   // busy-seconds (and therefore per-rail energy) are conserved.
+  obs::HostProf::PhaseSpan merge_span(
+      recorder_ != nullptr ? recorder_->host_prof() : nullptr,
+      obs::HostPhase::kMerge);
   DeviceRunResult merged;
   merged.seconds = std::max(gpu_run->seconds, cpu_run->seconds);
   const double g_sec = gpu_run->profile.seconds;
@@ -160,6 +191,7 @@ void HeteroDevice::set_sim_options(const SimOptions& options) {
 }
 
 void HeteroDevice::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder;
   gpu_->set_recorder(recorder);
   cpu_->set_recorder(recorder);
 }

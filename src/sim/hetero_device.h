@@ -68,6 +68,9 @@ class HeteroDevice final : public Device {
   Device* cpu_;
   HeteroConfig config_;
   DeviceCaps caps_;
+  /// Kept only for host-profiling phase spans; the sub-devices own the
+  /// actual record emission.
+  obs::Recorder* recorder_ = nullptr;
   /// Self-tuned GPU share per kernel name, updated after every split run.
   std::map<std::string, double> tuned_ratio_;
 };

@@ -136,4 +136,49 @@ StatusOr<ScheduleResult> ScheduleEvents(const EventGraph& graph) {
   return result;
 }
 
+std::vector<bool> CriticalPathNodes(const EventGraph& graph) {
+  const std::vector<EventNode>& nodes = graph.nodes();
+  const std::size_t n = nodes.size();
+  std::vector<bool> critical(n, false);
+  if (n == 0) return critical;
+
+  // Longest dependency chain ending at each node. Dependencies always
+  // point at earlier ids (append-only graph), so a single forward pass in
+  // id order sees every dep before its dependents.
+  std::vector<double> cp_end(n, 0.0);
+  for (const EventNode& node : nodes) {
+    double best = 0.0;
+    for (const EventId dep : node.deps) {
+      if (dep < n) best = std::max(best, cp_end[dep]);
+    }
+    cp_end[node.id] = best + node.seconds;
+  }
+
+  // Walk back from the chain's end, always stepping to the predecessor
+  // that carries the longest sub-chain (lowest id on ties).
+  EventId tail = 0;
+  for (EventId id = 1; id < n; ++id) {
+    if (cp_end[id] > cp_end[tail]) tail = id;
+  }
+  EventId cur = tail;
+  while (true) {
+    critical[cur] = true;
+    const EventNode& node = nodes[cur];
+    if (node.deps.empty()) break;
+    EventId best_dep = kNullEvent;
+    double best = -1.0;
+    for (const EventId dep : node.deps) {
+      if (dep >= n) continue;
+      if (cp_end[dep] > best ||
+          (cp_end[dep] == best && (best_dep == kNullEvent || dep < best_dep))) {
+        best = cp_end[dep];
+        best_dep = dep;
+      }
+    }
+    if (best_dep == kNullEvent) break;
+    cur = best_dep;
+  }
+  return critical;
+}
+
 }  // namespace malisim::sim

@@ -110,4 +110,11 @@ struct ScheduleResult {
 /// an unknown dependency id.
 StatusOr<ScheduleResult> ScheduleEvents(const EventGraph& graph);
 
+/// Marks the nodes of one longest dependency chain (the chain whose length
+/// is ScheduleResult::critical_path_sec): out[id] is true for members.
+/// Pure function of the graph; ties break toward the lowest node id, so
+/// the marking is deterministic. Exporters use it to highlight the causal
+/// spine of an async run. Empty vector for an empty graph.
+std::vector<bool> CriticalPathNodes(const EventGraph& graph);
+
 }  // namespace malisim::sim

@@ -102,6 +102,28 @@ TEST(LogTest, InitLogLevelFromEnvWarnsOnUnrecognizedValue) {
   ASSERT_EQ(unsetenv("MALISIM_LOG_LEVEL"), 0);
 }
 
+TEST(LogTest, ApplyLogLevelFlagWinsOverEnv) {
+  LogLevelGuard guard;
+  // The binaries' order: environment default first, then the flag.
+  ASSERT_EQ(setenv("MALISIM_LOG_LEVEL", "error", 1), 0);
+  InitLogLevelFromEnv();
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  EXPECT_TRUE(ApplyLogLevelFlag("debug"));
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  ASSERT_EQ(unsetenv("MALISIM_LOG_LEVEL"), 0);
+}
+
+TEST(LogTest, ApplyLogLevelFlagRejectsGarbageUntouched) {
+  LogLevelGuard guard;
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_FALSE(ApplyLogLevelFlag("loud"));
+  EXPECT_FALSE(ApplyLogLevelFlag(""));
+  EXPECT_FALSE(ApplyLogLevelFlag("9"));
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+  EXPECT_TRUE(ApplyLogLevelFlag("off"));
+  EXPECT_EQ(GetLogLevel(), LogLevel::kOff);
+}
+
 TEST(LogTest, BelowThresholdSuppressed) {
   LogLevelGuard guard;
   SetLogLevel(LogLevel::kWarning);

@@ -155,6 +155,48 @@ TEST(BenchReportTest, OptionsAndPaperDeltasAreEmittedSorted) {
             BenchReportJson(rev, {}, deltas_rev, {}));
 }
 
+TEST(BenchReportTest, SimThroughputSectionsEmitAndFlatten) {
+  SimThroughput t;
+  t.sweep = "fp32";
+  t.work_items = 16384;
+  t.opcodes = 1000000;
+  t.launches = 9;
+  t.modelled_sec = 0.125;
+  t.host_sec = 2.0;
+  t.work_items_per_host_sec = 8192.0;
+  t.opcodes_per_host_sec = 500000.0;
+  t.host_sec_per_modelled_sec = 16.0;
+
+  const std::string json = BenchReportJson(Meta(), Cells(), {}, Snapshot(),
+                                           {t});
+  ASSERT_TRUE(ParseJson(json).ok());
+  // Deterministic totals and measured host rates land in separate
+  // sections, so the byte-identity check can mask only the latter.
+  EXPECT_NE(json.find("\"sim_throughput\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_throughput_host\""), std::string::npos);
+
+  StatusOr<ParsedBenchReport> parsed = ParseBenchReport(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const std::map<std::string, double>& m = parsed->metrics;
+  EXPECT_EQ(m.at("sim_throughput/fp32/work_items"), 16384.0);
+  EXPECT_EQ(m.at("sim_throughput/fp32/opcodes"), 1000000.0);
+  EXPECT_EQ(m.at("sim_throughput/fp32/launches"), 9.0);
+  EXPECT_EQ(m.at("sim_throughput/fp32/modelled_sec"), 0.125);
+  EXPECT_EQ(m.at("sim_throughput_host/fp32/host_sec"), 2.0);
+  EXPECT_EQ(m.at("sim_throughput_host/fp32/work_items_per_host_sec"), 8192.0);
+  EXPECT_EQ(m.at("sim_throughput_host/fp32/opcodes_per_host_sec"), 500000.0);
+  EXPECT_EQ(m.at("sim_throughput_host/fp32/host_sec_per_modelled_sec"), 16.0);
+}
+
+TEST(BenchReportTest, EmptyThroughputOmitsSectionsForHistoricalIdentity) {
+  const std::string with_default = BenchReportJson(Meta(), Cells(), {},
+                                                   Snapshot());
+  const std::string with_empty = BenchReportJson(Meta(), Cells(), {},
+                                                 Snapshot(), {});
+  EXPECT_EQ(with_default, with_empty);
+  EXPECT_EQ(with_default.find("sim_throughput"), std::string::npos);
+}
+
 TEST(BenchReportTest, ParseRejectsWrongSchemaAndGarbage) {
   EXPECT_FALSE(ParseBenchReport("not json").ok());
   EXPECT_FALSE(ParseBenchReport("[]").ok());
@@ -192,6 +234,22 @@ TEST(MetricPolarityTest, ClassifiesByName) {
   EXPECT_EQ(MetricPolarity("hist/fp32/kernel_time_sec/count"),
             Polarity::kNeutral);
   EXPECT_EQ(MetricPolarity("gauge/unclassified_thing"), Polarity::kNeutral);
+  // Simulator throughput: host rates are higher-better, host-seconds per
+  // modelled second is the slowdown factor (lower-better), the modelled
+  // totals are deterministic workload descriptors (neutral counts) and the
+  // raw times fall through to the generic lower-better _sec rule.
+  EXPECT_EQ(MetricPolarity("sim_throughput_host/fp32/work_items_per_host_sec"),
+            Polarity::kHigherBetter);
+  EXPECT_EQ(MetricPolarity("sim_throughput_host/fp32/opcodes_per_host_sec"),
+            Polarity::kHigherBetter);
+  EXPECT_EQ(
+      MetricPolarity("sim_throughput_host/fp32/host_sec_per_modelled_sec"),
+      Polarity::kLowerBetter);
+  EXPECT_EQ(MetricPolarity("sim_throughput_host/fp32/host_sec"),
+            Polarity::kLowerBetter);
+  EXPECT_EQ(MetricPolarity("sim_throughput/fp32/modelled_sec"),
+            Polarity::kLowerBetter);
+  EXPECT_EQ(MetricPolarity("sim_throughput/fp32/opcodes"), Polarity::kNeutral);
 }
 
 ParsedBenchReport Report(std::map<std::string, double> metrics) {

@@ -1,0 +1,164 @@
+// Perfetto-lane contract for hetero co-execution and the scheduled
+// event-graph export: hetero sub-launches land on their own stably-named
+// track pair ("hetero/mali" / "hetero/a15"), plain launches stay on the
+// per-core tracks, and graph records render as per-lane spans tied by
+// causal flow arrows with critical-path membership in the args.
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "harness/experiment.h"
+#include "obs/export.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
+#include "power/power_model.h"
+
+namespace malisim::obs {
+namespace {
+
+KernelRecord Kernel(const std::string& device, const std::string& scope) {
+  KernelRecord k;
+  k.kernel = "vecadd";
+  k.device = device;
+  k.scope = scope;
+  k.seconds = 0.001;
+  k.cores.resize(device == "mali-t604" ? 4 : 2);
+  for (auto& c : k.cores) {
+    c.groups = 8;
+    c.core_sec = 0.001;
+    c.busy_sec = 0.0008;
+  }
+  k.bottleneck = "ls-pipe";
+  return k;
+}
+
+TEST(HeteroTraceTest, HeteroSubLaunchesGetStableLanePair) {
+  Recorder recorder;
+  recorder.AddKernel(Kernel("mali-t604", "hetero"));
+  recorder.AddKernel(Kernel("cortex-a15", "hetero"));
+  recorder.AddKernel(Kernel("mali-t604", ""));  // plain launch
+  const power::PowerModel model;
+  TraceBuilder trace;
+  BuildTrace(recorder, model, &trace);
+
+  int hetero_mali_spans = 0;
+  int hetero_a15_spans = 0;
+  int plain_core_spans = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.phase != 'X') continue;
+    if (e.tid == kTraceTidHeteroMali) ++hetero_mali_spans;
+    if (e.tid == kTraceTidHeteroA15) ++hetero_a15_spans;
+    if (e.tid >= kTraceTidMaliBase && e.tid < kTraceTidMaliBase + 4 &&
+        e.name == "vecadd") {
+      ++plain_core_spans;
+    }
+  }
+  // One aggregated span per hetero sub-range; the plain launch still gets
+  // its four per-core spans.
+  EXPECT_EQ(hetero_mali_spans, 1);
+  EXPECT_EQ(hetero_a15_spans, 1);
+  EXPECT_EQ(plain_core_spans, 4);
+
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("hetero/mali"), std::string::npos);
+  EXPECT_NE(json.find("hetero/a15"), std::string::npos);
+}
+
+TEST(HeteroTraceTest, LanePairAbsentWithoutHeteroLaunches) {
+  Recorder recorder;
+  recorder.AddKernel(Kernel("mali-t604", ""));
+  const power::PowerModel model;
+  TraceBuilder trace;
+  BuildTrace(recorder, model, &trace);
+  const std::string json = trace.ToJson();
+  // Golden shape: single-device traces are unchanged by the hetero lanes.
+  EXPECT_EQ(json.find("hetero/"), std::string::npos);
+}
+
+TEST(HeteroTraceTest, HarnessHeteroRunRoutesSubLaunchesOntoLanes) {
+  Recorder recorder;
+  harness::ExperimentConfig config;
+  config.sizes = hpc::ProblemSizes::Quick();
+  config.repetitions = 2;
+  config.device = sim::BackendKind::kHetero;
+  config.recorder = &recorder;
+  harness::ExperimentRunner runner(config);
+  auto result = runner.RunBenchmark("vecop");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  recorder.Seal();
+
+  // The hetero backend stamped its sub-launches; the scope never leaks
+  // onto launches dispatched outside the hetero device (Serial/OpenMP rows
+  // have no kernels, but the plain OpenCL columns run on the sub-devices
+  // directly in other configs — covered by the RAII scope tag).
+  const auto kernels = recorder.kernels();
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_TRUE(std::any_of(
+      kernels.begin(), kernels.end(),
+      [](const KernelRecord& k) { return k.scope == "hetero"; }));
+
+  const power::PowerModel model;
+  TraceBuilder trace;
+  BuildTrace(recorder, model, &trace);
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("hetero/mali"), std::string::npos);
+  EXPECT_NE(json.find("hetero/a15"), std::string::npos);
+}
+
+TEST(HeteroTraceTest, GraphRecordsRenderFlowsAndCriticalPath) {
+  Recorder recorder;
+  GraphRecord g;
+  g.label = "mali-t604";
+  g.makespan_sec = 3e-3;
+  g.serial_sec = 4e-3;
+  g.critical_path_sec = 3e-3;
+  g.lane_busy_sec = {1e-3, 2e-3};
+  GraphNodeRecord write;
+  write.label = "write A";
+  write.lane = 0;
+  write.start_sec = 0.0;
+  write.finish_sec = 1e-3;
+  write.critical = true;
+  GraphNodeRecord run;
+  run.label = "ndrange vecadd";
+  run.lane = 1;
+  run.start_sec = 1e-3;
+  run.finish_sec = 3e-3;
+  run.deps = {0};
+  run.critical = true;
+  g.nodes = {write, run};
+  recorder.AddGraph(std::move(g));
+
+  const power::PowerModel model;
+  TraceBuilder trace;
+  BuildTrace(recorder, model, &trace);
+
+  int flow_starts = 0;
+  int flow_finishes = 0;
+  int sched_spans = 0;
+  for (const TraceEvent& e : trace.events()) {
+    if (e.phase == 's') ++flow_starts;
+    if (e.phase == 'f') ++flow_finishes;
+    if (e.phase == 'X' && e.tid >= kTraceTidSchedBase) ++sched_spans;
+  }
+  EXPECT_EQ(sched_spans, 2);
+  EXPECT_EQ(flow_starts, 1);   // one dependency edge -> one flow pair
+  EXPECT_EQ(flow_finishes, 1);
+
+  const std::string json = trace.ToJson();
+  EXPECT_NE(json.find("sched/host"), std::string::npos);
+  EXPECT_NE(json.find("sched/compute"), std::string::npos);
+  EXPECT_NE(json.find("sched_lane_utilization"), std::string::npos);
+  EXPECT_NE(json.find("\"critical\":\"true\""), std::string::npos);
+  // Chrome flow-event grammar: 's' and 'f' share an id; the finish binds
+  // to the enclosing slice ("bp":"e").
+  EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+}  // namespace
+}  // namespace malisim::obs

@@ -38,11 +38,15 @@ void PrintUsage(const char* argv0) {
       stderr,
       "usage: %s --baseline=PATH --candidate=PATH [--threshold=0.05]\n"
       "          [--threshold-spec=prefix=val[,...]] [--json] [--top=N]\n"
+      "          [--log-level=LEVEL]\n"
       "\n"
       "Compares two malisim-bench-v1 records and exits 1 when any metric\n"
       "regressed beyond its relative threshold. --threshold-spec overrides\n"
       "the threshold for metrics matching a name prefix, longest match\n"
-      "wins, e.g. --threshold-spec=hist/=0.10,cell/dmmm/=0.02\n",
+      "wins, e.g. --threshold-spec=hist/=0.10,cell/dmmm/=0.02\n"
+      "Measured-host throughput metrics (sim_throughput_host/) default to\n"
+      "a loose 3.0 threshold — they are wall-clock, not modelled — which\n"
+      "any --threshold-spec entry for that prefix overrides.\n",
       argv0);
 }
 
@@ -77,6 +81,12 @@ bool ParseThresholdSpec(const std::string& spec, obs::CompareOptions* out) {
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
+  // Default loose threshold for the measured-host throughput section: those
+  // numbers are wall-clock (machine- and load-dependent), so only a 3x
+  // swing is worth flagging. Prepended so any user --threshold-spec entry
+  // with the same or a longer prefix wins (ThresholdFor prefers the later,
+  // longer match).
+  options->compare.prefix_thresholds.emplace_back("sim_throughput_host/", 3.0);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--baseline=", 0) == 0) {
@@ -98,6 +108,15 @@ bool ParseArgs(int argc, char** argv, CliOptions* options) {
       }
     } else if (arg == "--json") {
       options->json = true;
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      // main() ran InitLogLevelFromEnv first, so the flag wins over the env.
+      if (!ApplyLogLevelFlag(arg.substr(12))) {
+        std::fprintf(stderr,
+                     "malisim-bench: unknown --log-level '%s' "
+                     "(debug|info|warn|error|off)\n",
+                     arg.c_str() + 12);
+        return false;
+      }
     } else if (arg.rfind("--top=", 0) == 0) {
       const long n = std::strtol(arg.c_str() + 6, nullptr, 10);
       options->top = n < 1 ? 1 : static_cast<std::size_t>(n);

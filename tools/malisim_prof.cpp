@@ -12,15 +12,26 @@
 //   profile_metrics.json  full metrics dump, schema "malisim-prof-v1"
 //   profile_metrics.csv   one row per (kernel launch, modelled core)
 //   profile_power.csv     the sampled power timeline, one row per sample
+//   profile_hotspots.collapsed  (--hotspots only) collapsed-stack dump of
+//                         the host-side self-profile, ready for
+//                         flamegraph.pl / speedscope
 //
 // Usage:
 //   malisim-prof [--fp64] [--quick] [--benchmarks=a,b,c] [--out=DIR]
 //                [--power-hz=N] [--seed=N] [--repetitions=N] [--no-trace]
+//                [--hotspots] [--prof-mode=sampled|exact] [--prof-period=N]
+//
+// --hotspots turns on the host-side self-profiler (obs/host_prof.h): the
+// run additionally prints a ranked host-time table (phases, interpreter
+// opcodes, kernel basic blocks) with the attributed fraction of wall time,
+// and writes the collapsed-stack file above. Host wall-clock numbers stay
+// strictly out of every modelled artifact.
 //
 // Benchmarks run serially (sim_threads implied 1 for the export path):
 // parallel RunAll records kernel/segment order nondeterministically, and
 // the trace layout derives from record order. The modelled numbers are
 // identical either way; only this tool's track layout needs the order.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -33,6 +44,7 @@
 #include "harness/experiment.h"
 #include "hpc/benchmark.h"
 #include "obs/export.h"
+#include "obs/host_prof.h"
 #include "obs/metrics.h"
 #include "obs/obs_options.h"
 #include "obs/power_sampler.h"
@@ -52,6 +64,13 @@ struct ProfOptions {
   double power_hz = 10.0;
   std::uint64_t seed = 42;
   int repetitions = 5;
+  /// Host-side self-profiling (--hotspots): ranked host-time report and
+  /// the collapsed-stack artifact. --prof-mode=exact forces period 1
+  /// (exact per-opcode tally); sampled mode reads the clock once per
+  /// --prof-period executed instructions.
+  bool hotspots = false;
+  bool prof_exact = false;
+  std::uint32_t prof_period = 256;
   std::string out_dir = "results";
   std::vector<std::string> benchmarks;  // empty = all registered
   /// Fault-injection knobs; injected faults and resilience actions show
@@ -64,8 +83,9 @@ void PrintUsage(const char* argv0) {
       stderr,
       "usage: %s [--fp64] [--quick] [--benchmarks=a,b,c] [--out=DIR]\n"
       "          [--power-hz=N] [--seed=N] [--repetitions=N] [--no-trace]\n"
-      "          [--summary] [--fault-seed=N] [--fault-rate=P]\n"
-      "          [--fault-spec=SPEC] [--watchdog=SEC]\n"
+      "          [--summary] [--hotspots] [--prof-mode=sampled|exact]\n"
+      "          [--prof-period=N] [--log-level=LEVEL] [--fault-seed=N]\n"
+      "          [--fault-rate=P] [--fault-spec=SPEC] [--watchdog=SEC]\n"
       "\n"
       "Profiles the paper benchmarks on the modelled Exynos 5250 and writes\n"
       "profile_trace.json / profile_metrics.{json,csv} / profile_power.csv\n"
@@ -103,6 +123,36 @@ bool ParseArgs(int argc, char** argv, ProfOptions* options) {
       options->trace = false;
     } else if (arg == "--summary") {
       options->summary = true;
+    } else if (arg == "--hotspots") {
+      options->hotspots = true;
+    } else if (arg.rfind("--prof-mode=", 0) == 0) {
+      const std::string mode = arg.substr(12);
+      if (mode == "exact") {
+        options->prof_exact = true;
+      } else if (mode == "sampled") {
+        options->prof_exact = false;
+      } else {
+        std::fprintf(stderr,
+                     "malisim-prof: unknown --prof-mode '%s' (sampled|exact)\n",
+                     mode.c_str());
+        return false;
+      }
+    } else if (arg.rfind("--prof-period=", 0) == 0) {
+      const long period = std::strtol(arg.c_str() + 14, nullptr, 10);
+      if (period < 1) {
+        std::fprintf(stderr, "malisim-prof: --prof-period must be >= 1\n");
+        return false;
+      }
+      options->prof_period = static_cast<std::uint32_t>(period);
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      // main() ran InitLogLevelFromEnv first, so the flag wins over the env.
+      if (!ApplyLogLevelFlag(arg.substr(12))) {
+        std::fprintf(stderr,
+                     "malisim-prof: unknown --log-level '%s' "
+                     "(debug|info|warn|error|off)\n",
+                     arg.c_str() + 12);
+        return false;
+      }
     } else if (arg.rfind("--benchmarks=", 0) == 0) {
       options->benchmarks = SplitCsv(arg.substr(13));
     } else if (arg.rfind("--out=", 0) == 0) {
@@ -152,6 +202,9 @@ int Run(const ProfOptions& options) {
   obs_options.counters = true;
   obs_options.trace = options.trace;
   obs_options.power_hz = options.power_hz;
+  obs_options.host_prof = options.hotspots;
+  obs_options.host_prof_exact = options.prof_exact;
+  obs_options.host_prof_period = options.prof_period;
   obs::Recorder recorder(obs_options);
   config.recorder = &recorder;
 
@@ -159,6 +212,7 @@ int Run(const ProfOptions& options) {
   std::vector<std::string> names = options.benchmarks;
   if (names.empty()) names = hpc::RegisteredBenchmarks();
 
+  const auto host_start = std::chrono::steady_clock::now();
   for (const std::string& name : names) {
     std::printf("profiling %s (%s)...\n", name.c_str(),
                 options.fp64 ? "fp64" : "fp32");
@@ -169,6 +223,10 @@ int Run(const ProfOptions& options) {
       return 1;
     }
   }
+  const double wall_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    host_start)
+          .count();
 
   // Flush contract (obs/recorder.h): all benchmarks ran to completion
   // above, so seal the recorder before any export reads it. A record
@@ -183,6 +241,18 @@ int Run(const ProfOptions& options) {
     std::printf("\n%s", obs::SummaryReport(recorder, model).c_str());
   } else {
     std::printf("\n%s", obs::TextReport(recorder, model).c_str());
+  }
+
+  if (options.hotspots && recorder.host_prof() != nullptr) {
+    const obs::HostProf& prof = *recorder.host_prof();
+    const obs::HostProf::Snapshot snapshot = prof.TakeSnapshot();
+    std::printf("\n%s", obs::HostProf::HotspotsTable(snapshot, wall_sec).c_str());
+    std::printf(
+        "host time attributed: %.1f%% of %.3f s wall "
+        "(profiler self-cost ~%.2f%% of interp time, mode=%s period=%u)\n",
+        100.0 * prof.AttributedFraction(wall_sec), wall_sec,
+        100.0 * prof.SampleOverheadFraction(),
+        options.prof_exact ? "exact" : "sampled", prof.period());
   }
 
   std::error_code ec;
@@ -216,6 +286,20 @@ int Run(const ProfOptions& options) {
   written.push_back(
       {base + "profile_power.csv",
        obs::WritePowerTimelineCsv(timeline, base + "profile_power.csv")});
+  if (options.hotspots && recorder.host_prof() != nullptr) {
+    const std::string path = base + "profile_hotspots.collapsed";
+    const std::string text =
+        obs::HostProf::Collapsed(recorder.host_prof()->TakeSnapshot());
+    Status status = Status::Ok();
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      status = Status(ErrorCode::kInternal, "cannot open " + path);
+    } else {
+      std::fputs(text.c_str(), f);
+      std::fclose(f);
+    }
+    written.push_back({path, status});
+  }
 
   bool ok = true;
   std::printf("\nArtifacts:\n");

@@ -84,6 +84,14 @@ TuneToolOptions ParseArgs(int argc, char** argv) {
       options.cache_path = arg.substr(13);
     } else if (arg.rfind("--json=", 0) == 0) {
       options.json_path = arg.substr(7);
+    } else if (arg.rfind("--log-level=", 0) == 0) {
+      // Main() ran InitLogLevelFromEnv first, so the flag wins over the env.
+      if (!ApplyLogLevelFlag(arg.substr(12))) {
+        std::fprintf(stderr,
+                     "unknown --log-level '%s' (debug|info|warn|error|off)\n",
+                     arg.c_str() + 12);
+        std::exit(2);
+      }
     } else if (arg.rfind("--benchmarks=", 0) == 0) {
       options.benchmarks = SplitCsv(arg.substr(13));
     } else if (arg.rfind("--device=", 0) == 0) {
@@ -99,7 +107,8 @@ TuneToolOptions ParseArgs(int argc, char** argv) {
           "usage: malisim-tune [--objective=time|energy|edp] [--fp64]\n"
           "                    [--quick] [--seed=N] [--threads=N]\n"
           "                    [--benchmarks=a,b,c] [--tune-cache=PATH]\n"
-          "                    [--json=PATH] [--device=mali|a15|hetero]\n",
+          "                    [--json=PATH] [--device=mali|a15|hetero]\n"
+          "                    [--log-level=LEVEL]\n",
           arg.c_str());
       std::exit(2);
     }
