@@ -34,6 +34,8 @@ std::string_view ErrorCodeName(ErrorCode code) {
       return "AllocationFailure";
     case ErrorCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case ErrorCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }
@@ -81,6 +83,9 @@ Status AllocationFailureError(std::string message) {
 }
 Status DeadlineExceededError(std::string message) {
   return Status(ErrorCode::kDeadlineExceeded, std::move(message));
+}
+Status OverloadedError(std::string message) {
+  return Status(ErrorCode::kOverloaded, std::move(message));
 }
 
 namespace internal {

@@ -28,6 +28,7 @@ enum class ErrorCode : std::uint8_t {
   kUnavailable,         // transient runtime failure; retrying may succeed
   kAllocationFailure,   // maps to CL_MEM_OBJECT_ALLOCATION_FAILURE
   kDeadlineExceeded,    // watchdog: modelled-time budget exceeded
+  kOverloaded,          // admission control shed the request (backpressure)
 };
 
 /// Human-readable name of an ErrorCode ("Ok", "InvalidArgument", ...).
@@ -66,6 +67,7 @@ Status BuildFailureError(std::string message);
 Status UnavailableError(std::string message);
 Status AllocationFailureError(std::string message);
 Status DeadlineExceededError(std::string message);
+Status OverloadedError(std::string message);
 
 namespace internal {
 /// Logs the error behind a StatusOr::value() misuse, then aborts.

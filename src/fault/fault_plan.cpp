@@ -79,6 +79,11 @@ std::uint64_t FaultPlan::Hash() const {
   mix_u64(static_cast<std::uint64_t>(retry.max_attempts));
   mix_double(retry.base_backoff_sec);
   mix_double(retry.multiplier);
+  // Mixed only when engaged so every pre-existing plan keeps its historical
+  // hash (committed BENCH baselines carry those digests).
+  if (retry.max_total_backoff_sec > 0.0) {
+    mix_double(retry.max_total_backoff_sec);
+  }
   return h;
 }
 

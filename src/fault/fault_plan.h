@@ -56,6 +56,13 @@ struct RetryPolicy {
   int max_attempts = 3;            // total tries, not extra retries
   double base_backoff_sec = 1e-3;  // host-side wait before the 2nd try
   double multiplier = 2.0;
+  /// Total accounted backoff budget across all attempts; a retry whose
+  /// backoff would push the accumulated total past this bound is not
+  /// taken (the last failure is returned instead). 0 = unbounded. The
+  /// serve layer sets this to the job's remaining deadline budget so a
+  /// slow backoff sequence can never outlive the watchdog and read as a
+  /// hung job.
+  double max_total_backoff_sec = 0.0;
 };
 
 struct FaultPlan {

@@ -54,6 +54,10 @@ const Status& StatusOf(const StatusOr<T>& s) {
 /// Invokes `fn` (returning Status or StatusOr<T>) up to
 /// `policy.max_attempts` times, backing off exponentially between
 /// attempts, as long as the failure is transient. Returns the last result.
+/// A retry is only taken while the accumulated backoff stays within
+/// `policy.max_total_backoff_sec` (when set): retrying must never consume
+/// more of a deadline budget than the caller granted, so a transient-fault
+/// storm degrades or reports DeadlineExceeded instead of looking hung.
 template <typename F>
 auto RetryWithBackoff(const RetryPolicy& policy, F&& fn,
                       RetryStats* stats = nullptr) -> decltype(fn()) {
@@ -67,6 +71,10 @@ auto RetryWithBackoff(const RetryPolicy& policy, F&& fn,
     if (result.ok() || attempt >= max_attempts ||
         !IsTransient(internal::StatusOf(result))) {
       return result;
+    }
+    if (policy.max_total_backoff_sec > 0.0 &&
+        s->backoff_sec + backoff > policy.max_total_backoff_sec) {
+      return result;  // out of deadline budget: give up, do not back off
     }
     ++s->retries;
     s->backoff_sec += backoff;

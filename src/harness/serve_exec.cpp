@@ -1,0 +1,86 @@
+#include "harness/serve_exec.h"
+
+#include <memory>
+#include <utility>
+
+#include "cpu/a15_device.h"
+#include "fault/injector.h"
+#include "mali/compiler_cache.h"
+#include "ocl/runtime.h"
+
+namespace malisim::harness {
+
+Status ExecuteJobVariant(const JobExecRequest& request, JobExecResult* out) {
+  *out = JobExecResult();
+  std::unique_ptr<hpc::Benchmark> bench =
+      hpc::CreateBenchmark(request.benchmark, request.sizes);
+  if (bench == nullptr) {
+    return NotFoundError("unknown benchmark '" + request.benchmark + "'");
+  }
+  MALI_RETURN_IF_ERROR(bench->Setup(request.fp64, request.seed));
+
+  // Fresh board per job: no mutable simulator state crosses jobs.
+  cpu::CortexA15Device cpu_device;
+  ocl::Context gpu_context(request.device);
+  gpu_context.set_hetero_ratio(request.hetero_ratio);
+  SimOptions sim_options;
+  sim_options.threads = 1;  // jobs fan out across workers; engines serial
+  sim_options.fault = request.fault;
+  cpu_device.set_sim_options(sim_options);
+  gpu_context.set_sim_options(sim_options);
+  gpu_context.set_compile_cache(request.compile_cache);
+
+  hpc::Devices devices{&cpu_device, &gpu_context};
+  std::unique_ptr<ocl::Context> hetero_context;
+  if (request.variant == hpc::Variant::kHetero) {
+    if (request.device == sim::BackendKind::kHetero) {
+      devices.hetero = &gpu_context;
+    } else {
+      hetero_context =
+          std::make_unique<ocl::Context>(sim::BackendKind::kHetero);
+      hetero_context->set_hetero_ratio(request.hetero_ratio);
+      hetero_context->set_sim_options(sim_options);
+      hetero_context->set_compile_cache(request.compile_cache);
+      devices.hetero = hetero_context.get();
+    }
+  }
+
+  StatusOr<fault::FaultPlan> plan_or =
+      fault::FaultPlan::FromOptions(request.fault);
+  if (!plan_or.ok()) return plan_or.status();
+  fault::FaultPlan plan = *std::move(plan_or);
+  plan.retry.max_total_backoff_sec = request.max_total_backoff_sec;
+  fault::FaultInjector injector(plan);
+  gpu_context.set_fault_injector(&injector);
+  if (hetero_context != nullptr) {
+    hetero_context->set_fault_injector(&injector);
+  }
+
+  StatusOr<hpc::RunOutcome> run = fault::RetryWithBackoff(
+      plan.retry,
+      [&] {
+        if (request.tuned != nullptr &&
+            request.variant == hpc::Variant::kOpenCLOpt) {
+          return bench->RunTuned(*request.tuned, devices);
+        }
+        return bench->RunVariant(request.variant, devices);
+      },
+      &out->retry);
+  if (!run.ok()) return run.status();
+  if (!run->validated) {
+    // A fast-but-wrong result is a failed job, not a success — and not a
+    // degradable failure either: nothing suggests a lower rung computes a
+    // different answer.
+    return InternalError("job failed validation (max_rel_error=" +
+                         std::to_string(run->max_rel_error) + ")");
+  }
+
+  const power::PowerModel power_model(request.power);
+  out->seconds = run->seconds;
+  out->energy_j = power_model.Energy(run->profile);
+  out->validated = run->validated;
+  out->note = run->note;
+  return Status::Ok();
+}
+
+}  // namespace malisim::harness

@@ -6,52 +6,21 @@
 
 namespace malisim::mali {
 
-StatusOr<CompiledKernel> CompileForMali(const kir::Program& program,
-                                        const MaliTimingParams& timing,
-                                        const MaliCompilerParams& params) {
+StatusOr<CompiledKernel> AnalyzeForMali(const kir::Program& program,
+                                        const MaliTimingParams& timing) {
   if (!program.finalized()) {
     return FailedPreconditionError("program not finalized: " + program.name);
   }
   MALI_RETURN_IF_ERROR(kir::Verify(program));
 
-  fault::FaultInjector* injector = params.injector;
-  if (injector != nullptr &&
-      injector->Trip(fault::FaultSite::kBuild, program.name)) {
-    return BuildFailureError(
-        "CL_BUILD_PROGRAM_FAILURE (injected fault): mali kernel compiler "
-        "crashed building '" +
-        program.name + "'");
-  }
-
   CompiledKernel k;
   k.program = &program;
   k.features = kir::AnalyzeFeatures(program);
 
-  // The amcd FP64 erratum, generalized as an always-on FaultPlan quirk:
-  // the injector (when attached) decides whether the structural condition
-  // fires; a null injector preserves the bare condition.
-  const bool erratum_trips =
-      injector != nullptr
-          ? injector->TripFp64Erratum(
-                k.features.has_f64_special_in_divergent_loop)
-          : k.features.has_f64_special_in_divergent_loop;
-  if (params.emulate_fp64_erratum && erratum_trips) {
-    return BuildFailureError(
-        "mali kernel compiler erratum: double-precision special function "
-        "inside data-dependent control flow in a loop does not terminate "
-        "compilation (kernel '" +
-        program.name + "'); see DESIGN.md and paper §V-A");
-  }
-
   k.live_reg_bytes = std::max(16u, kir::MaxLiveRegisterBytes(program));
-  // The per-thread register budget is the second always-on quirk; a
-  // kRegSqueeze trip models a pessimistic-allocator event that tightens
-  // it for this one kernel.
-  std::uint32_t reg_budget = timing.max_thread_reg_bytes;
-  if (injector != nullptr) {
-    reg_budget = injector->EffectiveRegBudget(reg_budget, program.name);
-  }
-  k.exceeds_resources = k.live_reg_bytes > reg_budget;
+  // Nominal per-thread register budget; ApplyBuildFaults re-evaluates it
+  // under a possible kRegSqueeze trip.
+  k.exceeds_resources = k.live_reg_bytes > timing.max_thread_reg_bytes;
 
   std::uint32_t threads = timing.reg_file_bytes_per_core / k.live_reg_bytes;
   threads = threads / 4 * 4;  // thread groups of 4 in the tripipe frontend
@@ -74,6 +43,55 @@ StatusOr<CompiledKernel> CompileForMali(const kir::Program& program,
   k.sched_factor = 1.0;
   if (any_buffer && all_restrict) k.sched_factor *= timing.restrict_sched_factor;
   if (any_ro_buffer && all_ro_const) k.sched_factor *= timing.const_sched_factor;
+  return k;
+}
+
+Status ApplyBuildFaults(CompiledKernel* k, const kir::Program& program,
+                        const MaliTimingParams& timing,
+                        const MaliCompilerParams& params) {
+  fault::FaultInjector* injector = params.injector;
+  if (injector != nullptr &&
+      injector->Trip(fault::FaultSite::kBuild, program.name)) {
+    return BuildFailureError(
+        "CL_BUILD_PROGRAM_FAILURE (injected fault): mali kernel compiler "
+        "crashed building '" +
+        program.name + "'");
+  }
+
+  // The amcd FP64 erratum, generalized as an always-on FaultPlan quirk:
+  // the injector (when attached) decides whether the structural condition
+  // fires; a null injector preserves the bare condition.
+  const bool erratum_trips =
+      injector != nullptr
+          ? injector->TripFp64Erratum(
+                k->features.has_f64_special_in_divergent_loop)
+          : k->features.has_f64_special_in_divergent_loop;
+  if (params.emulate_fp64_erratum && erratum_trips) {
+    return BuildFailureError(
+        "mali kernel compiler erratum: double-precision special function "
+        "inside data-dependent control flow in a loop does not terminate "
+        "compilation (kernel '" +
+        program.name + "'); see DESIGN.md and paper §V-A");
+  }
+
+  // The per-thread register budget is the second always-on quirk; a
+  // kRegSqueeze trip models a pessimistic-allocator event that tightens
+  // it for this one kernel.
+  std::uint32_t reg_budget = timing.max_thread_reg_bytes;
+  if (injector != nullptr) {
+    reg_budget = injector->EffectiveRegBudget(reg_budget, program.name);
+  }
+  k->exceeds_resources = k->live_reg_bytes > reg_budget;
+  return Status::Ok();
+}
+
+StatusOr<CompiledKernel> CompileForMali(const kir::Program& program,
+                                        const MaliTimingParams& timing,
+                                        const MaliCompilerParams& params) {
+  StatusOr<CompiledKernel> analyzed = AnalyzeForMali(program, timing);
+  if (!analyzed.ok()) return analyzed.status();
+  CompiledKernel k = *std::move(analyzed);
+  MALI_RETURN_IF_ERROR(ApplyBuildFaults(&k, program, timing, params));
   return k;
 }
 

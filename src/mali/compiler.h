@@ -30,9 +30,27 @@ struct CompiledKernel {
   double sched_factor = 1.0;
 };
 
-/// Compiles `program` for the T604. Fails with BuildFailure when the FP64
-/// erratum triggers (emulate_fp64_erratum). The program must outlive the
-/// compiled kernel.
+/// The pure half of the compile: verification, feature analysis, register
+/// allocation, occupancy and scheduling bonuses — a deterministic function
+/// of (program, timing) with no fault-injection involvement, so its result
+/// is content-addressable (mali::CompileCache). `exceeds_resources` is
+/// computed against the nominal register budget; ApplyBuildFaults may
+/// tighten it.
+StatusOr<CompiledKernel> AnalyzeForMali(const kir::Program& program,
+                                        const MaliTimingParams& timing);
+
+/// The fault-gate half: probabilistic kBuild compiler crashes, the FP64
+/// erratum quirk, and the (possibly kRegSqueeze-squeezed) register budget.
+/// Consumes the injector's kBuild and kRegSqueeze decision streams in the
+/// same order whether the analysis came from a fresh compile or a cache
+/// hit — per-job fault schedules are independent of cache warmth.
+Status ApplyBuildFaults(CompiledKernel* k, const kir::Program& program,
+                        const MaliTimingParams& timing,
+                        const MaliCompilerParams& params);
+
+/// Compiles `program` for the T604: AnalyzeForMali + ApplyBuildFaults.
+/// Fails with BuildFailure when the FP64 erratum triggers
+/// (emulate_fp64_erratum). The program must outlive the compiled kernel.
 StatusOr<CompiledKernel> CompileForMali(const kir::Program& program,
                                         const MaliTimingParams& timing,
                                         const MaliCompilerParams& params);

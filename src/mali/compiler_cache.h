@@ -1,0 +1,70 @@
+// Content-addressed cache for Mali kernel compiles.
+//
+// The serve engine (DESIGN.md §14) builds the same handful of KIR programs
+// thousands of times — once per job per attempt, because every job gets
+// fresh devices for isolation. The pure half of the compile
+// (mali::AnalyzeForMali plus the generic IR passes that precede it) is a
+// deterministic function of the kernel text and the compile-relevant
+// timing parameters, so it is shared process-wide through this cache. The
+// fault-gate half (mali::ApplyBuildFaults) is *never* cached: it is
+// re-applied on every build, hit or miss, so a job's fault schedule —
+// which injector decisions fire, in which order — is bit-identical
+// regardless of cache warmth. That property is what keeps per-seed replay
+// exact while the cache is shared between concurrent workers.
+//
+// Thread safety: all methods are safe to call concurrently; entries are
+// immutable once published (shared_ptr<const Entry>).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "kir/program.h"
+#include "mali/compiler.h"
+#include "mali/t604_params.h"
+
+namespace malisim::mali {
+
+class CompileCache {
+ public:
+  struct Entry {
+    /// The program after the generic optimization passes (ConstantFold,
+    /// DeadCodeElim) ran over the source text behind the key.
+    kir::Program transformed;
+    /// Pure analysis of `transformed` (AnalyzeForMali). `program` is null
+    /// in the stored copy; consumers repoint it at their own copy of
+    /// `transformed` before use.
+    CompiledKernel analyzed;
+  };
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+  };
+
+  /// Cache key: FNV-1a over the *pre-pass* kernel text plus every timing
+  /// parameter the pure compile reads. Keying on the source (not post-pass)
+  /// text lets a hit skip the passes too.
+  static std::uint64_t Key(const kir::Program& program,
+                           const MaliTimingParams& timing);
+
+  /// Returns the entry for `key`, or nullptr on a miss.
+  std::shared_ptr<const Entry> Lookup(std::uint64_t key);
+
+  /// Publishes an entry for `key`. First writer wins on a race; returns
+  /// the entry that ended up in the cache (the analysis is deterministic,
+  /// so racing writers always carry equal payloads).
+  std::shared_ptr<const Entry> Insert(std::uint64_t key, Entry entry);
+
+  Stats stats() const;
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<const Entry>> entries_;
+  Stats stats_;
+};
+
+}  // namespace malisim::mali

@@ -131,6 +131,16 @@ void MetricsAggregator::Observe(const std::string& name, double value) {
   series_[name].push_back(value);
 }
 
+void MetricsAggregator::MergeHistogram(const std::string& name,
+                                       const LogHistogram& hist) {
+  auto it = merged_.find(name);
+  if (it == merged_.end()) {
+    merged_.emplace(name, hist);
+    return;
+  }
+  it->second.Merge(hist);
+}
+
 namespace {
 
 double TotalStallSec(const KernelRecord& k) {
@@ -233,6 +243,29 @@ void MetricsAggregator::IngestRecorder(const Recorder& recorder,
   }
 }
 
+namespace {
+
+HistogramStat StatFromHistogram(const LogHistogram& hist) {
+  HistogramStat stat;
+  stat.layout = hist.layout();
+  stat.count = hist.count();
+  stat.min = hist.min();
+  stat.max = hist.max();
+  stat.sum = hist.sum();
+  stat.mean = hist.mean();
+  stat.p50 = hist.Percentile(50.0);
+  stat.p90 = hist.Percentile(90.0);
+  stat.p99 = hist.Percentile(99.0);
+  for (int i = 0; i < hist.num_buckets(); ++i) {
+    if (hist.bucket_count(i) > 0) {
+      stat.buckets.emplace_back(i, hist.bucket_count(i));
+    }
+  }
+  return stat;
+}
+
+}  // namespace
+
 MetricsSnapshot MetricsAggregator::Finalize() const {
   MetricsSnapshot snapshot;
   snapshot.gauges = gauges_;
@@ -242,20 +275,10 @@ MetricsSnapshot MetricsAggregator::Finalize() const {
     std::sort(sorted.begin(), sorted.end());
     LogHistogram hist(layout_);
     for (double v : sorted) hist.Add(v);
-    HistogramStat stat;
-    stat.layout = layout_;
-    stat.count = hist.count();
-    stat.min = hist.min();
-    stat.max = hist.max();
-    stat.sum = hist.sum();
-    stat.mean = hist.mean();
-    stat.p50 = hist.Percentile(50.0);
-    stat.p90 = hist.Percentile(90.0);
-    stat.p99 = hist.Percentile(99.0);
-    for (int i = 0; i < hist.num_buckets(); ++i) {
-      if (hist.bucket_count(i) > 0) stat.buckets.emplace_back(i, hist.bucket_count(i));
-    }
-    snapshot.histograms.emplace(name, std::move(stat));
+    snapshot.histograms.emplace(name, StatFromHistogram(hist));
+  }
+  for (const auto& [name, hist] : merged_) {
+    snapshot.histograms.emplace(name, StatFromHistogram(hist));
   }
   return snapshot;
 }

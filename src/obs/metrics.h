@@ -132,6 +132,14 @@ class MetricsAggregator {
   /// Appends one observation to the named series.
   void Observe(const std::string& name, double value);
 
+  /// Folds a pre-built histogram into the named series. Used by the serve
+  /// engine, whose workers accumulate host-latency histograms locally and
+  /// merge them after the drain — bucket merges are order-independent, so
+  /// the snapshot stays deterministic for deterministic inputs. The
+  /// histogram's layout must match the aggregator's. A name used with
+  /// MergeHistogram must not also be used with Observe.
+  void MergeHistogram(const std::string& name, const LogHistogram& hist);
+
   /// Ingests one recorder's streams under `prefix` (e.g. "fp32"):
   ///  * per-kernel modelled time, stall time and per-launch histograms,
   ///  * queue-command latency histograms per command kind,
@@ -151,6 +159,7 @@ class MetricsAggregator {
   std::map<std::string, double> gauges_;
   std::map<std::string, double> counters_;
   std::map<std::string, std::vector<double>> series_;
+  std::map<std::string, LogHistogram> merged_;
 };
 
 /// Compact per-kernel latency summary (the malisim-prof --summary view):

@@ -60,8 +60,9 @@ ClError ClErrorFromStatus(const Status& status) {
       return ClError::kBuildProgramFailure;
     case ErrorCode::kUnavailable:
     case ErrorCode::kDeadlineExceeded:
-      // Transient driver hiccups and watchdog expirations both surface as
-      // the driver's catch-all resource error.
+    case ErrorCode::kOverloaded:
+      // Transient driver hiccups, watchdog expirations and admission-shed
+      // requests all surface as the driver's catch-all resource error.
       return ClError::kOutOfResources;
     case ErrorCode::kAllocationFailure:
       return ClError::kMemObjectAllocationFailure;

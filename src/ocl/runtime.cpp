@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "fault/injector.h"
 #include "kir/passes.h"
+#include "mali/compiler_cache.h"
 #include "obs/recorder.h"
 
 namespace malisim::ocl {
@@ -98,6 +99,7 @@ std::shared_ptr<Program> Context::CreateProgram(
   auto program = std::shared_ptr<Program>(
       new Program(std::move(kernels), timing_, compiler_));
   program->recorder_ = recorder_;
+  program->compile_cache_ = compile_cache_;
   return program;
 }
 
@@ -129,14 +131,57 @@ Status Program::Build() {
   build_log_.clear();
   Status first_error;
   for (kir::Program& kernel : kernels_) {
-    // Driver-side optimization pipeline (-cl-opt level of the real driver).
-    StatusOr<int> folded = kir::ConstantFold(&kernel);
-    if (!folded.ok()) return folded.status();
-    StatusOr<int> removed = kir::DeadCodeElim(&kernel);
-    if (!removed.ok()) return removed.status();
+    std::shared_ptr<const mali::CompileCache::Entry> entry;
+    std::uint64_t cache_key = 0;
+    if (compile_cache_ != nullptr) {
+      cache_key = mali::CompileCache::Key(kernel, timing_);
+      entry = compile_cache_->Lookup(cache_key);
+    }
 
-    StatusOr<mali::CompiledKernel> compiled =
-        mali::CompileForMali(kernel, timing_, compiler_);
+    StatusOr<mali::CompiledKernel> compiled = InternalError("uncompiled");
+    if (entry != nullptr) {
+      // Cache hit: reuse the post-pass program and the pure analysis, then
+      // run the fault gates exactly as a fresh compile would — the injector
+      // consumes the same decisions on hit and miss.
+      kernel = entry->transformed;
+      mali::CompiledKernel k = entry->analyzed;
+      k.program = &kernel;
+      Status faults = mali::ApplyBuildFaults(&k, kernel, timing_, compiler_);
+      if (faults.ok()) {
+        compiled = std::move(k);
+      } else {
+        compiled = std::move(faults);
+      }
+    } else {
+      // Driver-side optimization pipeline (-cl-opt level of the real
+      // driver).
+      StatusOr<int> folded = kir::ConstantFold(&kernel);
+      if (!folded.ok()) return folded.status();
+      StatusOr<int> removed = kir::DeadCodeElim(&kernel);
+      if (!removed.ok()) return removed.status();
+
+      StatusOr<mali::CompiledKernel> analyzed =
+          mali::AnalyzeForMali(kernel, timing_);
+      if (!analyzed.ok()) {
+        compiled = analyzed.status();
+      } else {
+        if (compile_cache_ != nullptr) {
+          mali::CompileCache::Entry fresh;
+          fresh.transformed = kernel;
+          fresh.analyzed = *analyzed;
+          fresh.analyzed.program = nullptr;
+          compile_cache_->Insert(cache_key, std::move(fresh));
+        }
+        mali::CompiledKernel k = *std::move(analyzed);
+        Status faults =
+            mali::ApplyBuildFaults(&k, kernel, timing_, compiler_);
+        if (faults.ok()) {
+          compiled = std::move(k);
+        } else {
+          compiled = std::move(faults);
+        }
+      }
+    }
     if (!compiled.ok()) {
       MALI_LOG_WARN("clBuildProgram: kernel '%s' failed to compile: %s",
                     kernel.name.c_str(),

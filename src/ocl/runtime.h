@@ -58,6 +58,10 @@ namespace malisim::fault {
 class FaultInjector;
 }  // namespace malisim::fault
 
+namespace malisim::mali {
+class CompileCache;
+}  // namespace malisim::mali
+
 namespace malisim::ocl {
 
 /// OpenCL device type (CL_DEVICE_TYPE_GPU / _CPU / a fused device). This is
@@ -160,6 +164,12 @@ class Program {
   /// Build() host time to the compile phase. Never read by the compile
   /// itself.
   obs::Recorder* recorder_ = nullptr;
+  /// Shared content-addressed cache for the pure half of the compile
+  /// (nullptr = compile from scratch, the historical behaviour). A cache
+  /// hit skips the IR passes and AnalyzeForMali but still runs
+  /// ApplyBuildFaults, so the injector decision streams are identical on
+  /// hit and miss.
+  mali::CompileCache* compile_cache_ = nullptr;
 };
 
 /// A cl_kernel analogue: positional argument binding over a built program
@@ -383,6 +393,13 @@ class Context {
   }
   fault::FaultInjector* fault_injector() const { return fault_injector_; }
 
+  /// Attaches a process-wide compile cache (nullptr detaches); programs
+  /// created afterwards share pure compile results through it. Safe to
+  /// share one cache across contexts on different threads. Never changes
+  /// compile results or fault schedules — only host-side compile work.
+  void set_compile_cache(mali::CompileCache* cache) { compile_cache_ = cache; }
+  mali::CompileCache* compile_cache() const { return compile_cache_; }
+
   /// Attaches an observability recorder to the runtime and both device
   /// models: kernel launches, transfers and map/unmap traffic are recorded.
   /// nullptr detaches. Never affects modelled times.
@@ -426,6 +443,7 @@ class Context {
   sim::HeteroDevice hetero_;
   obs::Recorder* recorder_ = nullptr;
   fault::FaultInjector* fault_injector_ = nullptr;
+  mali::CompileCache* compile_cache_ = nullptr;
   SimOptions sim_options_;
   CommandQueue queue_;
   std::uint64_t next_sim_addr_ = 0x1000'0000ULL;

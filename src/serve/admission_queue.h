@@ -1,0 +1,88 @@
+// Bounded admission queue with explicit backpressure (DESIGN.md §14).
+//
+// Shed contract: TryPush on a full (or closed) queue fails IMMEDIATELY
+// with ErrorCode::kOverloaded — submission never blocks, no matter how
+// far behind the workers are. Shedding the newest arrival (rather than
+// evicting queued work) keeps every previously-made admission promise:
+// once a job is accepted it will be executed or explicitly terminated,
+// never silently displaced.
+//
+// Pop blocks until an item arrives or the queue is closed and drained —
+// the graceful-shutdown path: Close() wakes every worker, the workers
+// finish what is already queued (drain) and exit when Pop returns false.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace malisim::serve {
+
+template <typename T>
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Non-blocking admission. Overloaded when full, FailedPrecondition
+  /// when closed.
+  Status TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) {
+        return FailedPreconditionError("queue closed: draining");
+      }
+      if (items_.size() >= capacity_) {
+        return OverloadedError("admission queue full (" +
+                               std::to_string(capacity_) + " queued)");
+      }
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return Status::Ok();
+  }
+
+  /// Blocks until an item is available (true) or the queue is closed and
+  /// empty (false — the worker's signal to exit).
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Stops admission; queued items still drain through Pop.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace malisim::serve

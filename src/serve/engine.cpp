@@ -1,0 +1,511 @@
+#include "serve/engine.h"
+
+#include <algorithm>
+#include <span>
+#include <utility>
+
+#include "common/json.h"
+#include "common/log.h"
+#include "common/table.h"
+#include "fault/retry.h"
+#include "harness/serve_exec.h"
+#include "harness/tuning.h"
+
+namespace malisim::serve {
+
+namespace {
+
+/// Fault-plan seed for one (job, rung) attempt, FNV-mixed like the
+/// harness's CellFaultSeed so schedules depend only on (base seed, job id,
+/// rung) — never on worker identity, shard or arrival order. That is the
+/// whole replay contract: re-running job N alone reproduces its faults.
+std::uint64_t JobFaultSeed(std::uint64_t base_seed, std::uint64_t job_id,
+                           hpc::Variant rung) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](std::uint64_t byte) {
+    h ^= byte & 0xffULL;
+    h *= 0x100000001b3ULL;
+  };
+  for (int i = 0; i < 8; ++i) mix(job_id >> (8 * i));
+  mix(0xffULL);  // separator
+  mix(static_cast<std::uint64_t>(rung));
+  return h ^ base_seed ^ 0x5e27eULL;
+}
+
+/// The ladder from `requested` down (inclusive).
+std::span<const hpc::Variant> LadderFrom(hpc::Variant requested) {
+  const std::span<const hpc::Variant> ladder(hpc::kDegradationLadder);
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    if (ladder[i] == requested) return ladder.subspan(i);
+  }
+  return ladder.last(1);  // unreachable: every variant is a rung
+}
+
+std::string TenantKey(const std::string& tenant) {
+  return tenant.empty() ? "default" : tenant;
+}
+
+}  // namespace
+
+bool ServeReport::Consistent() const {
+  if (results.size() != submitted) return false;
+  std::uint64_t sum = 0;
+  for (const std::uint64_t c : state_counts) sum += c;
+  if (sum != submitted) return false;
+  std::array<std::uint64_t, kNumJobStates> recount{};
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (i > 0 && results[i].id <= results[i - 1].id) return false;  // dups
+    const auto s = static_cast<std::size_t>(results[i].state);
+    if (s >= static_cast<std::size_t>(kNumJobStates)) return false;
+    ++recount[s];
+  }
+  return recount == state_counts;
+}
+
+ServeEngine::ServeEngine(const ServeOptions& options)
+    : options_(options), breakers_(options.breaker) {
+  const int shards = std::max(1, options_.shards);
+  const int workers = std::max(1, options_.workers_per_shard);
+  queues_.reserve(static_cast<std::size_t>(shards));
+  workers_.resize(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    queues_.push_back(std::make_unique<AdmissionQueue<JobSpec>>(
+        std::max<std::size_t>(1, options_.queue_depth)));
+    workers_[static_cast<std::size_t>(s)] =
+        std::vector<WorkerSlot>(static_cast<std::size_t>(workers));
+  }
+  start_ = std::chrono::steady_clock::now();
+  for (int s = 0; s < shards; ++s) {
+    for (int w = 0; w < workers; ++w) {
+      workers_[static_cast<std::size_t>(s)][static_cast<std::size_t>(w)]
+          .thread = std::thread([this, s, w] { WorkerLoop(s, w); });
+    }
+  }
+}
+
+ServeEngine::~ServeEngine() {
+  if (!drained_) {
+    BeginShutdown();
+    for (auto& shard : workers_) {
+      for (WorkerSlot& slot : shard) {
+        if (slot.thread.joinable()) slot.thread.join();
+      }
+    }
+  }
+}
+
+Status ServeEngine::Submit(const JobSpec& job) {
+  submitted_.fetch_add(1);
+  Status admitted;
+  if (shutdown_.load()) {
+    admitted = OverloadedError("draining: admission closed");
+  } else {
+    const std::size_t shard = job.id % queues_.size();
+    admitted = queues_[shard]->TryPush(job);
+    if (!admitted.ok() && admitted.code() != ErrorCode::kOverloaded) {
+      // A closed queue surfaces as FailedPrecondition; to the submitter
+      // both are the same typed refusal.
+      admitted = OverloadedError("draining: admission closed");
+    }
+  }
+  if (!admitted.ok()) {
+    JobResult shed;
+    shed.id = job.id;
+    shed.tenant = job.tenant;
+    shed.state = JobState::kShed;
+    shed.requested = job.variant;
+    shed.ran = job.variant;
+    shed.error = admitted.ToString();
+    RecordResult(std::move(shed));
+  }
+  return admitted;
+}
+
+void ServeEngine::BeginShutdown() {
+  shutdown_.store(true);
+  for (auto& queue : queues_) queue->Close();
+}
+
+std::size_t ServeEngine::QueueDepth() const {
+  std::size_t depth = 0;
+  for (const auto& queue : queues_) depth += queue->size();
+  return depth;
+}
+
+void ServeEngine::WorkerLoop(int shard, int slot_index) {
+  WorkerSlot& slot =
+      workers_[static_cast<std::size_t>(shard)]
+              [static_cast<std::size_t>(slot_index)];
+  AdmissionQueue<JobSpec>& queue = *queues_[static_cast<std::size_t>(shard)];
+  JobSpec job;
+  while (queue.Pop(&job)) {
+    const auto t0 = std::chrono::steady_clock::now();
+    JobResult result = RunJob(job);
+    const double latency =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    slot.host_latency.Add(latency);
+    ++slot.jobs_run;
+    RecordResult(std::move(result));
+  }
+}
+
+const sim::TuningConfig* ServeEngine::TunedConfigFor(const JobSpec& job) {
+  if (!options_.autotune) return nullptr;
+  const std::string key = job.benchmark + (job.fp64 ? "|fp64|" : "|fp32|") +
+                          std::string(sim::BackendName(job.device));
+  std::lock_guard<std::mutex> lock(tuning_mu_);
+  auto it = tuned_.find(key);
+  if (it != tuned_.end()) return it->second.get();
+
+  harness::TuningRequest request;
+  request.benchmark = job.benchmark;
+  request.sizes = job.sizes;
+  request.fp64 = job.fp64;
+  request.seed = job.seed;
+  request.device = job.device;
+  request.power = options_.power;
+  request.tuner = options_.tuner;
+  // Tuning measures the healthy system: no injected faults in the search
+  // (a fault-skewed winner would be wrong for every healthy job).
+  request.cache = options_.tune_cache;
+  StatusOr<harness::TuningReport> report = harness::TuneBenchmark(request);
+  std::unique_ptr<sim::TuningConfig> winner;
+  if (report.ok()) {
+    winner = std::make_unique<sim::TuningConfig>(report->result.best);
+  } else {
+    MALI_LOG_WARN("serve: tuning %s failed (%s); using the paper kernel",
+                  key.c_str(), report.status().ToString().c_str());
+  }
+  // Failures memoize as null so one broken tuning problem costs one
+  // search, not one per job.
+  return tuned_.emplace(key, std::move(winner)).first->second.get();
+}
+
+JobResult ServeEngine::RunJob(const JobSpec& job) {
+  JobResult r;
+  r.id = job.id;
+  r.tenant = job.tenant;
+  r.requested = job.variant;
+  r.ran = job.variant;
+
+  const double budget = job.deadline_sec > 0.0 ? job.deadline_sec
+                                               : options_.default_deadline_sec;
+  double consumed = 0.0;
+  Status last_error =
+      InternalError("ladder exhausted without an attempt");  // overwritten
+  bool terminal_deadline = false;
+
+  for (hpc::Variant rung : LadderFrom(job.variant)) {
+    const bool last_resort = rung == hpc::Variant::kSerial;
+    CircuitBreaker& breaker = breakers_.ForVariant(rung);
+    const bool allowed = breaker.Allow();
+    if (!allowed && !last_resort) {
+      // Open breaker: route past this rung without paying for the failure.
+      r.breaker_rerouted = true;
+      continue;
+    }
+    if (!allowed) r.breaker_rerouted = true;  // forced Serial attempt
+
+    double remaining = 0.0;
+    if (budget > 0.0) {
+      remaining = budget - consumed;
+      if (remaining <= 0.0) {
+        terminal_deadline = true;
+        last_error = DeadlineExceededError(
+            "job budget (" + std::to_string(budget) +
+            " modelled sec) exhausted before rung " +
+            std::string(hpc::VariantName(rung)));
+        break;
+      }
+    }
+
+    harness::JobExecRequest request;
+    request.benchmark = job.benchmark;
+    request.sizes = job.sizes;
+    request.fp64 = job.fp64;
+    request.seed = job.seed;
+    request.device = job.device;
+    request.variant = rung;
+    request.hetero_ratio = job.hetero_ratio;
+    request.fault = options_.fault;
+    request.fault.seed = JobFaultSeed(options_.fault.seed, job.id, rung);
+    if (budget > 0.0) {
+      request.fault.watchdog_sec =
+          options_.fault.watchdog_sec > 0.0
+              ? std::min(options_.fault.watchdog_sec, remaining)
+              : remaining;
+      request.max_total_backoff_sec = remaining;
+    }
+    request.tuned = rung == hpc::Variant::kOpenCLOpt ? TunedConfigFor(job)
+                                                     : nullptr;
+    request.power = options_.power;
+    request.compile_cache = options_.compile_cache ? &compile_cache_ : nullptr;
+
+    harness::JobExecResult exec;
+    const Status status = harness::ExecuteJobVariant(request, &exec);
+    ++r.attempts;
+    r.retries += exec.retry.retries;
+    r.backoff_sec += exec.retry.backoff_sec;
+    consumed += exec.retry.backoff_sec;
+
+    if (status.ok()) {
+      consumed += exec.seconds;
+      breaker.RecordSuccess();
+      if (budget > 0.0 && consumed > budget) {
+        // It ran, but past the promise. A deadline violation is reported
+        // as one, not silently excused by eventual success.
+        terminal_deadline = true;
+        last_error = DeadlineExceededError(
+            "completed on rung " + std::string(hpc::VariantName(rung)) +
+            " but spent " + std::to_string(consumed) + " of " +
+            std::to_string(budget) + " modelled sec");
+        break;
+      }
+      r.state = rung == job.variant ? JobState::kOk : JobState::kDegraded;
+      r.ran = rung;
+      r.seconds = exec.seconds;
+      r.energy_j = exec.energy_j;
+      r.note = exec.note;
+      r.consumed_sec = consumed;
+      return r;
+    }
+
+    last_error = status;
+    if (status.code() == ErrorCode::kDeadlineExceeded) {
+      // The rung's watchdog fired: its whole allotment is spent.
+      consumed += request.fault.watchdog_sec;
+      breaker.RecordFailure();
+      continue;
+    }
+    if (!fault::IsDegradable(status)) {
+      // Fatal taxonomy: no rung below computes a different answer.
+      r.state = JobState::kFailed;
+      r.error = status.ToString();
+      r.consumed_sec = consumed;
+      return r;
+    }
+    breaker.RecordFailure();
+  }
+
+  r.state =
+      terminal_deadline || last_error.code() == ErrorCode::kDeadlineExceeded
+          ? JobState::kDeadlineExceeded
+          : JobState::kFailed;
+  r.error = last_error.ToString();
+  r.consumed_sec = consumed;
+  return r;
+}
+
+void ServeEngine::RecordResult(JobResult result) {
+  std::lock_guard<std::mutex> lock(results_mu_);
+  results_.push_back(std::move(result));
+}
+
+ServeReport ServeEngine::Drain() {
+  BeginShutdown();
+  for (auto& shard : workers_) {
+    for (WorkerSlot& slot : shard) {
+      if (slot.thread.joinable()) slot.thread.join();
+    }
+  }
+  drained_ = true;
+  const double host_elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+
+  ServeReport report;
+  report.submitted = submitted_.load();
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    report.results = std::move(results_);
+  }
+  std::sort(report.results.begin(), report.results.end(),
+            [](const JobResult& a, const JobResult& b) { return a.id < b.id; });
+  for (const JobResult& r : report.results) {
+    ++report.state_counts[static_cast<std::size_t>(r.state)];
+  }
+  for (hpc::Variant v : hpc::kDegradationLadder) {
+    const CircuitBreaker& b = breakers_.ForVariant(v);
+    report.breakers.push_back({v, b.state(), b.trips()});
+  }
+  report.host_elapsed_sec = host_elapsed;
+  report.jobs_per_host_sec =
+      host_elapsed > 0.0
+          ? static_cast<double>(report.results.size()) / host_elapsed
+          : 0.0;
+  report.compile_cache_stats = compile_cache_.stats();
+
+  // Metrics. Everything under "serve/" is a pure function of the job set
+  // and the fault plan (iteration over id-sorted results); host wall-clock
+  // derived values live under "serve_host/" so bench gates can hold them
+  // to a loose threshold.
+  obs::MetricsAggregator agg;
+  for (int s = 0; s < kNumJobStates; ++s) {
+    agg.AddCounter("serve/jobs_" +
+                       std::string(JobStateName(static_cast<JobState>(s))),
+                   static_cast<double>(report.state_counts[
+                       static_cast<std::size_t>(s)]));
+  }
+  agg.AddCounter("serve/jobs_submitted",
+                 static_cast<double>(report.submitted));
+  std::map<std::string, std::array<std::uint64_t, kNumJobStates>> by_tenant;
+  for (const JobResult& r : report.results) {
+    agg.AddCounter("serve/retries", static_cast<double>(r.retries));
+    agg.AddCounter("serve/rung_attempts", static_cast<double>(r.attempts));
+    if (r.breaker_rerouted) agg.AddCounter("serve/breaker_reroutes");
+    ++by_tenant[TenantKey(r.tenant)][static_cast<std::size_t>(r.state)];
+    if (r.state == JobState::kOk || r.state == JobState::kDegraded) {
+      agg.Observe("serve/job_modelled_sec", r.seconds);
+      agg.Observe("serve/job_energy_j", r.energy_j);
+      agg.AddCounter("serve/completed_on/" + std::string(VariantKey(r.ran)));
+    }
+    if (r.backoff_sec > 0.0) {
+      agg.Observe("serve/job_backoff_sec", r.backoff_sec);
+    }
+  }
+  for (const auto& [tenant, counts] : by_tenant) {
+    for (int s = 0; s < kNumJobStates; ++s) {
+      const std::uint64_t c = counts[static_cast<std::size_t>(s)];
+      if (c == 0) continue;
+      agg.AddCounter("serve/tenant/" + tenant + "/jobs_" +
+                         std::string(JobStateName(static_cast<JobState>(s))),
+                     static_cast<double>(c));
+    }
+  }
+  for (const ServeReport::BreakerRow& row : report.breakers) {
+    agg.AddCounter("serve/breaker_trips/" + std::string(VariantKey(row.rung)),
+                   static_cast<double>(row.trips));
+  }
+  agg.AddCounter("serve/compile_cache_hits",
+                 static_cast<double>(report.compile_cache_stats.hits));
+  agg.AddCounter("serve/compile_cache_misses",
+                 static_cast<double>(report.compile_cache_stats.misses));
+
+  agg.SetGauge("serve_host/elapsed_sec", host_elapsed);
+  agg.SetGauge("serve_host/jobs_per_host_sec", report.jobs_per_host_sec);
+  obs::LogHistogram host_latency;
+  for (const auto& shard : workers_) {
+    for (const WorkerSlot& slot : shard) {
+      host_latency.Merge(slot.host_latency);
+    }
+  }
+  agg.MergeHistogram("serve_host/job_latency_sec", host_latency);
+  report.metrics = agg.Finalize();
+  return report;
+}
+
+std::string ServeReport::ToText() const {
+  std::string out = "=== malisim-serve report ===\n";
+  out += "jobs submitted: " + std::to_string(submitted) + "\n";
+  for (int s = 0; s < kNumJobStates; ++s) {
+    out += "  " + std::string(JobStateName(static_cast<JobState>(s))) + ": " +
+           std::to_string(state_counts[static_cast<std::size_t>(s)]) + "\n";
+  }
+  out += "breakers:\n";
+  for (const BreakerRow& row : breakers) {
+    out += "  " + std::string(hpc::VariantName(row.rung)) + ": " +
+           std::string(BreakerStateName(row.state)) + " (" +
+           std::to_string(row.trips) + " trip(s))\n";
+  }
+  out += "host: " + FormatDouble(host_elapsed_sec, 2) + " s, " +
+         FormatDouble(jobs_per_host_sec, 1) + " jobs/s\n";
+  out += "compile cache: " + std::to_string(compile_cache_stats.hits) +
+         " hit(s), " + std::to_string(compile_cache_stats.misses) +
+         " miss(es)\n";
+  const auto p50 = metrics.histograms.find("serve_host/job_latency_sec");
+  if (p50 != metrics.histograms.end() && p50->second.count > 0) {
+    out += "job latency: p50 " + FormatDouble(p50->second.p50 * 1e3, 1) +
+           " ms, p99 " + FormatDouble(p50->second.p99 * 1e3, 1) + " ms\n";
+  }
+  out += std::string("invariant: ") +
+         (Consistent() ? "consistent (no lost jobs)" : "VIOLATED") + "\n";
+  return out;
+}
+
+std::string ServeReport::ToJson(bool include_results) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String("malisim-serve-v1");
+  w.Key("submitted");
+  w.Number(static_cast<std::uint64_t>(submitted));
+  w.Key("states");
+  w.BeginObject();
+  for (int s = 0; s < kNumJobStates; ++s) {
+    w.Key(std::string(JobStateName(static_cast<JobState>(s))));
+    w.Number(state_counts[static_cast<std::size_t>(s)]);
+  }
+  w.EndObject();
+  w.Key("consistent");
+  w.Bool(Consistent());
+  w.Key("host_elapsed_sec");
+  w.Number(host_elapsed_sec);
+  w.Key("jobs_per_host_sec");
+  w.Number(jobs_per_host_sec);
+  w.Key("compile_cache");
+  w.BeginObject();
+  w.Key("hits");
+  w.Number(compile_cache_stats.hits);
+  w.Key("misses");
+  w.Number(compile_cache_stats.misses);
+  w.EndObject();
+  w.Key("breakers");
+  w.BeginArray();
+  for (const BreakerRow& row : breakers) {
+    w.BeginObject();
+    w.Key("rung");
+    w.String(std::string(VariantKey(row.rung)));
+    w.Key("state");
+    w.String(std::string(BreakerStateName(row.state)));
+    w.Key("trips");
+    w.Number(row.trips);
+    w.EndObject();
+  }
+  w.EndArray();
+  if (include_results) {
+    w.Key("results");
+    w.BeginArray();
+    for (const JobResult& r : results) {
+      w.BeginObject();
+      w.Key("id");
+      w.Number(r.id);
+      w.Key("tenant");
+      w.String(TenantKey(r.tenant));
+      w.Key("state");
+      w.String(std::string(JobStateName(r.state)));
+      w.Key("requested");
+      w.String(std::string(VariantKey(r.requested)));
+      w.Key("ran");
+      w.String(std::string(VariantKey(r.ran)));
+      w.Key("seconds");
+      w.Number(r.seconds);
+      w.Key("consumed_sec");
+      w.Number(r.consumed_sec);
+      w.Key("energy_j");
+      w.Number(r.energy_j);
+      w.Key("attempts");
+      w.Number(static_cast<std::uint64_t>(r.attempts < 0 ? 0 : r.attempts));
+      w.Key("retries");
+      w.Number(static_cast<std::uint64_t>(r.retries < 0 ? 0 : r.retries));
+      w.Key("backoff_sec");
+      w.Number(r.backoff_sec);
+      w.Key("breaker_rerouted");
+      w.Bool(r.breaker_rerouted);
+      if (!r.error.empty()) {
+        w.Key("error");
+        w.String(r.error);
+      }
+      if (!r.note.empty()) {
+        w.Key("note");
+        w.String(r.note);
+      }
+      w.EndObject();
+    }
+    w.EndArray();
+  }
+  w.EndObject();
+  return w.str() + "\n";
+}
+
+}  // namespace malisim::serve

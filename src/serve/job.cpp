@@ -1,0 +1,180 @@
+#include "serve/job.h"
+
+#include <iterator>
+#include <utility>
+
+#include "common/json.h"
+
+namespace malisim::serve {
+
+bool ParseVariant(std::string_view name, hpc::Variant* out) {
+  struct Spelling {
+    std::string_view name;
+    hpc::Variant variant;
+  };
+  static constexpr Spelling kSpellings[] = {
+      {"serial", hpc::Variant::kSerial},
+      {"openmp", hpc::Variant::kOpenMP},
+      {"opencl", hpc::Variant::kOpenCL},
+      {"openclopt", hpc::Variant::kOpenCLOpt},
+      {"opencl-opt", hpc::Variant::kOpenCLOpt},
+      {"hetero", hpc::Variant::kHetero},
+  };
+  for (const Spelling& s : kSpellings) {
+    if (s.name == name) {
+      *out = s.variant;
+      return true;
+    }
+  }
+  // Display names ("OpenCL Opt") round-trip too.
+  for (hpc::Variant v : hpc::kAllVariantsWithHetero) {
+    if (hpc::VariantName(v) == name) {
+      *out = v;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view VariantKey(hpc::Variant v) {
+  switch (v) {
+    case hpc::Variant::kSerial:
+      return "serial";
+    case hpc::Variant::kOpenMP:
+      return "openmp";
+    case hpc::Variant::kOpenCL:
+      return "opencl";
+    case hpc::Variant::kOpenCLOpt:
+      return "openclopt";
+    case hpc::Variant::kHetero:
+      return "hetero";
+  }
+  return "?";
+}
+
+std::string_view JobStateName(JobState s) {
+  switch (s) {
+    case JobState::kOk:
+      return "ok";
+    case JobState::kDegraded:
+      return "degraded";
+    case JobState::kShed:
+      return "shed";
+    case JobState::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case JobState::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+StatusOr<JobSpec> ParseJobLine(std::string_view line) {
+  StatusOr<JsonValue> root = ParseJson(line);
+  if (!root.ok()) return root.status();
+  if (!root->is_object()) {
+    return InvalidArgumentError("job line is not a JSON object");
+  }
+
+  JobSpec job;
+  job.benchmark = root->StringOr("benchmark", "");
+  if (job.benchmark.empty()) {
+    return InvalidArgumentError("job line lacks \"benchmark\"");
+  }
+  job.tenant = root->StringOr("tenant", "");
+
+  const std::string sizes = root->StringOr("sizes", "quick");
+  if (sizes == "quick") {
+    job.sizes = hpc::ProblemSizes::Quick();
+  } else if (sizes == "full") {
+    job.sizes = hpc::ProblemSizes();
+  } else {
+    return InvalidArgumentError("unknown sizes preset '" + sizes +
+                                "' (want quick|full)");
+  }
+
+  if (const JsonValue* fp64 = root->Find("fp64"); fp64 != nullptr) {
+    job.fp64 = fp64->bool_value;
+  }
+  job.seed = static_cast<std::uint64_t>(root->NumberOr("seed", 0.0));
+
+  const std::string device = root->StringOr("device", "mali");
+  if (!sim::ParseBackend(device, &job.device)) {
+    return InvalidArgumentError("unknown device '" + device +
+                                "' (want mali|a15|hetero)");
+  }
+  const std::string variant = root->StringOr("variant", "openclopt");
+  if (!ParseVariant(variant, &job.variant)) {
+    return InvalidArgumentError(
+        "unknown variant '" + variant +
+        "' (want serial|openmp|opencl|openclopt|hetero)");
+  }
+  job.hetero_ratio = root->NumberOr("hetero_ratio", -1.0);
+  job.deadline_sec = root->NumberOr("deadline_sec", 0.0);
+  if (job.deadline_sec < 0.0) {
+    return InvalidArgumentError("deadline_sec must be >= 0");
+  }
+  return job;
+}
+
+StatusOr<std::vector<JobSpec>> ParseJobFile(std::string_view text,
+                                            std::uint64_t first_id) {
+  std::vector<JobSpec> jobs;
+  std::size_t pos = 0;
+  int line_no = 0;
+  while (pos <= text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string_view::npos) nl = text.size();
+    std::string_view line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ++line_no;
+    // Trim whitespace; skip blanks and '#' comments.
+    while (!line.empty() && (line.front() == ' ' || line.front() == '\t' ||
+                             line.front() == '\r')) {
+      line.remove_prefix(1);
+    }
+    while (!line.empty() && (line.back() == ' ' || line.back() == '\t' ||
+                             line.back() == '\r')) {
+      line.remove_suffix(1);
+    }
+    if (line.empty() || line.front() == '#') continue;
+    StatusOr<JobSpec> job = ParseJobLine(line);
+    if (!job.ok()) {
+      return InvalidArgumentError("job file line " + std::to_string(line_no) +
+                                  ": " + job.status().ToString());
+    }
+    job->id = first_id + jobs.size();
+    jobs.push_back(*std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<JobSpec> GenerateLoad(int count, std::uint64_t seed) {
+  const std::vector<std::string> benchmarks = hpc::RegisteredBenchmarks();
+  // The mix deliberately includes fp64 amcd (the erratum cell) and hetero
+  // jobs: a realistic batch has jobs that can only finish by degrading.
+  static constexpr hpc::Variant kMix[] = {
+      hpc::Variant::kOpenCLOpt, hpc::Variant::kOpenCL,
+      hpc::Variant::kHetero,    hpc::Variant::kOpenCLOpt,
+      hpc::Variant::kOpenMP,    hpc::Variant::kOpenCLOpt,
+  };
+  static constexpr int kMixSize = static_cast<int>(std::size(kMix));
+
+  std::vector<JobSpec> jobs;
+  jobs.reserve(static_cast<std::size_t>(count > 0 ? count : 0));
+  for (int i = 0; i < count; ++i) {
+    JobSpec job;
+    job.id = static_cast<std::uint64_t>(i);
+    job.benchmark = benchmarks[static_cast<std::size_t>(i) %
+                               benchmarks.size()];
+    job.sizes = hpc::ProblemSizes::Quick();
+    job.variant = kMix[i % kMixSize];
+    job.fp64 = (i % 5) == 3;
+    job.seed = seed + static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+    job.device = sim::BackendKind::kMali;
+    job.tenant = (i % 3 == 0) ? "batch-a" : (i % 3 == 1 ? "batch-b" : "adhoc");
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace malisim::serve

@@ -1,12 +1,21 @@
 #include "sim/tuner.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <charconv>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <optional>
 #include <sstream>
+#include <thread>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
 
 #include "common/json.h"
 #include "common/log.h"
@@ -463,18 +472,106 @@ TuningCache TuningCache::LoadFileOrEmpty(const std::string& path) {
   return *std::move(cache);
 }
 
+namespace {
+
+/// Best-effort inter-process writer lock: a `path`.lock file created with
+/// O_CREAT|O_EXCL. Returns true when the lock was acquired (caller must
+/// unlink it). A lock file older than kStaleLockSec is presumed abandoned
+/// by a crashed writer and stolen. Never blocks indefinitely: after the
+/// retry budget the caller proceeds without the lock — the temp+rename
+/// protocol keeps the file uncorrupted either way, the lock only narrows
+/// the window where two writers race on last-writer-wins.
+constexpr double kStaleLockSec = 60.0;
+
+bool AcquireCacheLock(const std::string& lock_path) {
+#ifdef _WIN32
+  (void)lock_path;
+  return false;
+#else
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    const int fd =
+        ::open(lock_path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+    if (fd >= 0) {
+      ::close(fd);
+      return true;
+    }
+    if (errno != EEXIST) return false;  // unwritable dir: skip locking
+    struct stat st {};
+    if (::stat(lock_path.c_str(), &st) == 0) {
+      const auto now = std::chrono::system_clock::now();
+      const double age_sec =
+          std::chrono::duration<double>(
+              now.time_since_epoch())
+              .count() -
+          static_cast<double>(st.st_mtime);
+      if (age_sec > kStaleLockSec) {
+        MALI_LOG_WARN("stealing stale tuning-cache lock %s (age %.0fs)",
+                      lock_path.c_str(), age_sec);
+        ::unlink(lock_path.c_str());
+        continue;  // retry the O_EXCL create
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+#endif
+}
+
+void ReleaseCacheLock(const std::string& lock_path) {
+#ifndef _WIN32
+  ::unlink(lock_path.c_str());
+#endif
+}
+
+}  // namespace
+
 Status TuningCache::SaveFile(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) {
-    return InternalError("cannot open tuning cache '" + path +
-                         "' for writing");
+  const std::string lock_path = path + ".lock";
+  const bool locked = AcquireCacheLock(lock_path);
+  if (!locked) {
+    MALI_LOG_WARN(
+        "writing tuning cache %s without the writer lock (held or "
+        "unavailable); replace is still atomic",
+        path.c_str());
   }
-  out << Serialize();
-  out.flush();
-  if (!out) {
-    return InternalError("short write to tuning cache '" + path + "'");
+
+  // Merge-on-save: keep on-disk winners for keys this process never
+  // touched, so concurrent writers with disjoint workloads lose nothing.
+  TuningCache merged = LoadFileOrEmpty(path);
+  for (const auto& [key, entry] : entries_) {
+    merged.entries_[key] = entry;
   }
-  return Status::Ok();
+
+  // Temp file in the same directory so rename(2) stays within one
+  // filesystem and is atomic.
+#ifndef _WIN32
+  const std::string tmp_path =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+#else
+  const std::string tmp_path = path + ".tmp";
+#endif
+  Status result = Status::Ok();
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      result = InternalError("cannot open tuning cache temp '" + tmp_path +
+                             "' for writing");
+    } else {
+      out << merged.Serialize();
+      out.flush();
+      if (!out) {
+        result = InternalError("short write to tuning cache temp '" +
+                               tmp_path + "'");
+      }
+    }
+  }
+  if (result.ok() && std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    result = InternalError("cannot rename '" + tmp_path + "' over '" + path +
+                           "'");
+  }
+  if (!result.ok()) std::remove(tmp_path.c_str());
+  if (locked) ReleaseCacheLock(lock_path);
+  return result;
 }
 
 StatusOr<TuningConfig> ConfigFromKey(const TuningSpace& space,

@@ -224,6 +224,16 @@ class TuningCache {
   /// or truncated file is rejected gracefully — MALI_LOG_WARN and an empty
   /// cache, with Ok status either way.
   static TuningCache LoadFileOrEmpty(const std::string& path);
+
+  /// Crash- and concurrency-safe save. The document is written to a
+  /// sibling temp file and rename(2)d over `path`, so readers only ever
+  /// see a complete document (never a torn write). Writers serialize on a
+  /// best-effort `path`.lock file; a lock older than ~60 s is presumed
+  /// left by a crashed writer and stolen, and a writer that cannot get the
+  /// lock at all still performs the atomic replace (last writer wins,
+  /// never corruption). On-disk entries absent from this cache are merged
+  /// into the written document so concurrent writers with disjoint keys
+  /// lose nothing; this cache's own entries take precedence.
   Status SaveFile(const std::string& path) const;
 
   const std::map<std::string, TuningCacheEntry>& entries() const {

@@ -84,6 +84,68 @@ TEST(RetryTest, NeverRetriesNonTransient) {
   EXPECT_EQ(calls, 1);
 }
 
+TEST(RetryTest, TotalBackoffCapStopsRetrying) {
+  // base 1e-3, doubling: backoffs 1e-3, 2e-3, 4e-3... A cap of 2.5e-3
+  // admits the first retry (1e-3) but not the second (1e-3 + 2e-3 > cap):
+  // the retry loop must give up rather than overrun the caller's deadline
+  // budget, even with attempts left.
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.max_total_backoff_sec = 2.5e-3;
+  RetryStats stats;
+  int calls = 0;
+  Status result = RetryWithBackoff(
+      policy,
+      [&calls]() -> Status {
+        ++calls;
+        return UnavailableError("storm");
+      },
+      &stats);
+  EXPECT_EQ(result.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(calls, 2);
+  EXPECT_EQ(stats.retries, 1);
+  EXPECT_LE(stats.backoff_sec, policy.max_total_backoff_sec);
+}
+
+TEST(RetryTest, TotalBackoffCapZeroMeansUnbounded) {
+  RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.max_total_backoff_sec = 0.0;
+  RetryStats stats;
+  int calls = 0;
+  Status result = RetryWithBackoff(
+      policy,
+      [&calls]() -> Status {
+        ++calls;
+        return UnavailableError("storm");
+      },
+      &stats);
+  EXPECT_EQ(result.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(calls, 6);
+  EXPECT_EQ(stats.retries, 5);
+}
+
+TEST(RetryTest, TotalBackoffCapNeverBlocksTheFirstAttempt) {
+  // Even a cap too small for any backoff still runs the operation once —
+  // the cap bounds waiting, not work.
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.max_total_backoff_sec = 1e-9;
+  RetryStats stats;
+  int calls = 0;
+  Status result = RetryWithBackoff(
+      policy,
+      [&calls]() -> Status {
+        ++calls;
+        return calls == 1 ? UnavailableError("once") : Status::Ok();
+      },
+      &stats);
+  EXPECT_EQ(result.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.retries, 0);
+  EXPECT_DOUBLE_EQ(stats.backoff_sec, 0.0);
+}
+
 TEST(RetryTest, WorksWithStatusOr) {
   RetryPolicy policy;
   policy.max_attempts = 4;

@@ -1,0 +1,150 @@
+// The content-addressed compile cache behind ocl::Program::Build and the
+// serve engine: key sensitivity, hit/miss accounting, first-writer-wins
+// publication, and — the property the serve replay contract rests on —
+// fault schedules that are bit-identical on a cache hit and a cache miss.
+#include "mali/compiler_cache.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/injector.h"
+#include "kir/builder.h"
+#include "ocl/runtime.h"
+
+namespace malisim::mali {
+namespace {
+
+using kir::ArgKind;
+using kir::KernelBuilder;
+using kir::ScalarType;
+using kir::Val;
+
+kir::Program MakeKernel(const std::string& name, int loads) {
+  KernelBuilder kb(name);
+  auto in = kb.ArgBuffer("in", ScalarType::kF32, ArgKind::kBufferRO);
+  auto out = kb.ArgBuffer("out", ScalarType::kF32, ArgKind::kBufferWO);
+  Val gid = kb.GlobalId(0);
+  Val sum = kb.Load(in, gid);
+  for (int i = 1; i < loads; ++i) sum = sum + kb.Load(in, gid, i);
+  kb.Store(out, gid, sum);
+  return *kb.Build();
+}
+
+TEST(CompileCacheTest, KeyIsContentAddressed) {
+  const MaliTimingParams timing;
+  const kir::Program a = MakeKernel("k", 2);
+  const kir::Program a_again = MakeKernel("k", 2);
+  const kir::Program b = MakeKernel("k", 3);
+  // Same content -> same key, regardless of object identity.
+  EXPECT_EQ(CompileCache::Key(a, timing), CompileCache::Key(a_again, timing));
+  EXPECT_NE(CompileCache::Key(a, timing), CompileCache::Key(b, timing));
+  // Every compile-relevant timing parameter enters the address.
+  MaliTimingParams squeezed = timing;
+  squeezed.max_thread_reg_bytes /= 2;
+  EXPECT_NE(CompileCache::Key(a, timing), CompileCache::Key(a, squeezed));
+  MaliTimingParams sched = timing;
+  sched.restrict_sched_factor *= 0.5;
+  EXPECT_NE(CompileCache::Key(a, timing), CompileCache::Key(a, sched));
+}
+
+TEST(CompileCacheTest, LookupInsertAndStats) {
+  CompileCache cache;
+  const MaliTimingParams timing;
+  const kir::Program p = MakeKernel("k", 2);
+  const std::uint64_t key = CompileCache::Key(p, timing);
+
+  EXPECT_EQ(cache.Lookup(key), nullptr);
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  CompileCache::Entry entry;
+  entry.transformed = p;
+  StatusOr<CompiledKernel> analyzed = AnalyzeForMali(p, timing);
+  ASSERT_TRUE(analyzed.ok());
+  entry.analyzed = *analyzed;
+  entry.analyzed.program = nullptr;
+  cache.Insert(key, entry);
+  EXPECT_EQ(cache.size(), 1u);
+
+  const auto hit = cache.Lookup(key);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->analyzed.live_reg_bytes, analyzed->live_reg_bytes);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(CompileCacheTest, ConcurrentInsertFirstWriterWins) {
+  CompileCache cache;
+  const MaliTimingParams timing;
+  const kir::Program p = MakeKernel("k", 2);
+  const std::uint64_t key = CompileCache::Key(p, timing);
+  StatusOr<CompiledKernel> analyzed = AnalyzeForMali(p, timing);
+  ASSERT_TRUE(analyzed.ok());
+
+  std::vector<std::thread> writers;
+  std::vector<std::shared_ptr<const CompileCache::Entry>> published(8);
+  for (int i = 0; i < 8; ++i) {
+    writers.emplace_back([&, i] {
+      CompileCache::Entry entry;
+      entry.transformed = p;
+      entry.analyzed = *analyzed;
+      entry.analyzed.program = nullptr;
+      published[static_cast<std::size_t>(i)] = cache.Insert(key, entry);
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  EXPECT_EQ(cache.size(), 1u);
+  // Every racer got handed the same published entry.
+  for (int i = 1; i < 8; ++i) {
+    EXPECT_EQ(published[static_cast<std::size_t>(i)], published[0]);
+  }
+}
+
+// The serve replay contract: the injector decisions a build consumes must
+// not depend on cache warmth. Run the same faulty build sequence twice —
+// once against a cold cache, once warm — and require the injector event
+// logs to match exactly.
+TEST(CompileCacheTest, FaultScheduleIsIdenticalOnHitAndMiss) {
+  auto run_builds = [](CompileCache* cache,
+                       std::vector<std::string>* events) {
+    FaultOptions fault;
+    fault.rate = 0.5;  // plenty of build trips
+    fault.seed = 99;
+    auto plan = fault::FaultPlan::FromOptions(fault);
+    ASSERT_TRUE(plan.ok());
+    fault::FaultInjector injector(*plan);
+
+    ocl::Context context(sim::BackendKind::kMali);
+    context.set_fault_injector(&injector);
+    context.set_compile_cache(cache);
+    for (int i = 0; i < 6; ++i) {
+      std::shared_ptr<ocl::Program> program =
+          context.CreateProgram({MakeKernel("k", 2)});
+      (void)program->Build();  // faulty builds may fail; that's the point
+    }
+    for (const auto& event : injector.events()) {
+      events->push_back(event.site + ":" + event.action);
+    }
+  };
+
+  // Cold: every build misses (first) then hits (rest) one shared cache.
+  CompileCache shared;
+  std::vector<std::string> cold_events;
+  run_builds(&shared, &cold_events);
+  ASSERT_GT(shared.stats().hits, 0u);
+
+  // Warm: same sequence against the now-warm cache. And a cacheless run:
+  // every build pays the full compile.
+  std::vector<std::string> warm_events;
+  run_builds(&shared, &warm_events);
+  std::vector<std::string> uncached_events;
+  run_builds(nullptr, &uncached_events);
+
+  EXPECT_EQ(cold_events, warm_events);
+  EXPECT_EQ(cold_events, uncached_events);
+  EXPECT_FALSE(cold_events.empty()) << "rate 0.5 must trip something";
+}
+
+}  // namespace
+}  // namespace malisim::mali

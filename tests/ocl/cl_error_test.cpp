@@ -45,6 +45,10 @@ TEST(ClErrorTest, StatusMappingCoversThePaperErrors) {
             ClError::kOutOfResources);
   EXPECT_EQ(ClErrorFromStatus(DeadlineExceededError("slow")),
             ClError::kOutOfResources);
+  // Admission-control shed (malisim-serve backpressure) is host-side
+  // overload; a CL host would see the driver's catch-all resource error.
+  EXPECT_EQ(ClErrorFromStatus(OverloadedError("queue full")),
+            ClError::kOutOfResources);
   EXPECT_EQ(ClErrorFromStatus(Status::Ok()), ClError::kSuccess);
 }
 

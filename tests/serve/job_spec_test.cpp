@@ -1,0 +1,125 @@
+// Job model: variant spellings, JSONL parsing and the deterministic
+// load driver.
+#include "serve/job.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace malisim::serve {
+namespace {
+
+TEST(JobVariantTest, CliSpellingsRoundTrip) {
+  for (hpc::Variant v : hpc::kAllVariantsWithHetero) {
+    hpc::Variant back;
+    ASSERT_TRUE(ParseVariant(VariantKey(v), &back)) << VariantKey(v);
+    EXPECT_EQ(back, v);
+    // Display names ("OpenCL Opt") parse too.
+    ASSERT_TRUE(ParseVariant(hpc::VariantName(v), &back));
+    EXPECT_EQ(back, v);
+  }
+  hpc::Variant out;
+  EXPECT_FALSE(ParseVariant("cuda", &out));
+  EXPECT_FALSE(ParseVariant("", &out));
+}
+
+TEST(JobStateTest, EveryStateHasAName) {
+  std::set<std::string> names;
+  for (int s = 0; s < kNumJobStates; ++s) {
+    const std::string name(JobStateName(static_cast<JobState>(s)));
+    EXPECT_NE(name, "?");
+    EXPECT_TRUE(names.insert(name).second) << "duplicate " << name;
+  }
+}
+
+TEST(ParseJobLineTest, FullLine) {
+  auto job = ParseJobLine(
+      R"({"benchmark":"spmv","variant":"opencl","device":"hetero",)"
+      R"("fp64":true,"seed":7,"tenant":"batch-a","deadline_sec":2.5,)"
+      R"("sizes":"quick","hetero_ratio":0.5})");
+  ASSERT_TRUE(job.ok()) << job.status().ToString();
+  EXPECT_EQ(job->benchmark, "spmv");
+  EXPECT_EQ(job->variant, hpc::Variant::kOpenCL);
+  EXPECT_EQ(job->device, sim::BackendKind::kHetero);
+  EXPECT_TRUE(job->fp64);
+  EXPECT_EQ(job->seed, 7u);
+  EXPECT_EQ(job->tenant, "batch-a");
+  EXPECT_DOUBLE_EQ(job->deadline_sec, 2.5);
+  EXPECT_DOUBLE_EQ(job->hetero_ratio, 0.5);
+}
+
+TEST(ParseJobLineTest, DefaultsAndErrors) {
+  auto minimal = ParseJobLine(R"({"benchmark":"dmmm"})");
+  ASSERT_TRUE(minimal.ok());
+  EXPECT_EQ(minimal->variant, hpc::Variant::kOpenCLOpt);
+  EXPECT_EQ(minimal->device, sim::BackendKind::kMali);
+  EXPECT_FALSE(minimal->fp64);
+  EXPECT_DOUBLE_EQ(minimal->deadline_sec, 0.0);
+
+  EXPECT_FALSE(ParseJobLine("not json").ok());
+  EXPECT_FALSE(ParseJobLine("[1,2]").ok());
+  EXPECT_FALSE(ParseJobLine("{}").ok()) << "benchmark is required";
+  EXPECT_FALSE(
+      ParseJobLine(R"({"benchmark":"spmv","variant":"cuda"})").ok());
+  EXPECT_FALSE(
+      ParseJobLine(R"({"benchmark":"spmv","device":"tpu"})").ok());
+  EXPECT_FALSE(
+      ParseJobLine(R"({"benchmark":"spmv","sizes":"huge"})").ok());
+  EXPECT_FALSE(
+      ParseJobLine(R"({"benchmark":"spmv","deadline_sec":-1})").ok());
+}
+
+TEST(ParseJobFileTest, AssignsDenseIdsSkipsCommentsReportsBadLine) {
+  const std::string text =
+      "# a comment\n"
+      "\n"
+      R"({"benchmark":"spmv"})" "\n"
+      "  \t\r\n"
+      R"({"benchmark":"dmmm","tenant":"t2"})" "\n";
+  auto jobs = ParseJobFile(text, /*first_id=*/10);
+  ASSERT_TRUE(jobs.ok()) << jobs.status().ToString();
+  ASSERT_EQ(jobs->size(), 2u);
+  EXPECT_EQ((*jobs)[0].id, 10u);
+  EXPECT_EQ((*jobs)[1].id, 11u);
+  EXPECT_EQ((*jobs)[1].tenant, "t2");
+
+  auto bad = ParseJobFile("{\"benchmark\":\"spmv\"}\nbroken\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().ToString().find("line 2"), std::string::npos)
+      << bad.status().ToString();
+}
+
+TEST(GenerateLoadTest, DeterministicDenseAndMixed) {
+  const std::vector<JobSpec> a = GenerateLoad(120, 42);
+  const std::vector<JobSpec> b = GenerateLoad(120, 42);
+  ASSERT_EQ(a.size(), 120u);
+  ASSERT_EQ(b.size(), 120u);
+  bool any_fp64 = false;
+  bool any_hetero = false;
+  std::set<std::string> benchmarks;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].id, i);
+    EXPECT_EQ(a[i].benchmark, b[i].benchmark);
+    EXPECT_EQ(a[i].variant, b[i].variant);
+    EXPECT_EQ(a[i].fp64, b[i].fp64);
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].tenant, b[i].tenant);
+    any_fp64 |= a[i].fp64;
+    any_hetero |= a[i].variant == hpc::Variant::kHetero;
+    benchmarks.insert(a[i].benchmark);
+  }
+  // The mix must exercise the hard cells: fp64 (the amcd erratum),
+  // hetero, and every registered benchmark.
+  EXPECT_TRUE(any_fp64);
+  EXPECT_TRUE(any_hetero);
+  EXPECT_EQ(benchmarks.size(), hpc::RegisteredBenchmarks().size());
+  // A different seed changes the per-job seeds, not the shape.
+  const std::vector<JobSpec> c = GenerateLoad(120, 43);
+  EXPECT_NE(c[0].seed, a[0].seed);
+  EXPECT_EQ(c[0].benchmark, a[0].benchmark);
+}
+
+}  // namespace
+}  // namespace malisim::serve

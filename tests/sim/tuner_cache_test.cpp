@@ -4,14 +4,23 @@
 // corrupt, truncated and wrong-schema cache files. The harness-level
 // round trip (TuneBenchmark against a cache file) lives in
 // tuner_conformance_test.
+#include <atomic>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "sim/tuner.h"
+
+#ifndef _WIN32
+#include <sys/stat.h>
+#include <unistd.h>
+#include <utime.h>
+#endif
 
 namespace malisim::sim {
 namespace {
@@ -75,6 +84,145 @@ TEST(TuningCacheTest, SaveLoadFileByteIdentical) {
   ASSERT_TRUE(cache.SaveFile(path).ok());
   const TuningCache loaded = TuningCache::LoadFileOrEmpty(path);
   EXPECT_EQ(loaded.Serialize(), cache.Serialize());
+  std::remove(path.c_str());
+}
+
+TEST(TuningCacheTest, SaveFileMergesEntriesAlreadyOnDisk) {
+  // Two processes tuning different problems against the same cache file
+  // must both survive: SaveFile merges the on-disk entries before the
+  // atomic replace instead of clobbering them.
+  const std::string path = TempPath("tuner_cache_merge.json");
+  std::remove(path.c_str());
+  TuningCache first;
+  first.Insert("key-first", Entry("vec=1", 1.0));
+  ASSERT_TRUE(first.SaveFile(path).ok());
+  TuningCache second;
+  second.Insert("key-second", Entry("vec=2", 2.0));
+  ASSERT_TRUE(second.SaveFile(path).ok());
+
+  const TuningCache merged = TuningCache::LoadFileOrEmpty(path);
+  TuningCacheEntry out;
+  EXPECT_TRUE(merged.Lookup("key-first", &out));
+  EXPECT_TRUE(merged.Lookup("key-second", &out));
+  EXPECT_EQ(merged.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(TuningCacheTest, SaveFileInMemoryEntryWinsOverDisk) {
+  // Same key on disk and in memory: the saver's (newer) entry wins.
+  const std::string path = TempPath("tuner_cache_conflict.json");
+  std::remove(path.c_str());
+  TuningCache stale;
+  stale.Insert("key", Entry("vec=1", 9.0));
+  ASSERT_TRUE(stale.SaveFile(path).ok());
+  TuningCache fresh;
+  fresh.Insert("key", Entry("vec=4", 1.0));
+  ASSERT_TRUE(fresh.SaveFile(path).ok());
+
+  const TuningCache loaded = TuningCache::LoadFileOrEmpty(path);
+  TuningCacheEntry out;
+  ASSERT_TRUE(loaded.Lookup("key", &out));
+  EXPECT_EQ(out.config_key, "vec=4");
+  std::remove(path.c_str());
+}
+
+TEST(TuningCacheTest, SaveFileLeavesNoTempFileBehind) {
+  const std::string path = TempPath("tuner_cache_no_temp.json");
+  std::remove(path.c_str());
+  TuningCache cache;
+  cache.Insert("key", Entry("vec=4", 1.0));
+  ASSERT_TRUE(cache.SaveFile(path).ok());
+#ifndef _WIN32
+  const std::string temp = path + ".tmp." + std::to_string(::getpid());
+  std::ifstream probe(temp);
+  EXPECT_FALSE(probe.good()) << "temp file left behind: " << temp;
+  std::ifstream lock(path + ".lock");
+  EXPECT_FALSE(lock.good()) << "lock file left behind";
+#endif
+  std::remove(path.c_str());
+}
+
+#ifndef _WIN32
+TEST(TuningCacheTest, StaleLockFileIsStolenNotFatal) {
+  // A crashed writer leaves `<path>.lock` behind. SaveFile must treat a
+  // sufficiently old lock as abandoned, steal it, and still persist.
+  const std::string path = TempPath("tuner_cache_stale_lock.json");
+  const std::string lock = path + ".lock";
+  std::remove(path.c_str());
+  WriteFile(lock, "pid 99999\n");
+  struct utimbuf ancient;
+  ancient.actime = ancient.modtime = 1;  // 1970: definitely stale
+  ASSERT_EQ(::utime(lock.c_str(), &ancient), 0);
+
+  TuningCache cache;
+  cache.Insert("key", Entry("vec=4", 1.0));
+  ASSERT_TRUE(cache.SaveFile(path).ok());
+  const TuningCache loaded = TuningCache::LoadFileOrEmpty(path);
+  TuningCacheEntry out;
+  EXPECT_TRUE(loaded.Lookup("key", &out));
+  // The stolen lock was released on the way out.
+  std::ifstream probe(lock);
+  EXPECT_FALSE(probe.good());
+  std::remove(path.c_str());
+}
+#endif
+
+TEST(TuningCacheTest, ConcurrentWritersFuzzLosesNothingAndNeverTears) {
+  // N writer threads hammer the same cache file with disjoint keys while a
+  // reader polls the raw bytes. Locked load-merge-write means every key
+  // survives; atomic temp+rename means the reader never observes a torn
+  // (unparseable) document.
+  const std::string path = TempPath("tuner_cache_fuzz.json");
+  std::remove(path.c_str());
+  constexpr int kWriters = 4;
+  constexpr int kRounds = 6;
+
+  std::atomic<bool> done{false};
+  std::atomic<int> torn_reads{0};
+  std::thread reader([&] {
+    while (!done.load()) {
+      std::ifstream in(path, std::ios::binary);
+      if (in) {
+        std::ostringstream text;
+        text << in.rdbuf();
+        if (!text.str().empty() &&
+            !TuningCache::Deserialize(text.str()).ok()) {
+          torn_reads.fetch_add(1);
+        }
+      }
+      std::this_thread::yield();
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&, w] {
+      for (int r = 0; r < kRounds; ++r) {
+        TuningCache mine;
+        const std::string key =
+            "w" + std::to_string(w) + "-r" + std::to_string(r);
+        mine.Insert(key, Entry("vec=" + std::to_string(w + 1),
+                               static_cast<double>(r + 1)));
+        EXPECT_TRUE(mine.SaveFile(path).ok()) << key;
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  done.store(true);
+  reader.join();
+
+  EXPECT_EQ(torn_reads.load(), 0) << "reader saw a partially-written cache";
+  const TuningCache merged = TuningCache::LoadFileOrEmpty(path);
+  EXPECT_EQ(merged.size(),
+            static_cast<std::size_t>(kWriters * kRounds));
+  for (int w = 0; w < kWriters; ++w) {
+    for (int r = 0; r < kRounds; ++r) {
+      TuningCacheEntry out;
+      EXPECT_TRUE(merged.Lookup(
+          "w" + std::to_string(w) + "-r" + std::to_string(r), &out))
+          << "lost w" << w << "-r" << r;
+    }
+  }
   std::remove(path.c_str());
 }
 

@@ -81,12 +81,18 @@ bool ParseThresholdSpec(const std::string& spec, obs::CompareOptions* out) {
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* options) {
-  // Default loose threshold for the measured-host throughput section: those
-  // numbers are wall-clock (machine- and load-dependent), so only a 3x
-  // swing is worth flagging. Prepended so any user --threshold-spec entry
-  // with the same or a longer prefix wins (ThresholdFor prefers the later,
-  // longer match).
-  options->compare.prefix_thresholds.emplace_back("sim_throughput_host/", 3.0);
+  // Default loose thresholds for the measured-host sections: those numbers
+  // are wall-clock (machine- and load-dependent), so only a 3x swing is
+  // worth flagging. Flattened metric names carry their category prefix
+  // (gauge/, counter/, hist/), so each category needs its own entry.
+  // Prepended so any user --threshold-spec entry with the same or a longer
+  // prefix wins (ThresholdFor prefers the later, longer match).
+  for (const char* category : {"gauge/", "counter/", "hist/"}) {
+    options->compare.prefix_thresholds.emplace_back(
+        std::string(category) + "sim_throughput_host/", 3.0);
+    options->compare.prefix_thresholds.emplace_back(
+        std::string(category) + "serve_host/", 3.0);
+  }
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--baseline=", 0) == 0) {
