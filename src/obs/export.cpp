@@ -464,6 +464,26 @@ std::string MetricsJson(const Recorder& recorder,
   }
   w.EndArray();
 
+  w.Key("slos");
+  w.BeginArray();
+  for (const SloRecord& s : snap.slos) {
+    w.BeginObject();
+    w.Key("objective");
+    w.String(s.name);
+    w.Key("action");
+    w.String(s.action);
+    w.Key("window");
+    w.Number(s.window);
+    w.Key("threshold");
+    w.Number(s.threshold);
+    w.Key("short");
+    w.Number(s.short_value);
+    w.Key("long");
+    w.Number(s.long_value);
+    w.EndObject();
+  }
+  w.EndArray();
+
   w.EndObject();
   return w.str() + "\n";
 }
@@ -636,6 +656,20 @@ std::string TextReport(const Recorder& recorder,
     }
     out << "\nFault events (injected faults and resilience actions):\n"
         << ft.ToAscii();
+  }
+
+  if (!snap.slos.empty()) {
+    Table st({"objective", "action", "window", "short", "long"});
+    for (const SloRecord& s : snap.slos) {
+      st.BeginRow();
+      st.AddCell(s.name);
+      st.AddCell(s.action);
+      st.AddCell(std::to_string(s.window));
+      st.AddCell(FormatDouble(s.short_value, 4));
+      st.AddCell(FormatDouble(s.long_value, 4));
+    }
+    out << "\nSLO transitions (telemetry burn-rate events):\n"
+        << st.ToAscii();
   }
   return out.str();
 }

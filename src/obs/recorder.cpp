@@ -46,6 +46,12 @@ void Recorder::AddGraph(GraphRecord record) {
   graphs_.push_back(std::move(record));
 }
 
+void Recorder::AddSlo(SloRecord record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NoteRecordLocked();
+  slos_.push_back(std::move(record));
+}
+
 std::vector<KernelRecord> Recorder::kernels() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return kernels_;
@@ -71,6 +77,11 @@ std::vector<GraphRecord> Recorder::graphs() const {
   return graphs_;
 }
 
+std::vector<SloRecord> Recorder::slos() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slos_;
+}
+
 RecorderSnapshot Recorder::TakeSnapshot() const {
   std::lock_guard<std::mutex> lock(mutex_);
   RecorderSnapshot snapshot;
@@ -79,6 +90,7 @@ RecorderSnapshot Recorder::TakeSnapshot() const {
   snapshot.power_segments = segments_;
   snapshot.faults = faults_;
   snapshot.graphs = graphs_;
+  snapshot.slos = slos_;
   return snapshot;
 }
 

@@ -127,6 +127,20 @@ struct GraphRecord {
   std::vector<GraphNodeRecord> nodes;
 };
 
+/// One SLO burn-rate transition from the live telemetry plane
+/// (obs/telemetry.h): the named objective entered ("breach") or left
+/// ("recover") its breached state at modelled-time window `window`.
+/// `short_value`/`long_value` are the burn-rate inputs that crossed (the
+/// newest window and the long multi-window horizon).
+struct SloRecord {
+  std::string name;    // canonical objective, e.g. "p99_latency_sec<=0.5"
+  std::string action;  // "breach" | "recover"
+  std::uint64_t window = 0;
+  double threshold = 0.0;
+  double short_value = 0.0;
+  double long_value = 0.0;
+};
+
 /// One meter window: what the virtual power meter would observe while
 /// `label` ran repeatedly for `window_sec` (the harness's steady-state
 /// measurement region, §IV-D).
@@ -148,6 +162,7 @@ struct RecorderSnapshot {
   std::vector<PowerSegment> power_segments;
   std::vector<FaultRecord> faults;
   std::vector<GraphRecord> graphs;
+  std::vector<SloRecord> slos;
 };
 
 class Recorder {
@@ -171,6 +186,7 @@ class Recorder {
   void AddPowerSegment(PowerSegment segment);
   void AddFault(FaultRecord record);
   void AddGraph(GraphRecord record);
+  void AddSlo(SloRecord record);
 
   /// Snapshots (copies, taken under the lock).
   std::vector<KernelRecord> kernels() const;
@@ -178,6 +194,7 @@ class Recorder {
   std::vector<PowerSegment> power_segments() const;
   std::vector<FaultRecord> faults() const;
   std::vector<GraphRecord> graphs() const;
+  std::vector<SloRecord> slos() const;
 
   /// One consistent cut of all four streams (single lock acquisition).
   RecorderSnapshot TakeSnapshot() const;
@@ -218,6 +235,7 @@ class Recorder {
   std::vector<PowerSegment> segments_;
   std::vector<FaultRecord> faults_;
   std::vector<GraphRecord> graphs_;
+  std::vector<SloRecord> slos_;
 };
 
 }  // namespace malisim::obs

@@ -1,0 +1,907 @@
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <array>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+#include "common/json.h"
+#include "common/log.h"
+
+namespace malisim::obs {
+
+namespace {
+
+constexpr std::string_view kSchema = "malisim-telemetry-v1";
+
+const char* const kStateNames[] = {"ok", "degraded", "shed",
+                                   "deadline-exceeded", "failed"};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RollingWindow
+// ---------------------------------------------------------------------------
+
+RollingWindow::RollingWindow(int capacity, const LogHistogram::Layout& layout)
+    : capacity_(std::max(1, capacity)), layout_(layout) {
+  ring_.resize(static_cast<std::size_t>(capacity_));
+}
+
+void RollingWindow::Advance(std::uint64_t window_index) {
+  if (started_ && window_index == current_) return;
+  MALI_CHECK_MSG(!started_ || window_index > current_,
+                 "RollingWindow::Advance must be monotonic");
+  const std::uint64_t from = started_ ? current_ + 1 : window_index;
+  if (!started_ || window_index - from >=
+                       static_cast<std::uint64_t>(capacity_)) {
+    for (Bucket& b : ring_) b = Bucket{};
+  } else {
+    for (std::uint64_t w = from; w <= window_index; ++w) {
+      ring_[static_cast<std::size_t>(
+          w % static_cast<std::uint64_t>(capacity_))] = Bucket{};
+    }
+  }
+  current_ = window_index;
+  started_ = true;
+  Bucket& b = CurrentBucket();
+  b.used = true;
+  b.index = current_;
+}
+
+void RollingWindow::AddCounter(const std::string& name, double delta) {
+  MALI_CHECK_MSG(started_, "Advance before AddCounter");
+  CurrentBucket().counters[name] += delta;
+}
+
+void RollingWindow::Observe(const std::string& name, double value) {
+  MALI_CHECK_MSG(started_, "Advance before Observe");
+  Bucket& b = CurrentBucket();
+  auto it = b.hists.find(name);
+  if (it == b.hists.end()) {
+    it = b.hists.emplace(name, LogHistogram(layout_)).first;
+  }
+  it->second.Add(value);
+}
+
+double RollingWindow::CounterOver(const std::string& name, int windows) const {
+  if (!started_) return 0.0;
+  windows = std::clamp(windows, 1, capacity_);
+  double sum = 0.0;
+  for (int i = 0; i < windows; ++i) {
+    if (static_cast<std::uint64_t>(i) > current_) break;
+    const Bucket& b = ring_[static_cast<std::size_t>(
+        (current_ - static_cast<std::uint64_t>(i)) %
+        static_cast<std::uint64_t>(capacity_))];
+    if (!b.used || b.index != current_ - static_cast<std::uint64_t>(i)) {
+      continue;
+    }
+    const auto it = b.counters.find(name);
+    if (it != b.counters.end()) sum += it->second;
+  }
+  return sum;
+}
+
+LogHistogram RollingWindow::HistogramOver(const std::string& name,
+                                          int windows) const {
+  LogHistogram merged(layout_);
+  if (!started_) return merged;
+  windows = std::clamp(windows, 1, capacity_);
+  // Merge oldest-first so the Kahan-summed `sum` is reproducible for a
+  // given ring state (percentiles/extremes are order-independent anyway).
+  for (int i = windows - 1; i >= 0; --i) {
+    if (static_cast<std::uint64_t>(i) > current_) continue;
+    const Bucket& b = ring_[static_cast<std::size_t>(
+        (current_ - static_cast<std::uint64_t>(i)) %
+        static_cast<std::uint64_t>(capacity_))];
+    if (!b.used || b.index != current_ - static_cast<std::uint64_t>(i)) {
+      continue;
+    }
+    const auto it = b.hists.find(name);
+    if (it != b.hists.end()) merged.Merge(it->second);
+  }
+  return merged;
+}
+
+// ---------------------------------------------------------------------------
+// SLO spec + tracker
+// ---------------------------------------------------------------------------
+
+namespace {
+
+bool KnownSloMetric(std::string_view metric) {
+  return metric == "p50_latency_sec" || metric == "p99_latency_sec" ||
+         metric == "shed_ratio" || metric == "deadline_miss_ratio" ||
+         metric == "failed_ratio";
+}
+
+std::string TenantSeries(const std::string& tenant, const char* name) {
+  if (tenant.empty()) return name;
+  return "tenant/" + tenant + "/" + name;
+}
+
+double SloMetricValue(const SloObjective& objective, const RollingWindow& ring,
+                      int horizon) {
+  const std::string& t = objective.tenant;
+  if (objective.metric == "p50_latency_sec" ||
+      objective.metric == "p99_latency_sec") {
+    const LogHistogram hist =
+        ring.HistogramOver(TenantSeries(t, "latency_sec"), horizon);
+    return hist.Percentile(objective.metric[1] == '5' ? 50.0 : 99.0);
+  }
+  const double jobs = ring.CounterOver(TenantSeries(t, "jobs"), horizon);
+  if (jobs <= 0.0) return 0.0;
+  const char* numerator = objective.metric == "shed_ratio" ? "shed"
+                          : objective.metric == "deadline_miss_ratio"
+                              ? "deadline_miss"
+                              : "failed";
+  return ring.CounterOver(TenantSeries(t, numerator), horizon) / jobs;
+}
+
+}  // namespace
+
+std::string SloObjective::Name() const {
+  // Shortest round-trip rendering so Name() echoes the spec the user
+  // wrote: 0.1 stays "0.1", not its 17-digit expansion.
+  char buf[64];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), threshold);
+  std::string name;
+  if (!tenant.empty()) name += tenant + ":";
+  name += metric + "<=" + std::string(buf, res.ptr);
+  return name;
+}
+
+StatusOr<SloSpec> SloSpec::Parse(std::string_view spec) {
+  SloSpec out;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t end = spec.find_first_of(",;", pos);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string entry;
+    for (char c : spec.substr(pos, end - pos)) {
+      if (c != ' ' && c != '\t') entry += c;
+    }
+    pos = end + 1;
+    if (entry.empty()) {
+      if (pos > spec.size()) break;
+      continue;
+    }
+    SloObjective objective;
+    const std::size_t le = entry.find("<=");
+    if (le == std::string::npos) {
+      return InvalidArgumentError("slo entry '" + entry +
+                                  "' lacks '<=' (want metric<=value)");
+    }
+    std::string lhs = entry.substr(0, le);
+    const std::size_t colon = lhs.rfind(':');
+    if (colon != std::string::npos) {
+      objective.tenant = lhs.substr(0, colon);
+      lhs = lhs.substr(colon + 1);
+    }
+    if (!KnownSloMetric(lhs)) {
+      return InvalidArgumentError(
+          "unknown slo metric '" + lhs +
+          "' (want p50_latency_sec|p99_latency_sec|shed_ratio|"
+          "deadline_miss_ratio|failed_ratio)");
+    }
+    objective.metric = lhs;
+    const std::string rhs = entry.substr(le + 2);
+    char* parse_end = nullptr;
+    objective.threshold = std::strtod(rhs.c_str(), &parse_end);
+    if (rhs.empty() || parse_end != rhs.c_str() + rhs.size() ||
+        !(objective.threshold >= 0.0)) {
+      return InvalidArgumentError("slo threshold '" + rhs +
+                                  "' is not a number >= 0");
+    }
+    out.objectives.push_back(std::move(objective));
+  }
+  return out;
+}
+
+SloTracker::SloTracker(const SloSpec& spec, int long_windows)
+    : spec_(spec),
+      long_windows_(std::max(1, long_windows)),
+      breached_(spec.objectives.size(), false) {}
+
+std::vector<SloWindowStatus> SloTracker::Evaluate(
+    std::uint64_t window, const RollingWindow& ring,
+    std::vector<SloRecord>* events) {
+  std::vector<SloWindowStatus> statuses;
+  statuses.reserve(spec_.objectives.size());
+  for (std::size_t i = 0; i < spec_.objectives.size(); ++i) {
+    const SloObjective& objective = spec_.objectives[i];
+    SloWindowStatus status;
+    status.objective = objective;
+    status.short_value = SloMetricValue(objective, ring, 1);
+    status.long_value = SloMetricValue(objective, ring, long_windows_);
+    const bool over_short = status.short_value > objective.threshold;
+    const bool over_long = status.long_value > objective.threshold;
+    const bool was = breached_[i];
+    const bool now = was ? (over_short || over_long)  // recover on both-clear
+                         : (over_short && over_long);  // page on both-burning
+    if (now != was && events != nullptr) {
+      SloRecord record;
+      record.name = objective.Name();
+      record.action = now ? "breach" : "recover";
+      record.window = window;
+      record.threshold = objective.threshold;
+      record.short_value = status.short_value;
+      record.long_value = status.long_value;
+      events->push_back(std::move(record));
+    }
+    breached_[i] = now;
+    status.breached = now;
+    statuses.push_back(std::move(status));
+  }
+  return statuses;
+}
+
+// ---------------------------------------------------------------------------
+// FileTelemetrySink
+// ---------------------------------------------------------------------------
+
+FileTelemetrySink::~FileTelemetrySink() {
+  if (jsonl_ != nullptr) std::fclose(jsonl_);
+}
+
+Status FileTelemetrySink::Open(const std::string& jsonl_path) {
+  jsonl_path_ = jsonl_path;
+  prom_path_ = jsonl_path + ".prom";
+  jsonl_ = std::fopen(jsonl_path.c_str(), "wb");
+  if (jsonl_ == nullptr) {
+    status_ = InternalError("cannot open '" + jsonl_path + "' for writing");
+    return status_;
+  }
+  return Status::Ok();
+}
+
+void FileTelemetrySink::NoteError(Status status) {
+  if (status_.ok()) {
+    MALI_LOG_WARN("telemetry: %s", status.ToString().c_str());
+    status_ = std::move(status);
+  }
+}
+
+void FileTelemetrySink::AppendSnapshot(const std::string& line) {
+  if (jsonl_ == nullptr) return;
+  if (std::fwrite(line.data(), 1, line.size(), jsonl_) != line.size() ||
+      std::fputc('\n', jsonl_) == EOF || std::fflush(jsonl_) != 0) {
+    NoteError(InternalError("short write to '" + jsonl_path_ + "'"));
+  }
+}
+
+void FileTelemetrySink::WriteExposition(const std::string& text) {
+  if (jsonl_path_.empty()) return;
+  const std::string tmp = prom_path_ + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    NoteError(InternalError("cannot open '" + tmp + "' for writing"));
+    return;
+  }
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok || std::rename(tmp.c_str(), prom_path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    NoteError(InternalError("cannot replace '" + prom_path_ + "'"));
+  }
+}
+
+void FileTelemetrySink::WriteExemplar(const std::string& name,
+                                      const std::string& json) {
+  const std::string path = jsonl_path_ + "." + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    NoteError(InternalError("cannot open '" + path + "' for writing"));
+    return;
+  }
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size() &&
+      std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) NoteError(InternalError("short write to '" + path + "'"));
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryPlane
+// ---------------------------------------------------------------------------
+
+double ExactPercentile(const std::vector<double>& sorted_values, double p) {
+  if (sorted_values.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(sorted_values.size())));
+  if (rank == 0) rank = 1;
+  return sorted_values[rank - 1];
+}
+
+TelemetryPlane::TelemetryPlane(const TelemetryOptions& options,
+                               TelemetrySink* sink)
+    : options_(options),
+      sink_(sink),
+      ring_(std::max(options.ring_capacity, options.long_windows + 1)),
+      slo_tracker_(options.slo, options.long_windows) {
+  const double interval = options_.arrival_interval_sec > 0.0
+                              ? options_.arrival_interval_sec
+                              : 0.02;
+  const double window = options_.window_sec > 0.0 ? options_.window_sec : 1.0;
+  options_.arrival_interval_sec = interval;
+  options_.window_sec = window;
+  jobs_per_window_ = static_cast<std::uint64_t>(
+      std::max(1.0, std::floor(window / interval + 0.5)));
+  const int shards = std::max(1, options_.collector_shards);
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void TelemetryPlane::NoteSubmitted(std::uint64_t id) {
+  std::uint64_t seen = watermark_.load(std::memory_order_relaxed);
+  while (id + 1 > seen && !watermark_.compare_exchange_weak(
+                              seen, id + 1, std::memory_order_relaxed)) {
+  }
+}
+
+void TelemetryPlane::SetStateProber(StateProber prober) {
+  std::lock_guard<std::mutex> lock(prober_mu_);
+  prober_ = std::move(prober);
+}
+
+void TelemetryPlane::Record(TelemetrySample sample) {
+  const std::uint64_t window = WindowOf(sample.id);
+  Shard& shard = *shards_[static_cast<std::size_t>(
+      sample.id % static_cast<std::uint64_t>(shards_.size()))];
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.open[window].push_back(std::move(sample));
+  }
+  MaybeFlush();
+}
+
+void TelemetryPlane::MaybeFlush() {
+  if (!flush_mu_.try_lock()) return;  // someone else is flushing — move on
+  std::lock_guard<std::mutex> lock(flush_mu_, std::adopt_lock);
+  FlushReadyLocked(/*drain=*/false);
+}
+
+void TelemetryPlane::FinalFlush() {
+  std::lock_guard<std::mutex> lock(flush_mu_);
+  FlushReadyLocked(/*drain=*/true);
+}
+
+void TelemetryPlane::FlushReadyLocked(bool drain) {
+  for (;;) {
+    const std::uint64_t w = next_window_;
+    // Collect this window's sample count and (when flushing) the samples.
+    std::size_t count = 0;
+    bool any_open_beyond = false;
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      const auto it = shard->open.find(w);
+      if (it != shard->open.end()) count += it->second.size();
+      if (!shard->open.empty() && shard->open.rbegin()->first > w) {
+        any_open_beyond = true;
+      }
+    }
+    bool ready;
+    if (drain) {
+      // Everything flushes on drain; skip windows nothing landed in
+      // (sparse ids) but keep scanning while later windows hold samples.
+      if (count == 0) {
+        if (!any_open_beyond) return;
+        ++next_window_;
+        continue;
+      }
+      ready = true;
+    } else {
+      const bool sealed =
+          watermark_.load(std::memory_order_relaxed) >=
+          (w + 1) * jobs_per_window_;
+      ready = sealed && count == jobs_per_window_;
+    }
+    if (!ready) return;
+
+    std::vector<TelemetrySample> samples;
+    samples.reserve(count);
+    for (const auto& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard->mu);
+      const auto it = shard->open.find(w);
+      if (it != shard->open.end()) {
+        for (TelemetrySample& s : it->second) {
+          samples.push_back(std::move(s));
+        }
+        shard->open.erase(it);
+      }
+    }
+    FlushWindowLocked(w, std::move(samples));
+    ++next_window_;
+  }
+}
+
+void TelemetryPlane::FlushWindowLocked(std::uint64_t window,
+                                       std::vector<TelemetrySample> samples) {
+  // Canonical order: everything downstream (sums, percentiles, exemplar
+  // pick, ring feed) sees id-sorted samples regardless of arrival order.
+  std::sort(samples.begin(), samples.end(),
+            [](const TelemetrySample& a, const TelemetrySample& b) {
+              return a.id < b.id;
+            });
+
+  // Feed the rolling ring (the SLO tracker's view).
+  ring_.Advance(window);
+  for (const TelemetrySample& s : samples) {
+    ring_.AddCounter("jobs");
+    ring_.AddCounter(TenantSeries(s.tenant, "jobs"));
+    if (s.shed) {
+      ring_.AddCounter("shed");
+      ring_.AddCounter(TenantSeries(s.tenant, "shed"));
+    } else {
+      ring_.Observe("latency_sec", s.consumed_sec);
+      ring_.Observe(TenantSeries(s.tenant, "latency_sec"), s.consumed_sec);
+    }
+    if (s.deadline_missed) {
+      ring_.AddCounter("deadline_miss");
+      ring_.AddCounter(TenantSeries(s.tenant, "deadline_miss"));
+    }
+    if (s.failed) {
+      ring_.AddCounter("failed");
+      ring_.AddCounter(TenantSeries(s.tenant, "failed"));
+    }
+  }
+
+  // Evaluate SLOs; transitions go to the recorder and into the snapshot.
+  std::vector<SloRecord> events;
+  const std::vector<SloWindowStatus> slo =
+      slo_tracker_.Evaluate(window, ring_, &events);
+  if (options_.recorder != nullptr) {
+    for (const SloRecord& event : events) options_.recorder->AddSlo(event);
+  }
+
+  // Tail exemplars: jobs at or above the window's exact p99 of consumed
+  // modelled seconds, worst-first, budgeted. Shed jobs never ran and
+  // span-less jobs have nothing to draw.
+  std::vector<std::pair<std::uint64_t, std::string>> exemplar_refs;
+  if (options_.exemplars_per_window > 0) {
+    std::vector<double> latencies;
+    for (const TelemetrySample& s : samples) {
+      if (!s.shed) latencies.push_back(s.consumed_sec);
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double p99 = ExactPercentile(latencies, 99.0);
+    std::vector<const TelemetrySample*> tail;
+    for (const TelemetrySample& s : samples) {
+      if (!s.shed && !s.spans.empty() && s.consumed_sec >= p99 &&
+          !latencies.empty()) {
+        tail.push_back(&s);
+      }
+    }
+    std::stable_sort(tail.begin(), tail.end(),
+                     [](const TelemetrySample* a, const TelemetrySample* b) {
+                       if (a->consumed_sec != b->consumed_sec) {
+                         return a->consumed_sec > b->consumed_sec;
+                       }
+                       return a->id < b->id;
+                     });
+    if (tail.size() >
+        static_cast<std::size_t>(options_.exemplars_per_window)) {
+      tail.resize(static_cast<std::size_t>(options_.exemplars_per_window));
+    }
+    for (const TelemetrySample* s : tail) {
+      const std::string name = "exemplar-w" + std::to_string(window) +
+                               "-job" + std::to_string(s->id) + ".json";
+      if (sink_ != nullptr) {
+        sink_->WriteExemplar(name, ExemplarTraceJson(*s, window));
+      }
+      exemplar_refs.emplace_back(s->id, name);
+    }
+  }
+
+  // Cumulative totals advance in window order => deterministic.
+  {
+    std::lock_guard<std::mutex> lock(totals_mu_);
+    totals_.jobs += samples.size();
+    for (const TelemetrySample& s : samples) {
+      ++totals_.by_state[s.state];
+      if (s.completed && !s.rung.empty()) ++totals_.by_rung[s.rung];
+      totals_.retries += static_cast<std::uint64_t>(std::max(0, s.retries));
+      totals_.attempts += static_cast<std::uint64_t>(std::max(0, s.attempts));
+      if (s.breaker_rerouted) ++totals_.breaker_reroutes;
+      totals_.modelled_sec.Add(s.modelled_sec);
+      totals_.energy_j.Add(s.energy_j);
+    }
+    ++totals_.windows;
+    totals_.exemplars += exemplar_refs.size();
+    for (const SloRecord& event : events) {
+      if (event.action == "breach") {
+        ++totals_.slo_breaches;
+      } else {
+        ++totals_.slo_recoveries;
+      }
+    }
+  }
+
+  if (sink_ != nullptr) {
+    sink_->AppendSnapshot(
+        RenderSnapshotLocked(window, samples, slo, events, exemplar_refs));
+    sink_->WriteExposition(RenderExpositionLocked());
+  }
+}
+
+namespace {
+
+struct TenantWindowStats {
+  std::uint64_t jobs = 0;
+  std::array<std::uint64_t, 5> by_state{};  // kStateNames order
+  std::vector<double> latencies;            // non-shed consumed_sec
+};
+
+int StateIndex(const std::string& state) {
+  for (int i = 0; i < 5; ++i) {
+    if (state == kStateNames[i]) return i;
+  }
+  return 4;  // unknown counts as failed — snapshots must stay consistent
+}
+
+}  // namespace
+
+std::string TelemetryPlane::RenderSnapshotLocked(
+    std::uint64_t window, const std::vector<TelemetrySample>& samples,
+    const std::vector<SloWindowStatus>& slo,
+    const std::vector<SloRecord>& events,
+    const std::vector<std::pair<std::uint64_t, std::string>>& exemplars) {
+  std::array<std::uint64_t, 5> by_state{};
+  std::map<std::string, std::uint64_t> by_rung;
+  std::map<std::string, TenantWindowStats> tenants;
+  std::uint64_t retries = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t reroutes = 0;
+  KahanSum backoff_sum;
+  KahanSum modelled_sum;
+  KahanSum energy_sum;
+  std::vector<double> latencies;
+  for (const TelemetrySample& s : samples) {
+    const int state = StateIndex(s.state);
+    ++by_state[static_cast<std::size_t>(state)];
+    if (s.completed && !s.rung.empty()) ++by_rung[s.rung];
+    retries += static_cast<std::uint64_t>(std::max(0, s.retries));
+    attempts += static_cast<std::uint64_t>(std::max(0, s.attempts));
+    if (s.breaker_rerouted) ++reroutes;
+    backoff_sum.Add(s.backoff_sec);
+    modelled_sum.Add(s.modelled_sec);
+    energy_sum.Add(s.energy_j);
+    TenantWindowStats& t = tenants[s.tenant];
+    ++t.jobs;
+    ++t.by_state[static_cast<std::size_t>(state)];
+    if (!s.shed) {
+      t.latencies.push_back(s.consumed_sec);
+      latencies.push_back(s.consumed_sec);
+    }
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema");
+  w.String(std::string(kSchema));
+  w.Key("window");
+  w.Number(window);
+  w.Key("t_start_sec");
+  w.Number(static_cast<double>(window * jobs_per_window_) *
+           options_.arrival_interval_sec);
+  w.Key("t_end_sec");
+  w.Number(static_cast<double>((window + 1) * jobs_per_window_) *
+           options_.arrival_interval_sec);
+  w.Key("jobs");
+  w.Number(static_cast<std::uint64_t>(samples.size()));
+  w.Key("states");
+  w.BeginObject();
+  for (int i = 0; i < 5; ++i) {
+    w.Key(kStateNames[i]);
+    w.Number(by_state[static_cast<std::size_t>(i)]);
+  }
+  w.EndObject();
+  w.Key("completed_on");
+  w.BeginObject();
+  for (const auto& [rung, count] : by_rung) {
+    w.Key(rung);
+    w.Number(count);
+  }
+  w.EndObject();
+  w.Key("retries");
+  w.Number(retries);
+  w.Key("rung_attempts");
+  w.Number(attempts);
+  w.Key("breaker_reroutes");
+  w.Number(reroutes);
+  w.Key("backoff_sec_sum");
+  w.Number(backoff_sum.value());
+  w.Key("modelled_sec_sum");
+  w.Number(modelled_sum.value());
+  w.Key("energy_j_sum");
+  w.Number(energy_sum.value());
+  w.Key("latency");
+  w.BeginObject();
+  w.Key("count");
+  w.Number(static_cast<std::uint64_t>(latencies.size()));
+  w.Key("min");
+  w.Number(latencies.empty() ? 0.0 : latencies.front());
+  w.Key("max");
+  w.Number(latencies.empty() ? 0.0 : latencies.back());
+  w.Key("p50");
+  w.Number(ExactPercentile(latencies, 50.0));
+  w.Key("p90");
+  w.Number(ExactPercentile(latencies, 90.0));
+  w.Key("p99");
+  w.Number(ExactPercentile(latencies, 99.0));
+  w.EndObject();
+  w.Key("tenants");
+  w.BeginObject();
+  for (auto& [tenant, t] : tenants) {
+    std::sort(t.latencies.begin(), t.latencies.end());
+    w.Key(tenant);
+    w.BeginObject();
+    w.Key("jobs");
+    w.Number(t.jobs);
+    for (int i = 0; i < 5; ++i) {
+      w.Key(kStateNames[i]);
+      w.Number(t.by_state[static_cast<std::size_t>(i)]);
+    }
+    const double jobs = static_cast<double>(t.jobs);
+    w.Key("shed_ratio");
+    w.Number(jobs > 0.0 ? static_cast<double>(t.by_state[2]) / jobs : 0.0);
+    w.Key("deadline_miss_ratio");
+    w.Number(jobs > 0.0 ? static_cast<double>(t.by_state[3]) / jobs : 0.0);
+    w.Key("p50_sec");
+    w.Number(ExactPercentile(t.latencies, 50.0));
+    w.Key("p99_sec");
+    w.Number(ExactPercentile(t.latencies, 99.0));
+    w.EndObject();
+  }
+  w.EndObject();
+  {
+    std::lock_guard<std::mutex> lock(prober_mu_);
+    if (prober_) {
+      w.Key("breakers");
+      w.BeginObject();
+      for (const auto& [rung, state] : prober_()) {
+        w.Key(rung);
+        w.String(state);
+      }
+      w.EndObject();
+    }
+  }
+  w.Key("slo");
+  w.BeginArray();
+  for (const SloWindowStatus& s : slo) {
+    w.BeginObject();
+    w.Key("objective");
+    w.String(s.objective.Name());
+    if (!s.objective.tenant.empty()) {
+      w.Key("tenant");
+      w.String(s.objective.tenant);
+    }
+    w.Key("metric");
+    w.String(s.objective.metric);
+    w.Key("threshold");
+    w.Number(s.objective.threshold);
+    w.Key("short");
+    w.Number(s.short_value);
+    w.Key("long");
+    w.Number(s.long_value);
+    w.Key("breached");
+    w.Bool(s.breached);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("events");
+  w.BeginArray();
+  for (const SloRecord& e : events) {
+    w.BeginObject();
+    w.Key("action");
+    w.String(e.action);
+    w.Key("objective");
+    w.String(e.name);
+    w.Key("short");
+    w.Number(e.short_value);
+    w.Key("long");
+    w.Number(e.long_value);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("exemplars");
+  w.BeginArray();
+  for (const auto& [id, name] : exemplars) {
+    w.BeginObject();
+    w.Key("job");
+    w.Number(id);
+    w.Key("file");
+    w.String(name);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("cum");
+  w.BeginObject();
+  {
+    std::lock_guard<std::mutex> lock(totals_mu_);
+    w.Key("jobs");
+    w.Number(totals_.jobs);
+    for (int i = 0; i < 5; ++i) {
+      const auto it = totals_.by_state.find(kStateNames[i]);
+      w.Key(kStateNames[i]);
+      w.Number(it == totals_.by_state.end() ? std::uint64_t{0} : it->second);
+    }
+    w.Key("retries");
+    w.Number(totals_.retries);
+    w.Key("breaker_reroutes");
+    w.Number(totals_.breaker_reroutes);
+    w.Key("modelled_sec_sum");
+    w.Number(totals_.modelled_sec.value());
+    w.Key("energy_j_sum");
+    w.Number(totals_.energy_j.value());
+    w.Key("windows");
+    w.Number(totals_.windows);
+    w.Key("exemplars");
+    w.Number(totals_.exemplars);
+    w.Key("slo_breaches");
+    w.Number(totals_.slo_breaches);
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+std::string TelemetryPlane::RenderExpositionLocked() const {
+  std::lock_guard<std::mutex> lock(totals_mu_);
+  std::string out;
+  out += "# malisim-serve live telemetry (";
+  out += kSchema;
+  out += ")\n";
+  out += "# TYPE malisim_serve_jobs_total counter\n";
+  for (int i = 0; i < 5; ++i) {
+    const auto it = totals_.by_state.find(kStateNames[i]);
+    out += "malisim_serve_jobs_total{state=\"";
+    out += kStateNames[i];
+    out += "\"} ";
+    out += std::to_string(it == totals_.by_state.end() ? std::uint64_t{0}
+                                                       : it->second);
+    out += '\n';
+  }
+  out += "# TYPE malisim_serve_completed_on_total counter\n";
+  for (const auto& [rung, count] : totals_.by_rung) {
+    out += "malisim_serve_completed_on_total{rung=\"" + rung + "\"} " +
+           std::to_string(count) + '\n';
+  }
+  out += "# TYPE malisim_serve_retries_total counter\n";
+  out += "malisim_serve_retries_total " + std::to_string(totals_.retries) +
+         '\n';
+  out += "# TYPE malisim_serve_breaker_reroutes_total counter\n";
+  out += "malisim_serve_breaker_reroutes_total " +
+         std::to_string(totals_.breaker_reroutes) + '\n';
+  out += "# TYPE malisim_serve_energy_joules_total counter\n";
+  out += "malisim_serve_energy_joules_total " +
+         JsonNumber(totals_.energy_j.value()) + '\n';
+  out += "# TYPE malisim_serve_modelled_seconds_total counter\n";
+  out += "malisim_serve_modelled_seconds_total " +
+         JsonNumber(totals_.modelled_sec.value()) + '\n';
+  out += "# TYPE malisim_serve_windows_total counter\n";
+  out += "malisim_serve_windows_total " + std::to_string(totals_.windows) +
+         '\n';
+  out += "# TYPE malisim_serve_slo_breaches_total counter\n";
+  out += "malisim_serve_slo_breaches_total " +
+         std::to_string(totals_.slo_breaches) + '\n';
+  out += "# TYPE malisim_serve_exemplars_total counter\n";
+  out += "malisim_serve_exemplars_total " +
+         std::to_string(totals_.exemplars) + '\n';
+  return out;
+}
+
+TelemetryTotals TelemetryPlane::Totals() const {
+  std::lock_guard<std::mutex> lock(totals_mu_);
+  return totals_;
+}
+
+// ---------------------------------------------------------------------------
+// Exemplar traces
+// ---------------------------------------------------------------------------
+
+std::string ExemplarTraceJson(const TelemetrySample& sample,
+                              std::uint64_t window) {
+  // Chrome/Perfetto trace-event JSON on the job's consumed-budget
+  // timeline (microseconds). One lane ("ladder") carries the rung spans;
+  // retries surface as instant events at the span start.
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("traceEvents");
+  w.BeginArray();
+  w.BeginObject();
+  w.Key("ph");
+  w.String("M");
+  w.Key("pid");
+  w.Number(std::uint64_t{1});
+  w.Key("name");
+  w.String("process_name");
+  w.Key("args");
+  w.BeginObject();
+  w.Key("name");
+  w.String("malisim-serve job " + std::to_string(sample.id) + " (window " +
+           std::to_string(window) + ")");
+  w.EndObject();
+  w.EndObject();
+  w.BeginObject();
+  w.Key("ph");
+  w.String("M");
+  w.Key("pid");
+  w.Number(std::uint64_t{1});
+  w.Key("tid");
+  w.Number(std::uint64_t{1});
+  w.Key("name");
+  w.String("thread_name");
+  w.Key("args");
+  w.BeginObject();
+  w.Key("name");
+  w.String("ladder");
+  w.EndObject();
+  w.EndObject();
+  for (const JobRungSpan& span : sample.spans) {
+    w.BeginObject();
+    w.Key("ph");
+    w.String("X");
+    w.Key("pid");
+    w.Number(std::uint64_t{1});
+    w.Key("tid");
+    w.Number(std::uint64_t{1});
+    w.Key("name");
+    w.String(span.rung + " [" + span.outcome + "]");
+    w.Key("ts");
+    w.Number(span.start_sec * 1e6);
+    w.Key("dur");
+    w.Number(std::max(0.0, span.end_sec - span.start_sec) * 1e6);
+    w.Key("args");
+    w.BeginObject();
+    w.Key("outcome");
+    w.String(span.outcome);
+    w.Key("retries");
+    w.Number(static_cast<std::uint64_t>(std::max(0, span.retries)));
+    w.Key("backoff_sec");
+    w.Number(span.backoff_sec);
+    w.EndObject();
+    w.EndObject();
+    if (span.retries > 0) {
+      w.BeginObject();
+      w.Key("ph");
+      w.String("i");
+      w.Key("s");
+      w.String("t");
+      w.Key("pid");
+      w.Number(std::uint64_t{1});
+      w.Key("tid");
+      w.Number(std::uint64_t{1});
+      w.Key("name");
+      w.String("retried x" + std::to_string(span.retries));
+      w.Key("ts");
+      w.Number(span.start_sec * 1e6);
+      w.EndObject();
+    }
+  }
+  w.EndArray();
+  w.Key("metadata");
+  w.BeginObject();
+  w.Key("tenant");
+  w.String(sample.tenant);
+  w.Key("state");
+  w.String(sample.state);
+  w.Key("consumed_sec");
+  w.Number(sample.consumed_sec);
+  w.Key("energy_j");
+  w.Number(sample.energy_j);
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace malisim::obs

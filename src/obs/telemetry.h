@@ -1,0 +1,399 @@
+// Live telemetry plane (DESIGN.md §15): in-situ, low-overhead metrics for
+// the serve engine, emitted WHILE a run is in flight instead of after the
+// drain — rolling-window aggregates, declarative SLO tracking with
+// multi-window burn rates, and tail-exemplar traces for jobs that land
+// above the rolling p99.
+//
+// Determinism contract (deterministic BY CONSTRUCTION, not by luck): the
+// window axis is modelled time, never the host clock. Job id `i` arrives
+// at modelled time `i * arrival_interval_sec`, so the window a job belongs
+// to is a pure function of its id, and a window's snapshot is a pure
+// function of the samples in it (aggregated in id-sorted order, Kahan
+// sums over the sorted stream). A window is emitted once every job in its
+// id range has a terminal sample, and windows are emitted strictly in
+// order — therefore the full JSONL snapshot stream is byte-identical for
+// any worker/shard/collector count, provided job results themselves are
+// deterministic (breakers disabled or never tripping; see engine.h).
+// Host wall-clock values are deliberately absent from snapshots.
+//
+// Lock-cheapness: producers (serve workers) only ever touch one collector
+// shard mutex (uncontended in the common case) to append a sample; the
+// window-close scan and snapshot emission run on whichever producer
+// trips the completion check, guarded by a try-lock so nobody queues
+// behind a flush. A final flush at drain time picks up any window a
+// try-lock race left behind.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.h"
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/recorder.h"
+
+namespace malisim::obs {
+
+// ---------------------------------------------------------------------------
+// RollingWindow: a ring of per-window buckets (counters + log-scale
+// histograms) keyed on a monotonically advancing modelled-time window
+// index, merged on read over the newest N windows. Single-writer (the
+// flush path); reads happen on the same thread.
+// ---------------------------------------------------------------------------
+
+class RollingWindow {
+ public:
+  explicit RollingWindow(int capacity,
+                         const LogHistogram::Layout& layout = {});
+
+  /// Makes `window_index` the current bucket, retiring buckets that fall
+  /// off the ring. Indices must be non-decreasing; gaps leave empty
+  /// buckets (a window with no traffic contributes nothing).
+  void Advance(std::uint64_t window_index);
+
+  /// Accumulate into the current bucket.
+  void AddCounter(const std::string& name, double delta = 1.0);
+  void Observe(const std::string& name, double value);
+
+  /// Merged reads over the newest `windows` buckets (clamped to the ring
+  /// capacity), current bucket included. Counter merges are sums;
+  /// histogram merges are bucket-wise — both order-independent.
+  double CounterOver(const std::string& name, int windows) const;
+  LogHistogram HistogramOver(const std::string& name, int windows) const;
+
+  int capacity() const { return capacity_; }
+  std::uint64_t current() const { return current_; }
+  bool started() const { return started_; }
+
+ private:
+  struct Bucket {
+    bool used = false;
+    std::uint64_t index = 0;
+    std::map<std::string, double> counters;
+    std::map<std::string, LogHistogram> hists;
+  };
+
+  Bucket& CurrentBucket() { return ring_[static_cast<std::size_t>(
+      current_ % static_cast<std::uint64_t>(capacity_))]; }
+
+  int capacity_;
+  LogHistogram::Layout layout_;
+  std::vector<Bucket> ring_;
+  std::uint64_t current_ = 0;
+  bool started_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// SLO tracking: declarative objectives over rolling-window burn rates.
+// ---------------------------------------------------------------------------
+
+/// One declarative objective: `metric <= threshold`, optionally scoped to
+/// one tenant. Supported metrics: p50_latency_sec, p99_latency_sec (of
+/// per-job consumed modelled seconds), shed_ratio, deadline_miss_ratio,
+/// failed_ratio.
+struct SloObjective {
+  std::string tenant;  // "" = all traffic
+  std::string metric;
+  double threshold = 0.0;
+
+  /// Canonical spelling, e.g. "batch-a:p99_latency_sec<=0.5".
+  std::string Name() const;
+};
+
+struct SloSpec {
+  std::vector<SloObjective> objectives;
+
+  bool empty() const { return objectives.empty(); }
+
+  /// Parses "metric<=value[,tenant:metric<=value,...]" (',' or ';'
+  /// separated, spaces ignored). InvalidArgument on unknown metric names
+  /// or malformed entries.
+  static StatusOr<SloSpec> Parse(std::string_view spec);
+};
+
+/// Per-objective evaluation at one window.
+struct SloWindowStatus {
+  SloObjective objective;
+  double short_value = 0.0;  // over the newest window
+  double long_value = 0.0;   // over the long burn-rate horizon
+  bool breached = false;     // sticky state AFTER this evaluation
+};
+
+/// Evaluates objectives each window with the classic two-window burn-rate
+/// rule: an objective enters breach when BOTH the short (1-window) and the
+/// long (`long_windows`) value exceed the threshold — a lone bad window
+/// does not page — and recovers when either drops back under. Transitions
+/// are emitted as SloRecords (recorder.h).
+class SloTracker {
+ public:
+  SloTracker(const SloSpec& spec, int long_windows);
+
+  /// Evaluates every objective against `ring` at `window`, appending
+  /// breach/recover transition events to `events` (may be null).
+  std::vector<SloWindowStatus> Evaluate(std::uint64_t window,
+                                        const RollingWindow& ring,
+                                        std::vector<SloRecord>* events);
+
+  int long_windows() const { return long_windows_; }
+
+ private:
+  SloSpec spec_;
+  int long_windows_;
+  std::vector<bool> breached_;  // sticky per-objective state
+};
+
+// ---------------------------------------------------------------------------
+// Samples and exemplar spans.
+// ---------------------------------------------------------------------------
+
+/// One ladder-rung attempt on a job's consumed-budget timeline (modelled
+/// seconds from job start). Outcomes: "ok", "ok-past-deadline",
+/// "watchdog", "degradable-fault", "fatal", "breaker-skipped",
+/// "budget-exhausted".
+struct JobRungSpan {
+  std::string rung;  // serve::VariantKey spelling
+  double start_sec = 0.0;
+  double end_sec = 0.0;
+  std::string outcome;
+  int retries = 0;
+  double backoff_sec = 0.0;
+};
+
+/// One terminal job outcome, in obs-neutral vocabulary (the serve engine
+/// converts its JobResult; obs cannot depend on serve).
+struct TelemetrySample {
+  std::uint64_t id = 0;
+  std::string tenant;  // already normalized by the producer
+  std::string state;   // "ok","degraded","shed","deadline-exceeded","failed"
+  std::string rung;    // completed-on rung key; "" when nothing succeeded
+  bool completed = false;  // ok or degraded
+  bool shed = false;
+  bool deadline_missed = false;
+  bool failed = false;
+  double modelled_sec = 0.0;   // successful run's modelled seconds
+  double consumed_sec = 0.0;   // total budget spend (the latency metric)
+  double energy_j = 0.0;
+  double backoff_sec = 0.0;
+  int retries = 0;
+  int attempts = 0;
+  bool breaker_rerouted = false;
+  std::vector<JobRungSpan> spans;  // exemplar material; may be empty
+};
+
+// ---------------------------------------------------------------------------
+// Sinks.
+// ---------------------------------------------------------------------------
+
+/// Where snapshots land. All calls are serialized by the plane's flush
+/// lock — implementations need no locking of their own.
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  /// One complete "malisim-telemetry-v1" JSON object, no trailing newline.
+  virtual void AppendSnapshot(const std::string& line) = 0;
+  /// Full Prometheus-style text exposition (cumulative state); replaces
+  /// the previous exposition.
+  virtual void WriteExposition(const std::string& text) { (void)text; }
+  /// One Perfetto exemplar trace. `name` is a bare file name (no
+  /// directory) that is identical across runs — byte-identity of the
+  /// snapshot stream depends on it.
+  virtual void WriteExemplar(const std::string& name,
+                             const std::string& json) {
+    (void)name;
+    (void)json;
+  }
+};
+
+/// Collects everything in memory (tests, malisim-top --once over a
+/// finished run).
+class StringTelemetrySink final : public TelemetrySink {
+ public:
+  void AppendSnapshot(const std::string& line) override {
+    jsonl_ += line;
+    jsonl_ += '\n';
+  }
+  void WriteExposition(const std::string& text) override { prom_ = text; }
+  void WriteExemplar(const std::string& name,
+                     const std::string& json) override {
+    exemplars_.emplace_back(name, json);
+  }
+
+  const std::string& jsonl() const { return jsonl_; }
+  const std::string& prom() const { return prom_; }
+  const std::vector<std::pair<std::string, std::string>>& exemplars() const {
+    return exemplars_;
+  }
+
+ private:
+  std::string jsonl_;
+  std::string prom_;
+  std::vector<std::pair<std::string, std::string>> exemplars_;
+};
+
+/// Writes the JSONL stream append-only (flushed per line so a tailer sees
+/// complete lines), the Prometheus exposition atomically (temp + rename)
+/// to `<jsonl_path>.prom`, and exemplars next to the JSONL file as
+/// `<jsonl_path>.<name>`. The first write error sticks in status().
+class FileTelemetrySink final : public TelemetrySink {
+ public:
+  FileTelemetrySink() = default;
+  ~FileTelemetrySink() override;
+
+  Status Open(const std::string& jsonl_path);
+
+  void AppendSnapshot(const std::string& line) override;
+  void WriteExposition(const std::string& text) override;
+  void WriteExemplar(const std::string& name,
+                     const std::string& json) override;
+
+  const Status& status() const { return status_; }
+  const std::string& prom_path() const { return prom_path_; }
+
+ private:
+  void NoteError(Status status);
+
+  std::string jsonl_path_;
+  std::string prom_path_;
+  std::FILE* jsonl_ = nullptr;
+  Status status_;
+};
+
+// ---------------------------------------------------------------------------
+// The plane.
+// ---------------------------------------------------------------------------
+
+struct TelemetryOptions {
+  /// Modelled width of one window.
+  double window_sec = 1.0;
+  /// Modelled inter-arrival gap: job id i "arrives" at i * this. Together
+  /// with window_sec it fixes jobs-per-window (>= 1).
+  double arrival_interval_sec = 0.02;
+  /// Tail-exemplar budget per window (0 disables exemplar capture).
+  int exemplars_per_window = 2;
+  /// Long burn-rate horizon, in windows.
+  int long_windows = 5;
+  /// Ring depth for rolling reads (must cover long_windows).
+  int ring_capacity = 16;
+  /// Collector shards samples hash onto (id % shards). Purely a
+  /// contention knob: the emitted stream is identical for any value.
+  int collector_shards = 4;
+  SloSpec slo;
+  /// Optional: SLO transitions are also recorded here as SloRecords; the
+  /// engine seals it at drain and surfaces late_records.
+  Recorder* recorder = nullptr;
+};
+
+/// Cumulative (run-so-far) totals, updated in window order at flush time —
+/// deterministic like everything else in the stream.
+struct TelemetryTotals {
+  std::uint64_t jobs = 0;
+  std::map<std::string, std::uint64_t> by_state;    // state -> count
+  std::map<std::string, std::uint64_t> by_rung;     // completed-on -> count
+  std::uint64_t retries = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t breaker_reroutes = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t exemplars = 0;
+  std::uint64_t slo_breaches = 0;
+  std::uint64_t slo_recoveries = 0;
+  KahanSum modelled_sec;
+  KahanSum energy_j;
+};
+
+class TelemetryPlane {
+ public:
+  TelemetryPlane(const TelemetryOptions& options, TelemetrySink* sink);
+  ~TelemetryPlane() = default;
+
+  TelemetryPlane(const TelemetryPlane&) = delete;
+  TelemetryPlane& operator=(const TelemetryPlane&) = delete;
+
+  /// Admission hook: advances the id watermark that seals windows. Must be
+  /// called for every submission (accepted or shed), in id order for live
+  /// flushing (out-of-order ids still flush correctly at FinalFlush).
+  void NoteSubmitted(std::uint64_t id);
+
+  /// Terminal-result hook: files the sample into its window and flushes
+  /// any windows that just became complete (try-lock; never queues).
+  void Record(TelemetrySample sample);
+
+  /// Drain hook: flushes every remaining window (partial final window
+  /// included) in order. Call after all producers have stopped.
+  void FinalFlush();
+
+  /// Optional live-state probe (breaker states), sampled at each window
+  /// flush and echoed into the snapshot. Load-dependent by nature: with
+  /// breakers disabled it reads "closed" everywhere and snapshots stay
+  /// byte-identical; with trips it is honest instead of deterministic.
+  using StateProber =
+      std::function<std::vector<std::pair<std::string, std::string>>()>;
+  void SetStateProber(StateProber prober);
+
+  Recorder* recorder() const { return options_.recorder; }
+  std::uint64_t jobs_per_window() const { return jobs_per_window_; }
+
+  /// Totals after the last flush (stable once FinalFlush returned).
+  TelemetryTotals Totals() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::map<std::uint64_t, std::vector<TelemetrySample>> open;
+  };
+
+  std::uint64_t WindowOf(std::uint64_t id) const {
+    return id / jobs_per_window_;
+  }
+
+  void MaybeFlush();
+  /// Flushes complete (or, when `drain`, all remaining) windows in order.
+  /// Caller holds flush_mu_.
+  void FlushReadyLocked(bool drain);
+  void FlushWindowLocked(std::uint64_t window,
+                         std::vector<TelemetrySample> samples);
+  std::string RenderSnapshotLocked(
+      std::uint64_t window, const std::vector<TelemetrySample>& samples,
+      const std::vector<SloWindowStatus>& slo,
+      const std::vector<SloRecord>& events,
+      const std::vector<std::pair<std::uint64_t, std::string>>& exemplars);
+  std::string RenderExpositionLocked() const;
+
+  TelemetryOptions options_;
+  TelemetrySink* sink_;
+  std::uint64_t jobs_per_window_ = 1;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> watermark_{0};  // all ids < watermark submitted
+
+  std::mutex prober_mu_;
+  StateProber prober_;
+
+  std::mutex flush_mu_;  // guards everything below + sink calls
+  std::uint64_t next_window_ = 0;
+  RollingWindow ring_;
+  SloTracker slo_tracker_;
+  TelemetryTotals totals_;
+  mutable std::mutex totals_mu_;  // Totals() reads while flush writes
+};
+
+/// Exact nearest-rank percentile of an ascending-sorted series; 0 when
+/// empty. Unlike LogHistogram::Percentile this is exact, not bucketed —
+/// window snapshots use it because the flush path holds the raw samples.
+double ExactPercentile(const std::vector<double>& sorted_values, double p);
+
+/// Renders one tail exemplar as a Chrome/Perfetto trace-event JSON document
+/// over the job's consumed-budget timeline (ladder-rung spans + retry
+/// instants). Pure function of the sample — exemplar files are as
+/// deterministic as the snapshot stream.
+std::string ExemplarTraceJson(const TelemetrySample& sample,
+                              std::uint64_t window);
+
+}  // namespace malisim::obs

@@ -10,6 +10,7 @@
 #include "fault/retry.h"
 #include "harness/serve_exec.h"
 #include "harness/tuning.h"
+#include "obs/telemetry.h"
 
 namespace malisim::serve {
 
@@ -41,8 +42,20 @@ std::span<const hpc::Variant> LadderFrom(hpc::Variant requested) {
   return ladder.last(1);  // unreachable: every variant is a rung
 }
 
-std::string TenantKey(const std::string& tenant) {
-  return tenant.empty() ? "default" : tenant;
+/// Appends one rung decision to the job's exemplar span list (no-op when
+/// telemetry is off and `spans` is null).
+void AddSpan(std::vector<obs::JobRungSpan>* spans, hpc::Variant rung,
+             double start_sec, double end_sec, const char* outcome,
+             int retries = 0, double backoff_sec = 0.0) {
+  if (spans == nullptr) return;
+  obs::JobRungSpan span;
+  span.rung = std::string(VariantKey(rung));
+  span.start_sec = start_sec;
+  span.end_sec = end_sec;
+  span.outcome = outcome;
+  span.retries = retries;
+  span.backoff_sec = backoff_sec;
+  spans->push_back(std::move(span));
 }
 
 }  // namespace
@@ -74,6 +87,20 @@ ServeEngine::ServeEngine(const ServeOptions& options)
     workers_[static_cast<std::size_t>(s)] =
         std::vector<WorkerSlot>(static_cast<std::size_t>(workers));
   }
+  if (options_.telemetry != nullptr) {
+    // Breaker states are sampled live at each window flush. Load-dependent
+    // by nature (see telemetry.h): with breakers disabled it reads
+    // "closed" everywhere and snapshots stay byte-identical.
+    options_.telemetry->SetStateProber([this] {
+      std::vector<std::pair<std::string, std::string>> rows;
+      for (hpc::Variant v : hpc::kDegradationLadder) {
+        rows.emplace_back(
+            std::string(VariantKey(v)),
+            std::string(BreakerStateName(breakers_.ForVariant(v).state())));
+      }
+      return rows;
+    });
+  }
   start_ = std::chrono::steady_clock::now();
   for (int s = 0; s < shards; ++s) {
     for (int w = 0; w < workers; ++w) {
@@ -92,10 +119,17 @@ ServeEngine::~ServeEngine() {
       }
     }
   }
+  // The plane outlives the engine; its prober must not.
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->SetStateProber(nullptr);
+  }
 }
 
 Status ServeEngine::Submit(const JobSpec& job) {
   submitted_.fetch_add(1);
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->NoteSubmitted(job.id);
+  }
   Status admitted;
   if (shutdown_.load()) {
     admitted = OverloadedError("draining: admission closed");
@@ -140,13 +174,15 @@ void ServeEngine::WorkerLoop(int shard, int slot_index) {
   JobSpec job;
   while (queue.Pop(&job)) {
     const auto t0 = std::chrono::steady_clock::now();
-    JobResult result = RunJob(job);
+    std::vector<obs::JobRungSpan> spans;
+    JobResult result =
+        RunJob(job, options_.telemetry != nullptr ? &spans : nullptr);
     const double latency =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
     slot.host_latency.Add(latency);
     ++slot.jobs_run;
-    RecordResult(std::move(result));
+    RecordResult(std::move(result), std::move(spans));
   }
 }
 
@@ -182,7 +218,8 @@ const sim::TuningConfig* ServeEngine::TunedConfigFor(const JobSpec& job) {
   return tuned_.emplace(key, std::move(winner)).first->second.get();
 }
 
-JobResult ServeEngine::RunJob(const JobSpec& job) {
+JobResult ServeEngine::RunJob(const JobSpec& job,
+                              std::vector<obs::JobRungSpan>* spans) {
   JobResult r;
   r.id = job.id;
   r.tenant = job.tenant;
@@ -203,6 +240,7 @@ JobResult ServeEngine::RunJob(const JobSpec& job) {
     if (!allowed && !last_resort) {
       // Open breaker: route past this rung without paying for the failure.
       r.breaker_rerouted = true;
+      AddSpan(spans, rung, consumed, consumed, "breaker-skipped");
       continue;
     }
     if (!allowed) r.breaker_rerouted = true;  // forced Serial attempt
@@ -216,6 +254,7 @@ JobResult ServeEngine::RunJob(const JobSpec& job) {
             "job budget (" + std::to_string(budget) +
             " modelled sec) exhausted before rung " +
             std::string(hpc::VariantName(rung)));
+        AddSpan(spans, rung, consumed, consumed, "budget-exhausted");
         break;
       }
     }
@@ -243,6 +282,7 @@ JobResult ServeEngine::RunJob(const JobSpec& job) {
     request.compile_cache = options_.compile_cache ? &compile_cache_ : nullptr;
 
     harness::JobExecResult exec;
+    const double rung_start = consumed;
     const Status status = harness::ExecuteJobVariant(request, &exec);
     ++r.attempts;
     r.retries += exec.retry.retries;
@@ -260,8 +300,12 @@ JobResult ServeEngine::RunJob(const JobSpec& job) {
             "completed on rung " + std::string(hpc::VariantName(rung)) +
             " but spent " + std::to_string(consumed) + " of " +
             std::to_string(budget) + " modelled sec");
+        AddSpan(spans, rung, rung_start, consumed, "ok-past-deadline",
+                exec.retry.retries, exec.retry.backoff_sec);
         break;
       }
+      AddSpan(spans, rung, rung_start, consumed, "ok", exec.retry.retries,
+              exec.retry.backoff_sec);
       r.state = rung == job.variant ? JobState::kOk : JobState::kDegraded;
       r.ran = rung;
       r.seconds = exec.seconds;
@@ -276,16 +320,22 @@ JobResult ServeEngine::RunJob(const JobSpec& job) {
       // The rung's watchdog fired: its whole allotment is spent.
       consumed += request.fault.watchdog_sec;
       breaker.RecordFailure();
+      AddSpan(spans, rung, rung_start, consumed, "watchdog",
+              exec.retry.retries, exec.retry.backoff_sec);
       continue;
     }
     if (!fault::IsDegradable(status)) {
       // Fatal taxonomy: no rung below computes a different answer.
+      AddSpan(spans, rung, rung_start, consumed, "fatal", exec.retry.retries,
+              exec.retry.backoff_sec);
       r.state = JobState::kFailed;
       r.error = status.ToString();
       r.consumed_sec = consumed;
       return r;
     }
     breaker.RecordFailure();
+    AddSpan(spans, rung, rung_start, consumed, "degradable-fault",
+            exec.retry.retries, exec.retry.backoff_sec);
   }
 
   r.state =
@@ -297,9 +347,38 @@ JobResult ServeEngine::RunJob(const JobSpec& job) {
   return r;
 }
 
-void ServeEngine::RecordResult(JobResult result) {
-  std::lock_guard<std::mutex> lock(results_mu_);
-  results_.push_back(std::move(result));
+void ServeEngine::RecordResult(JobResult result,
+                               std::vector<obs::JobRungSpan> spans) {
+  obs::TelemetrySample sample;
+  if (options_.telemetry != nullptr) {
+    sample.id = result.id;
+    sample.tenant = NormalizeTenant(result.tenant);
+    sample.state = std::string(JobStateName(result.state));
+    sample.completed = result.state == JobState::kOk ||
+                       result.state == JobState::kDegraded;
+    sample.rung =
+        sample.completed ? std::string(VariantKey(result.ran)) : std::string();
+    sample.shed = result.state == JobState::kShed;
+    sample.deadline_missed = result.state == JobState::kDeadlineExceeded;
+    sample.failed = result.state == JobState::kFailed;
+    sample.modelled_sec = result.seconds;
+    sample.consumed_sec = result.consumed_sec;
+    sample.energy_j = result.energy_j;
+    sample.backoff_sec = result.backoff_sec;
+    sample.retries = result.retries;
+    sample.attempts = result.attempts;
+    sample.breaker_rerouted = result.breaker_rerouted;
+    sample.spans = std::move(spans);
+  }
+  {
+    std::lock_guard<std::mutex> lock(results_mu_);
+    results_.push_back(std::move(result));
+  }
+  // Outside results_mu_: Record may trip a window flush (snapshot render,
+  // sink IO) and must never serialize result recording behind it.
+  if (options_.telemetry != nullptr) {
+    options_.telemetry->Record(std::move(sample));
+  }
 }
 
 ServeReport ServeEngine::Drain() {
@@ -310,6 +389,17 @@ ServeReport ServeEngine::Drain() {
     }
   }
   drained_ = true;
+  if (options_.telemetry != nullptr) {
+    // Producers have stopped: flush every remaining window (the partial
+    // final one included), then seal the recorder — anything recorded
+    // after this point is a late record and is surfaced as a counter.
+    options_.telemetry->FinalFlush();
+    if (obs::Recorder* recorder = options_.telemetry->recorder();
+        recorder != nullptr) {
+      recorder->Seal();
+    }
+    options_.telemetry->SetStateProber(nullptr);
+  }
   const double host_elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
@@ -354,7 +444,7 @@ ServeReport ServeEngine::Drain() {
     agg.AddCounter("serve/retries", static_cast<double>(r.retries));
     agg.AddCounter("serve/rung_attempts", static_cast<double>(r.attempts));
     if (r.breaker_rerouted) agg.AddCounter("serve/breaker_reroutes");
-    ++by_tenant[TenantKey(r.tenant)][static_cast<std::size_t>(r.state)];
+    ++by_tenant[NormalizeTenant(r.tenant)][static_cast<std::size_t>(r.state)];
     if (r.state == JobState::kOk || r.state == JobState::kDegraded) {
       agg.Observe("serve/job_modelled_sec", r.seconds);
       agg.Observe("serve/job_energy_j", r.energy_j);
@@ -381,6 +471,22 @@ ServeReport ServeEngine::Drain() {
                  static_cast<double>(report.compile_cache_stats.hits));
   agg.AddCounter("serve/compile_cache_misses",
                  static_cast<double>(report.compile_cache_stats.misses));
+  if (options_.telemetry != nullptr) {
+    const obs::TelemetryTotals totals = options_.telemetry->Totals();
+    agg.AddCounter("serve/telemetry/windows",
+                   static_cast<double>(totals.windows));
+    agg.AddCounter("serve/telemetry/exemplars",
+                   static_cast<double>(totals.exemplars));
+    agg.AddCounter("serve/telemetry/slo_breaches",
+                   static_cast<double>(totals.slo_breaches));
+    agg.AddCounter("serve/telemetry/slo_recoveries",
+                   static_cast<double>(totals.slo_recoveries));
+    if (const obs::Recorder* recorder = options_.telemetry->recorder();
+        recorder != nullptr) {
+      agg.AddCounter("serve/obs/late_records",
+                     static_cast<double>(recorder->late_records()));
+    }
+  }
 
   agg.SetGauge("serve_host/elapsed_sec", host_elapsed);
   agg.SetGauge("serve_host/jobs_per_host_sec", report.jobs_per_host_sec);
@@ -471,7 +577,7 @@ std::string ServeReport::ToJson(bool include_results) const {
       w.Key("id");
       w.Number(r.id);
       w.Key("tenant");
-      w.String(TenantKey(r.tenant));
+      w.String(NormalizeTenant(r.tenant));
       w.Key("state");
       w.String(std::string(JobStateName(r.state)));
       w.Key("requested");

@@ -50,6 +50,11 @@
 #include "serve/job.h"
 #include "sim/tuner.h"
 
+namespace malisim::obs {
+class TelemetryPlane;
+struct JobRungSpan;
+}  // namespace malisim::obs
+
 namespace malisim::serve {
 
 struct ServeOptions {
@@ -75,6 +80,11 @@ struct ServeOptions {
   sim::TuningCache* tune_cache = nullptr;
   /// Share pure compile results across jobs (mali::CompileCache).
   bool compile_cache = true;
+  /// Optional live telemetry plane (obs/telemetry.h). Must outlive the
+  /// engine. When set, the engine feeds it at admission (watermark) and at
+  /// every terminal result (sample + per-rung spans), final-flushes and
+  /// seals its recorder at drain, and installs a breaker-state prober.
+  obs::TelemetryPlane* telemetry = nullptr;
 };
 
 /// Everything known when the engine has drained.
@@ -145,11 +155,14 @@ class ServeEngine {
   };
 
   void WorkerLoop(int shard, int slot_index);
-  JobResult RunJob(const JobSpec& job);
+  /// Runs one job down the ladder. When `spans` is non-null (telemetry
+  /// enabled) every rung decision is appended as an exemplar span on the
+  /// job's consumed-budget timeline.
+  JobResult RunJob(const JobSpec& job, std::vector<obs::JobRungSpan>* spans);
   /// Memoized tuned config for the kOpenCLOpt rung; nullptr when
   /// autotuning is off or tuning failed (fixed paper kernel runs instead).
   const sim::TuningConfig* TunedConfigFor(const JobSpec& job);
-  void RecordResult(JobResult result);
+  void RecordResult(JobResult result, std::vector<obs::JobRungSpan> spans = {});
 
   const ServeOptions options_;
   std::vector<std::unique_ptr<AdmissionQueue<JobSpec>>> queues_;

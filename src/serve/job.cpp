@@ -52,6 +52,10 @@ std::string_view VariantKey(hpc::Variant v) {
   return "?";
 }
 
+std::string NormalizeTenant(std::string_view tenant) {
+  return tenant.empty() ? "default" : std::string(tenant);
+}
+
 std::string_view JobStateName(JobState s) {
   switch (s) {
     case JobState::kOk:
@@ -80,7 +84,7 @@ StatusOr<JobSpec> ParseJobLine(std::string_view line) {
   if (job.benchmark.empty()) {
     return InvalidArgumentError("job line lacks \"benchmark\"");
   }
-  job.tenant = root->StringOr("tenant", "");
+  job.tenant = NormalizeTenant(root->StringOr("tenant", ""));
 
   const std::string sizes = root->StringOr("sizes", "quick");
   if (sizes == "quick") {

@@ -32,6 +32,12 @@ bool ParseVariant(std::string_view name, hpc::Variant* out);
 /// preferred form. Lower-case, no spaces — safe inside metric names.
 std::string_view VariantKey(hpc::Variant v);
 
+/// Canonical tenant accounting key: the empty string and "default" are the
+/// same tenant. Applied at parse time, at metrics aggregation and in every
+/// report, so a job file mixing `"tenant":""`, omitted tenants and
+/// `"tenant":"default"` can never split one tenant's stats across buckets.
+std::string NormalizeTenant(std::string_view tenant);
+
 /// One unit of work: a benchmark run at a problem size, precision, device
 /// and variant, under a seed. Ids are dense and unique per engine run —
 /// the engine mixes them into the job's fault-plan seed, which is what

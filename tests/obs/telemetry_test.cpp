@@ -1,0 +1,413 @@
+// obs::telemetry unit battery: rolling-window aggregation, the histogram
+// quantile edge cases the windows feed on (pinned exact p50/p99 values),
+// SLO spec parsing, two-window burn-rate transitions, and the plane's
+// determinism contract — the JSONL stream must be byte-identical no matter
+// how samples are sharded or what order they arrive in.
+#include "obs/telemetry.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+
+namespace malisim::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Histogram quantile edge cases (the rolling windows consume these).
+// ---------------------------------------------------------------------------
+
+TEST(TelemetryHistogramTest, EmptyWindowPinsZeroQuantiles) {
+  const LogHistogram empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_DOUBLE_EQ(empty.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(99.0), 0.0);
+
+  RollingWindow ring(4);
+  ring.Advance(0);
+  EXPECT_DOUBLE_EQ(ring.HistogramOver("latency_sec", 4).Percentile(50.0),
+                   0.0);
+  EXPECT_DOUBLE_EQ(ring.HistogramOver("latency_sec", 4).Percentile(99.0),
+                   0.0);
+}
+
+TEST(TelemetryHistogramTest, SingleSamplePinsExactValue) {
+  LogHistogram one;
+  one.Add(0.5);
+  // Nearest-rank always lands in the only bucket, and the bucket's upper
+  // edge is clamped to the exact observed max: p50 == p99 == the sample.
+  EXPECT_DOUBLE_EQ(one.Percentile(50.0), 0.5);
+  EXPECT_DOUBLE_EQ(one.Percentile(99.0), 0.5);
+}
+
+TEST(TelemetryHistogramTest, AllSamplesInOneBucketClampToExactMax) {
+  // 0.50, 0.51, 0.52 share one log bucket (the [0.4217, 0.5623) bucket of
+  // the 8-per-decade layout); both quantiles clamp to the exact max.
+  LogHistogram hist;
+  hist.Add(0.50);
+  hist.Add(0.51);
+  hist.Add(0.52);
+  EXPECT_DOUBLE_EQ(hist.Percentile(50.0), 0.52);
+  EXPECT_DOUBLE_EQ(hist.Percentile(99.0), 0.52);
+}
+
+TEST(TelemetryHistogramTest, TailSampleDominatesP99Exactly) {
+  LogHistogram hist;
+  for (int i = 0; i < 9; ++i) hist.Add(0.001);
+  hist.Add(1.0);
+  // Nearest-rank p99 of 10 samples is the 10th — the exact max.
+  EXPECT_DOUBLE_EQ(hist.Percentile(99.0), 1.0);
+  // p50 (5th sample) stays inside the 0.001 bucket: upper edge above the
+  // observed min, but never past the next bucket edge.
+  EXPECT_GE(hist.Percentile(50.0), 0.001);
+  EXPECT_LE(hist.Percentile(50.0), 0.00134);
+}
+
+TEST(TelemetryHistogramTest, MergeOfEmptyShardsStaysEmpty) {
+  LogHistogram merged;
+  for (int i = 0; i < 4; ++i) merged.Merge(LogHistogram());
+  EXPECT_EQ(merged.count(), 0u);
+  EXPECT_DOUBLE_EQ(merged.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(merged.Percentile(99.0), 0.0);
+
+  // Merging empties into a populated histogram changes nothing.
+  LogHistogram one;
+  one.Add(0.5);
+  one.Merge(LogHistogram());
+  EXPECT_EQ(one.count(), 1u);
+  EXPECT_DOUBLE_EQ(one.Percentile(99.0), 0.5);
+}
+
+// ---------------------------------------------------------------------------
+// RollingWindow.
+// ---------------------------------------------------------------------------
+
+TEST(RollingWindowTest, CountersMergeOverRequestedHorizon) {
+  RollingWindow ring(4);
+  for (std::uint64_t w = 0; w < 3; ++w) {
+    ring.Advance(w);
+    ring.AddCounter("jobs", 10.0);
+    ring.AddCounter("shed", static_cast<double>(w));
+  }
+  EXPECT_DOUBLE_EQ(ring.CounterOver("jobs", 1), 10.0);
+  EXPECT_DOUBLE_EQ(ring.CounterOver("jobs", 3), 30.0);
+  EXPECT_DOUBLE_EQ(ring.CounterOver("shed", 3), 3.0);
+  EXPECT_DOUBLE_EQ(ring.CounterOver("missing", 3), 0.0);
+  // Horizon clamps to capacity.
+  EXPECT_DOUBLE_EQ(ring.CounterOver("jobs", 99), 30.0);
+}
+
+TEST(RollingWindowTest, BucketsEvictWhenTheyFallOffTheRing) {
+  RollingWindow ring(2);
+  ring.Advance(0);
+  ring.AddCounter("jobs", 5.0);
+  ring.Advance(1);
+  ring.AddCounter("jobs", 7.0);
+  ring.Advance(2);  // window 0's bucket is reused and cleared
+  ring.AddCounter("jobs", 1.0);
+  EXPECT_DOUBLE_EQ(ring.CounterOver("jobs", 2), 8.0);
+}
+
+TEST(RollingWindowTest, GapsLeaveEmptyWindows) {
+  RollingWindow ring(8);
+  ring.Advance(0);
+  ring.Observe("latency_sec", 0.5);
+  ring.Advance(5);  // windows 1..4 had no traffic
+  EXPECT_EQ(ring.HistogramOver("latency_sec", 5).count(), 0u);
+  EXPECT_EQ(ring.HistogramOver("latency_sec", 6).count(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// ExactPercentile (the snapshot-side quantile).
+// ---------------------------------------------------------------------------
+
+TEST(ExactPercentileTest, NearestRankOnSortedSamples) {
+  EXPECT_DOUBLE_EQ(ExactPercentile({}, 99.0), 0.0);
+  EXPECT_DOUBLE_EQ(ExactPercentile({0.5}, 50.0), 0.5);
+  EXPECT_DOUBLE_EQ(ExactPercentile({0.5}, 99.0), 0.5);
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) v.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(ExactPercentile(v, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(ExactPercentile(v, 99.0), 99.0);
+  EXPECT_DOUBLE_EQ(ExactPercentile(v, 100.0), 100.0);
+  // n <= 100 means nearest-rank p99 is the max: the slowest job always
+  // qualifies as a tail exemplar.
+  EXPECT_DOUBLE_EQ(ExactPercentile({1.0, 2.0, 3.0}, 99.0), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// SLO spec parsing.
+// ---------------------------------------------------------------------------
+
+TEST(SloSpecTest, ParsesTenantsSeparatorsAndSpaces) {
+  StatusOr<SloSpec> spec = SloSpec::Parse(
+      "p99_latency_sec<=0.5, batch-a:shed_ratio<=0.01; "
+      "deadline_miss_ratio <= 0.1");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  ASSERT_EQ(spec->objectives.size(), 3u);
+  EXPECT_EQ(spec->objectives[0].tenant, "");
+  EXPECT_EQ(spec->objectives[0].metric, "p99_latency_sec");
+  EXPECT_DOUBLE_EQ(spec->objectives[0].threshold, 0.5);
+  EXPECT_EQ(spec->objectives[0].Name(), "p99_latency_sec<=0.5");
+  EXPECT_EQ(spec->objectives[1].tenant, "batch-a");
+  EXPECT_EQ(spec->objectives[1].Name(), "batch-a:shed_ratio<=0.01");
+  EXPECT_EQ(spec->objectives[2].metric, "deadline_miss_ratio");
+}
+
+TEST(SloSpecTest, EmptySpecIsEmpty) {
+  StatusOr<SloSpec> spec = SloSpec::Parse("");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_TRUE(spec->empty());
+}
+
+TEST(SloSpecTest, RejectsMalformedEntries) {
+  EXPECT_FALSE(SloSpec::Parse("p99_latency_sec=0.5").ok()) << "no <=";
+  EXPECT_FALSE(SloSpec::Parse("bogus_metric<=0.5").ok());
+  EXPECT_FALSE(SloSpec::Parse("shed_ratio<=lots").ok());
+  EXPECT_FALSE(SloSpec::Parse("shed_ratio<=-1").ok());
+}
+
+// ---------------------------------------------------------------------------
+// SloTracker: two-window burn rate.
+// ---------------------------------------------------------------------------
+
+/// Feeds one window of `jobs` jobs with `shed` of them shed.
+void FeedWindow(RollingWindow* ring, std::uint64_t w, int jobs, int shed) {
+  ring->Advance(w);
+  ring->AddCounter("jobs", static_cast<double>(jobs));
+  ring->AddCounter("shed", static_cast<double>(shed));
+}
+
+TEST(SloTrackerTest, BreachNeedsBothWindowsAndRecoveryNeedsEither) {
+  StatusOr<SloSpec> spec = SloSpec::Parse("shed_ratio<=0.1");
+  ASSERT_TRUE(spec.ok());
+  RollingWindow ring(8);
+  SloTracker tracker(*spec, /*long_windows=*/5);
+  std::vector<SloRecord> events;
+
+  // Clean window: no breach.
+  FeedWindow(&ring, 0, 10, 0);
+  auto status = tracker.Evaluate(0, ring, &events);
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_FALSE(status[0].breached);
+  EXPECT_TRUE(events.empty());
+
+  // Bad window: short 0.5 and long 5/20 both over threshold -> breach.
+  FeedWindow(&ring, 1, 10, 5);
+  status = tracker.Evaluate(1, ring, &events);
+  EXPECT_TRUE(status[0].breached);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].action, "breach");
+  EXPECT_EQ(events[0].name, "shed_ratio<=0.1");
+  EXPECT_EQ(events[0].window, 1u);
+  EXPECT_DOUBLE_EQ(events[0].short_value, 0.5);
+
+  // Clean short window, but the long horizon still burns: stays breached
+  // (no event) — sticky until BOTH clear.
+  FeedWindow(&ring, 2, 10, 0);
+  status = tracker.Evaluate(2, ring, &events);
+  EXPECT_TRUE(status[0].breached);
+  EXPECT_EQ(events.size(), 1u);
+  FeedWindow(&ring, 3, 10, 0);
+  status = tracker.Evaluate(3, ring, &events);
+  EXPECT_TRUE(status[0].breached) << "long = 5/40 still over 0.1";
+
+  // Long horizon dilutes to exactly 0.1 (not over): recover.
+  FeedWindow(&ring, 4, 10, 0);
+  status = tracker.Evaluate(4, ring, &events);
+  EXPECT_FALSE(status[0].breached);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[1].action, "recover");
+  EXPECT_EQ(events[1].window, 4u);
+}
+
+TEST(SloTrackerTest, OneBadWindowAloneDoesNotPage) {
+  StatusOr<SloSpec> spec = SloSpec::Parse("shed_ratio<=0.1");
+  ASSERT_TRUE(spec.ok());
+  RollingWindow ring(8);
+  SloTracker tracker(*spec, /*long_windows=*/5);
+  std::vector<SloRecord> events;
+  // Four clean windows of history, then one mildly-bad window: the short
+  // value burns (0.2 > 0.1) but the long horizon (2/50 = 0.04) does not
+  // -> no breach.
+  for (std::uint64_t w = 0; w < 4; ++w) {
+    FeedWindow(&ring, w, 10, 0);
+    tracker.Evaluate(w, ring, &events);
+  }
+  FeedWindow(&ring, 4, 10, 2);
+  const auto status = tracker.Evaluate(4, ring, &events);
+  EXPECT_FALSE(status[0].breached);
+  EXPECT_TRUE(events.empty());
+}
+
+// ---------------------------------------------------------------------------
+// TelemetryPlane determinism.
+// ---------------------------------------------------------------------------
+
+TelemetrySample MakeSample(std::uint64_t id) {
+  TelemetrySample s;
+  s.id = id;
+  s.tenant = (id % 3 == 0) ? "batch-a" : "adhoc";
+  const bool failed = id % 17 == 0 && id > 0;
+  s.state = failed ? "failed" : (id % 4 == 0 ? "degraded" : "ok");
+  s.completed = !failed;
+  s.failed = failed;
+  s.rung = failed ? "" : "openclopt";
+  s.modelled_sec = 0.001 * static_cast<double>(id % 13 + 1);
+  s.consumed_sec = s.modelled_sec + 0.0001 * static_cast<double>(id % 7);
+  s.energy_j = 0.5 * s.modelled_sec;
+  s.retries = static_cast<int>(id % 3);
+  s.attempts = 1 + static_cast<int>(id % 2);
+  JobRungSpan span;
+  span.rung = "openclopt";
+  span.start_sec = 0.0;
+  span.end_sec = s.consumed_sec;
+  span.outcome = failed ? "fatal" : "ok";
+  span.retries = s.retries;
+  s.spans.push_back(span);
+  return s;
+}
+
+TelemetryOptions PlaneOptions(int shards) {
+  TelemetryOptions options;
+  options.window_sec = 1.0;
+  options.arrival_interval_sec = 0.02;  // 50 jobs per window
+  options.exemplars_per_window = 2;
+  options.collector_shards = shards;
+  return options;
+}
+
+std::string RunPlane(int count, int shards, bool reverse_order) {
+  StringTelemetrySink sink;
+  TelemetryOptions options = PlaneOptions(shards);
+  StatusOr<SloSpec> slo = SloSpec::Parse("p99_latency_sec<=0.5");
+  EXPECT_TRUE(slo.ok());
+  options.slo = *slo;
+  TelemetryPlane plane(options, &sink);
+  EXPECT_EQ(plane.jobs_per_window(), 50u);
+  for (int i = 0; i < count; ++i) {
+    plane.NoteSubmitted(static_cast<std::uint64_t>(i));
+  }
+  std::vector<std::uint64_t> order;
+  for (int i = 0; i < count; ++i) {
+    order.push_back(static_cast<std::uint64_t>(i));
+  }
+  if (reverse_order) std::reverse(order.begin(), order.end());
+  for (const std::uint64_t id : order) plane.Record(MakeSample(id));
+  plane.FinalFlush();
+  return sink.jsonl();
+}
+
+TEST(TelemetryPlaneTest, StreamIsByteIdenticalAcrossShardsAndOrder) {
+  const std::string base = RunPlane(120, 1, false);
+  EXPECT_FALSE(base.empty());
+  EXPECT_EQ(base, RunPlane(120, 4, false)) << "shard count leaked";
+  EXPECT_EQ(base, RunPlane(120, 4, true)) << "arrival order leaked";
+}
+
+TEST(TelemetryPlaneTest, WindowsFlushInOrderWithPartialFinalWindow) {
+  StringTelemetrySink sink;
+  TelemetryPlane plane(PlaneOptions(2), &sink);
+  for (int i = 0; i < 110; ++i) {
+    plane.NoteSubmitted(static_cast<std::uint64_t>(i));
+    plane.Record(MakeSample(static_cast<std::uint64_t>(i)));
+  }
+  // Two full windows flushed live; the 10-sample tail waits for the drain.
+  std::size_t live_lines = static_cast<std::size_t>(
+      std::count(sink.jsonl().begin(), sink.jsonl().end(), '\n'));
+  EXPECT_EQ(live_lines, 2u);
+  plane.FinalFlush();
+  live_lines = static_cast<std::size_t>(
+      std::count(sink.jsonl().begin(), sink.jsonl().end(), '\n'));
+  EXPECT_EQ(live_lines, 3u);
+
+  std::uint64_t expected_window = 0;
+  std::size_t pos = 0;
+  while (pos < sink.jsonl().size()) {
+    const std::size_t nl = sink.jsonl().find('\n', pos);
+    StatusOr<JsonValue> snap =
+        ParseJson(sink.jsonl().substr(pos, nl - pos));
+    ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+    EXPECT_EQ(snap->StringOr("schema", ""), "malisim-telemetry-v1");
+    EXPECT_DOUBLE_EQ(snap->NumberOr("window", -1.0),
+                     static_cast<double>(expected_window));
+    ++expected_window;
+    pos = nl + 1;
+  }
+  EXPECT_EQ(expected_window, 3u);
+
+  const TelemetryTotals totals = plane.Totals();
+  EXPECT_EQ(totals.jobs, 110u);
+  EXPECT_EQ(totals.windows, 3u);
+}
+
+TEST(TelemetryPlaneTest, TailExemplarsAreValidPerfettoJson) {
+  StringTelemetrySink sink;
+  TelemetryPlane plane(PlaneOptions(1), &sink);
+  for (int i = 0; i < 50; ++i) {
+    plane.NoteSubmitted(static_cast<std::uint64_t>(i));
+    plane.Record(MakeSample(static_cast<std::uint64_t>(i)));
+  }
+  plane.FinalFlush();
+  ASSERT_FALSE(sink.exemplars().empty()) << "n<=100: the max always "
+                                            "qualifies as a tail exemplar";
+  for (const auto& [name, json] : sink.exemplars()) {
+    EXPECT_EQ(name.rfind("exemplar-w", 0), 0u) << name;
+    StatusOr<JsonValue> trace = ParseJson(json);
+    ASSERT_TRUE(trace.ok()) << trace.status().ToString();
+    const JsonValue* events = trace->Find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    EXPECT_GT(events->array.size(), 2u) << "metadata + at least one span";
+  }
+  // The snapshot references exemplars by bare deterministic names.
+  EXPECT_NE(sink.jsonl().find("\"exemplars\":[{\"job\":"),
+            std::string::npos);
+}
+
+TEST(TelemetryPlaneTest, SloTransitionsReachTheRecorder) {
+  Recorder recorder;
+  StringTelemetrySink sink;
+  TelemetryOptions options = PlaneOptions(1);
+  StatusOr<SloSpec> slo = SloSpec::Parse("failed_ratio<=0.01");
+  ASSERT_TRUE(slo.ok());
+  options.slo = *slo;
+  options.recorder = &recorder;
+  TelemetryPlane plane(options, &sink);
+  for (int i = 0; i < 100; ++i) {
+    plane.NoteSubmitted(static_cast<std::uint64_t>(i));
+    TelemetrySample sample = MakeSample(static_cast<std::uint64_t>(i));
+    sample.state = "failed";
+    sample.completed = false;
+    sample.failed = true;
+    sample.rung.clear();
+    plane.Record(std::move(sample));
+  }
+  plane.FinalFlush();
+  const std::vector<SloRecord> slos = recorder.slos();
+  ASSERT_FALSE(slos.empty());
+  EXPECT_EQ(slos[0].action, "breach");
+  EXPECT_EQ(slos[0].name, "failed_ratio<=0.01");
+  EXPECT_EQ(plane.Totals().slo_breaches, 1u);
+  // Snapshot echoes the transition.
+  EXPECT_NE(sink.jsonl().find("\"action\":\"breach\""), std::string::npos);
+}
+
+TEST(TelemetryPlaneTest, PromExpositionTracksCumulativeTotals) {
+  StringTelemetrySink sink;
+  TelemetryPlane plane(PlaneOptions(1), &sink);
+  for (int i = 0; i < 50; ++i) {
+    plane.NoteSubmitted(static_cast<std::uint64_t>(i));
+    plane.Record(MakeSample(static_cast<std::uint64_t>(i)));
+  }
+  plane.FinalFlush();
+  EXPECT_NE(sink.prom().find("# TYPE malisim_serve_jobs_total counter"),
+            std::string::npos);
+  EXPECT_NE(sink.prom().find("malisim_serve_windows_total 1"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace malisim::obs

@@ -1,0 +1,212 @@
+// ServeEngine + telemetry plane integration (the Issue-9 acceptance
+// battery): the JSONL snapshot stream must be byte-identical across worker
+// counts under a fault soak, SLO breaches must land in the recorder and
+// the drain counters, tail exemplars must be emitted, and the recorder
+// must seal cleanly (zero late records).
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/json.h"
+#include "obs/recorder.h"
+#include "obs/telemetry.h"
+#include "serve/engine.h"
+#include "serve/job.h"
+
+namespace malisim::serve {
+namespace {
+
+ServeOptions FaultSoakOptions(int workers, int shards) {
+  ServeOptions options;
+  options.workers_per_shard = workers;
+  options.shards = shards;
+  options.queue_depth = 4096;
+  options.default_deadline_sec = 5.0;
+  options.fault.rate = 0.25;
+  options.fault.seed = 20260809;
+  options.fault.watchdog_sec = 1.0;
+  // Breakers are load-dependent by design; disable them so every job's
+  // path — and therefore the telemetry stream — is a pure function of
+  // the job set (the same arrangement the CI smoke uses).
+  options.breaker.failure_threshold = 1 << 20;
+  return options;
+}
+
+obs::TelemetryOptions PlaneOptions() {
+  obs::TelemetryOptions options;
+  options.window_sec = 1.0;
+  options.arrival_interval_sec = 0.02;  // 50 jobs per window
+  options.exemplars_per_window = 2;
+  return options;
+}
+
+struct SoakRun {
+  std::string jsonl;
+  std::size_t exemplars = 0;
+  obs::TelemetryTotals totals;
+  ServeReport report;
+};
+
+SoakRun RunSoak(int count, int workers, int shards,
+                const obs::TelemetryOptions& plane_options,
+                obs::Recorder* recorder = nullptr) {
+  obs::StringTelemetrySink sink;
+  obs::TelemetryOptions topts = plane_options;
+  topts.recorder = recorder;
+  obs::TelemetryPlane plane(topts, &sink);
+  ServeOptions options = FaultSoakOptions(workers, shards);
+  options.telemetry = &plane;
+
+  SoakRun run;
+  {
+    ServeEngine engine(options);
+    for (const JobSpec& job : GenerateLoad(count, 7)) {
+      EXPECT_TRUE(engine.Submit(job).ok());
+    }
+    run.report = engine.Drain();
+  }
+  run.jsonl = sink.jsonl();
+  run.exemplars = sink.exemplars().size();
+  run.totals = plane.Totals();
+  return run;
+}
+
+TEST(ServeTelemetryTest, SnapshotStreamIsByteIdenticalAcrossWorkerCounts) {
+  const SoakRun serial = RunSoak(200, 1, 1, PlaneOptions());
+  const SoakRun parallel = RunSoak(200, 4, 2, PlaneOptions());
+
+  ASSERT_TRUE(serial.report.Consistent());
+  ASSERT_TRUE(parallel.report.Consistent());
+  EXPECT_FALSE(serial.jsonl.empty());
+  EXPECT_EQ(serial.jsonl, parallel.jsonl)
+      << "worker/shard count leaked into the modelled-time stream";
+  EXPECT_EQ(serial.totals.windows, 4u) << "200 jobs / 50 per window";
+  EXPECT_EQ(serial.totals.jobs, 200u);
+  EXPECT_GT(serial.exemplars, 0u);
+  EXPECT_EQ(serial.exemplars, parallel.exemplars);
+}
+
+TEST(ServeTelemetryTest, DrainSurfacesTelemetryAndLateRecordCounters) {
+  obs::Recorder recorder;
+  const SoakRun run = RunSoak(100, 4, 2, PlaneOptions(), &recorder);
+  ASSERT_TRUE(run.report.Consistent());
+
+  const auto windows = run.report.metrics.counters.find(
+      "serve/telemetry/windows");
+  ASSERT_NE(windows, run.report.metrics.counters.end());
+  EXPECT_DOUBLE_EQ(windows->second, 2.0);
+  const auto exemplars = run.report.metrics.counters.find(
+      "serve/telemetry/exemplars");
+  ASSERT_NE(exemplars, run.report.metrics.counters.end());
+  EXPECT_GT(exemplars->second, 0.0);
+
+  // The engine sealed the recorder after the final flush; every record
+  // beat the seal, so the surfaced late-record counter reads zero.
+  EXPECT_TRUE(recorder.sealed());
+  const auto late = run.report.metrics.counters.find(
+      "serve/obs/late_records");
+  ASSERT_NE(late, run.report.metrics.counters.end());
+  EXPECT_DOUBLE_EQ(late->second, 0.0);
+}
+
+TEST(ServeTelemetryTest, ImpossibleDeadlineBreachesSloIntoRecorder) {
+  obs::Recorder recorder;
+  obs::TelemetryOptions topts = PlaneOptions();
+  StatusOr<obs::SloSpec> slo =
+      obs::SloSpec::Parse("deadline_miss_ratio<=0.01");
+  ASSERT_TRUE(slo.ok());
+  topts.slo = *slo;
+  topts.recorder = &recorder;
+  obs::StringTelemetrySink sink;
+  obs::TelemetryPlane plane(topts, &sink);
+
+  ServeOptions options = FaultSoakOptions(2, 1);
+  options.fault.rate = 0.0;
+  options.default_deadline_sec = 1e-9;  // no rung can finish in this
+  options.telemetry = &plane;
+  ServeEngine engine(options);
+  for (const JobSpec& job : GenerateLoad(60, 2)) {
+    ASSERT_TRUE(engine.Submit(job).ok());
+  }
+  const ServeReport report = engine.Drain();
+  ASSERT_TRUE(report.Consistent());
+  EXPECT_EQ(report.count(JobState::kDeadlineExceeded), 60u);
+
+  const std::vector<obs::SloRecord> slos = recorder.slos();
+  ASSERT_FALSE(slos.empty());
+  EXPECT_EQ(slos[0].action, "breach");
+  EXPECT_EQ(slos[0].name, "deadline_miss_ratio<=0.01");
+  const auto breaches = report.metrics.counters.find(
+      "serve/telemetry/slo_breaches");
+  ASSERT_NE(breaches, report.metrics.counters.end());
+  EXPECT_GE(breaches->second, 1.0);
+}
+
+TEST(ServeTelemetryTest, ExemplarSpansCoverTheJobTimeline) {
+  obs::StringTelemetrySink sink;
+  obs::TelemetryPlane plane(PlaneOptions(), &sink);
+  ServeOptions options = FaultSoakOptions(1, 1);
+  options.telemetry = &plane;
+  ServeEngine engine(options);
+  for (const JobSpec& job : GenerateLoad(50, 7)) {
+    ASSERT_TRUE(engine.Submit(job).ok());
+  }
+  const ServeReport report = engine.Drain();
+  ASSERT_TRUE(report.Consistent());
+  ASSERT_FALSE(sink.exemplars().empty());
+  for (const auto& [name, json] : sink.exemplars()) {
+    StatusOr<JsonValue> trace = ParseJson(json);
+    ASSERT_TRUE(trace.ok()) << name << ": " << trace.status().ToString();
+    const JsonValue* events = trace->Find("traceEvents");
+    ASSERT_NE(events, nullptr);
+    // Two metadata events plus at least one rung span, and spans sit on
+    // the consumed-budget timeline (non-negative start, end >= start).
+    std::size_t spans = 0;
+    for (const JsonValue& event : events->array) {
+      if (event.StringOr("ph", "") != "X") continue;
+      ++spans;
+      const double ts = event.NumberOr("ts", -1.0);
+      const double dur = event.NumberOr("dur", -1.0);
+      EXPECT_GE(ts, 0.0) << name;
+      EXPECT_GE(dur, 0.0) << name;
+    }
+    EXPECT_GT(spans, 0u) << name;
+  }
+}
+
+TEST(ServeTelemetryTest, EmptyAndDefaultTenantsShareOneBucket) {
+  // Satellite fix: "" and "default" must never split a tenant's stats —
+  // at parse time, in drain metrics, and in telemetry snapshots.
+  EXPECT_EQ(NormalizeTenant(""), "default");
+  EXPECT_EQ(NormalizeTenant("default"), "default");
+  EXPECT_EQ(NormalizeTenant("batch-a"), "batch-a");
+
+  obs::StringTelemetrySink sink;
+  obs::TelemetryPlane plane(PlaneOptions(), &sink);
+  ServeOptions options = FaultSoakOptions(2, 1);
+  options.fault.rate = 0.0;
+  options.telemetry = &plane;
+  ServeEngine engine(options);
+  std::vector<JobSpec> jobs = GenerateLoad(50, 3);
+  for (JobSpec& job : jobs) {
+    job.tenant = job.id % 2 == 0 ? "" : "default";  // one logical tenant
+  }
+  for (const JobSpec& job : jobs) ASSERT_TRUE(engine.Submit(job).ok());
+  const ServeReport report = engine.Drain();
+  ASSERT_TRUE(report.Consistent());
+
+  double default_jobs = 0.0;
+  for (const auto& [name, value] : report.metrics.counters) {
+    if (name.rfind("serve/tenant/default/", 0) == 0) default_jobs += value;
+    EXPECT_EQ(name.find("serve/tenant//"), std::string::npos)
+        << "empty tenant leaked into metrics: " << name;
+  }
+  EXPECT_DOUBLE_EQ(default_jobs, 50.0);
+  // The snapshot stream sees exactly one tenant bucket too.
+  EXPECT_NE(sink.jsonl().find("\"default\":{\"jobs\":"), std::string::npos);
+  EXPECT_EQ(sink.jsonl().find("\"\":{"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace malisim::serve

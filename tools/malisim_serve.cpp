@@ -15,6 +15,14 @@
 // 1 = invariant violated or an output file could not be written,
 // 2 = bad flags or unreadable job file.
 //
+// Live telemetry (--telemetry-out=PATH): streams schema-versioned
+// "malisim-telemetry-v1" JSONL snapshots (one per modelled-time window)
+// while the run is in flight, plus an atomically-replaced Prometheus-style
+// exposition at PATH.prom and tail-exemplar Perfetto traces next to the
+// stream. Watch live with `malisim-top PATH`. Declarative SLOs
+// (--slo-spec=) are evaluated per window with two-window burn rates;
+// transitions land in the report and the JSONL stream.
+//
 // Usage:
 //   malisim-serve [--jobs=FILE.jsonl | --load-driver=N]
 //                 [--workers=N] [--shards=N] [--queue-depth=N]
@@ -23,12 +31,15 @@
 //                 [--breaker-threshold=N] [--breaker-cooldown=N]
 //                 [--seed=N] [--autotune] [--tune-cache=PATH]
 //                 [--report=PATH] [--no-results] [--bench-json=PATH]
+//                 [--telemetry-out=PATH] [--telemetry-window-sec=S]
+//                 [--telemetry-exemplars=N] [--slo-spec=SPEC]
 //                 [--log-level=LEVEL]
 #include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +49,8 @@
 #include "common/version.h"
 #include "fault/fault_plan.h"
 #include "obs/bench_report.h"
+#include "obs/recorder.h"
+#include "obs/telemetry.h"
 #include "serve/engine.h"
 #include "serve/job.h"
 #include "sim/tuner.h"
@@ -54,6 +67,9 @@ struct ServeToolOptions {
   std::string report_path;
   bool include_results = true;
   std::string bench_json_path;
+  std::string telemetry_out;
+  std::string slo_spec;
+  obs::TelemetryOptions telemetry;
 };
 
 [[noreturn]] void Usage(const char* bad_flag) {
@@ -68,6 +84,9 @@ struct ServeToolOptions {
       "                     [--breaker-cooldown=N] [--seed=N] [--autotune]\n"
       "                     [--tune-cache=PATH] [--report=PATH]\n"
       "                     [--no-results] [--bench-json=PATH]\n"
+      "                     [--telemetry-out=PATH]\n"
+      "                     [--telemetry-window-sec=S]\n"
+      "                     [--telemetry-exemplars=N] [--slo-spec=SPEC]\n"
       "                     [--log-level=LEVEL]\n",
       bad_flag);
   std::exit(2);
@@ -122,6 +141,15 @@ ServeToolOptions ParseArgs(int argc, char** argv) {
       options.include_results = false;
     } else if (arg.rfind("--bench-json=", 0) == 0) {
       options.bench_json_path = arg.substr(13);
+    } else if (arg.rfind("--telemetry-out=", 0) == 0) {
+      options.telemetry_out = arg.substr(16);
+    } else if (arg.rfind("--telemetry-window-sec=", 0) == 0) {
+      options.telemetry.window_sec = std::strtod(arg.c_str() + 23, nullptr);
+    } else if (arg.rfind("--telemetry-exemplars=", 0) == 0) {
+      options.telemetry.exemplars_per_window =
+          static_cast<int>(std::strtol(arg.c_str() + 22, nullptr, 10));
+    } else if (arg.rfind("--slo-spec=", 0) == 0) {
+      options.slo_spec = arg.substr(11);
     } else if (arg.rfind("--log-level=", 0) == 0) {
       if (!ApplyLogLevelFlag(arg.substr(12))) {
         std::fprintf(stderr,
@@ -212,6 +240,35 @@ int Main(int argc, char** argv) {
     engine_options.tune_cache = &tune_cache;
   }
 
+  // Telemetry plane: constructed before (destroyed after) the engine.
+  obs::Recorder recorder;
+  obs::FileTelemetrySink telemetry_sink;
+  std::unique_ptr<obs::TelemetryPlane> telemetry;
+  if (!options.slo_spec.empty() && options.telemetry_out.empty()) {
+    std::fprintf(stderr, "--slo-spec requires --telemetry-out\n");
+    return 2;
+  }
+  if (!options.telemetry_out.empty()) {
+    obs::TelemetryOptions topts = options.telemetry;
+    if (!options.slo_spec.empty()) {
+      StatusOr<obs::SloSpec> slo = obs::SloSpec::Parse(options.slo_spec);
+      if (!slo.ok()) {
+        std::fprintf(stderr, "--slo-spec: %s\n",
+                     slo.status().ToString().c_str());
+        return 2;
+      }
+      topts.slo = *std::move(slo);
+    }
+    const Status opened = telemetry_sink.Open(options.telemetry_out);
+    if (!opened.ok()) {
+      std::fprintf(stderr, "%s\n", opened.ToString().c_str());
+      return 1;
+    }
+    topts.recorder = &recorder;
+    telemetry = std::make_unique<obs::TelemetryPlane>(topts, &telemetry_sink);
+    engine_options.telemetry = telemetry.get();
+  }
+
   std::signal(SIGINT, HandleSigint);
   serve::ServeEngine engine(engine_options);
   std::uint64_t accepted = 0;
@@ -238,6 +295,29 @@ int Main(int argc, char** argv) {
               static_cast<unsigned long long>(shed));
 
   int exit_code = report.Consistent() ? 0 : 1;
+  if (telemetry != nullptr) {
+    const obs::TelemetryTotals totals = telemetry->Totals();
+    std::printf(
+        "telemetry: %llu window(s), %llu exemplar(s), %llu SLO breach(es)/"
+        "%llu recover(ies) -> %s (+ %s)\n",
+        static_cast<unsigned long long>(totals.windows),
+        static_cast<unsigned long long>(totals.exemplars),
+        static_cast<unsigned long long>(totals.slo_breaches),
+        static_cast<unsigned long long>(totals.slo_recoveries),
+        options.telemetry_out.c_str(), telemetry_sink.prom_path().c_str());
+    if (const std::uint64_t late = recorder.late_records(); late > 0) {
+      std::printf(
+          "WARNING: %llu record(s) arrived after the recorder was sealed — "
+          "exports taken at drain may be missing events "
+          "(serve/obs/late_records)\n",
+          static_cast<unsigned long long>(late));
+    }
+    if (!telemetry_sink.status().ok()) {
+      std::fprintf(stderr, "telemetry write failed: %s\n",
+                   telemetry_sink.status().ToString().c_str());
+      exit_code = 1;
+    }
+  }
   if (!options.tune_cache_path.empty()) {
     const Status saved = tune_cache.SaveFile(options.tune_cache_path);
     if (!saved.ok()) {

@@ -1,0 +1,323 @@
+// malisim-top: watch CLI over the live telemetry stream malisim-serve
+// writes with --telemetry-out= (schema "malisim-telemetry-v1", one JSON
+// snapshot per modelled-time window, appended as the run progresses).
+//
+// Modes:
+//   malisim-top FILE.jsonl            follow: re-render on every new
+//                                     snapshot until interrupted
+//   malisim-top --once FILE.jsonl     render the newest snapshot and exit
+//   malisim-top --check FILE.jsonl    validate the whole stream against
+//                                     the schema (CI smoke): every line
+//                                     parses, schema tag matches, window
+//                                     indices strictly increase, per-state
+//                                     counts sum to the window's job count
+//
+// Exit codes: 0 = ok, 1 = invalid stream (--check) or unreadable file,
+// 2 = bad flags.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/json.h"
+#include "common/status.h"
+#include "common/table.h"
+
+namespace malisim {
+namespace {
+
+constexpr std::string_view kSchema = "malisim-telemetry-v1";
+
+const char* const kStates[] = {"ok", "degraded", "shed", "deadline-exceeded",
+                               "failed"};
+
+struct TopOptions {
+  std::string path;
+  bool once = false;
+  bool check = false;
+  int interval_ms = 500;
+};
+
+[[noreturn]] void Usage(const char* bad_flag) {
+  std::fprintf(stderr,
+               "unknown flag or missing file '%s'\n"
+               "usage: malisim-top [--once | --check] [--interval-ms=N] "
+               "FILE.jsonl\n",
+               bad_flag);
+  std::exit(2);
+}
+
+TopOptions ParseArgs(int argc, char** argv) {
+  TopOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--once") {
+      options.once = true;
+    } else if (arg == "--check") {
+      options.check = true;
+    } else if (arg.rfind("--interval-ms=", 0) == 0) {
+      options.interval_ms =
+          static_cast<int>(std::strtol(arg.c_str() + 14, nullptr, 10));
+      if (options.interval_ms < 1) options.interval_ms = 1;
+    } else if (!arg.empty() && arg.front() == '-') {
+      Usage(arg.c_str());
+    } else {
+      options.path = arg;
+    }
+  }
+  if (options.path.empty()) Usage("(no telemetry file)");
+  return options;
+}
+
+/// Splits the stream into complete lines (a partial trailing line — the
+/// writer flushes per line, but a reader can still race the append — is
+/// ignored until it gains its newline).
+std::vector<std::string> CompleteLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) break;
+    if (nl > pos) lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  return lines;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream text;
+  text << in.rdbuf();
+  *out = text.str();
+  return true;
+}
+
+/// Validates one snapshot line; empty string = valid.
+std::string CheckLine(const JsonValue& snap, std::uint64_t* prev_window,
+                      bool first) {
+  if (!snap.is_object()) return "not a JSON object";
+  if (snap.StringOr("schema", "") != kSchema) {
+    return "schema is not '" + std::string(kSchema) + "'";
+  }
+  const JsonValue* window = snap.Find("window");
+  if (window == nullptr || !window->is_number()) return "missing window";
+  const auto w = static_cast<std::uint64_t>(window->number_value);
+  if (!first && w <= *prev_window) {
+    return "window " + std::to_string(w) + " does not increase on " +
+           std::to_string(*prev_window);
+  }
+  *prev_window = w;
+  const JsonValue* states = snap.Find("states");
+  if (states == nullptr || !states->is_object()) return "missing states";
+  double sum = 0.0;
+  for (const char* state : kStates) {
+    const JsonValue* c = states->Find(state);
+    if (c == nullptr || !c->is_number()) {
+      return std::string("states lacks '") + state + "'";
+    }
+    sum += c->number_value;
+  }
+  if (sum != snap.NumberOr("jobs", -1.0)) {
+    return "per-state counts do not sum to jobs";
+  }
+  if (snap.Find("latency") == nullptr || snap.Find("tenants") == nullptr ||
+      snap.Find("cum") == nullptr) {
+    return "missing latency/tenants/cum section";
+  }
+  return "";
+}
+
+int Check(const TopOptions& options) {
+  std::string text;
+  if (!ReadFile(options.path, &text)) {
+    std::fprintf(stderr, "cannot read '%s'\n", options.path.c_str());
+    return 1;
+  }
+  const std::vector<std::string> lines = CompleteLines(text);
+  std::uint64_t prev_window = 0;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    StatusOr<JsonValue> snap = ParseJson(lines[i]);
+    if (!snap.ok()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", options.path.c_str(), i + 1,
+                   snap.status().ToString().c_str());
+      return 1;
+    }
+    const std::string error = CheckLine(*snap, &prev_window, i == 0);
+    if (!error.empty()) {
+      std::fprintf(stderr, "%s:%zu: %s\n", options.path.c_str(), i + 1,
+                   error.c_str());
+      return 1;
+    }
+  }
+  std::printf("%s: %zu snapshot(s) conform to %s\n", options.path.c_str(),
+              lines.size(), std::string(kSchema).c_str());
+  return 0;
+}
+
+void RenderObjectCounts(const JsonValue* object, const char* heading,
+                        std::string* out) {
+  if (object == nullptr || !object->is_object() || object->members.empty()) {
+    return;
+  }
+  *out += heading;
+  bool first = true;
+  for (const auto& [key, value] : object->members) {
+    *out += first ? " " : ", ";
+    first = false;
+    *out += key + " " +
+            (value.is_number() ? FormatDouble(value.number_value, 0)
+                               : value.string_value);
+  }
+  *out += '\n';
+}
+
+std::string Render(const JsonValue& snap, const std::string& path,
+                   std::size_t snapshots) {
+  std::string out;
+  out += "=== malisim-top · " + path + " · snapshot " +
+         std::to_string(snapshots) + " ===\n";
+  out += "window " + FormatDouble(snap.NumberOr("window", 0.0), 0) + " (t " +
+         FormatDouble(snap.NumberOr("t_start_sec", 0.0), 2) + " - " +
+         FormatDouble(snap.NumberOr("t_end_sec", 0.0), 2) +
+         " modelled s): " + FormatDouble(snap.NumberOr("jobs", 0.0), 0) +
+         " job(s)\n";
+  if (const JsonValue* states = snap.Find("states"); states != nullptr) {
+    out += "states:";
+    for (const char* state : kStates) {
+      out += std::string(" ") + state + " " +
+             FormatDouble(states->NumberOr(state, 0.0), 0);
+    }
+    out += '\n';
+  }
+  if (const JsonValue* latency = snap.Find("latency");
+      latency != nullptr && latency->NumberOr("count", 0.0) > 0.0) {
+    out += "latency (consumed modelled sec): p50 " +
+           FormatDouble(latency->NumberOr("p50", 0.0), 4) + "  p90 " +
+           FormatDouble(latency->NumberOr("p90", 0.0), 4) + "  p99 " +
+           FormatDouble(latency->NumberOr("p99", 0.0), 4) + "  max " +
+           FormatDouble(latency->NumberOr("max", 0.0), 4) + '\n';
+  }
+  RenderObjectCounts(snap.Find("completed_on"), "completed on:", &out);
+  if (const JsonValue* tenants = snap.Find("tenants");
+      tenants != nullptr && tenants->is_object() &&
+      !tenants->members.empty()) {
+    Table table({"tenant", "jobs", "ok", "degraded", "shed", "deadline",
+                 "failed", "shed%", "miss%", "p50 s", "p99 s"});
+    for (const auto& [tenant, row] : tenants->members) {
+      table.BeginRow();
+      table.AddCell(tenant);
+      table.AddCell(FormatDouble(row.NumberOr("jobs", 0.0), 0));
+      table.AddCell(FormatDouble(row.NumberOr("ok", 0.0), 0));
+      table.AddCell(FormatDouble(row.NumberOr("degraded", 0.0), 0));
+      table.AddCell(FormatDouble(row.NumberOr("shed", 0.0), 0));
+      table.AddCell(FormatDouble(row.NumberOr("deadline-exceeded", 0.0), 0));
+      table.AddCell(FormatDouble(row.NumberOr("failed", 0.0), 0));
+      table.AddCell(FormatDouble(row.NumberOr("shed_ratio", 0.0) * 100.0, 1));
+      table.AddCell(
+          FormatDouble(row.NumberOr("deadline_miss_ratio", 0.0) * 100.0, 1));
+      table.AddCell(FormatDouble(row.NumberOr("p50_sec", 0.0), 4));
+      table.AddCell(FormatDouble(row.NumberOr("p99_sec", 0.0), 4));
+    }
+    out += table.ToAscii();
+  }
+  if (const JsonValue* breakers = snap.Find("breakers");
+      breakers != nullptr && breakers->is_object() &&
+      !breakers->members.empty()) {
+    out += "breakers:";
+    for (const auto& [rung, state] : breakers->members) {
+      out += " " + rung + "=" + state.string_value;
+    }
+    out += '\n';
+  }
+  if (const JsonValue* slo = snap.Find("slo");
+      slo != nullptr && slo->is_array() && !slo->array.empty()) {
+    Table table({"objective", "short", "long", "state"});
+    for (const JsonValue& row : slo->array) {
+      table.BeginRow();
+      table.AddCell(row.StringOr("objective", "?"));
+      table.AddCell(FormatDouble(row.NumberOr("short", 0.0), 4));
+      table.AddCell(FormatDouble(row.NumberOr("long", 0.0), 4));
+      const JsonValue* breached = row.Find("breached");
+      table.AddCell(breached != nullptr && breached->bool_value ? "BREACHED"
+                                                                : "ok");
+    }
+    out += "slo:\n" + table.ToAscii();
+  }
+  if (const JsonValue* events = snap.Find("events");
+      events != nullptr && events->is_array()) {
+    for (const JsonValue& event : events->array) {
+      out += "event: " + event.StringOr("action", "?") + " " +
+             event.StringOr("objective", "?") + '\n';
+    }
+  }
+  if (const JsonValue* cum = snap.Find("cum"); cum != nullptr) {
+    out += "cumulative: " + FormatDouble(cum->NumberOr("jobs", 0.0), 0) +
+           " job(s) over " + FormatDouble(cum->NumberOr("windows", 0.0), 0) +
+           " window(s), " + FormatDouble(cum->NumberOr("exemplars", 0.0), 0) +
+           " exemplar(s), " +
+           FormatDouble(cum->NumberOr("slo_breaches", 0.0), 0) +
+           " SLO breach(es)\n";
+  }
+  return out;
+}
+
+int RenderOnce(const TopOptions& options) {
+  std::string text;
+  if (!ReadFile(options.path, &text)) {
+    std::fprintf(stderr, "cannot read '%s'\n", options.path.c_str());
+    return 1;
+  }
+  const std::vector<std::string> lines = CompleteLines(text);
+  if (lines.empty()) {
+    std::printf("%s: no complete snapshots yet\n", options.path.c_str());
+    return 0;
+  }
+  StatusOr<JsonValue> snap = ParseJson(lines.back());
+  if (!snap.ok()) {
+    std::fprintf(stderr, "%s: %s\n", options.path.c_str(),
+                 snap.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", Render(*snap, options.path, lines.size()).c_str());
+  return 0;
+}
+
+int Follow(const TopOptions& options) {
+  std::size_t rendered = 0;
+  for (;;) {
+    std::string text;
+    if (ReadFile(options.path, &text)) {
+      const std::vector<std::string> lines = CompleteLines(text);
+      if (lines.size() != rendered && !lines.empty()) {
+        StatusOr<JsonValue> snap = ParseJson(lines.back());
+        if (snap.ok()) {
+          rendered = lines.size();
+          // ANSI clear + home; falls out harmlessly on dumb terminals.
+          std::printf("\x1b[2J\x1b[H%s",
+                      Render(*snap, options.path, lines.size()).c_str());
+          std::fflush(stdout);
+        }
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options.interval_ms));
+  }
+}
+
+int Main(int argc, char** argv) {
+  const TopOptions options = ParseArgs(argc, argv);
+  if (options.check) return Check(options);
+  if (options.once) return RenderOnce(options);
+  return Follow(options);
+}
+
+}  // namespace
+}  // namespace malisim
+
+int main(int argc, char** argv) { return malisim::Main(argc, argv); }
