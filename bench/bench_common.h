@@ -24,6 +24,9 @@ struct BenchOptions {
   /// Host threads for the simulation engine (results are identical for any
   /// value; see ExperimentConfig::sim_threads).
   int threads = 1;
+  /// KIR execution engine (--kir-exec=interp|bytecode). Results are
+  /// identical for either engine; bytecode is the fast default.
+  KirExec kir_exec = KirExec::kBytecode;
   hpc::ProblemSizes sizes;
   /// When non-empty, a Chrome trace of the runs is written here.
   std::string trace_path;
@@ -53,7 +56,9 @@ struct BenchOptions {
 };
 
 /// Parses --fp32 / --fp64 (run only that precision), --csv, --seed=N,
-/// --threads=N (host threads for the simulation engine), --quick (shrunken
+/// --threads=N (host threads for the simulation engine),
+/// --kir-exec=interp|bytecode (KIR execution engine; exits with status 2
+/// on an unknown name), --quick (shrunken
 /// problem sizes for CI smoke runs), --trace=PATH (Chrome trace of the
 /// runs), --bench-json=PATH (machine-comparable BENCH record of the run),
 /// --device=mali|a15|hetero (backend for the OpenCL variants; exits with

@@ -1,0 +1,252 @@
+// Head-to-head microbenchmark of the two KIR execution engines: the
+// reference tree-walking interpreter (`--kir-exec=interp`) versus the
+// register-based fused bytecode VM (`--kir-exec=bytecode`, the default).
+// The three kernels mirror the hottest shapes in the figure sweeps — a
+// dmmm-style fma reduction, an nbody-style inverse-sqrt force loop, and a
+// conv-style vectorised tap accumulation — so items/sec here tracks the
+// sim_throughput the full benchmarks see. Both engines produce bit-identical
+// modelled results (pinned by tests/kir/vm_diff_fuzz_test); only host-side
+// speed differs, and the ISSUE acceptance bar is bytecode >= 3x interp on
+// these interpreter-bound shapes.
+// A plain run is a google-benchmark binary; `--bench-json=PATH` instead
+// emits the standard schema-versioned BENCH record (one sim_throughput
+// sweep per kernel x engine) so malisim-bench can gate the VM's floor.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/version.h"
+#include "kir/builder.h"
+#include "kir/interp.h"
+#include "obs/bench_report.h"
+
+namespace {
+
+using namespace malisim;
+
+constexpr std::uint64_t kItems = 256;   // work items per launch
+constexpr std::uint64_t kLocal = 64;    // work-group size
+constexpr std::int32_t kTrips = 256;    // inner-loop trip count
+
+// dmmm inner product, float4-vectorized like the paper's OpenCL-opt
+// variant: acc4 = fma(vload4(a, k), vload4(b, k), acc4) over k.
+kir::Program DmmmKernel() {
+  kir::KernelBuilder kb("bm_dmmm");
+  auto a = kb.ArgBuffer("a", kir::ScalarType::kF32, kir::ArgKind::kBufferRO);
+  auto b = kb.ArgBuffer("b", kir::ScalarType::kF32, kir::ArgKind::kBufferRO);
+  auto c = kb.ArgBuffer("c", kir::ScalarType::kF32, kir::ArgKind::kBufferWO);
+  kir::Val gid = kb.GlobalId(0);
+  kir::Val acc = kb.Var(kir::F32(4), "acc");
+  kb.Assign(acc, kb.ConstF(kir::F32(4), 0.0));
+  kb.For("k", kb.ConstI(kir::I32(), 0), kb.ConstI(kir::I32(), kTrips), 4,
+         [&](kir::Val k) {
+           kb.Assign(acc, kb.Fma(kb.Load(a, k, 0, 4), kb.Load(b, k, 0, 4),
+                                 acc));
+         });
+  kb.Store(c, gid, kb.VSum(acc));
+  return *kb.Build();
+}
+
+// dmmm inner product, scalar like the paper's unoptimized OpenCL baseline:
+// acc += a[k] * b[k] one element per trip. The most interpreter-bound shape
+// in the suite — no vector math to amortize the per-instruction overhead.
+kir::Program DmmmScalarKernel() {
+  kir::KernelBuilder kb("bm_dmmm_base");
+  auto a = kb.ArgBuffer("a", kir::ScalarType::kF32, kir::ArgKind::kBufferRO);
+  auto b = kb.ArgBuffer("b", kir::ScalarType::kF32, kir::ArgKind::kBufferRO);
+  auto c = kb.ArgBuffer("c", kir::ScalarType::kF32, kir::ArgKind::kBufferWO);
+  kir::Val gid = kb.GlobalId(0);
+  kir::Val acc = kb.Var(kir::F32(), "acc");
+  kb.Assign(acc, kb.ConstF(kir::F32(), 0.0));
+  kb.For("k", kb.ConstI(kir::I32(), 0), kb.ConstI(kir::I32(), kTrips), 1,
+         [&](kir::Val k) {
+           kb.Assign(acc, kb.Fma(kb.Load(a, k), kb.Load(b, k), acc));
+         });
+  kb.Store(c, gid, acc);
+  return *kb.Build();
+}
+
+// nbody force accumulation over float4 position chunks:
+// dx4 = vload4(pos, j) - xi4; acc4 += dx4 / sqrt(dx4*dx4 + eps).
+kir::Program NbodyKernel() {
+  kir::KernelBuilder kb("bm_nbody");
+  auto pos = kb.ArgBuffer("pos", kir::ScalarType::kF32, kir::ArgKind::kBufferRO);
+  auto out = kb.ArgBuffer("out", kir::ScalarType::kF32, kir::ArgKind::kBufferWO);
+  kir::Val gid = kb.GlobalId(0);
+  kir::Val xi = kb.Splat(kb.Load(pos, gid), 4);
+  kir::Val eps = kb.ConstF(kir::F32(4), 1e-3);  // softening, loop-invariant
+  kir::Val acc = kb.Var(kir::F32(4), "acc");
+  kb.Assign(acc, kb.ConstF(kir::F32(4), 0.0));
+  kb.For("j", kb.ConstI(kir::I32(), 0), kb.ConstI(kir::I32(), kTrips), 4,
+         [&](kir::Val j) {
+           kir::Val dx = kb.Load(pos, j, 0, 4) - xi;
+           kir::Val dist = kb.Sqrt(kb.Fma(dx, dx, eps));
+           kb.Assign(acc, acc + kb.Binary(kir::Opcode::kDiv, dx, dist));
+         });
+  kb.Store(out, gid, kb.VSum(acc));
+  return *kb.Build();
+}
+
+// conv tap loop on 4-wide vectors: vacc = fma(v, splat(w[t]), vacc).
+kir::Program ConvVecKernel() {
+  kir::KernelBuilder kb("bm_conv");
+  auto in = kb.ArgBuffer("in", kir::ScalarType::kF32, kir::ArgKind::kBufferRO);
+  auto w = kb.ArgBuffer("w", kir::ScalarType::kF32, kir::ArgKind::kBufferRO);
+  auto out = kb.ArgBuffer("out", kir::ScalarType::kF32, kir::ArgKind::kBufferWO);
+  kir::Val gid = kb.GlobalId(0);
+  kir::Val v = kb.Splat(kb.Load(in, gid), 4);
+  kir::Val vacc = kb.Var(kir::F32(4), "vacc");
+  kb.Assign(vacc, kb.ConstF(kir::F32(4), 0.0));
+  kb.For("t", kb.ConstI(kir::I32(), 0), kb.ConstI(kir::I32(), kTrips), 1,
+         [&](kir::Val t) {
+           kb.Assign(vacc, kb.Fma(v, kb.Splat(kb.Load(w, t), 4), vacc));
+         });
+  kb.Store(out, gid, kb.VSum(vacc));
+  return *kb.Build();
+}
+
+void RunEngine(benchmark::State& state, const kir::Program& p,
+               std::size_t num_ro, KirExec engine) {
+  std::vector<float> ro(1024, 1.0f);
+  std::vector<float> wo(1024, 0.0f);
+  kir::LaunchConfig config;
+  config.global_size = {kItems, 1, 1};
+  config.local_size = {kLocal, 1, 1};
+  std::uint64_t ops = 0;
+  for (auto _ : state) {
+    kir::Bindings b;
+    for (std::size_t i = 0; i < num_ro; ++i) {
+      b.buffers.push_back({reinterpret_cast<std::byte*>(ro.data()),
+                           0x100000 + 0x10000 * i, ro.size() * 4});
+    }
+    b.buffers.push_back({reinterpret_cast<std::byte*>(wo.data()), 0x900000,
+                         wo.size() * 4});
+    auto run = kir::RunProgram(p, config, std::move(b), engine);
+    if (!run.ok()) {
+      state.SkipWithError(run.status().ToString().c_str());
+      return;
+    }
+    ops = run->ops.Total();
+    benchmark::DoNotOptimize(ops);
+  }
+  // items/sec == simulated KIR instructions per host second, the number the
+  // full sweeps call sim_throughput.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(ops));
+}
+
+void BM_Dmmm(benchmark::State& state, KirExec engine) {
+  RunEngine(state, DmmmKernel(), 2, engine);
+}
+void BM_DmmmBase(benchmark::State& state, KirExec engine) {
+  RunEngine(state, DmmmScalarKernel(), 2, engine);
+}
+void BM_Nbody(benchmark::State& state, KirExec engine) {
+  RunEngine(state, NbodyKernel(), 1, engine);
+}
+void BM_ConvVec(benchmark::State& state, KirExec engine) {
+  RunEngine(state, ConvVecKernel(), 2, engine);
+}
+
+BENCHMARK_CAPTURE(BM_Dmmm, interp, KirExec::kInterp);
+BENCHMARK_CAPTURE(BM_Dmmm, bytecode, KirExec::kBytecode);
+BENCHMARK_CAPTURE(BM_DmmmBase, interp, KirExec::kInterp);
+BENCHMARK_CAPTURE(BM_DmmmBase, bytecode, KirExec::kBytecode);
+BENCHMARK_CAPTURE(BM_Nbody, interp, KirExec::kInterp);
+BENCHMARK_CAPTURE(BM_Nbody, bytecode, KirExec::kBytecode);
+BENCHMARK_CAPTURE(BM_ConvVec, interp, KirExec::kInterp);
+BENCHMARK_CAPTURE(BM_ConvVec, bytecode, KirExec::kBytecode);
+
+// --bench-json mode: a fixed-repetition sweep per kernel x engine, emitted
+// as sim_throughput entries through the standard BENCH record writer. The
+// deterministic totals (work_items / opcodes / launches) obey the record's
+// byte-identity contract; only the host_* rates carry wall-clock.
+int EmitBenchJson(const std::string& path) {
+  constexpr int kLaunches = 16;
+  struct Shape {
+    const char* name;
+    kir::Program program;
+    std::size_t num_ro;
+  };
+  const Shape shapes[] = {{"dmmm", DmmmKernel(), 2},
+                          {"dmmm_base", DmmmScalarKernel(), 2},
+                          {"nbody", NbodyKernel(), 1},
+                          {"conv", ConvVecKernel(), 2}};
+  std::vector<obs::SimThroughput> sweeps;
+  for (const Shape& shape : shapes) {
+    for (const KirExec engine : {KirExec::kInterp, KirExec::kBytecode}) {
+      std::vector<float> ro(1024, 1.0f);
+      std::vector<float> wo(1024, 0.0f);
+      kir::LaunchConfig config;
+      config.global_size = {kItems, 1, 1};
+      config.local_size = {kLocal, 1, 1};
+      obs::SimThroughput t;
+      t.sweep = std::string(shape.name) +
+                (engine == KirExec::kInterp ? "/interp" : "/bytecode");
+      const auto start = std::chrono::steady_clock::now();
+      for (int i = 0; i < kLaunches; ++i) {
+        kir::Bindings b;
+        for (std::size_t r = 0; r < shape.num_ro; ++r) {
+          b.buffers.push_back({reinterpret_cast<std::byte*>(ro.data()),
+                               0x100000 + 0x10000 * r, ro.size() * 4});
+        }
+        b.buffers.push_back({reinterpret_cast<std::byte*>(wo.data()),
+                             0x900000, wo.size() * 4});
+        auto run = kir::RunProgram(shape.program, config, std::move(b), engine);
+        if (!run.ok()) {
+          std::fprintf(stderr, "%s: %s\n", t.sweep.c_str(),
+                       run.status().ToString().c_str());
+          return 1;
+        }
+        t.opcodes += run->ops.Total();
+        t.work_items += run->work_items;
+        ++t.launches;
+      }
+      t.host_sec = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - start)
+                       .count();
+      if (t.host_sec > 0) {
+        t.work_items_per_host_sec = static_cast<double>(t.work_items) / t.host_sec;
+        t.opcodes_per_host_sec = static_cast<double>(t.opcodes) / t.host_sec;
+      }
+      sweeps.push_back(t);
+    }
+  }
+  obs::BenchReportMeta meta;
+  meta.name = "bm_kir_exec";
+  meta.git_sha = GitSha();
+  // No fault plan applies at the bare-executor level; provenance only.
+  meta.fault_plan_hash = "0000000000000000";
+  meta.options = {{"launches", std::to_string(kLaunches)},
+                  {"trips", std::to_string(kTrips)}};
+  const Status written =
+      obs::WriteBenchReport(meta, {}, {}, obs::MetricsSnapshot{}, path, sweeps);
+  if (!written.ok()) {
+    std::fprintf(stderr, "bench-json error: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "BENCH record written to %s\n", path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--bench-json=", 0) == 0) {
+      return EmitBenchJson(arg.substr(13));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/aligned_buffer.h"
+#include "kir/vm/bytecode.h"
 #include "obs/recorder.h"
 
 namespace malisim::cpu {
@@ -163,10 +164,25 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
       recorder_ != nullptr ? recorder_->host_prof() : nullptr;
   obs::InterpProfile interp_prof(host_prof, program, num_threads);
   const int host_threads = options_.ResolvedThreads();
+  const KirExec engine = options_.kir_exec;
+  // The CPU path has no build step, so the VM compile happens per Run; it
+  // is a few microseconds against milliseconds of execution.
+  std::shared_ptr<const kir::vm::CompiledProgram> bytecode;
+  if (engine == KirExec::kBytecode) {
+    obs::HostProf::PhaseSpan vm_span(host_prof, obs::HostPhase::kVmCompile);
+    StatusOr<std::shared_ptr<const kir::vm::CompiledProgram>> compiled =
+        kir::vm::CompileProgram(program);
+    if (!compiled.ok()) return compiled.status();
+    bytecode = *std::move(compiled);
+  }
   {
     obs::HostProf::PhaseSpan execute_span(host_prof,
                                           obs::HostPhase::kExecute);
     if (host_threads <= 1) {
+      // Spans are per-thread; only the serial path may nest vm/exec here.
+      obs::HostProf::PhaseSpan vm_exec_span(
+          engine == KirExec::kBytecode ? host_prof : nullptr,
+          obs::HostPhase::kVmExec);
       for (int t = 0; t < num_threads; ++t) {
         // Contiguous block of the active group sub-range, row-major order
         // (OpenMP static schedule).
@@ -180,8 +196,8 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
             scratch_[t].get(), kScratchSimBase + t * kScratchStride,
             local_bytes + 64};
 
-        StatusOr<kir::Executor> executor =
-            kir::Executor::Create(&program, config, std::move(core_bindings));
+        StatusOr<kir::Executor> executor = kir::Executor::Create(
+            &program, config, std::move(core_bindings), engine, bytecode);
         if (!executor.ok()) return executor.status();
         if (recorder_ != nullptr && recorder_->counters_enabled()) {
           executor->set_opcode_tally(agg[t].opcode_tally.data());
@@ -203,7 +219,8 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
     } else {
       MALI_RETURN_IF_ERROR(RunGroupsParallel(program, config, bindings,
                                              local_bytes, num_threads,
-                                             host_threads, &agg));
+                                             host_threads, engine, bytecode,
+                                             &agg));
     }
   }
   interp_prof.Merge(program.name);
@@ -333,12 +350,12 @@ StatusOr<CpuRunResult> CortexA15Device::Run(const kir::Program& program,
   return result;
 }
 
-Status CortexA15Device::RunGroupsParallel(const kir::Program& program,
-                                          const kir::LaunchConfig& config,
-                                          const kir::Bindings& bindings,
-                                          std::uint64_t local_bytes,
-                                          int num_threads, int host_threads,
-                                          std::vector<CoreAggregate>* agg) {
+Status CortexA15Device::RunGroupsParallel(
+    const kir::Program& program, const kir::LaunchConfig& config,
+    const kir::Bindings& bindings, std::uint64_t local_bytes, int num_threads,
+    int host_threads, KirExec engine,
+    std::shared_ptr<const kir::vm::CompiledProgram> bytecode,
+    std::vector<CoreAggregate>* agg) {
   const std::uint64_t active_groups = config.active_groups();
   const auto group_dims = config.num_groups();
 
@@ -389,8 +406,8 @@ Status CortexA15Device::RunGroupsParallel(const kir::Program& program,
     task_bindings.local_scratch = {task_scratch[i].data(),
                                    kScratchSimBase + task.core * kScratchStride,
                                    local_bytes + 64};
-    StatusOr<kir::Executor> executor =
-        kir::Executor::Create(&program, config, std::move(task_bindings));
+    StatusOr<kir::Executor> executor = kir::Executor::Create(
+        &program, config, std::move(task_bindings), engine, bytecode);
     if (!executor.ok()) return executor.status();
     if (recording) executor->set_opcode_tally(task_tallies[i].data());
 

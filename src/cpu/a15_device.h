@@ -99,12 +99,15 @@ class CortexA15Device : public sim::Device {
     std::array<std::uint64_t, kir::kNumOpcodeValues> opcode_tally{};
   };
 
-  /// Record/replay execution across `host_threads` pool workers.
-  Status RunGroupsParallel(const kir::Program& program,
-                           const kir::LaunchConfig& config,
-                           const kir::Bindings& bindings,
-                           std::uint64_t local_bytes, int num_threads,
-                           int host_threads, std::vector<CoreAggregate>* agg);
+  /// Record/replay execution across `host_threads` pool workers. `bytecode`
+  /// is the shared VM compilation when `engine` is kBytecode (null under
+  /// the interpreter).
+  Status RunGroupsParallel(
+      const kir::Program& program, const kir::LaunchConfig& config,
+      const kir::Bindings& bindings, std::uint64_t local_bytes,
+      int num_threads, int host_threads, KirExec engine,
+      std::shared_ptr<const kir::vm::CompiledProgram> bytecode,
+      std::vector<CoreAggregate>* agg);
 
   A15TimingParams timing_;
   sim::DeviceCaps caps_;

@@ -120,6 +120,7 @@ class OpHistogram {
   }
 
   void AddAt(int index, std::uint64_t n = 1) { counts_[index] += n; }
+  void SubAt(int index, std::uint64_t n = 1) { counts_[index] -= n; }
   void Add(OpClass c, ScalarType t, std::uint8_t lanes, std::uint64_t n = 1) {
     AddAt(Index(c, t, LaneIndex(lanes)), n);
   }
@@ -198,12 +199,18 @@ class MemorySink {
     OnAccess(addr, bytes, false);
     OnAccess(addr, bytes, true);
   }
+  /// True when every event is ignored (NullMemorySink): executors may then
+  /// elide the per-access virtual dispatch entirely. The modelled counters
+  /// in WorkGroupRun are accumulated by the executor, never the sink, so
+  /// eliding changes nothing observable.
+  virtual bool discards_events() const { return false; }
 };
 
 /// Sink that drops everything (pure functional runs in tests).
 class NullMemorySink final : public MemorySink {
  public:
   void OnAccess(std::uint64_t, std::uint32_t, bool) override {}
+  bool discards_events() const override { return true; }
 };
 
 /// One buffered memory access, as recorded by the parallel engine's

@@ -1,12 +1,11 @@
 #include "kir/interp.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstring>
 #include <memory>
-
-#include "common/thread_pool.h"
 
 namespace malisim::kir {
 namespace {
@@ -65,11 +64,10 @@ To ConvertLane(From v) {
 
 }  // namespace
 
-StatusOr<Executor> Executor::Create(const Program* program, LaunchConfig config,
-                                    Bindings bindings) {
-  MALI_CHECK(program != nullptr);
-  if (!program->finalized()) {
-    return FailedPreconditionError("program not finalized: " + program->name);
+Status ValidateLaunch(const Program& program, const LaunchConfig& config,
+                      const Bindings& bindings) {
+  if (!program.finalized()) {
+    return FailedPreconditionError("program not finalized: " + program.name);
   }
   if (!config.IsValid()) {
     return InvalidArgumentError(
@@ -80,7 +78,7 @@ StatusOr<Executor> Executor::Create(const Program* program, LaunchConfig config,
   // Check bindings against declarations.
   std::uint32_t want_buffers = 0;
   std::uint32_t want_scalars = 0;
-  for (const ArgDecl& arg : program->args) {
+  for (const ArgDecl& arg : program.args) {
     if (arg.kind == ArgKind::kScalar) {
       ++want_scalars;
     } else {
@@ -89,13 +87,13 @@ StatusOr<Executor> Executor::Create(const Program* program, LaunchConfig config,
   }
   if (bindings.buffers.size() != want_buffers) {
     return InvalidArgumentError(
-        "kernel '" + program->name + "' expects " +
+        "kernel '" + program.name + "' expects " +
         std::to_string(want_buffers) + " buffer args, got " +
         std::to_string(bindings.buffers.size()));
   }
   if (bindings.scalars.size() != want_scalars) {
     return InvalidArgumentError(
-        "kernel '" + program->name + "' expects " +
+        "kernel '" + program.name + "' expects " +
         std::to_string(want_scalars) + " scalar args, got " +
         std::to_string(bindings.scalars.size()));
   }
@@ -106,28 +104,36 @@ StatusOr<Executor> Executor::Create(const Program* program, LaunchConfig config,
     }
   }
   std::uint64_t local_bytes = 0;
-  for (const LocalArrayDecl& local : program->locals) {
+  for (const LocalArrayDecl& local : program.locals) {
     local_bytes += static_cast<std::uint64_t>(local.elems) * ScalarBytes(local.elem);
   }
   if (local_bytes > 0 && (bindings.local_scratch.host == nullptr ||
                           bindings.local_scratch.size_bytes < local_bytes)) {
     return InvalidArgumentError("local scratch too small for kernel '" +
-                                program->name + "'");
+                                program.name + "'");
   }
   // Scalar types must match.
   std::size_t scalar_idx = 0;
-  for (const ArgDecl& arg : program->args) {
+  for (const ArgDecl& arg : program.args) {
     if (arg.kind != ArgKind::kScalar) continue;
     if (bindings.scalars[scalar_idx].type != arg.elem) {
       return InvalidArgumentError("scalar arg '" + arg.name + "' type mismatch");
     }
     ++scalar_idx;
   }
-  return Executor(program, config, std::move(bindings));
+  return Status::Ok();
 }
 
-Executor::Executor(const Program* program, LaunchConfig config,
-                   Bindings bindings)
+StatusOr<InterpExecutor> InterpExecutor::Create(const Program* program,
+                                                LaunchConfig config,
+                                                Bindings bindings) {
+  MALI_CHECK(program != nullptr);
+  MALI_RETURN_IF_ERROR(ValidateLaunch(*program, config, bindings));
+  return InterpExecutor(program, config, std::move(bindings));
+}
+
+InterpExecutor::InterpExecutor(const Program* program, LaunchConfig config,
+                               Bindings bindings)
     : p_(program), config_(config), bindings_(std::move(bindings)) {
   num_regs_ = static_cast<std::uint32_t>(p_->regs.size());
 
@@ -166,10 +172,15 @@ Executor::Executor(const Program* program, LaunchConfig config,
   const std::uint64_t threads =
       p_->has_barrier() ? config_.work_group_size() : 1;
   reg_arena_.resize(threads * num_regs_);
+  if (p_->has_barrier()) {
+    barrier_pcs_.resize(threads);
+    barrier_weights_.resize(threads);
+    barrier_ctxs_.reserve(threads);
+  }
 }
 
-Status Executor::RunGroup(const std::array<std::uint64_t, 3>& group_id,
-                          MemorySink* sink, WorkGroupRun* out) {
+Status InterpExecutor::RunGroup(const std::array<std::uint64_t, 3>& group_id,
+                                MemorySink* sink, WorkGroupRun* out) {
   MALI_CHECK(sink != nullptr && out != nullptr);
   const auto groups = config_.num_groups();
   for (int d = 0; d < 3; ++d) {
@@ -215,15 +226,16 @@ Status Executor::RunGroup(const std::array<std::uint64_t, 3>& group_id,
     return Status::Ok();
   }
 
-  // Barrier path: all work-items advance in run-to-barrier phases.
+  // Barrier path: all work-items advance in run-to-barrier phases. The
+  // per-item scratch vectors are executor members, sized at construction.
   std::memset(static_cast<void*>(reg_arena_.data()), 0,
               sizeof(RegValue) * reg_arena_.size());
-  std::vector<std::uint32_t> pcs(wg, 0);
-  std::vector<ThreadCtx> ctxs;
-  ctxs.reserve(wg);
-  for (std::uint64_t t = 0; t < wg; ++t) ctxs.push_back(make_ctx(t));
+  std::fill(barrier_pcs_.begin(), barrier_pcs_.end(), 0u);
+  std::fill(barrier_weights_.begin(), barrier_weights_.end(),
+            std::uint64_t{0});
+  barrier_ctxs_.clear();
+  for (std::uint64_t t = 0; t < wg; ++t) barrier_ctxs_.push_back(make_ctx(t));
 
-  std::vector<std::uint64_t> item_weights(wg, 0);
   const std::uint64_t group_start = steps_executed_;
   bool done = false;
   while (!done) {
@@ -232,8 +244,9 @@ Status Executor::RunGroup(const std::array<std::uint64_t, 3>& group_id,
     for (std::uint64_t t = 0; t < wg; ++t) {
       RegValue* regs = reg_arena_.data() + t * num_regs_;
       const std::uint64_t item_start = steps_executed_;
-      StatusOr<StopReason> stop = RunToBarrier(ctxs[t], regs, &pcs[t], sink, out);
-      item_weights[t] += steps_executed_ - item_start;
+      StatusOr<StopReason> stop =
+          RunToBarrier(barrier_ctxs_[t], regs, &barrier_pcs_[t], sink, out);
+      barrier_weights_[t] += steps_executed_ - item_start;
       if (!stop.ok()) return stop.status();
       if (*stop == StopReason::kDone) {
         ++finished;
@@ -251,13 +264,13 @@ Status Executor::RunGroup(const std::array<std::uint64_t, 3>& group_id,
   }
   out->work_items += wg;
   std::uint64_t max_item_weight = 0;
-  for (std::uint64_t w : item_weights) max_item_weight = std::max(max_item_weight, w);
+  for (std::uint64_t w : barrier_weights_) max_item_weight = std::max(max_item_weight, w);
   out->item_weight_sum += steps_executed_ - group_start;
   out->weighted_group_cost += max_item_weight * wg;
   return Status::Ok();
 }
 
-Status Executor::RunAllGroups(MemorySink* sink, WorkGroupRun* out) {
+Status InterpExecutor::RunAllGroups(MemorySink* sink, WorkGroupRun* out) {
   const auto groups = config_.num_groups();
   for (std::uint64_t gz = 0; gz < groups[2]; ++gz) {
     for (std::uint64_t gy = 0; gy < groups[1]; ++gy) {
@@ -269,7 +282,7 @@ Status Executor::RunAllGroups(MemorySink* sink, WorkGroupRun* out) {
   return Status::Ok();
 }
 
-Status Executor::RunStraight(const ThreadCtx& ctx, RegValue* regs,
+Status InterpExecutor::RunStraight(const ThreadCtx& ctx, RegValue* regs,
                              MemorySink* sink, WorkGroupRun* out) {
   std::uint32_t pc = 0;
   const std::uint32_t end = static_cast<std::uint32_t>(p_->code.size());
@@ -279,11 +292,9 @@ Status Executor::RunStraight(const ThreadCtx& ctx, RegValue* regs,
   return Status::Ok();
 }
 
-StatusOr<Executor::StopReason> Executor::RunToBarrier(const ThreadCtx& ctx,
-                                                      RegValue* regs,
-                                                      std::uint32_t* pc,
-                                                      MemorySink* sink,
-                                                      WorkGroupRun* out) {
+StatusOr<InterpExecutor::StopReason> InterpExecutor::RunToBarrier(
+    const ThreadCtx& ctx, RegValue* regs, std::uint32_t* pc, MemorySink* sink,
+    WorkGroupRun* out) {
   const std::uint32_t end = static_cast<std::uint32_t>(p_->code.size());
   while (*pc < end) {
     if (p_->code[*pc].op == Opcode::kBarrier) {
@@ -299,8 +310,9 @@ StatusOr<Executor::StopReason> Executor::RunToBarrier(const ThreadCtx& ctx,
   return StopReason::kDone;
 }
 
-Status Executor::Step(const ThreadCtx& ctx, RegValue* regs, std::uint32_t* pc,
-                      MemorySink* sink, WorkGroupRun* out) {
+Status InterpExecutor::Step(const ThreadCtx& ctx, RegValue* regs,
+                            std::uint32_t* pc, MemorySink* sink,
+                            WorkGroupRun* out) {
   const std::uint32_t i = *pc;
   const Instr& in = p_->code[i];
   const Decoded& dec = decoded_[i];
@@ -312,7 +324,7 @@ Status Executor::Step(const ThreadCtx& ctx, RegValue* regs, std::uint32_t* pc,
     ++opcode_tally_[static_cast<std::size_t>(in.op)];
   }
   if (host_time_ != nullptr && --host_time_->countdown == 0) {
-    HostTimeTick(i);
+    HostTimeSinkTick(host_time_, *p_, i);
   }
 
   RegValue& D = regs[in.dst];
@@ -839,8 +851,8 @@ Status Executor::Step(const ThreadCtx& ctx, RegValue* regs, std::uint32_t* pc,
   return Status::Ok();
 }
 
-void Executor::HostTimeTick(std::uint32_t pc) {
-  HostTimeSink* s = host_time_;
+void HostTimeSinkTick(HostTimeSink* s, const Program& program,
+                      std::uint32_t pc) {
   s->countdown = s->period == 0 ? 1 : s->period;
   const std::uint64_t now = static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -853,7 +865,7 @@ void Executor::HostTimeTick(std::uint32_t pc) {
     // when period == 1 (every step both opens and closes its own window).
     const std::uint64_t delta = now - s->last_ns;
     if (s->op_ns != nullptr) {
-      const Opcode op = p_->code[static_cast<std::size_t>(s->last_pc)].op;
+      const Opcode op = program.code[static_cast<std::size_t>(s->last_pc)].op;
       s->op_ns[static_cast<std::size_t>(op)] += delta;
     }
     if (s->block_ns != nullptr && s->block_of_pc != nullptr) {
@@ -895,73 +907,6 @@ std::vector<BlockSpan> BasicBlocks(const Program& program) {
     i = end;
   }
   return blocks;
-}
-
-StatusOr<WorkGroupRun> RunProgram(const Program& program, LaunchConfig config,
-                                  Bindings bindings) {
-  StatusOr<Executor> executor =
-      Executor::Create(&program, config, std::move(bindings));
-  if (!executor.ok()) return executor.status();
-  WorkGroupRun run;
-  NullMemorySink sink;
-  MALI_RETURN_IF_ERROR(executor->RunAllGroups(&sink, &run));
-  return run;
-}
-
-StatusOr<WorkGroupRun> RunProgramParallel(const Program& program,
-                                          LaunchConfig config,
-                                          const Bindings& bindings,
-                                          int threads) {
-  if (threads < 1) return InvalidArgumentError("threads must be >= 1");
-  // Validate once up front so misuse fails identically to RunProgram.
-  MALI_RETURN_IF_ERROR(
-      Executor::Create(&program, config, bindings).status());
-
-  const auto group_dims = config.num_groups();
-  const std::uint64_t total_groups = config.total_groups();
-  // Contiguous row-major chunks; each runs in a private executor. Chunk
-  // boundaries never affect results: counts merge with integer addition
-  // and the null sink drops the access streams.
-  const std::uint64_t num_chunks =
-      std::min<std::uint64_t>(total_groups,
-                              static_cast<std::uint64_t>(threads) * 4);
-  std::vector<WorkGroupRun> chunk_runs(num_chunks);
-  std::vector<std::vector<std::byte>> chunk_scratch(num_chunks);
-
-  ThreadPool pool(threads);
-  auto run_chunk = [&](std::size_t i) -> Status {
-    Bindings chunk_bindings = bindings;
-    if (bindings.local_scratch.host != nullptr) {
-      // Private __local backing per chunk (same simulated address), so
-      // chunks never race on scratch contents.
-      chunk_scratch[i].assign(bindings.local_scratch.size_bytes,
-                              std::byte{0});
-      chunk_bindings.local_scratch.host = chunk_scratch[i].data();
-    }
-    StatusOr<Executor> executor =
-        Executor::Create(&program, config, std::move(chunk_bindings));
-    if (!executor.ok()) return executor.status();
-    NullMemorySink sink;
-    const std::uint64_t begin = total_groups * i / num_chunks;
-    const std::uint64_t end = total_groups * (i + 1) / num_chunks;
-    for (std::uint64_t g = begin; g < end; ++g) {
-      const std::uint64_t gx = g % group_dims[0];
-      const std::uint64_t gy = (g / group_dims[0]) % group_dims[1];
-      const std::uint64_t gz = g / (group_dims[0] * group_dims[1]);
-      MALI_RETURN_IF_ERROR(
-          executor->RunGroup({gx, gy, gz}, &sink, &chunk_runs[i]));
-    }
-    return Status::Ok();
-  };
-
-  WorkGroupRun run;
-  MALI_RETURN_IF_ERROR(RunOrderedPipeline(
-      &pool, num_chunks, num_chunks, run_chunk, [&](std::size_t i) {
-        run.MergeFrom(chunk_runs[i]);
-        chunk_runs[i] = WorkGroupRun();
-        return Status::Ok();
-      }));
-  return run;
 }
 
 #undef MALI_BIN_ALL_TYPES

@@ -1,16 +1,27 @@
-// KIR interpreter.
+// KIR execution engines.
 //
-// Executes a kernel functionally (real data, full OpenCL NDRange semantics
-// including work-group barriers) while streaming simulated memory addresses
-// into a MemorySink and tallying executed operations into an OpHistogram.
-// Device models wrap it: Mali runs whole work-groups per shader core, the
-// A15 model runs contiguous slices of the index space per CPU core.
+// Two engines run a kernel functionally (real data, full OpenCL NDRange
+// semantics including work-group barriers) while streaming simulated memory
+// addresses into a MemorySink and tallying executed operations into an
+// OpHistogram:
+//
+//  - InterpExecutor: the reference tree-walk over kir::Instr (this file).
+//  - vm::VmExecutor: the compile-once bytecode VM (vm/vm.h), bit-identical
+//    to the interpreter by construction and by the `ctest -L kirvm`
+//    differential suite.
+//
+// Device models wrap the Executor facade below, which selects an engine via
+// SimOptions::kir_exec (--kir-exec=, bytecode by default): Mali runs whole
+// work-groups per shader core, the A15 model runs contiguous slices of the
+// index space per CPU core.
 #pragma once
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "common/sim_options.h"
 #include "common/status.h"
 #include "kir/exec_types.h"
 #include "kir/program.h"
@@ -38,10 +49,18 @@ struct HostTimeSink {
   std::uint64_t steps = 0;      // steps covered by attributed windows
 };
 
+/// Cold path of the host-time sampler, shared by both engines: reads the
+/// clock, attributes the elapsed window to the *source* op/block live at
+/// the previous tick, re-arms the countdown. `pc` is a source-program pc
+/// (the bytecode engine maps fused instructions back through its side
+/// table), so attribution is engine-independent.
+void HostTimeSinkTick(HostTimeSink* s, const Program& program,
+                      std::uint32_t pc);
+
 /// One maximal straight-line span of instructions: [begin, end). Control
 /// opcodes (barrier, loop/if bookkeeping) are singleton blocks; everything
 /// between two control points is one block. Pure function of the program,
-/// so profilers and future trace compilers agree on block identity.
+/// so profilers and the bytecode compiler agree on block identity.
 struct BlockSpan {
   std::uint32_t begin = 0;
   std::uint32_t end = 0;  // exclusive
@@ -49,12 +68,18 @@ struct BlockSpan {
 
 std::vector<BlockSpan> BasicBlocks(const Program& program);
 
-class Executor {
+/// Validates launch geometry and bindings against the program's
+/// declarations — the shared front half of both engines' Create().
+Status ValidateLaunch(const Program& program, const LaunchConfig& config,
+                      const Bindings& bindings);
+
+class InterpExecutor {
  public:
   /// Validates geometry and bindings against the program's declarations.
   /// The program must outlive the executor and must be finalized.
-  static StatusOr<Executor> Create(const Program* program, LaunchConfig config,
-                                   Bindings bindings);
+  static StatusOr<InterpExecutor> Create(const Program* program,
+                                         LaunchConfig config,
+                                         Bindings bindings);
 
   /// Executes one work-group identified by its group coordinates.
   /// Results are *merged* into `out` (callers aggregate across groups).
@@ -104,7 +129,8 @@ class Executor {
 
   enum class StopReason { kDone, kBarrier };
 
-  Executor(const Program* program, LaunchConfig config, Bindings bindings);
+  InterpExecutor(const Program* program, LaunchConfig config,
+                 Bindings bindings);
 
   Status RunStraight(const ThreadCtx& ctx, RegValue* regs, MemorySink* sink,
                      WorkGroupRun* out);
@@ -116,10 +142,6 @@ class Executor {
   /// runtime faults (out-of-bounds access, division by zero on integers).
   Status Step(const ThreadCtx& ctx, RegValue* regs, std::uint32_t* pc,
               MemorySink* sink, WorkGroupRun* out);
-  /// Cold path of the host-time sampler: reads the clock, attributes the
-  /// elapsed window to the op/block at the previous tick, re-arms the
-  /// countdown. Out of line so Step's fast path stays small.
-  void HostTimeTick(std::uint32_t pc);
 
   const Program* p_;
   // Incremented once per executed instruction; RunGroup snapshots it around
@@ -133,23 +155,69 @@ class Executor {
   // Register arena reused across work-groups (wg_size * num_regs for the
   // barrier path, num_regs otherwise).
   std::vector<RegValue> reg_arena_;
+  // Barrier-path scratch, hoisted to construction so RunGroup stops paying
+  // three allocations per work-group.
+  std::vector<std::uint32_t> barrier_pcs_;
+  std::vector<ThreadCtx> barrier_ctxs_;
+  std::vector<std::uint64_t> barrier_weights_;
   std::uint64_t* opcode_tally_ = nullptr;  // see set_opcode_tally
   HostTimeSink* host_time_ = nullptr;      // see set_host_time
+};
+
+namespace vm {
+struct CompiledProgram;
+class VmExecutor;
+}  // namespace vm
+
+/// Engine-selecting facade the device models drive. Same surface as the
+/// engines behind it; `engine` picks the implementation (bytecode by
+/// default, per SimOptions::kir_exec / --kir-exec=). For the bytecode
+/// engine, pass a pre-compiled `bytecode` (e.g. from mali::CompiledKernel /
+/// mali::CompileCache) to share one compilation across executors; when
+/// null, Create compiles the program on the spot.
+class Executor {
+ public:
+  static StatusOr<Executor> Create(
+      const Program* program, LaunchConfig config, Bindings bindings,
+      KirExec engine = KirExec::kBytecode,
+      std::shared_ptr<const vm::CompiledProgram> bytecode = nullptr);
+
+  Executor(Executor&&) noexcept;
+  Executor& operator=(Executor&&) noexcept;
+  ~Executor();
+
+  Status RunGroup(const std::array<std::uint64_t, 3>& group_id,
+                  MemorySink* sink, WorkGroupRun* out);
+  Status RunAllGroups(MemorySink* sink, WorkGroupRun* out);
+  const LaunchConfig& config() const;
+  void set_opcode_tally(std::uint64_t* tally);
+  void set_host_time(HostTimeSink* sink);
+
+ private:
+  Executor();
+
+  // Exactly one is non-null. unique_ptrs (not variants) so this header
+  // needs only the forward declarations above.
+  std::unique_ptr<InterpExecutor> interp_;
+  std::unique_ptr<vm::VmExecutor> bytecode_;
 };
 
 /// Convenience for tests and examples: run the whole NDRange with no memory
 /// sink, returning the aggregate operation counts.
 StatusOr<WorkGroupRun> RunProgram(const Program& program, LaunchConfig config,
-                                  Bindings bindings);
+                                  Bindings bindings,
+                                  KirExec engine = KirExec::kBytecode);
 
 /// Like RunProgram but farms contiguous work-group chunks across `threads`
 /// pool workers, each with a private executor (and private __local backing
 /// when the program declares locals), merging counts in canonical chunk
 /// order. For well-formed kernels the result is bit-identical to
-/// RunProgram; the fuzz suite exercises exactly that contract.
+/// RunProgram; the fuzz suite exercises exactly that contract. Under the
+/// bytecode engine the program is compiled once and shared by every chunk.
 StatusOr<WorkGroupRun> RunProgramParallel(const Program& program,
                                           LaunchConfig config,
                                           const Bindings& bindings,
-                                          int threads);
+                                          int threads,
+                                          KirExec engine = KirExec::kBytecode);
 
 }  // namespace malisim::kir

@@ -1,0 +1,127 @@
+// Dispatch-loop executor for compiled KIR bytecode (bytecode.h).
+//
+// Drop-in engine behind the kir::Executor facade (interp.h): same launch
+// validation, same RunGroup/RunAllGroups surface, same opcode-tally and
+// host-time hooks, and — by the accounting contract in bytecode.h —
+// bit-identical results, histograms, tallies, step weights and memory-access
+// streams to the reference interpreter. The speed comes from executing the
+// pre-decoded stream with one dense switch per instruction and deferring
+// all histogram/tally work to a per-instruction execution counter that is
+// expanded through the compile-time side tables once per work-group.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "kir/exec_types.h"
+#include "kir/interp.h"
+#include "kir/program.h"
+#include "kir/vm/bytecode.h"
+
+namespace malisim::kir::vm {
+
+class VmExecutor {
+ public:
+  /// Validates geometry and bindings exactly like the interpreter, plus a
+  /// sanity check that `code` was compiled from `program`. Both must
+  /// outlive the executor; `code` is shared (it is immutable).
+  static StatusOr<VmExecutor> Create(
+      const Program* program, std::shared_ptr<const CompiledProgram> code,
+      LaunchConfig config, Bindings bindings);
+
+  /// Executes one work-group; merges results into `out` (interp contract).
+  /// Deferred per-instruction counts are flushed into `out` on every exit,
+  /// including faults, so partial counts match the interpreter's.
+  Status RunGroup(const std::array<std::uint64_t, 3>& group_id,
+                  MemorySink* sink, WorkGroupRun* out);
+
+  /// Executes every work-group in row-major group order.
+  Status RunAllGroups(MemorySink* sink, WorkGroupRun* out);
+
+  const LaunchConfig& config() const { return config_; }
+  const CompiledProgram& compiled() const { return *code_; }
+
+  /// Per-*source*-opcode tally hook (see InterpExecutor::set_opcode_tally);
+  /// fused bytecode ops contribute to every source opcode they stand for.
+  void set_opcode_tally(std::uint64_t* tally) { opcode_tally_ = tally; }
+
+  /// Host-time sampling hook (see HostTimeSink). Attribution stays in
+  /// source terms: ticks record the *source* pc of the live bytecode
+  /// instruction, so per-opcode and per-basic-block profiles keep their
+  /// interpreter meaning.
+  void set_host_time(HostTimeSink* sink) { host_time_ = sink; }
+
+ private:
+  struct Slot {
+    std::byte* host = nullptr;
+    std::uint64_t sim_addr = 0;
+    std::uint64_t size_bytes = 0;
+  };
+
+  /// Work-item context words, laid out to match VOp::kCtx immediates:
+  /// [0..2] global id, [3..5] local id, [6..8] group id.
+  struct ItemCtx {
+    std::int32_t v[9];
+  };
+
+  enum class StopReason { kDone, kBarrier };
+
+  VmExecutor(const Program* program,
+             std::shared_ptr<const CompiledProgram> code, LaunchConfig config,
+             Bindings bindings);
+
+  ItemCtx MakeCtx(const std::array<std::uint64_t, 3>& group_id,
+                  std::uint64_t t) const;
+
+  Status RunGroupFast(const std::array<std::uint64_t, 3>& group_id,
+                      MemorySink* sink, WorkGroupRun* out);
+  Status RunGroupPhased(const std::array<std::uint64_t, 3>& group_id,
+                        MemorySink* sink, WorkGroupRun* out);
+
+  /// Runs one work-item from *pc until completion, fault, or barrier.
+  StatusOr<StopReason> RunItem(const ItemCtx& ctx, RegValue* regs,
+                               std::uint32_t* pc, MemorySink* sink,
+                               WorkGroupRun* out);
+  /// kProf gates the host-time countdown; kNullSink elides the per-access
+  /// virtual sink dispatch when the sink discards events (RunProgram's
+  /// functional runs) — both are specialized out of the hot loop.
+  template <bool kProf, bool kNullSink>
+  StatusOr<StopReason> RunItemImpl(const ItemCtx& ctx, RegValue* regs,
+                                   std::uint32_t* pc, MemorySink* sink,
+                                   WorkGroupRun* out);
+
+  /// Expands the deferred per-instruction execution counts through the
+  /// tally side tables into the histogram and opcode tally, then zeroes
+  /// them. Called on every RunGroup exit.
+  void FlushCounts(WorkGroupRun* out);
+
+  static constexpr std::uint32_t kNoFault = ~std::uint32_t{0};
+
+  const Program* p_;
+  std::shared_ptr<const CompiledProgram> code_;
+  std::uint64_t steps_executed_ = 0;  // source-step weights (interp parity)
+  /// vpc of the instruction that faulted, or kNoFault. FlushCounts backs
+  /// out what the interpreter never counted: the faulted access's traffic,
+  /// and the tally slots of fused source steps after the faulting first
+  /// one (see FlushCounts).
+  std::uint32_t fault_vpc_ = kNoFault;
+  LaunchConfig config_;
+  Bindings bindings_;
+  std::vector<Slot> slots_;
+  std::int32_t launch_v_[9];  // kLaunch words: global/local size, num groups
+  std::uint32_t num_regs_ = 0;  // compacted register-file size
+  std::vector<RegValue> reg_arena_;
+  std::vector<std::uint64_t> vcount_;  // deferred per-vpc execution counts
+  // Barrier-path scratch, hoisted to construction (one allocation per
+  // executor instead of three per work-group).
+  std::vector<std::uint32_t> barrier_pcs_;
+  std::vector<ItemCtx> barrier_ctxs_;
+  std::vector<std::uint64_t> barrier_weights_;
+  std::uint64_t* opcode_tally_ = nullptr;
+  HostTimeSink* host_time_ = nullptr;
+};
+
+}  // namespace malisim::kir::vm

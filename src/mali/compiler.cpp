@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "fault/injector.h"
+#include "kir/vm/bytecode.h"
 
 namespace malisim::mali {
 
@@ -92,6 +93,14 @@ StatusOr<CompiledKernel> CompileForMali(const kir::Program& program,
   if (!analyzed.ok()) return analyzed.status();
   CompiledKernel k = *std::move(analyzed);
   MALI_RETURN_IF_ERROR(ApplyBuildFaults(&k, program, timing, params));
+  // Lower to VM bytecode while the program is verified and in hand, so the
+  // device models never compile per launch. ApplyBuildFaults only flips
+  // budget/erratum flags — it never rewrites code — so the bytecode is
+  // valid across fault schedules.
+  StatusOr<std::shared_ptr<const kir::vm::CompiledProgram>> bytecode =
+      kir::vm::CompileProgram(program);
+  if (!bytecode.ok()) return bytecode.status();
+  k.bytecode = *std::move(bytecode);
   return k;
 }
 

@@ -6,17 +6,28 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
 #include "common/status.h"
 #include "kir/passes.h"
 #include "kir/program.h"
 #include "mali/t604_params.h"
 
+namespace malisim::kir::vm {
+struct CompiledProgram;
+}  // namespace malisim::kir::vm
+
 namespace malisim::mali {
 
 struct CompiledKernel {
   const kir::Program* program = nullptr;
   kir::ProgramFeatures features;
+  /// Bytecode for the kir VM (kir/vm/bytecode.h), compiled once per kernel
+  /// as part of the pure analysis and shared by every executor the device
+  /// models create for it (cache hits inherit it). Null only for kernels
+  /// built before the bytecode layer existed or when compilation is
+  /// bypassed; kir::Executor then compiles on the spot.
+  std::shared_ptr<const kir::vm::CompiledProgram> bytecode;
   /// Register allocation result (peak live bytes per work-item).
   std::uint32_t live_reg_bytes = 0;
   /// Resident work-items per shader core at this register footprint.

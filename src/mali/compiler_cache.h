@@ -35,7 +35,9 @@ class CompileCache {
     kir::Program transformed;
     /// Pure analysis of `transformed` (AnalyzeForMali). `program` is null
     /// in the stored copy; consumers repoint it at their own copy of
-    /// `transformed` before use.
+    /// `transformed` before use. `analyzed.bytecode` (the VM lowering) is
+    /// shared as-is: consumer copies of `transformed` are code-identical to
+    /// it, so one compiled stream serves every hit.
     CompiledKernel analyzed;
   };
 

@@ -6,6 +6,7 @@
 
 #include "common/log.h"
 #include "fault/injector.h"
+#include "kir/vm/bytecode.h"
 #include "obs/recorder.h"
 
 namespace malisim::mali {
@@ -197,17 +198,34 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
   obs::InterpProfile interp_prof(host_prof, program,
                                  static_cast<int>(cores));
   const int host_threads = options_.ResolvedThreads();
+  const KirExec engine = options_.kir_exec;
+  std::shared_ptr<const kir::vm::CompiledProgram> bytecode = kernel.bytecode;
+  if (engine == KirExec::kBytecode && bytecode == nullptr) {
+    // Kernels built through tinycl carry bytecode already; compile here for
+    // direct CompileForMali-era callers that predate the field.
+    obs::HostProf::PhaseSpan vm_span(host_prof, obs::HostPhase::kVmCompile);
+    StatusOr<std::shared_ptr<const kir::vm::CompiledProgram>> compiled =
+        kir::vm::CompileProgram(program);
+    if (!compiled.ok()) return compiled.status();
+    bytecode = *std::move(compiled);
+  }
   {
     obs::HostProf::PhaseSpan execute_span(host_prof,
                                           obs::HostPhase::kExecute);
     if (host_threads <= 1) {
+      // The vm/exec span nests inside execute on the serial path only; pool
+      // workers must not open spans (they would close with no enclosing
+      // frame and pollute root coverage).
+      obs::HostProf::PhaseSpan vm_exec_span(
+          engine == KirExec::kBytecode ? host_prof : nullptr,
+          obs::HostPhase::kVmExec);
       for (std::uint32_t c = 0; c < cores; ++c) {
         kir::Bindings core_bindings = bindings;
         core_bindings.local_scratch = {scratch_[c].get(),
                                        kScratchSimBase + c * kScratchStride,
                                        local_bytes + 64};
-        StatusOr<kir::Executor> executor =
-            kir::Executor::Create(&program, config, std::move(core_bindings));
+        StatusOr<kir::Executor> executor = kir::Executor::Create(
+            &program, config, std::move(core_bindings), engine, bytecode);
         if (!executor.ok()) return executor.status();
         if (recorder_ != nullptr && recorder_->counters_enabled()) {
           executor->set_opcode_tally(agg[c].opcode_tally.data());
@@ -232,8 +250,8 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
       }
     } else {
       MALI_RETURN_IF_ERROR(RunGroupsParallel(program, config, bindings,
-                                             local_bytes, host_threads, &agg,
-                                             &atomic_lines));
+                                             local_bytes, host_threads, engine,
+                                             bytecode, &agg, &atomic_lines));
     }
   }
   interp_prof.Merge(program.name);
@@ -434,6 +452,7 @@ StatusOr<GpuRunResult> MaliT604Device::Run(const CompiledKernel& kernel,
 Status MaliT604Device::RunGroupsParallel(
     const kir::Program& program, const kir::LaunchConfig& config,
     const kir::Bindings& bindings, std::uint64_t local_bytes, int host_threads,
+    KirExec engine, std::shared_ptr<const kir::vm::CompiledProgram> bytecode,
     std::vector<CoreAggregate>* agg,
     std::unordered_map<std::uint64_t, std::uint64_t>* atomic_lines) {
   const std::uint32_t cores = timing_.num_cores;
@@ -486,8 +505,8 @@ Status MaliT604Device::RunGroupsParallel(
     task_bindings.local_scratch = {task_scratch[i].data(),
                                    kScratchSimBase + task.core * kScratchStride,
                                    local_bytes + 64};
-    StatusOr<kir::Executor> executor =
-        kir::Executor::Create(&program, config, std::move(task_bindings));
+    StatusOr<kir::Executor> executor = kir::Executor::Create(
+        &program, config, std::move(task_bindings), engine, bytecode);
     if (!executor.ok()) return executor.status();
     if (recording) executor->set_opcode_tally(task_tallies[i].data());
 

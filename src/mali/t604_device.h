@@ -125,11 +125,15 @@ class MaliT604Device : public sim::Device {
     std::array<std::uint64_t, kir::kNumOpcodeValues> opcode_tally{};
   };
 
-  /// Record/replay execution across `host_threads` pool workers.
+  /// Record/replay execution across `host_threads` pool workers. `bytecode`
+  /// is the shared VM compilation when `engine` is kBytecode (null under
+  /// the interpreter).
   Status RunGroupsParallel(
       const kir::Program& program, const kir::LaunchConfig& config,
       const kir::Bindings& bindings, std::uint64_t local_bytes,
-      int host_threads, std::vector<CoreAggregate>* agg,
+      int host_threads, KirExec engine,
+      std::shared_ptr<const kir::vm::CompiledProgram> bytecode,
+      std::vector<CoreAggregate>* agg,
       std::unordered_map<std::uint64_t, std::uint64_t>* atomic_lines);
 
   MaliTimingParams timing_;

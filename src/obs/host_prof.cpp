@@ -56,6 +56,10 @@ std::string_view HostPhaseName(HostPhase phase) {
       return "tune";
     case HostPhase::kVariant:
       return "variant";
+    case HostPhase::kVmCompile:
+      return "vm/compile";
+    case HostPhase::kVmExec:
+      return "vm/exec";
     case HostPhase::kNumPhases:
       break;
   }
@@ -279,14 +283,21 @@ std::string HostProf::HotspotsTable(const Snapshot& snapshot,
 
 std::string HostProf::Collapsed(const Snapshot& snapshot) {
   std::ostringstream out;
+  // The engine samples live inside vm/exec spans under the bytecode engine
+  // and directly inside execute spans under the interpreter; carve the
+  // attributed time out of vm/exec first and charge the remainder to
+  // execute so the root totals stay disjoint in the flamegraph.
+  std::uint64_t vm_exec_self = 0;
+  for (const PhaseStat& p : snapshot.phases) {
+    if (p.name == "vm/exec") vm_exec_self = p.self_ns;
+  }
+  const std::uint64_t vm_carve = std::min(vm_exec_self, snapshot.interp_ns);
+  const std::uint64_t exec_carve = snapshot.interp_ns - vm_carve;
   for (const PhaseStat& p : snapshot.phases) {
     if (p.count == 0) continue;
     std::uint64_t self = p.self_ns;
-    if (p.name == "execute") {
-      // The interpreter samples live inside execute spans; carving them
-      // out keeps the root totals disjoint in the flamegraph.
-      self -= std::min(self, snapshot.interp_ns);
-    }
+    if (p.name == "vm/exec") self -= vm_carve;
+    if (p.name == "execute") self -= std::min(self, exec_carve);
     if (self > 0) out << "malisim;" << p.name << " " << self << "\n";
   }
   for (const OpcodeStat& op : snapshot.opcodes) {

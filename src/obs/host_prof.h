@@ -55,6 +55,8 @@ enum class HostPhase : int {
   kPowerAccounting,  // power-model evaluation + meter-window accounting
   kTune,             // autotuner search (candidate fan-out included)
   kVariant,          // one benchmark variant end to end (root span)
+  kVmCompile,        // KIR -> VM bytecode lowering (kir::vm::CompileProgram)
+  kVmExec,           // bytecode-VM kernel execution (nested under execute)
   kNumPhases,
 };
 

@@ -6,6 +6,7 @@
 #include "common/log.h"
 #include "fault/injector.h"
 #include "kir/passes.h"
+#include "kir/vm/bytecode.h"
 #include "mali/compiler_cache.h"
 #include "obs/recorder.h"
 
@@ -162,6 +163,21 @@ Status Program::Build() {
 
       StatusOr<mali::CompiledKernel> analyzed =
           mali::AnalyzeForMali(kernel, timing_);
+      if (analyzed.ok()) {
+        // Lower to VM bytecode under its own phase so malisim-prof can
+        // separate it from the analysis; it rides the cache entry, so a
+        // hit skips this too.
+        obs::HostProf::PhaseSpan vm_span(
+            recorder_ != nullptr ? recorder_->host_prof() : nullptr,
+            obs::HostPhase::kVmCompile);
+        StatusOr<std::shared_ptr<const kir::vm::CompiledProgram>> bytecode =
+            kir::vm::CompileProgram(kernel);
+        if (bytecode.ok()) {
+          analyzed->bytecode = *std::move(bytecode);
+        } else {
+          analyzed = bytecode.status();
+        }
+      }
       if (!analyzed.ok()) {
         compiled = analyzed.status();
       } else {
